@@ -1,0 +1,500 @@
+//! # baselines — comparison samplers for the DPSS experiments
+//!
+//! Three baselines against which the HALT sampler is evaluated (experiment E5
+//! in DESIGN.md), plus the [`PssBackend`] trait that lets the benchmark
+//! harness drive all of them uniformly:
+//!
+//! - [`NaiveExact`]: O(n) per query — one exact rational Bernoulli per item.
+//!   The correctness gold standard: trivially exact, no data structure.
+//! - [`NaiveFloat`]: O(n) per query with `f64` coins — the "what you'd write
+//!   in an afternoon" baseline; *inexact* (double-rounding bias ≈ 2^-53, plus
+//!   `Σw` rounding at scale).
+//! - [`OdssStyle`]: a Yi-et-al.-style *Dynamic Subset Sampling* structure that
+//!   materializes per-item probabilities into geometric probability buckets.
+//!   Its queries are output-sensitive, but under DPSS semantics every update
+//!   changes *all* probabilities (the weight sum moves), forcing an Ω(n)
+//!   re-bucketing per update — the exact gap the paper's introduction
+//!   identifies ("the existing optimal ODSS algorithm requires Ω(n) time to
+//!   support an update in the DPSS setup").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod odss;
+
+pub use odss::{OdssDss, OdssUnderDpss};
+
+use bignum::{BigUint, Ratio};
+use dpss::{DpssSampler, ItemId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use randvar::{ber_rational_parts, bgeo};
+use std::cmp::Ordering;
+
+/// A uniform facade over subset samplers, used by benches and integration
+/// tests to drive HALT and every baseline with identical workloads.
+pub trait PssBackend {
+    /// Inserts an item, returning an opaque handle.
+    fn insert(&mut self, weight: u64) -> u64;
+    /// Deletes an item by handle; `true` if it was live.
+    fn delete(&mut self, handle: u64) -> bool;
+    /// Answers one PSS query with parameters `(α, β)`.
+    fn query(&mut self, alpha: &Ratio, beta: &Ratio) -> Vec<u64>;
+    /// Number of live items.
+    fn len(&self) -> usize;
+    /// `true` iff no live items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Short display name.
+    fn name(&self) -> &'static str;
+}
+
+// ---------------------------------------------------------------------------
+// Shared slot-based item storage for the baselines.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Store {
+    pub(crate) weights: Vec<u64>,
+    pub(crate) live: Vec<bool>,
+    pub(crate) free: Vec<u32>,
+    pub(crate) n: usize,
+    pub(crate) total: u128,
+}
+
+impl Store {
+    fn insert(&mut self, w: u64) -> u64 {
+        self.n += 1;
+        self.total += w as u128;
+        if let Some(i) = self.free.pop() {
+            self.weights[i as usize] = w;
+            self.live[i as usize] = true;
+            i as u64
+        } else {
+            self.weights.push(w);
+            self.live.push(true);
+            (self.weights.len() - 1) as u64
+        }
+    }
+
+    fn delete(&mut self, h: u64) -> bool {
+        let i = h as usize;
+        if i >= self.live.len() || !self.live[i] {
+            return false;
+        }
+        self.live[i] = false;
+        self.total -= self.weights[i] as u128;
+        self.free.push(i as u32);
+        self.n -= 1;
+        true
+    }
+
+    fn param_weight(&self, alpha: &Ratio, beta: &Ratio) -> Ratio {
+        alpha.mul_big(&BigUint::from_u128(self.total)).add(beta)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NaiveExact
+// ---------------------------------------------------------------------------
+
+/// O(n)-per-query baseline with exact rational coins.
+#[derive(Debug)]
+pub struct NaiveExact {
+    store: Store,
+    rng: SmallRng,
+}
+
+impl NaiveExact {
+    /// Creates an empty sampler with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        NaiveExact { store: Store::default(), rng: SmallRng::seed_from_u64(seed) }
+    }
+}
+
+impl PssBackend for NaiveExact {
+    fn insert(&mut self, weight: u64) -> u64 {
+        self.store.insert(weight)
+    }
+
+    fn delete(&mut self, handle: u64) -> bool {
+        self.store.delete(handle)
+    }
+
+    fn query(&mut self, alpha: &Ratio, beta: &Ratio) -> Vec<u64> {
+        let w = self.store.param_weight(alpha, beta);
+        let mut out = Vec::new();
+        for i in 0..self.store.weights.len() {
+            if !self.store.live[i] || self.store.weights[i] == 0 {
+                continue;
+            }
+            let keep = if w.is_zero() {
+                true
+            } else {
+                let num = BigUint::from_u64(self.store.weights[i]).mul(w.den());
+                ber_rational_parts(&mut self.rng, &num, w.num())
+            };
+            if keep {
+                out.push(i as u64);
+            }
+        }
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.store.n
+    }
+
+    fn name(&self) -> &'static str {
+        "naive-exact"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NaiveFloat
+// ---------------------------------------------------------------------------
+
+/// O(n)-per-query baseline with `f64` coins (inexact; speed reference only).
+#[derive(Debug)]
+pub struct NaiveFloat {
+    store: Store,
+    rng: SmallRng,
+}
+
+impl NaiveFloat {
+    /// Creates an empty sampler with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        NaiveFloat { store: Store::default(), rng: SmallRng::seed_from_u64(seed) }
+    }
+}
+
+impl PssBackend for NaiveFloat {
+    fn insert(&mut self, weight: u64) -> u64 {
+        self.store.insert(weight)
+    }
+
+    fn delete(&mut self, handle: u64) -> bool {
+        self.store.delete(handle)
+    }
+
+    fn query(&mut self, alpha: &Ratio, beta: &Ratio) -> Vec<u64> {
+        let w = self.store.param_weight(alpha, beta).to_f64_lossy();
+        let mut out = Vec::new();
+        for i in 0..self.store.weights.len() {
+            if !self.store.live[i] || self.store.weights[i] == 0 {
+                continue;
+            }
+            let p = if w == 0.0 { 1.0 } else { (self.store.weights[i] as f64 / w).min(1.0) };
+            if self.rng.gen::<f64>() < p {
+                out.push(i as u64);
+            }
+        }
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.store.n
+    }
+
+    fn name(&self) -> &'static str {
+        "naive-float"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OdssStyle
+// ---------------------------------------------------------------------------
+
+/// Probability resolution of [`OdssStyle`]: items with `p < 2^-64` share the
+/// last bucket.
+const ODSS_BUCKETS: usize = 65;
+
+/// A DSS structure in the style of Yi et al.'s ODSS: items grouped into
+/// probability buckets `[2^{-(i+1)}, 2^{-i})` for the *materialized* sampling
+/// probabilities of the most recent parameter set.
+///
+/// Queries with the materialized parameters are output-sensitive (`B-Geo`
+/// jumps inside each non-empty probability bucket). Any *update* — or a query
+/// with new parameters — must re-materialize every probability in Θ(n): the
+/// documented DSS-vs-DPSS gap.
+#[derive(Debug)]
+pub struct OdssStyle {
+    store: Store,
+    rng: SmallRng,
+    mat_params: Option<(Ratio, Ratio)>,
+    prob_buckets: Vec<Vec<u32>>,
+    /// Number of Θ(n) re-materializations performed (cost accounting for E5).
+    pub rebuild_count: u64,
+}
+
+impl OdssStyle {
+    /// Creates an empty sampler with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        OdssStyle {
+            store: Store::default(),
+            rng: SmallRng::seed_from_u64(seed),
+            mat_params: None,
+            prob_buckets: vec![Vec::new(); ODSS_BUCKETS],
+            rebuild_count: 0,
+        }
+    }
+
+    /// Θ(n): recomputes every item's probability bucket for `(α, β)`.
+    fn materialize(&mut self, alpha: &Ratio, beta: &Ratio) {
+        self.rebuild_count += 1;
+        for b in &mut self.prob_buckets {
+            b.clear();
+        }
+        let w = self.store.param_weight(alpha, beta);
+        for i in 0..self.store.weights.len() {
+            if !self.store.live[i] || self.store.weights[i] == 0 {
+                continue;
+            }
+            let bucket = if w.is_zero() {
+                0
+            } else {
+                let p = Ratio::new(
+                    BigUint::from_u64(self.store.weights[i]).mul(w.den()),
+                    w.num().clone(),
+                );
+                if p.cmp_int(1) != Ordering::Less {
+                    0
+                } else {
+                    // p ∈ [2^{-(b+1)}, 2^{-b}) ⟺ b = -⌈log2 p⌉ … adjusted for
+                    // exact powers of two, where ceil == floor.
+                    let c = -p.ceil_log2();
+                    c.clamp(0, ODSS_BUCKETS as i64 - 1) as usize
+                }
+            };
+            self.prob_buckets[bucket].push(i as u32);
+        }
+        self.mat_params = Some((alpha.clone(), beta.clone()));
+    }
+}
+
+impl PssBackend for OdssStyle {
+    fn insert(&mut self, weight: u64) -> u64 {
+        let h = self.store.insert(weight);
+        self.mat_params = None; // any DPSS update moves every probability
+        h
+    }
+
+    fn delete(&mut self, handle: u64) -> bool {
+        let ok = self.store.delete(handle);
+        if ok {
+            self.mat_params = None;
+        }
+        ok
+    }
+
+    fn query(&mut self, alpha: &Ratio, beta: &Ratio) -> Vec<u64> {
+        let stale = match &self.mat_params {
+            Some((a, b)) => a.cmp(alpha) != Ordering::Equal || b.cmp(beta) != Ordering::Equal,
+            None => true,
+        };
+        if stale {
+            self.materialize(alpha, beta); // Θ(n) — the DSS-under-DPSS penalty
+        }
+        let w = self.store.param_weight(alpha, beta);
+        let mut out = Vec::new();
+        for (bi, bucket) in self.prob_buckets.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let n_b = bucket.len() as u64;
+            if bi == 0 {
+                // p ∈ [1/2, 1]: flip each item directly (Ω(1) acceptance).
+                for &i in bucket {
+                    let keep = if w.is_zero() {
+                        true
+                    } else {
+                        let num = BigUint::from_u64(self.store.weights[i as usize]).mul(w.den());
+                        ber_rational_parts(&mut self.rng, &num, w.num())
+                    };
+                    if keep {
+                        out.push(i as u64);
+                    }
+                }
+                continue;
+            }
+            // Majorizer q = 2^{-bi} for every item in this bucket.
+            let q = Ratio::new(BigUint::one(), BigUint::pow2(bi as u64));
+            let mut k = bgeo(&mut self.rng, &q, n_b + 1);
+            while k <= n_b {
+                let i = bucket[(k - 1) as usize];
+                // Accept with p_i/q = w_i·2^bi/W ≤ 1.
+                let num = BigUint::from_u64(self.store.weights[i as usize])
+                    .shl(bi as u64)
+                    .mul(w.den());
+                if ber_rational_parts(&mut self.rng, &num, w.num()) {
+                    out.push(i as u64);
+                }
+                k += bgeo(&mut self.rng, &q, n_b + 1);
+            }
+        }
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.store.n
+    }
+
+    fn name(&self) -> &'static str {
+        "odss-style"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HALT behind the common trait
+// ---------------------------------------------------------------------------
+
+/// [`DpssSampler`] adapted to [`PssBackend`] for uniform benchmarking.
+#[derive(Debug)]
+pub struct HaltBackend {
+    inner: DpssSampler,
+}
+
+impl HaltBackend {
+    /// Creates an empty HALT sampler with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        HaltBackend { inner: DpssSampler::new(seed) }
+    }
+
+    /// Access the underlying sampler.
+    pub fn inner_mut(&mut self) -> &mut DpssSampler {
+        &mut self.inner
+    }
+}
+
+impl PssBackend for HaltBackend {
+    fn insert(&mut self, weight: u64) -> u64 {
+        self.inner.insert(weight).raw()
+    }
+
+    fn delete(&mut self, handle: u64) -> bool {
+        self.inner.delete(ItemId::from_raw(handle)).is_some()
+    }
+
+    fn query(&mut self, alpha: &Ratio, beta: &Ratio) -> Vec<u64> {
+        self.inner.query(alpha, beta).into_iter().map(ItemId::raw).collect()
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "halt"
+    }
+}
+
+/// Every backend, in a fixed report order (HALT first).
+pub fn all_backends(seed: u64) -> Vec<Box<dyn PssBackend>> {
+    vec![
+        Box::new(HaltBackend::new(seed)),
+        Box::new(NaiveExact::new(seed)),
+        Box::new(NaiveFloat::new(seed)),
+        Box::new(OdssStyle::new(seed)),
+        Box::new(OdssUnderDpss::new(seed)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use randvar::stats::binomial_z;
+
+    fn marginal_check(backend: &mut dyn PssBackend, seed_weights: &[u64], trials: u64) {
+        let handles: Vec<u64> = seed_weights.iter().map(|&w| backend.insert(w)).collect();
+        let total: u128 = seed_weights.iter().map(|&w| w as u128).sum();
+        let alpha = Ratio::one();
+        let beta = Ratio::zero();
+        let mut hits = vec![0u64; handles.len()];
+        for _ in 0..trials {
+            for h in backend.query(&alpha, &beta) {
+                let idx = handles.iter().position(|&x| x == h).unwrap();
+                hits[idx] += 1;
+            }
+        }
+        for (i, &w) in seed_weights.iter().enumerate() {
+            let p = (w as f64 / total as f64).min(1.0);
+            if p == 0.0 {
+                assert_eq!(hits[i], 0);
+                continue;
+            }
+            let z = binomial_z(hits[i], trials, p);
+            assert!(z.abs() < 5.0, "{}: item {i} z={z}", backend.name());
+        }
+    }
+
+    #[test]
+    fn naive_exact_marginals() {
+        marginal_check(&mut NaiveExact::new(1), &[1, 5, 25, 125, 625], 40_000);
+    }
+
+    #[test]
+    fn naive_float_marginals() {
+        marginal_check(&mut NaiveFloat::new(2), &[1, 5, 25, 125, 625], 40_000);
+    }
+
+    #[test]
+    fn odss_style_marginals() {
+        marginal_check(&mut OdssStyle::new(3), &[1, 5, 25, 125, 625], 40_000);
+    }
+
+    #[test]
+    fn halt_backend_marginals() {
+        marginal_check(&mut HaltBackend::new(4), &[1, 5, 25, 125, 625], 40_000);
+    }
+
+    #[test]
+    fn odss_marginals_with_extreme_skew() {
+        // Exercises deep probability buckets (p down to ~2^-40).
+        marginal_check(&mut OdssStyle::new(6), &[1, 1 << 20, 1 << 40], 60_000);
+    }
+
+    #[test]
+    fn odss_rematerializes_on_every_update() {
+        let mut o = OdssStyle::new(5);
+        let a = Ratio::one();
+        let b = Ratio::zero();
+        let h = o.insert(10);
+        o.insert(20);
+        let _ = o.query(&a, &b);
+        assert_eq!(o.rebuild_count, 1);
+        let _ = o.query(&a, &b); // same params: no rebuild
+        assert_eq!(o.rebuild_count, 1);
+        o.insert(30);
+        let _ = o.query(&a, &b); // update invalidates
+        assert_eq!(o.rebuild_count, 2);
+        o.delete(h);
+        let _ = o.query(&a, &b);
+        assert_eq!(o.rebuild_count, 3);
+        let _ = o.query(&Ratio::from_int(2), &b); // new parameters invalidate
+        assert_eq!(o.rebuild_count, 4);
+    }
+
+    #[test]
+    fn delete_semantics_uniform() {
+        for backend in all_backends(9).iter_mut() {
+            let h = backend.insert(5);
+            assert_eq!(backend.len(), 1);
+            assert!(backend.delete(h), "{}", backend.name());
+            assert!(!backend.delete(h), "{}: double delete", backend.name());
+            assert_eq!(backend.len(), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_items_skipped_by_all() {
+        for backend in all_backends(11).iter_mut() {
+            let z = backend.insert(0);
+            backend.insert(7);
+            for _ in 0..50 {
+                let t = backend.query(&Ratio::one(), &Ratio::zero());
+                assert!(!t.contains(&z), "{}", backend.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Cross-backend agreement: every backend (HALT, naive-exact, naive-float,
+//! ODSS-style, ODSS-DSS) must produce the same sampling *law* on identical
+//! workloads. We check mean sample size against the exact μ over a grid of
+//! weight distributions and parameter points.
+
+use baselines::{all_backends, PssBackend};
+use bignum::Ratio;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use workloads::params::{alpha_for_mu, mu_exact_f64};
+use workloads::weights::WeightDist;
+
+/// Asserts the backend's empirical mean sample size is within CLT bounds of
+/// the exact μ.
+fn check_mean_size(
+    backend: &mut dyn PssBackend,
+    weights: &[u64],
+    alpha: &Ratio,
+    beta: &Ratio,
+    trials: u64,
+) {
+    for &w in weights {
+        backend.insert(w);
+    }
+    let mu = mu_exact_f64(weights, alpha, beta);
+    let mut total = 0u64;
+    let mut total_sq = 0f64;
+    for _ in 0..trials {
+        let k = backend.query(alpha, beta).len() as u64;
+        total += k;
+        total_sq += (k * k) as f64;
+    }
+    let mean = total as f64 / trials as f64;
+    let var = (total_sq / trials as f64 - mean * mean).max(mu.max(1.0));
+    let z = (mean - mu) / (var / trials as f64).sqrt();
+    assert!(
+        z.abs() < 5.0,
+        "{}: mean {mean} vs μ {mu} (z = {z})",
+        backend.name()
+    );
+}
+
+fn run_grid(dist: WeightDist, n: usize, seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let weights = dist.generate(n, &mut rng);
+    for (mu_num, mu_den) in [(1u64, 2u64), (2, 1), (8, 1)] {
+        let (a, b) = alpha_for_mu(mu_num, mu_den);
+        for backend in all_backends(seed ^ mu_num).iter_mut() {
+            check_mean_size(backend.as_mut(), &weights, &a, &b, 1500);
+        }
+    }
+}
+
+#[test]
+fn agreement_uniform_weights() {
+    run_grid(WeightDist::Uniform { lo: 1, hi: 1000 }, 64, 1);
+}
+
+#[test]
+fn agreement_zipf_weights() {
+    run_grid(WeightDist::Zipf { s_num: 2, s_den: 1, w_max: 1 << 30 }, 64, 2);
+}
+
+#[test]
+fn agreement_bimodal_weights() {
+    run_grid(WeightDist::Bimodal { light: 2, heavy: 1 << 24, heavy_permille: 60 }, 64, 3);
+}
+
+#[test]
+fn agreement_equal_weights() {
+    run_grid(WeightDist::Equal { w: 4096 }, 64, 4);
+}
+
+#[test]
+fn agreement_power_of_two_weights() {
+    run_grid(WeightDist::PowersOfTwo { max_exp: 40 }, 64, 5);
+}
+
+#[test]
+fn agreement_after_interleaved_updates() {
+    // Drive every backend through the same update stream, then compare the
+    // post-churn mean sample size against μ computed from surviving weights.
+    use workloads::updates::{StreamKind, UpdateStream};
+    let mut rng = SmallRng::seed_from_u64(9);
+    let stream = UpdateStream::generate(
+        StreamKind::Mixed { insert_permille: 600 },
+        40,
+        200,
+        WeightDist::Uniform { lo: 1, hi: 500 },
+        &mut rng,
+    );
+    for backend in all_backends(11).iter_mut() {
+        let mut weights_alive: Vec<(u64, u64)> = Vec::new(); // (handle, w)
+        use std::cell::RefCell;
+        let alive = RefCell::new(Vec::new());
+        let b = RefCell::new(backend);
+        stream.replay(
+            |w| {
+                let h = b.borrow_mut().insert(w);
+                alive.borrow_mut().push((h, w));
+                h
+            },
+            |h| {
+                assert!(b.borrow_mut().delete(h));
+                let mut a = alive.borrow_mut();
+                let i = a.iter().position(|&(x, _)| x == h).unwrap();
+                a.swap_remove(i);
+            },
+        );
+        weights_alive.extend(alive.borrow().iter().copied());
+        let ws: Vec<u64> = weights_alive.iter().map(|&(_, w)| w).collect();
+        let (a, bp) = alpha_for_mu(4, 1);
+        let mu = mu_exact_f64(&ws, &a, &bp);
+        let backend = &mut *b.borrow_mut();
+        let trials = 1500u64;
+        let mut total = 0u64;
+        for _ in 0..trials {
+            total += backend.query(&a, &bp).len() as u64;
+        }
+        let mean = total as f64 / trials as f64;
+        let z = (mean - mu) / (mu / trials as f64).sqrt();
+        assert!(z.abs() < 5.0, "{}: post-churn mean {mean} vs μ {mu}", backend.name());
+    }
+}

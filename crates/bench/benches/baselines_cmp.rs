@@ -1,0 +1,67 @@
+//! Criterion benches comparing HALT against every baseline (E5): query-only
+//! and mixed update+query rounds on identical workloads.
+
+use baselines::{HaltBackend, NaiveExact, NaiveFloat, OdssStyle, OdssUnderDpss, PssBackend};
+use bench::WeightDist;
+use bignum::Ratio;
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 1 << 14;
+
+fn loaded(mut backend: Box<dyn PssBackend>) -> (Box<dyn PssBackend>, Vec<u64>) {
+    let weights = WeightDist::Random.weights(N, 8);
+    let handles = weights.iter().map(|&w| backend.insert(w)).collect();
+    (backend, handles)
+}
+
+fn backends() -> Vec<Box<dyn PssBackend>> {
+    vec![
+        Box::new(HaltBackend::new(19)),
+        Box::new(NaiveExact::new(19)),
+        Box::new(NaiveFloat::new(19)),
+        Box::new(OdssStyle::new(19)),
+        Box::new(OdssUnderDpss::new(19)),
+    ]
+}
+
+fn bench_query_only(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baseline_query_mu16");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    g.sample_size(10);
+    let alpha = Ratio::from_u64s(1, 16);
+    for backend in backends() {
+        let (mut backend, _) = loaded(backend);
+        let _ = backend.query(&alpha, &Ratio::zero()); // warm materialization
+        g.bench_function(BenchmarkId::from_parameter(backend.name()), |b| {
+            b.iter(|| backend.query(&alpha, &Ratio::zero()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_mixed_round(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baseline_update_plus_query");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    g.sample_size(10);
+    for backend in backends() {
+        let (mut backend, mut handles) = loaded(backend);
+        let mut rng = SmallRng::seed_from_u64(29);
+        g.bench_function(BenchmarkId::from_parameter(backend.name()), |b| {
+            b.iter(|| {
+                let i = rng.gen_range(0..handles.len());
+                backend.delete(handles[i]);
+                handles[i] = backend.insert(rng.gen_range(1..=1u64 << 40));
+                backend.query(&Ratio::from_u64s(1, rng.gen_range(2..64)), &Ratio::zero()).len()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_query_only, bench_mixed_round);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benches for the §3 variate generators: exact Bernoulli types
+//! (i)/(ii)/(iii) (E8) and B-Geo / T-Geo across parameter regimes (E6).
+
+use bignum::Ratio;
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use randvar::{ber_oracle, ber_u64, bgeo, tgeo, HalfRecipPStarOracle, PStarOracle};
+
+fn bench_bernoulli(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bernoulli");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    let mut rng = SmallRng::seed_from_u64(1);
+    g.bench_function("type_i_rational", |b| b.iter(|| ber_u64(&mut rng, 355, 1130)));
+    let q = Ratio::from_u64s(1, 1 << 20);
+    let mut o2 = PStarOracle::new(&q, 1 << 18);
+    g.bench_function("type_ii_pstar", |b| b.iter(|| ber_oracle(&mut rng, &mut o2)));
+    let mut o3 = HalfRecipPStarOracle::new(&q, 1 << 18);
+    g.bench_function("type_iii_half_recip", |b| b.iter(|| ber_oracle(&mut rng, &mut o3)));
+    g.finish();
+}
+
+fn bench_geometric(c: &mut Criterion) {
+    let mut g = c.benchmark_group("geometric");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    let mut rng = SmallRng::seed_from_u64(2);
+    for (num, den, n, label) in [
+        (1u64, 2u64, 1u64 << 16, "bgeo_p_half"),
+        (1, 1 << 20, 1 << 16, "bgeo_p_tiny"),
+        (1, 2, 1 << 16, "tgeo_case21"),
+        (1, 1 << 20, 1 << 16, "tgeo_case22"),
+        (1, 1 << 40, 1 << 30, "tgeo_extreme"),
+    ] {
+        let p = Ratio::from_u64s(num, den);
+        let is_tgeo = label.starts_with("tgeo");
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| if is_tgeo { tgeo(&mut rng, &p, n) } else { bgeo(&mut rng, &p, n) })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bernoulli, bench_geometric);
+criterion_main!(benches);

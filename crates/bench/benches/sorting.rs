@@ -1,0 +1,47 @@
+//! E7 — Theorem 1.2: Integer Sorting via deletion-only float-weight DPSS,
+//! against `slice::sort_unstable` and LSD radix sort.
+//!
+//! The point of the shape: the reduction sorts *correctly* but pays the
+//! O(log N) + bignum cost per operation that Theorem 1.2 says any float-weight
+//! DPSS must pay (else O(N) integer sorting falls out). The comparators show
+//! what O(N log N) / O(N) machines do on the same input.
+
+use bench::radix_sort_u64;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use floatdpss::sort_via_dpss;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn inputs(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+fn bench_sorting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sorting_e7");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    g.sample_size(10);
+    for exp in [8u32, 10, 12] {
+        let n = 1usize << exp;
+        let vals = inputs(n, 41);
+        g.bench_with_input(BenchmarkId::new("dpss_reduction", format!("2^{exp}")), &vals, |b, v| {
+            b.iter(|| sort_via_dpss(v, 43));
+        });
+        g.bench_with_input(BenchmarkId::new("std_sort", format!("2^{exp}")), &vals, |b, v| {
+            b.iter(|| {
+                let mut x = v.clone();
+                x.sort_unstable();
+                x
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("radix_sort", format!("2^{exp}")), &vals, |b, v| {
+            b.iter(|| radix_sort_u64(v));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sorting);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! E3 (extended) — per-operation update cost under adversarial streams.
+//!
+//! Two backends:
+//! - `DpssSampler` — O(1) amortized updates (one O(n) burst per rebuild);
+//! - `DeamortizedDpss` — O(1) worst-case updates (migration spread over
+//!   subsequent operations).
+//!
+//! Two stream shapes from the `workloads` crate:
+//! - `Oscillate` around the rebuild boundary — the worst case for the
+//!   amortized variant (it keeps crossing the ×2/÷2 trigger);
+//! - `SlidingWindow` — the steady-state streaming shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpss::{DeamortizedDpss, DpssSampler};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Duration;
+use workloads::updates::{LiveSet, Op, StreamKind, UpdateStream};
+use workloads::weights::WeightDist;
+
+const DIST: WeightDist = WeightDist::Uniform { lo: 1, hi: 1 << 40 };
+
+fn make_stream(kind: StreamKind, n_initial: usize, n_ops: usize) -> UpdateStream {
+    let mut rng = SmallRng::seed_from_u64(77);
+    UpdateStream::generate(kind, n_initial, n_ops, DIST, &mut rng)
+}
+
+fn replay_halt(stream: &UpdateStream) -> usize {
+    let mut s = DpssSampler::new(5);
+    let mut live = LiveSet::new();
+    for &w in &stream.initial {
+        live.insert(s.insert(w));
+    }
+    for op in &stream.ops {
+        match *op {
+            Op::Insert(w) => live.insert(s.insert(w)),
+            Op::DeleteAt(i) => {
+                s.delete(live.remove_at(i));
+            }
+        }
+    }
+    live.len()
+}
+
+fn replay_deamortized(stream: &UpdateStream) -> usize {
+    let mut s = DeamortizedDpss::new(5);
+    let mut live = LiveSet::new();
+    for &w in &stream.initial {
+        live.insert(s.insert(w));
+    }
+    for op in &stream.ops {
+        match *op {
+            Op::Insert(w) => live.insert(s.insert(w)),
+            Op::DeleteAt(i) => {
+                s.delete(live.remove_at(i));
+            }
+        }
+    }
+    live.len()
+}
+
+fn bench_streams(c: &mut Criterion) {
+    let mut g = c.benchmark_group("update_streams");
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    g.sample_size(10);
+    let cases = [
+        ("oscillate_boundary", make_stream(StreamKind::Oscillate { lo: 1 << 12, hi: 5 << 12 }, 1 << 12, 60_000)),
+        ("sliding_window", make_stream(StreamKind::SlidingWindow { window: 1 << 12 }, 0, 60_000)),
+        ("mixed_50_50", make_stream(StreamKind::Mixed { insert_permille: 500 }, 1 << 12, 60_000)),
+    ];
+    for (label, stream) in &cases {
+        g.bench_with_input(BenchmarkId::new("halt_amortized", *label), stream, |b, s| {
+            b.iter(|| replay_halt(s));
+        });
+        g.bench_with_input(BenchmarkId::new("deamortized", *label), stream, |b, s| {
+            b.iter(|| replay_deamortized(s));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_streams);
+criterion_main!(benches);

@@ -1,0 +1,441 @@
+//! Dyadic numbers and certified interval arithmetic.
+//!
+//! The lazy Bernoulli framework (Fact 2 of the paper, after Bringmann–Friedrich
+//! and Flajolet–Saheb) needs, for a target probability `p`, an *i-bit
+//! approximation* `p̃_i` with `|p̃_i − p| ≤ 2^{-i}` computable in poly(i) time
+//! (Definition 3.2). We produce such approximations by evaluating the defining
+//! expression of `p` in **dyadic interval arithmetic**: every intermediate is a
+//! pair `[lo, hi]` of dyadic numbers (`m · 2^e`) guaranteed to bracket the true
+//! value, with mantissas truncated outward to a working precision. When the
+//! bracket width drops below `2^{-i}`, any point inside is a valid `p̃_i`.
+
+use crate::BigUint;
+use std::cmp::Ordering;
+
+/// A non-negative dyadic number `m · 2^e`.
+#[derive(Clone, Debug)]
+pub struct Dyadic {
+    m: BigUint,
+    e: i64,
+}
+
+impl Dyadic {
+    /// `m · 2^e`.
+    pub fn new(m: BigUint, e: i64) -> Self {
+        Dyadic { m, e }
+    }
+
+    /// 0.
+    pub fn zero() -> Self {
+        Dyadic { m: BigUint::zero(), e: 0 }
+    }
+
+    /// 1.
+    pub fn one() -> Self {
+        Dyadic { m: BigUint::one(), e: 0 }
+    }
+
+    /// The integer `v`.
+    pub fn from_u64(v: u64) -> Self {
+        Dyadic { m: BigUint::from_u64(v), e: 0 }
+    }
+
+    /// Mantissa.
+    pub fn mantissa(&self) -> &BigUint {
+        &self.m
+    }
+
+    /// Binary exponent.
+    pub fn exp(&self) -> i64 {
+        self.e
+    }
+
+    /// `true` iff the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.m.is_zero()
+    }
+
+    /// Exact comparison.
+    #[allow(clippy::should_implement_trait)]
+    pub fn cmp(&self, other: &Self) -> Ordering {
+        if self.m.is_zero() || other.m.is_zero() {
+            return (!self.m.is_zero() as u8).cmp(&(!other.m.is_zero() as u8));
+        }
+        // Quick path on magnitudes: value ∈ [2^(bl-1+e), 2^(bl+e)).
+        let lo_a = self.m.bit_len() as i64 - 1 + self.e;
+        let lo_b = other.m.bit_len() as i64 - 1 + other.e;
+        if lo_a > lo_b {
+            return Ordering::Greater;
+        }
+        if lo_a < lo_b {
+            return Ordering::Less;
+        }
+        // Same magnitude window: align exponents exactly.
+        if self.e >= other.e {
+            self.m.shl((self.e - other.e) as u64).cmp(&other.m)
+        } else {
+            self.m.cmp(&other.m.shl((other.e - self.e) as u64))
+        }
+    }
+
+    /// Exact addition.
+    pub fn add(&self, other: &Self) -> Self {
+        if self.is_zero() {
+            return other.clone();
+        }
+        if other.is_zero() {
+            return self.clone();
+        }
+        let e = self.e.min(other.e);
+        let a = self.m.shl((self.e - e) as u64);
+        let b = other.m.shl((other.e - e) as u64);
+        Dyadic { m: a.add(&b), e }
+    }
+
+    /// Exact subtraction, saturating at 0 if `other > self`.
+    pub fn sub_saturating(&self, other: &Self) -> Self {
+        if self.cmp(other) != Ordering::Greater {
+            return Dyadic::zero();
+        }
+        let e = self.e.min(other.e);
+        let a = self.m.shl((self.e - e) as u64);
+        let b = other.m.shl((other.e - e) as u64);
+        Dyadic { m: a.sub(&b), e }
+    }
+
+    /// Exact multiplication.
+    pub fn mul(&self, other: &Self) -> Self {
+        Dyadic { m: self.m.mul(&other.m), e: self.e + other.e }
+    }
+
+    /// Rounds down (toward zero) to at most `p` significant bits.
+    pub fn round_down(&self, p: u64) -> Self {
+        let bl = self.m.bit_len();
+        if bl <= p {
+            return self.clone();
+        }
+        let s = bl - p;
+        Dyadic { m: self.m.shr(s), e: self.e + s as i64 }
+    }
+
+    /// Rounds up (away from zero) to at most `p` significant bits.
+    pub fn round_up(&self, p: u64) -> Self {
+        let bl = self.m.bit_len();
+        if bl <= p {
+            return self.clone();
+        }
+        let s = bl - p;
+        let truncated = self.m.shr(s);
+        let lost = !self.m.low_bits(s).is_zero();
+        let m = if lost { truncated.add_u64(1) } else { truncated };
+        Dyadic { m, e: self.e + s as i64 }
+    }
+
+    /// `⌊(self·2^(-e_out))⌋·2^(e_out)`: snap down onto the grid `2^{e_out}`.
+    pub fn snap_down(&self, e_out: i64) -> Self {
+        if self.e >= e_out {
+            return self.clone();
+        }
+        let s = (e_out - self.e) as u64;
+        Dyadic { m: self.m.shr(s), e: e_out }
+    }
+
+    /// Snap up onto the grid `2^{e_out}`.
+    pub fn snap_up(&self, e_out: i64) -> Self {
+        if self.e >= e_out {
+            return self.clone();
+        }
+        let s = (e_out - self.e) as u64;
+        let t = self.m.shr(s);
+        let m = if self.m.low_bits(s).is_zero() { t } else { t.add_u64(1) };
+        Dyadic { m, e: e_out }
+    }
+
+    /// Directed-rounding division: largest dyadic with `p` significant bits
+    /// that is `≤ self/other` (for `down = true`), or smallest `≥` (otherwise).
+    /// Panics if `other == 0`.
+    pub fn div(&self, other: &Self, p: u64, down: bool) -> Self {
+        assert!(!other.is_zero(), "Dyadic division by zero");
+        if self.is_zero() {
+            return Dyadic::zero();
+        }
+        // Shift numerator so the integer quotient carries ≥ p+1 significant bits.
+        let extra = (p + 1 + other.m.bit_len()).saturating_sub(self.m.bit_len());
+        let num = self.m.shl(extra);
+        let (q, r) = num.div_rem(&other.m);
+        let m = if down || r.is_zero() { q } else { q.add_u64(1) };
+        Dyadic { m, e: self.e - other.e - extra as i64 }
+    }
+
+    /// Lossy `f64` value (diagnostics only).
+    pub fn to_f64_lossy(&self) -> f64 {
+        if self.is_zero() {
+            return 0.0;
+        }
+        let bl = self.m.bit_len();
+        let keep = bl.min(53);
+        let top = self.m.shr(bl - keep).to_u64().unwrap() as f64;
+        top * 2f64.powi((self.e + (bl - keep) as i64) as i32)
+    }
+}
+
+/// A certified bracket `[lo, hi]` around a real value, with outward rounding to
+/// `prec` significant bits after every operation.
+#[derive(Clone, Debug)]
+pub struct Interval {
+    lo: Dyadic,
+    hi: Dyadic,
+    prec: u64,
+}
+
+impl Interval {
+    /// The exact point `d` as a width-0 interval.
+    pub fn exact(d: Dyadic, prec: u64) -> Self {
+        Interval { lo: d.clone(), hi: d, prec }.normalized()
+    }
+
+    /// The exact integer `v`.
+    pub fn from_u64(v: u64, prec: u64) -> Self {
+        Self::exact(Dyadic::from_u64(v), prec)
+    }
+
+    /// The bracket `[lo, hi]`; panics if `lo > hi`.
+    pub fn hull(lo: Dyadic, hi: Dyadic, prec: u64) -> Self {
+        assert!(lo.cmp(&hi) != Ordering::Greater, "hull with lo > hi");
+        Interval { lo, hi, prec }.normalized()
+    }
+
+    /// A bracket around the rational `num/den`. Panics if `den == 0`.
+    pub fn from_ratio(num: &BigUint, den: &BigUint, prec: u64) -> Self {
+        let n = Dyadic::new(num.clone(), 0);
+        let d = Dyadic::new(den.clone(), 0);
+        Interval {
+            lo: n.div(&d, prec, true),
+            hi: n.div(&d, prec, false),
+            prec,
+        }
+    }
+
+    fn normalized(self) -> Self {
+        Interval {
+            lo: self.lo.round_down(self.prec),
+            hi: self.hi.round_up(self.prec),
+            prec: self.prec,
+        }
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> &Dyadic {
+        &self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> &Dyadic {
+        &self.hi
+    }
+
+    /// Working precision in bits.
+    pub fn prec(&self) -> u64 {
+        self.prec
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Self) -> Self {
+        Interval {
+            lo: self.lo.add(&other.lo),
+            hi: self.hi.add(&other.hi),
+            prec: self.prec,
+        }
+        .normalized()
+    }
+
+    /// `self · other` (both non-negative).
+    pub fn mul(&self, other: &Self) -> Self {
+        Interval {
+            lo: self.lo.mul(&other.lo),
+            hi: self.hi.mul(&other.hi),
+            prec: self.prec,
+        }
+        .normalized()
+    }
+
+    /// `self − other`, saturating each bound at 0.
+    pub fn sub(&self, other: &Self) -> Self {
+        Interval {
+            lo: self.lo.sub_saturating(&other.hi),
+            hi: self.hi.sub_saturating(&other.lo),
+            prec: self.prec,
+        }
+        .normalized()
+    }
+
+    /// `self / other`; requires `other.lo > 0`.
+    pub fn div(&self, other: &Self) -> Self {
+        assert!(!other.lo.is_zero(), "Interval division needs positive divisor");
+        Interval {
+            lo: self.lo.div(&other.hi, self.prec, true),
+            hi: self.hi.div(&other.lo, self.prec, false),
+            prec: self.prec,
+        }
+    }
+
+    /// `self^k` by binary exponentiation (non-negative base).
+    pub fn pow(&self, mut k: u64) -> Self {
+        let mut acc = Interval::from_u64(1, self.prec);
+        let mut base = self.clone();
+        while k > 0 {
+            if k & 1 == 1 {
+                acc = acc.mul(&base);
+            }
+            k >>= 1;
+            if k > 0 {
+                base = base.mul(&base);
+            }
+        }
+        acc
+    }
+
+    /// Bracket width `hi − lo` (exact dyadic).
+    pub fn width(&self) -> Dyadic {
+        self.hi.sub_saturating(&self.lo)
+    }
+
+    /// `true` iff `width ≤ 2^k`.
+    pub fn width_le_pow2(&self, k: i64) -> bool {
+        let w = self.width();
+        if w.is_zero() {
+            return true;
+        }
+        // w = m·2^e ≤ 2^k  ⟺  m ≤ 2^(k−e)
+        let bl = w.mantissa().bit_len() as i64; // m < 2^bl, m ≥ 2^(bl−1)
+        if bl - 1 + w.exp() > k {
+            return false;
+        }
+        if bl + w.exp() <= k {
+            return true;
+        }
+        // Boundary: m must be exactly 2^(k−e).
+        w.mantissa().is_pow2() && (bl - 1 + w.exp()) == k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dy(m: u64, e: i64) -> Dyadic {
+        Dyadic::new(BigUint::from_u64(m), e)
+    }
+
+    #[test]
+    fn dyadic_cmp() {
+        assert_eq!(dy(1, 0).cmp(&dy(2, -1)), Ordering::Equal);
+        assert_eq!(dy(3, -2).cmp(&dy(1, 0)), Ordering::Less);
+        assert_eq!(dy(5, 10).cmp(&dy(5, 9)), Ordering::Greater);
+        assert_eq!(Dyadic::zero().cmp(&dy(1, -100)), Ordering::Less);
+        assert_eq!(Dyadic::zero().cmp(&Dyadic::zero()), Ordering::Equal);
+    }
+
+    #[test]
+    fn dyadic_add_sub() {
+        let x = dy(3, -2).add(&dy(1, -1)); // 0.75 + 0.5 = 1.25
+        assert_eq!(x.cmp(&dy(5, -2)), Ordering::Equal);
+        let y = dy(5, -2).sub_saturating(&dy(1, -1));
+        assert_eq!(y.cmp(&dy(3, -2)), Ordering::Equal);
+        assert!(dy(1, -3).sub_saturating(&dy(1, 0)).is_zero());
+    }
+
+    #[test]
+    fn dyadic_rounding() {
+        let x = dy(0b10111, 0); // 23
+        let down = x.round_down(3);
+        let up = x.round_up(3);
+        assert_eq!(down.cmp(&dy(0b101, 2)), Ordering::Equal); // 20
+        assert_eq!(up.cmp(&dy(0b110, 2)), Ordering::Equal); // 24
+        // Exact fit is unchanged.
+        let y = dy(0b101, 5);
+        assert_eq!(y.round_up(3).cmp(&y), Ordering::Equal);
+    }
+
+    #[test]
+    fn dyadic_div_directed() {
+        // 1/3 with 8 bits.
+        let lo = Dyadic::one().div(&dy(3, 0), 8, true);
+        let hi = Dyadic::one().div(&dy(3, 0), 8, false);
+        assert_eq!(lo.cmp(&hi), Ordering::Less);
+        // Both within 2^-8 of 1/3: 3·lo ≤ 1 ≤ 3·hi
+        assert!(lo.mul(&dy(3, 0)).cmp(&Dyadic::one()) != Ordering::Greater);
+        assert!(hi.mul(&dy(3, 0)).cmp(&Dyadic::one()) != Ordering::Less);
+        let gap = hi.sub_saturating(&lo);
+        assert!(gap.cmp(&dy(1, -8)) != Ordering::Greater);
+        // Exact division has zero gap.
+        let e1 = dy(6, 0).div(&dy(3, 0), 20, true);
+        let e2 = dy(6, 0).div(&dy(3, 0), 20, false);
+        assert_eq!(e1.cmp(&e2), Ordering::Equal);
+        assert_eq!(e1.cmp(&dy(2, 0)), Ordering::Equal);
+    }
+
+    #[test]
+    fn interval_ratio_brackets() {
+        let i = Interval::from_ratio(&BigUint::from_u64(1), &BigUint::from_u64(7), 64);
+        assert!(i.lo().cmp(i.hi()) != Ordering::Greater);
+        assert!(i.width_le_pow2(-60));
+        // 7·lo ≤ 1 ≤ 7·hi
+        assert!(i.lo().mul(&dy(7, 0)).cmp(&Dyadic::one()) != Ordering::Greater);
+        assert!(i.hi().mul(&dy(7, 0)).cmp(&Dyadic::one()) != Ordering::Less);
+    }
+
+    #[test]
+    fn interval_pow_brackets() {
+        // (1 - 1/n)^n → brackets must contain the true rational value.
+        let n = 13u64;
+        let base = Interval::from_ratio(&BigUint::from_u64(n - 1), &BigUint::from_u64(n), 96);
+        let p = base.pow(n);
+        // Exact value (n-1)^n / n^n.
+        let num = BigUint::from_u64(n - 1).pow(n);
+        let den = BigUint::from_u64(n).pow(n);
+        // lo ≤ num/den ≤ hi  ⟺  lo·den ≤ num ≤ hi·den (dyadic-scaled compare)
+        let lo_scaled = p.lo().mul(&Dyadic::new(den.clone(), 0));
+        let hi_scaled = p.hi().mul(&Dyadic::new(den, 0));
+        let exact = Dyadic::new(num, 0);
+        assert!(lo_scaled.cmp(&exact) != Ordering::Greater);
+        assert!(hi_scaled.cmp(&exact) != Ordering::Less);
+        assert!(p.width_le_pow2(-80));
+    }
+
+    #[test]
+    fn interval_sub_cancellation_is_sound() {
+        // 1 - (1-q)^n with tiny q·n: catastrophic cancellation must stay certified.
+        let q_num = 1u64;
+        let q_den = 1u64 << 40;
+        let n = 8u64;
+        let prec = 160;
+        let one = Interval::from_u64(1, prec);
+        let q = Interval::from_ratio(&BigUint::from_u64(q_num), &BigUint::from_u64(q_den), prec);
+        let om = one.sub(&q).pow(n);
+        let res = one.sub(&om); // ≈ n·q = 2^-37
+        assert!(!res.lo().is_zero(), "lower bound collapsed to zero");
+        // True value is within [n·q − (n choose 2) q², n·q].
+        let upper = dy(8, -40);
+        assert!(res.lo().cmp(&upper) == Ordering::Less);
+        assert!(res.hi().cmp(&dy(7, -40)) == Ordering::Greater);
+        assert!(res.width_le_pow2(-100));
+    }
+
+    #[test]
+    fn width_le_pow2_boundaries() {
+        let i = Interval { lo: dy(0, 0), hi: dy(1, -5), prec: 32 };
+        assert!(i.width_le_pow2(-5));
+        assert!(!i.width_le_pow2(-6));
+        let j = Interval { lo: dy(1, -5), hi: dy(1, -5), prec: 32 };
+        assert!(j.width_le_pow2(-1000));
+    }
+
+    #[test]
+    fn snap_grid() {
+        let x = dy(0b1011, -3); // 1.375
+        assert_eq!(x.snap_down(-1).cmp(&dy(0b10, -1)), Ordering::Equal); // 1.0
+        assert_eq!(x.snap_up(-1).cmp(&dy(0b11, -1)), Ordering::Equal); // 1.5
+        assert_eq!(x.snap_down(-3).cmp(&x), Ordering::Equal);
+    }
+}

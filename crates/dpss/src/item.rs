@@ -1,0 +1,213 @@
+//! Item storage: a generational slab giving each item a stable [`ItemId`].
+//!
+//! The paper's item set `S` is a dynamic multiset of (item, weight) pairs;
+//! handles must stay valid across arbitrary interleavings of insertions and
+//! deletions (and across HALT rebuilds). A generation counter in the handle
+//! detects use-after-delete at O(1) cost.
+
+use std::fmt;
+
+/// A stable handle to an item in a [`crate::DpssSampler`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ItemId(u64);
+
+impl ItemId {
+    fn new(idx: u32, gen: u32) -> Self {
+        ItemId(((gen as u64) << 32) | idx as u64)
+    }
+
+    /// Slot index inside the slab (dense, bounded by the slab's capacity).
+    #[inline]
+    pub(crate) fn idx(self) -> usize {
+        (self.0 & 0xFFFF_FFFF) as usize
+    }
+
+    #[inline]
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// Raw handle bits (stable, hashable).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a handle from [`ItemId::raw`] bits.
+    pub fn from_raw(raw: u64) -> Self {
+        ItemId(raw)
+    }
+}
+
+impl fmt::Debug for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ItemId({}g{})", self.idx(), self.gen())
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Rec {
+    weight: u64,
+    /// Position of this item inside its weight bucket (undefined for weight 0).
+    bucket_pos: u32,
+    gen: u32,
+    alive: bool,
+}
+
+/// Generational slab of items.
+#[derive(Clone, Debug, Default)]
+pub struct Slab {
+    recs: Vec<Rec>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl Slab {
+    /// Empty slab.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff no live items.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Space in words.
+    pub fn space_words(&self) -> usize {
+        self.recs.capacity() * 2 + self.free.capacity() + 3
+    }
+
+    /// Inserts an item, returning its handle.
+    pub fn insert(&mut self, weight: u64) -> ItemId {
+        self.len += 1;
+        if let Some(idx) = self.free.pop() {
+            let rec = &mut self.recs[idx as usize];
+            debug_assert!(!rec.alive);
+            rec.weight = weight;
+            rec.bucket_pos = 0;
+            rec.alive = true;
+            ItemId::new(idx, rec.gen)
+        } else {
+            let idx = self.recs.len() as u32;
+            assert!(idx != u32::MAX, "slab capacity exhausted");
+            self.recs.push(Rec { weight, bucket_pos: 0, gen: 0, alive: true });
+            ItemId::new(idx, 0)
+        }
+    }
+
+    /// Removes `id`, returning its weight; `None` if stale or unknown.
+    pub fn remove(&mut self, id: ItemId) -> Option<u64> {
+        let rec = self.recs.get_mut(id.idx())?;
+        if !rec.alive || rec.gen != id.gen() {
+            return None;
+        }
+        rec.alive = false;
+        rec.gen = rec.gen.wrapping_add(1);
+        self.free.push(id.idx() as u32);
+        self.len -= 1;
+        Some(rec.weight)
+    }
+
+    /// Overwrites the weight of a live item (bucket bookkeeping is the
+    /// caller's job). Returns the old weight, or `None` for stale handles.
+    pub(crate) fn set_weight(&mut self, id: ItemId, w: u64) -> Option<u64> {
+        let rec = self.recs.get_mut(id.idx())?;
+        if !rec.alive || rec.gen != id.gen() {
+            return None;
+        }
+        Some(std::mem::replace(&mut rec.weight, w))
+    }
+
+    /// Weight of a live item.
+    pub fn weight(&self, id: ItemId) -> Option<u64> {
+        let rec = self.recs.get(id.idx())?;
+        if rec.alive && rec.gen == id.gen() {
+            Some(rec.weight)
+        } else {
+            None
+        }
+    }
+
+    /// `true` iff `id` refers to a live item.
+    pub fn contains(&self, id: ItemId) -> bool {
+        self.weight(id).is_some()
+    }
+
+    /// Bucket position of a live item (caller must know it is bucketed).
+    pub(crate) fn bucket_pos(&self, id: ItemId) -> u32 {
+        debug_assert!(self.contains(id));
+        self.recs[id.idx()].bucket_pos
+    }
+
+    /// Sets the bucket position of a live item.
+    pub(crate) fn set_bucket_pos(&mut self, id: ItemId, pos: u32) {
+        debug_assert!(self.contains(id));
+        self.recs[id.idx()].bucket_pos = pos;
+    }
+
+    /// Iterates `(id, weight)` over live items.
+    pub fn iter(&self) -> impl Iterator<Item = (ItemId, u64)> + '_ {
+        self.recs.iter().enumerate().filter_map(|(i, r)| {
+            if r.alive {
+                Some((ItemId::new(i as u32, r.gen), r.weight))
+            } else {
+                None
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut s = Slab::new();
+        let a = s.insert(10);
+        let b = s.insert(20);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.weight(a), Some(10));
+        assert_eq!(s.remove(a), Some(10));
+        assert_eq!(s.remove(a), None, "double remove must fail");
+        assert_eq!(s.weight(a), None);
+        assert_eq!(s.weight(b), Some(20));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn stale_handle_rejected_after_reuse() {
+        let mut s = Slab::new();
+        let a = s.insert(1);
+        s.remove(a).unwrap();
+        let b = s.insert(2); // reuses the slot with bumped generation
+        assert_eq!(a.idx(), b.idx());
+        assert_ne!(a, b);
+        assert_eq!(s.weight(a), None);
+        assert_eq!(s.weight(b), Some(2));
+    }
+
+    #[test]
+    fn iteration_covers_live_items() {
+        let mut s = Slab::new();
+        let ids: Vec<ItemId> = (0..10).map(|i| s.insert(i * 7)).collect();
+        s.remove(ids[3]).unwrap();
+        s.remove(ids[7]).unwrap();
+        let live: Vec<(ItemId, u64)> = s.iter().collect();
+        assert_eq!(live.len(), 8);
+        assert!(live.iter().all(|&(id, w)| s.weight(id) == Some(w)));
+    }
+
+    #[test]
+    fn bucket_pos_tracking() {
+        let mut s = Slab::new();
+        let a = s.insert(5);
+        s.set_bucket_pos(a, 42);
+        assert_eq!(s.bucket_pos(a), 42);
+    }
+}

@@ -1,0 +1,382 @@
+//! The HALT query algorithms (§4.1–§4.4: Algorithms 1–5 and the final-level
+//! lookup-table query).
+//!
+//! A PSS query with parameters `(α, β)` is answered by decomposing each
+//! level's buckets, *at query time*, into three ranges determined by the
+//! parameterized total weight `W = W_S(α,β)`:
+//!
+//! - **insignificant** (per-item probability `≤ p₀`): one `B-Geo(p₀, N+1)`
+//!   jump decides in O(1) expected time whether anything is sampled at all
+//!   (Algorithm 2);
+//! - **certain** (per-item probability 1): emitted wholesale (Algorithm 3);
+//! - **significant**: at most O(1) groups, each delegated to the next level of
+//!   the hierarchy, whose sampled *bucket proxies* are opened by rejection
+//!   sampling ([`extract_items`], Algorithm 5); the recursion bottoms out at
+//!   the lookup table (§4.3–4.4).
+//!
+//! Every acceptance probability is an exact rational, so the returned subset
+//! has exactly the distribution `Π_x Ber(p_x(α,β))`.
+
+use crate::lookup::{LookupTable, MAX_K};
+use crate::structure::{Level1, LevelView, Node};
+use bignum::{BigUint, Ratio};
+use rand::RngCore;
+use randvar::{ber_oracle, ber_rational_parts, bgeo, tgeo, PStarOracle};
+use std::cmp::Ordering;
+
+/// Per-query context: the RNG, the exact parameterized total weight
+/// `W = α·Σw + β > 0`, and the shared lookup table.
+pub struct QueryCtx<'a, R: RngCore> {
+    /// Random source.
+    pub rng: &'a mut R,
+    /// `W_S(α,β)` as an exact rational (strictly positive).
+    pub w: &'a Ratio,
+    /// The HALT lookup table (rows memoized across queries).
+    pub table: &'a mut LookupTable,
+    /// Final-level strategy (lookup table vs direct Bernoulli; ablation A1).
+    pub final_mode: FinalLevelMode,
+}
+
+/// Strategy for answering final-level instances.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FinalLevelMode {
+    /// The paper's lookup table (exact integer alias rows).
+    #[default]
+    Lookup,
+    /// One exact Bernoulli per significant bucket (ablation baseline; also the
+    /// overflow fallback when a configuration exceeds [`MAX_K`]).
+    Direct,
+}
+
+/// Query-time bucket/group range decomposition at one level.
+#[derive(Clone, Copy, Debug)]
+pub struct Thresholds {
+    /// Largest *fully-insignificant* bucket index covered by the insignificant
+    /// instance (`-1` if none).
+    pub i_insig_top: i64,
+    /// Smallest bucket index of the certain instance.
+    pub i_cert_bottom: i64,
+    /// Largest fully-insignificant group index (`-1` if none).
+    pub j_insig_max: i64,
+    /// Smallest fully-certain group index.
+    pub j_cert_min: i64,
+}
+
+/// Computes the group-aligned thresholds for a level with `n` items and group
+/// width `g` under total weight `w > 0` (§4.1 definitions).
+pub fn thresholds(w: &Ratio, n: usize, g: u32) -> Thresholds {
+    debug_assert!(!w.is_zero() && n >= 1 && g >= 1);
+    let g = g as i64;
+    // Insignificant bucket: 2^{i+1}/W ≤ 1/N² ⟺ i ≤ ⌊log2(W/N²)⌋ − 1.
+    let n2 = BigUint::from_u128((n as u128) * (n as u128));
+    let w_over_n2 = Ratio::new(w.num().clone(), w.den().mul(&n2));
+    let i_ins_max = w_over_n2.floor_log2() - 1;
+    // Certain bucket: 2^i/W ≥ 1 ⟺ i ≥ ⌈log2 W⌉.
+    let i_cert_min = w.ceil_log2();
+    // Group j fully insignificant ⟺ (j+1)g − 1 ≤ i_ins_max.
+    let j_insig_max = if i_ins_max >= g - 1 {
+        (i_ins_max - g + 1).div_euclid(g)
+    } else {
+        -1
+    };
+    // Group j fully certain ⟺ j·g ≥ i_cert_min.
+    let j_cert_min = i_cert_min.div_euclid(g) + i64::from(i_cert_min.rem_euclid(g) != 0);
+    let j_cert_min = j_cert_min.max(0);
+    Thresholds {
+        i_insig_top: (j_insig_max + 1) * g - 1,
+        i_cert_bottom: j_cert_min * g,
+        j_insig_max,
+        j_cert_min,
+    }
+}
+
+/// Draws `Ber(min(1, w_x/W) / p0)` — the thinning coin of Algorithm 2.
+fn accept_thinned<R: RngCore>(rng: &mut R, w_x: &BigUint, w: &Ratio, p0: &Ratio) -> bool {
+    // ratio = (w_x·W.den·p0.den) / (W.num·p0.num); callers guarantee ≤ 1.
+    let num = w_x.mul(w.den()).mul(p0.den());
+    let den = w.num().mul(p0.num());
+    debug_assert!(num.cmp(&den) != Ordering::Greater, "thinning ratio above 1");
+    ber_rational_parts(rng, &num, &den)
+}
+
+/// Draws `Ber(min(1, w_x/W))` — the plain inclusion coin.
+fn accept_plain<R: RngCore>(rng: &mut R, w_x: &BigUint, w: &Ratio) -> bool {
+    ber_rational_parts(rng, &w_x.mul(w.den()), w.num())
+}
+
+/// Algorithm 2: the insignificant instance. Samples from all items in buckets
+/// `0..=i_top`, each of which has inclusion probability `≤ p0`, in O(1)
+/// expected time via one `B-Geo(p0, N+1)` jump.
+pub fn query_insignificant<V: LevelView, R: RngCore>(
+    view: &V,
+    rng: &mut R,
+    w: &Ratio,
+    i_top: i64,
+    p0: &Ratio,
+) -> Vec<V::Id> {
+    let n = view.n_items() as u64;
+    if n == 0 || i_top < 0 {
+        return Vec::new();
+    }
+    // First potential index k via B-Geo(p0, N+1) (p0 = 1 degenerates to k=1).
+    let k = if p0.cmp_int(1) != Ordering::Less {
+        1
+    } else {
+        bgeo(rng, p0, n + 1)
+    };
+    if k > n {
+        return Vec::new();
+    }
+    // Collect A: all items in buckets with index ≤ i_top (cost O(N), incurred
+    // with probability ≤ 1 − (1−p0)^N ≤ N·p0 ≤ 1/N — O(1) in expectation).
+    let mut a: Vec<V::Id> = Vec::new();
+    for b in view.nonempty().range(0, i_top as usize) {
+        for pos in 0..view.bucket_len(b) {
+            a.push(view.bucket_item(b, pos));
+        }
+    }
+    if (a.len() as u64) < k {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let first = a[(k - 1) as usize];
+    if accept_thinned(rng, &view.weight_big(first), w, p0) {
+        out.push(first);
+    }
+    for &x in &a[k as usize..] {
+        if accept_plain(rng, &view.weight_big(x), w) {
+            out.push(x);
+        }
+    }
+    out
+}
+
+/// Algorithm 3: the certain instance — every item in buckets `≥ i_bottom` has
+/// inclusion probability exactly 1.
+pub fn query_certain<V: LevelView>(view: &V, i_bottom: i64) -> Vec<V::Id> {
+    let lo = i_bottom.max(0) as usize;
+    let mut out = Vec::new();
+    if lo >= view.nonempty().universe() {
+        return out;
+    }
+    for b in view.nonempty().range(lo, view.nonempty().universe() - 1) {
+        for pos in 0..view.bucket_len(b) {
+            out.push(view.bucket_item(b, pos));
+        }
+    }
+    out
+}
+
+/// Algorithm 5: opens each *candidate bucket* (a sampled next-level proxy) and
+/// extracts this level's items with exact rejection sampling.
+///
+/// A candidate bucket `b` was sampled with probability `min(1, w(y_b)/W)`
+/// where `w(y_b) = 2^{b+1}·n_b`. Let `p = min(1, 2^{b+1}/W)`:
+/// - `p = 1`: every item is potential; accept each with `Ber(p_x)`;
+/// - `p·n_b ≥ 1` (bucket was certain to be a candidate): first potential index
+///   via `B-Geo(p, n_b+1)` (possibly none);
+/// - `p·n_b < 1`: confirm the bucket *promising* with `Ber(p*)`
+///   (`p* = (1−(1−p)^{n_b})/(p·n_b)`, the type (ii) Bernoulli of Theorem 3.1),
+///   then locate the first potential index with `T-Geo(p, n_b)` (Theorem 1.3).
+///
+/// Each potential item `x` is accepted with `p_x/p = w(x)/2^{b+1}` exactly.
+pub fn extract_items<V: LevelView, R: RngCore>(
+    view: &V,
+    rng: &mut R,
+    w: &Ratio,
+    candidate_buckets: &[u16],
+) -> Vec<V::Id> {
+    let mut out = Vec::new();
+    for &bu in candidate_buckets {
+        let b = bu as usize;
+        let n_b = view.bucket_len(b) as u64;
+        debug_assert!(n_b > 0, "candidate bucket {b} is empty");
+        let pow = BigUint::pow2(b as u64 + 1);
+        // p = min(1, 2^{b+1}/W) = min(1, pow·W.den / W.num).
+        let p_num = pow.mul(w.den());
+        let clamped = p_num.cmp(w.num()) != Ordering::Less;
+        if clamped {
+            // p = 1: all items are potential; accept each with Ber(p_x).
+            for pos in 0..n_b {
+                let x = view.bucket_item(b, pos as usize);
+                if accept_plain(rng, &view.weight_big(x), w) {
+                    out.push(x);
+                }
+            }
+            continue;
+        }
+        let p = Ratio::new(p_num, w.num().clone());
+        // First potential index.
+        let p_times_n = p.mul_big(&BigUint::from_u64(n_b));
+        let mut k = if p_times_n.cmp_int(1) != Ordering::Less {
+            bgeo(rng, &p, n_b + 1)
+        } else {
+            let mut promising = PStarOracle::new(&p, n_b);
+            if !ber_oracle(rng, &mut promising) {
+                continue; // bucket rejected: contains no potential item
+            }
+            tgeo(rng, &p, n_b)
+        };
+        // Walk the remaining potential items with B-Geo strides.
+        while k <= n_b {
+            let x = view.bucket_item(b, (k - 1) as usize);
+            // Accept with p_x/p = w(x)/2^{b+1} (< 1 since w(x) < 2^{b+1}).
+            if ber_rational_parts(rng, &view.weight_big(x), &pow) {
+                out.push(x);
+            }
+            k += bgeo(rng, &p, n_b + 1);
+        }
+    }
+    out
+}
+
+/// Iterates the non-empty *significant* groups of a level and hands each to
+/// `handle`. Their count is O(1) (Lemma 4.2).
+fn for_significant_groups(
+    groups: &wordram::BitsetList,
+    th: &Thresholds,
+    mut handle: impl FnMut(usize),
+) {
+    let lo = (th.j_insig_max + 1).max(0) as usize;
+    if th.j_cert_min <= lo as i64 {
+        return;
+    }
+    let hi = ((th.j_cert_min - 1) as usize).min(groups.universe() - 1);
+    let mut count = 0;
+    for j in groups.range(lo, hi) {
+        count += 1;
+        debug_assert!(count <= 8, "more than O(1) significant groups");
+        handle(j);
+    }
+}
+
+/// One-level query on a level-2 node (Algorithm 1 with recursion into the
+/// final level). Returns sampled proxies = level-1 bucket indices.
+pub fn query_node<R: RngCore>(node: &Node, ctx: &mut QueryCtx<'_, R>) -> Vec<u16> {
+    debug_assert_eq!(node.level, 2);
+    let n = node.n_members;
+    if n == 0 {
+        return Vec::new();
+    }
+    let th = thresholds(ctx.w, n, node.group_width);
+    let p0 = Ratio::from_u128s(1, (n as u128) * (n as u128));
+    let mut out = query_insignificant(node, ctx.rng, ctx.w, th.i_insig_top, &p0);
+    out.extend(query_certain(node, th.i_cert_bottom));
+    let mut sig_groups: Vec<usize> = Vec::new();
+    for_significant_groups(&node.nonempty_groups, &th, |l| sig_groups.push(l));
+    for l in sig_groups {
+        let child = node.children[l].as_deref().expect("non-empty group without child");
+        let tz = query_final(child, ctx);
+        out.extend(extract_items(node, ctx.rng, ctx.w, &tz));
+    }
+    out
+}
+
+/// The final-level query (§4.4): insignificant + certain ranges plus the
+/// lookup-table-driven middle range of at most `K = O(log m)` buckets.
+/// Returns sampled proxies = level-2 bucket indices.
+pub fn query_final<R: RngCore>(node: &Node, ctx: &mut QueryCtx<'_, R>) -> Vec<u16> {
+    debug_assert_eq!(node.level, 3);
+    let n = node.n_members;
+    if n == 0 {
+        return Vec::new();
+    }
+    let m = ctx.table.modulus() as u64;
+    let m2 = m * m;
+    // i1 = largest index with 2^{i1+1}/W ≤ 2/m² ⟺ i1 = ⌊log2(2W/m²)⌋ − 1.
+    let scaled = Ratio::new(ctx.w.num().mul_u64(2), ctx.w.den().mul_u64(m2));
+    let i1 = scaled.floor_log2() - 1;
+    let i2 = ctx.w.ceil_log2();
+    let p0 = Ratio::from_u64s(2, m2);
+    let mut out = query_insignificant(node, ctx.rng, ctx.w, i1, &p0);
+    out.extend(query_certain(node, i2));
+
+    let k_len = i2 - i1 - 1;
+    if k_len <= 0 || i2 <= 0 {
+        // No middle range, or it lies entirely below bucket index 0.
+        return out;
+    }
+    let lo = i1 + 1; // first significant bucket index
+    let use_table =
+        ctx.final_mode == FinalLevelMode::Lookup && (k_len as usize) <= MAX_K && lo >= 0;
+    let mut candidates: Vec<u16> = Vec::new();
+    if use_table {
+        // Assemble the 4S configuration from the adapter (bucket sizes).
+        let mut config = vec![0u32; k_len as usize];
+        let mut any = false;
+        for (t, c) in config.iter_mut().enumerate() {
+            let idx = lo as usize + t;
+            if idx < node.buckets.len() {
+                *c = node.bucket_len(idx) as u32;
+                any |= *c > 0;
+            }
+        }
+        if !any {
+            return out;
+        }
+        debug_assert!(config.iter().all(|&c| c as u64 <= m), "bucket size exceeds m");
+        let r = ctx.table.sample(ctx.rng, &config);
+        #[allow(clippy::needless_range_loop)]
+        for t in 0..config.len() {
+            if (r >> t) & 1 == 0 || config[t] == 0 {
+                continue;
+            }
+            let idx = lo as usize + t;
+            // Accept the table-sampled bucket as a candidate with probability
+            // min(1, w_v/W) / (num_t/m²), where w_v = 2^{idx+1}·c_t.
+            let w_v = BigUint::from_u64(config[t] as u64).shl(idx as u64 + 1);
+            let num_t = ctx.table.slot_prob_num(t, config[t]);
+            let true_num = w_v.mul(ctx.w.den());
+            let true_den = ctx.w.num();
+            let (acc_num, acc_den) = if true_num.cmp(true_den) != Ordering::Less {
+                // true probability clamped to 1 ⇒ table prob is also 1.
+                debug_assert_eq!(num_t, m2);
+                (BigUint::one(), BigUint::one())
+            } else {
+                (true_num.mul_u64(m2), true_den.mul_u64(num_t))
+            };
+            debug_assert!(
+                acc_num.cmp(&acc_den) != Ordering::Greater,
+                "table majorization violated"
+            );
+            if ber_rational_parts(ctx.rng, &acc_num, &acc_den) {
+                candidates.push(idx as u16);
+            }
+        }
+    } else {
+        // Direct mode: one exact Bernoulli min(1, w_v/W) per significant bucket.
+        let hi = ((i2 - 1) as usize).min(node.buckets.len() - 1);
+        if lo.max(0) as usize <= hi {
+            for idx in node.nonempty_buckets.range(lo.max(0) as usize, hi) {
+                let c = node.bucket_len(idx) as u64;
+                let w_v = BigUint::from_u64(c).shl(idx as u64 + 1);
+                let num = w_v.mul(ctx.w.den());
+                if ber_rational_parts(ctx.rng, &num, ctx.w.num()) {
+                    candidates.push(idx as u16);
+                }
+            }
+        }
+    }
+    out.extend(extract_items(node, ctx.rng, ctx.w, &candidates));
+    out
+}
+
+/// Algorithm 1 at the root: the full PSS query on the real item set.
+pub fn query_level1<R: RngCore>(level1: &Level1, ctx: &mut QueryCtx<'_, R>) -> Vec<crate::ItemId> {
+    let n = level1.n_positive;
+    if n == 0 {
+        return Vec::new();
+    }
+    let th = thresholds(ctx.w, n, level1.group_width);
+    let p0 = Ratio::from_u128s(1, (n as u128) * (n as u128));
+    let mut out = query_insignificant(level1, ctx.rng, ctx.w, th.i_insig_top, &p0);
+    out.extend(query_certain(level1, th.i_cert_bottom));
+    let mut sig_groups: Vec<usize> = Vec::new();
+    for_significant_groups(&level1.nonempty_groups, &th, |j| sig_groups.push(j));
+    for j in sig_groups {
+        let child = level1.children[j].as_deref().expect("non-empty group without child");
+        let ty = query_node(child, ctx);
+        out.extend(extract_items(level1, ctx.rng, ctx.w, &ty));
+    }
+    out
+}

@@ -1,0 +1,282 @@
+//! [`DpssSampler`] — the public facade over the HALT structure (Theorem 1.1).
+
+use crate::item::ItemId;
+use crate::lookup::LookupTable;
+use crate::query::{query_level1, FinalLevelMode, QueryCtx};
+use crate::structure::Level1;
+use bignum::{BigUint, Ratio};
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+use wordram::bits::ceil_log2_u64;
+use wordram::SpaceUsage;
+
+/// Floor for the sizing parameter `n₀` so tiny sets get sane group widths and
+/// rebuilds don't thrash.
+const N0_FLOOR: usize = 16;
+
+/// Derives `(g₁, g₂)` from `n₀`: `g₁ = max(2, ⌈log2 n₀⌉)` (level-1 group
+/// width) and `g₂ = max(2, ⌈log2 g₁⌉)` (level-2 group width = the lookup
+/// modulus `m`).
+fn derive_widths(n0: usize) -> (u32, u32) {
+    let g1 = ceil_log2_u64(n0.max(2) as u64).max(2);
+    let g2 = ceil_log2_u64(g1 as u64).max(2);
+    (g1, g2)
+}
+
+/// Dynamic Parameterized Subset Sampling over integer-weighted items.
+///
+/// Implements the paper's Theorem 1.1 bounds: O(n) preprocessing
+/// ([`DpssSampler::from_weights`]), O(1) worst-case updates
+/// ([`DpssSampler::insert`] / [`DpssSampler::delete`], amortized across the
+/// standard global rebuilds of §4.5), O(1 + μ) expected query time
+/// ([`DpssSampler::query`]), and O(n) words of space at all times.
+///
+/// Every inclusion decision is made with exact rational arithmetic: for any
+/// parameters `(α, β)` the returned subset contains each item `x`
+/// independently with probability exactly
+/// `p_x(α,β) = min(w(x) / (α·Σw + β), 1)`.
+#[derive(Debug)]
+pub struct DpssSampler<R: RngCore = SmallRng> {
+    pub(crate) level1: Level1,
+    pub(crate) table: LookupTable,
+    pub(crate) rng: R,
+    pub(crate) n0: usize,
+    final_mode: FinalLevelMode,
+    rebuilds: u64,
+    rebuild_factor: usize,
+}
+
+impl DpssSampler<SmallRng> {
+    /// Creates an empty sampler with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        Self::with_rng(SmallRng::seed_from_u64(seed))
+    }
+
+    /// O(n) preprocessing: builds the sampler over `weights`, returning the
+    /// handle of each item in input order.
+    pub fn from_weights(weights: &[u64], seed: u64) -> (Self, Vec<ItemId>) {
+        let mut s = Self::with_capacity_rng(weights.len(), SmallRng::seed_from_u64(seed));
+        let ids = weights.iter().map(|&w| s.level1.insert(w)).collect();
+        (s, ids)
+    }
+}
+
+impl<R: RngCore> DpssSampler<R> {
+    /// Creates an empty sampler drawing randomness from `rng`.
+    pub fn with_rng(rng: R) -> Self {
+        Self::with_capacity_rng(0, rng)
+    }
+
+    /// Creates an empty sampler sized for `n` upcoming insertions.
+    pub fn with_capacity_rng(n: usize, rng: R) -> Self {
+        let n0 = n.max(N0_FLOOR);
+        let (g1, g2) = derive_widths(n0);
+        DpssSampler {
+            level1: Level1::new(g1, g2),
+            table: LookupTable::new(g2),
+            rng,
+            n0,
+            final_mode: FinalLevelMode::default(),
+            rebuilds: 0,
+            rebuild_factor: 2,
+        }
+    }
+
+    /// Number of items (including zero-weight items).
+    pub fn len(&self) -> usize {
+        self.level1.slab.len()
+    }
+
+    /// `true` iff no items are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Exact sum of all item weights.
+    pub fn total_weight(&self) -> u128 {
+        self.level1.total_weight
+    }
+
+    /// Weight of a live item (`None` for stale handles).
+    pub fn weight(&self, id: ItemId) -> Option<u64> {
+        self.level1.slab.weight(id)
+    }
+
+    /// `true` iff `id` refers to a live item.
+    pub fn contains(&self, id: ItemId) -> bool {
+        self.level1.slab.contains(id)
+    }
+
+    /// Iterates `(id, weight)` over live items (O(capacity)).
+    pub fn iter(&self) -> impl Iterator<Item = (ItemId, u64)> + '_ {
+        self.level1.slab.iter()
+    }
+
+    /// Selects the final-level strategy (ablation A1).
+    pub fn set_final_mode(&mut self, mode: FinalLevelMode) {
+        self.final_mode = mode;
+    }
+
+    /// Number of global rebuilds performed so far.
+    pub fn rebuild_count(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Sets the global-rebuild threshold factor `k ≥ 2`: rebuild when the
+    /// size leaves `[n₀/k, k·n₀]` (ablation A2; the paper uses `k = 2`).
+    pub fn set_rebuild_factor(&mut self, k: usize) {
+        assert!(k >= 2, "rebuild factor must be ≥ 2");
+        self.rebuild_factor = k;
+    }
+
+    /// Rows materialized in the lookup table so far (ablation A3).
+    pub fn lookup_rows_built(&self) -> u64 {
+        self.table.rows_built()
+    }
+
+    /// Eagerly materializes every lookup-table row of configuration dimension
+    /// `k` — the paper's O(n₀) preprocessing mode (ablation A3). Bounded to
+    /// small `(m+1)^k`; the default is lazy memoization.
+    pub fn eager_lookup(&mut self, k: usize) {
+        self.table.build_all(k);
+    }
+
+    /// Inserts an item with `weight` in O(1) (amortized across rebuilds).
+    pub fn insert(&mut self, weight: u64) -> ItemId {
+        let id = self.level1.insert(weight);
+        self.maybe_rebuild();
+        id
+    }
+
+    /// Deletes an item in O(1) (amortized); returns its weight.
+    pub fn delete(&mut self, id: ItemId) -> Option<u64> {
+        let w = self.level1.delete(id)?;
+        self.maybe_rebuild();
+        Some(w)
+    }
+
+    /// Changes a live item's weight in O(1) **preserving its handle** —
+    /// semantically a delete + insert (§4.5), but without invalidating `id`.
+    /// Returns the previous weight, or `None` for stale handles. The item
+    /// count is unchanged, so no rebuild can trigger.
+    pub fn set_weight(&mut self, id: ItemId, new_weight: u64) -> Option<u64> {
+        self.level1.set_weight(id, new_weight)
+    }
+
+    /// Insert without the global-rebuild check — used by
+    /// [`crate::DeamortizedDpss`], whose epoch machinery replaces rebuilds
+    /// entirely (its trigger band sits strictly inside the rebuild band, so
+    /// sizes never drift far enough to need one).
+    pub(crate) fn insert_frozen(&mut self, weight: u64) -> ItemId {
+        self.level1.insert(weight)
+    }
+
+    /// Delete without the global-rebuild check (see
+    /// [`DpssSampler::insert_frozen`]); essential while an epoch drains the
+    /// old half toward zero items.
+    pub(crate) fn delete_frozen(&mut self, id: ItemId) -> Option<u64> {
+        self.level1.delete(id)
+    }
+
+    fn maybe_rebuild(&mut self) {
+        let n = self.len().max(N0_FLOOR);
+        if n > self.n0 * self.rebuild_factor || n * self.rebuild_factor < self.n0 {
+            self.rebuild(n);
+        }
+    }
+
+    fn rebuild(&mut self, n0: usize) {
+        let (g1, g2) = derive_widths(n0);
+        let slab = std::mem::take(&mut self.level1.slab);
+        self.level1 = Level1::rebuild(slab, g1, g2);
+        if g2 != self.table.modulus() {
+            self.table = LookupTable::new(g2);
+        }
+        self.n0 = n0;
+        self.rebuilds += 1;
+    }
+
+    /// The parameterized total weight `W_S(α,β) = α·Σw + β`, exact.
+    pub fn param_weight(&self, alpha: &Ratio, beta: &Ratio) -> Ratio {
+        alpha.mul_big(&BigUint::from_u128(self.level1.total_weight)).add(beta)
+    }
+
+    /// Exact inclusion probability `p_x(α,β)` of a live item.
+    pub fn inclusion_prob(&self, id: ItemId, alpha: &Ratio, beta: &Ratio) -> Option<Ratio> {
+        let w = self.weight(id)?;
+        let total = self.param_weight(alpha, beta);
+        if total.is_zero() {
+            return Some(if w > 0 { Ratio::one() } else { Ratio::zero() });
+        }
+        Some(Ratio::new(BigUint::from_u64(w).mul(total.den()), total.num().clone()).min_one())
+    }
+
+    /// Expected sample size `μ_S(α,β) = Σ_x p_x(α,β)` (O(n); diagnostics).
+    pub fn expected_sample_size(&self, alpha: &Ratio, beta: &Ratio) -> f64 {
+        let total = self.param_weight(alpha, beta);
+        if total.is_zero() {
+            return self.level1.n_positive as f64;
+        }
+        let tf = total.to_f64_lossy();
+        self.iter()
+            .map(|(_, w)| if w == 0 { 0.0 } else { (w as f64 / tf).min(1.0) })
+            .sum()
+    }
+
+    /// Answers one PSS query with parameters `(α, β)` in O(1 + μ) expected
+    /// time: returns a subset containing each item `x` independently with
+    /// probability exactly `min(w(x)/W_S(α,β), 1)`.
+    ///
+    /// Convention for `W_S(α,β) = 0` (e.g. `α = β = 0`): every positive-weight
+    /// item has probability 1 (the limit of `w/W` as `W → 0+`) and zero-weight
+    /// items have probability 0.
+    pub fn query(&mut self, alpha: &Ratio, beta: &Ratio) -> Vec<ItemId> {
+        let w = self.param_weight(alpha, beta);
+        if w.is_zero() {
+            return crate::query::query_certain(&self.level1, 0);
+        }
+        let mut ctx = QueryCtx {
+            rng: &mut self.rng,
+            w: &w,
+            table: &mut self.table,
+            final_mode: self.final_mode,
+        };
+        query_level1(&self.level1, &mut ctx)
+    }
+
+    /// Convenience: query with machine-word rational parameters
+    /// `α = a.0/a.1`, `β = b.0/b.1`.
+    pub fn query_rational(&mut self, a: (u64, u64), b: (u64, u64)) -> Vec<ItemId> {
+        self.query(&Ratio::from_u64s(a.0, a.1), &Ratio::from_u64s(b.0, b.1))
+    }
+
+    /// Answers a PSS query against an externally supplied total weight `w`:
+    /// each item `x` is included independently with probability
+    /// `min(w(x)/w, 1)`. This is the `(0, W)` form the hierarchy uses
+    /// internally (§4.1); it also lets several samplers share one global `W`
+    /// (e.g. during de-amortized rebuild migration). `w = 0` follows the same
+    /// convention as [`DpssSampler::query`].
+    pub fn query_with_total(&mut self, w: &Ratio) -> Vec<ItemId> {
+        if w.is_zero() {
+            return crate::query::query_certain(&self.level1, 0);
+        }
+        let mut ctx = QueryCtx {
+            rng: &mut self.rng,
+            w,
+            table: &mut self.table,
+            final_mode: self.final_mode,
+        };
+        query_level1(&self.level1, &mut ctx)
+    }
+
+    /// Validates every structural invariant (test/debug hook; O(n)).
+    pub fn validate(&self) {
+        self.level1.validate();
+    }
+}
+
+impl<R: RngCore> SpaceUsage for DpssSampler<R> {
+    fn space_words(&self) -> usize {
+        self.level1.space_words() + self.table.space_words() + 6
+    }
+}

@@ -1,0 +1,583 @@
+//! The three-level sampling hierarchy of HALT (§4.1–§4.2, S10/S12 in DESIGN.md).
+//!
+//! - [`Level1`] is `BG-Str(S)`: real items bucketed by `⌊log2 w⌋`, buckets
+//!   grouped into windows of `g₁ = ⌈log2 n₀⌉` indices; each non-empty group `j`
+//!   owns a level-2 [`Node`] over the next-level item set `Y_j` (one proxy item
+//!   per non-empty level-1 bucket, weight `2^{i+1}·|B(i)|`).
+//! - A level-2 [`Node`] is `BG-Str(Y_j)` with group width `g₂ = ⌈log2 g₁⌉`;
+//!   each non-empty group `l` owns a level-3 [`Node`] over `Z_l`.
+//! - A level-3 [`Node`] is `BG-Str(Z_l)`; its buckets form the final-level
+//!   instance answered by the adapter + lookup table (§4.3–4.4).
+//!
+//! Every update cascades through at most two proxy delete+insert pairs per
+//! level (§4.5), i.e. O(1) worst-case pointer/bitmap operations, because all
+//! bucket/group indices live in universes bounded by ≈ 2·word-size and are
+//! maintained with the Fact 2.1 [`BitsetList`].
+
+use crate::item::{ItemId, Slab};
+use bignum::BigUint;
+use wordram::{BitsetList, SpaceUsage, U256};
+
+/// Level-1 bucket-index universe: weights are `< 2^64`.
+pub const L1_BUCKETS: usize = 64;
+/// Level-2 bucket-index universe: proxy weights are `< 2^64·2^63 = 2^127`.
+pub const L2_BUCKETS: usize = 128;
+/// Level-3 bucket-index universe: proxy weights are `< 2^127·2^7 = 2^134`.
+pub const L3_BUCKETS: usize = 160;
+
+/// A proxy item inside a [`Node`]: one per non-empty child bucket.
+#[derive(Clone, Debug)]
+pub struct Member {
+    /// Exact proxy weight `2^{i+1}·|B(i)|` of the child bucket it represents.
+    pub weight: U256,
+    /// Bucket of this node that currently holds the proxy.
+    pub bucket: u16,
+    /// Position inside that bucket's item vector.
+    pub pos: u32,
+}
+
+/// One `BG-Str` over proxy items (levels 2 and 3 of the hierarchy).
+#[derive(Debug)]
+pub struct Node {
+    /// 2 or 3.
+    pub level: u8,
+    /// Width of this node's groups in bucket indices (level 2 only).
+    pub group_width: u32,
+    /// `buckets[b]` lists child bucket indices whose proxies live in bucket `b`.
+    pub buckets: Vec<Vec<u16>>,
+    /// Non-empty bucket indices (Fact 2.1 structure).
+    pub nonempty_buckets: BitsetList,
+    /// Non-empty group indices (level 2 only).
+    pub nonempty_groups: BitsetList,
+    /// `members[child]` is the proxy for child bucket `child`, if non-empty.
+    pub members: Vec<Option<Member>>,
+    /// Number of live proxies.
+    pub n_members: usize,
+    /// Level-3 children, one per non-empty group (level 2 only).
+    pub children: Vec<Option<Box<Node>>>,
+}
+
+impl Node {
+    /// Creates an empty level-2 node (children are level-3 nodes).
+    pub fn new_level2(group_width: u32) -> Self {
+        debug_assert!(group_width >= 1);
+        let n_groups = L2_BUCKETS / group_width as usize + 1;
+        Node {
+            level: 2,
+            group_width,
+            buckets: vec![Vec::new(); L2_BUCKETS],
+            nonempty_buckets: BitsetList::new(L2_BUCKETS),
+            nonempty_groups: BitsetList::new(n_groups),
+            members: vec![None; L1_BUCKETS],
+            n_members: 0,
+            children: (0..n_groups).map(|_| None).collect(),
+        }
+    }
+
+    /// Creates an empty level-3 node (no grouping, no children).
+    pub fn new_level3() -> Self {
+        Node {
+            level: 3,
+            group_width: 0,
+            buckets: vec![Vec::new(); L3_BUCKETS],
+            nonempty_buckets: BitsetList::new(L3_BUCKETS),
+            nonempty_groups: BitsetList::new(1),
+            members: vec![None; L2_BUCKETS],
+            n_members: 0,
+            children: Vec::new(),
+        }
+    }
+
+    /// `true` iff group `l` has no non-empty bucket.
+    fn group_is_empty(&self, l: usize) -> bool {
+        let lo = l * self.group_width as usize;
+        let hi = lo + self.group_width as usize - 1;
+        match self.nonempty_buckets.succ(lo) {
+            Some(b) => b > hi,
+            None => true,
+        }
+    }
+
+    /// Inserts, moves, or removes the proxy for `child`; `weight = None`
+    /// removes it. Cascades the resulting bucket-count changes into this
+    /// node's own proxies one level down (level 2 → level 3).
+    pub fn set_member(&mut self, child: u16, weight: Option<U256>) {
+        let mut touched = [u16::MAX; 2];
+        // Remove the old proxy, if any.
+        if let Some(old) = self.members[child as usize].take() {
+            let b = old.bucket as usize;
+            let items = &mut self.buckets[b];
+            let last = items.len() - 1;
+            items.swap_remove(old.pos as usize);
+            if (old.pos as usize) < last {
+                let moved = items[old.pos as usize];
+                self.members[moved as usize].as_mut().unwrap().pos = old.pos;
+            }
+            if items.is_empty() {
+                self.nonempty_buckets.remove(b);
+            }
+            self.n_members -= 1;
+            touched[0] = old.bucket;
+        }
+        // Insert the new proxy, if any.
+        if let Some(w) = weight {
+            debug_assert!(!w.is_zero(), "proxy weight must be positive");
+            let b = w.floor_log2() as usize;
+            debug_assert!(b < self.buckets.len(), "bucket index {b} out of universe");
+            let pos = self.buckets[b].len() as u32;
+            self.buckets[b].push(child);
+            self.nonempty_buckets.insert(b);
+            self.members[child as usize] = Some(Member { weight: w, bucket: b as u16, pos });
+            self.n_members += 1;
+            if touched[0] != b as u16 {
+                touched[1] = b as u16;
+            }
+        }
+        // Cascade count changes of the touched buckets.
+        if self.level == 2 {
+            for &b in touched.iter().filter(|&&b| b != u16::MAX) {
+                self.cascade_bucket(b);
+            }
+        }
+        // Group bookkeeping (level 2 only; level 3 has no groups).
+        if self.level == 2 {
+            for &b in touched.iter().filter(|&&b| b != u16::MAX) {
+                let l = b as usize / self.group_width as usize;
+                if self.group_is_empty(l) {
+                    self.nonempty_groups.remove(l);
+                } else {
+                    self.nonempty_groups.insert(l);
+                }
+            }
+        }
+    }
+
+    /// Pushes the new count of own bucket `b` into the level-3 child of the
+    /// group containing `b`.
+    fn cascade_bucket(&mut self, b: u16) {
+        let l = b as usize / self.group_width as usize;
+        let count = self.buckets[b as usize].len() as u64;
+        let child = self.children[l].get_or_insert_with(|| Box::new(Node::new_level3()));
+        let weight = if count == 0 {
+            None
+        } else {
+            Some(
+                U256::from_u64(count)
+                    .checked_shl(b as u32 + 1)
+                    .expect("level-3 proxy weight overflow"),
+            )
+        };
+        child.set_member(b, weight);
+    }
+
+    /// Exact weight of the proxy for `child` (must exist).
+    pub fn member_weight(&self, child: u16) -> &U256 {
+        &self.members[child as usize].as_ref().unwrap().weight
+    }
+
+    /// Debug-only full-structure validation.
+    pub fn validate(&self) {
+        let mut seen = 0usize;
+        for b in 0..self.buckets.len() {
+            let items = &self.buckets[b];
+            assert_eq!(!items.is_empty(), self.nonempty_buckets.contains(b), "bucket {b} bitset");
+            for (pos, &child) in items.iter().enumerate() {
+                let m = self.members[child as usize]
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("bucket {b} holds ghost child {child}"));
+                assert_eq!(m.bucket as usize, b);
+                assert_eq!(m.pos as usize, pos);
+                assert_eq!(m.weight.floor_log2() as usize, b, "weight/bucket mismatch");
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, self.n_members);
+        if self.level == 2 {
+            let gw = self.group_width as usize;
+            for l in 0..self.nonempty_groups.universe() {
+                assert_eq!(
+                    !self.group_is_empty(l),
+                    self.nonempty_groups.contains(l),
+                    "group {l} bitset"
+                );
+            }
+            for (l, child) in self.children.iter().enumerate() {
+                let lo = l * gw;
+                let hi = (lo + gw).min(self.buckets.len());
+                if let Some(child) = child {
+                    child.validate();
+                    for b in lo..hi {
+                        let count = self.buckets[b].len() as u64;
+                        match (&child.members[b], count) {
+                            (None, 0) => {}
+                            (Some(m), c) if c > 0 => {
+                                let expect = U256::from_u64(c).checked_shl(b as u32 + 1).unwrap();
+                                assert_eq!(m.weight, expect, "level-3 proxy weight for bucket {b}");
+                            }
+                            (got, c) => panic!("bucket {b}: count {c} but proxy {got:?}"),
+                        }
+                    }
+                } else {
+                    for b in lo..hi {
+                        assert!(self.buckets[b].is_empty(), "bucket {b} non-empty but no child");
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl SpaceUsage for Node {
+    fn space_words(&self) -> usize {
+        let buckets: usize = self.buckets.iter().map(|b| b.capacity().div_ceil(4) + 3).sum();
+        let members = self.members.len() * 6;
+        let children: usize = self
+            .children
+            .iter()
+            .flatten()
+            .map(|c| c.space_words())
+            .sum();
+        buckets
+            + members
+            + children
+            + self.nonempty_buckets.space_words()
+            + self.nonempty_groups.space_words()
+            + 6
+    }
+}
+
+/// `BG-Str(S)`: the level-1 structure over the real item set.
+#[derive(Debug)]
+pub struct Level1 {
+    /// Item storage.
+    pub slab: Slab,
+    /// `buckets[i]` holds items with `2^i ≤ w < 2^{i+1}`.
+    pub buckets: Vec<Vec<ItemId>>,
+    /// Non-empty bucket indices.
+    pub nonempty_buckets: BitsetList,
+    /// Non-empty group indices.
+    pub nonempty_groups: BitsetList,
+    /// Group width `g₁ = ⌈log2 n₀⌉` (fixed until rebuild).
+    pub group_width: u32,
+    /// Level-2 children, one per non-empty group.
+    pub children: Vec<Option<Box<Node>>>,
+    /// Exact Σw over all live items.
+    pub total_weight: u128,
+    /// Number of items with positive weight (they live in buckets).
+    pub n_positive: usize,
+    /// Number of zero-weight items (never sampled).
+    pub n_zero: usize,
+    /// Level-2 group width `g₂` used when creating children.
+    pub l2_group_width: u32,
+}
+
+impl Level1 {
+    /// Creates an empty level-1 structure with group widths derived from `n0`.
+    pub fn new(group_width: u32, level2_group_width: u32) -> Self {
+        debug_assert!(group_width >= 1 && level2_group_width >= 1);
+        let n_groups = L1_BUCKETS / group_width as usize + 1;
+        Level1 {
+            slab: Slab::new(),
+            buckets: vec![Vec::new(); L1_BUCKETS],
+            nonempty_buckets: BitsetList::new(L1_BUCKETS),
+            nonempty_groups: BitsetList::new(n_groups),
+            group_width,
+            children: (0..n_groups).map(|_| None).collect(),
+            total_weight: 0,
+            n_positive: 0,
+            n_zero: 0,
+            l2_group_width: level2_group_width,
+        }
+    }
+
+    fn group_is_empty(&self, j: usize) -> bool {
+        let lo = j * self.group_width as usize;
+        let hi = lo + self.group_width as usize - 1;
+        match self.nonempty_buckets.succ(lo) {
+            Some(b) => b > hi,
+            None => true,
+        }
+    }
+
+    /// Inserts an item with `weight`, cascading in O(1); returns its handle.
+    pub fn insert(&mut self, weight: u64) -> ItemId {
+        let id = self.slab.insert(weight);
+        self.total_weight = self
+            .total_weight
+            .checked_add(weight as u128)
+            .expect("total weight exceeds 2^128 (Word RAM precondition)");
+        if weight == 0 {
+            self.n_zero += 1;
+            return id;
+        }
+        self.n_positive += 1;
+        let i = wordram::bits::floor_log2_u64(weight) as usize;
+        let pos = self.buckets[i].len() as u32;
+        self.buckets[i].push(id);
+        self.slab.set_bucket_pos(id, pos);
+        self.nonempty_buckets.insert(i);
+        self.cascade_bucket(i as u16);
+        let j = i / self.group_width as usize;
+        self.nonempty_groups.insert(j);
+        id
+    }
+
+    /// Deletes an item; returns its weight, or `None` for stale handles.
+    pub fn delete(&mut self, id: ItemId) -> Option<u64> {
+        let weight = self.slab.weight(id)?;
+        if weight == 0 {
+            self.slab.remove(id);
+            self.n_zero -= 1;
+            return Some(0);
+        }
+        let i = wordram::bits::floor_log2_u64(weight) as usize;
+        let pos = self.slab.bucket_pos(id) as usize;
+        self.slab.remove(id);
+        self.total_weight -= weight as u128;
+        self.n_positive -= 1;
+        let items = &mut self.buckets[i];
+        let last = items.len() - 1;
+        items.swap_remove(pos);
+        if pos < last {
+            let moved = items[pos];
+            self.slab.set_bucket_pos(moved, pos as u32);
+        }
+        if items.is_empty() {
+            self.nonempty_buckets.remove(i);
+        }
+        self.cascade_bucket(i as u16);
+        let j = i / self.group_width as usize;
+        if self.group_is_empty(j) {
+            self.nonempty_groups.remove(j);
+        }
+        Some(weight)
+    }
+
+    /// Changes a live item's weight in O(1), preserving its handle
+    /// (equivalent to delete + insert, §4.5, but without consuming the id).
+    /// Returns the old weight, or `None` for stale handles.
+    pub fn set_weight(&mut self, id: ItemId, new_w: u64) -> Option<u64> {
+        let old_w = self.slab.weight(id)?;
+        if old_w == new_w {
+            return Some(old_w);
+        }
+        self.total_weight = (self.total_weight - old_w as u128)
+            .checked_add(new_w as u128)
+            .expect("total weight exceeds 2^128 (Word RAM precondition)");
+        let old_bucket =
+            (old_w > 0).then(|| wordram::bits::floor_log2_u64(old_w) as usize);
+        let new_bucket =
+            (new_w > 0).then(|| wordram::bits::floor_log2_u64(new_w) as usize);
+        self.slab.set_weight(id, new_w);
+        if old_bucket == new_bucket {
+            // Same bucket (or both zero): proxy weights depend only on the
+            // bucket index and count, so nothing else moves.
+            return Some(old_w);
+        }
+        // Detach from the old bucket, if any.
+        if let Some(i) = old_bucket {
+            let pos = self.slab.bucket_pos(id) as usize;
+            let items = &mut self.buckets[i];
+            items.swap_remove(pos);
+            if pos < items.len() {
+                let moved = items[pos];
+                self.slab.set_bucket_pos(moved, pos as u32);
+            }
+            if items.is_empty() {
+                self.nonempty_buckets.remove(i);
+            }
+            self.cascade_bucket(i as u16);
+            let j = i / self.group_width as usize;
+            if self.group_is_empty(j) {
+                self.nonempty_groups.remove(j);
+            }
+            self.n_positive -= 1;
+        } else {
+            self.n_zero -= 1;
+        }
+        // Attach to the new bucket, if any.
+        if let Some(i) = new_bucket {
+            let pos = self.buckets[i].len() as u32;
+            self.buckets[i].push(id);
+            self.slab.set_bucket_pos(id, pos);
+            self.nonempty_buckets.insert(i);
+            self.cascade_bucket(i as u16);
+            self.nonempty_groups.insert(i / self.group_width as usize);
+            self.n_positive += 1;
+        } else {
+            self.n_zero += 1;
+        }
+        Some(old_w)
+    }
+
+    /// Pushes the new count of bucket `i` into the level-2 child of its group.
+    fn cascade_bucket(&mut self, i: u16) {
+        let j = i as usize / self.group_width as usize;
+        let count = self.buckets[i as usize].len() as u64;
+        let g2 = self.l2_group_width;
+        let child = self.children[j].get_or_insert_with(|| Box::new(Node::new_level2(g2)));
+        let weight = if count == 0 {
+            None
+        } else {
+            Some(
+                U256::from_u64(count)
+                    .checked_shl(i as u32 + 1)
+                    .expect("level-2 proxy weight overflow"),
+            )
+        };
+        child.set_member(i, weight);
+    }
+
+    /// Rebuilds the bucket/group hierarchy around an existing slab with new
+    /// group widths (global rebuilding, §4.5). Item handles are preserved.
+    /// O(n) time.
+    pub fn rebuild(slab: Slab, group_width: u32, level2_group_width: u32) -> Self {
+        let mut l1 = Level1::new(group_width, level2_group_width);
+        let items: Vec<(ItemId, u64)> = slab.iter().collect();
+        l1.slab = slab;
+        for (id, w) in items {
+            if w == 0 {
+                l1.n_zero += 1;
+                continue;
+            }
+            l1.n_positive += 1;
+            l1.total_weight += w as u128;
+            let i = wordram::bits::floor_log2_u64(w) as usize;
+            let pos = l1.buckets[i].len() as u32;
+            l1.buckets[i].push(id);
+            l1.slab.set_bucket_pos(id, pos);
+        }
+        // One cascade per non-empty bucket instead of per item.
+        for i in 0..L1_BUCKETS {
+            if !l1.buckets[i].is_empty() {
+                l1.nonempty_buckets.insert(i);
+                l1.nonempty_groups.insert(i / group_width as usize);
+                l1.cascade_bucket(i as u16);
+            }
+        }
+        l1
+    }
+
+    /// Debug-only full-structure validation (all three levels).
+    pub fn validate(&self) {
+        let mut total: u128 = 0;
+        let mut positive = 0usize;
+        let mut zero = 0usize;
+        for (id, w) in self.slab.iter() {
+            total += w as u128;
+            if w == 0 {
+                zero += 1;
+                continue;
+            }
+            positive += 1;
+            let i = wordram::bits::floor_log2_u64(w) as usize;
+            let pos = self.slab.bucket_pos(id) as usize;
+            assert_eq!(self.buckets[i].get(pos), Some(&id), "item {id:?} misplaced");
+        }
+        assert_eq!(total, self.total_weight);
+        assert_eq!(positive, self.n_positive);
+        assert_eq!(zero, self.n_zero);
+        let bucketed: usize = self.buckets.iter().map(Vec::len).sum();
+        assert_eq!(bucketed, self.n_positive);
+        for i in 0..L1_BUCKETS {
+            assert_eq!(!self.buckets[i].is_empty(), self.nonempty_buckets.contains(i));
+        }
+        for j in 0..self.nonempty_groups.universe() {
+            assert_eq!(!self.group_is_empty(j), self.nonempty_groups.contains(j));
+        }
+        let gw = self.group_width as usize;
+        for (j, child) in self.children.iter().enumerate() {
+            let lo = j * gw;
+            let hi = (lo + gw).min(L1_BUCKETS);
+            if let Some(child) = child {
+                child.validate();
+                for i in lo..hi {
+                    let count = self.buckets[i].len() as u64;
+                    match (&child.members[i], count) {
+                        (None, 0) => {}
+                        (Some(m), c) if c > 0 => {
+                            let expect = U256::from_u64(c).checked_shl(i as u32 + 1).unwrap();
+                            assert_eq!(m.weight, expect, "level-2 proxy weight for bucket {i}");
+                        }
+                        (got, c) => panic!("bucket {i}: count {c} but proxy {got:?}"),
+                    }
+                }
+            } else {
+                for i in lo..hi {
+                    assert!(self.buckets[i].is_empty());
+                }
+            }
+        }
+    }
+}
+
+impl SpaceUsage for Level1 {
+    fn space_words(&self) -> usize {
+        let buckets: usize = self.buckets.iter().map(|b| b.capacity() + 3).sum();
+        let children: usize = self.children.iter().flatten().map(|c| c.space_words()).sum();
+        self.slab.space_words()
+            + buckets
+            + children
+            + self.nonempty_buckets.space_words()
+            + self.nonempty_groups.space_words()
+            + 8
+    }
+}
+
+/// A read-only view shared by the query algorithms across levels
+/// (real items at level 1, proxies at levels 2–3).
+pub trait LevelView {
+    /// Item identifier at this level.
+    type Id: Copy + std::fmt::Debug;
+
+    /// Number of items at this level.
+    fn n_items(&self) -> usize;
+    /// Non-empty bucket index set.
+    fn nonempty(&self) -> &BitsetList;
+    /// Number of items in bucket `b`.
+    fn bucket_len(&self, b: usize) -> usize;
+    /// The item at position `pos` of bucket `b`.
+    fn bucket_item(&self, b: usize, pos: usize) -> Self::Id;
+    /// Exact weight of an item as a [`BigUint`].
+    fn weight_big(&self, id: Self::Id) -> BigUint;
+}
+
+impl LevelView for Level1 {
+    type Id = ItemId;
+
+    fn n_items(&self) -> usize {
+        self.n_positive
+    }
+    fn nonempty(&self) -> &BitsetList {
+        &self.nonempty_buckets
+    }
+    fn bucket_len(&self, b: usize) -> usize {
+        self.buckets[b].len()
+    }
+    fn bucket_item(&self, b: usize, pos: usize) -> ItemId {
+        self.buckets[b][pos]
+    }
+    fn weight_big(&self, id: ItemId) -> BigUint {
+        BigUint::from_u64(self.slab.weight(id).expect("live item"))
+    }
+}
+
+impl LevelView for Node {
+    type Id = u16;
+
+    fn n_items(&self) -> usize {
+        self.n_members
+    }
+    fn nonempty(&self) -> &BitsetList {
+        &self.nonempty_buckets
+    }
+    fn bucket_len(&self, b: usize) -> usize {
+        self.buckets[b].len()
+    }
+    fn bucket_item(&self, b: usize, pos: usize) -> u16 {
+        self.buckets[b][pos]
+    }
+    fn weight_big(&self, id: u16) -> BigUint {
+        self.members[id as usize].as_ref().expect("live member").weight.to_biguint()
+    }
+}

@@ -1,0 +1,45 @@
+//! Property-based tests: the Theorem 1.2 reduction must sort *any* input.
+
+use floatdpss::{sort_via_dpss, ExpDpss};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn sorts_arbitrary_vectors(mut vals in proptest::collection::vec(any::<u64>(), 0..120),
+                               seed in any::<u64>()) {
+        let ours = sort_via_dpss(&vals, seed);
+        vals.sort_unstable();
+        prop_assert_eq!(ours, vals);
+    }
+
+    #[test]
+    fn sorts_clustered_exponents(mut vals in proptest::collection::vec(0u64..32, 0..100),
+                                 seed in any::<u64>()) {
+        // Heavy duplication within the query walk window.
+        let ours = sort_via_dpss(&vals, seed);
+        vals.sort_unstable();
+        prop_assert_eq!(ours, vals);
+    }
+
+    #[test]
+    fn deletion_only_bookkeeping(exps in proptest::collection::vec(any::<u64>(), 1..60),
+                                 order in proptest::collection::vec(any::<usize>(), 1..60)) {
+        let (mut s, mut handles) = ExpDpss::from_exponents(&exps, 1);
+        let mut expected: Vec<u64> = exps.clone();
+        for &k in &order {
+            if handles.is_empty() { break; }
+            let i = k % handles.len();
+            let h = handles.swap_remove(i);
+            let e = s.delete(h).unwrap();
+            let j = expected.iter().position(|&x| x == e).unwrap();
+            expected.swap_remove(j);
+            prop_assert_eq!(s.len(), expected.len());
+        }
+        // Remaining handles still resolve to live exponents.
+        for &h in &handles {
+            prop_assert!(s.exponent(h).is_some());
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! The lazy-approximation Bernoulli framework (Fact 2).
+//!
+//! For a probability `p` that is too expensive to evaluate exactly — e.g.
+//! `p* = (1-(1-q)^n)/(nq)`, whose exact numerator takes Θ(n) words — the
+//! Bringmann–Friedrich / Flajolet–Saheb framework samples `Ber(p)` exactly in
+//! O(1) *expected* time given only an oracle that returns certified *i*-bit
+//! approximations (Definition 3.2) in poly(i) time.
+//!
+//! The sampler compares a lazily-extended uniform bit prefix `U_i` against a
+//! certified bracket `[p_lo, p_hi]` of width ≤ 2^{-(i+2)}: with probability
+//! `1 − O(2^{-i})` the comparison resolves; otherwise the prefix and precision
+//! are doubled. The expected work is `Σ_i 2^{-i}·poly(i) = O(1)`.
+
+use bignum::{BigUint, Dyadic, Interval};
+use rand::RngCore;
+use std::cmp::Ordering;
+
+/// An oracle producing certified brackets of a fixed probability `p ∈ [0, 1]`.
+pub trait ProbOracle {
+    /// Returns an [`Interval`] `[lo, hi]` with `lo ≤ p ≤ hi` and
+    /// `hi − lo ≤ 2^{-bits}`, computed in time polynomial in `bits`.
+    fn bracket(&mut self, bits: u64) -> Interval;
+}
+
+/// Draws `Ber(p)` exactly, where `p` is described by `oracle`.
+///
+/// Exactness: the returned bit equals `[U < p]` for a uniform real `U ∈ [0,1)`
+/// revealed bit-by-bit; the oracle's brackets only gate *when* the comparison
+/// can be resolved, never its outcome.
+pub fn ber_oracle<R: RngCore>(rng: &mut R, oracle: &mut dyn ProbOracle) -> bool {
+    let mut bits: u64 = 64;
+    let mut u = BigUint::from_u64(rng.next_u64());
+    loop {
+        let br = oracle.bracket(bits + 2);
+        let e = -(bits as i64);
+        // U ∈ [u·2^e, (u+1)·2^e).
+        let u_hi = Dyadic::new(u.add_u64(1), e);
+        if u_hi.cmp(br.lo()) != Ordering::Greater {
+            return true; // U < u_hi ≤ p_lo ≤ p
+        }
+        let u_lo = Dyadic::new(u.clone(), e);
+        if u_lo.cmp(br.hi()) != Ordering::Less {
+            return false; // U ≥ u_lo ≥ p_hi ≥ p
+        }
+        // Unresolved (probability ≤ 2^{-bits+1}): double the prefix.
+        let extend = bits / 64;
+        for _ in 0..extend {
+            u = u.shl(64).add_u64(rng.next_u64());
+        }
+        bits *= 2;
+    }
+}
+
+/// Convenience: an oracle for an exactly-known rational `num/den`
+/// (used in tests and as a reference implementation).
+#[derive(Debug, Clone)]
+pub struct RatioOracle {
+    num: BigUint,
+    den: BigUint,
+}
+
+impl RatioOracle {
+    /// Oracle for `num/den`; panics if `den == 0`.
+    pub fn new(num: BigUint, den: BigUint) -> Self {
+        assert!(!den.is_zero());
+        RatioOracle { num, den }
+    }
+}
+
+impl ProbOracle for RatioOracle {
+    fn bracket(&mut self, bits: u64) -> Interval {
+        Interval::from_ratio(&self.num, &self.den, bits + 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn oracle_sampler_matches_rational_sampler() {
+        // Ber(1/3) through the lazy framework must match the direct frequency.
+        let mut rng = SmallRng::seed_from_u64(21);
+        let mut oracle = RatioOracle::new(BigUint::from_u64(1), BigUint::from_u64(3));
+        let n = 120_000;
+        let mut hits = 0;
+        for _ in 0..n {
+            if ber_oracle(&mut rng, &mut oracle) {
+                hits += 1;
+            }
+        }
+        let f = hits as f64 / n as f64;
+        assert!((f - 1.0 / 3.0).abs() < 0.007, "freq={f}");
+    }
+
+    #[test]
+    fn extreme_probabilities() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut zero = RatioOracle::new(BigUint::zero(), BigUint::one());
+        let mut one = RatioOracle::new(BigUint::one(), BigUint::one());
+        for _ in 0..200 {
+            assert!(!ber_oracle(&mut rng, &mut zero));
+            assert!(ber_oracle(&mut rng, &mut one));
+        }
+    }
+
+    #[test]
+    fn tiny_probability_rarely_fires() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut tiny = RatioOracle::new(BigUint::one(), BigUint::pow2(40));
+        let mut hits = 0;
+        for _ in 0..50_000 {
+            if ber_oracle(&mut rng, &mut tiny) {
+                hits += 1;
+            }
+        }
+        assert_eq!(hits, 0, "p = 2^-40 should essentially never fire in 5·10^4 trials");
+    }
+
+    #[test]
+    fn word_consumption_constant() {
+        use crate::rng::CountingRng;
+        let mut rng = CountingRng::new(SmallRng::seed_from_u64(8));
+        let mut oracle = RatioOracle::new(BigUint::from_u64(355), BigUint::from_u64(1130));
+        let n = 20_000u64;
+        for _ in 0..n {
+            let _ = ber_oracle(&mut rng, &mut oracle);
+        }
+        let per = rng.words_consumed() as f64 / n as f64;
+        assert!(per < 1.2, "words/trial = {per}");
+    }
+}

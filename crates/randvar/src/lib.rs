@@ -1,0 +1,46 @@
+//! # randvar — exact random variate generation in the Word RAM model
+//!
+//! Implements §3 of *Optimal Dynamic Parameterized Subset Sampling* (PODS
+//! 2024): every random variate the HALT data structure consumes, generated
+//! **exactly** (no floating-point approximation anywhere in the sampling path)
+//! in O(1) expected time:
+//!
+//! - [`ber_rational`] / [`ber_rational_parts`]: `Ber(a/b)` for exact rationals
+//!   (Fact 1, type (i));
+//! - [`ber_oracle`] + [`ProbOracle`]: the lazy-approximation framework (Fact 2)
+//!   with the concrete oracles [`PStarOracle`] (type (ii)),
+//!   [`HalfRecipPStarOracle`] (type (iii)) — Theorem 3.1 — and
+//!   [`PowOneMinusOracle`] for `(1−p)^k`;
+//! - [`bgeo`]: bounded geometric `B-Geo(p, n)` (Fact 3);
+//! - [`tgeo`]: truncated geometric `T-Geo(p, n)` (**Theorem 1.3**);
+//! - [`binomial()`]: exact `Binomial(n, p)` in O(1 + n·p) expected time via
+//!   `B-Geo` skipping (the static equal-probability subset-sampling
+//!   primitive);
+//! - [`naive`]: the linear-scan and `f64`-inversion comparators the E6/E8
+//!   benches race against;
+//! - [`CountingRng`] and [`stats`]: randomness accounting and a full
+//!   goodness-of-fit framework (χ² with exact p-values via regularized
+//!   incomplete gamma, Kolmogorov–Smirnov, binomial z) for the exactness
+//!   experiments (V2, E6, E8).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bernoulli;
+mod bgeo;
+pub mod binomial;
+mod lazy;
+mod oracles;
+pub mod naive;
+mod rng;
+pub mod stats;
+mod tgeo;
+
+pub use bernoulli::{ber_rational, ber_rational_parts, ber_u128, ber_u64};
+pub use bgeo::{ber_pow_one_minus, bgeo};
+pub use binomial::{binomial, binomial_positions};
+pub use lazy::{ber_oracle, ProbOracle, RatioOracle};
+pub use oracles::{HalfRecipPStarOracle, PStarOracle, PowOneMinusOracle};
+pub use naive::{bgeo_naive_scan, geo_f64, tgeo_inversion_f64, tgeo_naive_scan};
+pub use rng::{uniform_below, uniform_below_u128, CountingRng};
+pub use tgeo::{tgeo, tgeo_paper_literal};

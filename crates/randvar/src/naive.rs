@@ -1,0 +1,166 @@
+//! Naive reference generators for the E6/E8 benchmark comparisons.
+//!
+//! These are *deliberately* the methods the paper's algorithms beat (or, in
+//! the inversion case, the inexact shortcut everyone reaches for first):
+//!
+//! - [`tgeo_naive_scan`]: flip `Ber(p)` left-to-right, restart when all `n`
+//!   fail — exact, but Θ(n·/(1−(1−p)^n)) expected time (unbounded as `p → 0`);
+//! - [`bgeo_naive_scan`]: same linear scan for `B-Geo(p, n)`;
+//! - [`tgeo_inversion_f64`]: closed-form inversion with `f64` logs — O(1) but
+//!   *inexact* (log/rounding bias, catastrophically so for tiny `p` where
+//!   `1−p` rounds to 1);
+//! - [`geo_f64`]: the textbook `⌈ln U / ln(1−p)⌉` geometric.
+
+use bignum::Ratio;
+use rand::Rng;
+use rand::RngCore;
+
+use crate::bernoulli::ber_rational;
+
+/// Exact `T-Geo(p, n)` by restart-scanning: flips `Ber(p)` for indices
+/// `1..=n`, returns the first success, restarts if none. Expected time
+/// `Θ(min(n, 1/p) / (1 − (1−p)^n))` — the baseline `tgeo` beats.
+pub fn tgeo_naive_scan<R: RngCore>(rng: &mut R, p: &Ratio, n: u64) -> u64 {
+    assert!(n >= 1 && !p.is_zero());
+    loop {
+        for i in 1..=n {
+            if ber_rational(rng, p) {
+                return i;
+            }
+        }
+    }
+}
+
+/// Exact `B-Geo(p, n)` by linear scanning: first success index, or `n` if the
+/// first `n − 1` flips all fail.
+pub fn bgeo_naive_scan<R: RngCore>(rng: &mut R, p: &Ratio, n: u64) -> u64 {
+    assert!(n >= 1 && !p.is_zero());
+    for i in 1..n {
+        if ber_rational(rng, p) {
+            return i;
+        }
+    }
+    n
+}
+
+/// Inexact `T-Geo(p, n)` by `f64` inversion:
+/// `i = 1 + ⌊ln(1 − U·(1−(1−p)^n)) / ln(1−p)⌋` for `U ~ U(0,1)`.
+///
+/// O(1), but every step (the `powi`, the `ln`s, the division) rounds; for
+/// `p ≲ 2^-40` the computation degenerates entirely (`1−p == 1.0` in `f64`).
+/// The E6 experiment quantifies the bias.
+pub fn tgeo_inversion_f64<R: RngCore>(rng: &mut R, p_f: f64, n: u64) -> u64 {
+    assert!(n >= 1 && p_f > 0.0 && p_f < 1.0);
+    let q = 1.0 - p_f;
+    if q >= 1.0 {
+        // p underflowed: the inversion formula is meaningless; degenerate to
+        // uniform (documented failure mode of the f64 shortcut).
+        return rng.gen_range(1..=n);
+    }
+    let tail = 1.0 - q.powi(n.min(i32::MAX as u64) as i32);
+    let u: f64 = rng.gen::<f64>() * tail;
+    let i = 1 + ((1.0 - u).ln() / q.ln()).floor() as i64;
+    (i.max(1) as u64).min(n)
+}
+
+/// Textbook `f64` geometric: `⌈ln U / ln(1−p)⌉`, clamped to `[1, cap]`.
+pub fn geo_f64<R: RngCore>(rng: &mut R, p_f: f64, cap: u64) -> u64 {
+    assert!(p_f > 0.0 && p_f < 1.0 && cap >= 1);
+    let u: f64 = rng.gen::<f64>();
+    let g = (u.ln() / (1.0 - p_f).ln()).ceil() as i64;
+    (g.max(1) as u64).min(cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::chi_square_test;
+    use crate::tgeo::tgeo;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn tgeo_pmf(p: f64, n: u64) -> Vec<f64> {
+        let denom = 1.0 - (1.0 - p).powi(n as i32);
+        (1..=n).map(|i| p * (1.0 - p).powi(i as i32 - 1) / denom).collect()
+    }
+
+    #[test]
+    fn naive_scan_matches_exact_tgeo_distribution() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let p = Ratio::from_u64s(1, 5);
+        let n = 8u64;
+        let trials = 60_000u64;
+        let mut naive = vec![0u64; n as usize];
+        let mut fast = vec![0u64; n as usize];
+        for _ in 0..trials {
+            naive[(tgeo_naive_scan(&mut rng, &p, n) - 1) as usize] += 1;
+            fast[(tgeo(&mut rng, &p, n) - 1) as usize] += 1;
+        }
+        let pmf = tgeo_pmf(0.2, n);
+        let rn = chi_square_test(&naive, &pmf, trials);
+        let rf = chi_square_test(&fast, &pmf, trials);
+        assert!(rn.p_value > 1e-4, "naive scan off: {rn:?}");
+        assert!(rf.p_value > 1e-4, "fast tgeo off: {rf:?}");
+    }
+
+    #[test]
+    fn bgeo_naive_scan_tail_mass() {
+        // B-Geo(1/2, 3): P[1]=1/2, P[2]=1/4, P[3]=1/4 (tail absorbs).
+        let mut rng = SmallRng::seed_from_u64(2);
+        let p = Ratio::from_u64s(1, 2);
+        let trials = 40_000u64;
+        let mut counts = [0u64; 3];
+        for _ in 0..trials {
+            counts[(bgeo_naive_scan(&mut rng, &p, 3) - 1) as usize] += 1;
+        }
+        let r = chi_square_test(&counts, &[0.5, 0.25, 0.25], trials);
+        assert!(r.p_value > 1e-4, "{r:?}");
+    }
+
+    #[test]
+    fn inversion_close_for_moderate_p() {
+        // For comfortable f64 parameters the inversion is *approximately*
+        // right — the point is it degrades, not that it always fails.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 6u64;
+        let trials = 50_000u64;
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..trials {
+            counts[(tgeo_inversion_f64(&mut rng, 0.3, n) - 1) as usize] += 1;
+        }
+        let r = chi_square_test(&counts, &tgeo_pmf(0.3, n), trials);
+        assert!(r.p_value > 1e-6, "inversion grossly off at p=0.3: {r:?}");
+    }
+
+    #[test]
+    fn inversion_degenerates_for_tiny_p() {
+        // p = 2^-60: 1−p rounds to 1.0 in f64 and the shortcut falls back to
+        // uniform — confirm the documented failure mode fires.
+        let mut rng = SmallRng::seed_from_u64(4);
+        let p = (0.5f64).powi(60);
+        for _ in 0..100 {
+            let v = tgeo_inversion_f64(&mut rng, p, 10);
+            assert!((1..=10).contains(&v));
+        }
+    }
+
+    #[test]
+    fn geo_f64_mean_roughly_one_over_p() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let trials = 50_000;
+        let sum: u64 = (0..trials).map(|_| geo_f64(&mut rng, 0.25, 1 << 30)).sum();
+        let mean = sum as f64 / trials as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn all_generators_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let p = Ratio::from_u64s(1, 3);
+        for _ in 0..500 {
+            assert!((1..=7).contains(&tgeo_naive_scan(&mut rng, &p, 7)));
+            assert!((1..=7).contains(&bgeo_naive_scan(&mut rng, &p, 7)));
+            assert!((1..=7).contains(&tgeo_inversion_f64(&mut rng, 1.0 / 3.0, 7)));
+        }
+    }
+}

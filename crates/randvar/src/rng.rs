@@ -1,0 +1,164 @@
+//! Randomness plumbing for the Word RAM model.
+//!
+//! The model assumes "a uniformly random word of d bits can be generated in
+//! O(1) time" (§2.1). We draw words from any [`rand::RngCore`];
+//! [`CountingRng`] additionally counts consumed words, which the E8 experiment
+//! uses to verify that each variate consumes O(1) random words in expectation.
+
+use rand::RngCore;
+
+/// An [`RngCore`] adaptor counting the number of 64-bit words drawn.
+#[derive(Debug)]
+pub struct CountingRng<R> {
+    inner: R,
+    words: u64,
+}
+
+impl<R: RngCore> CountingRng<R> {
+    /// Wraps `inner`, starting the counter at zero.
+    pub fn new(inner: R) -> Self {
+        CountingRng { inner, words: 0 }
+    }
+
+    /// Number of 64-bit words drawn so far.
+    pub fn words_consumed(&self) -> u64 {
+        self.words
+    }
+
+    /// Resets the counter.
+    pub fn reset_count(&mut self) {
+        self.words = 0;
+    }
+
+    /// Unwraps the inner RNG.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: RngCore> RngCore for CountingRng<R> {
+    fn next_u32(&mut self) -> u32 {
+        self.next_u64() as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.words += 1;
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.words += dest.len().div_ceil(8) as u64;
+        self.inner.fill_bytes(dest);
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// Uniform integer in `[0, n)` by masked rejection — exact, O(1) expected
+/// words. Panics if `n == 0`.
+pub fn uniform_below<R: RngCore>(rng: &mut R, n: u64) -> u64 {
+    assert!(n > 0, "uniform_below(0)");
+    if n == 1 {
+        return 0;
+    }
+    if n.is_power_of_two() {
+        return rng.next_u64() & (n - 1);
+    }
+    // For n above 2^63 the next power of two (2^64) does not fit in u64;
+    // rejection against the full word is correct and still O(1) expected.
+    let mask = if n > 1 << 63 { u64::MAX } else { n.next_power_of_two() - 1 };
+    loop {
+        let v = rng.next_u64() & mask;
+        if v < n {
+            return v;
+        }
+    }
+}
+
+/// Uniform integer in `[0, n)` for 128-bit `n` by masked rejection.
+pub fn uniform_below_u128<R: RngCore>(rng: &mut R, n: u128) -> u128 {
+    assert!(n > 0, "uniform_below_u128(0)");
+    if n == 1 {
+        return 0;
+    }
+    let bits = 128 - (n - 1).leading_zeros();
+    loop {
+        let mut v = rng.next_u64() as u128;
+        if bits > 64 {
+            v |= (rng.next_u64() as u128) << 64;
+        }
+        v &= if bits == 128 { u128::MAX } else { (1u128 << bits) - 1 };
+        if v < n {
+            return v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn counting_counts() {
+        let mut rng = CountingRng::new(SmallRng::seed_from_u64(1));
+        let _ = rng.next_u64();
+        let _ = rng.next_u64();
+        assert_eq!(rng.words_consumed(), 2);
+        rng.reset_count();
+        assert_eq!(rng.words_consumed(), 0);
+    }
+
+    #[test]
+    fn uniform_below_in_range_and_covers() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = uniform_below(&mut rng, 10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "all residues should occur");
+        assert_eq!(uniform_below(&mut rng, 1), 0);
+    }
+
+    #[test]
+    fn uniform_below_unbiased_small() {
+        // Frequency check for n = 6 over 60k draws: each cell ≈ 10000 ± 5σ
+        // (σ ≈ 91).
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut counts = [0u32; 6];
+        for _ in 0..60_000 {
+            counts[uniform_below(&mut rng, 6) as usize] += 1;
+        }
+        for c in counts {
+            assert!((c as i64 - 10_000).abs() < 460, "count {c}");
+        }
+    }
+
+    #[test]
+    fn uniform_below_huge_n_regression() {
+        // n just above 2^63 used to overflow next_power_of_two (found by
+        // proptest); must return values < n with full-word rejection.
+        let mut rng = SmallRng::seed_from_u64(9);
+        for n in [(1u64 << 63) + 1, u64::MAX, u64::MAX - 1] {
+            for _ in 0..50 {
+                assert!(uniform_below(&mut rng, n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_below_u128_range() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = (1u128 << 100) + 12345;
+        for _ in 0..100 {
+            assert!(uniform_below_u128(&mut rng, n) < n);
+        }
+        assert_eq!(uniform_below_u128(&mut rng, 1), 0);
+    }
+}

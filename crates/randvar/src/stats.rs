@@ -1,0 +1,349 @@
+//! Statistical test helpers shared by the exactness tests (V1/V2 experiments).
+//!
+//! Everything here is *test-side* machinery — `f64` is fine (the sampling
+//! paths themselves never touch floating point). The module provides:
+//!
+//! - Pearson χ² with sparse-tail pooling, degrees of freedom, and an exact
+//!   p-value via the regularized incomplete gamma function;
+//! - one-sample Kolmogorov–Smirnov against an arbitrary CDF (for uniformity
+//!   checks of the word-RAM `uniform_below` primitive);
+//! - binomial z-scores for single-marginal checks.
+
+/// Pearson χ² statistic of `observed` counts against cell probabilities
+/// `probs` (which must sum to ≈ 1) for `trials` total draws.
+///
+/// Cells with expected count below 5 are pooled into their left neighbour, the
+/// standard validity fix for sparse tails.
+pub fn chi_square(observed: &[u64], probs: &[f64], trials: u64) -> f64 {
+    chi_square_with_df(observed, probs, trials).0
+}
+
+/// As [`chi_square`], but also returns the post-pooling degrees of freedom
+/// (`pooled_cells − 1`, at least 1).
+pub fn chi_square_with_df(observed: &[u64], probs: &[f64], trials: u64) -> (f64, u64) {
+    assert_eq!(observed.len(), probs.len());
+    let t = trials as f64;
+    let mut stat = 0.0;
+    let mut cells = 0u64;
+    let mut pool_obs = 0.0;
+    let mut pool_exp = 0.0;
+    for (&o, &p) in observed.iter().zip(probs) {
+        pool_obs += o as f64;
+        pool_exp += p * t;
+        if pool_exp >= 5.0 {
+            let d = pool_obs - pool_exp;
+            stat += d * d / pool_exp;
+            cells += 1;
+            pool_obs = 0.0;
+            pool_exp = 0.0;
+        }
+    }
+    if pool_exp > 0.0 {
+        let d = pool_obs - pool_exp;
+        stat += d * d / pool_exp;
+        cells += 1;
+    }
+    (stat, cells.saturating_sub(1).max(1))
+}
+
+/// Outcome of a χ² goodness-of-fit test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquareResult {
+    /// The Pearson statistic after tail pooling.
+    pub stat: f64,
+    /// Post-pooling degrees of freedom.
+    pub df: u64,
+    /// `P[χ²_df ≥ stat]` — small values reject the null.
+    pub p_value: f64,
+}
+
+/// Full χ² goodness-of-fit test with p-value.
+pub fn chi_square_test(observed: &[u64], probs: &[f64], trials: u64) -> ChiSquareResult {
+    let (stat, df) = chi_square_with_df(observed, probs, trials);
+    ChiSquareResult { stat, df, p_value: chi_square_sf(stat, df) }
+}
+
+/// Survival function of the χ² distribution with `df` degrees of freedom:
+/// `P[χ²_df ≥ x] = Q(df/2, x/2)` (regularized upper incomplete gamma).
+pub fn chi_square_sf(x: f64, df: u64) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    gamma_q(df as f64 / 2.0, x / 2.0)
+}
+
+/// Two-sided binomial z-score of `hits` successes in `trials` draws against
+/// success probability `p`.
+pub fn binomial_z(hits: u64, trials: u64, p: f64) -> f64 {
+    let n = trials as f64;
+    let sigma = (p * (1.0 - p) / n).sqrt();
+    if sigma == 0.0 {
+        return 0.0;
+    }
+    (hits as f64 / n - p) / sigma
+}
+
+/// One-sample Kolmogorov–Smirnov statistic of `samples` against the CDF
+/// `cdf`. Sorts a copy of the samples; `O(n log n)`.
+pub fn ks_statistic(samples: &[f64], cdf: impl Fn(f64) -> f64) -> f64 {
+    assert!(!samples.is_empty(), "KS needs at least one sample");
+    let mut s = samples.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    let n = s.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in s.iter().enumerate() {
+        let f = cdf(x);
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    d
+}
+
+/// Asymptotic p-value of the KS statistic `d` for sample size `n`
+/// (Kolmogorov's series; accurate for `n ≳ 35`).
+pub fn ks_p_value(d: f64, n: usize) -> f64 {
+    let en = (n as f64).sqrt();
+    let lambda = (en + 0.12 + 0.11 / en) * d;
+    if lambda < 1e-9 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for j in 1..=100 {
+        let term = sign * 2.0 * (-2.0 * lambda * lambda * (j as f64) * (j as f64)).exp();
+        sum += term;
+        if term.abs() < 1e-12 {
+            break;
+        }
+        sign = -sign;
+    }
+    sum.clamp(0.0, 1.0)
+}
+
+// ---------------------------------------------------------------------------
+// Regularized incomplete gamma (Numerical-Recipes-style gammp/gammq).
+// ---------------------------------------------------------------------------
+
+/// `ln Γ(x)` by the Lanczos approximation (g = 7, 9 coefficients; accurate to
+/// ~1e-13 for x > 0).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma domain");
+    const G: f64 = 7.0;
+    const C: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection: Γ(x)Γ(1−x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = C[0];
+    let t = x + G + 0.5;
+    for (i, &c) in C.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized lower incomplete gamma `P(a, x) = γ(a,x)/Γ(a)`.
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "gamma_p domain");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_p_series(a, x)
+    } else {
+        1.0 - gamma_q_contfrac(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma `Q(a, x) = 1 − P(a, x)`.
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "gamma_q domain");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_contfrac(a, x)
+    }
+}
+
+/// Series representation of `P(a, x)`, converging fast for `x < a + 1`.
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 1e-15 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Lentz continued fraction for `Q(a, x)`, converging fast for `x ≥ a + 1`.
+fn gamma_q_contfrac(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    h * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chi_square_zero_for_perfect_fit() {
+        let probs = [0.25, 0.25, 0.5];
+        let obs = [250u64, 250, 500];
+        assert!(chi_square(&obs, &probs, 1000) < 1e-9);
+    }
+
+    #[test]
+    fn chi_square_large_for_bad_fit() {
+        let probs = [0.5, 0.5];
+        let obs = [900u64, 100];
+        assert!(chi_square(&obs, &probs, 1000) > 100.0);
+    }
+
+    #[test]
+    fn chi_square_pools_sparse_tail() {
+        // Tail cells with expectation < 5 must be pooled, not divided by ~0.
+        let probs = [0.997, 0.001, 0.001, 0.001];
+        let obs = [997u64, 1, 1, 1];
+        let s = chi_square(&obs, &probs, 1000);
+        assert!(s < 5.0, "pooled stat should be small, got {s}");
+    }
+
+    #[test]
+    fn chi_square_df_counts_pooled_cells() {
+        let probs = [0.25, 0.25, 0.25, 0.25];
+        let obs = [25u64, 25, 25, 25];
+        let (_, df) = chi_square_with_df(&obs, &probs, 100);
+        assert_eq!(df, 3);
+        // All-sparse: everything pools into one cell → df clamps to 1.
+        let probs = [0.5, 0.5];
+        let obs = [1u64, 1];
+        let (_, df) = chi_square_with_df(&obs, &probs, 2);
+        assert_eq!(df, 1);
+    }
+
+    #[test]
+    fn binomial_z_signs() {
+        assert!(binomial_z(600, 1000, 0.5) > 0.0);
+        assert!(binomial_z(400, 1000, 0.5) < 0.0);
+        assert!(binomial_z(500, 1000, 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Γ(1) = Γ(2) = 1; Γ(5) = 24; Γ(1/2) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-11);
+        let half = std::f64::consts::PI.sqrt().ln();
+        assert!((ln_gamma(0.5) - half).abs() < 1e-11);
+    }
+
+    #[test]
+    fn gamma_p_q_are_complements() {
+        for &(a, x) in &[(0.5, 0.2), (1.0, 1.0), (2.5, 4.0), (10.0, 3.0), (10.0, 30.0)] {
+            let p = gamma_p(a, x);
+            let q = gamma_q(a, x);
+            assert!((p + q - 1.0).abs() < 1e-12, "a={a} x={x}: p+q = {}", p + q);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn chi_square_sf_known_values() {
+        // χ²_1: P[X ≥ 3.841] ≈ 0.05; χ²_10: P[X ≥ 18.307] ≈ 0.05.
+        assert!((chi_square_sf(3.841, 1) - 0.05).abs() < 1e-3);
+        assert!((chi_square_sf(18.307, 10) - 0.05).abs() < 1e-3);
+        // Exponential special case: χ²_2 SF(x) = e^{-x/2}.
+        for x in [0.5, 2.0, 7.0] {
+            assert!((chi_square_sf(x, 2) - (-x / 2.0).exp()).abs() < 1e-12);
+        }
+        assert_eq!(chi_square_sf(0.0, 5), 1.0);
+    }
+
+    #[test]
+    fn chi_square_test_accepts_fair_counts() {
+        let probs = [0.25; 4];
+        let obs = [260u64, 245, 252, 243];
+        let r = chi_square_test(&obs, &probs, 1000);
+        assert!(r.p_value > 0.05, "fair die rejected: {r:?}");
+    }
+
+    #[test]
+    fn chi_square_test_rejects_loaded_counts() {
+        let probs = [0.25; 4];
+        let obs = [400u64, 200, 200, 200];
+        let r = chi_square_test(&obs, &probs, 1000);
+        assert!(r.p_value < 1e-6, "loaded die accepted: {r:?}");
+    }
+
+    #[test]
+    fn ks_statistic_zero_for_exact_grid() {
+        // Samples at the midpoints of n equal slots vs U(0,1): D = 1/(2n).
+        let n = 100;
+        let samples: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
+        let d = ks_statistic(&samples, |x| x.clamp(0.0, 1.0));
+        assert!((d - 0.005).abs() < 1e-12, "D = {d}");
+    }
+
+    #[test]
+    fn ks_detects_wrong_distribution() {
+        // Samples from U(0, 1/2) tested against U(0,1): D ≈ 1/2.
+        let samples: Vec<f64> = (0..200).map(|i| i as f64 / 400.0).collect();
+        let d = ks_statistic(&samples, |x| x.clamp(0.0, 1.0));
+        assert!(d > 0.45, "D = {d}");
+        assert!(ks_p_value(d, 200) < 1e-9);
+    }
+
+    #[test]
+    fn ks_p_value_sane_range() {
+        assert!((ks_p_value(0.0, 100) - 1.0).abs() < 1e-9);
+        let p_small = ks_p_value(0.05, 100);
+        let p_large = ks_p_value(0.2, 100);
+        assert!(p_small > p_large, "{p_small} vs {p_large}");
+        assert!((0.0..=1.0).contains(&p_small));
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the variate generators: range, determinism, and
+//! distributional sanity under arbitrary parameters.
+
+use bignum::{BigUint, Ratio};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use randvar::{ber_pow_one_minus, ber_rational_parts, bgeo, tgeo, uniform_below};
+
+proptest! {
+    #[test]
+    fn bgeo_stays_in_range(num in 1u64..1000, den in 1001u64..100_000,
+                           n in 1u64..10_000, seed in any::<u64>()) {
+        let p = Ratio::from_u64s(num, den);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let v = bgeo(&mut rng, &p, n);
+        prop_assert!((1..=n).contains(&v));
+    }
+
+    #[test]
+    fn tgeo_stays_in_range(num in 1u64..1000, den in 1001u64..100_000,
+                           n in 1u64..10_000, seed in any::<u64>()) {
+        let p = Ratio::from_u64s(num, den);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let v = tgeo(&mut rng, &p, n);
+        prop_assert!((1..=n).contains(&v));
+    }
+
+    #[test]
+    fn samplers_are_deterministic(num in 1u64..100, den in 101u64..10_000,
+                                  n in 1u64..1000, seed in any::<u64>()) {
+        let p = Ratio::from_u64s(num, den);
+        let mut r1 = SmallRng::seed_from_u64(seed);
+        let mut r2 = SmallRng::seed_from_u64(seed);
+        prop_assert_eq!(bgeo(&mut r1, &p, n), bgeo(&mut r2, &p, n));
+        prop_assert_eq!(tgeo(&mut r1, &p, n), tgeo(&mut r2, &p, n));
+        prop_assert_eq!(
+            ber_pow_one_minus(&mut r1, &p, n),
+            ber_pow_one_minus(&mut r2, &p, n)
+        );
+    }
+
+    #[test]
+    fn ber_edge_cases_are_deterministic(den in 1u64.., seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // p = 0 and p = 1 never randomize.
+        prop_assert!(!ber_rational_parts(&mut rng, &BigUint::zero(), &BigUint::from_u64(den)));
+        prop_assert!(ber_rational_parts(
+            &mut rng,
+            &BigUint::from_u64(den),
+            &BigUint::from_u64(den)
+        ));
+    }
+
+    #[test]
+    fn ber_pow_k0_k1_consistency(num in 1u64..100, den in 101u64..10_000, seed in any::<u64>()) {
+        let p = Ratio::from_u64s(num, den);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // k = 0 ⇒ probability 1.
+        prop_assert!(ber_pow_one_minus(&mut rng, &p, 0));
+    }
+
+    #[test]
+    fn uniform_below_always_in_range(n in 1u64.., seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        prop_assert!(uniform_below(&mut rng, n) < n);
+    }
+
+    #[test]
+    fn bgeo_mean_tracks_expectation(den in 3u64..50, seed in any::<u64>()) {
+        // E[B-Geo(1/den, n)] = (1−(1−p)^n)/p; 3000 draws, generous 6σ bound.
+        let p = Ratio::from_u64s(1, den);
+        let pf = 1.0 / den as f64;
+        let n = den * 20; // essentially unbounded regime
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let trials = 3000u64;
+        let sum: u64 = (0..trials).map(|_| bgeo(&mut rng, &p, n)).sum();
+        let mean = sum as f64 / trials as f64;
+        let expect = (1.0 - (1.0 - pf).powi(n as i32)) / pf;
+        let sigma = ((1.0 - pf) / (pf * pf) / trials as f64).sqrt();
+        prop_assert!(
+            (mean - expect).abs() < 6.0 * sigma + 0.01,
+            "p=1/{den}: mean {mean} vs {expect} (σ={sigma})"
+        );
+    }
+
+    #[test]
+    fn tgeo_monotone_decreasing_pmf(seed in any::<u64>()) {
+        // For p = 1/2, n = 6: empirical counts must be (weakly) decreasing
+        // within noise — coarse shape check across many seeds.
+        let p = Ratio::from_u64s(1, 2);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut counts = [0u64; 6];
+        for _ in 0..4000 {
+            counts[tgeo(&mut rng, &p, 6) as usize - 1] += 1;
+        }
+        // First cell has pmf 0.508: must clearly dominate the last (pmf 0.016).
+        prop_assert!(counts[0] > counts[5] * 5);
+    }
+}
+
+/// Multi-word rational Bernoulli matches its truncation when denominators are
+/// scaled by a common factor (exactness is scale-invariant).
+#[test]
+fn ber_scale_invariance_statistical() {
+    let trials = 100_000u64;
+    let mut hits = [0u64; 2];
+    for (slot, shift) in [(0usize, 0u64), (1, 64)] {
+        let num = BigUint::from_u64(123).shl(shift);
+        let den = BigUint::from_u64(1000).shl(shift);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..trials {
+            if ber_rational_parts(&mut rng, &num, &den) {
+                hits[slot] += 1;
+            }
+        }
+    }
+    // Same seed + mathematically identical probability ⇒ identical decisions.
+    assert_eq!(hits[0], hits[1]);
+}

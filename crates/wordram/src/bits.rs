@@ -1,0 +1,99 @@
+//! Word-level bit operations assumed by the Word RAM model (§2.1).
+//!
+//! The model grants O(1)-time "index of the highest or lowest non-zero bit"
+//! instructions; on modern CPUs these are `lzcnt`/`tzcnt`, surfaced in Rust as
+//! `leading_zeros`/`trailing_zeros`.
+
+/// `⌊log2 v⌋` for `v ≥ 1`. Panics on 0.
+#[inline]
+pub fn floor_log2_u64(v: u64) -> u32 {
+    assert!(v != 0, "log2 of zero");
+    63 - v.leading_zeros()
+}
+
+/// `⌈log2 v⌉` for `v ≥ 1`. Panics on 0.
+#[inline]
+pub fn ceil_log2_u64(v: u64) -> u32 {
+    if v <= 1 {
+        assert!(v == 1, "log2 of zero");
+        return 0;
+    }
+    64 - (v - 1).leading_zeros()
+}
+
+/// `⌊log2 v⌋` for `v ≥ 1` over 128-bit values. Panics on 0.
+#[inline]
+pub fn floor_log2_u128(v: u128) -> u32 {
+    assert!(v != 0, "log2 of zero");
+    127 - v.leading_zeros()
+}
+
+/// `⌈log2 v⌉` for `v ≥ 1` over 128-bit values. Panics on 0.
+#[inline]
+pub fn ceil_log2_u128(v: u128) -> u32 {
+    if v <= 1 {
+        assert!(v == 1, "log2 of zero");
+        return 0;
+    }
+    128 - (v - 1).leading_zeros()
+}
+
+/// Index of the lowest set bit (`None` on 0).
+#[inline]
+pub fn lowest_set_bit(v: u64) -> Option<u32> {
+    if v == 0 {
+        None
+    } else {
+        Some(v.trailing_zeros())
+    }
+}
+
+/// Index of the highest set bit (`None` on 0).
+#[inline]
+pub fn highest_set_bit(v: u64) -> Option<u32> {
+    if v == 0 {
+        None
+    } else {
+        Some(63 - v.leading_zeros())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_u64() {
+        assert_eq!(floor_log2_u64(1), 0);
+        assert_eq!(floor_log2_u64(2), 1);
+        assert_eq!(floor_log2_u64(3), 1);
+        assert_eq!(floor_log2_u64(u64::MAX), 63);
+        assert_eq!(ceil_log2_u64(1), 0);
+        assert_eq!(ceil_log2_u64(2), 1);
+        assert_eq!(ceil_log2_u64(3), 2);
+        assert_eq!(ceil_log2_u64(1 << 40), 40);
+        assert_eq!(ceil_log2_u64((1 << 40) + 1), 41);
+    }
+
+    #[test]
+    fn log2_u128() {
+        assert_eq!(floor_log2_u128(1), 0);
+        assert_eq!(floor_log2_u128(u128::MAX), 127);
+        assert_eq!(floor_log2_u128(1u128 << 100), 100);
+        assert_eq!(ceil_log2_u128((1u128 << 100) + 1), 101);
+    }
+
+    #[test]
+    fn set_bits() {
+        assert_eq!(lowest_set_bit(0), None);
+        assert_eq!(lowest_set_bit(0b101000), Some(3));
+        assert_eq!(highest_set_bit(0), None);
+        assert_eq!(highest_set_bit(0b101000), Some(5));
+    }
+
+    #[test]
+    #[should_panic]
+    fn log2_zero_panics() {
+        floor_log2_u64(0);
+    }
+}

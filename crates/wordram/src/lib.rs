@@ -1,0 +1,35 @@
+//! # wordram — Word RAM model primitives
+//!
+//! Substrate crate for the reproduction of *Optimal Dynamic Parameterized
+//! Subset Sampling* (PODS 2024). It provides the model-level building blocks
+//! the HALT data structure assumes (paper §2.1):
+//!
+//! - [`bits`]: O(1) highest/lowest-set-bit and integer log2 instructions;
+//! - [`BitsetList`]: the Fact 2.1 dynamic sorted set over a bounded universe
+//!   with O(1) worst-case update / predecessor / successor (S4 in DESIGN.md);
+//! - [`U256`]: fixed-width 256-bit integers for next-level item weights that
+//!   exceed 128 bits while remaining O(1) words (S3);
+//! - [`SpaceUsage`]: word-granularity space accounting used by the E4
+//!   experiment (space is "measured in words", §2.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bits;
+mod bitset_list;
+mod u256;
+
+pub use bitset_list::{BitsetIter, BitsetList, BitsetRangeIter};
+pub use u256::U256;
+
+/// Word-granularity space accounting, the paper's space measure (§2.1).
+pub trait SpaceUsage {
+    /// Total space consumed, in 64-bit words (including vector capacities).
+    fn space_words(&self) -> usize;
+}
+
+impl SpaceUsage for BitsetList {
+    fn space_words(&self) -> usize {
+        BitsetList::space_words(self)
+    }
+}

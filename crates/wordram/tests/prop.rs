@@ -1,0 +1,180 @@
+//! Property tests for the Word-RAM substrate: the Fact 2.1 structure is
+//! mirrored against `BTreeSet`, `U256` arithmetic against `u128`/carry-exact
+//! references, and the bit instructions against `std` intrinsics.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use wordram::bits::{
+    ceil_log2_u128, ceil_log2_u64, floor_log2_u128, floor_log2_u64, highest_set_bit,
+    lowest_set_bit,
+};
+use wordram::{BitsetList, U256};
+
+#[derive(Debug, Clone)]
+enum SetOp {
+    Insert(usize),
+    Remove(usize),
+    Succ(usize),
+    Pred(usize),
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bitset_list_mirrors_btreeset(
+        universe in 1usize..300,
+        ops in proptest::collection::vec((0usize..1000, 0u8..4), 1..200),
+    ) {
+        let mut ours = BitsetList::new(universe);
+        let mut reference = BTreeSet::new();
+        for (raw, kind) in ops {
+            let q = raw % universe;
+            let op = match kind {
+                0 | 1 => SetOp::Insert(q),
+                2 => SetOp::Remove(q),
+                3 if kind % 2 == 1 => SetOp::Succ(q),
+                _ => SetOp::Pred(q),
+            };
+            match op {
+                SetOp::Insert(q) => {
+                    prop_assert_eq!(ours.insert(q), reference.insert(q));
+                }
+                SetOp::Remove(q) => {
+                    prop_assert_eq!(ours.remove(q), reference.remove(&q));
+                }
+                SetOp::Succ(q) => {
+                    prop_assert_eq!(ours.succ(q), reference.range(q..).next().copied());
+                }
+                SetOp::Pred(q) => {
+                    prop_assert_eq!(ours.pred(q), reference.range(..=q).next_back().copied());
+                }
+            }
+            prop_assert_eq!(ours.len(), reference.len());
+            prop_assert_eq!(ours.min(), reference.iter().next().copied());
+            prop_assert_eq!(ours.max(), reference.iter().next_back().copied());
+        }
+        // Full iteration agrees and is sorted.
+        let got: Vec<usize> = ours.iter().collect();
+        let expect: Vec<usize> = reference.iter().copied().collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn bitset_range_matches_btreeset_range(
+        universe in 2usize..200,
+        members in proptest::collection::btree_set(0usize..1000, 0..64),
+        lo in 0usize..200,
+        hi in 0usize..200,
+    ) {
+        let members: BTreeSet<usize> = members.into_iter().map(|m| m % universe).collect();
+        let mut ours = BitsetList::new(universe);
+        for &m in &members {
+            ours.insert(m);
+        }
+        let (lo, hi) = (lo % universe, hi % universe);
+        prop_assume!(lo <= hi);
+        let got: Vec<usize> = ours.range(lo, hi).collect();
+        let expect: Vec<usize> = members.range(lo..=hi).copied().collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn u256_add_sub_roundtrip(a in any::<u128>(), b in any::<u128>()) {
+        let ua = U256::from_u128(a);
+        let ub = U256::from_u128(b);
+        let sum = ua.checked_add(&ub).expect("u128 + u128 < 2^256");
+        // Subtraction inverts addition.
+        prop_assert_eq!(sum.checked_sub(&ub).unwrap().to_u128(), Some(a));
+        prop_assert_eq!(sum.checked_sub(&ua).unwrap().to_u128(), Some(b));
+        // Agreement with u128 when no overflow.
+        if let Some(s) = a.checked_add(b) {
+            prop_assert_eq!(sum.to_u128(), Some(s));
+        } else {
+            prop_assert_eq!(sum.to_u128(), None, "overflowing sum must exceed u128");
+        }
+    }
+
+    #[test]
+    fn u256_sub_underflow_is_none(a in any::<u128>(), b in any::<u128>()) {
+        prop_assume!(a < b);
+        prop_assert!(U256::from_u128(a).checked_sub(&U256::from_u128(b)).is_none());
+    }
+
+    #[test]
+    fn u256_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let prod = U256::from_u64(a).checked_mul_u64(b).unwrap();
+        prop_assert_eq!(prod.to_u128(), Some(u128::from(a) * u128::from(b)));
+    }
+
+    #[test]
+    fn u256_shifts_roundtrip(v in 1u128..=u128::MAX, k in 0u32..128) {
+        let u = U256::from_u128(v);
+        let shifted = u.checked_shl(k).expect("128+127 < 256 bits");
+        prop_assert_eq!(shifted.shr(k).to_u128(), Some(v));
+        prop_assert_eq!(shifted.bit_len(), u.bit_len() + k);
+        prop_assert_eq!(shifted.floor_log2(), u.floor_log2() + k);
+    }
+
+    #[test]
+    fn u256_shl_overflow_detected(k in 129u32..=255) {
+        // 2^128 << 129.. overflows 256 bits only when bit_len + k > 256.
+        let v = U256::pow2(128);
+        if 129 + k > 256 {
+            prop_assert!(v.checked_shl(k).is_none());
+        } else {
+            prop_assert!(v.checked_shl(k).is_some());
+        }
+    }
+
+    #[test]
+    fn u256_biguint_agreement(a in any::<u128>(), k in 0u32..100) {
+        let u = U256::from_u128(a).checked_shl(k).unwrap();
+        let big = bignum::BigUint::from_u128(a).shl(u64::from(k));
+        prop_assert_eq!(u.to_biguint().cmp(&big), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn log2_matches_std(v in 1u64..=u64::MAX) {
+        prop_assert_eq!(floor_log2_u64(v), v.ilog2());
+        let ceil = if v.is_power_of_two() { v.ilog2() } else { v.ilog2() + 1 };
+        prop_assert_eq!(ceil_log2_u64(v), ceil);
+    }
+
+    #[test]
+    fn log2_u128_matches_std(v in 1u128..=u128::MAX) {
+        prop_assert_eq!(floor_log2_u128(v), v.ilog2());
+        let ceil = if v.is_power_of_two() { v.ilog2() } else { v.ilog2() + 1 };
+        prop_assert_eq!(ceil_log2_u128(v), ceil);
+    }
+
+    #[test]
+    fn set_bit_scans_match_std(v in any::<u64>()) {
+        if v == 0 {
+            prop_assert_eq!(lowest_set_bit(v), None);
+            prop_assert_eq!(highest_set_bit(v), None);
+        } else {
+            prop_assert_eq!(lowest_set_bit(v), Some(v.trailing_zeros()));
+            prop_assert_eq!(highest_set_bit(v), Some(63 - v.leading_zeros()));
+        }
+    }
+}
+
+#[test]
+fn bitset_edge_universe_of_one() {
+    let mut s = BitsetList::new(1);
+    assert!(s.insert(0));
+    assert!(!s.insert(0));
+    assert_eq!(s.succ(0), Some(0));
+    assert_eq!(s.pred(0), Some(0));
+    assert!(s.remove(0));
+    assert_eq!(s.min(), None);
+}
+
+#[test]
+fn log2_powers_exact() {
+    for k in 0..64u32 {
+        assert_eq!(floor_log2_u64(1 << k), k);
+        assert_eq!(ceil_log2_u64(1 << k), k);
+    }
+}

@@ -1,0 +1,391 @@
+//! Update-stream generation.
+//!
+//! An update stream is a pre-materialized sequence of [`Op`]s that any backend
+//! (HALT, naive, ODSS-style) can replay. Streams are generated against a
+//! *simulated* live-set so that deletions always reference an item that is
+//! still present — the stream is valid for any backend that assigns handles
+//! in insertion order.
+//!
+//! Deletion targets are expressed as an index into the backend's current live
+//! set in insertion order ([`Op::DeleteAt`]), which every backend can resolve
+//! in O(1) with a `Vec` + swap-remove mirror (see [`LiveSet`]).
+
+use crate::weights::WeightDist;
+use rand::Rng;
+use rand::RngCore;
+
+/// One update operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Insert a new item with the given weight.
+    Insert(u64),
+    /// Delete the live item at this index of the replayer's [`LiveSet`]
+    /// (positions are stable under the swap-remove discipline).
+    DeleteAt(usize),
+}
+
+/// The shape of an update stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamKind {
+    /// `n_ops` insertions, no deletions.
+    InsertOnly,
+    /// Deletions of uniformly random live items until the initial set of
+    /// `n_initial` items is exhausted (or `n_ops` reached).
+    DeleteOnly,
+    /// Each op is an insert with probability `insert_permille/1000`, else a
+    /// delete of a uniformly random live item (inserts forced when empty).
+    Mixed {
+        /// Probability of an insertion, in permille.
+        insert_permille: u32,
+    },
+    /// Sliding window: every op inserts one item and, once the live size
+    /// exceeds `window`, also deletes the *oldest* live item. Models stream
+    /// processing with expiry.
+    SlidingWindow {
+        /// Maximum number of live items.
+        window: usize,
+    },
+    /// Rebuild-adversarial: repeatedly grow the live set to `hi` then shrink
+    /// to `lo`, crossing any doubling/halving rebuild threshold in
+    /// `(lo, hi)` as often as possible. Stresses §4.5 global rebuilding.
+    Oscillate {
+        /// Lower live-set size of the oscillation.
+        lo: usize,
+        /// Upper live-set size of the oscillation.
+        hi: usize,
+    },
+}
+
+/// A generated stream plus the metadata needed to interpret it.
+#[derive(Debug, Clone)]
+pub struct UpdateStream {
+    /// Weights of the initial item set (built before the stream is replayed).
+    pub initial: Vec<u64>,
+    /// The operations, in order.
+    pub ops: Vec<Op>,
+    /// The kind this stream was generated from.
+    pub kind: StreamKind,
+}
+
+impl UpdateStream {
+    /// Generates a valid stream of (up to) `n_ops` operations starting from
+    /// `n_initial` items drawn from `dist`.
+    ///
+    /// The stream is simulated against a [`LiveSet`] so every `DeleteAt`
+    /// index is in range at replay time for any backend following the same
+    /// swap-remove discipline.
+    pub fn generate<R: RngCore>(
+        kind: StreamKind,
+        n_initial: usize,
+        n_ops: usize,
+        dist: WeightDist,
+        rng: &mut R,
+    ) -> Self {
+        let initial = dist.generate(n_initial, rng);
+        let mut live = initial.len();
+        let mut ops = Vec::with_capacity(n_ops);
+        match kind {
+            StreamKind::InsertOnly => {
+                for _ in 0..n_ops {
+                    ops.push(Op::Insert(dist.sample(rng)));
+                }
+            }
+            StreamKind::DeleteOnly => {
+                for _ in 0..n_ops {
+                    if live == 0 {
+                        break;
+                    }
+                    ops.push(Op::DeleteAt(rng.gen_range(0..live)));
+                    live -= 1;
+                }
+            }
+            StreamKind::Mixed { insert_permille } => {
+                assert!(insert_permille <= 1000, "insert_permille out of range");
+                for _ in 0..n_ops {
+                    let insert = live == 0 || rng.gen_range(0u32..1000) < insert_permille;
+                    if insert {
+                        ops.push(Op::Insert(dist.sample(rng)));
+                        live += 1;
+                    } else {
+                        ops.push(Op::DeleteAt(rng.gen_range(0..live)));
+                        live -= 1;
+                    }
+                }
+            }
+            StreamKind::SlidingWindow { window } => {
+                assert!(window > 0, "window must be positive");
+                for _ in 0..n_ops {
+                    ops.push(Op::Insert(dist.sample(rng)));
+                    live += 1;
+                    if live > window {
+                        // Oldest-first expiry: under swap-remove the oldest
+                        // item's position is not statically known, so window
+                        // streams delete position 0 — with swap-remove this is
+                        // "some old item", which preserves the windowed-size
+                        // property that E3 measures while keeping O(1) replay.
+                        ops.push(Op::DeleteAt(0));
+                        live -= 1;
+                    }
+                }
+            }
+            StreamKind::Oscillate { lo, hi } => {
+                assert!(lo < hi, "Oscillate requires lo < hi");
+                let mut growing = true;
+                for _ in 0..n_ops {
+                    if growing {
+                        ops.push(Op::Insert(dist.sample(rng)));
+                        live += 1;
+                        if live >= hi {
+                            growing = false;
+                        }
+                    } else {
+                        if live == 0 {
+                            growing = true;
+                            continue;
+                        }
+                        ops.push(Op::DeleteAt(rng.gen_range(0..live)));
+                        live -= 1;
+                        if live <= lo {
+                            growing = true;
+                        }
+                    }
+                }
+            }
+        }
+        UpdateStream { initial, ops, kind }
+    }
+
+    /// Number of operations in the stream.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the stream contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Replays the stream against callbacks, using a [`LiveSet`] to translate
+    /// `DeleteAt` positions into the opaque handles returned by `insert`.
+    /// Returns the number of live items at the end.
+    pub fn replay<H: Copy>(
+        &self,
+        mut insert: impl FnMut(u64) -> H,
+        mut delete: impl FnMut(H),
+    ) -> usize {
+        let mut live = LiveSet::new();
+        for &w in &self.initial {
+            live.insert(insert(w));
+        }
+        for op in &self.ops {
+            match *op {
+                Op::Insert(w) => live.insert(insert(w)),
+                Op::DeleteAt(i) => delete(live.remove_at(i)),
+            }
+        }
+        live.len()
+    }
+}
+
+/// The swap-remove handle mirror used to replay streams.
+///
+/// Positions named by [`Op::DeleteAt`] refer to this structure's state at the
+/// moment the op executes; both the generator and every replayer maintain the
+/// same discipline, so indices always resolve to a live handle.
+#[derive(Debug, Clone, Default)]
+pub struct LiveSet<H> {
+    handles: Vec<H>,
+}
+
+impl<H: Copy> LiveSet<H> {
+    /// Creates an empty live set.
+    pub fn new() -> Self {
+        LiveSet { handles: Vec::new() }
+    }
+
+    /// Records a newly inserted handle.
+    pub fn insert(&mut self, h: H) {
+        self.handles.push(h);
+    }
+
+    /// Removes and returns the handle at position `i` (swap-remove).
+    pub fn remove_at(&mut self, i: usize) -> H {
+        self.handles.swap_remove(i)
+    }
+
+    /// Number of live handles.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// True when no handles are live.
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// The live handles, in swap-remove order.
+    pub fn handles(&self) -> &[H] {
+        &self.handles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(99)
+    }
+
+    const DIST: WeightDist = WeightDist::Uniform { lo: 1, hi: 100 };
+
+    /// Replays against a plain Vec backend and checks index validity.
+    fn replay_counts(stream: &UpdateStream) -> (usize, usize, usize) {
+        use std::cell::RefCell;
+        let next_id = RefCell::new(0usize);
+        let alive = RefCell::new(std::collections::HashSet::new());
+        let deletes = RefCell::new(0usize);
+        let final_live = stream.replay(
+            |_w| {
+                let mut id_ref = next_id.borrow_mut();
+                let id = *id_ref;
+                *id_ref += 1;
+                alive.borrow_mut().insert(id);
+                id
+            },
+            |id| {
+                assert!(alive.borrow_mut().remove(&id), "delete of dead handle");
+                *deletes.borrow_mut() += 1;
+            },
+        );
+        let inserts = *next_id.borrow();
+        let n_deletes = *deletes.borrow();
+        assert_eq!(final_live, alive.borrow().len());
+        (inserts, n_deletes, final_live)
+    }
+
+    #[test]
+    fn insert_only_stream() {
+        let s = UpdateStream::generate(StreamKind::InsertOnly, 10, 50, DIST, &mut rng());
+        assert_eq!(s.initial.len(), 10);
+        assert_eq!(s.len(), 50);
+        let (ins, del, live) = replay_counts(&s);
+        assert_eq!((ins, del, live), (60, 0, 60));
+    }
+
+    #[test]
+    fn delete_only_exhausts_initial_set() {
+        let s = UpdateStream::generate(StreamKind::DeleteOnly, 20, 100, DIST, &mut rng());
+        assert_eq!(s.len(), 20, "stops when empty");
+        let (ins, del, live) = replay_counts(&s);
+        assert_eq!((ins, del, live), (20, 20, 0));
+    }
+
+    #[test]
+    fn mixed_stream_indices_always_valid() {
+        let s =
+            UpdateStream::generate(StreamKind::Mixed { insert_permille: 500 }, 5, 2000, DIST, &mut rng());
+        let (ins, del, live) = replay_counts(&s);
+        assert_eq!(ins - del, live);
+        assert_eq!(ins + del, 5 + s.len());
+    }
+
+    #[test]
+    fn mixed_all_inserts_when_permille_1000() {
+        let s =
+            UpdateStream::generate(StreamKind::Mixed { insert_permille: 1000 }, 0, 100, DIST, &mut rng());
+        assert!(s.ops.iter().all(|op| matches!(op, Op::Insert(_))));
+    }
+
+    #[test]
+    fn sliding_window_caps_live_size() {
+        let s = UpdateStream::generate(
+            StreamKind::SlidingWindow { window: 16 },
+            0,
+            200,
+            DIST,
+            &mut rng(),
+        );
+        // Simulate live size over time.
+        let mut live = 0usize;
+        let mut max_live = 0usize;
+        for op in &s.ops {
+            match op {
+                Op::Insert(_) => live += 1,
+                Op::DeleteAt(i) => {
+                    assert!(*i < live);
+                    live -= 1;
+                }
+            }
+            max_live = max_live.max(live);
+        }
+        assert!(max_live <= 17, "window overflow: {max_live}");
+        let (_, _, final_live) = replay_counts(&s);
+        assert!(final_live <= 16);
+    }
+
+    #[test]
+    fn oscillate_crosses_band_repeatedly() {
+        let s = UpdateStream::generate(
+            StreamKind::Oscillate { lo: 8, hi: 64 },
+            8,
+            5000,
+            DIST,
+            &mut rng(),
+        );
+        let mut live = 8usize;
+        let mut crossings = 0;
+        let mut above = false;
+        for op in &s.ops {
+            match op {
+                Op::Insert(_) => live += 1,
+                Op::DeleteAt(_) => live -= 1,
+            }
+            let now_above = live >= 32; // mid-band
+            if now_above != above {
+                crossings += 1;
+                above = now_above;
+            }
+        }
+        assert!(crossings >= 50, "only {crossings} mid-band crossings");
+        replay_counts(&s);
+    }
+
+    #[test]
+    fn replay_with_swap_remove_backend_matches_liveset() {
+        // A backend storing weights in a Vec with swap-remove must stay
+        // consistent with the stream's LiveSet view.
+        let s =
+            UpdateStream::generate(StreamKind::Mixed { insert_permille: 400 }, 50, 1000, DIST, &mut rng());
+        let mut weights: Vec<u64> = Vec::new();
+        let mut live = LiveSet::new();
+        for &w in &s.initial {
+            live.insert(weights.len());
+            weights.push(w);
+        }
+        let mut deleted = vec![false; weights.len() + s.ops.len()];
+        for op in &s.ops {
+            match *op {
+                Op::Insert(w) => {
+                    live.insert(weights.len());
+                    weights.push(w);
+                }
+                Op::DeleteAt(i) => {
+                    let id = live.remove_at(i);
+                    assert!(!deleted[id], "double delete of {id}");
+                    deleted[id] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = UpdateStream::generate(StreamKind::Mixed { insert_permille: 300 }, 10, 100, DIST, &mut SmallRng::seed_from_u64(1));
+        let b = UpdateStream::generate(StreamKind::Mixed { insert_permille: 300 }, 10, 100, DIST, &mut SmallRng::seed_from_u64(1));
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.initial, b.initial);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for workload generators: every generated stream must
+//! be replayable against an arbitrary backend without index errors, and the
+//! `(α,β)` constructors must hit their `μ` targets exactly in the unclamped
+//! regime.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use workloads::params::{alpha_for_mu, beta_for_mu, mu_exact_ratio};
+use workloads::updates::{Op, StreamKind, UpdateStream};
+use workloads::weights::WeightDist;
+
+fn arb_dist() -> impl Strategy<Value = WeightDist> {
+    prop_oneof![
+        (1u64..100, 0u64..1000).prop_map(|(lo, extra)| WeightDist::Uniform { lo, hi: lo + extra }),
+        (1u32..4, 1u64..=1 << 40).prop_map(|(s, w)| WeightDist::Zipf { s_num: s, s_den: 1, w_max: w }),
+        (1u64..10, 10u64..1 << 30, 0u32..=1000)
+            .prop_map(|(l, h, p)| WeightDist::Bimodal { light: l, heavy: h, heavy_permille: p }),
+        (1u64..1 << 50).prop_map(|w| WeightDist::Equal { w }),
+        (0u32..=60).prop_map(|e| WeightDist::PowersOfTwo { max_exp: e }),
+    ]
+}
+
+fn arb_kind() -> impl Strategy<Value = StreamKind> {
+    prop_oneof![
+        Just(StreamKind::InsertOnly),
+        Just(StreamKind::DeleteOnly),
+        (0u32..=1000).prop_map(|p| StreamKind::Mixed { insert_permille: p }),
+        (1usize..64).prop_map(|w| StreamKind::SlidingWindow { window: w }),
+        (1usize..16, 17usize..128).prop_map(|(lo, hi)| StreamKind::Oscillate { lo, hi }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn streams_replay_without_index_errors(
+        kind in arb_kind(),
+        dist in arb_dist(),
+        n_initial in 0usize..64,
+        n_ops in 0usize..512,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let stream = UpdateStream::generate(kind, n_initial, n_ops, dist, &mut rng);
+        // Replay against a HashSet-of-ids backend; replay() panics internally
+        // on any invalid index via swap_remove.
+        use std::cell::RefCell;
+        let next = RefCell::new(0u64);
+        let alive = RefCell::new(std::collections::HashSet::new());
+        let live = stream.replay(
+            |_w| {
+                let mut n = next.borrow_mut();
+                let id = *n;
+                *n += 1;
+                alive.borrow_mut().insert(id);
+                id
+            },
+            |id| assert!(alive.borrow_mut().remove(&id), "delete of dead handle {id}"),
+        );
+        prop_assert_eq!(live, alive.borrow().len());
+        // Conservation: inserts - deletes = final live - 0.
+        let inserts = stream.initial.len()
+            + stream.ops.iter().filter(|o| matches!(o, Op::Insert(_))).count();
+        let deletes = stream.ops.iter().filter(|o| matches!(o, Op::DeleteAt(_))).count();
+        prop_assert_eq!(inserts - deletes, live);
+    }
+
+    #[test]
+    fn weights_are_valid_for_every_dist(dist in arb_dist(), seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for w in dist.generate(256, &mut rng) {
+            // All standard distributions produce strictly positive weights.
+            prop_assert!(w >= 1);
+        }
+    }
+
+    #[test]
+    fn alpha_form_hits_mu_exactly_when_unclamped(
+        n in 1usize..40,
+        w in 1u64..1000,
+        mu_num in 1u64..8,
+    ) {
+        // Equal weights never clamp when μ ≤ n.
+        prop_assume!(mu_num as usize <= n);
+        let weights = vec![w; n];
+        let (a, b) = alpha_for_mu(mu_num, 1);
+        let mu = mu_exact_ratio(&weights, &a, &b);
+        prop_assert_eq!(mu.cmp_int(mu_num), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn beta_form_equals_alpha_form(
+        weights in proptest::collection::vec(1u64..1 << 30, 1..32),
+        mu_num in 1u64..16,
+        mu_den in 1u64..4,
+    ) {
+        let total: u128 = weights.iter().map(|&w| u128::from(w)).sum();
+        let (a1, b1) = alpha_for_mu(mu_num, mu_den);
+        let (a2, b2) = beta_for_mu(total, mu_num, mu_den);
+        let m1 = mu_exact_ratio(&weights, &a1, &b1);
+        let m2 = mu_exact_ratio(&weights, &a2, &b2);
+        prop_assert_eq!(m1.cmp(&m2), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn mu_is_monotone_decreasing_in_beta(
+        weights in proptest::collection::vec(1u64..1 << 20, 1..24),
+        beta1 in 1u64..1 << 30,
+        delta in 1u64..1 << 30,
+    ) {
+        use bignum::Ratio;
+        let a = Ratio::from_u64s(1, 2);
+        let b1 = Ratio::from_int(beta1);
+        let b2 = Ratio::from_int(beta1 + delta);
+        let m1 = mu_exact_ratio(&weights, &a, &b1);
+        let m2 = mu_exact_ratio(&weights, &a, &b2);
+        prop_assert_ne!(m1.cmp(&m2), std::cmp::Ordering::Less);
+    }
+}

@@ -1,0 +1,16 @@
+//! # dpss-suite — umbrella crate for the DPSS reproduction
+//!
+//! Re-exports every crate of the reproduction of *Optimal Dynamic
+//! Parameterized Subset Sampling* (PODS 2024) and hosts the workspace-level
+//! integration tests (`tests/`) and runnable examples (`examples/`).
+
+#![forbid(unsafe_code)]
+
+pub use baselines;
+pub use bignum;
+pub use dpss;
+pub use floatdpss;
+pub use graphsub;
+pub use randvar;
+pub use wordram;
+pub use workloads;

@@ -1,0 +1,117 @@
+//! Integration tests asserting the *asymptotic shapes* of Theorem 1.1 as
+//! machine-checkable properties (coarse factors, so they are robust to CI
+//! noise): build linearity, query independence from n at fixed μ, update
+//! flatness, and space linearity.
+
+use bignum::Ratio;
+use dpss::{DpssSampler, SpaceUsage};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn random_weights(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(1..=1u64 << 40)).collect()
+}
+
+/// Build time per item must not grow more than 8× from n=2^12 to n=2^18.
+#[test]
+fn build_is_roughly_linear() {
+    let per_item = |n: usize| {
+        let w = random_weights(n, 1);
+        // best of 3 to dampen noise
+        (0..3)
+            .map(|_| {
+                let t = Instant::now();
+                std::hint::black_box(DpssSampler::from_weights(&w, 7));
+                t.elapsed().as_secs_f64() / n as f64
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let small = per_item(1 << 12);
+    let large = per_item(1 << 18);
+    assert!(
+        large < small * 8.0,
+        "per-item build cost grew {small:.2e} → {large:.2e}"
+    );
+}
+
+/// Query time at μ≈1 must not grow more than 8× from n=2^12 to n=2^18.
+#[test]
+fn query_is_independent_of_n_at_fixed_mu() {
+    let per_query = |n: usize| {
+        let w = random_weights(n, 2);
+        let (mut s, _) = DpssSampler::from_weights(&w, 9);
+        let alpha = Ratio::one();
+        let t = Instant::now();
+        for _ in 0..300 {
+            std::hint::black_box(s.query(&alpha, &Ratio::zero()));
+        }
+        t.elapsed().as_secs_f64() / 300.0
+    };
+    let small = per_query(1 << 12);
+    let large = per_query(1 << 18);
+    assert!(
+        large < small * 8.0,
+        "μ=1 query cost grew {small:.2e} → {large:.2e}"
+    );
+}
+
+/// Steady-state update time must not grow more than 10× from 2^12 to 2^18.
+#[test]
+fn updates_are_roughly_constant() {
+    let per_update = |n: usize| {
+        let w = random_weights(n, 3);
+        let (mut s, mut ids) = DpssSampler::from_weights(&w, 11);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let t = Instant::now();
+        for _ in 0..4000 {
+            let i = rng.gen_range(0..ids.len());
+            let victim = ids.swap_remove(i);
+            s.delete(victim).unwrap();
+            ids.push(s.insert(rng.gen_range(1..=1u64 << 40)));
+        }
+        t.elapsed().as_secs_f64() / 8000.0
+    };
+    let small = per_update(1 << 12);
+    let large = per_update(1 << 18);
+    assert!(
+        large < small * 10.0,
+        "update cost grew {small:.2e} → {large:.2e}"
+    );
+}
+
+/// Space per item must be bounded by a fixed constant at every scale.
+#[test]
+fn space_is_linear_with_small_constant() {
+    for exp in [12u32, 14, 16] {
+        let n = 1usize << exp;
+        let (s, _) = DpssSampler::from_weights(&random_weights(n, 4), 13);
+        let per = s.space_words() as f64 / n as f64;
+        assert!(per < 40.0, "n=2^{exp}: {per:.1} words/item");
+    }
+}
+
+/// Query cost must scale with μ, not n: at n=2^16, a μ=64 query must cost
+/// less than 40× a μ≈1 query (it would cost ~n/2 times more if it scanned).
+#[test]
+fn query_cost_tracks_mu() {
+    let n = 1usize << 16;
+    let w = vec![1000u64; n];
+    let (mut s, _) = DpssSampler::from_weights(&w, 15);
+    let beta = Ratio::zero();
+    let time_at = |s: &mut DpssSampler, alpha: &Ratio, reps: usize| {
+        let t = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(s.query(alpha, &beta));
+        }
+        t.elapsed().as_secs_f64() / reps as f64
+    };
+    let t_mu1 = time_at(&mut s, &Ratio::one(), 300);
+    let alpha64 = Ratio::from_u64s(1, 64); // μ = 64
+    let t_mu64 = time_at(&mut s, &alpha64, 100);
+    assert!(
+        t_mu64 < t_mu1 * 40.0,
+        "μ=64 at {t_mu64:.2e}s vs μ=1 at {t_mu1:.2e}s"
+    );
+}
