@@ -1,8 +1,8 @@
 //! # baselines — comparison samplers for the DPSS experiments
 //!
 //! Three baselines against which the HALT sampler is evaluated (experiment E5
-//! in DESIGN.md), plus the [`PssBackend`] trait that lets the benchmark
-//! harness drive all of them uniformly:
+//! in DESIGN.md), all implementing the [`PssBackend`] facade that lives in
+//! `pss-core` (re-exported here for compatibility):
 //!
 //! - [`NaiveExact`]: O(n) per query — one exact rational Bernoulli per item.
 //!   The correctness gold standard: trivially exact, no data structure.
@@ -16,6 +16,10 @@
 //!   re-bucketing per update — the exact gap the paper's introduction
 //!   identifies ("the existing optimal ODSS algorithm requires Ω(n) time to
 //!   support an update in the DPSS setup").
+//!
+//! The HALT samplers themselves implement [`PssBackend`] in the `dpss` crate;
+//! [`all_backends`] assembles the full comparison roster (HALT, de-amortized
+//! HALT, and every baseline) as trait objects.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,77 +27,14 @@
 pub mod odss;
 
 pub use odss::{OdssDss, OdssUnderDpss};
+pub use pss_core::{boxed, Handle, PssBackend, SeedableBackend, SpaceUsage, Store};
 
 use bignum::{BigUint, Ratio};
-use dpss::{DpssSampler, ItemId};
+use dpss::{DeamortizedDpss, DpssSampler};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use randvar::{ber_rational_parts, bgeo};
 use std::cmp::Ordering;
-
-/// A uniform facade over subset samplers, used by benches and integration
-/// tests to drive HALT and every baseline with identical workloads.
-pub trait PssBackend {
-    /// Inserts an item, returning an opaque handle.
-    fn insert(&mut self, weight: u64) -> u64;
-    /// Deletes an item by handle; `true` if it was live.
-    fn delete(&mut self, handle: u64) -> bool;
-    /// Answers one PSS query with parameters `(α, β)`.
-    fn query(&mut self, alpha: &Ratio, beta: &Ratio) -> Vec<u64>;
-    /// Number of live items.
-    fn len(&self) -> usize;
-    /// `true` iff no live items.
-    fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-    /// Short display name.
-    fn name(&self) -> &'static str;
-}
-
-// ---------------------------------------------------------------------------
-// Shared slot-based item storage for the baselines.
-// ---------------------------------------------------------------------------
-
-#[derive(Clone, Debug, Default)]
-pub(crate) struct Store {
-    pub(crate) weights: Vec<u64>,
-    pub(crate) live: Vec<bool>,
-    pub(crate) free: Vec<u32>,
-    pub(crate) n: usize,
-    pub(crate) total: u128,
-}
-
-impl Store {
-    fn insert(&mut self, w: u64) -> u64 {
-        self.n += 1;
-        self.total += w as u128;
-        if let Some(i) = self.free.pop() {
-            self.weights[i as usize] = w;
-            self.live[i as usize] = true;
-            i as u64
-        } else {
-            self.weights.push(w);
-            self.live.push(true);
-            (self.weights.len() - 1) as u64
-        }
-    }
-
-    fn delete(&mut self, h: u64) -> bool {
-        let i = h as usize;
-        if i >= self.live.len() || !self.live[i] {
-            return false;
-        }
-        self.live[i] = false;
-        self.total -= self.weights[i] as u128;
-        self.free.push(i as u32);
-        self.n -= 1;
-        true
-    }
-
-    fn param_weight(&self, alpha: &Ratio, beta: &Ratio) -> Ratio {
-        alpha.mul_big(&BigUint::from_u128(self.total)).add(beta)
-    }
-}
 
 // ---------------------------------------------------------------------------
 // NaiveExact
@@ -113,41 +54,57 @@ impl NaiveExact {
     }
 }
 
+impl SpaceUsage for NaiveExact {
+    fn space_words(&self) -> usize {
+        self.store.space_words() + 4
+    }
+}
+
 impl PssBackend for NaiveExact {
-    fn insert(&mut self, weight: u64) -> u64 {
+    fn insert(&mut self, weight: u64) -> Handle {
         self.store.insert(weight)
     }
 
-    fn delete(&mut self, handle: u64) -> bool {
+    fn delete(&mut self, handle: Handle) -> bool {
         self.store.delete(handle)
     }
 
-    fn query(&mut self, alpha: &Ratio, beta: &Ratio) -> Vec<u64> {
+    fn query(&mut self, alpha: &Ratio, beta: &Ratio) -> Vec<Handle> {
         let w = self.store.param_weight(alpha, beta);
         let mut out = Vec::new();
-        for i in 0..self.store.weights.len() {
-            if !self.store.live[i] || self.store.weights[i] == 0 {
+        for i in 0..self.store.slot_count() {
+            if !self.store.is_live(i) || self.store.weight_at(i) == 0 {
                 continue;
             }
             let keep = if w.is_zero() {
                 true
             } else {
-                let num = BigUint::from_u64(self.store.weights[i]).mul(w.den());
+                let num = BigUint::from_u64(self.store.weight_at(i)).mul(w.den());
                 ber_rational_parts(&mut self.rng, &num, w.num())
             };
             if keep {
-                out.push(i as u64);
+                out.push(Handle::from_raw(i as u64));
             }
         }
         out
     }
 
     fn len(&self) -> usize {
-        self.store.n
+        self.store.len()
+    }
+
+    fn total_weight(&self) -> u128 {
+        self.store.total()
     }
 
     fn name(&self) -> &'static str {
         "naive-exact"
+    }
+}
+
+impl SeedableBackend for NaiveExact {
+    fn with_seed(seed: u64) -> Self {
+        NaiveExact::new(seed)
     }
 }
 
@@ -169,36 +126,52 @@ impl NaiveFloat {
     }
 }
 
+impl SpaceUsage for NaiveFloat {
+    fn space_words(&self) -> usize {
+        self.store.space_words() + 4
+    }
+}
+
 impl PssBackend for NaiveFloat {
-    fn insert(&mut self, weight: u64) -> u64 {
+    fn insert(&mut self, weight: u64) -> Handle {
         self.store.insert(weight)
     }
 
-    fn delete(&mut self, handle: u64) -> bool {
+    fn delete(&mut self, handle: Handle) -> bool {
         self.store.delete(handle)
     }
 
-    fn query(&mut self, alpha: &Ratio, beta: &Ratio) -> Vec<u64> {
+    fn query(&mut self, alpha: &Ratio, beta: &Ratio) -> Vec<Handle> {
         let w = self.store.param_weight(alpha, beta).to_f64_lossy();
         let mut out = Vec::new();
-        for i in 0..self.store.weights.len() {
-            if !self.store.live[i] || self.store.weights[i] == 0 {
+        for i in 0..self.store.slot_count() {
+            if !self.store.is_live(i) || self.store.weight_at(i) == 0 {
                 continue;
             }
-            let p = if w == 0.0 { 1.0 } else { (self.store.weights[i] as f64 / w).min(1.0) };
+            let p = if w == 0.0 { 1.0 } else { (self.store.weight_at(i) as f64 / w).min(1.0) };
             if self.rng.gen::<f64>() < p {
-                out.push(i as u64);
+                out.push(Handle::from_raw(i as u64));
             }
         }
         out
     }
 
     fn len(&self) -> usize {
-        self.store.n
+        self.store.len()
+    }
+
+    fn total_weight(&self) -> u128 {
+        self.store.total()
     }
 
     fn name(&self) -> &'static str {
         "naive-float"
+    }
+}
+
+impl SeedableBackend for NaiveFloat {
+    fn with_seed(seed: u64) -> Self {
+        NaiveFloat::new(seed)
     }
 }
 
@@ -247,15 +220,15 @@ impl OdssStyle {
             b.clear();
         }
         let w = self.store.param_weight(alpha, beta);
-        for i in 0..self.store.weights.len() {
-            if !self.store.live[i] || self.store.weights[i] == 0 {
+        for i in 0..self.store.slot_count() {
+            if !self.store.is_live(i) || self.store.weight_at(i) == 0 {
                 continue;
             }
             let bucket = if w.is_zero() {
                 0
             } else {
                 let p = Ratio::new(
-                    BigUint::from_u64(self.store.weights[i]).mul(w.den()),
+                    BigUint::from_u64(self.store.weight_at(i)).mul(w.den()),
                     w.num().clone(),
                 );
                 if p.cmp_int(1) != Ordering::Less {
@@ -273,14 +246,21 @@ impl OdssStyle {
     }
 }
 
+impl SpaceUsage for OdssStyle {
+    fn space_words(&self) -> usize {
+        let buckets: usize = self.prob_buckets.iter().map(|b| b.capacity().div_ceil(2)).sum();
+        self.store.space_words() + buckets + 8
+    }
+}
+
 impl PssBackend for OdssStyle {
-    fn insert(&mut self, weight: u64) -> u64 {
+    fn insert(&mut self, weight: u64) -> Handle {
         let h = self.store.insert(weight);
         self.mat_params = None; // any DPSS update moves every probability
         h
     }
 
-    fn delete(&mut self, handle: u64) -> bool {
+    fn delete(&mut self, handle: Handle) -> bool {
         let ok = self.store.delete(handle);
         if ok {
             self.mat_params = None;
@@ -288,7 +268,7 @@ impl PssBackend for OdssStyle {
         ok
     }
 
-    fn query(&mut self, alpha: &Ratio, beta: &Ratio) -> Vec<u64> {
+    fn query(&mut self, alpha: &Ratio, beta: &Ratio) -> Vec<Handle> {
         let stale = match &self.mat_params {
             Some((a, b)) => a.cmp(alpha) != Ordering::Equal || b.cmp(beta) != Ordering::Equal,
             None => true,
@@ -309,11 +289,11 @@ impl PssBackend for OdssStyle {
                     let keep = if w.is_zero() {
                         true
                     } else {
-                        let num = BigUint::from_u64(self.store.weights[i as usize]).mul(w.den());
+                        let num = BigUint::from_u64(self.store.weight_at(i as usize)).mul(w.den());
                         ber_rational_parts(&mut self.rng, &num, w.num())
                     };
                     if keep {
-                        out.push(i as u64);
+                        out.push(Handle::from_raw(i as u64));
                     }
                 }
                 continue;
@@ -324,11 +304,10 @@ impl PssBackend for OdssStyle {
             while k <= n_b {
                 let i = bucket[(k - 1) as usize];
                 // Accept with p_i/q = w_i·2^bi/W ≤ 1.
-                let num = BigUint::from_u64(self.store.weights[i as usize])
-                    .shl(bi as u64)
-                    .mul(w.den());
+                let num =
+                    BigUint::from_u64(self.store.weight_at(i as usize)).shl(bi as u64).mul(w.den());
                 if ber_rational_parts(&mut self.rng, &num, w.num()) {
-                    out.push(i as u64);
+                    out.push(Handle::from_raw(i as u64));
                 }
                 k += bgeo(&mut self.rng, &q, n_b + 1);
             }
@@ -337,7 +316,11 @@ impl PssBackend for OdssStyle {
     }
 
     fn len(&self) -> usize {
-        self.store.n
+        self.store.len()
+    }
+
+    fn total_weight(&self) -> u128 {
+        self.store.total()
     }
 
     fn name(&self) -> &'static str {
@@ -345,58 +328,26 @@ impl PssBackend for OdssStyle {
     }
 }
 
+impl SeedableBackend for OdssStyle {
+    fn with_seed(seed: u64) -> Self {
+        OdssStyle::new(seed)
+    }
+}
+
 // ---------------------------------------------------------------------------
-// HALT behind the common trait
+// The full comparison roster
 // ---------------------------------------------------------------------------
 
-/// [`DpssSampler`] adapted to [`PssBackend`] for uniform benchmarking.
-#[derive(Debug)]
-pub struct HaltBackend {
-    inner: DpssSampler,
-}
-
-impl HaltBackend {
-    /// Creates an empty HALT sampler with a deterministic seed.
-    pub fn new(seed: u64) -> Self {
-        HaltBackend { inner: DpssSampler::new(seed) }
-    }
-
-    /// Access the underlying sampler.
-    pub fn inner_mut(&mut self) -> &mut DpssSampler {
-        &mut self.inner
-    }
-}
-
-impl PssBackend for HaltBackend {
-    fn insert(&mut self, weight: u64) -> u64 {
-        self.inner.insert(weight).raw()
-    }
-
-    fn delete(&mut self, handle: u64) -> bool {
-        self.inner.delete(ItemId::from_raw(handle)).is_some()
-    }
-
-    fn query(&mut self, alpha: &Ratio, beta: &Ratio) -> Vec<u64> {
-        self.inner.query(alpha, beta).into_iter().map(ItemId::raw).collect()
-    }
-
-    fn len(&self) -> usize {
-        self.inner.len()
-    }
-
-    fn name(&self) -> &'static str {
-        "halt"
-    }
-}
-
-/// Every backend, in a fixed report order (HALT first).
+/// Every backend, in a fixed report order (HALT first, then the de-amortized
+/// variant, then the baselines).
 pub fn all_backends(seed: u64) -> Vec<Box<dyn PssBackend>> {
     vec![
-        Box::new(HaltBackend::new(seed)),
-        Box::new(NaiveExact::new(seed)),
-        Box::new(NaiveFloat::new(seed)),
-        Box::new(OdssStyle::new(seed)),
-        Box::new(OdssUnderDpss::new(seed)),
+        boxed::<DpssSampler>(seed),
+        boxed::<DeamortizedDpss>(seed),
+        boxed::<NaiveExact>(seed),
+        boxed::<NaiveFloat>(seed),
+        boxed::<OdssStyle>(seed),
+        boxed::<OdssUnderDpss>(seed),
     ]
 }
 
@@ -406,8 +357,9 @@ mod tests {
     use randvar::stats::binomial_z;
 
     fn marginal_check(backend: &mut dyn PssBackend, seed_weights: &[u64], trials: u64) {
-        let handles: Vec<u64> = seed_weights.iter().map(|&w| backend.insert(w)).collect();
+        let handles: Vec<Handle> = seed_weights.iter().map(|&w| backend.insert(w)).collect();
         let total: u128 = seed_weights.iter().map(|&w| w as u128).sum();
+        assert_eq!(backend.total_weight(), total, "{}", backend.name());
         let alpha = Ratio::one();
         let beta = Ratio::zero();
         let mut hits = vec![0u64; handles.len()];
@@ -445,7 +397,12 @@ mod tests {
 
     #[test]
     fn halt_backend_marginals() {
-        marginal_check(&mut HaltBackend::new(4), &[1, 5, 25, 125, 625], 40_000);
+        marginal_check(&mut DpssSampler::new(4), &[1, 5, 25, 125, 625], 40_000);
+    }
+
+    #[test]
+    fn deamortized_backend_marginals() {
+        marginal_check(&mut DeamortizedDpss::new(8), &[1, 5, 25, 125, 625], 40_000);
     }
 
     #[test]
@@ -459,19 +416,19 @@ mod tests {
         let mut o = OdssStyle::new(5);
         let a = Ratio::one();
         let b = Ratio::zero();
-        let h = o.insert(10);
-        o.insert(20);
-        let _ = o.query(&a, &b);
+        let h = PssBackend::insert(&mut o, 10);
+        PssBackend::insert(&mut o, 20);
+        let _ = PssBackend::query(&mut o, &a, &b);
         assert_eq!(o.rebuild_count, 1);
-        let _ = o.query(&a, &b); // same params: no rebuild
+        let _ = PssBackend::query(&mut o, &a, &b); // same params: no rebuild
         assert_eq!(o.rebuild_count, 1);
-        o.insert(30);
-        let _ = o.query(&a, &b); // update invalidates
+        PssBackend::insert(&mut o, 30);
+        let _ = PssBackend::query(&mut o, &a, &b); // update invalidates
         assert_eq!(o.rebuild_count, 2);
-        o.delete(h);
-        let _ = o.query(&a, &b);
+        PssBackend::delete(&mut o, h);
+        let _ = PssBackend::query(&mut o, &a, &b);
         assert_eq!(o.rebuild_count, 3);
-        let _ = o.query(&Ratio::from_int(2), &b); // new parameters invalidate
+        let _ = PssBackend::query(&mut o, &Ratio::from_int(2), &b); // new parameters invalidate
         assert_eq!(o.rebuild_count, 4);
     }
 
@@ -495,6 +452,30 @@ mod tests {
                 let t = backend.query(&Ratio::one(), &Ratio::zero());
                 assert!(!t.contains(&z), "{}", backend.name());
             }
+        }
+    }
+
+    #[test]
+    fn set_weight_agrees_across_roster() {
+        for backend in all_backends(13).iter_mut() {
+            let h = backend.insert(5);
+            backend.insert(11);
+            let h2 = backend.set_weight(h, 9).expect("live handle reweights");
+            assert_eq!(backend.total_weight(), 20, "{}", backend.name());
+            assert_eq!(backend.len(), 2, "{}", backend.name());
+            assert!(backend.set_weight(h2, 1).is_some(), "{}", backend.name());
+            assert_eq!(backend.total_weight(), 12, "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn space_accounting_is_positive_and_grows() {
+        for backend in all_backends(15).iter_mut() {
+            let empty = backend.space_words();
+            for w in 1..=256u64 {
+                backend.insert(w);
+            }
+            assert!(backend.space_words() > empty, "{}: space must grow with n", backend.name());
         }
     }
 }

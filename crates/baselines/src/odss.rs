@@ -43,7 +43,7 @@ use randvar::{ber_rational_parts, bgeo};
 use std::cmp::Ordering;
 use wordram::BitsetList;
 
-use crate::{PssBackend, Store};
+use crate::{Handle, PssBackend, Store};
 
 /// Probabilities below `2^{-TAIL_EXP}` share the last bucket.
 const TAIL_EXP: usize = 64;
@@ -200,11 +200,7 @@ impl<R: RngCore> OdssDss<R> {
 
     /// Exact expected sample size `Σ p(x)` (as `f64`, for reporting).
     pub fn expected_sample_size(&self) -> f64 {
-        self.slots
-            .iter()
-            .filter(|s| s.live)
-            .map(|s| s.prob.to_f64_lossy())
-            .sum()
+        self.slots.iter().filter(|s| s.live).map(|s| s.prob.to_f64_lossy()).sum()
     }
 
     /// Draws one subset sample: each live item included independently with
@@ -330,15 +326,15 @@ impl OdssUnderDpss {
         self.inner = OdssDss::new(self.seed ^ self.generation.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         self.dss_to_store.clear();
         let w = self.store.param_weight(alpha, beta);
-        for i in 0..self.store.weights.len() {
-            if !self.store.live[i] || self.store.weights[i] == 0 {
+        for i in 0..self.store.slot_count() {
+            if !self.store.is_live(i) || self.store.weight_at(i) == 0 {
                 continue;
             }
             self.items_rematerialized += 1;
             let p = if w.is_zero() {
                 Ratio::one()
             } else {
-                Ratio::new(BigUint::from_u64(self.store.weights[i]).mul(w.den()), w.num().clone())
+                Ratio::new(BigUint::from_u64(self.store.weight_at(i)).mul(w.den()), w.num().clone())
                     .min_one()
             };
             let h = self.inner.insert(p);
@@ -349,14 +345,26 @@ impl OdssUnderDpss {
     }
 }
 
+impl crate::SpaceUsage for OdssUnderDpss {
+    fn space_words(&self) -> usize {
+        // The inner DSS stores one exact probability per item; its heap size
+        // is dominated by the shared denominator's limbs, accounted coarsely
+        // as 8 words per slot.
+        self.store.space_words()
+            + self.inner.len() * 8
+            + self.dss_to_store.capacity().div_ceil(2)
+            + 8
+    }
+}
+
 impl PssBackend for OdssUnderDpss {
-    fn insert(&mut self, weight: u64) -> u64 {
+    fn insert(&mut self, weight: u64) -> Handle {
         let h = self.store.insert(weight);
         self.mat_params = None; // W moved: every probability is stale
         h
     }
 
-    fn delete(&mut self, handle: u64) -> bool {
+    fn delete(&mut self, handle: Handle) -> bool {
         let ok = self.store.delete(handle);
         if ok {
             self.mat_params = None;
@@ -364,7 +372,7 @@ impl PssBackend for OdssUnderDpss {
         ok
     }
 
-    fn query(&mut self, alpha: &Ratio, beta: &Ratio) -> Vec<u64> {
+    fn query(&mut self, alpha: &Ratio, beta: &Ratio) -> Vec<Handle> {
         let stale = match &self.mat_params {
             Some((a, b)) => a.cmp(alpha) != Ordering::Equal || b.cmp(beta) != Ordering::Equal,
             None => true,
@@ -375,16 +383,26 @@ impl PssBackend for OdssUnderDpss {
         self.inner
             .query()
             .into_iter()
-            .map(|h| self.dss_to_store[h as usize] as u64)
+            .map(|h| Handle::from_raw(self.dss_to_store[h as usize] as u64))
             .collect()
     }
 
     fn len(&self) -> usize {
-        self.store.n
+        self.store.len()
+    }
+
+    fn total_weight(&self) -> u128 {
+        self.store.total()
     }
 
     fn name(&self) -> &'static str {
         "odss-dss"
+    }
+}
+
+impl crate::SeedableBackend for OdssUnderDpss {
+    fn with_seed(seed: u64) -> Self {
+        OdssUnderDpss::new(seed)
     }
 }
 
@@ -532,7 +550,7 @@ mod tests {
     fn odss_under_dpss_marginals_and_rebuild_accounting() {
         let mut o = OdssUnderDpss::new(9);
         let weights = [1u64, 5, 25, 125, 625];
-        let handles: Vec<u64> = weights.iter().map(|&w| o.insert(w)).collect();
+        let handles: Vec<Handle> = weights.iter().map(|&w| o.insert(w)).collect();
         let total: u128 = weights.iter().map(|&w| w as u128).sum();
         let a = Ratio::one();
         let b = Ratio::zero();

@@ -33,11 +33,7 @@ fn check_mean_size(
     let mean = total as f64 / trials as f64;
     let var = (total_sq / trials as f64 - mean * mean).max(mu.max(1.0));
     let z = (mean - mu) / (var / trials as f64).sqrt();
-    assert!(
-        z.abs() < 5.0,
-        "{}: mean {mean} vs μ {mu} (z = {z})",
-        backend.name()
-    );
+    assert!(z.abs() < 5.0, "{}: mean {mean} vs μ {mu} (z = {z})", backend.name());
 }
 
 fn run_grid(dist: WeightDist, n: usize, seed: u64) {
@@ -90,7 +86,7 @@ fn agreement_after_interleaved_updates() {
         &mut rng,
     );
     for backend in all_backends(11).iter_mut() {
-        let mut weights_alive: Vec<(u64, u64)> = Vec::new(); // (handle, w)
+        let mut weights_alive: Vec<(pss_core::Handle, u64)> = Vec::new(); // (handle, w)
         use std::cell::RefCell;
         let alive = RefCell::new(Vec::new());
         let b = RefCell::new(backend);

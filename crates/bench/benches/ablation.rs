@@ -2,11 +2,11 @@
 
 use bench::WeightDist;
 use bignum::Ratio;
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dpss::{DpssSampler, FinalLevelMode};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::time::Duration;
 
 fn bench_final_mode(c: &mut Criterion) {
     // A1: final-level lookup table vs direct Bernoulli sampling.
@@ -17,9 +17,7 @@ fn bench_final_mode(c: &mut Criterion) {
     let n = 1usize << 16;
     let weights = WeightDist::Zipf.weights(n, 9);
     let alpha = Ratio::one();
-    for (mode, label) in
-        [(FinalLevelMode::Lookup, "lookup"), (FinalLevelMode::Direct, "direct")]
-    {
+    for (mode, label) in [(FinalLevelMode::Lookup, "lookup"), (FinalLevelMode::Direct, "direct")] {
         let (mut s, _) = DpssSampler::from_weights(&weights, 91);
         s.set_final_mode(mode);
         g.bench_function(BenchmarkId::from_parameter(label), |b| {

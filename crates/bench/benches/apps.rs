@@ -1,12 +1,12 @@
 //! Criterion benches for the Appendix A applications (E9/E10): RR-set
 //! generation and randomized push, plus the Theorem 1.2 sorting reduction (E7).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use floatdpss::sort_via_dpss;
 use graphsub::{gen, randomized_push, rr_set};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::time::Duration;
 
 fn bench_rr_sets(c: &mut Criterion) {
     let mut g = c.benchmark_group("rr_sets");

@@ -1,30 +1,25 @@
 //! Criterion benches comparing HALT against every baseline (E5): query-only
 //! and mixed update+query rounds on identical workloads.
 
-use baselines::{HaltBackend, NaiveExact, NaiveFloat, OdssStyle, OdssUnderDpss, PssBackend};
+use baselines::all_backends;
 use bench::WeightDist;
 use bignum::Ratio;
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pss_core::{Handle, PssBackend};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::time::Duration;
 
 const N: usize = 1 << 14;
 
-fn loaded(mut backend: Box<dyn PssBackend>) -> (Box<dyn PssBackend>, Vec<u64>) {
+fn loaded(mut backend: Box<dyn PssBackend>) -> (Box<dyn PssBackend>, Vec<Handle>) {
     let weights = WeightDist::Random.weights(N, 8);
     let handles = weights.iter().map(|&w| backend.insert(w)).collect();
     (backend, handles)
 }
 
 fn backends() -> Vec<Box<dyn PssBackend>> {
-    vec![
-        Box::new(HaltBackend::new(19)),
-        Box::new(NaiveExact::new(19)),
-        Box::new(NaiveFloat::new(19)),
-        Box::new(OdssStyle::new(19)),
-        Box::new(OdssUnderDpss::new(19)),
-    ]
+    all_backends(19)
 }
 
 fn bench_query_only(c: &mut Criterion) {

@@ -3,11 +3,11 @@
 
 use bench::WeightDist;
 use bignum::Ratio;
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dpss::DpssSampler;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::time::Duration;
 
 fn bench_build(c: &mut Criterion) {
     let mut g = c.benchmark_group("build");

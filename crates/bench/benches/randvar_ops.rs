@@ -2,11 +2,11 @@
 //! (i)/(ii)/(iii) (E8) and B-Geo / T-Geo across parameter regimes (E6).
 
 use bignum::Ratio;
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use randvar::{ber_oracle, ber_u64, bgeo, tgeo, HalfRecipPStarOracle, PStarOracle};
+use std::time::Duration;
 
 fn bench_bernoulli(c: &mut Criterion) {
     let mut g = c.benchmark_group("bernoulli");

@@ -26,9 +26,13 @@ fn bench_sorting(c: &mut Criterion) {
     for exp in [8u32, 10, 12] {
         let n = 1usize << exp;
         let vals = inputs(n, 41);
-        g.bench_with_input(BenchmarkId::new("dpss_reduction", format!("2^{exp}")), &vals, |b, v| {
-            b.iter(|| sort_via_dpss(v, 43));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("dpss_reduction", format!("2^{exp}")),
+            &vals,
+            |b, v| {
+                b.iter(|| sort_via_dpss(v, 43));
+            },
+        );
         g.bench_with_input(BenchmarkId::new("std_sort", format!("2^{exp}")), &vals, |b, v| {
             b.iter(|| {
                 let mut x = v.clone();

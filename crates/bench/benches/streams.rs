@@ -65,7 +65,10 @@ fn bench_streams(c: &mut Criterion) {
     g.warm_up_time(Duration::from_millis(500));
     g.sample_size(10);
     let cases = [
-        ("oscillate_boundary", make_stream(StreamKind::Oscillate { lo: 1 << 12, hi: 5 << 12 }, 1 << 12, 60_000)),
+        (
+            "oscillate_boundary",
+            make_stream(StreamKind::Oscillate { lo: 1 << 12, hi: 5 << 12 }, 1 << 12, 60_000),
+        ),
         ("sliding_window", make_stream(StreamKind::SlidingWindow { window: 1 << 12 }, 0, 60_000)),
         ("mixed_50_50", make_stream(StreamKind::Mixed { insert_permille: 500 }, 1 << 12, 60_000)),
     ];

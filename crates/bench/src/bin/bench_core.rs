@@ -1,0 +1,159 @@
+//! `bench_core` — machine-readable core-operation benchmark.
+//!
+//! Measures insert / delete / query throughput for every backend in the
+//! roster through the `pss-core` facade and writes `BENCH_core.json` (see
+//! `--out`), so successive PRs accumulate a performance trajectory that
+//! scripts can diff. Human-readable numbers go to stdout as they are
+//! produced.
+//!
+//! Usage: `cargo run --release -p bench --bin bench_core [-- --out PATH
+//! --n ITEMS --quick]`
+
+use baselines::all_backends;
+use bench::{fmt_secs, time_per};
+use bignum::Ratio;
+use pss_core::Handle;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use workloads::weights::WeightDist;
+
+/// One backend's measurements, in operations per second.
+struct Row {
+    name: &'static str,
+    insert_ops: f64,
+    churn_ops: f64,
+    query_mu16_ops: f64,
+    mixed_round_ops: f64,
+    space_words: usize,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn measure(seed: u64, n: usize, quick: bool) -> Vec<Row> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let weights = WeightDist::Zipf { s_num: 2, s_den: 1, w_max: 1 << 30 }.generate(n, &mut rng);
+    // α chosen for μ ≈ 16 under (α, 0): p_x = w_x/(α·Σw) with α = n/(16·n).
+    let alpha = Ratio::from_u64s(1, 16);
+    let beta = Ratio::zero();
+    let mut rows = Vec::new();
+
+    for backend in all_backends(seed ^ 0xB0C4).iter_mut() {
+        let name = backend.name();
+        let linear_per_query = name.starts_with("naive") || name.starts_with("odss");
+
+        // Insert: time loading the full item set, keeping the handles.
+        let mut handles: Vec<Handle> = Vec::with_capacity(n);
+        let mut i = 0usize;
+        let per_insert = time_per(n, || {
+            handles.push(backend.insert(weights[i % n]));
+            i += 1;
+        });
+
+        // Churn: time delete+reinsert *pairs* (the size stays at n); the
+        // reported number is per pair, not per delete.
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED);
+        let del_reps = if quick { (n / 8).max(1) } else { n };
+        let per_churn = time_per(del_reps, || {
+            let j = rng.gen_range(0..handles.len());
+            assert!(backend.delete(handles[j]), "{name}: live handle rejected");
+            handles[j] = backend.insert(rng.gen_range(1..=1u64 << 30));
+        });
+
+        // Query at fixed parameters (μ ≈ 16). The DSS-style backends
+        // materialize once, then answer output-sensitively — that warm cost
+        // is real but belongs to the mixed-round number below.
+        let _ = backend.query(&alpha, &beta);
+        let q_reps = if quick {
+            20
+        } else if linear_per_query {
+            60
+        } else {
+            2_000
+        };
+        let per_query = time_per(q_reps, || backend.query(&alpha, &beta).len());
+
+        // Mixed round: one update + one fresh-parameter query — the regime
+        // where DSS-under-DPSS pays its Θ(n) re-materialization.
+        let m_reps = if quick {
+            10
+        } else if linear_per_query {
+            30
+        } else {
+            500
+        };
+        let mut k = 2u64;
+        let per_round = time_per(m_reps, || {
+            let j = rng.gen_range(0..handles.len());
+            backend.delete(handles[j]);
+            handles[j] = backend.insert(rng.gen_range(1..=1u64 << 30));
+            k = if k >= 64 { 2 } else { k + 1 };
+            backend.query(&Ratio::from_u64s(1, k), &beta).len()
+        });
+
+        println!(
+            "{name:>12}: insert {}/op  churn-pair {}/op  query(μ16) {}/op  mixed {}/op",
+            fmt_secs(per_insert),
+            fmt_secs(per_churn),
+            fmt_secs(per_query),
+            fmt_secs(per_round),
+        );
+
+        rows.push(Row {
+            name,
+            insert_ops: 1.0 / per_insert,
+            churn_ops: 1.0 / per_churn,
+            query_mu16_ops: 1.0 / per_query,
+            mixed_round_ops: 1.0 / per_round,
+            space_words: backend.space_words(),
+        });
+    }
+    rows
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_core.json".to_string();
+    let mut n = 1usize << 14;
+    let mut quick = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out_path = it.next().expect("--out PATH").clone(),
+            "--n" => {
+                n = it.next().expect("--n ITEMS").parse().expect("integer n");
+                assert!(n >= 1, "--n must be at least 1");
+            }
+            "--quick" => quick = true,
+            other => panic!("unknown argument {other} (expected --out/--n/--quick)"),
+        }
+    }
+
+    println!("# bench_core: n = {n}, roster driven via dyn PssBackend\n");
+    let rows = measure(42, n, quick);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": 1,\n");
+    json.push_str(&format!("  \"n_items\": {n},\n"));
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str("  \"unit\": \"ops_per_sec\",\n");
+    json.push_str("  \"backends\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"insert\": {:.1}, \"churn_pair\": {:.1}, \
+             \"query_mu16\": {:.1}, \"mixed_round\": {:.1}, \"space_words\": {}}}{}\n",
+            json_escape(r.name),
+            r.insert_ops,
+            r.churn_ops,
+            r.query_mu16_ops,
+            r.mixed_round_ops,
+            r.space_words,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_core.json");
+    println!("\nwrote {out_path}");
+}

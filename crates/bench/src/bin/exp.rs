@@ -14,7 +14,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use randvar::stats::{binomial_z, chi_square};
 use randvar::{
-    bgeo, tgeo, tgeo_paper_literal, ber_oracle, ber_u64, CountingRng, HalfRecipPStarOracle,
+    ber_oracle, ber_u64, bgeo, tgeo, tgeo_paper_literal, CountingRng, HalfRecipPStarOracle,
     PStarOracle,
 };
 
@@ -215,9 +215,10 @@ fn e5_baselines() {
     header(&["backend", "time/round", "vs halt"]);
     let mut base = None;
     for backend in all_backends(23).iter_mut() {
-        let mut handles: Vec<u64> = weights.iter().map(|&w| backend.insert(w)).collect();
+        let mut handles: Vec<pss_core::Handle> =
+            weights.iter().map(|&w| backend.insert(w)).collect();
         let mut rng = SmallRng::seed_from_u64(29);
-        let reps = if backend.name() == "halt" { 500 } else { 30 };
+        let reps = if backend.name().starts_with("halt") { 500 } else { 30 };
         let per = time_per(reps, || {
             let i = rng.gen_range(0..handles.len());
             backend.delete(handles[i]);
@@ -284,11 +285,8 @@ fn e6b_literal_bias() {
         let mut rng = SmallRng::seed_from_u64(37);
         let mut ones = 0u64;
         for _ in 0..trials {
-            let v = if literal {
-                tgeo_paper_literal(&mut rng, &p, 10)
-            } else {
-                tgeo(&mut rng, &p, 10)
-            };
+            let v =
+                if literal { tgeo_paper_literal(&mut rng, &p, 10) } else { tgeo(&mut rng, &p, 10) };
             ones += (v == 1) as u64;
         }
         let z = binomial_z(ones, trials, pmf1);
@@ -370,7 +368,10 @@ fn e9_rr_sets() {
     let n = 20_000usize;
     let m = 100_000usize;
     let edges = gen::power_law_digraph(n, m, 100, 53);
-    println!("power-law digraph: {n} nodes, {} edges; per round: 10 edge updates + 20 RR sets\n", edges.len());
+    println!(
+        "power-law digraph: {n} nodes, {} edges; per round: 10 edge updates + 20 RR sets\n",
+        edges.len()
+    );
     header(&["graph backend", "time/round", "mean RR size"]);
     // DPSS-backed.
     {
@@ -392,7 +393,11 @@ fn e9_rr_sets() {
                 sizes += rr_set(&mut g, root, 500).len();
             }
         });
-        row(&["dpss (HALT per node)".into(), fmt_secs(per), format!("{:.2}", sizes as f64 / (rounds * 20) as f64)]);
+        row(&[
+            "dpss (HALT per node)".into(),
+            fmt_secs(per),
+            format!("{:.2}", sizes as f64 / (rounds * 20) as f64),
+        ]);
     }
     // Naive linear-scan.
     {
@@ -414,7 +419,11 @@ fn e9_rr_sets() {
                 sizes += g.rr_set(root, 500).len();
             }
         });
-        row(&["naive (linear scan)".into(), fmt_secs(per), format!("{:.2}", sizes as f64 / (rounds * 20) as f64)]);
+        row(&[
+            "naive (linear scan)".into(),
+            fmt_secs(per),
+            format!("{:.2}", sizes as f64 / (rounds * 20) as f64),
+        ]);
     }
     println!("\nHub stress (one node with 10^5 in-edges; RR sets rooted at the hub):");
     println!("this is the regime the output-sensitive bound targets — μ stays O(1)");
@@ -481,8 +490,14 @@ fn e3b_streams() {
                 }
             });
             let (p99, p999, mx) = percentiles(&mut lat);
-            row(&[label.into(), "halt (amortized)".into(), fmt_secs(total),
-                  fmt_secs(p99), fmt_secs(p999), fmt_secs(mx)]);
+            row(&[
+                label.into(),
+                "halt (amortized)".into(),
+                fmt_secs(total),
+                fmt_secs(p99),
+                fmt_secs(p999),
+                fmt_secs(mx),
+            ]);
         }
         // De-amortized.
         {
@@ -505,8 +520,14 @@ fn e3b_streams() {
                 }
             });
             let (p99, p999, mx) = percentiles(&mut lat);
-            row(&[label.into(), "de-amortized".into(), fmt_secs(total),
-                  fmt_secs(p99), fmt_secs(p999), fmt_secs(mx)]);
+            row(&[
+                label.into(),
+                "de-amortized".into(),
+                fmt_secs(total),
+                fmt_secs(p99),
+                fmt_secs(p999),
+                fmt_secs(mx),
+            ]);
         }
     }
 }
@@ -542,8 +563,7 @@ fn e10b_sweep_cut() {
     println!("Planted two-community digraphs; the sweep should recover the seed's half:\n");
     header(&["n", "time", "|cluster|", "φ(cluster)", "recovered"]);
     for n in [100usize, 400, 1000] {
-        let edges =
-            gen::two_community_digraph(n, (20_000 / n).min(900) as u32 + 60, 4, 8, 1, 101);
+        let edges = gen::two_community_digraph(n, (20_000 / n).min(900) as u32 + 60, 4, 8, 1, 101);
         let mut g = gen::build_dpss_graph(n, &edges, 103);
         let mut rng = SmallRng::seed_from_u64(107);
         let (cut, secs) = time(|| local_cluster(&mut g, 0, 20_000, 150, &mut rng));
@@ -628,7 +648,9 @@ fn a4_set_weight() {
 
 fn v1_marginals() {
     println!("\n## V1 — Theorem 4.7 exactness: empirical vs exact inclusion probabilities\n");
-    println!("50 items, 2·10^5 queries per configuration; max |z| over items (should stay < ~4.5):\n");
+    println!(
+        "50 items, 2·10^5 queries per configuration; max |z| over items (should stay < ~4.5):\n"
+    );
     header(&["weights", "(α, β)", "max |z|", "items at p=1 ok", "items at p≈0 ok"]);
     let configs: Vec<(&str, Vec<u64>)> = vec![
         ("uniform", vec![100; 50]),
@@ -703,19 +725,16 @@ fn v2_variates() {
         }
         let pf: f64 = 1.0 / 6.0;
         let probs: Vec<f64> = (1..=20)
-            .map(|i| {
-                if i < 20 {
-                    pf * (1.0 - pf).powi(i - 1)
-                } else {
-                    (1.0 - pf).powi(19)
-                }
-            })
+            .map(|i| if i < 20 { pf * (1.0 - pf).powi(i - 1) } else { (1.0 - pf).powi(19) })
             .collect();
         let stat = chi_square(&counts, &probs, trials);
         row(&["B-Geo(1/6, 20)".into(), "20 (19)".into(), format!("{stat:.2}"), "55.6".into()]);
     }
     // T-Geo in both non-trivial cases.
-    for (num, den, n, label) in [(1u64, 3u64, 12u64, "T-Geo(1/3, 12) [case 2.1]"), (1, 40, 12, "T-Geo(1/40, 12) [case 2.2]")] {
+    for (num, den, n, label) in [
+        (1u64, 3u64, 12u64, "T-Geo(1/3, 12) [case 2.1]"),
+        (1, 40, 12, "T-Geo(1/40, 12) [case 2.2]"),
+    ] {
         let mut rng = SmallRng::seed_from_u64(89);
         let p = Ratio::from_u64s(num, den);
         let mut counts = vec![0u64; n as usize];
@@ -724,8 +743,7 @@ fn v2_variates() {
         }
         let pf = num as f64 / den as f64;
         let z = 1.0 - (1.0 - pf).powi(n as i32);
-        let probs: Vec<f64> =
-            (1..=n as i32).map(|i| pf * (1.0 - pf).powi(i - 1) / z).collect();
+        let probs: Vec<f64> = (1..=n as i32).map(|i| pf * (1.0 - pf).powi(i - 1) / z).collect();
         let stat = chi_square(&counts, &probs, trials);
         row(&[label.into(), format!("{n} ({})", n - 1), format!("{stat:.2}"), "44.1".into()]);
     }
@@ -743,12 +761,7 @@ fn a1_final_mode() {
         let rows = s.lookup_rows_built();
         s.set_final_mode(FinalLevelMode::Direct);
         let t_direct = time_per(3000, || s.query(&alpha, &Ratio::zero()));
-        row(&[
-            format!("2^{exp}"),
-            fmt_secs(t_lookup),
-            fmt_secs(t_direct),
-            format!("{rows}"),
-        ]);
+        row(&[format!("2^{exp}"), fmt_secs(t_lookup), fmt_secs(t_direct), format!("{rows}")]);
     }
 }
 
@@ -767,12 +780,7 @@ fn a2_rebuild_factor() {
                 max_op = max_op.max(t.elapsed().as_secs_f64());
             }
         });
-        row(&[
-            format!("{k}"),
-            fmt_secs(secs),
-            format!("{}", s.rebuild_count()),
-            fmt_secs(max_op),
-        ]);
+        row(&[format!("{k}"), fmt_secs(secs), format!("{}", s.rebuild_count()), fmt_secs(max_op)]);
     }
 }
 

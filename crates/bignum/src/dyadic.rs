@@ -209,11 +209,7 @@ impl Interval {
     pub fn from_ratio(num: &BigUint, den: &BigUint, prec: u64) -> Self {
         let n = Dyadic::new(num.clone(), 0);
         let d = Dyadic::new(den.clone(), 0);
-        Interval {
-            lo: n.div(&d, prec, true),
-            hi: n.div(&d, prec, false),
-            prec,
-        }
+        Interval { lo: n.div(&d, prec, true), hi: n.div(&d, prec, false), prec }
     }
 
     fn normalized(self) -> Self {
@@ -241,22 +237,14 @@ impl Interval {
 
     /// `self + other`.
     pub fn add(&self, other: &Self) -> Self {
-        Interval {
-            lo: self.lo.add(&other.lo),
-            hi: self.hi.add(&other.hi),
-            prec: self.prec,
-        }
-        .normalized()
+        Interval { lo: self.lo.add(&other.lo), hi: self.hi.add(&other.hi), prec: self.prec }
+            .normalized()
     }
 
     /// `self · other` (both non-negative).
     pub fn mul(&self, other: &Self) -> Self {
-        Interval {
-            lo: self.lo.mul(&other.lo),
-            hi: self.hi.mul(&other.hi),
-            prec: self.prec,
-        }
-        .normalized()
+        Interval { lo: self.lo.mul(&other.lo), hi: self.hi.mul(&other.hi), prec: self.prec }
+            .normalized()
     }
 
     /// `self − other`, saturating each bound at 0.
@@ -352,7 +340,7 @@ mod tests {
         let up = x.round_up(3);
         assert_eq!(down.cmp(&dy(0b101, 2)), Ordering::Equal); // 20
         assert_eq!(up.cmp(&dy(0b110, 2)), Ordering::Equal); // 24
-        // Exact fit is unchanged.
+                                                            // Exact fit is unchanged.
         let y = dy(0b101, 5);
         assert_eq!(y.round_up(3).cmp(&y), Ordering::Equal);
     }

@@ -84,10 +84,7 @@ impl Ratio {
         if g.is_one() {
             return self.clone();
         }
-        Ratio {
-            num: self.num.div_rem(&g).0,
-            den: self.den.div_rem(&g).0,
-        }
+        Ratio { num: self.num.div_rem(&g).0, den: self.den.div_rem(&g).0 }
     }
 
     /// Exact addition.

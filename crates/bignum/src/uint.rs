@@ -162,7 +162,6 @@ impl BigUint {
         None
     }
 
-
     /// `self + other`.
     pub fn add(&self, other: &Self) -> Self {
         let (a, b) = if self.limbs.len() >= other.limbs.len() {
@@ -404,9 +403,7 @@ impl BigUint {
             let top = ((uu[j + n] as u64) << 32) | uu[j + n - 1] as u64;
             let mut qhat = top / vv[n - 1] as u64;
             let mut rhat = top % vv[n - 1] as u64;
-            while qhat >= B
-                || qhat * vv[n - 2] as u64 > ((rhat << 32) | uu[j + n - 2] as u64)
-            {
+            while qhat >= B || qhat * vv[n - 2] as u64 > ((rhat << 32) | uu[j + n - 2] as u64) {
                 qhat -= 1;
                 rhat += vv[n - 1] as u64;
                 if rhat >= B {
@@ -589,10 +586,7 @@ mod tests {
     fn mul_matches_u128() {
         let a = big(0xDEAD_BEEF_CAFE);
         let b = big(0xFEED_FACE);
-        assert_eq!(
-            a.mul(&b).to_u128().unwrap(),
-            0xDEAD_BEEF_CAFEu128 * 0xFEED_FACEu128
-        );
+        assert_eq!(a.mul(&b).to_u128().unwrap(), 0xDEAD_BEEF_CAFEu128 * 0xFEED_FACEu128);
     }
 
     #[test]
@@ -697,10 +691,7 @@ mod tests {
     fn display_decimal() {
         assert_eq!(big(0).to_string(), "0");
         assert_eq!(big(1234567890123456789).to_string(), "1234567890123456789");
-        assert_eq!(
-            BigUint::pow2(128).to_string(),
-            "340282366920938463463374607431768211456"
-        );
+        assert_eq!(BigUint::pow2(128).to_string(), "340282366920938463463374607431768211456");
     }
 
     #[test]

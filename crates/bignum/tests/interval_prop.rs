@@ -20,11 +20,7 @@ fn cmp_dyadic_ratio(d: &Dyadic, a: u64, b: u64) -> Ordering {
 
 /// Asserts `iv` brackets `a/b`.
 fn assert_brackets(iv: &Interval, a: u64, b: u64, what: &str) {
-    assert_ne!(
-        cmp_dyadic_ratio(iv.lo(), a, b),
-        Ordering::Greater,
-        "{what}: lo > {a}/{b}"
-    );
+    assert_ne!(cmp_dyadic_ratio(iv.lo(), a, b), Ordering::Greater, "{what}: lo > {a}/{b}");
     assert_ne!(cmp_dyadic_ratio(iv.hi(), a, b), Ordering::Less, "{what}: hi < {a}/{b}");
 }
 

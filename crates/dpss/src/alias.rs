@@ -8,8 +8,8 @@
 //! `(m²)^K` cells (substitution 1 in DESIGN.md). No floating point is involved
 //! anywhere, so sampling remains exact.
 
-use randvar::{uniform_below, uniform_below_u128};
 use rand::RngCore;
+use randvar::{uniform_below, uniform_below_u128};
 
 /// An alias table over outcomes `0..k` with exact integer weights.
 #[derive(Clone, Debug)]
@@ -28,9 +28,8 @@ impl IntAlias {
     pub fn new(weights: &[u128]) -> Self {
         let k = weights.len();
         assert!(k > 0, "empty alias table");
-        let total: u128 = weights.iter().fold(0u128, |a, &w| {
-            a.checked_add(w).expect("alias weight overflow")
-        });
+        let total: u128 =
+            weights.iter().fold(0u128, |a, &w| a.checked_add(w).expect("alias weight overflow"));
         assert!(total > 0, "alias table needs positive total weight");
         let kk = k as u128;
         total.checked_mul(kk).expect("alias total·k overflow");

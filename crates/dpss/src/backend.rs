@@ -1,0 +1,137 @@
+//! [`PssBackend`] implementations for the two HALT samplers.
+//!
+//! The facade trait lives at the bottom of the workspace (`pss-core`) so that
+//! `workloads`, `graphsub`, `bench`, and the integration suite can drive any
+//! sampler without depending on this crate's concrete types. This module
+//! adapts both HALT variants onto it:
+//!
+//! - [`DpssSampler`] — the paper's structure, O(1) *amortized* updates;
+//! - [`DeamortizedDpss`] — worst-case O(1) structure work per update.
+//!
+//! Handles are the samplers' own ids re-wrapped as the opaque
+//! [`pss_core::Handle`]; both directions are free (`raw`/`from_raw`).
+
+use crate::deamortized::DeamortizedDpss;
+use crate::item::ItemId;
+use crate::sampler::DpssSampler;
+use bignum::Ratio;
+use pss_core::{Handle, PssBackend, SeedableBackend};
+use rand::RngCore;
+
+impl<R: RngCore> PssBackend for DpssSampler<R> {
+    fn insert(&mut self, weight: u64) -> Handle {
+        Handle::from_raw(DpssSampler::insert(self, weight).raw())
+    }
+
+    fn delete(&mut self, handle: Handle) -> bool {
+        DpssSampler::delete(self, ItemId::from_raw(handle.raw())).is_some()
+    }
+
+    fn query(&mut self, alpha: &Ratio, beta: &Ratio) -> Vec<Handle> {
+        DpssSampler::query(self, alpha, beta)
+            .into_iter()
+            .map(|id| Handle::from_raw(id.raw()))
+            .collect()
+    }
+
+    fn len(&self) -> usize {
+        DpssSampler::len(self)
+    }
+
+    fn total_weight(&self) -> u128 {
+        DpssSampler::total_weight(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "halt"
+    }
+
+    fn set_weight(&mut self, handle: Handle, new_weight: u64) -> Option<Handle> {
+        // Native O(1) reweighting keeps the handle stable.
+        DpssSampler::set_weight(self, ItemId::from_raw(handle.raw()), new_weight).map(|_| handle)
+    }
+}
+
+impl SeedableBackend for DpssSampler {
+    fn with_seed(seed: u64) -> Self {
+        DpssSampler::new(seed)
+    }
+}
+
+impl PssBackend for DeamortizedDpss {
+    fn insert(&mut self, weight: u64) -> Handle {
+        Handle::from_raw(DeamortizedDpss::insert(self, weight))
+    }
+
+    fn delete(&mut self, handle: Handle) -> bool {
+        DeamortizedDpss::delete(self, handle.raw()).is_some()
+    }
+
+    fn query(&mut self, alpha: &Ratio, beta: &Ratio) -> Vec<Handle> {
+        DeamortizedDpss::query(self, alpha, beta).into_iter().map(Handle::from_raw).collect()
+    }
+
+    fn len(&self) -> usize {
+        DeamortizedDpss::len(self)
+    }
+
+    fn total_weight(&self) -> u128 {
+        DeamortizedDpss::total_weight(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "halt-deam"
+    }
+}
+
+impl SeedableBackend for DeamortizedDpss {
+    fn with_seed(seed: u64) -> Self {
+        DeamortizedDpss::new(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bignum::Ratio;
+    use pss_core::boxed;
+
+    #[test]
+    fn both_halt_variants_work_as_trait_objects() {
+        for mut backend in [boxed::<DpssSampler>(7), boxed::<DeamortizedDpss>(7)] {
+            let h1 = backend.insert(10);
+            let h2 = backend.insert(30);
+            assert_eq!(backend.len(), 2);
+            assert_eq!(backend.total_weight(), 40);
+            assert!(backend.space_words() > 0);
+            let t = backend.query(&Ratio::one(), &Ratio::zero());
+            assert!(t.iter().all(|h| *h == h1 || *h == h2));
+            assert!(backend.delete(h1));
+            assert!(!backend.delete(h1), "{}: stale delete", backend.name());
+            assert_eq!(backend.len(), 1);
+        }
+    }
+
+    #[test]
+    fn set_weight_keeps_halt_handle_stable() {
+        let mut s = DpssSampler::new(3);
+        let h = PssBackend::insert(&mut s, 5);
+        let h2 = PssBackend::set_weight(&mut s, h, 50).expect("live handle");
+        assert_eq!(h, h2);
+        assert_eq!(PssBackend::total_weight(&s), 50);
+        // Stale handles are rejected.
+        assert!(PssBackend::delete(&mut s, h));
+        assert!(PssBackend::set_weight(&mut s, h, 1).is_none());
+    }
+
+    #[test]
+    fn deamortized_default_set_weight_reweights() {
+        let mut s = DeamortizedDpss::new(5);
+        let h = PssBackend::insert(&mut s, 5);
+        let _ = PssBackend::insert(&mut s, 7);
+        let h2 = PssBackend::set_weight(&mut s, h, 50).expect("live handle");
+        assert_eq!(PssBackend::total_weight(&s), 57);
+        assert!(PssBackend::delete(&mut s, h2));
+        assert_eq!(PssBackend::total_weight(&s), 7);
+    }
+}

@@ -244,9 +244,7 @@ impl DeamortizedDpss {
     /// One PSS query with parameters `(α, β)` over the union of both halves.
     /// O(1 + μ) expected — handle translation is by dense reverse maps.
     pub fn query(&mut self, alpha: &Ratio, beta: &Ratio) -> Vec<Handle> {
-        let w = alpha
-            .mul_big(&BigUint::from_u128(self.total_weight()))
-            .add(beta);
+        let w = alpha.mul_big(&BigUint::from_u128(self.total_weight())).add(beta);
         let mut out = Vec::new();
         for id in self.old.query_with_total(&w) {
             out.push(self.rev_old[id.idx()]);
@@ -343,6 +341,21 @@ impl DeamortizedDpss {
         if self.new.is_none() {
             assert!(self.roster_new.is_empty());
         }
+    }
+}
+
+impl wordram::SpaceUsage for DeamortizedDpss {
+    fn space_words(&self) -> usize {
+        // Slot = {id, epoch} (2 words) + {pos, gen, alive} (1 word).
+        self.old.space_words()
+            + self.new.as_ref().map_or(0, |s| s.space_words())
+            + self.slots.capacity() * 3
+            + self.free.capacity().div_ceil(2)
+            + self.roster_old.capacity()
+            + self.roster_new.capacity()
+            + self.rev_old.capacity()
+            + self.rev_new.capacity()
+            + 6
     }
 }
 

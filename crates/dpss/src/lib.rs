@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod alias;
+pub mod backend;
 pub mod deamortized;
 pub mod diagnostics;
 pub mod item;
@@ -48,6 +49,7 @@ pub use bignum::Ratio;
 pub use deamortized::DeamortizedDpss;
 pub use diagnostics::{LevelStats, StructureStats};
 pub use item::ItemId;
+pub use pss_core::{Handle, PssBackend, SeedableBackend};
 pub use query::FinalLevelMode;
 pub use sampler::DpssSampler;
 pub use wordram::SpaceUsage;

@@ -208,11 +208,8 @@ mod tests {
             h1 += b1 as u64;
             h01 += (b0 && b1) as u64;
         }
-        let (f0, f1, f01) = (
-            h0 as f64 / trials as f64,
-            h1 as f64 / trials as f64,
-            h01 as f64 / trials as f64,
-        );
+        let (f0, f1, f01) =
+            (h0 as f64 / trials as f64, h1 as f64 / trials as f64, h01 as f64 / trials as f64);
         assert!((f01 - f0 * f1).abs() < 0.005, "cov = {}", f01 - f0 * f1);
     }
 

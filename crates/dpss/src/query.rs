@@ -26,6 +26,7 @@ use std::cmp::Ordering;
 
 /// Per-query context: the RNG, the exact parameterized total weight
 /// `W = α·Σw + β > 0`, and the shared lookup table.
+#[derive(Debug)]
 pub struct QueryCtx<'a, R: RngCore> {
     /// Random source.
     pub rng: &'a mut R,
@@ -74,11 +75,7 @@ pub fn thresholds(w: &Ratio, n: usize, g: u32) -> Thresholds {
     // Certain bucket: 2^i/W ≥ 1 ⟺ i ≥ ⌈log2 W⌉.
     let i_cert_min = w.ceil_log2();
     // Group j fully insignificant ⟺ (j+1)g − 1 ≤ i_ins_max.
-    let j_insig_max = if i_ins_max >= g - 1 {
-        (i_ins_max - g + 1).div_euclid(g)
-    } else {
-        -1
-    };
+    let j_insig_max = if i_ins_max >= g - 1 { (i_ins_max - g + 1).div_euclid(g) } else { -1 };
     // Group j fully certain ⟺ j·g ≥ i_cert_min.
     let j_cert_min = i_cert_min.div_euclid(g) + i64::from(i_cert_min.rem_euclid(g) != 0);
     let j_cert_min = j_cert_min.max(0);
@@ -119,11 +116,7 @@ pub fn query_insignificant<V: LevelView, R: RngCore>(
         return Vec::new();
     }
     // First potential index k via B-Geo(p0, N+1) (p0 = 1 degenerates to k=1).
-    let k = if p0.cmp_int(1) != Ordering::Less {
-        1
-    } else {
-        bgeo(rng, p0, n + 1)
-    };
+    let k = if p0.cmp_int(1) != Ordering::Less { 1 } else { bgeo(rng, p0, n + 1) };
     if k > n {
         return Vec::new();
     }

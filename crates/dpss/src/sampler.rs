@@ -218,9 +218,7 @@ impl<R: RngCore> DpssSampler<R> {
             return self.level1.n_positive as f64;
         }
         let tf = total.to_f64_lossy();
-        self.iter()
-            .map(|(_, w)| if w == 0 { 0.0 } else { (w as f64 / tf).min(1.0) })
-            .sum()
+        self.iter().map(|(_, w)| if w == 0 { 0.0 } else { (w as f64 / tf).min(1.0) }).sum()
     }
 
     /// Answers one PSS query with parameters `(α, β)` in O(1 + μ) expected
@@ -260,12 +258,8 @@ impl<R: RngCore> DpssSampler<R> {
         if w.is_zero() {
             return crate::query::query_certain(&self.level1, 0);
         }
-        let mut ctx = QueryCtx {
-            rng: &mut self.rng,
-            w,
-            table: &mut self.table,
-            final_mode: self.final_mode,
-        };
+        let mut ctx =
+            QueryCtx { rng: &mut self.rng, w, table: &mut self.table, final_mode: self.final_mode };
         query_level1(&self.level1, &mut ctx)
     }
 

@@ -231,12 +231,7 @@ impl SpaceUsage for Node {
     fn space_words(&self) -> usize {
         let buckets: usize = self.buckets.iter().map(|b| b.capacity().div_ceil(4) + 3).sum();
         let members = self.members.len() * 6;
-        let children: usize = self
-            .children
-            .iter()
-            .flatten()
-            .map(|c| c.space_words())
-            .sum();
+        let children: usize = self.children.iter().flatten().map(|c| c.space_words()).sum();
         buckets
             + members
             + children
@@ -364,10 +359,8 @@ impl Level1 {
         self.total_weight = (self.total_weight - old_w as u128)
             .checked_add(new_w as u128)
             .expect("total weight exceeds 2^128 (Word RAM precondition)");
-        let old_bucket =
-            (old_w > 0).then(|| wordram::bits::floor_log2_u64(old_w) as usize);
-        let new_bucket =
-            (new_w > 0).then(|| wordram::bits::floor_log2_u64(new_w) as usize);
+        let old_bucket = (old_w > 0).then(|| wordram::bits::floor_log2_u64(old_w) as usize);
+        let new_bucket = (new_w > 0).then(|| wordram::bits::floor_log2_u64(new_w) as usize);
         self.slab.set_weight(id, new_w);
         if old_bucket == new_bucket {
             // Same bucket (or both zero): proxy weights depend only on the

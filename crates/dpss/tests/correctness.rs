@@ -191,11 +191,8 @@ fn pairwise_independence_spot_check() {
         hb += ib as u64;
         hab += (ia && ib) as u64;
     }
-    let (fa, fb, fab) = (
-        ha as f64 / trials as f64,
-        hb as f64 / trials as f64,
-        hab as f64 / trials as f64,
-    );
+    let (fa, fb, fab) =
+        (ha as f64 / trials as f64, hb as f64 / trials as f64, hab as f64 / trials as f64);
     assert!((fab - fa * fb).abs() < 0.006, "cov = {}", fab - fa * fb);
 }
 
@@ -206,14 +203,9 @@ fn query_size_matches_mu() {
     let alpha = Ratio::from_u64s(1, 10); // μ = Σ min(10·w/Σw, 1)
     let mu = s.expected_sample_size(&alpha, &Ratio::zero());
     let trials = 5_000u64;
-    let total: u64 = (0..trials)
-        .map(|_| s.query(&alpha, &Ratio::zero()).len() as u64)
-        .sum();
+    let total: u64 = (0..trials).map(|_| s.query(&alpha, &Ratio::zero()).len() as u64).sum();
     let mean = total as f64 / trials as f64;
-    assert!(
-        (mean - mu).abs() < 0.35,
-        "mean sample size {mean} vs expected {mu}"
-    );
+    assert!((mean - mu).abs() < 0.35, "mean sample size {mean} vs expected {mu}");
 }
 
 #[test]

@@ -23,18 +23,13 @@ fn joint_check(weights: &[u64], alpha: Ratio, beta: Ratio, trials: u64, seed: u6
     let k = weights.len();
     assert!(k <= 12);
     let (mut s, ids) = DpssSampler::from_weights(weights, seed);
-    let index: HashMap<ItemId, usize> =
-        ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
-    let probs: Vec<f64> = ids
-        .iter()
-        .map(|&id| s.inclusion_prob(id, &alpha, &beta).unwrap().to_f64_lossy())
-        .collect();
+    let index: HashMap<ItemId, usize> = ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let probs: Vec<f64> =
+        ids.iter().map(|&id| s.inclusion_prob(id, &alpha, &beta).unwrap().to_f64_lossy()).collect();
     // Exact subset probabilities.
     let exact: Vec<f64> = (0..1usize << k)
         .map(|mask| {
-            (0..k)
-                .map(|i| if mask >> i & 1 == 1 { probs[i] } else { 1.0 - probs[i] })
-                .product()
+            (0..k).map(|i| if mask >> i & 1 == 1 { probs[i] } else { 1.0 - probs[i] }).product()
         })
         .collect();
     let mut counts = vec![0u64; 1 << k];
@@ -74,26 +69,14 @@ fn joint_six_items_same_bucket() {
 fn joint_with_certain_and_tiny_items() {
     // One certain item (p=1), one dominating, two tiny: exercises all three
     // instance types in one query.
-    let s = joint_check(
-        &[1, 2, 1000, 100_000],
-        Ratio::zero(),
-        Ratio::from_int(50_000),
-        400_000,
-        4,
-    );
+    let s = joint_check(&[1, 2, 1000, 100_000], Ratio::zero(), Ratio::from_int(50_000), 400_000, 4);
     assert!(s < 37.7, "chi2 = {s}");
 }
 
 #[test]
 fn joint_under_beta_scaling() {
     // β pushes everything into the insignificant instance.
-    let s = joint_check(
-        &[3, 5, 7, 11],
-        Ratio::zero(),
-        Ratio::from_int(1000),
-        600_000,
-        5,
-    );
+    let s = joint_check(&[3, 5, 7, 11], Ratio::zero(), Ratio::from_int(1000), 600_000, 5);
     assert!(s < 37.7, "chi2 = {s}");
 }
 
@@ -112,14 +95,11 @@ fn joint_after_updates() {
         .iter()
         .map(|&id| s.inclusion_prob(id, &alpha, &Ratio::zero()).unwrap().to_f64_lossy())
         .collect();
-    let index: HashMap<ItemId, usize> =
-        live.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let index: HashMap<ItemId, usize> = live.iter().enumerate().map(|(i, &id)| (id, i)).collect();
     let k = live.len();
     let exact: Vec<f64> = (0..1usize << k)
         .map(|mask| {
-            (0..k)
-                .map(|i| if mask >> i & 1 == 1 { probs[i] } else { 1.0 - probs[i] })
-                .product()
+            (0..k).map(|i| if mask >> i & 1 == 1 { probs[i] } else { 1.0 - probs[i] }).product()
         })
         .collect();
     let trials = scaled(400_000u64);

@@ -198,10 +198,8 @@ pub fn sort_via_dpss(values: &[u64], seed: u64) -> Vec<u64> {
                 break t;
             }
         };
-        let &best = sample
-            .iter()
-            .max_by_key(|&&h| s.exponent(h).expect("sampled live item"))
-            .unwrap();
+        let &best =
+            sample.iter().max_by_key(|&&h| s.exponent(h).expect("sampled live item")).unwrap();
         let e = s.delete(best).unwrap();
         let mut i = desc.len();
         desc.push(e);

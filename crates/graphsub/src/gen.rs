@@ -124,7 +124,7 @@ pub fn ring_lattice(n: usize, k: usize) -> Vec<(NodeId, NodeId, u64)> {
 
 /// Loads edges into a [`DynGraph`].
 pub fn build_dpss_graph(n: usize, edges: &[(NodeId, NodeId, u64)], seed: u64) -> DynGraph {
-    let mut g = DynGraph::new(n, seed);
+    let mut g: DynGraph = DynGraph::new(n, seed);
     for &(u, v, w) in edges {
         g.add_edge(u, v, w);
     }

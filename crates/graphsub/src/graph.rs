@@ -5,7 +5,8 @@
 //! probability implicitly rescales — the DPSS property the appendix
 //! applications rely on. [`NaiveDynGraph`] is the linear-scan comparator.
 
-use dpss::{DpssSampler, ItemId, Ratio};
+use dpss::{DpssSampler, Ratio};
+use pss_core::{Handle, PssBackend, SeedableBackend};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -15,22 +16,22 @@ pub type NodeId = u32;
 
 /// Per-node sampling state.
 #[derive(Debug)]
-struct NodeState {
+struct NodeState<B> {
     /// Sampler over in-edges; item = edge, weight = A_uv.
-    in_sampler: DpssSampler,
+    in_sampler: B,
     /// Sampler over out-edges.
-    out_sampler: DpssSampler,
+    out_sampler: B,
     /// in-edge item → source node.
-    in_edges: HashMap<ItemId, NodeId>,
+    in_edges: HashMap<Handle, NodeId>,
     /// out-edge item → target node.
-    out_edges: HashMap<ItemId, NodeId>,
+    out_edges: HashMap<Handle, NodeId>,
 }
 
-impl NodeState {
+impl<B: SeedableBackend> NodeState<B> {
     fn new(seed: u64) -> Self {
         NodeState {
-            in_sampler: DpssSampler::new(seed),
-            out_sampler: DpssSampler::new(seed ^ 0x9E37_79B9_7F4A_7C15),
+            in_sampler: B::with_seed(seed),
+            out_sampler: B::with_seed(seed ^ 0x9E37_79B9_7F4A_7C15),
             in_edges: HashMap::new(),
             out_edges: HashMap::new(),
         }
@@ -39,14 +40,20 @@ impl NodeState {
 
 /// A dynamic directed weighted graph with O(1) edge updates and
 /// output-sensitive neighborhood subset sampling at every node.
+///
+/// Generic over the sampling backend: any [`PssBackend`] from the workspace
+/// roster works (the default is HALT, the paper's structure). The backend is
+/// driven exclusively through the `pss-core` facade, so swapping in a
+/// baseline — or a future sharded/batched backend — is a type parameter, not
+/// a rewrite.
 #[derive(Debug)]
-pub struct DynGraph {
-    nodes: Vec<NodeState>,
+pub struct DynGraph<B: PssBackend = DpssSampler> {
+    nodes: Vec<NodeState<B>>,
     /// (u, v) → (item in u's out-sampler, item in v's in-sampler, weight).
-    edges: HashMap<(NodeId, NodeId), (ItemId, ItemId, u64)>,
+    edges: HashMap<(NodeId, NodeId), (Handle, Handle, u64)>,
 }
 
-impl DynGraph {
+impl<B: SeedableBackend> DynGraph<B> {
     /// Creates a graph with `n` nodes and no edges.
     pub fn new(n: usize, seed: u64) -> Self {
         DynGraph {
@@ -88,11 +95,22 @@ impl DynGraph {
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: u64) {
         assert!(w >= 1, "edge weights must be positive");
         assert!((u as usize) < self.nodes.len() && (v as usize) < self.nodes.len());
-        if let Some(entry) = self.edges.get_mut(&(u, v)) {
-            let (out_item, in_item, _) = *entry;
-            self.nodes[u as usize].out_sampler.set_weight(out_item, w).expect("edge desync");
-            self.nodes[v as usize].in_sampler.set_weight(in_item, w).expect("edge desync");
-            entry.2 = w;
+        if let Some(&(out_item, in_item, _)) = self.edges.get(&(u, v)) {
+            // `set_weight` may re-issue the handle on backends without native
+            // in-place reweighting; adopt whatever comes back.
+            let new_out =
+                self.nodes[u as usize].out_sampler.set_weight(out_item, w).expect("edge desync");
+            if new_out != out_item {
+                let t = self.nodes[u as usize].out_edges.remove(&out_item).expect("edge desync");
+                self.nodes[u as usize].out_edges.insert(new_out, t);
+            }
+            let new_in =
+                self.nodes[v as usize].in_sampler.set_weight(in_item, w).expect("edge desync");
+            if new_in != in_item {
+                let s = self.nodes[v as usize].in_edges.remove(&in_item).expect("edge desync");
+                self.nodes[v as usize].in_edges.insert(new_in, s);
+            }
+            self.edges.insert((u, v), (new_out, new_in, w));
             return;
         }
         let out_item = self.nodes[u as usize].out_sampler.insert(w);
@@ -263,7 +281,7 @@ mod tests {
 
     #[test]
     fn edge_crud() {
-        let mut g = DynGraph::new(4, 1);
+        let mut g: DynGraph = DynGraph::new(4, 1);
         g.add_edge(0, 1, 5);
         g.add_edge(2, 1, 10);
         assert_eq!(g.n_edges(), 2);
@@ -281,7 +299,7 @@ mod tests {
 
     #[test]
     fn weight_accounting() {
-        let mut g = DynGraph::new(3, 6);
+        let mut g: DynGraph = DynGraph::new(3, 6);
         g.add_edge(0, 2, 5);
         g.add_edge(1, 2, 7);
         assert_eq!(g.in_weight(2), 12);
@@ -292,7 +310,7 @@ mod tests {
 
     #[test]
     fn edges_iterator_roundtrips() {
-        let mut g = DynGraph::new(4, 13);
+        let mut g: DynGraph = DynGraph::new(4, 13);
         g.add_edge(0, 1, 2);
         g.add_edge(1, 2, 3);
         g.add_edge(2, 3, 4);
@@ -304,7 +322,7 @@ mod tests {
     #[test]
     fn in_neighbor_sampling_marginals() {
         // Node 3 has in-edges with weights 1, 3, 4 → probabilities 1/8, 3/8, 1/2.
-        let mut g = DynGraph::new(4, 2);
+        let mut g: DynGraph = DynGraph::new(4, 2);
         g.add_edge(0, 3, 1);
         g.add_edge(1, 3, 3);
         g.add_edge(2, 3, 4);
@@ -325,7 +343,7 @@ mod tests {
     fn dynamic_update_shifts_all_probabilities() {
         // Adding a heavy in-edge must reduce every other in-probability — the
         // core DPSS property.
-        let mut g = DynGraph::new(3, 3);
+        let mut g: DynGraph = DynGraph::new(3, 3);
         g.add_edge(0, 2, 10);
         g.add_edge(1, 2, 10);
         let trials = 20_000u64;
@@ -360,7 +378,7 @@ mod tests {
 
     #[test]
     fn isolated_nodes_sample_empty() {
-        let mut g = DynGraph::new(2, 21);
+        let mut g: DynGraph = DynGraph::new(2, 21);
         assert!(g.sample_in_neighbors(0).is_empty());
         assert!(g.sample_out_neighbors(1).is_empty());
         let mut ng = NaiveDynGraph::new(2, 21);

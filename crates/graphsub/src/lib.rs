@@ -46,8 +46,7 @@ mod tests {
         let mut b = gen::build_naive_graph(30, &edges, 10);
         assert_eq!(a.n_edges(), b.n_edges());
         // Same cascade law ⇒ similar mean RR-set size.
-        let ma: f64 =
-            (0..800).map(|_| rr_set(&mut a, 0, 1000).len() as f64).sum::<f64>() / 800.0;
+        let ma: f64 = (0..800).map(|_| rr_set(&mut a, 0, 1000).len() as f64).sum::<f64>() / 800.0;
         let mb: f64 = (0..800).map(|_| b.rr_set(0, 1000).len() as f64).sum::<f64>() / 800.0;
         assert!((ma - mb).abs() < 0.8, "mean RR sizes {ma} vs {mb}");
     }

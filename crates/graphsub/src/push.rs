@@ -97,10 +97,7 @@ pub fn ppr_monte_carlo<R: RngCore>(
         }
         *endpoint_counts.entry(u).or_default() += 1;
     }
-    endpoint_counts
-        .into_iter()
-        .map(|(v, c)| (v, c as f64 / particles as f64))
-        .collect()
+    endpoint_counts.into_iter().map(|(v, c)| (v, c as f64 / particles as f64)).collect()
 }
 
 /// An undirected weighted view of an edge list, used by conductance and
@@ -256,7 +253,7 @@ mod tests {
 
     /// Two 6-cliques joined by a single light bridge.
     fn two_communities(seed: u64) -> DynGraph {
-        let mut g = DynGraph::new(12, seed);
+        let mut g: DynGraph = DynGraph::new(12, seed);
         for base in [0u32, 6] {
             for i in 0..6u32 {
                 for j in 0..6u32 {
@@ -275,7 +272,7 @@ mod tests {
     fn push_conserves_mass_on_cycle() {
         // Directed cycle with single out-edges: every push forwards exactly
         // one particle (p = w/w = 1), so visits = particles × (levels + 1).
-        let mut g = DynGraph::new(5, 7);
+        let mut g: DynGraph = DynGraph::new(5, 7);
         for v in 0..5u32 {
             g.add_edge(v, (v + 1) % 5, 3);
         }
@@ -287,7 +284,7 @@ mod tests {
     #[test]
     fn push_splits_mass_across_branches() {
         // 0 → {1 (w=1), 2 (w=3)}: expected visit fractions 1/4 and 3/4.
-        let mut g = DynGraph::new(3, 8);
+        let mut g: DynGraph = DynGraph::new(3, 8);
         g.add_edge(0, 1, 1);
         g.add_edge(0, 2, 3);
         let visits = randomized_push(&mut g, 0, 40_000, 1);
@@ -317,7 +314,7 @@ mod tests {
 
     #[test]
     fn ppr_dangling_seed_keeps_all_mass() {
-        let mut g = DynGraph::new(3, 3);
+        let mut g: DynGraph = DynGraph::new(3, 3);
         g.add_edge(1, 2, 1); // seed 0 has no out-edges
         let mut rng = SmallRng::seed_from_u64(3);
         let ppr = ppr_monte_carlo(&mut g, 0, 500, 100, 16, &mut rng);

@@ -175,8 +175,7 @@ impl InfluenceMaximizer {
     pub fn select_seeds(&self, g: &DynGraph, k: usize) -> SeedSelection {
         assert!(!self.rr_sets.is_empty(), "call ensure_rr_sets first");
         let (seeds, covered) = greedy_max_coverage(&self.rr_sets, k, g.n_nodes());
-        let influence_estimate =
-            g.n_nodes() as f64 * covered as f64 / self.rr_sets.len() as f64;
+        let influence_estimate = g.n_nodes() as f64 * covered as f64 / self.rr_sets.len() as f64;
         SeedSelection { seeds, covered, influence_estimate }
     }
 
@@ -235,7 +234,7 @@ mod tests {
     #[test]
     fn rr_sets_respect_reachability() {
         // 0 → 1 → 2 chain: RR(0) = {0}; RR(2) ⊆ {2, 1, 0}.
-        let mut g = DynGraph::new(3, 4);
+        let mut g: DynGraph = DynGraph::new(3, 4);
         g.add_edge(0, 1, 1);
         g.add_edge(1, 2, 1);
         for _ in 0..100 {
@@ -249,7 +248,7 @@ mod tests {
     #[test]
     fn rr_set_deterministic_single_edge() {
         // Single in-edge: weighted-cascade probability = w/w = 1.
-        let mut g = DynGraph::new(2, 5);
+        let mut g: DynGraph = DynGraph::new(2, 5);
         g.add_edge(0, 1, 42);
         for _ in 0..50 {
             assert_eq!(rr_set(&mut g, 1, 10).len(), 2);
@@ -259,7 +258,7 @@ mod tests {
     #[test]
     fn rr_set_max_size_is_respected() {
         // Long deterministic chain, tight cap.
-        let mut g = DynGraph::new(50, 6);
+        let mut g: DynGraph = DynGraph::new(50, 6);
         for v in 1..50u32 {
             g.add_edge(v - 1, v, 1);
         }
@@ -311,7 +310,7 @@ mod tests {
         // Star: node 0 points at everyone with heavy weight; every RR set
         // from any root therefore contains 0 (p = w0 / Σ ≈ 1 with only one
         // in-edge per node, exactly 1 here).
-        let mut g = DynGraph::new(16, 7);
+        let mut g: DynGraph = DynGraph::new(16, 7);
         for v in 1..16u32 {
             g.add_edge(0, v, 9);
         }
@@ -327,7 +326,7 @@ mod tests {
     fn maximizer_influence_estimate_tracks_forward_cascades() {
         // Two-community graph: seeds = 1 should recover a sizable estimate
         // and the RIS estimate must match Monte-Carlo forward influence.
-        let mut g = DynGraph::new(12, 8);
+        let mut g: DynGraph = DynGraph::new(12, 8);
         for u in 0..6u32 {
             for v in 0..6u32 {
                 if u != v {
@@ -347,19 +346,14 @@ mod tests {
         let sel = im.run(&mut g, 3000, 1, &mut rng);
         let fwd = forward_influence(&mut g, &sel.seeds, 1500);
         let rel = (sel.influence_estimate - fwd).abs() / fwd.max(1.0);
-        assert!(
-            rel < 0.15,
-            "RIS {} vs forward {} (rel err {rel})",
-            sel.influence_estimate,
-            fwd
-        );
+        assert!(rel < 0.15, "RIS {} vs forward {} (rel err {rel})", sel.influence_estimate, fwd);
     }
 
     #[test]
     fn refresh_for_node_touches_only_affected_sets() {
         // Two disconnected stars: updating an edge into node 1 (component A)
         // must not regenerate RR sets living entirely in component B.
-        let mut g = DynGraph::new(8, 20);
+        let mut g: DynGraph = DynGraph::new(8, 20);
         g.add_edge(0, 1, 5);
         g.add_edge(4, 5, 5);
         let mut im = InfluenceMaximizer::new(16);
@@ -410,7 +404,7 @@ mod tests {
     #[test]
     fn invalidate_after_update_changes_selection() {
         // Start: hub 0. After rewiring to hub 5, a fresh run must pick 5.
-        let mut g = DynGraph::new(8, 9);
+        let mut g: DynGraph = DynGraph::new(8, 9);
         for v in 1..8u32 {
             g.add_edge(0, v, 5);
         }

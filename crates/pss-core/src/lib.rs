@@ -1,0 +1,269 @@
+//! # pss-core — the backend facade of the DPSS suite
+//!
+//! Bottom-of-stack crate owning the uniform interface through which every
+//! parameterized-subset-sampling structure in this workspace is driven: the
+//! HALT sampler of *Optimal Dynamic Parameterized Subset Sampling* (Gan,
+//! Umboh, Wang, Wirth, Zhang — PODS 2024), its de-amortized variant, the
+//! naive baselines, and the ODSS-style comparison structure of *Optimal
+//! Dynamic Subset Sampling* (Yi, Wang, Wei).
+//!
+//! Layering: `pss-core` sits directly above `bignum`/`wordram` and below
+//! every sampler crate, so `workloads`, `graphsub`, `bench`, and the
+//! integration suite can depend on the *interface* without depending on any
+//! particular sampler. Concrete structures implement [`PssBackend`] in their
+//! own crates (`dpss`, `baselines`); this crate defines:
+//!
+//! - [`PssBackend`]: insert/delete/query with exact rational parameters;
+//! - [`Handle`]: the opaque item identifier shared by every backend;
+//! - [`SeedableBackend`]: the uniform seeding surface (deterministic
+//!   construction from a `u64` seed);
+//! - [`SpaceUsage`] (re-exported from `wordram`): the paper's word-granularity
+//!   space measure, a supertrait of [`PssBackend`];
+//! - [`Store`]: the shared slot-based item store the O(n)-per-query baselines
+//!   are built on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bignum::{BigUint, Ratio};
+
+pub use wordram::SpaceUsage;
+
+/// Opaque identifier of a live item inside a [`PssBackend`].
+///
+/// Handles are only meaningful to the backend that issued them, and only
+/// until that backend deletes the item. The `u64` payload is exposed for
+/// serialization and slot-addressed bookkeeping, not for interpretation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Handle(u64);
+
+impl Handle {
+    /// Reconstructs a handle from its raw payload.
+    pub const fn from_raw(raw: u64) -> Self {
+        Handle(raw)
+    }
+
+    /// The raw payload.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Handle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A dynamic parameterized subset sampler: maintains a weighted item set
+/// under inserts/deletes and answers PSS queries `(α, β)` in which each live
+/// item `x` is included independently with probability
+/// `min( w(x) / (α·Σw + β), 1 )`.
+///
+/// Every sampler in the workspace implements this trait, which is what lets
+/// the benches, the workload drivers, and the agreement tests treat HALT, its
+/// de-amortized variant, and all baselines as interchangeable `dyn
+/// PssBackend` values.
+pub trait PssBackend: SpaceUsage {
+    /// Inserts an item with the given weight, returning its handle.
+    fn insert(&mut self, weight: u64) -> Handle;
+
+    /// Deletes an item by handle; `true` if it was live.
+    fn delete(&mut self, handle: Handle) -> bool;
+
+    /// Answers one PSS query with parameters `(α, β)`.
+    fn query(&mut self, alpha: &Ratio, beta: &Ratio) -> Vec<Handle>;
+
+    /// Number of live items.
+    fn len(&self) -> usize;
+
+    /// `true` iff no live items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sum of live weights.
+    fn total_weight(&self) -> u128;
+
+    /// Short display name (stable; used in reports and test messages).
+    fn name(&self) -> &'static str;
+
+    /// Changes the weight of a live item, returning its (possibly new)
+    /// handle, or `None` if the handle was stale.
+    ///
+    /// The default implementation deletes and re-inserts, which *changes the
+    /// handle*; structures with native in-place reweighting (HALT's
+    /// `set_weight`) override this and keep the handle stable. Callers that
+    /// cache handles must always adopt the returned one.
+    fn set_weight(&mut self, handle: Handle, new_weight: u64) -> Option<Handle> {
+        if !self.delete(handle) {
+            return None;
+        }
+        Some(self.insert(new_weight))
+    }
+}
+
+/// Uniform deterministic-seeding surface: every backend in the workspace can
+/// be constructed from a bare `u64` seed, which is what the agreement tests
+/// and the benchmark harness rely on for reproducibility.
+pub trait SeedableBackend: PssBackend + Sized {
+    /// Creates an empty backend whose coin flips are driven by `seed`.
+    fn with_seed(seed: u64) -> Self;
+}
+
+/// Boxes a seeded backend as a trait object.
+pub fn boxed<B: SeedableBackend + 'static>(seed: u64) -> Box<dyn PssBackend> {
+    Box::new(B::with_seed(seed))
+}
+
+// ---------------------------------------------------------------------------
+// Shared slot-based item storage.
+// ---------------------------------------------------------------------------
+
+/// Slot-based weighted item store shared by the O(n)-per-query baselines.
+///
+/// Handles are slot indices; freed slots are recycled. The store also tracks
+/// the exact total weight, from which [`Store::param_weight`] derives the
+/// query denominator `W(α, β) = α·Σw + β` in exact rational arithmetic.
+#[derive(Clone, Debug, Default)]
+pub struct Store {
+    /// Weight per slot (stale weights remain in dead slots).
+    weights: Vec<u64>,
+    /// Liveness per slot.
+    live: Vec<bool>,
+    /// Recycled slot indices.
+    free: Vec<u32>,
+    /// Number of live items.
+    n: usize,
+    /// Exact sum of live weights.
+    total: u128,
+}
+
+impl Store {
+    /// Number of allocated slots (live + recycled); slot indices and handle
+    /// payloads range over `0..slot_count()`.
+    pub fn slot_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// `true` iff slot `i` holds a live item. Out-of-range is `false`.
+    pub fn is_live(&self, i: usize) -> bool {
+        self.live.get(i).copied().unwrap_or(false)
+    }
+
+    /// Weight in slot `i` (stale for dead slots — check [`Store::is_live`]).
+    pub fn weight_at(&self, i: usize) -> u64 {
+        self.weights[i]
+    }
+
+    /// Number of live items.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` iff no live items.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Exact sum of live weights.
+    pub fn total(&self) -> u128 {
+        self.total
+    }
+
+    /// Inserts an item, returning its slot handle.
+    pub fn insert(&mut self, w: u64) -> Handle {
+        self.n += 1;
+        self.total += w as u128;
+        if let Some(i) = self.free.pop() {
+            self.weights[i as usize] = w;
+            self.live[i as usize] = true;
+            Handle::from_raw(i as u64)
+        } else {
+            self.weights.push(w);
+            self.live.push(true);
+            Handle::from_raw((self.weights.len() - 1) as u64)
+        }
+    }
+
+    /// Deletes an item by handle; `true` if it was live.
+    pub fn delete(&mut self, h: Handle) -> bool {
+        let i = h.raw() as usize;
+        if i >= self.live.len() || !self.live[i] {
+            return false;
+        }
+        self.live[i] = false;
+        self.total -= self.weights[i] as u128;
+        self.free.push(i as u32);
+        self.n -= 1;
+        true
+    }
+
+    /// The exact query denominator `W(α, β) = α·Σw + β`.
+    pub fn param_weight(&self, alpha: &Ratio, beta: &Ratio) -> Ratio {
+        alpha.mul_big(&BigUint::from_u128(self.total)).add(beta)
+    }
+
+    /// Iterates `(handle, weight)` over live slots (zero-weight items
+    /// included — skipping them is the sampler's decision, not the store's).
+    pub fn iter_live(&self) -> impl Iterator<Item = (Handle, u64)> + '_ {
+        self.weights
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.live[i])
+            .map(|(i, &w)| (Handle::from_raw(i as u64), w))
+    }
+}
+
+impl SpaceUsage for Store {
+    fn space_words(&self) -> usize {
+        // One word per weight slot, one per 64 liveness flags (rounded up),
+        // half a word per free-list entry, plus the two scalars.
+        self.weights.capacity()
+            + self.live.capacity().div_ceil(64)
+            + self.free.capacity().div_ceil(2)
+            + 3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_roundtrip_and_totals() {
+        let mut s = Store::default();
+        let a = s.insert(5);
+        let b = s.insert(7);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.total(), 12);
+        assert!(s.delete(a));
+        assert!(!s.delete(a), "double delete must fail");
+        assert_eq!(s.total(), 7);
+        // Slot is recycled.
+        let c = s.insert(9);
+        assert_eq!(c, a);
+        assert_eq!(s.total(), 16);
+        assert_eq!(s.iter_live().count(), 2);
+        assert!(s.iter_live().any(|(h, w)| h == b && w == 7));
+        assert!(s.space_words() > 0);
+    }
+
+    #[test]
+    fn param_weight_is_exact() {
+        let mut s = Store::default();
+        s.insert(10);
+        s.insert(20);
+        // W = (1/3)·30 + 5 = 15.
+        let w = s.param_weight(&Ratio::from_u64s(1, 3), &Ratio::from_int(5));
+        assert_eq!(w.cmp(&Ratio::from_int(15)), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn handle_raw_roundtrip() {
+        let h = Handle::from_raw(123);
+        assert_eq!(h.raw(), 123);
+        assert_eq!(format!("{h}"), "#123");
+        assert_eq!(h, Handle::from_raw(123));
+    }
+}

@@ -98,7 +98,8 @@ mod tests {
     #[test]
     fn frequency_matches_probability() {
         // 5σ bounds with N = 200_000.
-        for (a, b, seed) in [(1u64, 2u64, 1u64), (1, 3, 2), (2, 7, 3), (999, 1000, 4), (1, 1000, 5)] {
+        for (a, b, seed) in [(1u64, 2u64, 1u64), (1, 3, 2), (2, 7, 3), (999, 1000, 4), (1, 1000, 5)]
+        {
             let p = a as f64 / b as f64;
             let n = 200_000f64;
             let sigma = (p * (1.0 - p) / n).sqrt();

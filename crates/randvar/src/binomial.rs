@@ -147,10 +147,7 @@ mod tests {
         for seed in 0..50 {
             let mut r1 = SmallRng::seed_from_u64(seed);
             let mut r2 = SmallRng::seed_from_u64(seed);
-            assert_eq!(
-                binomial(&mut r1, &p, 40),
-                binomial_positions(&mut r2, &p, 40).len() as u64
-            );
+            assert_eq!(binomial(&mut r1, &p, 40), binomial_positions(&mut r2, &p, 40).len() as u64);
         }
     }
 }

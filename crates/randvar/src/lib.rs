@@ -30,8 +30,8 @@ mod bernoulli;
 mod bgeo;
 pub mod binomial;
 mod lazy;
-mod oracles;
 pub mod naive;
+mod oracles;
 mod rng;
 pub mod stats;
 mod tgeo;
@@ -40,7 +40,7 @@ pub use bernoulli::{ber_rational, ber_rational_parts, ber_u128, ber_u64};
 pub use bgeo::{ber_pow_one_minus, bgeo};
 pub use binomial::{binomial, binomial_positions};
 pub use lazy::{ber_oracle, ProbOracle, RatioOracle};
-pub use oracles::{HalfRecipPStarOracle, PStarOracle, PowOneMinusOracle};
 pub use naive::{bgeo_naive_scan, geo_f64, tgeo_inversion_f64, tgeo_naive_scan};
+pub use oracles::{HalfRecipPStarOracle, PStarOracle, PowOneMinusOracle};
 pub use rng::{uniform_below, uniform_below_u128, CountingRng};
 pub use tgeo::{tgeo, tgeo_paper_literal};

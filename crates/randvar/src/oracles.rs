@@ -23,11 +23,7 @@ use wordram::bits::ceil_log2_u64;
 /// would indicate a bug in the static error analysis, not bad luck.
 const MAX_PREC: u64 = 1 << 20;
 
-fn bracket_with_retry(
-    bits: u64,
-    mut prec: u64,
-    eval: impl Fn(u64) -> Interval,
-) -> Interval {
+fn bracket_with_retry(bits: u64, mut prec: u64, eval: impl Fn(u64) -> Interval) -> Interval {
     loop {
         let iv = eval(prec);
         if iv.width_le_pow2(-(bits as i64)) {
@@ -94,17 +90,9 @@ impl PStarOracle {
         assert!(n >= 1);
         assert!(!q.is_zero(), "q must be positive");
         let nq = q.mul_big(&BigUint::from_u64(n));
-        assert!(
-            nq.cmp_int(1) != std::cmp::Ordering::Greater,
-            "p* requires n·q ≤ 1"
-        );
+        assert!(nq.cmp_int(1) != std::cmp::Ordering::Greater, "p* requires n·q ≤ 1");
         let cancel_bits = (-nq.floor_log2()).max(0) as u64;
-        PStarOracle {
-            q_num: q.num().clone(),
-            q_den: q.den().clone(),
-            n,
-            cancel_bits,
-        }
+        PStarOracle { q_num: q.num().clone(), q_den: q.den().clone(), n, cancel_bits }
     }
 
     fn eval(&self, prec: u64) -> Interval {
@@ -185,8 +173,7 @@ mod tests {
         let iv = o0.bracket(32);
         assert_eq!(iv.lo().cmp(iv.hi()), Ordering::Equal);
         // (1 − 2^-40)^(2^39) ≈ e^{-1/2}
-        let mut oh =
-            PowOneMinusOracle::new(&BigUint::from_u64(1), &BigUint::pow2(40), 1u64 << 39);
+        let mut oh = PowOneMinusOracle::new(&BigUint::from_u64(1), &BigUint::pow2(40), 1u64 << 39);
         let iv = oh.bracket(50);
         assert!(iv.width_le_pow2(-50));
         assert_bracket_contains(&iv, (-0.5f64).exp(), "huge-k pow");

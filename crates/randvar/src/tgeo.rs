@@ -102,10 +102,7 @@ pub fn tgeo_paper_literal<R: RngCore>(rng: &mut R, p: &Ratio, n: u64) -> u64 {
         let mut i: u64 = 0;
         while i <= n {
             i += bgeo(rng, &stride_p, n + 1);
-            if i <= n
-                && ber_pow_one_minus(rng, p, i - 1)
-                && ber_oracle(rng, &mut final_accept)
-            {
+            if i <= n && ber_pow_one_minus(rng, p, i - 1) && ber_oracle(rng, &mut final_accept) {
                 return i;
             }
         }

@@ -26,12 +26,7 @@ impl BitsetList {
     /// `universe > 4096`.
     pub fn new(universe: usize) -> Self {
         assert!(universe <= 4096, "BitsetList universe exceeds two-level capacity");
-        BitsetList {
-            universe,
-            summary: 0,
-            words: vec![0; universe.div_ceil(64).max(1)],
-            len: 0,
-        }
+        BitsetList { universe, summary: 0, words: vec![0; universe.div_ceil(64).max(1)], len: 0 }
     }
 
     /// Universe size.
@@ -151,6 +146,7 @@ impl BitsetList {
 }
 
 /// Ascending iterator over a [`BitsetList`].
+#[derive(Debug)]
 pub struct BitsetIter<'a> {
     set: &'a BitsetList,
     next: Option<usize>,
@@ -166,6 +162,7 @@ impl Iterator for BitsetIter<'_> {
 }
 
 /// Ascending bounded iterator over a [`BitsetList`].
+#[derive(Debug)]
 pub struct BitsetRangeIter<'a> {
     set: &'a BitsetList,
     next: Option<usize>,

@@ -238,9 +238,7 @@ mod tests {
         assert_eq!(s.checked_sub(&a).unwrap(), b);
         assert_eq!(s.checked_sub(&b).unwrap(), a);
         assert!(U256::ZERO.checked_sub(&U256::ONE).is_none());
-        assert!(U256::pow2(255)
-            .checked_add(&U256::pow2(255))
-            .is_none());
+        assert!(U256::pow2(255).checked_add(&U256::pow2(255)).is_none());
     }
 
     #[test]

@@ -5,8 +5,7 @@
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 use wordram::bits::{
-    ceil_log2_u128, ceil_log2_u64, floor_log2_u128, floor_log2_u64, highest_set_bit,
-    lowest_set_bit,
+    ceil_log2_u128, ceil_log2_u64, floor_log2_u128, floor_log2_u64, highest_set_bit, lowest_set_bit,
 };
 use wordram::{BitsetList, U256};
 

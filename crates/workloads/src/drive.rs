@@ -1,0 +1,151 @@
+//! Replaying generated workloads into any [`PssBackend`].
+//!
+//! [`UpdateStream::replay`](crate::updates::UpdateStream::replay) is
+//! callback-based and handle-type-generic; this module adds the one layer
+//! every consumer was re-implementing by hand: applying a stream to a
+//! `dyn PssBackend` while tracking live handles, optionally interleaving
+//! queries, and reporting what happened. It is the piece that lets the bench
+//! harness and the integration suite drive *every* sampler — HALT,
+//! de-amortized HALT, and all baselines — through one code path.
+
+use crate::updates::{LiveSet, Op, UpdateStream};
+use bignum::Ratio;
+use pss_core::PssBackend;
+
+/// Outcome of [`replay_stream`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Items inserted (initial load + stream inserts).
+    pub inserts: u64,
+    /// Items deleted.
+    pub deletes: u64,
+    /// Queries issued (0 unless a query cadence was requested).
+    pub queries: u64,
+    /// Total items returned across all queries.
+    pub sampled: u64,
+}
+
+/// Replays `stream` into `backend`: initial load, then every update op.
+///
+/// If `query_every` is `Some((k, α, β))`, a PSS query is issued after every
+/// `k`-th update op. Panics if the backend rejects a delete of a handle the
+/// stream believes is live — that is a backend bug, and the agreement suite
+/// relies on it being loud.
+pub fn replay_stream(
+    backend: &mut dyn PssBackend,
+    stream: &UpdateStream,
+    query_every: Option<(usize, &Ratio, &Ratio)>,
+) -> ReplayReport {
+    let mut live = LiveSet::new();
+    let mut report = ReplayReport::default();
+    for &w in &stream.initial {
+        live.insert(backend.insert(w));
+        report.inserts += 1;
+    }
+    for (step, op) in stream.ops.iter().enumerate() {
+        match *op {
+            Op::Insert(w) => {
+                live.insert(backend.insert(w));
+                report.inserts += 1;
+            }
+            Op::DeleteAt(i) => {
+                let h = live.remove_at(i);
+                assert!(
+                    backend.delete(h),
+                    "{}: delete of live handle {h} rejected at step {step}",
+                    backend.name()
+                );
+                report.deletes += 1;
+            }
+        }
+        if let Some((k, alpha, beta)) = query_every {
+            if k > 0 && (step + 1) % k == 0 {
+                report.queries += 1;
+                report.sampled += backend.query(alpha, beta).len() as u64;
+            }
+        }
+    }
+    assert_eq!(backend.len(), live.len(), "{}: live-set drift", backend.name());
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::updates::StreamKind;
+    use crate::weights::WeightDist;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// A trivial in-test backend so this crate's tests stay independent of
+    /// the sampler crates above it in the dependency graph.
+    #[derive(Debug, Default)]
+    struct CountingBackend {
+        store: pss_core::Store,
+    }
+
+    impl pss_core::SpaceUsage for CountingBackend {
+        fn space_words(&self) -> usize {
+            self.store.space_words()
+        }
+    }
+
+    impl PssBackend for CountingBackend {
+        fn insert(&mut self, weight: u64) -> pss_core::Handle {
+            self.store.insert(weight)
+        }
+        fn delete(&mut self, handle: pss_core::Handle) -> bool {
+            self.store.delete(handle)
+        }
+        fn query(&mut self, _alpha: &Ratio, _beta: &Ratio) -> Vec<pss_core::Handle> {
+            self.store.iter_live().map(|(h, _)| h).collect()
+        }
+        fn len(&self) -> usize {
+            self.store.len()
+        }
+        fn total_weight(&self) -> u128 {
+            self.store.total()
+        }
+        fn name(&self) -> &'static str {
+            "counting"
+        }
+    }
+
+    #[test]
+    fn replay_tracks_backend_state() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let stream = UpdateStream::generate(
+            StreamKind::Mixed { insert_permille: 600 },
+            32,
+            500,
+            WeightDist::Uniform { lo: 1, hi: 100 },
+            &mut rng,
+        );
+        let mut backend = CountingBackend::default();
+        let a = Ratio::one();
+        let b = Ratio::zero();
+        let report = replay_stream(&mut backend, &stream, Some((10, &a, &b)));
+        assert_eq!(report.inserts - report.deletes, backend.len() as u64);
+        assert_eq!(report.queries, (stream.ops.len() / 10) as u64);
+        // The counting backend returns everything live on each query.
+        assert!(report.sampled >= report.queries);
+    }
+
+    #[test]
+    fn replay_without_queries() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let stream = UpdateStream::generate(
+            StreamKind::InsertOnly,
+            0,
+            200,
+            WeightDist::Equal { w: 3 },
+            &mut rng,
+        );
+        let mut backend = CountingBackend::default();
+        let report = replay_stream(&mut backend, &stream, None);
+        assert_eq!(report.inserts, 200);
+        assert_eq!(report.queries, 0);
+        assert_eq!(backend.len(), 200);
+        assert_eq!(backend.total_weight(), 600);
+    }
+}

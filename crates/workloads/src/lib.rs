@@ -30,10 +30,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod drive;
 pub mod params;
 pub mod updates;
 pub mod weights;
 
+pub use drive::{replay_stream, ReplayReport};
 pub use params::{alpha_for_mu, beta_for_mu, mu_exact_f64, mu_exact_ratio, ParamSweep};
 pub use updates::{Op, StreamKind, UpdateStream};
 pub use weights::WeightDist;

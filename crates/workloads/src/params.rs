@@ -31,10 +31,7 @@ pub fn alpha_for_mu(num: u64, den: u64) -> (Ratio, Ratio) {
 pub fn beta_for_mu(total_weight: u128, num: u64, den: u64) -> (Ratio, Ratio) {
     assert!(num > 0, "target mu must be positive");
     assert!(den > 0, "mu denominator must be positive");
-    let beta = Ratio::new(
-        BigUint::from_u128(total_weight).mul_u64(den),
-        BigUint::from_u64(num),
-    );
+    let beta = Ratio::new(BigUint::from_u128(total_weight).mul_u64(den), BigUint::from_u64(num));
     (Ratio::zero(), beta)
 }
 
@@ -43,10 +40,7 @@ pub fn beta_for_mu(total_weight: u128, num: u64, den: u64) -> (Ratio, Ratio) {
 /// `W` is recomputed from `weights`; clamped items contribute exactly 1.
 pub fn mu_exact_ratio(weights: &[u64], alpha: &Ratio, beta: &Ratio) -> Ratio {
     let total: u128 = weights.iter().map(|&w| u128::from(w)).sum();
-    let denom = alpha
-        .mul_big(&BigUint::from_u128(total))
-        .add(beta)
-        .reduce();
+    let denom = alpha.mul_big(&BigUint::from_u128(total)).add(beta).reduce();
     let mut mu = Ratio::zero();
     if denom.is_zero() {
         // W(α,β) = 0: the paper's convention is that every positive-weight
@@ -58,9 +52,7 @@ pub fn mu_exact_ratio(weights: &[u64], alpha: &Ratio, beta: &Ratio) -> Ratio {
         if w == 0 {
             continue;
         }
-        let p = Ratio::new(BigUint::from_u64(w), BigUint::one())
-            .div(&denom)
-            .min_one();
+        let p = Ratio::new(BigUint::from_u64(w), BigUint::one()).div(&denom).min_one();
         mu = mu.add(&p);
     }
     mu.reduce()
@@ -88,11 +80,7 @@ impl ParamSweep {
             .iter()
             .map(|&(num, den)| {
                 let (a, b) = alpha_for_mu(num, den);
-                let label = if den == 1 {
-                    format!("mu={num}")
-                } else {
-                    format!("mu={num}/{den}")
-                };
+                let label = if den == 1 { format!("mu={num}") } else { format!("mu={num}/{den}") };
                 (label, a, b)
             })
             .collect();
@@ -136,7 +124,7 @@ mod tests {
     #[test]
     fn alpha_for_mu_hits_target_exactly_without_clamping() {
         let weights = vec![10u64, 20, 30, 40]; // W = 100, w_max = 40
-        // μ = 2: threshold w_max ≤ W/μ = 50 holds, so exact.
+                                               // μ = 2: threshold w_max ≤ W/μ = 50 holds, so exact.
         let (a, b) = alpha_for_mu(2, 1);
         let mu = mu_exact_ratio(&weights, &a, &b);
         assert_eq!(mu.cmp_int(2), std::cmp::Ordering::Equal);

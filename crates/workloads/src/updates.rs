@@ -285,8 +285,13 @@ mod tests {
 
     #[test]
     fn mixed_stream_indices_always_valid() {
-        let s =
-            UpdateStream::generate(StreamKind::Mixed { insert_permille: 500 }, 5, 2000, DIST, &mut rng());
+        let s = UpdateStream::generate(
+            StreamKind::Mixed { insert_permille: 500 },
+            5,
+            2000,
+            DIST,
+            &mut rng(),
+        );
         let (ins, del, live) = replay_counts(&s);
         assert_eq!(ins - del, live);
         assert_eq!(ins + del, 5 + s.len());
@@ -294,8 +299,13 @@ mod tests {
 
     #[test]
     fn mixed_all_inserts_when_permille_1000() {
-        let s =
-            UpdateStream::generate(StreamKind::Mixed { insert_permille: 1000 }, 0, 100, DIST, &mut rng());
+        let s = UpdateStream::generate(
+            StreamKind::Mixed { insert_permille: 1000 },
+            0,
+            100,
+            DIST,
+            &mut rng(),
+        );
         assert!(s.ops.iter().all(|op| matches!(op, Op::Insert(_))));
     }
 
@@ -357,8 +367,13 @@ mod tests {
     fn replay_with_swap_remove_backend_matches_liveset() {
         // A backend storing weights in a Vec with swap-remove must stay
         // consistent with the stream's LiveSet view.
-        let s =
-            UpdateStream::generate(StreamKind::Mixed { insert_permille: 400 }, 50, 1000, DIST, &mut rng());
+        let s = UpdateStream::generate(
+            StreamKind::Mixed { insert_permille: 400 },
+            50,
+            1000,
+            DIST,
+            &mut rng(),
+        );
         let mut weights: Vec<u64> = Vec::new();
         let mut live = LiveSet::new();
         for &w in &s.initial {
@@ -383,8 +398,20 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let a = UpdateStream::generate(StreamKind::Mixed { insert_permille: 300 }, 10, 100, DIST, &mut SmallRng::seed_from_u64(1));
-        let b = UpdateStream::generate(StreamKind::Mixed { insert_permille: 300 }, 10, 100, DIST, &mut SmallRng::seed_from_u64(1));
+        let a = UpdateStream::generate(
+            StreamKind::Mixed { insert_permille: 300 },
+            10,
+            100,
+            DIST,
+            &mut SmallRng::seed_from_u64(1),
+        );
+        let b = UpdateStream::generate(
+            StreamKind::Mixed { insert_permille: 300 },
+            10,
+            100,
+            DIST,
+            &mut SmallRng::seed_from_u64(1),
+        );
         assert_eq!(a.ops, b.ops);
         assert_eq!(a.initial, b.initial);
     }

@@ -13,9 +13,16 @@ use workloads::weights::WeightDist;
 fn arb_dist() -> impl Strategy<Value = WeightDist> {
     prop_oneof![
         (1u64..100, 0u64..1000).prop_map(|(lo, extra)| WeightDist::Uniform { lo, hi: lo + extra }),
-        (1u32..4, 1u64..=1 << 40).prop_map(|(s, w)| WeightDist::Zipf { s_num: s, s_den: 1, w_max: w }),
-        (1u64..10, 10u64..1 << 30, 0u32..=1000)
-            .prop_map(|(l, h, p)| WeightDist::Bimodal { light: l, heavy: h, heavy_permille: p }),
+        (1u32..4, 1u64..=1 << 40).prop_map(|(s, w)| WeightDist::Zipf {
+            s_num: s,
+            s_den: 1,
+            w_max: w
+        }),
+        (1u64..10, 10u64..1 << 30, 0u32..=1000).prop_map(|(l, h, p)| WeightDist::Bimodal {
+            light: l,
+            heavy: h,
+            heavy_permille: p
+        }),
         (1u64..1 << 50).prop_map(|w| WeightDist::Equal { w }),
         (0u32..=60).prop_map(|e| WeightDist::PowersOfTwo { max_exp: e }),
     ]

@@ -1,0 +1,283 @@
+//! # criterion (offline shim)
+//!
+//! The build environment has no network access, so the crates.io `criterion`
+//! crate cannot be fetched. This is a minimal wall-clock benchmarking harness
+//! exposing the API subset the workspace's benches use: [`Criterion`],
+//! [`BenchmarkGroup`] (`sample_size`, `measurement_time`, `warm_up_time`,
+//! `throughput`, `bench_function`, `bench_with_input`, `finish`),
+//! [`Bencher::iter`], [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Reporting is intentionally simple: median ns/iteration over the collected
+//! samples, printed as one line per benchmark. Measurement windows are capped
+//! (default 500 ms per benchmark, override with `CRITERION_MEASURE_MS`) so a
+//! full `cargo bench` sweep stays in CI budget; statistical machinery
+//! (outlier analysis, HTML reports) is out of scope for the shim.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque hint preventing the optimizer from deleting a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Identifier carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Throughput annotation (accepted and echoed, no derived stats).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Per-iteration timing driver handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, collecting `sample_size` samples inside the measurement
+    /// window. Each sample is the mean over an adaptively-sized batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up window elapses (at least once).
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let warm_per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Batch size targeting measurement_time split across sample_size
+        // samples, at least 1 iteration per batch.
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let batch = ((per_sample / warm_per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed().as_secs_f64() / batch as f64);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    fn report(&mut self, label: &str) {
+        if self.samples.is_empty() {
+            println!("bench {label:<50} (no samples)");
+            return;
+        }
+        self.samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = self.samples[self.samples.len() / 2];
+        let lo = self.samples[0];
+        let hi = self.samples[self.samples.len() - 1];
+        println!(
+            "bench {label:<50} {:>12.1} ns/iter  (min {:.1}, max {:.1}, {} samples)",
+            median * 1e9,
+            lo * 1e9,
+            hi * 1e9,
+            self.samples.len()
+        );
+    }
+}
+
+fn measure_cap() -> Duration {
+    let ms = std::env::var("CRITERION_MEASURE_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(500);
+    Duration::from_millis(ms)
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement window (capped by `CRITERION_MEASURE_MS`).
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t.min(measure_cap());
+        self
+    }
+
+    /// Sets the warm-up window (capped at half the measurement cap).
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t.min(measure_cap() / 2);
+        self
+    }
+
+    /// Records the group's throughput annotation (echoed only).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+        };
+        f(&mut b);
+        let label =
+            if self.name.is_empty() { id.label } else { format!("{}/{}", self.name, id.label) };
+        b.report(&label);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (drop would do; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: measure_cap(),
+            warm_up_time: measure_cap() / 4,
+            _parent: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("").bench_function(id, f);
+        self
+    }
+
+    /// No-op kept for compatibility with `criterion_main!`-generated code.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Declares `fn main` running the listed groups. `cargo test`/`cargo bench`
+/// harness flags (`--test`, `--bench`) are accepted; under `--test` the
+/// benchmarks are skipped so test runs stay fast.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_smoke() {
+        std::env::set_var("CRITERION_MEASURE_MS", "5");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3).measurement_time(Duration::from_millis(5));
+        let mut acc = 0u64;
+        g.bench_function(BenchmarkId::from_parameter("add"), |b| {
+            b.iter(|| {
+                acc = acc.wrapping_add(black_box(1));
+                acc
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &k| {
+            b.iter(|| black_box(7u64).wrapping_mul(k))
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,416 @@
+//! # rand (offline shim)
+//!
+//! The build environment for this workspace has no network access, so the
+//! crates.io `rand` crate cannot be fetched. This crate is a small,
+//! API-compatible stand-in for the subset of `rand 0.8` that the workspace
+//! actually uses:
+//!
+//! - [`RngCore`] / [`Rng`] / [`SeedableRng`] traits (`next_u64`, `gen`,
+//!   `gen_range`, `gen_bool`, `seed_from_u64`, `from_seed`);
+//! - [`rngs::SmallRng`]: xoshiro256++ (the same algorithm `rand 0.8` uses for
+//!   `SmallRng` on 64-bit targets), seeded through SplitMix64;
+//! - [`distributions::Standard`] for integers, `bool`, `f32`, `f64`.
+//!
+//! All samplers are exact/unbiased: integer ranges use masked rejection, and
+//! floats use the 53-bit mantissa ladder. Streams are fully deterministic
+//! given a seed, which the test suite relies on.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Error type carried by [`RngCore::try_fill_bytes`]. The shim RNGs are
+/// infallible, so this is never constructed by this crate.
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Core random-word source (mirror of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible variant of [`RngCore::fill_bytes`]; infallible here.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Seedable construction (mirror of `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Raw seed material.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Constructs from raw seed bytes.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed via SplitMix64 (as `rand 0.8` does).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = SplitMix64 { state };
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let w = sm.next().to_le_bytes();
+            let k = chunk.len();
+            chunk.copy_from_slice(&w[..k]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+pub mod distributions {
+    //! Minimal mirror of `rand::distributions`.
+
+    use super::RngCore;
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" uniform distribution: full range for integers, `[0, 1)`
+    /// for floats, fair coin for `bool`.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Standard;
+
+    macro_rules! standard_uint {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    if <$t>::BITS <= 64 {
+                        rng.next_u64() as $t
+                    } else {
+                        ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) as $t
+                    }
+                }
+            }
+        )*};
+    }
+
+    standard_uint!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 uniform mantissa bits in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+}
+
+/// Types usable with [`Rng::gen_range`] (mirror of `rand`'s `SampleUniform`).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi]`, both inclusive. Unbiased via masked
+    /// rejection.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as $u).wrapping_sub(lo as $u);
+                if span == <$u>::MAX {
+                    // Full domain: a raw word is already uniform.
+                    let raw: $u = if <$u>::BITS <= 64 {
+                        rng.next_u64() as $u
+                    } else {
+                        (((rng.next_u64() as u128) << 64) | rng.next_u64() as u128) as $u
+                    };
+                    return raw as $t;
+                }
+                let n = span + 1;
+                // Masked rejection against the next power of two ≥ n
+                // (computed from n-1 so exact powers of two get a tight mask
+                // and accept every draw).
+                let bits = <$u>::BITS - (n - 1).leading_zeros();
+                let mask: $u = if bits == 0 { 0 } else { (<$u>::MAX) >> (<$u>::BITS - bits) };
+                loop {
+                    let raw: $u = if <$u>::BITS <= 64 {
+                        (rng.next_u64() as $u) & mask
+                    } else {
+                        let lowmask = mask as u64;
+                        let himask = (mask >> 64) as u64;
+                        let lo64 = rng.next_u64() & lowmask;
+                        let hi64 = if himask == 0 { 0 } else { rng.next_u64() & himask };
+                        ((hi64 as u128) << 64 | lo64 as u128) as $u
+                    };
+                    if raw < n {
+                        return (lo as $u).wrapping_add(raw) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+uniform_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, u128 => u128, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, i128 => u128, isize => usize
+);
+
+/// Range argument forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a uniform value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! sample_range_impls {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                <$t>::sample_inclusive(rng, self.start, self.end - 1)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                <$t>::sample_inclusive(rng, *self.start(), *self.end())
+            }
+        }
+    )*};
+}
+
+sample_range_impls!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+/// Convenience sampling methods (mirror of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Draws a value from the [`distributions::Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Uniform draw from `range` (half-open or inclusive).
+    fn gen_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        Rg: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        let v: f64 = self.gen();
+        v < p
+    }
+
+    /// Fills a mutable slice with random data.
+    fn fill(&mut self, dest: &mut [u8])
+    where
+        Self: Sized,
+    {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete RNGs (mirror of `rand::rngs`).
+
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the algorithm behind `rand 0.8`'s 64-bit `SmallRng`.
+    /// Fast, 256-bit state, passes BigCrush; not cryptographically secure.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        fn rotl(x: u64, k: u32) -> u64 {
+            x.rotate_left(k)
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let out = Self::rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = Self::rotl(self.s[3], 45);
+            out
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let w = self.next_u64().to_le_bytes();
+                let k = chunk.len();
+                chunk.copy_from_slice(&w[..k]);
+            }
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, w) in s.iter_mut().enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+                *w = u64::from_le_bytes(b);
+            }
+            // An all-zero state is a fixed point of xoshiro; nudge it.
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 0x6A09_E667_F3BC_C909, 1, 2];
+            }
+            SmallRng { s }
+        }
+    }
+
+    /// Alias kept for API compatibility; this shim has no OS entropy source,
+    /// so `StdRng` is the same deterministic generator.
+    pub type StdRng = SmallRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_bounds_and_coverage() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = rng.gen_range(3u64..10);
+            assert!((3..10).contains(&v));
+            seen[(v - 3) as usize] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+        for _ in 0..200 {
+            let v = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&v));
+        }
+        assert_eq!(rng.gen_range(9usize..10), 9);
+    }
+
+    #[test]
+    fn gen_range_full_u64_domain() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        // Must not hang or overflow on the widest possible span.
+        for _ in 0..10 {
+            let _ = rng.gen_range(0u64..=u64::MAX);
+            let _ = rng.gen_range(0u128..=u128::MAX);
+            let _ = rng.gen_range(i64::MIN..=i64::MAX);
+        }
+    }
+
+    #[test]
+    fn gen_range_unbiased_mod6() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = [0u32; 6];
+        for _ in 0..60_000 {
+            counts[rng.gen_range(0usize..6)] += 1;
+        }
+        for c in counts {
+            assert!((c as i64 - 10_000).abs() < 460, "count {c}");
+        }
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -45,7 +45,7 @@ fn main() {
     println!("{:<12} {:>12} {:>12} {:>14}", "backend", "total time", "ops/s", "sampled items");
 
     for backend in all_backends(7).iter_mut() {
-        let mut handles: Vec<u64> = init.iter().map(|&w| backend.insert(w)).collect();
+        let mut handles: Vec<pss_core::Handle> = init.iter().map(|&w| backend.insert(w)).collect();
         let mut sampled = 0usize;
         let t0 = Instant::now();
         for op in &ops {

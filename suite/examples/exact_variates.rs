@@ -20,8 +20,7 @@ fn tgeo_pmf(p: f64, n: u64) -> Vec<f64> {
 }
 
 fn bgeo_pmf(p: f64, n: u64) -> Vec<f64> {
-    let mut pmf: Vec<f64> =
-        (1..n).map(|i| p * (1.0 - p).powi(i as i32 - 1)).collect();
+    let mut pmf: Vec<f64> = (1..n).map(|i| p * (1.0 - p).powi(i as i32 - 1)).collect();
     pmf.push((1.0 - p).powi(n as i32 - 1)); // the absorbing tail at n
     pmf
 }

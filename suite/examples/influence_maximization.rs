@@ -61,7 +61,10 @@ fn main() {
     println!("\nround 1: {RR_SETS} RR sets, mean size {mean:.2}");
     println!("greedy seeds by RR coverage:");
     for (v, c) in greedy_seeds(&rr, K_SEEDS) {
-        println!("  node {v:5}  (covers {c} new RR sets; est. influence {:.1})", c as f64 * N as f64 / RR_SETS as f64);
+        println!(
+            "  node {v:5}  (covers {c} new RR sets; est. influence {:.1})",
+            c as f64 * N as f64 / RR_SETS as f64
+        );
     }
 
     // The network evolves: churn 2000 edges (inserts + deletes). Each update
@@ -81,7 +84,10 @@ fn main() {
         }
         churned += 1;
     }
-    println!("\nchurned {churned} edges (now {} edges) — no distribution rebuilds needed", g.n_edges());
+    println!(
+        "\nchurned {churned} edges (now {} edges) — no distribution rebuilds needed",
+        g.n_edges()
+    );
 
     let rr = sample_rr_sets(&mut g, &mut rng, RR_SETS);
     let mean: f64 = rr.iter().map(|r| r.len() as f64).sum::<f64>() / rr.len() as f64;

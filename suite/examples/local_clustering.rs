@@ -18,7 +18,7 @@ const BRIDGE_W: u64 = 1;
 
 fn build_two_communities(seed: u64) -> DynGraph {
     let n = COMMUNITY * 2;
-    let mut g = DynGraph::new(n, seed);
+    let mut g: DynGraph = DynGraph::new(n, seed);
     let mut rng = SmallRng::seed_from_u64(seed ^ 0xABCD);
     // Dense-ish intra-community edges (both directions).
     for c in 0..2 {
@@ -50,8 +50,10 @@ fn sweep_prefix_purity(g: &mut DynGraph, seed_node: NodeId, label: &str) {
         .collect();
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     let prefix: Vec<NodeId> = ranked.iter().take(COMMUNITY).map(|&(v, _)| v).collect();
-    let in_community =
-        prefix.iter().filter(|&&v| (v as usize) / COMMUNITY == (seed_node as usize) / COMMUNITY).count();
+    let in_community = prefix
+        .iter()
+        .filter(|&&v| (v as usize) / COMMUNITY == (seed_node as usize) / COMMUNITY)
+        .count();
     println!(
         "{label}: visited {} nodes; top-{COMMUNITY} sweep prefix purity = {:.1}%",
         visits.len(),

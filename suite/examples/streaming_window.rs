@@ -48,10 +48,8 @@ fn main() {
 
         if (t + 1) % SAMPLE_EVERY == 0 {
             let picked = window.query(&alpha, &beta);
-            let heavy = picked
-                .iter()
-                .filter(|&&h| window.weight(h).unwrap_or(0) >= 1 << 20)
-                .count();
+            let heavy =
+                picked.iter().filter(|&&h| window.weight(h).unwrap_or(0) >= 1 << 20).count();
             println!(
                 "t={:>6}  window={:>4}  sampled {:>2} events ({} heavy)  Σw={}",
                 t + 1,

@@ -11,6 +11,7 @@ pub use bignum;
 pub use dpss;
 pub use floatdpss;
 pub use graphsub;
+pub use pss_core;
 pub use randvar;
 pub use wordram;
 pub use workloads;

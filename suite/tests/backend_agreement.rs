@@ -1,0 +1,117 @@
+//! Satellite of the pss-core layering refactor: drive three structurally
+//! different samplers — HALT ([`DpssSampler`]), the exact naive baseline
+//! ([`NaiveExact`]), and the ODSS-under-DPSS adapter ([`OdssUnderDpss`]) —
+//! through `dyn PssBackend` on one seeded workload, and check that they agree
+//! *distributionally*: identical per-item inclusion frequencies (binomial
+//! z-test) and mean sample sizes within CLT bounds of each other.
+//!
+//! This is the test that pins down what the facade promises: any two
+//! backends, fed the same weights and parameters, must realize the same
+//! sampling law even though their internals share no code.
+
+use baselines::{NaiveExact, OdssUnderDpss};
+use bignum::Ratio;
+use dpss::DpssSampler;
+use pss_core::{boxed, Handle, PssBackend};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use randvar::stats::binomial_z;
+use workloads::replay_stream;
+use workloads::updates::{StreamKind, UpdateStream};
+use workloads::weights::WeightDist;
+
+/// The roster under test: one structure per family (hierarchy, linear scan,
+/// bucketed DSS).
+fn roster(seed: u64) -> Vec<Box<dyn PssBackend>> {
+    vec![
+        boxed::<DpssSampler>(seed),
+        boxed::<NaiveExact>(seed.wrapping_add(1)),
+        boxed::<OdssUnderDpss>(seed.wrapping_add(2)),
+    ]
+}
+
+#[test]
+fn trait_objects_agree_on_inclusion_marginals() {
+    // One seeded workload: skewed weights exercising clamped (p = 1) items,
+    // mid-range probabilities, and deep buckets.
+    let weights: Vec<u64> = vec![1, 2, 4, 60, 300, 1500, 1500, 40_000];
+    let total: u128 = weights.iter().map(|&w| w as u128).sum();
+    // (α, β) = (1/2, 100): W = Σw/2 + 100, so the heaviest item clamps at 1.
+    let alpha = Ratio::from_u64s(1, 2);
+    let beta = Ratio::from_int(100);
+    let wf = total as f64 / 2.0 + 100.0;
+    let trials = 30_000u64;
+
+    for backend in roster(101).iter_mut() {
+        let handles: Vec<Handle> = weights.iter().map(|&w| backend.insert(w)).collect();
+        let mut hits = vec![0u64; handles.len()];
+        for _ in 0..trials {
+            for h in backend.query(&alpha, &beta) {
+                let i = handles.iter().position(|&x| x == h).expect("foreign handle");
+                hits[i] += 1;
+            }
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let p = (w as f64 / wf).min(1.0);
+            let z = binomial_z(hits[i], trials, p);
+            assert!(z.abs() < 5.0, "{}: item {i} (w={w}) hit rate off: z = {z:.2}", backend.name());
+        }
+    }
+}
+
+#[test]
+fn trait_objects_agree_after_identical_churn() {
+    // The same generated update stream replayed into every backend through
+    // the shared driver; afterwards all live sets have identical weight
+    // multisets, so the sampling laws must coincide.
+    let mut rng = SmallRng::seed_from_u64(77);
+    let stream = UpdateStream::generate(
+        StreamKind::Mixed { insert_permille: 550 },
+        64,
+        1_000,
+        WeightDist::Zipf { s_num: 2, s_den: 1, w_max: 1 << 24 },
+        &mut rng,
+    );
+
+    let alpha = Ratio::from_u64s(1, 4);
+    let beta = Ratio::zero();
+    let trials = 4_000u64;
+    let mut means = Vec::new();
+
+    for backend in roster(202).iter_mut() {
+        let report = replay_stream(backend.as_mut(), &stream, None);
+        assert_eq!(
+            report.inserts - report.deletes,
+            backend.len() as u64,
+            "{}: replay accounting",
+            backend.name()
+        );
+        let mut total_sampled = 0u64;
+        for _ in 0..trials {
+            total_sampled += backend.query(&alpha, &beta).len() as u64;
+        }
+        means.push((backend.name(), total_sampled as f64 / trials as f64));
+    }
+
+    // All backends saw the same multiset, so every pair of mean sample sizes
+    // must be within combined CLT noise (σ ≈ sqrt(μ/trials) each).
+    for w in means.windows(2) {
+        let ((n1, m1), (n2, m2)) = (w[0], w[1]);
+        let sigma = (m1.max(1.0) / trials as f64).sqrt() * 2.0;
+        assert!((m1 - m2).abs() < 5.0 * sigma, "{n1} mean {m1:.3} vs {n2} mean {m2:.3} disagree");
+    }
+}
+
+#[test]
+fn total_weight_and_space_agree_through_facade() {
+    let weights = [5u64, 10, 15, 0, 1 << 30];
+    for backend in roster(303).iter_mut() {
+        let hs: Vec<Handle> = weights.iter().map(|&w| backend.insert(w)).collect();
+        let expect: u128 = weights.iter().map(|&w| w as u128).sum();
+        assert_eq!(backend.total_weight(), expect, "{}", backend.name());
+        assert!(backend.space_words() > 0, "{}", backend.name());
+        assert!(backend.delete(hs[0]), "{}", backend.name());
+        assert_eq!(backend.total_weight(), expect - 5, "{}", backend.name());
+        assert_eq!(backend.len(), weights.len() - 1, "{}", backend.name());
+    }
+}

@@ -2,7 +2,7 @@
 //! identical distributions, the applications end-to-end, and the sorting
 //! reduction — the workspace-level "does the whole system hang together" suite.
 
-use baselines::{HaltBackend, NaiveExact, PssBackend};
+use baselines::{Handle, NaiveExact, PssBackend};
 use bignum::Ratio;
 use dpss::{DpssSampler, SpaceUsage};
 use floatdpss::sort_via_dpss;
@@ -23,10 +23,10 @@ fn halt_and_naive_exact_agree_distributionally() {
     let trials = 60_000u64;
 
     for (name, mut backend) in [
-        ("halt", Box::new(HaltBackend::new(5)) as Box<dyn PssBackend>),
+        ("halt", Box::new(DpssSampler::new(5)) as Box<dyn PssBackend>),
         ("naive", Box::new(NaiveExact::new(5)) as Box<dyn PssBackend>),
     ] {
-        let handles: Vec<u64> = weights.iter().map(|&w| backend.insert(w)).collect();
+        let handles: Vec<Handle> = weights.iter().map(|&w| backend.insert(w)).collect();
         let mut hits = vec![0u64; weights.len()];
         for _ in 0..trials {
             for h in backend.query(&alpha, &beta) {

@@ -136,10 +136,7 @@ fn greedy_seeds_beat_random_seeds() {
     }
     let rand_mean = rand_sum / draws as f64;
     let greedy_fwd = graphsub::forward_influence(&mut g, &sel.seeds, 200);
-    assert!(
-        greedy_fwd > rand_mean,
-        "greedy {greedy_fwd} vs random {rand_mean}"
-    );
+    assert!(greedy_fwd > rand_mean, "greedy {greedy_fwd} vs random {rand_mean}");
 }
 
 /// Local clustering end-to-end on a generated planted-partition graph.

@@ -30,10 +30,7 @@ fn build_is_roughly_linear() {
     };
     let small = per_item(1 << 12);
     let large = per_item(1 << 18);
-    assert!(
-        large < small * 8.0,
-        "per-item build cost grew {small:.2e} → {large:.2e}"
-    );
+    assert!(large < small * 8.0, "per-item build cost grew {small:.2e} → {large:.2e}");
 }
 
 /// Query time at μ≈1 must not grow more than 8× from n=2^12 to n=2^18.
@@ -51,10 +48,7 @@ fn query_is_independent_of_n_at_fixed_mu() {
     };
     let small = per_query(1 << 12);
     let large = per_query(1 << 18);
-    assert!(
-        large < small * 8.0,
-        "μ=1 query cost grew {small:.2e} → {large:.2e}"
-    );
+    assert!(large < small * 8.0, "μ=1 query cost grew {small:.2e} → {large:.2e}");
 }
 
 /// Steady-state update time must not grow more than 10× from 2^12 to 2^18.
@@ -75,10 +69,7 @@ fn updates_are_roughly_constant() {
     };
     let small = per_update(1 << 12);
     let large = per_update(1 << 18);
-    assert!(
-        large < small * 10.0,
-        "update cost grew {small:.2e} → {large:.2e}"
-    );
+    assert!(large < small * 10.0, "update cost grew {small:.2e} → {large:.2e}");
 }
 
 /// Space per item must be bounded by a fixed constant at every scale.
@@ -110,8 +101,5 @@ fn query_cost_tracks_mu() {
     let t_mu1 = time_at(&mut s, &Ratio::one(), 300);
     let alpha64 = Ratio::from_u64s(1, 64); // μ = 64
     let t_mu64 = time_at(&mut s, &alpha64, 100);
-    assert!(
-        t_mu64 < t_mu1 * 40.0,
-        "μ=64 at {t_mu64:.2e}s vs μ=1 at {t_mu1:.2e}s"
-    );
+    assert!(t_mu64 < t_mu1 * 40.0, "μ=64 at {t_mu64:.2e}s vs μ=1 at {t_mu1:.2e}s");
 }
