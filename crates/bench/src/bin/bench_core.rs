@@ -1,10 +1,11 @@
 //! `bench_core` — machine-readable core-operation benchmark.
 //!
-//! Measures insert / delete / query throughput for every backend in the
-//! roster through the `pss-core` facade and writes `BENCH_core.json` (see
-//! `--out`), so successive PRs accumulate a performance trajectory that
-//! scripts can diff. Human-readable numbers go to stdout as they are
-//! produced.
+//! Measures insert / delete / query / batched-query throughput for every
+//! backend in the roster through the `pss-core` facade and writes
+//! `BENCH_core.json` (see `--out`), validated against schema v1 right after
+//! writing, so successive PRs accumulate a performance trajectory that
+//! scripts can diff and whose shape cannot silently drift. Human-readable
+//! numbers go to stdout as they are produced.
 //!
 //! Usage: `cargo run --release -p bench --bin bench_core [-- --out PATH
 //! --n ITEMS --quick]`
@@ -23,6 +24,7 @@ struct Row {
     insert_ops: f64,
     churn_ops: f64,
     query_mu16_ops: f64,
+    query_batch16_ops: f64,
     mixed_round_ops: f64,
     space_words: usize,
 }
@@ -74,6 +76,23 @@ fn measure(seed: u64, n: usize, quick: bool) -> Vec<Row> {
         };
         let per_query = time_per(q_reps, || backend.query(&alpha, &beta).len());
 
+        // Batched queries through the `query_many` facade entry point: 16
+        // parameter pairs per call, reported per query. HALT's plan cache
+        // amortizes W/threshold/accelerator setup across the batch.
+        let batch: Vec<(Ratio, Ratio)> =
+            (0..16u64).map(|i| (Ratio::from_u64s(1, 8 + i), Ratio::zero())).collect();
+        let b_reps = if quick {
+            2
+        } else if linear_per_query {
+            8
+        } else {
+            200
+        };
+        let _ = backend.query_many(&batch); // warm
+        let per_batch_query =
+            time_per(b_reps, || backend.query_many(&batch).iter().map(Vec::len).sum::<usize>())
+                / batch.len() as f64;
+
         // Mixed round: one update + one fresh-parameter query — the regime
         // where DSS-under-DPSS pays its Θ(n) re-materialization.
         let m_reps = if quick {
@@ -93,10 +112,12 @@ fn measure(seed: u64, n: usize, quick: bool) -> Vec<Row> {
         });
 
         println!(
-            "{name:>12}: insert {}/op  churn-pair {}/op  query(μ16) {}/op  mixed {}/op",
+            "{name:>12}: insert {}/op  churn-pair {}/op  query(μ16) {}/op  \
+             batch16 {}/query  mixed {}/op",
             fmt_secs(per_insert),
             fmt_secs(per_churn),
             fmt_secs(per_query),
+            fmt_secs(per_batch_query),
             fmt_secs(per_round),
         );
 
@@ -105,6 +126,7 @@ fn measure(seed: u64, n: usize, quick: bool) -> Vec<Row> {
             insert_ops: 1.0 / per_insert,
             churn_ops: 1.0 / per_churn,
             query_mu16_ops: 1.0 / per_query,
+            query_batch16_ops: 1.0 / per_batch_query,
             mixed_round_ops: 1.0 / per_round,
             space_words: backend.space_words(),
         });
@@ -143,11 +165,13 @@ fn main() {
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"insert\": {:.1}, \"churn_pair\": {:.1}, \
-             \"query_mu16\": {:.1}, \"mixed_round\": {:.1}, \"space_words\": {}}}{}\n",
+             \"query_mu16\": {:.1}, \"query_batch16\": {:.1}, \"mixed_round\": {:.1}, \
+             \"space_words\": {}}}{}\n",
             json_escape(r.name),
             r.insert_ops,
             r.churn_ops,
             r.query_mu16_ops,
+            r.query_batch16_ops,
             r.mixed_round_ops,
             r.space_words,
             if i + 1 == rows.len() { "" } else { "," },
@@ -155,5 +179,9 @@ fn main() {
     }
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, &json).expect("write BENCH_core.json");
-    println!("\nwrote {out_path}");
+    // Self-validate the snapshot so a shape regression fails the run (and
+    // CI's --quick smoke step) instead of silently breaking the trajectory.
+    bench::schema::validate_bench_core_v1(&json)
+        .unwrap_or_else(|e| panic!("emitted snapshot violates schema v1: {e}"));
+    println!("\nwrote {out_path} (schema v1 OK)");
 }

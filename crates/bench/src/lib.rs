@@ -3,6 +3,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod schema;
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;

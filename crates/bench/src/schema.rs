@@ -1,0 +1,341 @@
+//! Schema validation for the machine-readable benchmark snapshots.
+//!
+//! `bench_core` emits `BENCH_core.json` so successive PRs accumulate a
+//! performance trajectory that scripts can diff. A snapshot whose *shape*
+//! silently drifts (renamed field, string where a number belongs, empty
+//! backend roster) breaks every downstream diff without failing anything —
+//! so the emitter validates its own output against schema v1 right after
+//! writing, and CI runs the same check on the `--quick` smoke snapshot.
+//!
+//! The workspace is offline (no serde), so this carries a deliberately tiny
+//! recursive-descent JSON reader: objects, arrays, strings (with escapes),
+//! numbers, booleans, null — exactly what the snapshot needs.
+
+/// A parsed JSON value (minimal — only what snapshot validation needs).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, as `f64`.
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order (duplicate keys kept — validation rejects
+    /// none of them, last occurrence wins for lookups).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document (trailing whitespace allowed, nothing
+/// else). Errors carry a byte offset.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", c as char))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        _ => Err(format!("unexpected input at byte {pos}")),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len()
+        && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| "bad \\u escape".to_string())?;
+                        *pos += 4;
+                        // Surrogates are out of scope for snapshot names.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+            }
+            Some(&c) => {
+                // Multi-byte UTF-8 passes through byte-wise.
+                let start = *pos;
+                let len = match c {
+                    0x00..=0x7F => 1,
+                    0xC0..=0xDF => 2,
+                    0xE0..=0xEF => 3,
+                    _ => 4,
+                };
+                let chunk = b.get(start..start + len).ok_or("truncated UTF-8")?;
+                out.push_str(std::str::from_utf8(chunk).map_err(|_| "bad UTF-8".to_string())?);
+                *pos += len;
+            }
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        fields.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+/// Per-backend numeric throughput fields required by schema v1.
+pub const BACKEND_RATE_FIELDS: [&str; 5] =
+    ["insert", "churn_pair", "query_mu16", "query_batch16", "mixed_round"];
+
+/// Validates a `BENCH_core.json` document against schema v1:
+///
+/// - top level: `schema == 1`, integer `n_items ≥ 1`, boolean `quick`,
+///   `unit == "ops_per_sec"`, non-empty `backends` array;
+/// - each backend: non-empty string `name`, finite non-negative numbers for
+///   every field in [`BACKEND_RATE_FIELDS`] plus `space_words`.
+///
+/// Unknown extra fields are allowed (forward-compatible); missing or
+/// mistyped required fields are errors naming the offending path.
+pub fn validate_bench_core_v1(text: &str) -> Result<(), String> {
+    let doc = parse(text)?;
+    let schema = doc.get("schema").and_then(Json::as_num).ok_or("missing numeric 'schema'")?;
+    if schema != 1.0 {
+        return Err(format!("schema version {schema} is not 1"));
+    }
+    let n_items = doc.get("n_items").and_then(Json::as_num).ok_or("missing numeric 'n_items'")?;
+    if n_items < 1.0 || n_items.fract() != 0.0 {
+        return Err(format!("'n_items' must be a positive integer, got {n_items}"));
+    }
+    if !matches!(doc.get("quick"), Some(Json::Bool(_))) {
+        return Err("missing boolean 'quick'".into());
+    }
+    if doc.get("unit").and_then(Json::as_str) != Some("ops_per_sec") {
+        return Err("'unit' must be \"ops_per_sec\"".into());
+    }
+    let backends = match doc.get("backends") {
+        Some(Json::Arr(rows)) if !rows.is_empty() => rows,
+        Some(Json::Arr(_)) => return Err("'backends' is empty".into()),
+        _ => return Err("missing array 'backends'".into()),
+    };
+    for (i, row) in backends.iter().enumerate() {
+        let name = row
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("backends[{i}]: missing string 'name'"))?;
+        if name.is_empty() {
+            return Err(format!("backends[{i}]: empty 'name'"));
+        }
+        for field in BACKEND_RATE_FIELDS.iter().chain(std::iter::once(&"space_words")) {
+            let v = row
+                .get(field)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("backends[{i}] ({name}): missing numeric '{field}'"))?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("backends[{i}] ({name}): '{field}' = {v} out of range"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"{
+      "schema": 1, "n_items": 4096, "quick": true, "unit": "ops_per_sec",
+      "backends": [
+        {"name": "halt", "insert": 1.5e6, "churn_pair": 2.0, "query_mu16": 3.0,
+         "query_batch16": 4.0, "mixed_round": 5.0, "space_words": 99}
+      ]
+    }"#;
+
+    #[test]
+    fn accepts_a_valid_snapshot() {
+        validate_bench_core_v1(GOOD).unwrap();
+    }
+
+    #[test]
+    fn rejects_shape_drift() {
+        // Wrong version.
+        assert!(validate_bench_core_v1(&GOOD.replace("\"schema\": 1", "\"schema\": 2")).is_err());
+        // Missing field.
+        assert!(validate_bench_core_v1(&GOOD.replace("\"query_mu16\": 3.0,", "")).is_err());
+        // String where a number belongs.
+        assert!(validate_bench_core_v1(&GOOD.replace("\"insert\": 1.5e6", "\"insert\": \"fast\""))
+            .is_err());
+        // Empty roster.
+        let empty = r#"{"schema": 1, "n_items": 1, "quick": false,
+                        "unit": "ops_per_sec", "backends": []}"#;
+        assert!(validate_bench_core_v1(empty).is_err());
+        // Not JSON at all.
+        assert!(validate_bench_core_v1("{").is_err());
+    }
+
+    #[test]
+    fn parser_handles_strings_escapes_and_nesting() {
+        let v = parse(r#"{"a": [1, -2.5, "x\ny\u0041", {"b": null}], "t": true}"#).unwrap();
+        let arr = match v.get("a") {
+            Some(Json::Arr(items)) => items,
+            other => panic!("expected array, got {other:?}"),
+        };
+        assert_eq!(arr[0], Json::Num(1.0));
+        assert_eq!(arr[1], Json::Num(-2.5));
+        assert_eq!(arr[2], Json::Str("x\nyA".into()));
+        assert_eq!(arr[3].get("b"), Some(&Json::Null));
+        assert_eq!(v.get("t"), Some(&Json::Bool(true)));
+        assert!(parse("[1, 2,]").is_err());
+        assert!(parse("[1] extra").is_err());
+    }
+
+    #[test]
+    fn committed_snapshot_is_valid() {
+        // The repository's own BENCH_core.json must always pass schema v1.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_core.json");
+        let text = std::fs::read_to_string(path).expect("committed BENCH_core.json");
+        validate_bench_core_v1(&text).expect("committed snapshot violates schema v1");
+    }
+}

@@ -9,7 +9,8 @@
 //! Three layers:
 //! - [`BigUint`]: exact arbitrary-precision unsigned integers (S1 in DESIGN.md);
 //! - [`Ratio`]: exact non-negative rationals with `floor_log2`/`ceil_log2`
-//!   implementing Claim 4.3;
+//!   implementing Claim 4.3, plus certified `to_f64_bounds` brackets (a
+//!   rational pinched between adjacent floats) for the query fast path;
 //! - [`Dyadic`] / [`Interval`]: certified outward-rounded interval arithmetic
 //!   used to produce *i*-bit approximations of probabilities such as
 //!   `p* = (1-(1-q)^n)/(nq)` (Lemmas 3.3 and 3.4) in poly(i) time (S2).
@@ -23,4 +24,4 @@ mod uint;
 
 pub use dyadic::{Dyadic, Interval};
 pub use rational::Ratio;
-pub use uint::BigUint;
+pub use uint::{f64_bounds_from_limbs, BigUint};

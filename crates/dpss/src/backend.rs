@@ -34,6 +34,10 @@ impl<R: RngCore> PssBackend for DpssSampler<R> {
             .collect()
     }
 
+    // `query_many` deliberately uses the trait's default loop: the (α, β)
+    // plan cache inside `DpssSampler::query` already gives batches their
+    // cross-query reuse, so an override would duplicate the default verbatim.
+
     fn len(&self) -> usize {
         DpssSampler::len(self)
     }
@@ -69,6 +73,15 @@ impl PssBackend for DeamortizedDpss {
 
     fn query(&mut self, alpha: &Ratio, beta: &Ratio) -> Vec<Handle> {
         DeamortizedDpss::query(self, alpha, beta).into_iter().map(Handle::from_raw).collect()
+    }
+
+    fn query_many(&mut self, params: &[(Ratio, Ratio)]) -> Vec<Vec<Handle>> {
+        // Native batched entry: one exact Σw conversion serves the batch and
+        // both migration halves share each pair's W.
+        DeamortizedDpss::query_many(self, params)
+            .into_iter()
+            .map(|hs| hs.into_iter().map(Handle::from_raw).collect())
+            .collect()
     }
 
     fn len(&self) -> usize {

@@ -99,6 +99,8 @@ pub struct DeamortizedDpss {
     rev_new: Vec<Handle>,
     /// Size snapshot at the start of the current epoch.
     snapshot: usize,
+    /// Disables the word-level query fast path on both halves.
+    force_exact: bool,
     seed: u64,
     /// Incremented each time an epoch *opens*; stamps new-resident entries.
     epoch: u64,
@@ -119,6 +121,7 @@ impl DeamortizedDpss {
             rev_old: Vec::new(),
             rev_new: Vec::new(),
             snapshot: 0,
+            force_exact: false,
             seed,
             epoch: 0,
             epochs_done: 0,
@@ -244,7 +247,37 @@ impl DeamortizedDpss {
     /// One PSS query with parameters `(α, β)` over the union of both halves.
     /// O(1 + μ) expected — handle translation is by dense reverse maps.
     pub fn query(&mut self, alpha: &Ratio, beta: &Ratio) -> Vec<Handle> {
-        let w = alpha.mul_big(&BigUint::from_u128(self.total_weight())).add(beta);
+        let total = BigUint::from_u128(self.total_weight());
+        self.query_with_shared_total(alpha, beta, &total)
+    }
+
+    /// Answers a batch of PSS queries, one result per `(α, β)` pair —
+    /// semantically a loop of [`DeamortizedDpss::query`], with the exact
+    /// total-weight conversion hoisted out of the batch (queries never change
+    /// the weights, so one `Σw` serves every pair).
+    pub fn query_many(&mut self, params: &[(Ratio, Ratio)]) -> Vec<Vec<Handle>> {
+        let total = BigUint::from_u128(self.total_weight());
+        params.iter().map(|(a, b)| self.query_with_shared_total(a, b, &total)).collect()
+    }
+
+    /// Disables (`true`) or re-enables the word-level query fast path on both
+    /// halves and any future migration successor (force-exact mode; the
+    /// sampled distribution is unchanged either way).
+    pub fn set_force_exact(&mut self, force_exact: bool) {
+        self.force_exact = force_exact;
+        self.old.set_force_exact(force_exact);
+        if let Some(new) = &mut self.new {
+            new.set_force_exact(force_exact);
+        }
+    }
+
+    fn query_with_shared_total(
+        &mut self,
+        alpha: &Ratio,
+        beta: &Ratio,
+        total: &BigUint,
+    ) -> Vec<Handle> {
+        let w = alpha.mul_big(total).add(beta);
         let mut out = Vec::new();
         for id in self.old.query_with_total(&w) {
             out.push(self.rev_old[id.idx()]);
@@ -269,10 +302,10 @@ impl DeamortizedDpss {
                 // old-resident roster is already materialized — no scan.
                 self.epoch += 1;
                 self.seed = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
-                self.new = Some(DpssSampler::with_capacity_rng(
-                    n,
-                    rand::SeedableRng::seed_from_u64(self.seed),
-                ));
+                let mut successor =
+                    DpssSampler::with_capacity_rng(n, rand::SeedableRng::seed_from_u64(self.seed));
+                successor.set_force_exact(self.force_exact);
+                self.new = Some(successor);
                 debug_assert!(self.roster_new.is_empty());
             } else {
                 return;

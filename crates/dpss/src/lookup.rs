@@ -54,9 +54,28 @@ impl LookupTable {
 
     /// Numerator of the 4S selection probability of slot `t` with count `c`:
     /// `p_t = min(m², 2^{t+2}·c) / m²`.
+    ///
+    /// The shift is overflow-correct: `2^{t+2}·c ≥ 2^64` can only exceed
+    /// `m² ≤ 4096`, so saturating the overflowed product before the `min`
+    /// clamp yields the exact numerator for every `t`. (The previous
+    /// `(t + 2).min(62)` silently masked the shift, which *wrapped* the
+    /// product to a wrong value for `t ≥ 60`, `c ≥ 4`.) In-range use is
+    /// enforced loudly: `K ≤ MAX_K = 16` keeps `t + 2 ≤ 18` in the hierarchy,
+    /// and the debug assertion catches any out-of-range caller in tests
+    /// instead of masking it.
     pub fn slot_prob_num(&self, t: usize, c: u32) -> u64 {
         debug_assert!(c as u64 <= self.m as u64);
-        let raw = (c as u64) << (t + 2).min(62);
+        debug_assert!(t + 2 < 63, "4S slot index {t} out of shift range");
+        if c == 0 {
+            return 0;
+        }
+        // Widen before shifting: any product ≥ 2^64 saturates, which the
+        // `min` then clamps to the exact value m².
+        let raw = if t + 2 >= 64 {
+            u64::MAX
+        } else {
+            u64::try_from((c as u128) << (t + 2)).unwrap_or(u64::MAX)
+        };
         raw.min(self.m2)
     }
 
@@ -160,6 +179,26 @@ mod tests {
         assert_eq!(t.slot_prob_num(1, 2), 16);
         assert_eq!(t.slot_prob_num(2, 3), 25); // 48 clamped to 25
         assert_eq!(t.slot_prob_num(3, 0), 0);
+    }
+
+    #[test]
+    fn slot_prob_no_silent_wrap_at_high_t() {
+        // Regression: the old `(t + 2).min(62)` cap let `c << 62` wrap to a
+        // wrong numerator for t ≥ 60, c ≥ 4. The widened shift saturates and
+        // the min-clamp yields the exact value m².
+        let t = LookupTable::new(5); // m² = 25
+        assert_eq!(t.slot_prob_num(60, 4), 25);
+        assert_eq!(t.slot_prob_num(60, 1), 25);
+        assert_eq!(t.slot_prob_num(60, 0), 0);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "out of shift range"))]
+    fn slot_prob_out_of_range_t_is_loud_in_debug() {
+        // Debug builds catch an out-of-range slot index via the assertion;
+        // release builds still clamp to the exact numerator.
+        let t = LookupTable::new(5);
+        assert_eq!(t.slot_prob_num(61, 4), 25);
     }
 
     #[test]

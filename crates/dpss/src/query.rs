@@ -16,22 +16,86 @@
 //!
 //! Every acceptance probability is an exact rational, so the returned subset
 //! has exactly the distribution `Π_x Ber(p_x(α,β))`.
+//!
+//! **Fast path.** Paying a multi-word `BigUint` multiply per inclusion coin
+//! is what kept HALT behind the naive float baseline on queries. Each coin
+//! here now goes through a two-sided word test ([`randvar::Bits64`]): a
+//! precomputed [`QueryAccel`] turns `W` into certified f64 bounds of `1/W`,
+//! every coin's bracket is one or two directed-rounded float multiplies, and
+//! the exact rational machinery only runs when the uniform word lands in the
+//! ulp-wide sliver between certain-accept and certain-reject (≈ 2⁻⁵⁰ per
+//! coin), *conditioned on the drawn word* — so the sampled distribution is
+//! bit-for-bit the same as the all-exact implementation.
 
 use crate::lookup::{LookupTable, MAX_K};
 use crate::structure::{Level1, LevelView, Node};
 use bignum::{BigUint, Ratio};
 use rand::RngCore;
-use randvar::{ber_oracle, ber_rational_parts, bgeo, tgeo, PStarOracle};
+use randvar::{
+    ber_bits_with, ber_pstar, ber_rational_from_word, ber_rational_parts, bgeo, mul_down, mul_up,
+    tgeo, Bits64,
+};
 use std::cmp::Ordering;
 
+/// `2^e` as an `f64` (exact for `|e| ≤ 1023`; the hierarchy's bucket indices
+/// stay below 161).
+#[inline]
+fn pow2f(e: i32) -> f64 {
+    2f64.powi(e)
+}
+
+/// Precomputed word-sized accelerators for a query's total weight `W`:
+/// certified `f64` bounds of `1/W` (each coin's [`Bits64`] bracket is then
+/// one or two float multiplies away) plus the exact `⌈log2 W⌉` that decides
+/// probability clamps (Claim 4.3). Construction costs a handful of word
+/// operations; [`crate::DpssSampler`] caches it per `(α, β)` across queries.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryAccel {
+    /// Certified lower bound of `1/W`.
+    winv_lo: f64,
+    /// Certified upper bound of `1/W`.
+    winv_hi: f64,
+    /// `⌈log2 W⌉`, exact.
+    w_ceil_log2: i64,
+    /// `false` forces every coin onto the original all-exact path.
+    fast: bool,
+}
+
+impl QueryAccel {
+    /// Builds the accelerators for `w > 0`; pass `fast = false` for
+    /// force-exact mode (agreement testing, ablations).
+    pub fn new(w: &Ratio, fast: bool) -> Self {
+        assert!(!w.is_zero(), "query accelerators need W > 0");
+        let (winv_lo, winv_hi) = Ratio::f64_bounds_parts(w.den(), w.num());
+        QueryAccel { winv_lo, winv_hi, w_ceil_log2: w.ceil_log2(), fast }
+    }
+
+    /// `true` iff coins may take the word-level shortcut (construction-time
+    /// flag and no thread-level exact-mode guard).
+    #[inline]
+    fn use_fast(&self) -> bool {
+        self.fast && randvar::fast_path_enabled()
+    }
+
+    /// [`Bits64`] bracket of the inclusion probability `min(1, w_x/W)` from a
+    /// certified weight bracket.
+    #[inline]
+    fn incl_bits(&self, (w_lo, w_hi): (f64, f64)) -> Bits64 {
+        Bits64::from_f64_bounds(mul_down(w_lo, self.winv_lo), mul_up(w_hi, self.winv_hi))
+    }
+}
+
 /// Per-query context: the RNG, the exact parameterized total weight
-/// `W = α·Σw + β > 0`, and the shared lookup table.
+/// `W = α·Σw + β > 0`, its precomputed accelerators, and the shared lookup
+/// table.
 #[derive(Debug)]
 pub struct QueryCtx<'a, R: RngCore> {
     /// Random source.
     pub rng: &'a mut R,
     /// `W_S(α,β)` as an exact rational (strictly positive).
     pub w: &'a Ratio,
+    /// Word-sized accelerators derived from `w` (see [`QueryAccel`]).
+    pub accel: QueryAccel,
     /// The HALT lookup table (rows memoized across queries).
     pub table: &'a mut LookupTable,
     /// Final-level strategy (lookup table vs direct Bernoulli; ablation A1).
@@ -87,7 +151,8 @@ pub fn thresholds(w: &Ratio, n: usize, g: u32) -> Thresholds {
     }
 }
 
-/// Draws `Ber(min(1, w_x/W) / p0)` — the thinning coin of Algorithm 2.
+/// Draws `Ber(min(1, w_x/W) / p0)` — the thinning coin of Algorithm 2 (at
+/// most one per level instance, so it stays on the exact path).
 fn accept_thinned<R: RngCore>(rng: &mut R, w_x: &BigUint, w: &Ratio, p0: &Ratio) -> bool {
     // ratio = (w_x·W.den·p0.den) / (W.num·p0.num); callers guarantee ≤ 1.
     let num = w_x.mul(w.den()).mul(p0.den());
@@ -96,9 +161,26 @@ fn accept_thinned<R: RngCore>(rng: &mut R, w_x: &BigUint, w: &Ratio, p0: &Ratio)
     ber_rational_parts(rng, &num, &den)
 }
 
-/// Draws `Ber(min(1, w_x/W))` — the plain inclusion coin.
-fn accept_plain<R: RngCore>(rng: &mut R, w_x: &BigUint, w: &Ratio) -> bool {
-    ber_rational_parts(rng, &w_x.mul(w.den()), w.num())
+/// Draws `Ber(min(1, w_x/W))` — the plain inclusion coin. One uniform word
+/// against the certified bracket of `w_x/W`; the `BigUint` products are only
+/// formed inside the sliver (or in force-exact mode).
+fn accept_plain<V: LevelView, R: RngCore>(
+    view: &V,
+    rng: &mut R,
+    w: &Ratio,
+    accel: &QueryAccel,
+    x: V::Id,
+) -> bool {
+    if accel.use_fast() {
+        let bits = accel.incl_bits(view.weight_f64_bounds(x));
+        if cfg!(debug_assertions) {
+            bits.debug_validate(&view.weight_big(x).mul(w.den()), w.num());
+        }
+        return ber_bits_with(rng, &bits, |rng, u| {
+            ber_rational_from_word(rng, &view.weight_big(x).mul(w.den()), w.num(), u)
+        });
+    }
+    ber_rational_parts(rng, &view.weight_big(x).mul(w.den()), w.num())
 }
 
 /// Algorithm 2: the insignificant instance. Samples from all items in buckets
@@ -108,6 +190,7 @@ pub fn query_insignificant<V: LevelView, R: RngCore>(
     view: &V,
     rng: &mut R,
     w: &Ratio,
+    accel: &QueryAccel,
     i_top: i64,
     p0: &Ratio,
 ) -> Vec<V::Id> {
@@ -137,7 +220,7 @@ pub fn query_insignificant<V: LevelView, R: RngCore>(
         out.push(first);
     }
     for &x in &a[k as usize..] {
-        if accept_plain(rng, &view.weight_big(x), w) {
+        if accept_plain(view, rng, w, accel, x) {
             out.push(x);
         }
     }
@@ -177,6 +260,7 @@ pub fn extract_items<V: LevelView, R: RngCore>(
     view: &V,
     rng: &mut R,
     w: &Ratio,
+    accel: &QueryAccel,
     candidate_buckets: &[u16],
 ) -> Vec<V::Id> {
     let mut out = Vec::new();
@@ -184,28 +268,33 @@ pub fn extract_items<V: LevelView, R: RngCore>(
         let b = bu as usize;
         let n_b = view.bucket_len(b) as u64;
         debug_assert!(n_b > 0, "candidate bucket {b} is empty");
-        let pow = BigUint::pow2(b as u64 + 1);
-        // p = min(1, 2^{b+1}/W) = min(1, pow·W.den / W.num).
-        let p_num = pow.mul(w.den());
-        let clamped = p_num.cmp(w.num()) != Ordering::Less;
+        let shift = b as u64 + 1;
+        // p = min(1, 2^{b+1}/W); clamped ⟺ 2^{b+1} ≥ W ⟺ b+1 ≥ ⌈log2 W⌉
+        // (Claim 4.3 — exact, no multi-word multiply needed).
+        let clamped = shift as i64 >= accel.w_ceil_log2;
+        debug_assert_eq!(
+            clamped,
+            BigUint::pow2(shift).mul(w.den()).cmp(w.num()) != Ordering::Less,
+            "log-threshold clamp disagrees with exact comparison"
+        );
         if clamped {
             // p = 1: all items are potential; accept each with Ber(p_x).
             for pos in 0..n_b {
                 let x = view.bucket_item(b, pos as usize);
-                if accept_plain(rng, &view.weight_big(x), w) {
+                if accept_plain(view, rng, w, accel, x) {
                     out.push(x);
                 }
             }
             continue;
         }
-        let p = Ratio::new(p_num, w.num().clone());
+        let pow = BigUint::pow2(shift);
+        let p = Ratio::new(pow.mul(w.den()), w.num().clone());
         // First potential index.
         let p_times_n = p.mul_big(&BigUint::from_u64(n_b));
         let mut k = if p_times_n.cmp_int(1) != Ordering::Less {
             bgeo(rng, &p, n_b + 1)
         } else {
-            let mut promising = PStarOracle::new(&p, n_b);
-            if !ber_oracle(rng, &mut promising) {
+            if !ber_pstar(rng, &p, n_b) {
                 continue; // bucket rejected: contains no potential item
             }
             tgeo(rng, &p, n_b)
@@ -213,14 +302,38 @@ pub fn extract_items<V: LevelView, R: RngCore>(
         // Walk the remaining potential items with B-Geo strides.
         while k <= n_b {
             let x = view.bucket_item(b, (k - 1) as usize);
-            // Accept with p_x/p = w(x)/2^{b+1} (< 1 since w(x) < 2^{b+1}).
-            if ber_rational_parts(rng, &view.weight_big(x), &pow) {
+            if accept_in_bucket(view, rng, accel, x, shift, &pow) {
                 out.push(x);
             }
             k += bgeo(rng, &p, n_b + 1);
         }
     }
     out
+}
+
+/// Draws `Ber(w(x)/2^{b+1})` — the open-bucket acceptance coin of
+/// Algorithm 5 (`p_x/p`, < 1 since `w(x) < 2^{b+1}`). The denominator is a
+/// power of two, so the fast bracket is an exact-scaling float multiply.
+fn accept_in_bucket<V: LevelView, R: RngCore>(
+    view: &V,
+    rng: &mut R,
+    accel: &QueryAccel,
+    x: V::Id,
+    shift: u64,
+    pow: &BigUint,
+) -> bool {
+    if accel.use_fast() {
+        let (w_lo, w_hi) = view.weight_f64_bounds(x);
+        let sc = pow2f(-(shift as i32));
+        let bits = Bits64::from_f64_bounds(mul_down(w_lo, sc), mul_up(w_hi, sc));
+        if cfg!(debug_assertions) {
+            bits.debug_validate(&view.weight_big(x), pow);
+        }
+        return ber_bits_with(rng, &bits, |rng, u| {
+            ber_rational_from_word(rng, &view.weight_big(x), pow, u)
+        });
+    }
+    ber_rational_parts(rng, &view.weight_big(x), pow)
 }
 
 /// Iterates the non-empty *significant* groups of a level and hands each to
@@ -231,7 +344,10 @@ fn for_significant_groups(
     mut handle: impl FnMut(usize),
 ) {
     let lo = (th.j_insig_max + 1).max(0) as usize;
-    if th.j_cert_min <= lo as i64 {
+    // Guard both bounds: an empty group universe has no `universe − 1`
+    // (underflow), and a certain range starting at or below `lo` leaves no
+    // significant groups at all.
+    if groups.universe() == 0 || th.j_cert_min <= lo as i64 {
         return;
     }
     let hi = ((th.j_cert_min - 1) as usize).min(groups.universe() - 1);
@@ -253,14 +369,14 @@ pub fn query_node<R: RngCore>(node: &Node, ctx: &mut QueryCtx<'_, R>) -> Vec<u16
     }
     let th = thresholds(ctx.w, n, node.group_width);
     let p0 = Ratio::from_u128s(1, (n as u128) * (n as u128));
-    let mut out = query_insignificant(node, ctx.rng, ctx.w, th.i_insig_top, &p0);
+    let mut out = query_insignificant(node, ctx.rng, ctx.w, &ctx.accel, th.i_insig_top, &p0);
     out.extend(query_certain(node, th.i_cert_bottom));
     let mut sig_groups: Vec<usize> = Vec::new();
     for_significant_groups(&node.nonempty_groups, &th, |l| sig_groups.push(l));
     for l in sig_groups {
         let child = node.children[l].as_deref().expect("non-empty group without child");
         let tz = query_final(child, ctx);
-        out.extend(extract_items(node, ctx.rng, ctx.w, &tz));
+        out.extend(extract_items(node, ctx.rng, ctx.w, &ctx.accel, &tz));
     }
     out
 }
@@ -279,9 +395,10 @@ pub fn query_final<R: RngCore>(node: &Node, ctx: &mut QueryCtx<'_, R>) -> Vec<u1
     // i1 = largest index with 2^{i1+1}/W ≤ 2/m² ⟺ i1 = ⌊log2(2W/m²)⌋ − 1.
     let scaled = Ratio::new(ctx.w.num().mul_u64(2), ctx.w.den().mul_u64(m2));
     let i1 = scaled.floor_log2() - 1;
-    let i2 = ctx.w.ceil_log2();
+    let i2 = ctx.accel.w_ceil_log2; // = ⌈log2 W⌉, precomputed
+    debug_assert_eq!(i2, ctx.w.ceil_log2());
     let p0 = Ratio::from_u64s(2, m2);
-    let mut out = query_insignificant(node, ctx.rng, ctx.w, i1, &p0);
+    let mut out = query_insignificant(node, ctx.rng, ctx.w, &ctx.accel, i1, &p0);
     out.extend(query_certain(node, i2));
 
     let k_len = i2 - i1 - 1;
@@ -315,43 +432,108 @@ pub fn query_final<R: RngCore>(node: &Node, ctx: &mut QueryCtx<'_, R>) -> Vec<u1
                 continue;
             }
             let idx = lo as usize + t;
-            // Accept the table-sampled bucket as a candidate with probability
-            // min(1, w_v/W) / (num_t/m²), where w_v = 2^{idx+1}·c_t.
-            let w_v = BigUint::from_u64(config[t] as u64).shl(idx as u64 + 1);
             let num_t = ctx.table.slot_prob_num(t, config[t]);
-            let true_num = w_v.mul(ctx.w.den());
-            let true_den = ctx.w.num();
-            let (acc_num, acc_den) = if true_num.cmp(true_den) != Ordering::Less {
-                // true probability clamped to 1 ⇒ table prob is also 1.
-                debug_assert_eq!(num_t, m2);
-                (BigUint::one(), BigUint::one())
-            } else {
-                (true_num.mul_u64(m2), true_den.mul_u64(num_t))
-            };
-            debug_assert!(
-                acc_num.cmp(&acc_den) != Ordering::Greater,
-                "table majorization violated"
-            );
-            if ber_rational_parts(ctx.rng, &acc_num, &acc_den) {
+            if accept_table_candidate(ctx.rng, ctx.w, &ctx.accel, idx, config[t], num_t, m2) {
                 candidates.push(idx as u16);
             }
         }
     } else {
-        // Direct mode: one exact Bernoulli min(1, w_v/W) per significant bucket.
-        let hi = ((i2 - 1) as usize).min(node.buckets.len() - 1);
-        if lo.max(0) as usize <= hi {
-            for idx in node.nonempty_buckets.range(lo.max(0) as usize, hi) {
-                let c = node.bucket_len(idx) as u64;
-                let w_v = BigUint::from_u64(c).shl(idx as u64 + 1);
-                let num = w_v.mul(ctx.w.den());
-                if ber_rational_parts(ctx.rng, &num, ctx.w.num()) {
-                    candidates.push(idx as u16);
+        // Direct mode: one Bernoulli min(1, w_v/W) per significant bucket.
+        // `checked_sub` guards the empty-bucket-vector edge case (no
+        // underflowing `len() - 1`).
+        if let Some(last) = node.buckets.len().checked_sub(1) {
+            let hi = ((i2 - 1) as usize).min(last);
+            if lo.max(0) as usize <= hi {
+                for idx in node.nonempty_buckets.range(lo.max(0) as usize, hi) {
+                    let c = node.bucket_len(idx) as u64;
+                    if accept_direct_candidate(ctx.rng, ctx.w, &ctx.accel, idx, c) {
+                        candidates.push(idx as u16);
+                    }
                 }
             }
         }
     }
-    out.extend(extract_items(node, ctx.rng, ctx.w, &candidates));
+    out.extend(extract_items(node, ctx.rng, ctx.w, &ctx.accel, &candidates));
     out
+}
+
+/// Exact parts of the table-candidate acceptance probability
+/// `min(1, w_v/W) / (num_t/m²)` with `w_v = c·2^{idx+1}` (computed only in
+/// the sliver, in force-exact mode, and for debug validation).
+fn table_accept_parts(w: &Ratio, idx: usize, c: u32, num_t: u64, m2: u64) -> (BigUint, BigUint) {
+    let w_v = BigUint::from_u64(c as u64).shl(idx as u64 + 1);
+    let true_num = w_v.mul(w.den());
+    let true_den = w.num();
+    if true_num.cmp(true_den) != Ordering::Less {
+        // True probability clamped to 1 ⇒ the table probability is also 1.
+        debug_assert_eq!(num_t, m2, "table majorization violated at clamp");
+        (BigUint::one(), BigUint::one())
+    } else {
+        let (num, den) = (true_num.mul_u64(m2), true_den.mul_u64(num_t));
+        debug_assert!(num.cmp(&den) != Ordering::Greater, "table majorization violated");
+        (num, den)
+    }
+}
+
+/// Accepts a table-sampled bucket as a candidate with probability
+/// `min(1, w_v/W) / (num_t/m²)` — fast two-sided word test first, exact
+/// rational only in the sliver.
+fn accept_table_candidate<R: RngCore>(
+    rng: &mut R,
+    w: &Ratio,
+    accel: &QueryAccel,
+    idx: usize,
+    c: u32,
+    num_t: u64,
+    m2: u64,
+) -> bool {
+    if accel.use_fast() {
+        // w_v = c·2^{idx+1} is exact in f64 (c ≤ m ≤ 64: few significant
+        // bits); m²/num_t is a correctly-rounded quotient of small integers.
+        let wv = c as f64 * pow2f(idx as i32 + 1);
+        let a_lo = mul_down(wv, accel.winv_lo).min(1.0);
+        let a_hi = mul_up(wv, accel.winv_hi).min(1.0);
+        let ratio = m2 as f64 / num_t as f64;
+        let bits = Bits64::from_f64_bounds(
+            mul_down(a_lo, ratio.next_down()),
+            mul_up(a_hi, ratio.next_up()),
+        );
+        if cfg!(debug_assertions) {
+            let (num, den) = table_accept_parts(w, idx, c, num_t, m2);
+            bits.debug_validate(&num, &den);
+        }
+        return ber_bits_with(rng, &bits, |rng, u| {
+            let (num, den) = table_accept_parts(w, idx, c, num_t, m2);
+            ber_rational_from_word(rng, &num, &den, u)
+        });
+    }
+    let (num, den) = table_accept_parts(w, idx, c, num_t, m2);
+    ber_rational_parts(rng, &num, &den)
+}
+
+/// Accepts a significant bucket in direct mode with probability
+/// `min(1, w_v/W)`, `w_v = c·2^{idx+1}`.
+fn accept_direct_candidate<R: RngCore>(
+    rng: &mut R,
+    w: &Ratio,
+    accel: &QueryAccel,
+    idx: usize,
+    c: u64,
+) -> bool {
+    if accel.use_fast() {
+        debug_assert!(c <= 1 << 53, "bucket count exceeds exact f64 range");
+        let wv = c as f64 * pow2f(idx as i32 + 1); // exact product
+        let bits = Bits64::from_f64_bounds(mul_down(wv, accel.winv_lo), mul_up(wv, accel.winv_hi));
+        if cfg!(debug_assertions) {
+            bits.debug_validate(&BigUint::from_u64(c).shl(idx as u64 + 1).mul(w.den()), w.num());
+        }
+        return ber_bits_with(rng, &bits, |rng, u| {
+            let num = BigUint::from_u64(c).shl(idx as u64 + 1).mul(w.den());
+            ber_rational_from_word(rng, &num, w.num(), u)
+        });
+    }
+    let num = BigUint::from_u64(c).shl(idx as u64 + 1).mul(w.den());
+    ber_rational_parts(rng, &num, w.num())
 }
 
 /// Algorithm 1 at the root: the full PSS query on the real item set.
@@ -362,14 +544,103 @@ pub fn query_level1<R: RngCore>(level1: &Level1, ctx: &mut QueryCtx<'_, R>) -> V
     }
     let th = thresholds(ctx.w, n, level1.group_width);
     let p0 = Ratio::from_u128s(1, (n as u128) * (n as u128));
-    let mut out = query_insignificant(level1, ctx.rng, ctx.w, th.i_insig_top, &p0);
+    query_level1_planned(level1, ctx, &th, &p0)
+}
+
+/// [`query_level1`] with precomputed level-1 thresholds and `p0 = 1/N²` —
+/// the entry point fed by [`crate::DpssSampler`]'s per-`(α, β)` plan cache,
+/// which skips the multi-word threshold setup on repeated queries.
+pub fn query_level1_planned<R: RngCore>(
+    level1: &Level1,
+    ctx: &mut QueryCtx<'_, R>,
+    th: &Thresholds,
+    p0: &Ratio,
+) -> Vec<crate::ItemId> {
+    if level1.n_positive == 0 {
+        return Vec::new();
+    }
+    let mut out = query_insignificant(level1, ctx.rng, ctx.w, &ctx.accel, th.i_insig_top, p0);
     out.extend(query_certain(level1, th.i_cert_bottom));
     let mut sig_groups: Vec<usize> = Vec::new();
-    for_significant_groups(&level1.nonempty_groups, &th, |j| sig_groups.push(j));
+    for_significant_groups(&level1.nonempty_groups, th, |j| sig_groups.push(j));
     for j in sig_groups {
         let child = level1.children[j].as_deref().expect("non-empty group without child");
         let ty = query_node(child, ctx);
-        out.extend(extract_items(level1, ctx.rng, ctx.w, &ty));
+        out.extend(extract_items(level1, ctx.rng, ctx.w, &ctx.accel, &ty));
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use wordram::BitsetList;
+
+    #[test]
+    fn significant_groups_skip_empty_universe() {
+        // Regression: `groups.universe() - 1` underflowed on an empty group
+        // universe before the saturating guard.
+        let groups = BitsetList::new(0);
+        let th = Thresholds { i_insig_top: -1, i_cert_bottom: 64, j_insig_max: -1, j_cert_min: 4 };
+        let mut seen = Vec::new();
+        for_significant_groups(&groups, &th, |j| seen.push(j));
+        assert!(seen.is_empty());
+    }
+
+    #[test]
+    fn significant_groups_empty_when_certain_covers_all() {
+        let mut groups = BitsetList::new(8);
+        groups.insert(2);
+        let th = Thresholds { i_insig_top: 7, i_cert_bottom: 8, j_insig_max: 1, j_cert_min: 2 };
+        let mut seen = Vec::new();
+        for_significant_groups(&groups, &th, |j| seen.push(j));
+        assert!(seen.is_empty(), "j_cert_min ≤ lo must yield no groups");
+    }
+
+    /// A level-3 node whose bucket vector is empty but that still claims a
+    /// member — the degenerate shape that used to underflow
+    /// `node.buckets.len() - 1` in direct mode.
+    fn empty_bucket_node() -> Node {
+        Node {
+            level: 3,
+            group_width: 0,
+            buckets: Vec::new(),
+            nonempty_buckets: BitsetList::new(0),
+            nonempty_groups: BitsetList::new(0),
+            members: Vec::new(),
+            n_members: 1,
+            children: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn query_final_survives_empty_bucket_vec() {
+        for mode in [FinalLevelMode::Direct, FinalLevelMode::Lookup] {
+            let node = empty_bucket_node();
+            let w = Ratio::from_int(8);
+            let mut table = LookupTable::new(4);
+            let mut rng = SmallRng::seed_from_u64(3);
+            let mut ctx = QueryCtx {
+                rng: &mut rng,
+                w: &w,
+                accel: QueryAccel::new(&w, true),
+                table: &mut table,
+                final_mode: mode,
+            };
+            assert!(query_final(&node, &mut ctx).is_empty(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn thresholds_match_definitions_small() {
+        // W = 8, n = 4, g = 2: i_ins_max = ⌊log2(8/16)⌋ − 1 = −2,
+        // i_cert_min = 3 ⇒ j_cert_min = 2.
+        let th = thresholds(&Ratio::from_int(8), 4, 2);
+        assert_eq!(th.j_insig_max, -1);
+        assert_eq!(th.i_insig_top, -1);
+        assert_eq!(th.j_cert_min, 2);
+        assert_eq!(th.i_cert_bottom, 4);
+    }
 }

@@ -2,7 +2,10 @@
 
 use crate::item::ItemId;
 use crate::lookup::LookupTable;
-use crate::query::{query_level1, FinalLevelMode, QueryCtx};
+use crate::query::{
+    query_level1, query_level1_planned, thresholds, FinalLevelMode, QueryAccel, QueryCtx,
+    Thresholds,
+};
 use crate::structure::Level1;
 use bignum::{BigUint, Ratio};
 use rand::rngs::SmallRng;
@@ -13,6 +16,24 @@ use wordram::SpaceUsage;
 /// Floor for the sizing parameter `n₀` so tiny sets get sane group widths and
 /// rebuilds don't thrash.
 const N0_FLOOR: usize = 16;
+
+/// Capacity of the per-`(α, β)` query-plan cache. Sized to hold a whole
+/// `query_many` batch of distinct parameter pairs (the bench drives 16) with
+/// headroom — a batch larger than the cache would otherwise evict its own
+/// entries FIFO and never hit.
+const PLAN_CACHE: usize = 32;
+
+/// A cached per-`(α, β)` query plan: the exact total weight `W`, its
+/// word-sized accelerators, and the level-1 thresholds — everything about a
+/// query that depends only on the parameters and the current item set, so
+/// repeated queries at the same parameters skip all multi-word setup.
+#[derive(Clone, Debug)]
+struct QueryPlan {
+    w: Ratio,
+    accel: QueryAccel,
+    th: Thresholds,
+    p0: Ratio,
+}
 
 /// Derives `(g₁, g₂)` from `n₀`: `g₁ = max(2, ⌈log2 n₀⌉)` (level-1 group
 /// width) and `g₂ = max(2, ⌈log2 g₁⌉)` (level-2 group width = the lookup
@@ -44,6 +65,13 @@ pub struct DpssSampler<R: RngCore = SmallRng> {
     final_mode: FinalLevelMode,
     rebuilds: u64,
     rebuild_factor: usize,
+    /// Bumped by every item-set mutation; keys the plan cache.
+    epoch: u64,
+    /// Cached `(α, β) → QueryPlan` entries, valid while `plans_epoch == epoch`.
+    plans: Vec<(Ratio, Ratio, QueryPlan)>,
+    plans_epoch: u64,
+    /// Disables the word-level fast path (all coins exact; agreement tests).
+    force_exact: bool,
 }
 
 impl DpssSampler<SmallRng> {
@@ -79,6 +107,10 @@ impl<R: RngCore> DpssSampler<R> {
             final_mode: FinalLevelMode::default(),
             rebuilds: 0,
             rebuild_factor: 2,
+            epoch: 0,
+            plans: Vec::new(),
+            plans_epoch: 0,
+            force_exact: false,
         }
     }
 
@@ -117,6 +149,22 @@ impl<R: RngCore> DpssSampler<R> {
         self.final_mode = mode;
     }
 
+    /// Disables (`true`) or re-enables (`false`) the word-level query fast
+    /// path. With `force_exact` every coin runs the original all-exact
+    /// arithmetic; the sampled distribution is identical either way (the fast
+    /// path is exactness-preserving), which the agreement tests verify.
+    pub fn set_force_exact(&mut self, force_exact: bool) {
+        if self.force_exact != force_exact {
+            self.force_exact = force_exact;
+            self.epoch += 1; // cached plans bake the fast flag into the accel
+        }
+    }
+
+    /// `true` iff the query fast path is disabled.
+    pub fn force_exact(&self) -> bool {
+        self.force_exact
+    }
+
     /// Number of global rebuilds performed so far.
     pub fn rebuild_count(&self) -> u64 {
         self.rebuilds
@@ -143,6 +191,7 @@ impl<R: RngCore> DpssSampler<R> {
 
     /// Inserts an item with `weight` in O(1) (amortized across rebuilds).
     pub fn insert(&mut self, weight: u64) -> ItemId {
+        self.epoch += 1;
         let id = self.level1.insert(weight);
         self.maybe_rebuild();
         id
@@ -151,6 +200,7 @@ impl<R: RngCore> DpssSampler<R> {
     /// Deletes an item in O(1) (amortized); returns its weight.
     pub fn delete(&mut self, id: ItemId) -> Option<u64> {
         let w = self.level1.delete(id)?;
+        self.epoch += 1;
         self.maybe_rebuild();
         Some(w)
     }
@@ -160,7 +210,13 @@ impl<R: RngCore> DpssSampler<R> {
     /// Returns the previous weight, or `None` for stale handles. The item
     /// count is unchanged, so no rebuild can trigger.
     pub fn set_weight(&mut self, id: ItemId, new_weight: u64) -> Option<u64> {
-        self.level1.set_weight(id, new_weight)
+        let old = self.level1.set_weight(id, new_weight)?;
+        if old != new_weight {
+            // Only a real change invalidates cached query plans; stale
+            // handles and no-op re-sets leave the item set untouched.
+            self.epoch += 1;
+        }
+        Some(old)
     }
 
     /// Insert without the global-rebuild check — used by
@@ -168,6 +224,7 @@ impl<R: RngCore> DpssSampler<R> {
     /// entirely (its trigger band sits strictly inside the rebuild band, so
     /// sizes never drift far enough to need one).
     pub(crate) fn insert_frozen(&mut self, weight: u64) -> ItemId {
+        self.epoch += 1;
         self.level1.insert(weight)
     }
 
@@ -175,6 +232,7 @@ impl<R: RngCore> DpssSampler<R> {
     /// [`DpssSampler::insert_frozen`]); essential while an epoch drains the
     /// old half toward zero items.
     pub(crate) fn delete_frozen(&mut self, id: ItemId) -> Option<u64> {
+        self.epoch += 1;
         self.level1.delete(id)
     }
 
@@ -228,18 +286,61 @@ impl<R: RngCore> DpssSampler<R> {
     /// Convention for `W_S(α,β) = 0` (e.g. `α = β = 0`): every positive-weight
     /// item has probability 1 (the limit of `w/W` as `W → 0+`) and zero-weight
     /// items have probability 0.
+    ///
+    /// Repeated queries at the same parameters hit a small `(α, β)` plan
+    /// cache keyed on the sampler's mutation epoch, so `W`, its fast-path
+    /// accelerators, and the level-1 thresholds are computed once per
+    /// (parameters, item-set version) rather than per query.
     pub fn query(&mut self, alpha: &Ratio, beta: &Ratio) -> Vec<ItemId> {
-        let w = self.param_weight(alpha, beta);
-        if w.is_zero() {
-            return crate::query::query_certain(&self.level1, 0);
+        if self.plans_epoch != self.epoch {
+            self.plans.clear();
+            self.plans_epoch = self.epoch;
         }
+        let idx = match self.plans.iter().position(|(a, b, _)| a == alpha && b == beta) {
+            Some(i) => i,
+            None => {
+                let w = self.param_weight(alpha, beta);
+                if w.is_zero() {
+                    // Degenerate convention; not worth a cache slot.
+                    return crate::query::query_certain(&self.level1, 0);
+                }
+                let plan = self.make_plan(w);
+                if self.plans.len() >= PLAN_CACHE {
+                    self.plans.remove(0);
+                }
+                self.plans.push((alpha.clone(), beta.clone(), plan));
+                self.plans.len() - 1
+            }
+        };
+        let plan = &self.plans[idx].2;
+        let _guard = self.force_exact.then(randvar::exact_mode_guard);
         let mut ctx = QueryCtx {
             rng: &mut self.rng,
-            w: &w,
+            w: &plan.w,
+            accel: plan.accel,
             table: &mut self.table,
             final_mode: self.final_mode,
         };
-        query_level1(&self.level1, &mut ctx)
+        query_level1_planned(&self.level1, &mut ctx, &plan.th, &plan.p0)
+    }
+
+    /// Builds the cached plan for a non-zero total weight `w`.
+    fn make_plan(&self, w: Ratio) -> QueryPlan {
+        let n = self.level1.n_positive.max(1);
+        let th = thresholds(&w, n, self.level1.group_width);
+        let p0 = Ratio::from_u128s(1, (n as u128) * (n as u128));
+        let accel = QueryAccel::new(&w, !self.force_exact);
+        QueryPlan { w, accel, th, p0 }
+    }
+
+    /// Answers a batch of PSS queries, one result per `(α, β)` pair.
+    ///
+    /// Semantically identical to calling [`DpssSampler::query`] in a loop
+    /// (each query draws fresh randomness); the point of the batched entry is
+    /// that the plan cache amortizes `W`/threshold/accelerator setup across
+    /// the batch — repeated parameters cost their multi-word setup once.
+    pub fn query_many(&mut self, params: &[(Ratio, Ratio)]) -> Vec<Vec<ItemId>> {
+        params.iter().map(|(a, b)| self.query(a, b)).collect()
     }
 
     /// Convenience: query with machine-word rational parameters
@@ -258,8 +359,14 @@ impl<R: RngCore> DpssSampler<R> {
         if w.is_zero() {
             return crate::query::query_certain(&self.level1, 0);
         }
-        let mut ctx =
-            QueryCtx { rng: &mut self.rng, w, table: &mut self.table, final_mode: self.final_mode };
+        let _guard = self.force_exact.then(randvar::exact_mode_guard);
+        let mut ctx = QueryCtx {
+            rng: &mut self.rng,
+            w,
+            accel: QueryAccel::new(w, !self.force_exact),
+            table: &mut self.table,
+            final_mode: self.final_mode,
+        };
         query_level1(&self.level1, &mut ctx)
     }
 

@@ -533,6 +533,10 @@ pub trait LevelView {
     fn bucket_item(&self, b: usize, pos: usize) -> Self::Id;
     /// Exact weight of an item as a [`BigUint`].
     fn weight_big(&self, id: Self::Id) -> BigUint;
+    /// Certified `f64` bracket of the item's weight (`lo ≤ w ≤ hi` exactly,
+    /// ulp-wide): the allocation-free input of the query fast path. Must
+    /// bracket the same value [`LevelView::weight_big`] returns.
+    fn weight_f64_bounds(&self, id: Self::Id) -> (f64, f64);
 }
 
 impl LevelView for Level1 {
@@ -553,6 +557,16 @@ impl LevelView for Level1 {
     fn weight_big(&self, id: ItemId) -> BigUint {
         BigUint::from_u64(self.slab.weight(id).expect("live item"))
     }
+    fn weight_f64_bounds(&self, id: ItemId) -> (f64, f64) {
+        let w = self.slab.weight(id).expect("live item");
+        // u64 → f64 is correctly rounded; exact below 2^53, else nudge.
+        let f = w as f64;
+        if w <= 1 << 53 {
+            (f, f)
+        } else {
+            (f.next_down(), f.next_up())
+        }
+    }
 }
 
 impl LevelView for Node {
@@ -572,5 +586,8 @@ impl LevelView for Node {
     }
     fn weight_big(&self, id: u16) -> BigUint {
         self.members[id as usize].as_ref().expect("live member").weight.to_biguint()
+    }
+    fn weight_f64_bounds(&self, id: u16) -> (f64, f64) {
+        self.members[id as usize].as_ref().expect("live member").weight.to_f64_bounds()
     }
 }

@@ -74,6 +74,19 @@ pub trait PssBackend: SpaceUsage {
     /// Answers one PSS query with parameters `(α, β)`.
     fn query(&mut self, alpha: &Ratio, beta: &Ratio) -> Vec<Handle>;
 
+    /// Answers a batch of PSS queries, one independent result per `(α, β)`
+    /// pair, in order.
+    ///
+    /// Semantically identical to calling [`PssBackend::query`] in a loop
+    /// (which is the default implementation); backends with per-parameter
+    /// setup cost — HALT precomputes the total weight `W`, its word-RAM
+    /// fast-path accelerators, and the level thresholds — override this to
+    /// reuse that setup across the batch. Workload drivers and the bench
+    /// harness issue their query ticks through this entry point.
+    fn query_many(&mut self, params: &[(Ratio, Ratio)]) -> Vec<Vec<Handle>> {
+        params.iter().map(|(a, b)| self.query(a, b)).collect()
+    }
+
     /// Number of live items.
     fn len(&self) -> usize;
 

@@ -17,6 +17,32 @@ use std::cmp::Ordering;
 ///
 /// Panics if `den == 0`.
 pub fn ber_rational_parts<R: RngCore>(rng: &mut R, num: &BigUint, den: &BigUint) -> bool {
+    ber_core(rng, num, den, None)
+}
+
+/// Finishes `Ber(num/den)` given that the **first** 64-bit word of the
+/// uniform stream `U` has already been drawn as `u0`.
+///
+/// Returns exactly `[U < num/den]` for `U = (u0 + V)/2^64` with fresh uniform
+/// `V ∈ [0, 1)` — the conditional completion the two-sided fast path
+/// ([`crate::Bits64`]) delegates to when a draw lands inside the uncertainty
+/// sliver. Feeding back the drawn word (instead of redrawing) is what keeps
+/// the overall distribution bit-for-bit identical to [`ber_rational_parts`].
+pub fn ber_rational_from_word<R: RngCore>(
+    rng: &mut R,
+    num: &BigUint,
+    den: &BigUint,
+    u0: u64,
+) -> bool {
+    ber_core(rng, num, den, Some(u0))
+}
+
+fn ber_core<R: RngCore>(
+    rng: &mut R,
+    num: &BigUint,
+    den: &BigUint,
+    mut pending: Option<u64>,
+) -> bool {
     assert!(!den.is_zero(), "Bernoulli with zero denominator");
     if num.is_zero() {
         return false;
@@ -32,7 +58,7 @@ pub fn ber_rational_parts<R: RngCore>(rng: &mut R, num: &BigUint, den: &BigUint)
         let scaled = r.shl(64);
         let (chunk, rem) = scaled.div_rem(den);
         let p_bits = chunk.to_u64().unwrap_or(u64::MAX); // chunk < 2^64 always
-        let u_bits = rng.next_u64();
+        let u_bits = pending.take().unwrap_or_else(|| rng.next_u64());
         match u_bits.cmp(&p_bits) {
             Ordering::Less => return true,
             Ordering::Greater => return false,
@@ -54,7 +80,18 @@ pub fn ber_rational_parts<R: RngCore>(rng: &mut R, num: &BigUint, den: &BigUint)
 }
 
 /// Draws `Ber(p)` for an exact [`Ratio`] `p` (values above 1 are clamped).
+///
+/// For machine-word rationals the fast path derives the exact 64-bit
+/// threshold with one division-free `u128` computation
+/// ([`crate::Bits64::from_ratio`]) — no `BigUint` allocation unless the draw
+/// lands on the single-word sliver (probability 2⁻⁶⁴).
 pub fn ber_rational<R: RngCore>(rng: &mut R, p: &Ratio) -> bool {
+    if crate::fast::fast_path_enabled() {
+        let bits = crate::fast::Bits64::from_ratio(p);
+        return crate::fast::ber_bits_with(rng, &bits, |rng, u| {
+            ber_rational_from_word(rng, p.num(), p.den(), u)
+        });
+    }
     ber_rational_parts(rng, p.num(), p.den())
 }
 

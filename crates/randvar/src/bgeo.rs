@@ -14,27 +14,67 @@
 //! with constant probability `(1−(1−p)^t)/(t·p) ≥ (1−e^{-1})/2`. All Bernoulli
 //! trials are exact (rational or lazy-oracle), so the sampler is exact.
 
-use crate::bernoulli::ber_rational_parts;
-use crate::lazy::ber_oracle;
+use crate::bernoulli::{ber_rational_from_word, ber_rational_parts};
+use crate::fast::{ber_bits_with, fast_path_enabled, pow_bounds_unit, Bits64};
+use crate::lazy::{ber_oracle, ber_oracle_from_word};
 use crate::oracles::PowOneMinusOracle;
-use bignum::Ratio;
+use bignum::{BigUint, Ratio};
 use rand::RngCore;
 
-/// Draws `Ber((1−p)^k)` exactly, with a fast exact-rational path for tiny `k`.
+/// Certified `f64` bracket of `(1−p)^k` for `p ∈ [0, 1]`: directed-rounded
+/// square-and-multiply on the bracket of `1−p`, a few ulps wide. This is the
+/// bound the fast path tests a uniform word against before touching any
+/// multi-word arithmetic.
+pub fn pow_one_minus_f64_bounds(p: &Ratio, k: u64) -> (f64, f64) {
+    let (p_lo, p_hi) = p.to_f64_bounds();
+    let b_lo = (1.0 - p_hi).next_down().max(0.0);
+    let b_hi = (1.0 - p_lo).next_up().clamp(0.0, 1.0);
+    pow_bounds_unit(b_lo, b_hi, k)
+}
+
+/// The exact `(1−p)^k` Bernoulli parts when they stay O(1) words.
+fn small_exact_parts(p: &Ratio, k: u64) -> Option<(BigUint, BigUint)> {
+    if k == 1 {
+        return Some((p.den().sub(p.num()), p.den().clone()));
+    }
+    // Exact small power: (den−num)^k / den^k stays ≤ 8 words.
+    (k <= 4 && p.num().word_len() <= 2 && p.den().word_len() <= 2)
+        .then(|| (p.den().sub(p.num()).pow(k), p.den().pow(k)))
+}
+
+fn pow_one_minus_exact<R: RngCore>(rng: &mut R, p: &Ratio, k: u64) -> bool {
+    if let Some((num, den)) = small_exact_parts(p, k) {
+        return ber_rational_parts(rng, &num, &den);
+    }
+    let mut oracle = PowOneMinusOracle::from_ratio(p, k);
+    ber_oracle(rng, &mut oracle)
+}
+
+fn pow_one_minus_exact_from_word<R: RngCore>(rng: &mut R, p: &Ratio, k: u64, u0: u64) -> bool {
+    if let Some((num, den)) = small_exact_parts(p, k) {
+        return ber_rational_from_word(rng, &num, &den, u0);
+    }
+    let mut oracle = PowOneMinusOracle::from_ratio(p, k);
+    ber_oracle_from_word(rng, &mut oracle, u0)
+}
+
+/// Draws `Ber((1−p)^k)` exactly.
+///
+/// Hot path: one uniform word against the certified `f64` bracket of
+/// `(1−p)^k`; only a draw inside the ulp-wide sliver (probability ≈ 2⁻⁵⁰)
+/// invokes the exact rational / interval-oracle machinery, conditioned on the
+/// drawn word — the distribution is identical to the all-exact code.
 pub fn ber_pow_one_minus<R: RngCore>(rng: &mut R, p: &Ratio, k: u64) -> bool {
     if k == 0 {
         return true;
     }
-    if k == 1 {
-        return !ber_rational_parts(rng, p.num(), p.den());
+    if fast_path_enabled() {
+        let (lo, hi) = pow_one_minus_f64_bounds(p, k);
+        return ber_bits_with(rng, &Bits64::from_f64_bounds(lo, hi), |rng, u| {
+            pow_one_minus_exact_from_word(rng, p, k, u)
+        });
     }
-    if k <= 4 && p.num().word_len() <= 2 && p.den().word_len() <= 2 {
-        // Exact small power: (den−num)^k / den^k stays ≤ 8 words.
-        let base = p.den().sub(p.num());
-        return ber_rational_parts(rng, &base.pow(k), &p.den().pow(k));
-    }
-    let mut oracle = PowOneMinusOracle::from_ratio(p, k);
-    ber_oracle(rng, &mut oracle)
+    pow_one_minus_exact(rng, p, k)
 }
 
 /// Draws `B-Geo(p, n) = min{n, Geo(p)}` exactly in O(1) expected time.
@@ -48,7 +88,7 @@ pub fn bgeo<R: RngCore>(rng: &mut R, p: &Ratio, n: u64) -> u64 {
     // Block length: t = 2^s with s = min(⌈log2 1/p⌉, ⌈log2 n⌉) so that either
     // t·p ≥ 1 (constant per-block success probability) or t ≥ n (at most one
     // block before the cap).
-    let s_p = p.recip().ceil_log2().max(0) as u64; // ⌈log2(1/p)⌉ ≥ 0
+    let s_p = (-p.floor_log2()).max(0) as u64; // ⌈log2(1/p)⌉ = −⌊log2 p⌋ ≥ 0
     let s_n = 64 - (n - 1).leading_zeros() as u64; // ⌈log2 n⌉ for n ≥ 1
     let s = s_p.min(s_n).min(62);
     let t: u64 = 1 << s;

@@ -28,8 +28,17 @@ pub trait ProbOracle {
 /// revealed bit-by-bit; the oracle's brackets only gate *when* the comparison
 /// can be resolved, never its outcome.
 pub fn ber_oracle<R: RngCore>(rng: &mut R, oracle: &mut dyn ProbOracle) -> bool {
+    let u0 = rng.next_u64();
+    ber_oracle_from_word(rng, oracle, u0)
+}
+
+/// Finishes `Ber(p)` for an oracle-described `p` given that the **first**
+/// uniform word has already been drawn as `u0` (the exact continuation of the
+/// [`crate::Bits64`] fast path — see [`crate::ber_rational_from_word`] for
+/// why conditioning on the drawn word preserves the distribution exactly).
+pub fn ber_oracle_from_word<R: RngCore>(rng: &mut R, oracle: &mut dyn ProbOracle, u0: u64) -> bool {
     let mut bits: u64 = 64;
-    let mut u = BigUint::from_u64(rng.next_u64());
+    let mut u = BigUint::from_u64(u0);
     loop {
         let br = oracle.bracket(bits + 2);
         let e = -(bits as i64);

@@ -21,7 +21,14 @@
 //! - [`CountingRng`] and [`stats`]: randomness accounting and a full
 //!   goodness-of-fit framework (χ² with exact p-values via regularized
 //!   incomplete gamma, Kolmogorov–Smirnov, binomial z) for the exactness
-//!   experiments (V2, E6, E8).
+//!   experiments (V2, E6, E8);
+//! - [`Bits64`] and the `*_from_word` continuations: the exactness-preserving
+//!   word-RAM **fast path** — every coin first tests one uniform 64-bit word
+//!   against certified certain-accept/certain-reject thresholds and only
+//!   invokes the exact multi-word machinery on the ulp-wide sliver between
+//!   them, conditioned on the drawn word, so the output distribution is
+//!   bit-for-bit unchanged. [`exact_mode_guard`] restores the all-exact
+//!   behavior for agreement testing.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +36,7 @@
 mod bernoulli;
 mod bgeo;
 pub mod binomial;
+mod fast;
 mod lazy;
 pub mod naive;
 mod oracles;
@@ -36,11 +44,17 @@ mod rng;
 pub mod stats;
 mod tgeo;
 
-pub use bernoulli::{ber_rational, ber_rational_parts, ber_u128, ber_u64};
-pub use bgeo::{ber_pow_one_minus, bgeo};
+pub use bernoulli::{ber_rational, ber_rational_from_word, ber_rational_parts, ber_u128, ber_u64};
+pub use bgeo::{ber_pow_one_minus, bgeo, pow_one_minus_f64_bounds};
 pub use binomial::{binomial, binomial_positions};
-pub use lazy::{ber_oracle, ProbOracle, RatioOracle};
+pub use fast::{
+    ber_bits_rational, ber_bits_with, exact_mode_guard, fast_path_enabled, mul_down, mul_up,
+    pow_bounds_unit, sliver_hits, Bits64, ExactModeGuard, FastDecision,
+};
+pub use lazy::{ber_oracle, ber_oracle_from_word, ProbOracle, RatioOracle};
 pub use naive::{bgeo_naive_scan, geo_f64, tgeo_inversion_f64, tgeo_naive_scan};
-pub use oracles::{HalfRecipPStarOracle, PStarOracle, PowOneMinusOracle};
+pub use oracles::{
+    ber_pstar, pstar_f64_bounds, HalfRecipPStarOracle, PStarOracle, PowOneMinusOracle,
+};
 pub use rng::{uniform_below, uniform_below_u128, CountingRng};
 pub use tgeo::{tgeo, tgeo_paper_literal};

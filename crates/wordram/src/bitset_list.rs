@@ -108,6 +108,11 @@ impl BitsetList {
 
     /// Largest stored integer `≤ q` (predecessor in the weak sense).
     pub fn pred(&self, q: usize) -> Option<usize> {
+        if self.universe == 0 {
+            // An empty universe has no predecessor; `universe - 1` below
+            // would underflow (and read out of bounds in release builds).
+            return None;
+        }
         let q = q.min(self.universe - 1);
         let w = q / 64;
         let rem = q % 64;
@@ -259,6 +264,25 @@ mod tests {
         s.remove(64);
         assert_eq!(s.succ(64), Some(128));
         assert_eq!(s.pred(127), Some(63));
+    }
+
+    #[test]
+    fn empty_universe_is_inert() {
+        // Regression: `pred` used to compute `universe - 1` unguarded, which
+        // underflows (debug) or reads out of bounds (release) on `new(0)`.
+        let s = BitsetList::new(0);
+        assert_eq!(s.universe(), 0);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        for q in [0usize, 1, 63, 64, 4095, usize::MAX] {
+            assert_eq!(s.pred(q), None, "pred({q})");
+            assert_eq!(s.succ(q), None, "succ({q})");
+        }
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.iter().count(), 0);
+        assert_eq!(s.range(0, usize::MAX).count(), 0);
+        assert_eq!(s.range(5, 3).count(), 0);
     }
 
     #[test]

@@ -21,20 +21,24 @@ pub struct ReplayReport {
     pub deletes: u64,
     /// Queries issued (0 unless a query cadence was requested).
     pub queries: u64,
+    /// Query batches issued (one `query_many` call per cadence tick).
+    pub batches: u64,
     /// Total items returned across all queries.
     pub sampled: u64,
 }
 
 /// Replays `stream` into `backend`: initial load, then every update op.
 ///
-/// If `query_every` is `Some((k, α, β))`, a PSS query is issued after every
-/// `k`-th update op. Panics if the backend rejects a delete of a handle the
-/// stream believes is live — that is a backend bug, and the agreement suite
-/// relies on it being loud.
+/// If `query_every` is `Some((k, params))`, the whole parameter batch is
+/// issued through [`PssBackend::query_many`] after every `k`-th update op —
+/// backends with per-parameter setup (HALT's plan cache) amortize it across
+/// the batch. Panics if the backend rejects a delete of a handle the stream
+/// believes is live — that is a backend bug, and the agreement suite relies
+/// on it being loud.
 pub fn replay_stream(
     backend: &mut dyn PssBackend,
     stream: &UpdateStream,
-    query_every: Option<(usize, &Ratio, &Ratio)>,
+    query_every: Option<(usize, &[(Ratio, Ratio)])>,
 ) -> ReplayReport {
     let mut live = LiveSet::new();
     let mut report = ReplayReport::default();
@@ -58,10 +62,12 @@ pub fn replay_stream(
                 report.deletes += 1;
             }
         }
-        if let Some((k, alpha, beta)) = query_every {
-            if k > 0 && (step + 1) % k == 0 {
-                report.queries += 1;
-                report.sampled += backend.query(alpha, beta).len() as u64;
+        if let Some((k, params)) = query_every {
+            if k > 0 && (step + 1) % k == 0 && !params.is_empty() {
+                report.batches += 1;
+                report.queries += params.len() as u64;
+                report.sampled +=
+                    backend.query_many(params).iter().map(|s| s.len() as u64).sum::<u64>();
             }
         }
     }
@@ -122,11 +128,11 @@ mod tests {
             &mut rng,
         );
         let mut backend = CountingBackend::default();
-        let a = Ratio::one();
-        let b = Ratio::zero();
-        let report = replay_stream(&mut backend, &stream, Some((10, &a, &b)));
+        let params = [(Ratio::one(), Ratio::zero()), (Ratio::from_u64s(1, 2), Ratio::zero())];
+        let report = replay_stream(&mut backend, &stream, Some((10, &params)));
         assert_eq!(report.inserts - report.deletes, backend.len() as u64);
-        assert_eq!(report.queries, (stream.ops.len() / 10) as u64);
+        assert_eq!(report.batches, (stream.ops.len() / 10) as u64);
+        assert_eq!(report.queries, report.batches * params.len() as u64);
         // The counting backend returns everything live on each query.
         assert!(report.sampled >= report.queries);
     }
