@@ -37,6 +37,9 @@ fn replay_halt(stream: &UpdateStream) -> usize {
             Op::DeleteAt(i) => {
                 s.delete(live.remove_at(i));
             }
+            Op::DeleteOldest => {
+                s.delete(live.remove_oldest());
+            }
         }
     }
     live.len()
@@ -54,6 +57,9 @@ fn replay_deamortized(stream: &UpdateStream) -> usize {
             Op::DeleteAt(i) => {
                 s.delete(live.remove_at(i));
             }
+            Op::DeleteOldest => {
+                s.delete(live.remove_oldest());
+            }
         }
     }
     live.len()
@@ -70,6 +76,7 @@ fn bench_streams(c: &mut Criterion) {
             make_stream(StreamKind::Oscillate { lo: 1 << 12, hi: 5 << 12 }, 1 << 12, 60_000),
         ),
         ("sliding_window", make_stream(StreamKind::SlidingWindow { window: 1 << 12 }, 0, 60_000)),
+        ("fifo_window", make_stream(StreamKind::Fifo { window: 1 << 12 }, 0, 60_000)),
         ("mixed_50_50", make_stream(StreamKind::Mixed { insert_permille: 500 }, 1 << 12, 60_000)),
     ];
     for (label, stream) in &cases {

@@ -1,21 +1,27 @@
 //! `bench_core` — machine-readable core-operation benchmark.
 //!
-//! Measures insert / delete / query / batched-query throughput for every
-//! backend in the roster through the `pss-core` facade and writes
-//! `BENCH_core.json` (see `--out`), validated against schema v1 right after
-//! writing, so successive PRs accumulate a performance trajectory that
-//! scripts can diff and whose shape cannot silently drift. Human-readable
-//! numbers go to stdout as they are produced.
+//! Measures insert / churn / delete / set_weight / query / batched-query
+//! throughput for every backend in the roster through the `pss-core` facade
+//! and writes `BENCH_core.json` (see `--out`), validated against schema v2
+//! right after writing, so successive PRs accumulate a performance
+//! trajectory that scripts can diff and whose shape cannot silently drift.
+//! The snapshot also carries two structure-level observability blocks:
+//! HALT's `(α, β)` plan-cache hit/miss counters and a FIFO sliding-window
+//! replay (the first delete-dominated scenario). Human-readable numbers go
+//! to stdout as they are produced.
 //!
 //! Usage: `cargo run --release -p bench --bin bench_core [-- --out PATH
 //! --n ITEMS --quick]`
 
 use baselines::all_backends;
-use bench::{fmt_secs, time_per};
+use bench::{fmt_secs, time, time_per};
 use bignum::Ratio;
+use dpss::DpssSampler;
 use pss_core::Handle;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use workloads::drive::replay_stream;
+use workloads::updates::{StreamKind, UpdateStream};
 use workloads::weights::WeightDist;
 
 /// One backend's measurements, in operations per second.
@@ -23,6 +29,8 @@ struct Row {
     name: &'static str,
     insert_ops: f64,
     churn_ops: f64,
+    delete_ops: f64,
+    set_weight_ops: f64,
     query_mu16_ops: f64,
     query_batch16_ops: f64,
     mixed_round_ops: f64,
@@ -61,6 +69,29 @@ fn measure(seed: u64, n: usize, quick: bool) -> Vec<Row> {
             let j = rng.gen_range(0..handles.len());
             assert!(backend.delete(handles[j]), "{name}: live handle rejected");
             handles[j] = backend.insert(rng.gen_range(1..=1u64 << 30));
+        });
+
+        // Delete: time draining random handles (half the set, so the number
+        // reflects steady-state delete cost, not the empty-structure tail),
+        // then restore the size untimed.
+        let del_n = if quick { (n / 8).max(1) } else { (n / 2).max(1) };
+        let per_delete = time_per(del_n, || {
+            let j = rng.gen_range(0..handles.len());
+            let h = handles.swap_remove(j);
+            assert!(backend.delete(h), "{name}: live handle rejected in delete phase");
+        });
+        while handles.len() < n {
+            handles.push(backend.insert(rng.gen_range(1..=1u64 << 30)));
+        }
+
+        // set_weight: in-place reweighting where the backend supports it
+        // (HALT), delete+reinsert otherwise — always adopting the returned
+        // handle, exactly like a caller must.
+        let sw_reps = if quick { (n / 8).max(1) } else { n };
+        let per_set_weight = time_per(sw_reps, || {
+            let j = rng.gen_range(0..handles.len());
+            let w = rng.gen_range(1..=1u64 << 30);
+            handles[j] = backend.set_weight(handles[j], w).expect("live handle");
         });
 
         // Query at fixed parameters (μ ≈ 16). The DSS-style backends
@@ -112,10 +143,12 @@ fn measure(seed: u64, n: usize, quick: bool) -> Vec<Row> {
         });
 
         println!(
-            "{name:>12}: insert {}/op  churn-pair {}/op  query(μ16) {}/op  \
-             batch16 {}/query  mixed {}/op",
+            "{name:>12}: insert {}/op  churn-pair {}/op  delete {}/op  set_weight {}/op  \
+             query(μ16) {}/op  batch16 {}/query  mixed {}/op",
             fmt_secs(per_insert),
             fmt_secs(per_churn),
+            fmt_secs(per_delete),
+            fmt_secs(per_set_weight),
             fmt_secs(per_query),
             fmt_secs(per_batch_query),
             fmt_secs(per_round),
@@ -125,6 +158,8 @@ fn measure(seed: u64, n: usize, quick: bool) -> Vec<Row> {
             name,
             insert_ops: 1.0 / per_insert,
             churn_ops: 1.0 / per_churn,
+            delete_ops: 1.0 / per_delete,
+            set_weight_ops: 1.0 / per_set_weight,
             query_mu16_ops: 1.0 / per_query,
             query_batch16_ops: 1.0 / per_batch_query,
             mixed_round_ops: 1.0 / per_round,
@@ -132,6 +167,37 @@ fn measure(seed: u64, n: usize, quick: bool) -> Vec<Row> {
         });
     }
     rows
+}
+
+/// Snapshots HALT's `(α, β)` plan-cache counters under the batched query
+/// workload: 16 distinct pairs driven 4 times on a static item set should
+/// cost 16 misses and 48 hits; a mutation between rounds invalidates the
+/// epoch and costs a fresh batch of misses.
+fn plan_cache_probe(seed: u64, n: usize, weights: &[u64]) -> (u64, u64) {
+    let (mut s, ids) = DpssSampler::from_weights(weights, seed);
+    let batch: Vec<(Ratio, Ratio)> =
+        (0..16u64).map(|i| (Ratio::from_u64s(1, 8 + i), Ratio::zero())).collect();
+    for _ in 0..4 {
+        let _ = s.query_many(&batch);
+    }
+    // One mutation, one more batch: all misses again (epoch invalidation).
+    let _ = s.set_weight(ids[n / 2], 12345);
+    let _ = s.query_many(&batch);
+    s.plan_cache_stats()
+}
+
+/// Replays the exact-FIFO sliding-window stream (insert at head, delete at
+/// tail) into a fresh HALT sampler — the first scenario whose steady state
+/// is dominated by delete throughput — and reports update ops per second.
+fn fifo_window_probe(seed: u64, n: usize, quick: bool) -> (usize, f64) {
+    let window = (n / 4).max(16);
+    let ops = if quick { n } else { 4 * n };
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xF1F0);
+    let dist = WeightDist::Uniform { lo: 1, hi: 1 << 30 };
+    let stream = UpdateStream::generate(StreamKind::Fifo { window }, 0, ops, dist, &mut rng);
+    let mut backend = DpssSampler::new(seed ^ 0xF1F1);
+    let (report, secs) = time(|| replay_stream(&mut backend, &stream, None));
+    (window, (report.inserts + report.deletes) as f64 / secs)
 }
 
 fn main() {
@@ -155,21 +221,35 @@ fn main() {
     println!("# bench_core: n = {n}, roster driven via dyn PssBackend\n");
     let rows = measure(42, n, quick);
 
+    let mut rng = SmallRng::seed_from_u64(42);
+    let weights = WeightDist::Zipf { s_num: 2, s_den: 1, w_max: 1 << 30 }.generate(n, &mut rng);
+    let (hits, misses) = plan_cache_probe(42, n, &weights);
+    println!("\nplan cache probe: {hits} hits / {misses} misses (expect 48 / 32)");
+    let (fifo_window, fifo_ops) = fifo_window_probe(42, n, quick);
+    println!("fifo window (w={fifo_window}): {fifo_ops:.0} update ops/s on halt");
+
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": 1,\n");
+    json.push_str("  \"schema\": 2,\n");
     json.push_str(&format!("  \"n_items\": {n},\n"));
     json.push_str(&format!("  \"quick\": {quick},\n"));
     json.push_str("  \"unit\": \"ops_per_sec\",\n");
+    json.push_str(&format!("  \"plan_cache\": {{\"hits\": {hits}, \"misses\": {misses}}},\n"));
+    json.push_str(&format!(
+        "  \"fifo_window\": {{\"window\": {fifo_window}, \"ops_per_sec\": {fifo_ops:.1}}},\n"
+    ));
     json.push_str("  \"backends\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"insert\": {:.1}, \"churn_pair\": {:.1}, \
+             \"delete\": {:.1}, \"set_weight\": {:.1}, \
              \"query_mu16\": {:.1}, \"query_batch16\": {:.1}, \"mixed_round\": {:.1}, \
              \"space_words\": {}}}{}\n",
             json_escape(r.name),
             r.insert_ops,
             r.churn_ops,
+            r.delete_ops,
+            r.set_weight_ops,
             r.query_mu16_ops,
             r.query_batch16_ops,
             r.mixed_round_ops,
@@ -181,7 +261,7 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write BENCH_core.json");
     // Self-validate the snapshot so a shape regression fails the run (and
     // CI's --quick smoke step) instead of silently breaking the trajectory.
-    bench::schema::validate_bench_core_v1(&json)
-        .unwrap_or_else(|e| panic!("emitted snapshot violates schema v1: {e}"));
-    println!("\nwrote {out_path} (schema v1 OK)");
+    bench::schema::validate_bench_core_v2(&json)
+        .unwrap_or_else(|e| panic!("emitted snapshot violates schema v2: {e}"));
+    println!("\nwrote {out_path} (schema v2 OK)");
 }

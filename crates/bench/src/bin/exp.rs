@@ -485,6 +485,9 @@ fn e3b_streams() {
                         Op::DeleteAt(i) => {
                             s.delete(live.remove_at(i));
                         }
+                        Op::DeleteOldest => {
+                            s.delete(live.remove_oldest());
+                        }
                     }
                     lat.push(t0.elapsed().as_secs_f64());
                 }
@@ -514,6 +517,9 @@ fn e3b_streams() {
                         Op::Insert(w) => live.insert(s.insert(w)),
                         Op::DeleteAt(i) => {
                             s.delete(live.remove_at(i));
+                        }
+                        Op::DeleteOldest => {
+                            s.delete(live.remove_oldest());
                         }
                     }
                     lat.push(t0.elapsed().as_secs_f64());

@@ -4,8 +4,15 @@
 //! performance trajectory that scripts can diff. A snapshot whose *shape*
 //! silently drifts (renamed field, string where a number belongs, empty
 //! backend roster) breaks every downstream diff without failing anything —
-//! so the emitter validates its own output against schema v1 right after
+//! so the emitter validates its own output against schema v2 right after
 //! writing, and CI runs the same check on the `--quick` smoke snapshot.
+//!
+//! Schema v2 (this PR) extends v1 with per-backend `delete` and
+//! `set_weight` throughput — making the update-path work visible in the
+//! trajectory — plus two observability blocks: `plan_cache`
+//! (hit/miss counters of HALT's `(α, β)` query-plan cache) and
+//! `fifo_window` (update throughput of the exact-FIFO sliding-window
+//! replay, the first delete-dominated scenario).
 //!
 //! The workspace is offline (no serde), so this carries a deliberately tiny
 //! recursive-descent JSON reader: objects, arrays, strings (with escapes),
@@ -226,24 +233,39 @@ fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-/// Per-backend numeric throughput fields required by schema v1.
-pub const BACKEND_RATE_FIELDS: [&str; 5] =
-    ["insert", "churn_pair", "query_mu16", "query_batch16", "mixed_round"];
+/// Per-backend numeric throughput fields required by schema v2.
+pub const BACKEND_RATE_FIELDS: [&str; 7] =
+    ["insert", "churn_pair", "delete", "set_weight", "query_mu16", "query_batch16", "mixed_round"];
 
-/// Validates a `BENCH_core.json` document against schema v1:
+/// Requires `obj[field]` to be a finite number with `v ≥ min`.
+fn require_num(obj: &Json, field: &str, min: f64, path: &str) -> Result<f64, String> {
+    let v = obj
+        .get(field)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("{path}: missing numeric '{field}'"))?;
+    if !v.is_finite() || v < min {
+        return Err(format!("{path}: '{field}' = {v} out of range"));
+    }
+    Ok(v)
+}
+
+/// Validates a `BENCH_core.json` document against schema v2:
 ///
-/// - top level: `schema == 1`, integer `n_items ≥ 1`, boolean `quick`,
+/// - top level: `schema == 2`, integer `n_items ≥ 1`, boolean `quick`,
 ///   `unit == "ops_per_sec"`, non-empty `backends` array;
+/// - `plan_cache`: finite non-negative `hits` and `misses`;
+/// - `fifo_window`: integer `window ≥ 1` and finite non-negative
+///   `ops_per_sec`;
 /// - each backend: non-empty string `name`, finite non-negative numbers for
 ///   every field in [`BACKEND_RATE_FIELDS`] plus `space_words`.
 ///
 /// Unknown extra fields are allowed (forward-compatible); missing or
 /// mistyped required fields are errors naming the offending path.
-pub fn validate_bench_core_v1(text: &str) -> Result<(), String> {
+pub fn validate_bench_core_v2(text: &str) -> Result<(), String> {
     let doc = parse(text)?;
     let schema = doc.get("schema").and_then(Json::as_num).ok_or("missing numeric 'schema'")?;
-    if schema != 1.0 {
-        return Err(format!("schema version {schema} is not 1"));
+    if schema != 2.0 {
+        return Err(format!("schema version {schema} is not 2"));
     }
     let n_items = doc.get("n_items").and_then(Json::as_num).ok_or("missing numeric 'n_items'")?;
     if n_items < 1.0 || n_items.fract() != 0.0 {
@@ -255,6 +277,15 @@ pub fn validate_bench_core_v1(text: &str) -> Result<(), String> {
     if doc.get("unit").and_then(Json::as_str) != Some("ops_per_sec") {
         return Err("'unit' must be \"ops_per_sec\"".into());
     }
+    let pc = doc.get("plan_cache").ok_or("missing object 'plan_cache'")?;
+    require_num(pc, "hits", 0.0, "plan_cache")?;
+    require_num(pc, "misses", 0.0, "plan_cache")?;
+    let fw = doc.get("fifo_window").ok_or("missing object 'fifo_window'")?;
+    let window = require_num(fw, "window", 1.0, "fifo_window")?;
+    if window.fract() != 0.0 {
+        return Err(format!("fifo_window: 'window' = {window} is not an integer"));
+    }
+    require_num(fw, "ops_per_sec", 0.0, "fifo_window")?;
     let backends = match doc.get("backends") {
         Some(Json::Arr(rows)) if !rows.is_empty() => rows,
         Some(Json::Arr(_)) => return Err("'backends' is empty".into()),
@@ -269,13 +300,7 @@ pub fn validate_bench_core_v1(text: &str) -> Result<(), String> {
             return Err(format!("backends[{i}]: empty 'name'"));
         }
         for field in BACKEND_RATE_FIELDS.iter().chain(std::iter::once(&"space_words")) {
-            let v = row
-                .get(field)
-                .and_then(Json::as_num)
-                .ok_or_else(|| format!("backends[{i}] ({name}): missing numeric '{field}'"))?;
-            if !v.is_finite() || v < 0.0 {
-                return Err(format!("backends[{i}] ({name}): '{field}' = {v} out of range"));
-            }
+            require_num(row, field, 0.0, &format!("backends[{i}] ({name})"))?;
         }
     }
     Ok(())
@@ -286,33 +311,55 @@ mod tests {
     use super::*;
 
     const GOOD: &str = r#"{
-      "schema": 1, "n_items": 4096, "quick": true, "unit": "ops_per_sec",
+      "schema": 2, "n_items": 4096, "quick": true, "unit": "ops_per_sec",
+      "plan_cache": {"hits": 48, "misses": 32},
+      "fifo_window": {"window": 1024, "ops_per_sec": 5.0e6},
       "backends": [
-        {"name": "halt", "insert": 1.5e6, "churn_pair": 2.0, "query_mu16": 3.0,
+        {"name": "halt", "insert": 1.5e6, "churn_pair": 2.0, "delete": 6.0,
+         "set_weight": 7.0, "query_mu16": 3.0,
          "query_batch16": 4.0, "mixed_round": 5.0, "space_words": 99}
       ]
     }"#;
 
     #[test]
     fn accepts_a_valid_snapshot() {
-        validate_bench_core_v1(GOOD).unwrap();
+        validate_bench_core_v2(GOOD).unwrap();
     }
 
     #[test]
     fn rejects_shape_drift() {
         // Wrong version.
-        assert!(validate_bench_core_v1(&GOOD.replace("\"schema\": 1", "\"schema\": 2")).is_err());
-        // Missing field.
-        assert!(validate_bench_core_v1(&GOOD.replace("\"query_mu16\": 3.0,", "")).is_err());
+        assert!(validate_bench_core_v2(&GOOD.replace("\"schema\": 2", "\"schema\": 1")).is_err());
+        // Missing v1 field.
+        assert!(validate_bench_core_v2(&GOOD.replace("\"query_mu16\": 3.0,", "")).is_err());
+        // Missing v2 update-path field.
+        assert!(validate_bench_core_v2(&GOOD.replace("\"delete\": 6.0,", "")).is_err());
+        assert!(validate_bench_core_v2(&GOOD.replace("\"set_weight\": 7.0,", "")).is_err());
+        // Missing observability blocks.
+        assert!(validate_bench_core_v2(
+            &GOOD.replace("\"plan_cache\": {\"hits\": 48, \"misses\": 32},", "")
+        )
+        .is_err());
+        assert!(validate_bench_core_v2(
+            &GOOD.replace("\"fifo_window\": {\"window\": 1024, \"ops_per_sec\": 5.0e6},", "")
+        )
+        .is_err());
+        // Fractional window.
+        assert!(
+            validate_bench_core_v2(&GOOD.replace("\"window\": 1024", "\"window\": 2.5")).is_err()
+        );
         // String where a number belongs.
-        assert!(validate_bench_core_v1(&GOOD.replace("\"insert\": 1.5e6", "\"insert\": \"fast\""))
+        assert!(validate_bench_core_v2(&GOOD.replace("\"insert\": 1.5e6", "\"insert\": \"fast\""))
             .is_err());
         // Empty roster.
-        let empty = r#"{"schema": 1, "n_items": 1, "quick": false,
-                        "unit": "ops_per_sec", "backends": []}"#;
-        assert!(validate_bench_core_v1(empty).is_err());
+        let empty = r#"{"schema": 2, "n_items": 1, "quick": false,
+                        "unit": "ops_per_sec",
+                        "plan_cache": {"hits": 0, "misses": 0},
+                        "fifo_window": {"window": 16, "ops_per_sec": 1.0},
+                        "backends": []}"#;
+        assert!(validate_bench_core_v2(empty).is_err());
         // Not JSON at all.
-        assert!(validate_bench_core_v1("{").is_err());
+        assert!(validate_bench_core_v2("{").is_err());
     }
 
     #[test]
@@ -333,9 +380,9 @@ mod tests {
 
     #[test]
     fn committed_snapshot_is_valid() {
-        // The repository's own BENCH_core.json must always pass schema v1.
+        // The repository's own BENCH_core.json must always pass schema v2.
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_core.json");
         let text = std::fs::read_to_string(path).expect("committed BENCH_core.json");
-        validate_bench_core_v1(&text).expect("committed snapshot violates schema v1");
+        validate_bench_core_v2(&text).expect("committed snapshot violates schema v2");
     }
 }

@@ -41,6 +41,12 @@ use bignum::{BigUint, Ratio};
 /// Items migrated from the old to the new structure per update during an
 /// epoch. Any constant ≥ 3 suffices for the standard doubling analysis
 /// (migration finishes before the next trigger can fire).
+///
+/// Each migrated item is a `delete_frozen` + `insert_frozen` pair, so the
+/// batch rides the same allocation-free arena cascade as direct updates —
+/// in steady state (constant size, no epoch opening) the whole update path,
+/// migration included, performs no heap allocation (see
+/// `suite/tests/alloc_free.rs`).
 pub const MIGRATION_BATCH: usize = 4;
 
 /// Size-drift ratio that opens a migration epoch.

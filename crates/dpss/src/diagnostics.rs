@@ -12,7 +12,7 @@
 //!   §3 directly (queries draw O(1 + μ) words; updates draw none).
 
 use crate::sampler::DpssSampler;
-use crate::structure::{Level1, Node};
+use crate::structure::{Level1, NodePool, NO_NODE};
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
 use randvar::CountingRng;
@@ -51,6 +51,11 @@ pub struct StructureStats {
     pub levels: [LevelStats; 3],
     /// Total space in words (the model's measure, not RSS).
     pub space_words: usize,
+    /// Words carved by the level-1 item arena (live + parked blocks) — the
+    /// piece shrink-rebuild compaction reclaims.
+    pub item_arena_words: usize,
+    /// Words carved by the shared proxy-bucket arena of the node pool.
+    pub proxy_arena_words: usize,
     /// Lookup-table rows materialized so far.
     pub lookup_rows: u64,
 }
@@ -63,8 +68,10 @@ impl StructureStats {
     }
 }
 
-/// Accumulates one [`Node`]'s occupancy into `stats`, recursing to children.
-fn collect_node(node: &Node, l2: &mut LevelStats, l3: &mut LevelStats) {
+/// Accumulates one pooled node's occupancy into `stats`, recursing to
+/// children.
+fn collect_node(pool: &NodePool, idx: u32, l2: &mut LevelStats, l3: &mut LevelStats) {
+    let node = pool.node(idx);
     let stats = if node.level == 2 { &mut *l2 } else { &mut *l3 };
     stats.n_nodes += 1;
     stats.n_members += node.n_members;
@@ -73,8 +80,10 @@ fn collect_node(node: &Node, l2: &mut LevelStats, l3: &mut LevelStats) {
     for b in node.nonempty_buckets.iter() {
         stats.max_bucket_len = stats.max_bucket_len.max(node.buckets[b].len());
     }
-    for child in node.children.iter().flatten() {
-        collect_node(child, l2, l3);
+    for &child in &node.children {
+        if child != NO_NODE {
+            collect_node(pool, child, l2, l3);
+        }
     }
 }
 
@@ -88,8 +97,10 @@ fn collect_level1(l1: &Level1) -> [LevelStats; 3] {
     }
     let mut s2 = LevelStats::default();
     let mut s3 = LevelStats::default();
-    for child in l1.children.iter().flatten() {
-        collect_node(child, &mut s2, &mut s3);
+    for &child in &l1.children {
+        if child != NO_NODE {
+            collect_node(&l1.pool, child, &mut s2, &mut s3);
+        }
     }
     [s1, s2, s3]
 }
@@ -105,6 +116,8 @@ impl<R: RngCore> DpssSampler<R> {
             group_width_l2: self.level1.l2_group_width,
             levels: collect_level1(&self.level1),
             space_words: self.space_words(),
+            item_arena_words: self.level1.item_arena.space_words(),
+            proxy_arena_words: self.level1.pool.arena.space_words(),
             lookup_rows: self.lookup_rows_built(),
         }
     }

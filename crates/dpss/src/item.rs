@@ -44,13 +44,28 @@ impl fmt::Debug for ItemId {
     }
 }
 
+/// One slab slot, packed to 16 bytes (the slab is the update path's hottest
+/// random-access array; slimmer records mean fewer cache lines touched).
 #[derive(Clone, Debug)]
 struct Rec {
     weight: u64,
     /// Position of this item inside its weight bucket (undefined for weight 0).
     bucket_pos: u32,
-    gen: u32,
-    alive: bool,
+    /// `generation << 1 | alive` — 31 generation bits still make handle
+    /// collisions need 2^31 reuses of one slot.
+    meta: u32,
+}
+
+impl Rec {
+    #[inline]
+    fn alive(&self) -> bool {
+        self.meta & 1 == 1
+    }
+
+    #[inline]
+    fn gen(&self) -> u32 {
+        self.meta >> 1
+    }
 }
 
 /// Generational slab of items.
@@ -79,45 +94,57 @@ impl Slab {
 
     /// Space in words.
     pub fn space_words(&self) -> usize {
-        self.recs.capacity() * 2 + self.free.capacity() + 3
+        self.recs.capacity() * 2 + self.free.capacity().div_ceil(2) + 3
     }
 
     /// Inserts an item, returning its handle.
     pub fn insert(&mut self, weight: u64) -> ItemId {
+        self.insert_bucketed(weight, 0)
+    }
+
+    /// Inserts an item with its bucket position in one slot write (the
+    /// update hot path: one record touch instead of insert + set_bucket_pos).
+    pub(crate) fn insert_bucketed(&mut self, weight: u64, bucket_pos: u32) -> ItemId {
         self.len += 1;
         if let Some(idx) = self.free.pop() {
             let rec = &mut self.recs[idx as usize];
-            debug_assert!(!rec.alive);
+            debug_assert!(!rec.alive());
             rec.weight = weight;
-            rec.bucket_pos = 0;
-            rec.alive = true;
-            ItemId::new(idx, rec.gen)
+            rec.bucket_pos = bucket_pos;
+            rec.meta |= 1;
+            ItemId::new(idx, rec.gen())
         } else {
             let idx = self.recs.len() as u32;
             assert!(idx != u32::MAX, "slab capacity exhausted");
-            self.recs.push(Rec { weight, bucket_pos: 0, gen: 0, alive: true });
+            self.recs.push(Rec { weight, bucket_pos, meta: 1 });
             ItemId::new(idx, 0)
         }
     }
 
     /// Removes `id`, returning its weight; `None` if stale or unknown.
     pub fn remove(&mut self, id: ItemId) -> Option<u64> {
+        self.remove_bucketed(id).map(|(w, _)| w)
+    }
+
+    /// Removes `id`, returning its weight and bucket position in one slot
+    /// access (the position is meaningless for zero-weight items).
+    pub(crate) fn remove_bucketed(&mut self, id: ItemId) -> Option<(u64, u32)> {
         let rec = self.recs.get_mut(id.idx())?;
-        if !rec.alive || rec.gen != id.gen() {
+        if !rec.alive() || rec.gen() != id.gen() {
             return None;
         }
-        rec.alive = false;
-        rec.gen = rec.gen.wrapping_add(1);
+        // Clear the alive bit and bump the generation (31-bit wrap).
+        rec.meta = (rec.meta.wrapping_add(2)) & !1;
         self.free.push(id.idx() as u32);
         self.len -= 1;
-        Some(rec.weight)
+        Some((rec.weight, rec.bucket_pos))
     }
 
     /// Overwrites the weight of a live item (bucket bookkeeping is the
     /// caller's job). Returns the old weight, or `None` for stale handles.
     pub(crate) fn set_weight(&mut self, id: ItemId, w: u64) -> Option<u64> {
         let rec = self.recs.get_mut(id.idx())?;
-        if !rec.alive || rec.gen != id.gen() {
+        if !rec.alive() || rec.gen() != id.gen() {
             return None;
         }
         Some(std::mem::replace(&mut rec.weight, w))
@@ -126,7 +153,7 @@ impl Slab {
     /// Weight of a live item.
     pub fn weight(&self, id: ItemId) -> Option<u64> {
         let rec = self.recs.get(id.idx())?;
-        if rec.alive && rec.gen == id.gen() {
+        if rec.alive() && rec.gen() == id.gen() {
             Some(rec.weight)
         } else {
             None
@@ -150,11 +177,23 @@ impl Slab {
         self.recs[id.idx()].bucket_pos = pos;
     }
 
+    /// Number of slots (live + recycled); slot indices range over it.
+    pub(crate) fn slot_count(&self) -> usize {
+        self.recs.len()
+    }
+
+    /// The live item in slot `idx`, if any (index-based scan for rebuilds —
+    /// no iterator borrow, so the caller can interleave mutation).
+    pub(crate) fn entry_at(&self, idx: usize) -> Option<(ItemId, u64)> {
+        let rec = &self.recs[idx];
+        rec.alive().then(|| (ItemId::new(idx as u32, rec.gen()), rec.weight))
+    }
+
     /// Iterates `(id, weight)` over live items.
     pub fn iter(&self) -> impl Iterator<Item = (ItemId, u64)> + '_ {
         self.recs.iter().enumerate().filter_map(|(i, r)| {
-            if r.alive {
-                Some((ItemId::new(i as u32, r.gen), r.weight))
+            if r.alive() {
+                Some((ItemId::new(i as u32, r.gen()), r.weight))
             } else {
                 None
             }

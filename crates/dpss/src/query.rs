@@ -28,7 +28,7 @@
 //! bit-for-bit the same as the all-exact implementation.
 
 use crate::lookup::{LookupTable, MAX_K};
-use crate::structure::{Level1, LevelView, Node};
+use crate::structure::{pow2f, Level1, LevelView, NodeView};
 use bignum::{BigUint, Ratio};
 use rand::RngCore;
 use randvar::{
@@ -36,13 +36,6 @@ use randvar::{
     tgeo, Bits64,
 };
 use std::cmp::Ordering;
-
-/// `2^e` as an `f64` (exact for `|e| ≤ 1023`; the hierarchy's bucket indices
-/// stay below 161).
-#[inline]
-fn pow2f(e: i32) -> f64 {
-    2f64.powi(e)
-}
 
 /// Precomputed word-sized accelerators for a query's total weight `W`:
 /// certified `f64` bounds of `1/W` (each coin's [`Bits64`] bracket is then
@@ -162,8 +155,9 @@ fn accept_thinned<R: RngCore>(rng: &mut R, w_x: &BigUint, w: &Ratio, p0: &Ratio)
 }
 
 /// Draws `Ber(min(1, w_x/W))` — the plain inclusion coin. One uniform word
-/// against the certified bracket of `w_x/W`; the `BigUint` products are only
-/// formed inside the sliver (or in force-exact mode).
+/// against the certified bracket of `w_x/W`; the weight only leaves its
+/// fixed-width `U256` form (and the `BigUint` products are only formed)
+/// inside the sliver, or in force-exact mode.
 fn accept_plain<V: LevelView, R: RngCore>(
     view: &V,
     rng: &mut R,
@@ -174,13 +168,13 @@ fn accept_plain<V: LevelView, R: RngCore>(
     if accel.use_fast() {
         let bits = accel.incl_bits(view.weight_f64_bounds(x));
         if cfg!(debug_assertions) {
-            bits.debug_validate(&view.weight_big(x).mul(w.den()), w.num());
+            bits.debug_validate(&view.weight_u256(x).to_biguint().mul(w.den()), w.num());
         }
         return ber_bits_with(rng, &bits, |rng, u| {
-            ber_rational_from_word(rng, &view.weight_big(x).mul(w.den()), w.num(), u)
+            ber_rational_from_word(rng, &view.weight_u256(x).to_biguint().mul(w.den()), w.num(), u)
         });
     }
-    ber_rational_parts(rng, &view.weight_big(x).mul(w.den()), w.num())
+    ber_rational_parts(rng, &view.weight_u256(x).to_biguint().mul(w.den()), w.num())
 }
 
 /// Algorithm 2: the insignificant instance. Samples from all items in buckets
@@ -216,7 +210,7 @@ pub fn query_insignificant<V: LevelView, R: RngCore>(
     }
     let mut out = Vec::new();
     let first = a[(k - 1) as usize];
-    if accept_thinned(rng, &view.weight_big(first), w, p0) {
+    if accept_thinned(rng, &view.weight_u256(first).to_biguint(), w, p0) {
         out.push(first);
     }
     for &x in &a[k as usize..] {
@@ -327,13 +321,13 @@ fn accept_in_bucket<V: LevelView, R: RngCore>(
         let sc = pow2f(-(shift as i32));
         let bits = Bits64::from_f64_bounds(mul_down(w_lo, sc), mul_up(w_hi, sc));
         if cfg!(debug_assertions) {
-            bits.debug_validate(&view.weight_big(x), pow);
+            bits.debug_validate(&view.weight_u256(x).to_biguint(), pow);
         }
         return ber_bits_with(rng, &bits, |rng, u| {
-            ber_rational_from_word(rng, &view.weight_big(x), pow, u)
+            ber_rational_from_word(rng, &view.weight_u256(x).to_biguint(), pow, u)
         });
     }
-    ber_rational_parts(rng, &view.weight_big(x), pow)
+    ber_rational_parts(rng, &view.weight_u256(x).to_biguint(), pow)
 }
 
 /// Iterates the non-empty *significant* groups of a level and hands each to
@@ -361,22 +355,22 @@ fn for_significant_groups(
 
 /// One-level query on a level-2 node (Algorithm 1 with recursion into the
 /// final level). Returns sampled proxies = level-1 bucket indices.
-pub fn query_node<R: RngCore>(node: &Node, ctx: &mut QueryCtx<'_, R>) -> Vec<u16> {
-    debug_assert_eq!(node.level, 2);
-    let n = node.n_members;
+pub fn query_node<R: RngCore>(view: &NodeView<'_>, ctx: &mut QueryCtx<'_, R>) -> Vec<u16> {
+    debug_assert_eq!(view.node.level, 2);
+    let n = view.node.n_members;
     if n == 0 {
         return Vec::new();
     }
-    let th = thresholds(ctx.w, n, node.group_width);
+    let th = thresholds(ctx.w, n, view.node.group_width);
     let p0 = Ratio::from_u128s(1, (n as u128) * (n as u128));
-    let mut out = query_insignificant(node, ctx.rng, ctx.w, &ctx.accel, th.i_insig_top, &p0);
-    out.extend(query_certain(node, th.i_cert_bottom));
+    let mut out = query_insignificant(view, ctx.rng, ctx.w, &ctx.accel, th.i_insig_top, &p0);
+    out.extend(query_certain(view, th.i_cert_bottom));
     let mut sig_groups: Vec<usize> = Vec::new();
-    for_significant_groups(&node.nonempty_groups, &th, |l| sig_groups.push(l));
+    for_significant_groups(&view.node.nonempty_groups, &th, |l| sig_groups.push(l));
     for l in sig_groups {
-        let child = node.children[l].as_deref().expect("non-empty group without child");
-        let tz = query_final(child, ctx);
-        out.extend(extract_items(node, ctx.rng, ctx.w, &ctx.accel, &tz));
+        let child = view.child(l).expect("non-empty group without child");
+        let tz = query_final(&child, ctx);
+        out.extend(extract_items(view, ctx.rng, ctx.w, &ctx.accel, &tz));
     }
     out
 }
@@ -384,7 +378,8 @@ pub fn query_node<R: RngCore>(node: &Node, ctx: &mut QueryCtx<'_, R>) -> Vec<u16
 /// The final-level query (§4.4): insignificant + certain ranges plus the
 /// lookup-table-driven middle range of at most `K = O(log m)` buckets.
 /// Returns sampled proxies = level-2 bucket indices.
-pub fn query_final<R: RngCore>(node: &Node, ctx: &mut QueryCtx<'_, R>) -> Vec<u16> {
+pub fn query_final<R: RngCore>(view: &NodeView<'_>, ctx: &mut QueryCtx<'_, R>) -> Vec<u16> {
+    let node = view.node;
     debug_assert_eq!(node.level, 3);
     let n = node.n_members;
     if n == 0 {
@@ -398,8 +393,8 @@ pub fn query_final<R: RngCore>(node: &Node, ctx: &mut QueryCtx<'_, R>) -> Vec<u1
     let i2 = ctx.accel.w_ceil_log2; // = ⌈log2 W⌉, precomputed
     debug_assert_eq!(i2, ctx.w.ceil_log2());
     let p0 = Ratio::from_u64s(2, m2);
-    let mut out = query_insignificant(node, ctx.rng, ctx.w, &ctx.accel, i1, &p0);
-    out.extend(query_certain(node, i2));
+    let mut out = query_insignificant(view, ctx.rng, ctx.w, &ctx.accel, i1, &p0);
+    out.extend(query_certain(view, i2));
 
     let k_len = i2 - i1 - 1;
     if k_len <= 0 || i2 <= 0 {
@@ -417,7 +412,7 @@ pub fn query_final<R: RngCore>(node: &Node, ctx: &mut QueryCtx<'_, R>) -> Vec<u1
         for (t, c) in config.iter_mut().enumerate() {
             let idx = lo as usize + t;
             if idx < node.buckets.len() {
-                *c = node.bucket_len(idx) as u32;
+                *c = node.buckets[idx].len() as u32;
                 any |= *c > 0;
             }
         }
@@ -445,7 +440,7 @@ pub fn query_final<R: RngCore>(node: &Node, ctx: &mut QueryCtx<'_, R>) -> Vec<u1
             let hi = ((i2 - 1) as usize).min(last);
             if lo.max(0) as usize <= hi {
                 for idx in node.nonempty_buckets.range(lo.max(0) as usize, hi) {
-                    let c = node.bucket_len(idx) as u64;
+                    let c = node.buckets[idx].len() as u64;
                     if accept_direct_candidate(ctx.rng, ctx.w, &ctx.accel, idx, c) {
                         candidates.push(idx as u16);
                     }
@@ -453,7 +448,7 @@ pub fn query_final<R: RngCore>(node: &Node, ctx: &mut QueryCtx<'_, R>) -> Vec<u1
             }
         }
     }
-    out.extend(extract_items(node, ctx.rng, ctx.w, &ctx.accel, &candidates));
+    out.extend(extract_items(view, ctx.rng, ctx.w, &ctx.accel, &candidates));
     out
 }
 
@@ -564,8 +559,8 @@ pub fn query_level1_planned<R: RngCore>(
     let mut sig_groups: Vec<usize> = Vec::new();
     for_significant_groups(&level1.nonempty_groups, th, |j| sig_groups.push(j));
     for j in sig_groups {
-        let child = level1.children[j].as_deref().expect("non-empty group without child");
-        let ty = query_node(child, ctx);
+        let child = level1.child_view(j).expect("non-empty group without child");
+        let ty = query_node(&child, ctx);
         out.extend(extract_items(level1, ctx.rng, ctx.w, &ctx.accel, &ty));
     }
     out
@@ -599,26 +594,25 @@ mod tests {
         assert!(seen.is_empty(), "j_cert_min ≤ lo must yield no groups");
     }
 
-    /// A level-3 node whose bucket vector is empty but that still claims a
-    /// member — the degenerate shape that used to underflow
+    /// A pool holding one level-3 node whose bucket vector is empty but that
+    /// still claims a member — the degenerate shape that used to underflow
     /// `node.buckets.len() - 1` in direct mode.
-    fn empty_bucket_node() -> Node {
-        Node {
-            level: 3,
-            group_width: 0,
-            buckets: Vec::new(),
-            nonempty_buckets: BitsetList::new(0),
-            nonempty_groups: BitsetList::new(0),
-            members: Vec::new(),
-            n_members: 1,
-            children: Vec::new(),
-        }
+    fn empty_bucket_pool() -> (crate::structure::NodePool, u32) {
+        let mut pool = crate::structure::NodePool::new();
+        let idx = pool.alloc_level3();
+        let node = pool.node_mut(idx);
+        node.buckets = Vec::new();
+        node.nonempty_buckets = BitsetList::new(0);
+        node.nonempty_groups = BitsetList::new(0);
+        node.members = Vec::new();
+        node.n_members = 1;
+        (pool, idx)
     }
 
     #[test]
     fn query_final_survives_empty_bucket_vec() {
         for mode in [FinalLevelMode::Direct, FinalLevelMode::Lookup] {
-            let node = empty_bucket_node();
+            let (pool, idx) = empty_bucket_pool();
             let w = Ratio::from_int(8);
             let mut table = LookupTable::new(4);
             let mut rng = SmallRng::seed_from_u64(3);
@@ -629,7 +623,9 @@ mod tests {
                 table: &mut table,
                 final_mode: mode,
             };
-            assert!(query_final(&node, &mut ctx).is_empty(), "{mode:?}");
+            let view =
+                crate::structure::NodeView { pool: &pool, node: pool.node(idx), parent: &[] };
+            assert!(query_final(&view, &mut ctx).is_empty(), "{mode:?}");
         }
     }
 

@@ -70,6 +70,10 @@ pub struct DpssSampler<R: RngCore = SmallRng> {
     /// Cached `(α, β) → QueryPlan` entries, valid while `plans_epoch == epoch`.
     plans: Vec<(Ratio, Ratio, QueryPlan)>,
     plans_epoch: u64,
+    /// Queries answered from a cached plan.
+    plan_hits: u64,
+    /// Queries that had to build (and cache) a fresh plan.
+    plan_misses: u64,
     /// Disables the word-level fast path (all coins exact; agreement tests).
     force_exact: bool,
 }
@@ -110,6 +114,8 @@ impl<R: RngCore> DpssSampler<R> {
             epoch: 0,
             plans: Vec::new(),
             plans_epoch: 0,
+            plan_hits: 0,
+            plan_misses: 0,
             force_exact: false,
         }
     }
@@ -182,6 +188,16 @@ impl<R: RngCore> DpssSampler<R> {
         self.table.rows_built()
     }
 
+    /// `(hits, misses)` of the per-`(α, β)` query-plan cache since
+    /// construction: a hit answers a query from a cached plan (no multi-word
+    /// `W`/threshold/accelerator setup), a miss builds and caches a fresh
+    /// one. Degenerate `W = 0` queries bypass the cache and count as
+    /// neither. Observability hook — snapshotted by `bench_core` so cache
+    /// regressions show in the perf trajectory.
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        (self.plan_hits, self.plan_misses)
+    }
+
     /// Eagerly materializes every lookup-table row of configuration dimension
     /// `k` — the paper's O(n₀) preprocessing mode (ablation A3). Bounded to
     /// small `(m+1)^k`; the default is lazy memoization.
@@ -245,8 +261,11 @@ impl<R: RngCore> DpssSampler<R> {
 
     fn rebuild(&mut self, n0: usize) {
         let (g1, g2) = derive_widths(n0);
-        let slab = std::mem::take(&mut self.level1.slab);
-        self.level1 = Level1::rebuild(slab, g1, g2);
+        // In-place: the hierarchy re-grows out of its own recycled storage.
+        // Grow rebuilds keep the item buckets (O(1) hierarchy work); shrink
+        // rebuilds compact the bucket blocks to keep space O(n).
+        let compact = n0 < self.n0;
+        self.level1.rebuild(g1, g2, compact);
         if g2 != self.table.modulus() {
             self.table = LookupTable::new(g2);
         }
@@ -297,13 +316,17 @@ impl<R: RngCore> DpssSampler<R> {
             self.plans_epoch = self.epoch;
         }
         let idx = match self.plans.iter().position(|(a, b, _)| a == alpha && b == beta) {
-            Some(i) => i,
+            Some(i) => {
+                self.plan_hits += 1;
+                i
+            }
             None => {
                 let w = self.param_weight(alpha, beta);
                 if w.is_zero() {
                     // Degenerate convention; not worth a cache slot.
                     return crate::query::query_certain(&self.level1, 0);
                 }
+                self.plan_misses += 1;
                 let plan = self.make_plan(w);
                 if self.plans.len() >= PLAN_CACHE {
                     self.plans.remove(0);

@@ -13,10 +13,27 @@
 //! level (§4.5), i.e. O(1) worst-case pointer/bitmap operations, because all
 //! bucket/group indices live in universes bounded by ≈ 2·word-size and are
 //! maintained with the Fact 2.1 [`BitsetList`].
+//!
+//! **Memory layout.** The cascade is allocation-free in steady state: nodes
+//! live in an index-addressed [`Pool`] (4-byte child links, no `Box`), and
+//! every dynamic bucket list is a block in a size-class [`BucketArena`] (one
+//! shared `u16` arena for all proxy buckets, one `ItemId` arena for the
+//! level-1 buckets).
+//!
+//! **Derived proxy weights.** A proxy's weight `2^{i+1}·|B(i)|` is a pure
+//! function of the child bucket's index and current length — both already
+//! stored in the child level's [`Bucket`] handles — so nodes do not store
+//! weights at all, only `(bucket, pos)` placement. The payoff is on the
+//! update path: a count change that does not cross a power of two leaves the
+//! proxy's bucket index `i+1+⌊log2 count⌋` unchanged, and since there is no
+//! stored weight to refresh, the cascade stops after two `lzcnt`
+//! instructions without touching the node. Structural proxy moves happen
+//! only when a count crosses a power of two — geometrically rare — and
+//! remain O(1) word operations when they do.
 
 use crate::item::{ItemId, Slab};
-use bignum::BigUint;
-use wordram::{BitsetList, SpaceUsage, U256};
+use wordram::bits::floor_log2_u64;
+use wordram::{BitsetList, Bucket, BucketArena, Pool, SpaceUsage, U256};
 
 /// Level-1 bucket-index universe: weights are `< 2^64`.
 pub const L1_BUCKETS: usize = 64;
@@ -25,67 +42,133 @@ pub const L2_BUCKETS: usize = 128;
 /// Level-3 bucket-index universe: proxy weights are `< 2^127·2^7 = 2^134`.
 pub const L3_BUCKETS: usize = 160;
 
-/// A proxy item inside a [`Node`]: one per non-empty child bucket.
-#[derive(Clone, Debug)]
+/// Sentinel child link: "no node".
+pub const NO_NODE: u32 = u32::MAX;
+
+/// `2^e` as an `f64` (exact for `|e| ≤ 1023`; the hierarchy's bucket
+/// indices stay below 161). Shared with the query layer.
+#[inline]
+pub(crate) fn pow2f(e: i32) -> f64 {
+    2f64.powi(e)
+}
+
+/// `true` iff a proxy for a bucket whose count changed `old → new` moves
+/// between buckets of its node (appears, disappears, or crosses a power of
+/// two). When `false`, the cascade can stop: placement is unchanged and the
+/// proxy's weight is derived, not stored.
+#[inline]
+fn proxy_moves(old_count: u64, new_count: u64) -> bool {
+    old_count == 0 || new_count == 0 || floor_log2_u64(old_count) != floor_log2_u64(new_count)
+}
+
+/// Placement of one proxy inside a [`Node`]: which bucket holds it and
+/// where. The proxy's weight is derived (`2^{child+1} ·` child-bucket
+/// count), so placement is all a node stores per member.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Member {
-    /// Exact proxy weight `2^{i+1}·|B(i)|` of the child bucket it represents.
-    pub weight: U256,
-    /// Bucket of this node that currently holds the proxy.
+    /// Bucket of this node that currently holds the proxy, or
+    /// [`Member::ABSENT`].
     pub bucket: u16,
-    /// Position inside that bucket's item vector.
+    /// Position inside that bucket's item list.
     pub pos: u32,
 }
 
-/// One `BG-Str` over proxy items (levels 2 and 3 of the hierarchy).
+impl Member {
+    /// `bucket` value marking "no proxy for this child".
+    pub const ABSENT: u16 = u16::MAX;
+    /// The empty slot.
+    pub const NONE: Member = Member { bucket: Member::ABSENT, pos: 0 };
+
+    /// `true` iff a proxy is present.
+    #[inline]
+    pub fn present(&self) -> bool {
+        self.bucket != Member::ABSENT
+    }
+}
+
+/// One `BG-Str` over proxy items (levels 2 and 3 of the hierarchy), stored
+/// inside a [`NodePool`]; its bucket lists live in the pool's shared arena.
 #[derive(Debug)]
 pub struct Node {
     /// 2 or 3.
     pub level: u8,
     /// Width of this node's groups in bucket indices (level 2 only).
     pub group_width: u32,
-    /// `buckets[b]` lists child bucket indices whose proxies live in bucket `b`.
-    pub buckets: Vec<Vec<u16>>,
+    /// `buckets[b]` lists child bucket indices whose proxies live in bucket
+    /// `b` (arena handles; resolve through the owning pool).
+    pub buckets: Vec<Bucket>,
     /// Non-empty bucket indices (Fact 2.1 structure).
     pub nonempty_buckets: BitsetList,
     /// Non-empty group indices (level 2 only).
     pub nonempty_groups: BitsetList,
-    /// `members[child]` is the proxy for child bucket `child`, if non-empty.
-    pub members: Vec<Option<Member>>,
+    /// `members[child]` is the placement of the proxy for child bucket
+    /// `child` ([`Member::NONE`] when absent).
+    pub members: Vec<Member>,
     /// Number of live proxies.
     pub n_members: usize,
-    /// Level-3 children, one per non-empty group (level 2 only).
-    pub children: Vec<Option<Box<Node>>>,
+    /// Level-3 children, one per non-empty group (level 2 only): pool
+    /// indices, [`NO_NODE`] when absent.
+    pub children: Vec<u32>,
 }
 
 impl Node {
-    /// Creates an empty level-2 node (children are level-3 nodes).
-    pub fn new_level2(group_width: u32) -> Self {
+    fn new_level2(group_width: u32) -> Self {
         debug_assert!(group_width >= 1);
         let n_groups = L2_BUCKETS / group_width as usize + 1;
         Node {
             level: 2,
             group_width,
-            buckets: vec![Vec::new(); L2_BUCKETS],
+            buckets: vec![Bucket::EMPTY; L2_BUCKETS],
             nonempty_buckets: BitsetList::new(L2_BUCKETS),
             nonempty_groups: BitsetList::new(n_groups),
-            members: vec![None; L1_BUCKETS],
+            members: vec![Member::NONE; L1_BUCKETS],
             n_members: 0,
-            children: (0..n_groups).map(|_| None).collect(),
+            children: vec![NO_NODE; n_groups],
         }
     }
 
-    /// Creates an empty level-3 node (no grouping, no children).
-    pub fn new_level3() -> Self {
+    fn new_level3() -> Self {
         Node {
             level: 3,
             group_width: 0,
-            buckets: vec![Vec::new(); L3_BUCKETS],
+            buckets: vec![Bucket::EMPTY; L3_BUCKETS],
             nonempty_buckets: BitsetList::new(L3_BUCKETS),
             nonempty_groups: BitsetList::new(1),
-            members: vec![None; L2_BUCKETS],
+            members: vec![Member::NONE; L2_BUCKETS],
             n_members: 0,
             children: Vec::new(),
         }
+    }
+
+    /// Re-initializes a recycled slot as an empty level-2 node in place,
+    /// reusing every retained allocation (same shapes ⇒ no heap traffic).
+    fn reinit_level2(&mut self, group_width: u32) {
+        let n_groups = L2_BUCKETS / group_width as usize + 1;
+        self.level = 2;
+        self.group_width = group_width;
+        self.buckets.clear();
+        self.buckets.resize(L2_BUCKETS, Bucket::EMPTY);
+        self.nonempty_buckets.reset(L2_BUCKETS);
+        self.nonempty_groups.reset(n_groups);
+        self.members.clear();
+        self.members.resize(L1_BUCKETS, Member::NONE);
+        self.n_members = 0;
+        self.children.clear();
+        self.children.resize(n_groups, NO_NODE);
+    }
+
+    /// Re-initializes a recycled slot as an empty level-3 node in place.
+    fn reinit_level3(&mut self) {
+        self.level = 3;
+        self.group_width = 0;
+        self.buckets.clear();
+        self.buckets.resize(L3_BUCKETS, Bucket::EMPTY);
+        self.nonempty_buckets.reset(L3_BUCKETS);
+        self.nonempty_groups.reset(1);
+        self.members.clear();
+        self.members.resize(L2_BUCKETS, Member::NONE);
+        self.n_members = 0;
+        self.children.clear();
     }
 
     /// `true` iff group `l` has no non-empty bucket.
@@ -97,165 +180,321 @@ impl Node {
             None => true,
         }
     }
+}
 
-    /// Inserts, moves, or removes the proxy for `child`; `weight = None`
-    /// removes it. Cascades the resulting bucket-count changes into this
-    /// node's own proxies one level down (level 2 → level 3).
-    pub fn set_member(&mut self, child: u16, weight: Option<U256>) {
+/// Owner of every level-2/3 [`Node`] of one hierarchy: an index-addressed
+/// node [`Pool`] plus the shared [`BucketArena`] holding all proxy bucket
+/// lists. All structural mutation of nodes goes through
+/// [`NodePool::set_member`], which is where the O(1) cascade lives.
+#[derive(Debug)]
+pub struct NodePool {
+    pub(crate) nodes: Pool<Node>,
+    pub(crate) arena: BucketArena<u16>,
+}
+
+impl Default for NodePool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NodePool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        NodePool { nodes: Pool::new(), arena: BucketArena::new(0) }
+    }
+
+    /// Shared access to a node.
+    #[inline]
+    pub fn node(&self, idx: u32) -> &Node {
+        self.nodes.get(idx)
+    }
+
+    /// Exclusive access to a node (test/construction hook; structural
+    /// changes must go through [`NodePool::set_member`]).
+    pub fn node_mut(&mut self, idx: u32) -> &mut Node {
+        self.nodes.get_mut(idx)
+    }
+
+    /// Allocates an empty level-2 node (recycled slots are re-initialized in
+    /// place, keeping their heap blocks).
+    pub fn alloc_level2(&mut self, group_width: u32) -> u32 {
+        self.nodes.alloc(|| Node::new_level2(group_width), |n| n.reinit_level2(group_width))
+    }
+
+    /// Allocates an empty level-3 node (recycled slots are re-initialized in
+    /// place, keeping their heap blocks).
+    pub fn alloc_level3(&mut self) -> u32 {
+        self.nodes.alloc(Node::new_level3, Node::reinit_level3)
+    }
+
+    /// Empties the pool for a rebuild: discards every bucket block (arena
+    /// reset) and parks every node for recycling — all capacity is retained,
+    /// so re-growing the hierarchy performs no allocation up to the previous
+    /// high-water mark.
+    pub fn reset(&mut self) {
+        self.arena.reset();
+        self.nodes.free_all();
+    }
+
+    /// Returns a node (and its bucket blocks) to the free lists. The caller
+    /// must clear every link to `idx`. Not used on the steady-state path —
+    /// empty children are kept warm — but keeps the pool leak-free for
+    /// callers that prune.
+    pub fn free_node(&mut self, idx: u32) {
+        let node = self.nodes.get_mut(idx);
+        for b in &mut node.buckets {
+            self.arena.release(b);
+        }
+        self.nodes.free(idx);
+    }
+
+    /// Re-places the proxy for child bucket `child` of node `idx` after its
+    /// count changed to `count` (weight `count · 2^shift`; `count = 0`
+    /// removes the proxy), cascading the resulting bucket-count changes into
+    /// this node's own level-3 proxies (level 2 only).
+    ///
+    /// Callers that know the previous count pre-filter with [`proxy_moves`];
+    /// a call that lands on an unchanged placement returns after one
+    /// members-slot read.
+    pub fn set_member(&mut self, idx: u32, child: u16, count: u64, shift: u32) {
+        let node = self.nodes.get_mut(idx);
+        if count > 0 {
+            let bucket = (shift + floor_log2_u64(count)) as u16;
+            debug_assert!(
+                (bucket as usize) < node.buckets.len(),
+                "bucket {bucket} out of universe"
+            );
+            if node.members[child as usize].bucket == bucket {
+                return; // placement unchanged; weight is derived, not stored
+            }
+            self.set_member_slow(idx, child, Some(bucket));
+        } else {
+            if !node.members[child as usize].present() {
+                return;
+            }
+            self.set_member_slow(idx, child, None);
+        }
+    }
+
+    /// The structural arm of [`NodePool::set_member`]: the proxy appears,
+    /// disappears, or moves between buckets.
+    fn set_member_slow(&mut self, idx: u32, child: u16, new_bucket: Option<u16>) {
+        // Buckets whose count changed (cascade targets) and whether their
+        // non-empty status flipped (group-bookkeeping targets).
         let mut touched = [u16::MAX; 2];
-        // Remove the old proxy, if any.
-        if let Some(old) = self.members[child as usize].take() {
-            let b = old.bucket as usize;
-            let items = &mut self.buckets[b];
-            let last = items.len() - 1;
-            items.swap_remove(old.pos as usize);
-            if (old.pos as usize) < last {
-                let moved = items[old.pos as usize];
-                self.members[moved as usize].as_mut().unwrap().pos = old.pos;
+        let mut flipped = [false; 2];
+        let level;
+        let group_width;
+        {
+            let NodePool { nodes, arena } = self;
+            let node = nodes.get_mut(idx);
+            level = node.level;
+            group_width = node.group_width;
+            // Remove the old proxy, if any.
+            let old = std::mem::replace(&mut node.members[child as usize], Member::NONE);
+            if old.present() {
+                let b = old.bucket as usize;
+                let removed = arena.swap_remove(&mut node.buckets[b], old.pos as usize);
+                debug_assert_eq!(removed, child, "bucket {b} held ghost child");
+                if (old.pos as usize) < node.buckets[b].len() {
+                    let moved = arena.get(&node.buckets[b], old.pos as usize);
+                    node.members[moved as usize].pos = old.pos;
+                }
+                if node.buckets[b].is_empty() {
+                    node.nonempty_buckets.remove(b);
+                    flipped[0] = true;
+                }
+                node.n_members -= 1;
+                touched[0] = old.bucket;
             }
-            if items.is_empty() {
-                self.nonempty_buckets.remove(b);
+            // Insert the new proxy, if any.
+            if let Some(bucket) = new_bucket {
+                let b = bucket as usize;
+                let pos = node.buckets[b].len() as u32;
+                arena.push(&mut node.buckets[b], child);
+                if pos == 0 {
+                    node.nonempty_buckets.insert(b);
+                }
+                node.members[child as usize] = Member { bucket, pos };
+                node.n_members += 1;
+                if touched[0] != bucket {
+                    touched[1] = bucket;
+                    flipped[1] = pos == 0;
+                }
             }
-            self.n_members -= 1;
-            touched[0] = old.bucket;
         }
-        // Insert the new proxy, if any.
-        if let Some(w) = weight {
-            debug_assert!(!w.is_zero(), "proxy weight must be positive");
-            let b = w.floor_log2() as usize;
-            debug_assert!(b < self.buckets.len(), "bucket index {b} out of universe");
-            let pos = self.buckets[b].len() as u32;
-            self.buckets[b].push(child);
-            self.nonempty_buckets.insert(b);
-            self.members[child as usize] = Some(Member { weight: w, bucket: b as u16, pos });
-            self.n_members += 1;
-            if touched[0] != b as u16 {
-                touched[1] = b as u16;
-            }
+        // Cascade the count changes of the touched buckets into the level-3
+        // children, and maintain the group bitset where a bucket flipped
+        // between empty and non-empty (level 3 has neither).
+        if level != 2 {
+            return;
         }
-        // Cascade count changes of the touched buckets.
-        if self.level == 2 {
-            for &b in touched.iter().filter(|&&b| b != u16::MAX) {
-                self.cascade_bucket(b);
+        for t in 0..2 {
+            let b = touched[t];
+            if b == u16::MAX {
+                continue;
             }
-        }
-        // Group bookkeeping (level 2 only; level 3 has no groups).
-        if self.level == 2 {
-            for &b in touched.iter().filter(|&&b| b != u16::MAX) {
-                let l = b as usize / self.group_width as usize;
-                if self.group_is_empty(l) {
-                    self.nonempty_groups.remove(l);
+            let l = b as usize / group_width as usize;
+            let (count, mut child_idx) = {
+                let node = self.nodes.get(idx);
+                (node.buckets[b as usize].len() as u64, node.children[l])
+            };
+            // Bucket 0's count changed by exactly one: removal target went
+            // count+1 → count, insertion target count−1 → count.
+            let old_count = if t == 0 { count + 1 } else { count - 1 };
+            if proxy_moves(old_count, count) {
+                if child_idx == NO_NODE {
+                    child_idx = self.alloc_level3();
+                    self.nodes.get_mut(idx).children[l] = child_idx;
+                }
+                self.set_member(child_idx, b, count, b as u32 + 1);
+            }
+            if flipped[t] {
+                let node = self.nodes.get_mut(idx);
+                if count == 0 {
+                    if node.group_is_empty(l) {
+                        node.nonempty_groups.remove(l);
+                    }
                 } else {
-                    self.nonempty_groups.insert(l);
+                    node.nonempty_groups.insert(l);
                 }
             }
         }
     }
 
-    /// Pushes the new count of own bucket `b` into the level-3 child of the
-    /// group containing `b`.
-    fn cascade_bucket(&mut self, b: u16) {
-        let l = b as usize / self.group_width as usize;
-        let count = self.buckets[b as usize].len() as u64;
-        let child = self.children[l].get_or_insert_with(|| Box::new(Node::new_level3()));
-        let weight = if count == 0 {
-            None
-        } else {
-            Some(
-                U256::from_u64(count)
-                    .checked_shl(b as u32 + 1)
-                    .expect("level-3 proxy weight overflow"),
-            )
-        };
-        child.set_member(b, weight);
-    }
-
-    /// Exact weight of the proxy for `child` (must exist).
-    pub fn member_weight(&self, child: u16) -> &U256 {
-        &self.members[child as usize].as_ref().unwrap().weight
-    }
-
-    /// Debug-only full-structure validation.
-    pub fn validate(&self) {
+    /// Debug-only full validation of a node and its descendants against the
+    /// owning level's bucket handles (`parent[c]` is child bucket `c`;
+    /// `children` is the half-open range of child indices this node owns —
+    /// one group of the level below).
+    pub fn validate_node(&self, idx: u32, parent: &[Bucket], children: std::ops::Range<usize>) {
+        let node = self.nodes.get(idx);
         let mut seen = 0usize;
-        for b in 0..self.buckets.len() {
-            let items = &self.buckets[b];
-            assert_eq!(!items.is_empty(), self.nonempty_buckets.contains(b), "bucket {b} bitset");
+        for b in 0..node.buckets.len() {
+            let items = self.arena.slice(&node.buckets[b]);
+            assert_eq!(!items.is_empty(), node.nonempty_buckets.contains(b), "bucket {b} bitset");
             for (pos, &child) in items.iter().enumerate() {
-                let m = self.members[child as usize]
-                    .as_ref()
-                    .unwrap_or_else(|| panic!("bucket {b} holds ghost child {child}"));
+                let m = &node.members[child as usize];
+                assert!(m.present(), "bucket {b} holds ghost child {child}");
                 assert_eq!(m.bucket as usize, b);
                 assert_eq!(m.pos as usize, pos);
-                assert_eq!(m.weight.floor_log2() as usize, b, "weight/bucket mismatch");
                 seen += 1;
             }
         }
-        assert_eq!(seen, self.n_members);
-        if self.level == 2 {
-            let gw = self.group_width as usize;
-            for l in 0..self.nonempty_groups.universe() {
+        assert_eq!(seen, node.n_members);
+        // Every member agrees with the child level: present iff the child
+        // bucket is non-empty, placed at index `child+1+⌊log2 count⌋` (the
+        // derived weight's bucket). Members outside this node's own child
+        // range belong to sibling nodes and must be absent here.
+        for (c, m) in node.members.iter().enumerate() {
+            if !children.contains(&c) {
+                assert!(!m.present(), "child {c} outside group but proxy present");
+                continue;
+            }
+            let count = parent.get(c).map_or(0, Bucket::len) as u64;
+            if count == 0 {
+                assert!(!m.present(), "child {c} empty but proxy present");
+            } else {
+                let expect = c as u32 + 1 + floor_log2_u64(count);
+                assert_eq!(m.bucket as u32, expect, "child {c}: misplaced proxy");
+            }
+        }
+        if node.level == 2 {
+            let gw = node.group_width as usize;
+            for l in 0..node.nonempty_groups.universe() {
                 assert_eq!(
-                    !self.group_is_empty(l),
-                    self.nonempty_groups.contains(l),
+                    !node.group_is_empty(l),
+                    node.nonempty_groups.contains(l),
                     "group {l} bitset"
                 );
             }
-            for (l, child) in self.children.iter().enumerate() {
+            for (l, &child) in node.children.iter().enumerate() {
                 let lo = l * gw;
-                let hi = (lo + gw).min(self.buckets.len());
-                if let Some(child) = child {
-                    child.validate();
-                    for b in lo..hi {
-                        let count = self.buckets[b].len() as u64;
-                        match (&child.members[b], count) {
-                            (None, 0) => {}
-                            (Some(m), c) if c > 0 => {
-                                let expect = U256::from_u64(c).checked_shl(b as u32 + 1).unwrap();
-                                assert_eq!(m.weight, expect, "level-3 proxy weight for bucket {b}");
-                            }
-                            (got, c) => panic!("bucket {b}: count {c} but proxy {got:?}"),
-                        }
-                    }
+                let hi = (lo + gw).min(node.buckets.len());
+                if child != NO_NODE {
+                    self.validate_node(child, &node.buckets, lo..hi);
                 } else {
                     for b in lo..hi {
-                        assert!(self.buckets[b].is_empty(), "bucket {b} non-empty but no child");
+                        assert!(node.buckets[b].is_empty(), "bucket {b} non-empty but no child");
                     }
                 }
             }
         }
     }
-}
 
-impl SpaceUsage for Node {
-    fn space_words(&self) -> usize {
-        let buckets: usize = self.buckets.iter().map(|b| b.capacity().div_ceil(4) + 3).sum();
-        let members = self.members.len() * 6;
-        let children: usize = self.children.iter().flatten().map(|c| c.space_words()).sum();
-        buckets
-            + members
-            + children
-            + self.nonempty_buckets.space_words()
-            + self.nonempty_groups.space_words()
-            + 6
+    /// Verifies pool + arena storage invariants (free lists sane, all arena
+    /// blocks accounted for). `roots` are the level-2 entry points; every
+    /// node must be reachable from them or parked on the free list.
+    /// O(capacity); test hook.
+    pub fn audit(&self, roots: impl Iterator<Item = u32>) -> Result<(), String> {
+        self.nodes.audit()?;
+        let mut live_nodes = vec![false; self.nodes.slot_count()];
+        let mut stack: Vec<u32> = roots.filter(|&r| r != NO_NODE).collect();
+        while let Some(idx) = stack.pop() {
+            let slot = live_nodes
+                .get_mut(idx as usize)
+                .ok_or_else(|| format!("child link {idx} out of bounds"))?;
+            if std::mem::replace(slot, true) {
+                return Err(format!("node {idx} reachable twice"));
+            }
+            stack.extend(self.nodes.get(idx).children.iter().filter(|&&c| c != NO_NODE));
+        }
+        let reachable = live_nodes.iter().filter(|&&v| v).count();
+        if reachable + self.nodes.free_count() != self.nodes.slot_count() {
+            return Err(format!(
+                "{reachable} reachable + {} free != {} slots",
+                self.nodes.free_count(),
+                self.nodes.slot_count()
+            ));
+        }
+        let live_buckets = live_nodes
+            .iter()
+            .enumerate()
+            .filter(|&(_, &live)| live)
+            .flat_map(|(i, _)| self.nodes.get(i as u32).buckets.iter().copied());
+        self.arena.audit(live_buckets)
     }
 }
 
-/// `BG-Str(S)`: the level-1 structure over the real item set.
+impl SpaceUsage for NodePool {
+    fn space_words(&self) -> usize {
+        // Per node: bucket handles (1.5 words each), member placements (one
+        // word each), child links (half a word), the two bitsets, and the
+        // scalars. The bucket *contents* are accounted once, by the shared
+        // arena.
+        let nodes = self.nodes.space_words_by(|n| {
+            n.buckets.len() * 3 / 2
+                + n.members.len()
+                + n.children.len().div_ceil(2)
+                + n.nonempty_buckets.space_words()
+                + n.nonempty_groups.space_words()
+                + 4
+        });
+        nodes + self.arena.space_words()
+    }
+}
+
+/// `BG-Str(S)`: the level-1 structure over the real item set. Owns the item
+/// slab, the level-1 bucket arena, and the [`NodePool`] holding every
+/// deeper node.
 #[derive(Debug)]
 pub struct Level1 {
     /// Item storage.
     pub slab: Slab,
-    /// `buckets[i]` holds items with `2^i ≤ w < 2^{i+1}`.
-    pub buckets: Vec<Vec<ItemId>>,
+    /// `buckets[i]` holds items with `2^i ≤ w < 2^{i+1}` (arena handles).
+    pub buckets: Vec<Bucket>,
+    /// Backing storage for the level-1 bucket lists.
+    pub item_arena: BucketArena<ItemId>,
     /// Non-empty bucket indices.
     pub nonempty_buckets: BitsetList,
     /// Non-empty group indices.
     pub nonempty_groups: BitsetList,
     /// Group width `g₁ = ⌈log2 n₀⌉` (fixed until rebuild).
     pub group_width: u32,
-    /// Level-2 children, one per non-empty group.
-    pub children: Vec<Option<Box<Node>>>,
+    /// Level-2 children, one per non-empty group (pool indices).
+    pub children: Vec<u32>,
+    /// Every level-2/3 node of this hierarchy.
+    pub pool: NodePool,
     /// Exact Σw over all live items.
     pub total_weight: u128,
     /// Number of items with positive weight (they live in buckets).
@@ -273,11 +512,13 @@ impl Level1 {
         let n_groups = L1_BUCKETS / group_width as usize + 1;
         Level1 {
             slab: Slab::new(),
-            buckets: vec![Vec::new(); L1_BUCKETS],
+            buckets: vec![Bucket::EMPTY; L1_BUCKETS],
+            item_arena: BucketArena::new(ItemId::from_raw(0)),
             nonempty_buckets: BitsetList::new(L1_BUCKETS),
             nonempty_groups: BitsetList::new(n_groups),
             group_width,
-            children: (0..n_groups).map(|_| None).collect(),
+            children: vec![NO_NODE; n_groups],
+            pool: NodePool::new(),
             total_weight: 0,
             n_positive: 0,
             n_zero: 0,
@@ -294,58 +535,71 @@ impl Level1 {
         }
     }
 
+    /// A read-only view of the level-2 child of group `j`, if present.
+    #[inline]
+    pub fn child_view(&self, j: usize) -> Option<NodeView<'_>> {
+        let idx = self.children[j];
+        (idx != NO_NODE).then(|| NodeView {
+            pool: &self.pool,
+            node: self.pool.node(idx),
+            parent: &self.buckets,
+        })
+    }
+
     /// Inserts an item with `weight`, cascading in O(1); returns its handle.
     pub fn insert(&mut self, weight: u64) -> ItemId {
-        let id = self.slab.insert(weight);
         self.total_weight = self
             .total_weight
             .checked_add(weight as u128)
             .expect("total weight exceeds 2^128 (Word RAM precondition)");
         if weight == 0 {
             self.n_zero += 1;
-            return id;
+            return self.slab.insert(0);
         }
         self.n_positive += 1;
-        let i = wordram::bits::floor_log2_u64(weight) as usize;
+        let i = floor_log2_u64(weight) as usize;
         let pos = self.buckets[i].len() as u32;
-        self.buckets[i].push(id);
-        self.slab.set_bucket_pos(id, pos);
-        self.nonempty_buckets.insert(i);
-        self.cascade_bucket(i as u16);
-        let j = i / self.group_width as usize;
-        self.nonempty_groups.insert(j);
+        let id = self.slab.insert_bucketed(weight, pos);
+        self.item_arena.push(&mut self.buckets[i], id);
+        if pos == 0 {
+            self.nonempty_buckets.insert(i);
+            self.nonempty_groups.insert(i / self.group_width as usize);
+        }
+        self.cascade_if_moved(i, pos as u64, pos as u64 + 1);
         id
     }
 
     /// Deletes an item; returns its weight, or `None` for stale handles.
     pub fn delete(&mut self, id: ItemId) -> Option<u64> {
-        let weight = self.slab.weight(id)?;
+        let (weight, pos) = self.slab.remove_bucketed(id)?;
+        self.total_weight -= weight as u128;
         if weight == 0 {
-            self.slab.remove(id);
             self.n_zero -= 1;
             return Some(0);
         }
-        let i = wordram::bits::floor_log2_u64(weight) as usize;
-        let pos = self.slab.bucket_pos(id) as usize;
-        self.slab.remove(id);
-        self.total_weight -= weight as u128;
+        let i = floor_log2_u64(weight) as usize;
         self.n_positive -= 1;
-        let items = &mut self.buckets[i];
-        let last = items.len() - 1;
-        items.swap_remove(pos);
-        if pos < last {
-            let moved = items[pos];
+        let count = self.buckets[i].len() as u64;
+        self.detach(i, pos as usize);
+        self.cascade_if_moved(i, count, count - 1);
+        Some(weight)
+    }
+
+    /// Removes the item at `pos` of bucket `i`, patching the swap-removed
+    /// slot and the empty-bucket/empty-group bitsets (no cascade).
+    fn detach(&mut self, i: usize, pos: usize) {
+        self.item_arena.swap_remove(&mut self.buckets[i], pos);
+        if pos < self.buckets[i].len() {
+            let moved = self.item_arena.get(&self.buckets[i], pos);
             self.slab.set_bucket_pos(moved, pos as u32);
         }
-        if items.is_empty() {
+        if self.buckets[i].is_empty() {
             self.nonempty_buckets.remove(i);
+            let j = i / self.group_width as usize;
+            if self.group_is_empty(j) {
+                self.nonempty_groups.remove(j);
+            }
         }
-        self.cascade_bucket(i as u16);
-        let j = i / self.group_width as usize;
-        if self.group_is_empty(j) {
-            self.nonempty_groups.remove(j);
-        }
-        Some(weight)
     }
 
     /// Changes a live item's weight in O(1), preserving its handle
@@ -359,8 +613,8 @@ impl Level1 {
         self.total_weight = (self.total_weight - old_w as u128)
             .checked_add(new_w as u128)
             .expect("total weight exceeds 2^128 (Word RAM precondition)");
-        let old_bucket = (old_w > 0).then(|| wordram::bits::floor_log2_u64(old_w) as usize);
-        let new_bucket = (new_w > 0).then(|| wordram::bits::floor_log2_u64(new_w) as usize);
+        let old_bucket = (old_w > 0).then(|| floor_log2_u64(old_w) as usize);
+        let new_bucket = (new_w > 0).then(|| floor_log2_u64(new_w) as usize);
         self.slab.set_weight(id, new_w);
         if old_bucket == new_bucket {
             // Same bucket (or both zero): proxy weights depend only on the
@@ -370,20 +624,9 @@ impl Level1 {
         // Detach from the old bucket, if any.
         if let Some(i) = old_bucket {
             let pos = self.slab.bucket_pos(id) as usize;
-            let items = &mut self.buckets[i];
-            items.swap_remove(pos);
-            if pos < items.len() {
-                let moved = items[pos];
-                self.slab.set_bucket_pos(moved, pos as u32);
-            }
-            if items.is_empty() {
-                self.nonempty_buckets.remove(i);
-            }
-            self.cascade_bucket(i as u16);
-            let j = i / self.group_width as usize;
-            if self.group_is_empty(j) {
-                self.nonempty_groups.remove(j);
-            }
+            let count = self.buckets[i].len() as u64;
+            self.detach(i, pos);
+            self.cascade_if_moved(i, count, count - 1);
             self.n_positive -= 1;
         } else {
             self.n_zero -= 1;
@@ -391,11 +634,13 @@ impl Level1 {
         // Attach to the new bucket, if any.
         if let Some(i) = new_bucket {
             let pos = self.buckets[i].len() as u32;
-            self.buckets[i].push(id);
+            self.item_arena.push(&mut self.buckets[i], id);
             self.slab.set_bucket_pos(id, pos);
-            self.nonempty_buckets.insert(i);
-            self.cascade_bucket(i as u16);
-            self.nonempty_groups.insert(i / self.group_width as usize);
+            if pos == 0 {
+                self.nonempty_buckets.insert(i);
+                self.nonempty_groups.insert(i / self.group_width as usize);
+            }
+            self.cascade_if_moved(i, pos as u64, pos as u64 + 1);
             self.n_positive += 1;
         } else {
             self.n_zero += 1;
@@ -403,52 +648,100 @@ impl Level1 {
         Some(old_w)
     }
 
-    /// Pushes the new count of bucket `i` into the level-2 child of its group.
-    fn cascade_bucket(&mut self, i: u16) {
-        let j = i as usize / self.group_width as usize;
-        let count = self.buckets[i as usize].len() as u64;
-        let g2 = self.l2_group_width;
-        let child = self.children[j].get_or_insert_with(|| Box::new(Node::new_level2(g2)));
-        let weight = if count == 0 {
-            None
-        } else {
-            Some(
-                U256::from_u64(count)
-                    .checked_shl(i as u32 + 1)
-                    .expect("level-2 proxy weight overflow"),
-            )
-        };
-        child.set_member(i, weight);
+    /// Cascades bucket `i`'s count change into its level-2 proxy, but only
+    /// when the proxy actually moves (count crossed a power of two or the
+    /// bucket flipped empty↔non-empty) — derived weights make the unchanged
+    /// case free.
+    #[inline]
+    fn cascade_if_moved(&mut self, i: usize, old_count: u64, new_count: u64) {
+        if proxy_moves(old_count, new_count) {
+            self.cascade_bucket(i as u16, new_count);
+        }
     }
 
-    /// Rebuilds the bucket/group hierarchy around an existing slab with new
-    /// group widths (global rebuilding, §4.5). Item handles are preserved.
-    /// O(n) time.
-    pub fn rebuild(slab: Slab, group_width: u32, level2_group_width: u32) -> Self {
-        let mut l1 = Level1::new(group_width, level2_group_width);
-        let items: Vec<(ItemId, u64)> = slab.iter().collect();
-        l1.slab = slab;
-        for (id, w) in items {
-            if w == 0 {
-                l1.n_zero += 1;
-                continue;
-            }
-            l1.n_positive += 1;
-            l1.total_weight += w as u128;
-            let i = wordram::bits::floor_log2_u64(w) as usize;
-            let pos = l1.buckets[i].len() as u32;
-            l1.buckets[i].push(id);
-            l1.slab.set_bucket_pos(id, pos);
+    /// Pushes the new count of bucket `i` into the level-2 child of its group.
+    fn cascade_bucket(&mut self, i: u16, count: u64) {
+        let j = i as usize / self.group_width as usize;
+        let mut child = self.children[j];
+        if child == NO_NODE {
+            child = self.pool.alloc_level2(self.l2_group_width);
+            self.children[j] = child;
         }
-        // One cascade per non-empty bucket instead of per item.
+        self.pool.set_member(child, i, count, i as u32 + 1);
+    }
+
+    /// Rebuilds the group/hierarchy layers in place with new group widths
+    /// (global rebuilding, §4.5). Item handles are preserved, and **storage
+    /// is recycled**: the arenas, the node pool, and every bitset keep their
+    /// allocations, so a rebuild performs no heap traffic up to the
+    /// structure's previous high-water size.
+    ///
+    /// The level-1 bucket assignment `⌊log2 w⌋` does not depend on the group
+    /// widths, so a plain (grow) rebuild keeps the item buckets as they are
+    /// and only re-derives the grouping and the proxy hierarchy —
+    /// O([`L1_BUCKETS`]) cascades, *not* O(n). Pass `compact = true` on
+    /// shrink rebuilds to also re-place every item into freshly carved
+    /// tight blocks, which is what keeps space O(n) after mass deletion
+    /// (O(n) time, amortized against the deletes that triggered it).
+    pub fn rebuild(&mut self, group_width: u32, level2_group_width: u32, compact: bool) {
+        let n_groups = L1_BUCKETS / group_width as usize + 1;
+        self.group_width = group_width;
+        self.l2_group_width = level2_group_width;
+        self.pool.reset();
+        self.children.clear();
+        self.children.resize(n_groups, NO_NODE);
+        self.nonempty_groups.reset(n_groups);
+        if compact {
+            self.item_arena.reset();
+            self.buckets.iter_mut().for_each(|b| *b = Bucket::EMPTY);
+            self.nonempty_buckets.reset(L1_BUCKETS);
+            self.total_weight = 0;
+            self.n_positive = 0;
+            self.n_zero = 0;
+            // Pass 1: bucket occupancies, so every block is carved at its
+            // final size class (no doubling-chain copies during the fill).
+            let mut counts = [0usize; L1_BUCKETS];
+            for idx in 0..self.slab.slot_count() {
+                if let Some((_, w)) = self.slab.entry_at(idx) {
+                    if w > 0 {
+                        counts[floor_log2_u64(w) as usize] += 1;
+                    }
+                }
+            }
+            for (i, &c) in counts.iter().enumerate() {
+                if c > 0 {
+                    self.item_arena.reserve(&mut self.buckets[i], c);
+                }
+            }
+            // Pass 2: place the items.
+            for idx in 0..self.slab.slot_count() {
+                let Some((id, w)) = self.slab.entry_at(idx) else { continue };
+                if w == 0 {
+                    self.n_zero += 1;
+                    continue;
+                }
+                self.n_positive += 1;
+                self.total_weight += w as u128;
+                let i = floor_log2_u64(w) as usize;
+                let pos = self.buckets[i].len() as u32;
+                self.item_arena.push(&mut self.buckets[i], id);
+                self.slab.set_bucket_pos(id, pos);
+            }
+            for i in 0..L1_BUCKETS {
+                if !self.buckets[i].is_empty() {
+                    self.nonempty_buckets.insert(i);
+                }
+            }
+        }
+        // Re-derive grouping and the whole proxy hierarchy: one cascade per
+        // non-empty bucket — a bounded number, independent of n.
         for i in 0..L1_BUCKETS {
-            if !l1.buckets[i].is_empty() {
-                l1.nonempty_buckets.insert(i);
-                l1.nonempty_groups.insert(i / group_width as usize);
-                l1.cascade_bucket(i as u16);
+            let count = self.buckets[i].len() as u64;
+            if count > 0 {
+                self.nonempty_groups.insert(i / group_width as usize);
+                self.cascade_bucket(i as u16, count);
             }
         }
-        l1
     }
 
     /// Debug-only full-structure validation (all three levels).
@@ -463,14 +756,17 @@ impl Level1 {
                 continue;
             }
             positive += 1;
-            let i = wordram::bits::floor_log2_u64(w) as usize;
+            let i = floor_log2_u64(w) as usize;
             let pos = self.slab.bucket_pos(id) as usize;
-            assert_eq!(self.buckets[i].get(pos), Some(&id), "item {id:?} misplaced");
+            assert!(
+                pos < self.buckets[i].len() && self.item_arena.get(&self.buckets[i], pos) == id,
+                "item {id:?} misplaced"
+            );
         }
         assert_eq!(total, self.total_weight);
         assert_eq!(positive, self.n_positive);
         assert_eq!(zero, self.n_zero);
-        let bucketed: usize = self.buckets.iter().map(Vec::len).sum();
+        let bucketed: usize = self.buckets.iter().map(Bucket::len).sum();
         assert_eq!(bucketed, self.n_positive);
         for i in 0..L1_BUCKETS {
             assert_eq!(!self.buckets[i].is_empty(), self.nonempty_buckets.contains(i));
@@ -479,38 +775,35 @@ impl Level1 {
             assert_eq!(!self.group_is_empty(j), self.nonempty_groups.contains(j));
         }
         let gw = self.group_width as usize;
-        for (j, child) in self.children.iter().enumerate() {
+        for (j, &child) in self.children.iter().enumerate() {
             let lo = j * gw;
             let hi = (lo + gw).min(L1_BUCKETS);
-            if let Some(child) = child {
-                child.validate();
-                for i in lo..hi {
-                    let count = self.buckets[i].len() as u64;
-                    match (&child.members[i], count) {
-                        (None, 0) => {}
-                        (Some(m), c) if c > 0 => {
-                            let expect = U256::from_u64(c).checked_shl(i as u32 + 1).unwrap();
-                            assert_eq!(m.weight, expect, "level-2 proxy weight for bucket {i}");
-                        }
-                        (got, c) => panic!("bucket {i}: count {c} but proxy {got:?}"),
-                    }
-                }
+            if child != NO_NODE {
+                self.pool.validate_node(child, &self.buckets, lo..hi);
             } else {
                 for i in lo..hi {
                     assert!(self.buckets[i].is_empty());
                 }
             }
         }
+        self.audit_storage().expect("storage audit");
+    }
+
+    /// Verifies the flat-storage invariants: node-pool free list, arena
+    /// block tiling for both arenas. O(capacity); test hook.
+    pub fn audit_storage(&self) -> Result<(), String> {
+        self.item_arena.audit(self.buckets.iter().copied())?;
+        self.pool.audit(self.children.iter().copied())
     }
 }
 
 impl SpaceUsage for Level1 {
     fn space_words(&self) -> usize {
-        let buckets: usize = self.buckets.iter().map(|b| b.capacity() + 3).sum();
-        let children: usize = self.children.iter().flatten().map(|c| c.space_words()).sum();
         self.slab.space_words()
-            + buckets
-            + children
+            + self.buckets.len() * 3 / 2
+            + self.item_arena.space_words()
+            + self.children.len().div_ceil(2)
+            + self.pool.space_words()
             + self.nonempty_buckets.space_words()
             + self.nonempty_groups.space_words()
             + 8
@@ -531,11 +824,12 @@ pub trait LevelView {
     fn bucket_len(&self, b: usize) -> usize;
     /// The item at position `pos` of bucket `b`.
     fn bucket_item(&self, b: usize, pos: usize) -> Self::Id;
-    /// Exact weight of an item as a [`BigUint`].
-    fn weight_big(&self, id: Self::Id) -> BigUint;
+    /// Exact weight of an item as a fixed-width [`U256`] (`Copy`, no heap;
+    /// callers convert to `BigUint` only on the exact/sliver paths).
+    fn weight_u256(&self, id: Self::Id) -> U256;
     /// Certified `f64` bracket of the item's weight (`lo ≤ w ≤ hi` exactly,
     /// ulp-wide): the allocation-free input of the query fast path. Must
-    /// bracket the same value [`LevelView::weight_big`] returns.
+    /// bracket the same value [`LevelView::weight_u256`] returns.
     fn weight_f64_bounds(&self, id: Self::Id) -> (f64, f64);
 }
 
@@ -552,10 +846,10 @@ impl LevelView for Level1 {
         self.buckets[b].len()
     }
     fn bucket_item(&self, b: usize, pos: usize) -> ItemId {
-        self.buckets[b][pos]
+        self.item_arena.get(&self.buckets[b], pos)
     }
-    fn weight_big(&self, id: ItemId) -> BigUint {
-        BigUint::from_u64(self.slab.weight(id).expect("live item"))
+    fn weight_u256(&self, id: ItemId) -> U256 {
+        U256::from_u64(self.slab.weight(id).expect("live item"))
     }
     fn weight_f64_bounds(&self, id: ItemId) -> (f64, f64) {
         let w = self.slab.weight(id).expect("live item");
@@ -569,25 +863,64 @@ impl LevelView for Level1 {
     }
 }
 
-impl LevelView for Node {
+/// A borrowed `(pool, node, parent buckets)` triple: the [`LevelView`] of
+/// one level-2/3 node. The node alone can resolve neither its arena-backed
+/// bucket lists (pool) nor its proxies' derived weights (`parent[c]` is the
+/// child level's bucket `c`, whose length × `2^{c+1}` is proxy `c`'s
+/// weight).
+#[derive(Clone, Copy, Debug)]
+pub struct NodeView<'a> {
+    /// The pool owning the node, its bucket storage, and its children.
+    pub pool: &'a NodePool,
+    /// The node itself.
+    pub node: &'a Node,
+    /// Bucket handles of the level below (weights derive from their lengths).
+    pub parent: &'a [Bucket],
+}
+
+impl<'a> NodeView<'a> {
+    /// The level-3 child of group `l`, if present (level-2 nodes only).
+    #[inline]
+    pub fn child(&self, l: usize) -> Option<NodeView<'a>> {
+        let idx = self.node.children[l];
+        (idx != NO_NODE).then(|| NodeView {
+            pool: self.pool,
+            node: self.pool.node(idx),
+            parent: &self.node.buckets,
+        })
+    }
+
+    /// The derived child-bucket count behind proxy `id` (must be live).
+    #[inline]
+    fn proxy_count(&self, id: u16) -> u64 {
+        let count = self.parent[id as usize].len() as u64;
+        debug_assert!(count > 0, "live proxy {id} over empty child bucket");
+        count
+    }
+}
+
+impl LevelView for NodeView<'_> {
     type Id = u16;
 
     fn n_items(&self) -> usize {
-        self.n_members
+        self.node.n_members
     }
     fn nonempty(&self) -> &BitsetList {
-        &self.nonempty_buckets
+        &self.node.nonempty_buckets
     }
     fn bucket_len(&self, b: usize) -> usize {
-        self.buckets[b].len()
+        self.node.buckets[b].len()
     }
     fn bucket_item(&self, b: usize, pos: usize) -> u16 {
-        self.buckets[b][pos]
+        self.pool.arena.get(&self.node.buckets[b], pos)
     }
-    fn weight_big(&self, id: u16) -> BigUint {
-        self.members[id as usize].as_ref().expect("live member").weight.to_biguint()
+    fn weight_u256(&self, id: u16) -> U256 {
+        U256::from_u64_shifted(self.proxy_count(id), id as u32 + 1)
     }
     fn weight_f64_bounds(&self, id: u16) -> (f64, f64) {
-        self.members[id as usize].as_ref().expect("live member").weight.to_f64_bounds()
+        // count < 2^53 and the scale is a power of two, so the product is an
+        // exact f64 — the bracket is a point.
+        let f = self.proxy_count(id) as f64 * pow2f(id as i32 + 1);
+        (f, f)
     }
 }

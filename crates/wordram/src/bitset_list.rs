@@ -35,6 +35,18 @@ impl BitsetList {
         self.universe
     }
 
+    /// Empties the set and re-sizes its universe in place, reusing the word
+    /// storage (no allocation unless the universe grows past the previous
+    /// high-water mark). Panics if `universe > 4096`.
+    pub fn reset(&mut self, universe: usize) {
+        assert!(universe <= 4096, "BitsetList universe exceeds two-level capacity");
+        self.universe = universe;
+        self.summary = 0;
+        self.len = 0;
+        self.words.clear();
+        self.words.resize(universe.div_ceil(64).max(1), 0);
+    }
+
     /// Number of stored integers.
     #[inline]
     pub fn len(&self) -> usize {

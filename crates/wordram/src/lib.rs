@@ -9,6 +9,9 @@
 //!   with O(1) worst-case update / predecessor / successor (S4 in DESIGN.md);
 //! - [`U256`]: fixed-width 256-bit integers for next-level item weights that
 //!   exceed 128 bits while remaining O(1) words (S3);
+//! - [`Pool`] / [`BucketArena`]: index-addressed slab and size-class block
+//!   arena backing the allocation-free update cascade (nodes and bucket
+//!   lists live in flat storage instead of behind `Box`/`Vec` pointers);
 //! - [`SpaceUsage`]: word-granularity space accounting used by the E4
 //!   experiment (space is "measured in words", §2.1).
 
@@ -17,9 +20,11 @@
 
 pub mod bits;
 mod bitset_list;
+mod pool;
 mod u256;
 
 pub use bitset_list::{BitsetIter, BitsetList, BitsetRangeIter};
+pub use pool::{Bucket, BucketArena, Pool};
 pub use u256::U256;
 
 /// Word-granularity space accounting, the paper's space measure (§2.1).

@@ -1,0 +1,502 @@
+//! Index-addressed memory pools: the flat-layout substrate of the O(1)
+//! update path.
+//!
+//! The paper's O(1)-update guarantee (§4.5) charges a constant number of
+//! *word operations* per cascade step; it never charges a trip through the
+//! global allocator. Two primitives keep the HALT update cascade on that
+//! budget in steady state:
+//!
+//! - [`Pool`]: a plain slab of `T` addressed by `u32` indices with a free
+//!   list. Hierarchy nodes live here instead of behind `Box` pointers, so
+//!   "create a child" is a free-list pop (or a tail push that only touches
+//!   the allocator while the pool is still growing toward its high-water
+//!   mark) and child links are 4-byte indices instead of 8-byte pointers.
+//! - [`BucketArena`]: a size-class block allocator for the dynamic bucket
+//!   lists. Every bucket is a contiguous block of `2^c` slots carved from
+//!   one backing vector; growing a bucket moves it to the next class and
+//!   returns the old block to a per-class free list. After warmup the
+//!   arena recycles its own blocks forever — `push`/`swap_remove` are pure
+//!   index arithmetic and the global allocator is never consulted.
+//!
+//! Block capacities double exactly like `Vec`'s growth policy (4, 8, 16, …),
+//! so the space accounting matches the previous per-bucket-`Vec` layout's
+//! high-water capacities word for word.
+
+use crate::SpaceUsage;
+
+/// Sentinel class marking a [`Bucket`] that owns no block yet.
+const NO_CLASS: u8 = u8::MAX;
+/// Smallest allocated block: `2^2 = 4` slots (matches `Vec`'s first
+/// allocation for small elements).
+const MIN_CLASS: u8 = 2;
+/// Largest representable block: `2^31` slots.
+const MAX_CLASS: u8 = 31;
+
+/// Handle to one dynamic list inside a [`BucketArena`]: a block offset, the
+/// block's size class, and the current length. `Copy`, 12 bytes (1.5 words,
+/// which is what the space accounting charges per handle), meaningless
+/// without the arena that issued it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Bucket {
+    off: u32,
+    len: u32,
+    class: u8,
+}
+
+impl Bucket {
+    /// A bucket that owns no storage (the state before the first push).
+    pub const EMPTY: Bucket = Bucket { off: 0, len: 0, class: NO_CLASS };
+
+    /// Number of elements currently stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` iff no elements are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Capacity of the owned block in elements (0 before the first push).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        if self.class == NO_CLASS {
+            0
+        } else {
+            1usize << self.class
+        }
+    }
+
+    /// Block offset and size in elements, if a block is owned (audit hook).
+    pub fn block(&self) -> Option<(u32, usize)> {
+        (self.class != NO_CLASS).then(|| (self.off, 1usize << self.class))
+    }
+}
+
+/// Size-class block arena backing many [`Bucket`] lists of `T`.
+///
+/// All blocks are carved from one backing vector; freed blocks (left behind
+/// when a bucket grows into the next class) park on per-class free lists and
+/// are reused before the backing vector ever grows again. In steady state —
+/// once every class has reached its high-water population — `push` and
+/// `swap_remove` perform no allocation at all.
+#[derive(Clone, Debug)]
+pub struct BucketArena<T: Copy> {
+    data: Vec<T>,
+    /// `free[c]` holds offsets of free blocks of capacity `2^c`.
+    free: Vec<Vec<u32>>,
+    /// Padding value for freshly carved blocks.
+    fill: T,
+}
+
+impl<T: Copy> BucketArena<T> {
+    /// Creates an empty arena; `fill` pads freshly carved blocks (its value
+    /// is never observable through the `Bucket` API).
+    pub fn new(fill: T) -> Self {
+        BucketArena { data: Vec::new(), free: vec![Vec::new(); (MAX_CLASS + 1) as usize], fill }
+    }
+
+    /// Total elements carved from the backing vector (live + free blocks).
+    pub fn carved(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Discards every block, live and free, retaining all allocated
+    /// capacity. Every outstanding [`Bucket`] handle becomes invalid — the
+    /// caller must reset them to [`Bucket::EMPTY`]. Rebuilds use this to
+    /// refill the arena without returning memory to the global allocator.
+    pub fn reset(&mut self) {
+        self.data.clear();
+        for f in &mut self.free {
+            f.clear();
+        }
+    }
+
+    /// Offsets of the free blocks of every class (audit hook).
+    pub fn free_blocks(&self) -> impl Iterator<Item = (u32, usize)> + '_ {
+        self.free
+            .iter()
+            .enumerate()
+            .flat_map(|(c, offs)| offs.iter().map(move |&off| (off, 1usize << c)))
+    }
+
+    /// Pops a free block of `class` or carves a new one from the tail.
+    fn alloc_block(&mut self, class: u8) -> u32 {
+        if let Some(off) = self.free[class as usize].pop() {
+            return off;
+        }
+        let off = self.data.len();
+        assert!(off + (1usize << class) <= u32::MAX as usize, "bucket arena exhausted");
+        self.data.resize(off + (1usize << class), self.fill);
+        off as u32
+    }
+
+    /// Appends `v` to `b`, growing the bucket to the next size class when
+    /// full (old block returns to the free list; amortized O(1), and O(1)
+    /// with zero allocator traffic once the arena has warmed up).
+    pub fn push(&mut self, b: &mut Bucket, v: T) {
+        if b.class == NO_CLASS {
+            let off = self.alloc_block(MIN_CLASS);
+            *b = Bucket { off, len: 0, class: MIN_CLASS };
+        } else if b.len == 1u32 << b.class {
+            let class = b.class + 1;
+            assert!(class <= MAX_CLASS, "bucket exceeds 2^31 elements");
+            let off = self.alloc_block(class);
+            self.data.copy_within(b.off as usize..(b.off + b.len) as usize, off as usize);
+            self.free[b.class as usize].push(b.off);
+            b.off = off;
+            b.class = class;
+        }
+        self.data[(b.off + b.len) as usize] = v;
+        b.len += 1;
+    }
+
+    /// Ensures `b` has capacity for at least `cap` elements, jumping
+    /// straight to the right size class (bulk loads — e.g. a global rebuild
+    /// that knows every bucket's final size — skip the whole doubling chain
+    /// of copies this way).
+    pub fn reserve(&mut self, b: &mut Bucket, cap: usize) {
+        if cap <= b.capacity() {
+            return;
+        }
+        let mut class = MIN_CLASS;
+        while (1usize << class) < cap {
+            class += 1;
+            assert!(class <= MAX_CLASS, "bucket exceeds 2^31 elements");
+        }
+        let off = self.alloc_block(class);
+        if b.class != NO_CLASS {
+            self.data.copy_within(b.off as usize..(b.off + b.len) as usize, off as usize);
+            self.free[b.class as usize].push(b.off);
+        }
+        b.off = off;
+        b.class = class;
+    }
+
+    /// Removes and returns the element at `pos`, moving the last element
+    /// into the hole (`Vec::swap_remove` discipline; the block is retained
+    /// at its high-water class, exactly like `Vec` capacity).
+    pub fn swap_remove(&mut self, b: &mut Bucket, pos: usize) -> T {
+        debug_assert!(pos < b.len as usize, "swap_remove {pos} of {}", b.len);
+        let base = b.off as usize;
+        let out = self.data[base + pos];
+        b.len -= 1;
+        self.data[base + pos] = self.data[base + b.len as usize];
+        out
+    }
+
+    /// The element at `pos`.
+    #[inline]
+    pub fn get(&self, b: &Bucket, pos: usize) -> T {
+        debug_assert!(pos < b.len as usize);
+        self.data[b.off as usize + pos]
+    }
+
+    /// The bucket's live elements as a slice.
+    #[inline]
+    pub fn slice(&self, b: &Bucket) -> &[T] {
+        if b.class == NO_CLASS {
+            return &[];
+        }
+        &self.data[b.off as usize..b.off as usize + b.len as usize]
+    }
+
+    /// Returns the bucket's block to the free list and resets the handle.
+    pub fn release(&mut self, b: &mut Bucket) {
+        if b.class != NO_CLASS {
+            self.free[b.class as usize].push(b.off);
+        }
+        *b = Bucket::EMPTY;
+    }
+
+    /// Verifies the arena against the set of live buckets: every block (live
+    /// or free) must be in bounds, the blocks must be pairwise disjoint, and
+    /// together they must tile the carved region exactly. O(blocks log
+    /// blocks); test/debug hook.
+    pub fn audit(&self, live: impl Iterator<Item = Bucket>) -> Result<(), String> {
+        let mut blocks: Vec<(u32, usize, bool)> = Vec::new();
+        for b in live {
+            if b.len as usize > b.capacity() {
+                return Err(format!("bucket len {} exceeds capacity {}", b.len, b.capacity()));
+            }
+            if let Some((off, size)) = b.block() {
+                blocks.push((off, size, true));
+            }
+        }
+        blocks.extend(self.free_blocks().map(|(off, size)| (off, size, false)));
+        blocks.sort_unstable();
+        let mut expect = 0usize;
+        for &(off, size, live) in &blocks {
+            let kind = if live { "live" } else { "free" };
+            if (off as usize) != expect {
+                return Err(format!("{kind} block at {off} expected at {expect} (overlap/gap)"));
+            }
+            expect += size;
+        }
+        if expect != self.data.len() {
+            return Err(format!("blocks tile {expect} of {} carved elements", self.data.len()));
+        }
+        Ok(())
+    }
+}
+
+impl<T: Copy> SpaceUsage for BucketArena<T> {
+    fn space_words(&self) -> usize {
+        let elem_bytes = std::mem::size_of::<T>();
+        // Carved storage (the analogue of the old per-bucket Vec capacities)
+        // plus half a word per parked free-block offset.
+        (self.data.len() * elem_bytes).div_ceil(8)
+            + self.free.iter().map(|f| f.len().div_ceil(2)).sum::<usize>()
+            + 2
+    }
+}
+
+/// A slab of `T` addressed by dense `u32` indices with a free list.
+///
+/// `alloc` pops a recycled slot when one exists (the caller re-initializes
+/// it in place, retaining the slot's own heap blocks) and only appends — the
+/// single allocator-visible operation — while the pool is still growing
+/// toward its high-water population.
+#[derive(Clone, Debug, Default)]
+pub struct Pool<T> {
+    slots: Vec<T>,
+    free: Vec<u32>,
+}
+
+impl<T> Pool<T> {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Pool { slots: Vec::new(), free: Vec::new() }
+    }
+
+    /// Total slots (live + recycled).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of live slots.
+    pub fn live_count(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Number of parked (recycled) slots.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Allocates a slot: recycled slots are re-initialized with `recycle`
+    /// (so their internal storage can be reused), fresh slots are built with
+    /// `make`.
+    pub fn alloc(&mut self, make: impl FnOnce() -> T, recycle: impl FnOnce(&mut T)) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            recycle(&mut self.slots[idx as usize]);
+            return idx;
+        }
+        let idx = self.slots.len();
+        assert!(idx < u32::MAX as usize, "pool index space exhausted");
+        self.slots.push(make());
+        idx as u32
+    }
+
+    /// Returns a slot to the free list. The caller must drop every index to
+    /// it; the slot's contents stay in place until the next `alloc` recycles
+    /// them.
+    pub fn free(&mut self, idx: u32) {
+        debug_assert!((idx as usize) < self.slots.len());
+        debug_assert!(!self.free.contains(&idx), "double free of pool slot {idx}");
+        self.free.push(idx);
+    }
+
+    /// Parks every slot on the free list (contents stay in place for
+    /// `alloc` to recycle). Rebuilds use this to re-grow a hierarchy out of
+    /// its own previous nodes without touching the global allocator.
+    pub fn free_all(&mut self) {
+        self.free.clear();
+        self.free.extend(0..self.slots.len() as u32);
+    }
+
+    /// Shared access to a slot.
+    #[inline]
+    pub fn get(&self, idx: u32) -> &T {
+        &self.slots[idx as usize]
+    }
+
+    /// Exclusive access to a slot.
+    #[inline]
+    pub fn get_mut(&mut self, idx: u32) -> &mut T {
+        &mut self.slots[idx as usize]
+    }
+
+    /// Iterates every slot (live and recycled — the pool does not track
+    /// liveness; callers that need it keep their own roster).
+    pub fn iter_slots(&self) -> impl Iterator<Item = &T> {
+        self.slots.iter()
+    }
+
+    /// Verifies free-list sanity: indices in bounds, no duplicates.
+    /// O(slots); test/debug hook.
+    pub fn audit(&self) -> Result<(), String> {
+        let mut seen = vec![false; self.slots.len()];
+        for &idx in &self.free {
+            let slot = seen
+                .get_mut(idx as usize)
+                .ok_or_else(|| format!("free index {idx} beyond {} slots", self.slots.len()))?;
+            if *slot {
+                return Err(format!("free index {idx} listed twice"));
+            }
+            *slot = true;
+        }
+        Ok(())
+    }
+
+    /// Space in words given a per-slot accounting function.
+    pub fn space_words_by(&self, per_slot: impl Fn(&T) -> usize) -> usize {
+        self.slots.iter().map(per_slot).sum::<usize>() + self.free.capacity().div_ceil(2) + 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference model: a plain Vec per bucket.
+    #[test]
+    fn arena_matches_vec_model_under_churn() {
+        let mut arena = BucketArena::new(0u16);
+        let mut buckets = [Bucket::EMPTY; 8];
+        let mut model: Vec<Vec<u16>> = vec![Vec::new(); 8];
+        let mut x = 0x9E3779B97F4A7C15u64;
+        for step in 0..20_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let b = ((x >> 32) % 8) as usize;
+            let v = (x >> 48) as u16;
+            if !(x >> 8).is_multiple_of(3) || model[b].is_empty() {
+                arena.push(&mut buckets[b], v);
+                model[b].push(v);
+            } else {
+                let pos = ((x >> 16) as usize) % model[b].len();
+                let got = arena.swap_remove(&mut buckets[b], pos);
+                let want = model[b].swap_remove(pos);
+                assert_eq!(got, want, "step {step}");
+            }
+            assert_eq!(arena.slice(&buckets[b]), model[b].as_slice(), "step {step}");
+            if step % 1024 == 0 {
+                arena.audit(buckets.iter().copied()).unwrap();
+            }
+        }
+        arena.audit(buckets.iter().copied()).unwrap();
+        // Capacities follow the Vec doubling ladder.
+        for (b, m) in buckets.iter().zip(&model) {
+            assert!(b.capacity() >= m.len());
+            assert!(b.capacity() == 0 || b.capacity() >= 4);
+            assert!(b.capacity().is_power_of_two() || b.capacity() == 0);
+        }
+    }
+
+    #[test]
+    fn arena_reuses_freed_blocks() {
+        let mut arena = BucketArena::new(0u16);
+        let mut b = Bucket::EMPTY;
+        for i in 0..64u16 {
+            arena.push(&mut b, i);
+        }
+        let carved_before = arena.carved();
+        // A second bucket growing through the small classes must consume the
+        // parked blocks the first one left behind (4 + 8 + 16 + 32 slots).
+        let mut c = Bucket::EMPTY;
+        for i in 0..32u16 {
+            arena.push(&mut c, i);
+        }
+        assert_eq!(
+            arena.carved(),
+            carved_before,
+            "second bucket should recycle freed blocks, not carve"
+        );
+        arena.audit([b, c].into_iter()).unwrap();
+        // Steady-state churn at fixed length: zero carving.
+        let carved = arena.carved();
+        for i in 0..10_000u16 {
+            let pos = (i as usize * 7) % b.len();
+            arena.swap_remove(&mut b, pos);
+            arena.push(&mut b, i);
+        }
+        assert_eq!(arena.carved(), carved, "steady-state churn must not carve");
+        arena.audit([b, c].into_iter()).unwrap();
+    }
+
+    #[test]
+    fn release_parks_the_block() {
+        let mut arena = BucketArena::new(0u64);
+        let mut b = Bucket::EMPTY;
+        for i in 0..10 {
+            arena.push(&mut b, i);
+        }
+        let (off, size) = b.block().unwrap();
+        arena.release(&mut b);
+        assert_eq!(b, Bucket::EMPTY);
+        assert!(arena.free_blocks().any(|fb| fb == (off, size)));
+        arena.audit(std::iter::empty()).unwrap();
+        // Reallocation picks the parked block back up.
+        let mut c = Bucket::EMPTY;
+        for i in 0..10 {
+            arena.push(&mut c, i);
+        }
+        assert_eq!(c.block().unwrap(), (off, size));
+    }
+
+    #[test]
+    fn empty_bucket_is_inert() {
+        let arena = BucketArena::new(0u16);
+        let b = Bucket::EMPTY;
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.capacity(), 0);
+        assert_eq!(b.block(), None);
+        assert_eq!(arena.slice(&b), &[] as &[u16]);
+        arena.audit(std::iter::once(b)).unwrap();
+    }
+
+    #[test]
+    fn audit_catches_corruption() {
+        let mut arena = BucketArena::new(0u16);
+        let mut b = Bucket::EMPTY;
+        arena.push(&mut b, 1);
+        // A live bucket the arena never issued (overlapping block).
+        let bogus = Bucket { off: 0, len: 1, class: MIN_CLASS };
+        assert!(arena.audit([b, bogus].into_iter()).is_err());
+    }
+
+    #[test]
+    fn pool_alloc_free_recycle() {
+        let mut pool: Pool<Vec<u32>> = Pool::new();
+        let a = pool.alloc(|| vec![1], |_| unreachable!("no recycled slots yet"));
+        let b = pool.alloc(|| vec![2, 2], |_| unreachable!());
+        assert_eq!(pool.live_count(), 2);
+        pool.free(a);
+        pool.audit().unwrap();
+        assert_eq!(pool.free_count(), 1);
+        // Recycle must reuse slot `a` and let us keep its storage.
+        let c = pool.alloc(|| unreachable!("free slot available"), |v| v.clear());
+        assert_eq!(c, a);
+        assert!(pool.get(c).is_empty());
+        assert_eq!(pool.get(b), &vec![2, 2]);
+        assert_eq!(pool.slot_count(), 2);
+        pool.audit().unwrap();
+    }
+
+    #[test]
+    fn space_accounting_is_word_granular() {
+        let mut arena = BucketArena::new(0u16);
+        let mut b = Bucket::EMPTY;
+        for i in 0..100u16 {
+            arena.push(&mut b, i);
+        }
+        // Carved u16 storage is counted in 64-bit words, rounded up.
+        let carved_words = (arena.carved() * 2).div_ceil(8);
+        assert!(arena.space_words() >= carved_words + 2);
+        let pool: Pool<u64> = Pool::new();
+        assert_eq!(pool.space_words_by(|_| 1), 2);
+    }
+}

@@ -31,6 +31,29 @@ impl U256 {
         U256([v as u64, (v >> 64) as u64, 0, 0])
     }
 
+    /// `v · 2^k` in O(1) word operations — the proxy-weight constructor
+    /// (`count · 2^{i+1}` without the general shift's limb loop). Panics if
+    /// the product does not fit in 256 bits (matching `checked_shl`'s
+    /// loudness rather than truncating silently).
+    #[inline]
+    pub fn from_u64_shifted(v: u64, k: u32) -> Self {
+        assert!(
+            v == 0 || k as u64 + 64 - u64::from(v.leading_zeros()) <= 256,
+            "{v} << {k} overflows U256"
+        );
+        if v == 0 {
+            return U256::ZERO;
+        }
+        let limb = (k / 64) as usize;
+        let bits = k % 64;
+        let mut l = [0u64; 4];
+        l[limb] = v << bits;
+        if bits > 0 && limb + 1 < 4 {
+            l[limb + 1] = v >> (64 - bits);
+        }
+        U256(l)
+    }
+
     /// `2^k` for `k < 256`.
     #[inline]
     pub fn pow2(k: u32) -> Self {
@@ -259,6 +282,23 @@ mod tests {
         assert_eq!(U256::pow2(100).checked_shl(100).unwrap(), U256::pow2(200));
         assert_eq!(U256::pow2(100).shr(100), U256::ONE);
         assert_eq!(U256::pow2(100).shr(300), U256::ZERO);
+    }
+
+    #[test]
+    fn from_u64_shifted_matches_general_shift() {
+        for &v in &[0u64, 1, 7, 255, u64::MAX, 0xDEAD_BEEF] {
+            for k in [0u32, 1, 31, 63, 64, 65, 127, 128, 161, 191] {
+                if v != 0 && k as u64 + 64 - u64::from(v.leading_zeros()) > 256 {
+                    continue;
+                }
+                assert_eq!(
+                    U256::from_u64_shifted(v, k),
+                    U256::from_u64(v).checked_shl(k).unwrap(),
+                    "{v} << {k}"
+                );
+            }
+        }
+        assert_eq!(U256::from_u64_shifted(0, 300), U256::ZERO);
     }
 
     #[test]

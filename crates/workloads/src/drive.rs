@@ -61,6 +61,15 @@ pub fn replay_stream(
                 );
                 report.deletes += 1;
             }
+            Op::DeleteOldest => {
+                let h = live.remove_oldest();
+                assert!(
+                    backend.delete(h),
+                    "{}: FIFO delete of live handle {h} rejected at step {step}",
+                    backend.name()
+                );
+                report.deletes += 1;
+            }
         }
         if let Some((k, params)) = query_every {
             if k > 0 && (step + 1) % k == 0 && !params.is_empty() {
@@ -135,6 +144,24 @@ mod tests {
         assert_eq!(report.queries, report.batches * params.len() as u64);
         // The counting backend returns everything live on each query.
         assert!(report.sampled >= report.queries);
+    }
+
+    #[test]
+    fn replay_fifo_stream_hits_backend_in_order() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let stream = UpdateStream::generate(
+            StreamKind::Fifo { window: 32 },
+            0,
+            400,
+            WeightDist::Uniform { lo: 1, hi: 50 },
+            &mut rng,
+        );
+        let mut backend = CountingBackend::default();
+        let report = replay_stream(&mut backend, &stream, None);
+        assert_eq!(report.inserts, 400);
+        assert_eq!(report.deletes, 400 - backend.len() as u64);
+        assert!(backend.len() <= 32, "window must cap the live size");
+        assert!(report.deletes > 300, "steady state must be delete-dominated");
     }
 
     #[test]

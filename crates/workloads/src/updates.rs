@@ -22,6 +22,12 @@ pub enum Op {
     /// Delete the live item at this index of the replayer's [`LiveSet`]
     /// (positions are stable under the swap-remove discipline).
     DeleteAt(usize),
+    /// Delete the *oldest* live item (FIFO expiry). Exact insertion order is
+    /// only guaranteed in streams that never mix in [`Op::DeleteAt`] (whose
+    /// swap-remove perturbs the order) — [`StreamKind::Fifo`] streams are
+    /// pure Insert/DeleteOldest, so their expiry is exactly first-in
+    /// first-out.
+    DeleteOldest,
 }
 
 /// The shape of an update stream.
@@ -42,6 +48,16 @@ pub enum StreamKind {
     /// exceeds `window`, also deletes the *oldest* live item. Models stream
     /// processing with expiry.
     SlidingWindow {
+        /// Maximum number of live items.
+        window: usize,
+    },
+    /// Exact FIFO sliding window: insert at the head, delete at the tail
+    /// ([`Op::DeleteOldest`]) once the live size exceeds `window`. Unlike
+    /// [`StreamKind::SlidingWindow`] (which approximates expiry under the
+    /// swap-remove discipline), deletions here hit the true oldest handle —
+    /// the first scenario whose steady state is dominated by delete
+    /// throughput.
+    Fifo {
         /// Maximum number of live items.
         window: usize,
     },
@@ -128,6 +144,17 @@ impl UpdateStream {
                     }
                 }
             }
+            StreamKind::Fifo { window } => {
+                assert!(window > 0, "window must be positive");
+                for _ in 0..n_ops {
+                    ops.push(Op::Insert(dist.sample(rng)));
+                    live += 1;
+                    if live > window {
+                        ops.push(Op::DeleteOldest);
+                        live -= 1;
+                    }
+                }
+            }
             StreamKind::Oscillate { lo, hi } => {
                 assert!(lo < hi, "Oscillate requires lo < hi");
                 let mut growing = true;
@@ -181,6 +208,7 @@ impl UpdateStream {
             match *op {
                 Op::Insert(w) => live.insert(insert(w)),
                 Op::DeleteAt(i) => delete(live.remove_at(i)),
+                Op::DeleteOldest => delete(live.remove_oldest()),
             }
         }
         live.len()
@@ -191,16 +219,21 @@ impl UpdateStream {
 ///
 /// Positions named by [`Op::DeleteAt`] refer to this structure's state at the
 /// moment the op executes; both the generator and every replayer maintain the
-/// same discipline, so indices always resolve to a live handle.
+/// same discipline, so indices always resolve to a live handle. FIFO expiry
+/// ([`Op::DeleteOldest`]) is O(1) via a head cursor: the live handles are
+/// `handles[head..]`, so popping the oldest just advances `head` (the stale
+/// prefix is reclaimed only when the set drains — streams are finite, so the
+/// prefix is bounded by the stream's insert count).
 #[derive(Debug, Clone, Default)]
 pub struct LiveSet<H> {
     handles: Vec<H>,
+    head: usize,
 }
 
 impl<H: Copy> LiveSet<H> {
     /// Creates an empty live set.
     pub fn new() -> Self {
-        LiveSet { handles: Vec::new() }
+        LiveSet { handles: Vec::new(), head: 0 }
     }
 
     /// Records a newly inserted handle.
@@ -208,24 +241,47 @@ impl<H: Copy> LiveSet<H> {
         self.handles.push(h);
     }
 
-    /// Removes and returns the handle at position `i` (swap-remove).
+    /// Removes and returns the handle at position `i` (swap-remove over the
+    /// live suffix).
     pub fn remove_at(&mut self, i: usize) -> H {
-        self.handles.swap_remove(i)
+        let j = self.head + i;
+        let last = self.handles.len() - 1;
+        self.handles.swap(j, last);
+        let h = self.handles.pop().expect("remove_at on empty LiveSet");
+        if self.handles.len() == self.head {
+            // Drained: reclaim the stale prefix.
+            self.handles.clear();
+            self.head = 0;
+        }
+        h
+    }
+
+    /// Removes and returns the oldest live handle (FIFO expiry; exact as
+    /// long as no [`LiveSet::remove_at`] has perturbed the order).
+    pub fn remove_oldest(&mut self) -> H {
+        let h = self.handles[self.head];
+        self.head += 1;
+        if self.handles.len() == self.head {
+            self.handles.clear();
+            self.head = 0;
+        }
+        h
     }
 
     /// Number of live handles.
     pub fn len(&self) -> usize {
-        self.handles.len()
+        self.handles.len() - self.head
     }
 
     /// True when no handles are live.
     pub fn is_empty(&self) -> bool {
-        self.handles.is_empty()
+        self.len() == 0
     }
 
-    /// The live handles, in swap-remove order.
+    /// The live handles, oldest first (swap-remove order after any
+    /// [`LiveSet::remove_at`]).
     pub fn handles(&self) -> &[H] {
-        &self.handles
+        &self.handles[self.head..]
     }
 }
 
@@ -328,12 +384,68 @@ mod tests {
                     assert!(*i < live);
                     live -= 1;
                 }
+                Op::DeleteOldest => live -= 1,
             }
             max_live = max_live.max(live);
         }
         assert!(max_live <= 17, "window overflow: {max_live}");
         let (_, _, final_live) = replay_counts(&s);
         assert!(final_live <= 16);
+    }
+
+    #[test]
+    fn fifo_window_deletes_in_exact_insertion_order() {
+        let s = UpdateStream::generate(StreamKind::Fifo { window: 16 }, 0, 300, DIST, &mut rng());
+        // Replay with sequential ids: FIFO expiry must delete 0, 1, 2, … in
+        // order, and the live size must never exceed the window.
+        use std::cell::RefCell;
+        let next = RefCell::new(0u64);
+        let deleted = RefCell::new(Vec::new());
+        let final_live = s.replay(
+            |_w| {
+                let mut n = next.borrow_mut();
+                *n += 1;
+                *n - 1
+            },
+            |id| deleted.borrow_mut().push(id),
+        );
+        let deleted = deleted.into_inner();
+        let expect: Vec<u64> = (0..deleted.len() as u64).collect();
+        assert_eq!(deleted, expect, "FIFO expiry must be exactly oldest-first");
+        assert!(final_live <= 16);
+        let mut live = 0usize;
+        for op in &s.ops {
+            match op {
+                Op::Insert(_) => live += 1,
+                Op::DeleteOldest => live -= 1,
+                Op::DeleteAt(_) => panic!("Fifo streams never use DeleteAt"),
+            }
+            assert!(live <= 17, "window overflow");
+        }
+    }
+
+    #[test]
+    fn liveset_mixes_fifo_and_swap_remove() {
+        let mut live: LiveSet<u32> = LiveSet::new();
+        for i in 0..6 {
+            live.insert(i);
+        }
+        assert_eq!(live.remove_oldest(), 0);
+        assert_eq!(live.remove_oldest(), 1);
+        assert_eq!(live.len(), 4);
+        assert_eq!(live.handles(), &[2, 3, 4, 5]);
+        // Swap-remove position 1 of the live suffix (= handle 3).
+        assert_eq!(live.remove_at(1), 3);
+        assert_eq!(live.handles(), &[2, 5, 4]);
+        assert_eq!(live.remove_oldest(), 2);
+        assert_eq!(live.remove_at(0), 5);
+        assert_eq!(live.remove_oldest(), 4);
+        assert!(live.is_empty());
+        // Drained set reclaims its prefix and starts fresh.
+        live.insert(9);
+        assert_eq!(live.handles(), &[9]);
+        assert_eq!(live.remove_oldest(), 9);
+        assert!(live.is_empty());
     }
 
     #[test]
@@ -351,7 +463,7 @@ mod tests {
         for op in &s.ops {
             match op {
                 Op::Insert(_) => live += 1,
-                Op::DeleteAt(_) => live -= 1,
+                Op::DeleteAt(_) | Op::DeleteOldest => live -= 1,
             }
             let now_above = live >= 32; // mid-band
             if now_above != above {
@@ -389,6 +501,11 @@ mod tests {
                 }
                 Op::DeleteAt(i) => {
                     let id = live.remove_at(i);
+                    assert!(!deleted[id], "double delete of {id}");
+                    deleted[id] = true;
+                }
+                Op::DeleteOldest => {
+                    let id = live.remove_oldest();
                     assert!(!deleted[id], "double delete of {id}");
                     deleted[id] = true;
                 }

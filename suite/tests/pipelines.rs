@@ -22,6 +22,7 @@ fn streams_replay_on_both_samplers() {
         StreamKind::DeleteOnly,
         StreamKind::Mixed { insert_permille: 450 },
         StreamKind::SlidingWindow { window: 64 },
+        StreamKind::Fifo { window: 64 },
         StreamKind::Oscillate { lo: 32, hi: 256 },
     ];
     for (k, kind) in kinds.into_iter().enumerate() {
@@ -51,6 +52,10 @@ fn streams_replay_on_both_samplers() {
                 Op::DeleteAt(i) => {
                     assert!(halt.delete(live_h.remove_at(i)).is_some());
                     assert!(deam.delete(live_d.remove_at(i)).is_some());
+                }
+                Op::DeleteOldest => {
+                    assert!(halt.delete(live_h.remove_oldest()).is_some());
+                    assert!(deam.delete(live_d.remove_oldest()).is_some());
                 }
             }
         }
