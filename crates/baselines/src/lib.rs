@@ -17,6 +17,16 @@
 //!   identifies ("the existing optimal ODSS algorithm requires Ω(n) time to
 //!   support an update in the DPSS setup").
 //!
+//! ## Shared-read queries
+//!
+//! Queries take `&self` plus a caller-owned [`QueryCtx`]: the naive samplers
+//! draw their coins from the context's stream, and the ODSS-style structures
+//! park their Θ(n) materializations *in the context* (keyed by backend
+//! instance and validated against an update epoch) instead of mutating the
+//! structure — which is what lets `pss_core::ShardedQuery` fan batches out
+//! over any backend in this roster. Rebuild accounting moved to atomic
+//! counters so `&self` queries can still report the Θ(n) penalty E5 charges.
+//!
 //! The HALT samplers themselves implement [`PssBackend`] in the `dpss` crate;
 //! [`all_backends`] assembles the full comparison roster (HALT, de-amortized
 //! HALT, and every baseline) as trait objects.
@@ -27,30 +37,32 @@
 pub mod odss;
 
 pub use odss::{OdssDss, OdssUnderDpss};
-pub use pss_core::{boxed, Handle, PssBackend, SeedableBackend, SpaceUsage, Store};
+pub use pss_core::{boxed, Handle, PssBackend, QueryCtx, SeedableBackend, SpaceUsage, Store};
 
 use bignum::{BigUint, Ratio};
 use dpss::{DeamortizedDpss, DpssSampler};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use randvar::{ber_rational_parts, bgeo};
 use std::cmp::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 // ---------------------------------------------------------------------------
 // NaiveExact
 // ---------------------------------------------------------------------------
 
-/// O(n)-per-query baseline with exact rational coins.
-#[derive(Debug)]
+/// O(n)-per-query baseline with exact rational coins. Stateless on the query
+/// path — all randomness comes from the caller's context.
+#[derive(Debug, Default)]
 pub struct NaiveExact {
     store: Store,
-    rng: SmallRng,
 }
 
 impl NaiveExact {
-    /// Creates an empty sampler with a deterministic seed.
-    pub fn new(seed: u64) -> Self {
-        NaiveExact { store: Store::default(), rng: SmallRng::seed_from_u64(seed) }
+    /// Creates an empty sampler. The seed is accepted for the uniform
+    /// [`SeedableBackend`] surface; query randomness is owned by the
+    /// caller's [`QueryCtx`], so nothing here consumes it.
+    pub fn new(_seed: u64) -> Self {
+        NaiveExact { store: Store::default() }
     }
 }
 
@@ -69,21 +81,22 @@ impl PssBackend for NaiveExact {
         self.store.delete(handle)
     }
 
-    fn query(&mut self, alpha: &Ratio, beta: &Ratio) -> Vec<Handle> {
+    fn query(&self, ctx: &mut QueryCtx, alpha: &Ratio, beta: &Ratio) -> Vec<Handle> {
         let w = self.store.param_weight(alpha, beta);
+        let rng = ctx.rng();
         let mut out = Vec::new();
-        for i in 0..self.store.slot_count() {
-            if !self.store.is_live(i) || self.store.weight_at(i) == 0 {
+        for (h, wx) in self.store.iter_live() {
+            if wx == 0 {
                 continue;
             }
             let keep = if w.is_zero() {
                 true
             } else {
-                let num = BigUint::from_u64(self.store.weight_at(i)).mul(w.den());
-                ber_rational_parts(&mut self.rng, &num, w.num())
+                let num = BigUint::from_u64(wx).mul(w.den());
+                ber_rational_parts(rng, &num, w.num())
             };
             if keep {
-                out.push(Handle::from_raw(i as u64));
+                out.push(h);
             }
         }
         out
@@ -100,6 +113,11 @@ impl PssBackend for NaiveExact {
     fn name(&self) -> &'static str {
         "naive-exact"
     }
+
+    fn set_weight(&mut self, handle: Handle, new_weight: u64) -> Option<Handle> {
+        // Native in-place reweighting: the slot — and the handle — is stable.
+        self.store.set_weight(handle, new_weight).map(|_| handle)
+    }
 }
 
 impl SeedableBackend for NaiveExact {
@@ -113,16 +131,15 @@ impl SeedableBackend for NaiveExact {
 // ---------------------------------------------------------------------------
 
 /// O(n)-per-query baseline with `f64` coins (inexact; speed reference only).
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct NaiveFloat {
     store: Store,
-    rng: SmallRng,
 }
 
 impl NaiveFloat {
-    /// Creates an empty sampler with a deterministic seed.
-    pub fn new(seed: u64) -> Self {
-        NaiveFloat { store: Store::default(), rng: SmallRng::seed_from_u64(seed) }
+    /// Creates an empty sampler (see [`NaiveExact::new`] on the seed).
+    pub fn new(_seed: u64) -> Self {
+        NaiveFloat { store: Store::default() }
     }
 }
 
@@ -141,16 +158,17 @@ impl PssBackend for NaiveFloat {
         self.store.delete(handle)
     }
 
-    fn query(&mut self, alpha: &Ratio, beta: &Ratio) -> Vec<Handle> {
+    fn query(&self, ctx: &mut QueryCtx, alpha: &Ratio, beta: &Ratio) -> Vec<Handle> {
         let w = self.store.param_weight(alpha, beta).to_f64_lossy();
+        let rng = ctx.rng();
         let mut out = Vec::new();
-        for i in 0..self.store.slot_count() {
-            if !self.store.is_live(i) || self.store.weight_at(i) == 0 {
+        for (h, wx) in self.store.iter_live() {
+            if wx == 0 {
                 continue;
             }
-            let p = if w == 0.0 { 1.0 } else { (self.store.weight_at(i) as f64 / w).min(1.0) };
-            if self.rng.gen::<f64>() < p {
-                out.push(Handle::from_raw(i as u64));
+            let p = if w == 0.0 { 1.0 } else { (wx as f64 / w).min(1.0) };
+            if rng.gen::<f64>() < p {
+                out.push(h);
             }
         }
         out
@@ -166,6 +184,10 @@ impl PssBackend for NaiveFloat {
 
     fn name(&self) -> &'static str {
         "naive-float"
+    }
+
+    fn set_weight(&mut self, handle: Handle, new_weight: u64) -> Option<Handle> {
+        self.store.set_weight(handle, new_weight).map(|_| handle)
     }
 }
 
@@ -187,50 +209,61 @@ const ODSS_BUCKETS: usize = 65;
 /// probability buckets `[2^{-(i+1)}, 2^{-i})` for the *materialized* sampling
 /// probabilities of the most recent parameter set.
 ///
-/// Queries with the materialized parameters are output-sensitive (`B-Geo`
-/// jumps inside each non-empty probability bucket). Any *update* — or a query
-/// with new parameters — must re-materialize every probability in Θ(n): the
-/// documented DSS-vs-DPSS gap.
+/// The materialization lives in the caller's [`QueryCtx`], keyed by this
+/// structure's instance id and stamped with its update epoch: queries with
+/// the materialized parameters are output-sensitive (`B-Geo` jumps inside
+/// each non-empty probability bucket), while any *update* — or a query with
+/// new parameters — forces the context to re-materialize every probability in
+/// Θ(n): the documented DSS-vs-DPSS gap.
 #[derive(Debug)]
 pub struct OdssStyle {
     store: Store,
-    rng: SmallRng,
-    mat_params: Option<(Ratio, Ratio)>,
-    prob_buckets: Vec<Vec<u32>>,
-    /// Number of Θ(n) re-materializations performed (cost accounting for E5).
-    pub rebuild_count: u64,
+    /// Bumped by every update; stales all materializations everywhere.
+    epoch: u64,
+    /// Keys this structure's materialization inside any [`QueryCtx`].
+    instance: u64,
+    /// Number of Θ(n) re-materializations performed across all contexts
+    /// (cost accounting for E5; atomic because queries run on `&self`).
+    pub rebuild_count: AtomicU64,
+}
+
+/// One context's materialized probability buckets for an [`OdssStyle`].
+#[derive(Debug)]
+struct OdssMat {
+    /// Epoch of the structure when this materialization was built.
+    epoch: u64,
+    params: (Ratio, Ratio),
+    buckets: Vec<Vec<u32>>,
 }
 
 impl OdssStyle {
-    /// Creates an empty sampler with a deterministic seed.
-    pub fn new(seed: u64) -> Self {
+    /// Creates an empty sampler (see [`NaiveExact::new`] on the seed).
+    pub fn new(_seed: u64) -> Self {
         OdssStyle {
             store: Store::default(),
-            rng: SmallRng::seed_from_u64(seed),
-            mat_params: None,
-            prob_buckets: vec![Vec::new(); ODSS_BUCKETS],
-            rebuild_count: 0,
+            epoch: 0,
+            instance: pss_core::fresh_backend_id(),
+            rebuild_count: AtomicU64::new(0),
         }
     }
 
-    /// Θ(n): recomputes every item's probability bucket for `(α, β)`.
-    fn materialize(&mut self, alpha: &Ratio, beta: &Ratio) {
-        self.rebuild_count += 1;
-        for b in &mut self.prob_buckets {
+    /// Θ(n): recomputes every item's probability bucket for `(α, β)` into
+    /// `mat` (a context-owned slot).
+    fn materialize(&self, mat: &mut OdssMat, alpha: &Ratio, beta: &Ratio) {
+        self.rebuild_count.fetch_add(1, AtomicOrdering::Relaxed);
+        mat.buckets.resize(ODSS_BUCKETS, Vec::new());
+        for b in &mut mat.buckets {
             b.clear();
         }
         let w = self.store.param_weight(alpha, beta);
-        for i in 0..self.store.slot_count() {
-            if !self.store.is_live(i) || self.store.weight_at(i) == 0 {
+        for (h, wx) in self.store.iter_live() {
+            if wx == 0 {
                 continue;
             }
             let bucket = if w.is_zero() {
                 0
             } else {
-                let p = Ratio::new(
-                    BigUint::from_u64(self.store.weight_at(i)).mul(w.den()),
-                    w.num().clone(),
-                );
+                let p = Ratio::new(BigUint::from_u64(wx).mul(w.den()), w.num().clone());
                 if p.cmp_int(1) != Ordering::Less {
                     0
                 } else {
@@ -240,45 +273,58 @@ impl OdssStyle {
                     c.clamp(0, ODSS_BUCKETS as i64 - 1) as usize
                 }
             };
-            self.prob_buckets[bucket].push(i as u32);
+            mat.buckets[bucket].push(h.raw() as u32);
         }
-        self.mat_params = Some((alpha.clone(), beta.clone()));
+        mat.epoch = self.epoch;
+        mat.params = (alpha.clone(), beta.clone());
+    }
+
+    /// Re-materializations performed so far (convenience over the atomic).
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuild_count.load(AtomicOrdering::Relaxed)
     }
 }
 
 impl SpaceUsage for OdssStyle {
     fn space_words(&self) -> usize {
-        let buckets: usize = self.prob_buckets.iter().map(|b| b.capacity().div_ceil(2)).sum();
-        self.store.space_words() + buckets + 8
+        // The materialized buckets live in caller contexts; the structure
+        // itself is the store plus scalars. One n-slot bucket image is
+        // charged here so the E4-style space comparison stays honest about
+        // what a query needs to exist somewhere.
+        self.store.space_words() + self.store.len().div_ceil(2) + 8
     }
 }
 
 impl PssBackend for OdssStyle {
     fn insert(&mut self, weight: u64) -> Handle {
-        let h = self.store.insert(weight);
-        self.mat_params = None; // any DPSS update moves every probability
-        h
+        self.epoch += 1; // any DPSS update moves every probability
+        self.store.insert(weight)
     }
 
     fn delete(&mut self, handle: Handle) -> bool {
         let ok = self.store.delete(handle);
         if ok {
-            self.mat_params = None;
+            self.epoch += 1;
         }
         ok
     }
 
-    fn query(&mut self, alpha: &Ratio, beta: &Ratio) -> Vec<Handle> {
-        let stale = match &self.mat_params {
-            Some((a, b)) => a.cmp(alpha) != Ordering::Equal || b.cmp(beta) != Ordering::Equal,
-            None => true,
-        };
+    fn query(&self, ctx: &mut QueryCtx, alpha: &Ratio, beta: &Ratio) -> Vec<Handle> {
+        let epoch = self.epoch;
+        let (rng, mat) = ctx.state(self.instance, || OdssMat {
+            epoch: u64::MAX, // sentinel: always stale before first use
+            params: (Ratio::zero(), Ratio::zero()),
+            buckets: Vec::new(),
+        });
+        let stale = mat.epoch != epoch
+            || mat.params.0.cmp(alpha) != Ordering::Equal
+            || mat.params.1.cmp(beta) != Ordering::Equal;
         if stale {
-            self.materialize(alpha, beta); // Θ(n) — the DSS-under-DPSS penalty
+            self.materialize(mat, alpha, beta); // Θ(n) — the DSS-under-DPSS penalty
         }
         let w = self.store.param_weight(alpha, beta);
         let mut out = Vec::new();
-        for (bi, bucket) in self.prob_buckets.iter().enumerate() {
+        for (bi, bucket) in mat.buckets.iter().enumerate() {
             if bucket.is_empty() {
                 continue;
             }
@@ -286,11 +332,12 @@ impl PssBackend for OdssStyle {
             if bi == 0 {
                 // p ∈ [1/2, 1]: flip each item directly (Ω(1) acceptance).
                 for &i in bucket {
+                    let wx = self.store.weight_at(i as usize).expect("materialized item is live");
                     let keep = if w.is_zero() {
                         true
                     } else {
-                        let num = BigUint::from_u64(self.store.weight_at(i as usize)).mul(w.den());
-                        ber_rational_parts(&mut self.rng, &num, w.num())
+                        let num = BigUint::from_u64(wx).mul(w.den());
+                        ber_rational_parts(rng, &num, w.num())
                     };
                     if keep {
                         out.push(Handle::from_raw(i as u64));
@@ -300,16 +347,16 @@ impl PssBackend for OdssStyle {
             }
             // Majorizer q = 2^{-bi} for every item in this bucket.
             let q = Ratio::new(BigUint::one(), BigUint::pow2(bi as u64));
-            let mut k = bgeo(&mut self.rng, &q, n_b + 1);
+            let mut k = bgeo(rng, &q, n_b + 1);
             while k <= n_b {
                 let i = bucket[(k - 1) as usize];
+                let wx = self.store.weight_at(i as usize).expect("materialized item is live");
                 // Accept with p_i/q = w_i·2^bi/W ≤ 1.
-                let num =
-                    BigUint::from_u64(self.store.weight_at(i as usize)).shl(bi as u64).mul(w.den());
-                if ber_rational_parts(&mut self.rng, &num, w.num()) {
+                let num = BigUint::from_u64(wx).shl(bi as u64).mul(w.den());
+                if ber_rational_parts(rng, &num, w.num()) {
                     out.push(Handle::from_raw(i as u64));
                 }
-                k += bgeo(&mut self.rng, &q, n_b + 1);
+                k += bgeo(rng, &q, n_b + 1);
             }
         }
         out
@@ -325,6 +372,14 @@ impl PssBackend for OdssStyle {
 
     fn name(&self) -> &'static str {
         "odss-style"
+    }
+
+    fn set_weight(&mut self, handle: Handle, new_weight: u64) -> Option<Handle> {
+        let old = self.store.set_weight(handle, new_weight)?;
+        if old != new_weight {
+            self.epoch += 1; // W moved: every materialization is stale
+        }
+        Some(handle)
     }
 }
 
@@ -362,9 +417,10 @@ mod tests {
         assert_eq!(backend.total_weight(), total, "{}", backend.name());
         let alpha = Ratio::one();
         let beta = Ratio::zero();
+        let mut ctx = QueryCtx::new(0xC01);
         let mut hits = vec![0u64; handles.len()];
         for _ in 0..trials {
-            for h in backend.query(&alpha, &beta) {
+            for h in backend.query(&mut ctx, &alpha, &beta) {
                 let idx = handles.iter().position(|&x| x == h).unwrap();
                 hits[idx] += 1;
             }
@@ -414,22 +470,48 @@ mod tests {
     #[test]
     fn odss_rematerializes_on_every_update() {
         let mut o = OdssStyle::new(5);
+        let mut ctx = QueryCtx::new(5);
         let a = Ratio::one();
         let b = Ratio::zero();
         let h = PssBackend::insert(&mut o, 10);
         PssBackend::insert(&mut o, 20);
-        let _ = PssBackend::query(&mut o, &a, &b);
-        assert_eq!(o.rebuild_count, 1);
-        let _ = PssBackend::query(&mut o, &a, &b); // same params: no rebuild
-        assert_eq!(o.rebuild_count, 1);
+        let _ = o.query(&mut ctx, &a, &b);
+        assert_eq!(o.rebuilds(), 1);
+        let _ = o.query(&mut ctx, &a, &b); // same params, same ctx: no rebuild
+        assert_eq!(o.rebuilds(), 1);
         PssBackend::insert(&mut o, 30);
-        let _ = PssBackend::query(&mut o, &a, &b); // update invalidates
-        assert_eq!(o.rebuild_count, 2);
+        let _ = o.query(&mut ctx, &a, &b); // update invalidates
+        assert_eq!(o.rebuilds(), 2);
         PssBackend::delete(&mut o, h);
-        let _ = PssBackend::query(&mut o, &a, &b);
-        assert_eq!(o.rebuild_count, 3);
-        let _ = PssBackend::query(&mut o, &Ratio::from_int(2), &b); // new parameters invalidate
-        assert_eq!(o.rebuild_count, 4);
+        let _ = o.query(&mut ctx, &a, &b);
+        assert_eq!(o.rebuilds(), 3);
+        let _ = o.query(&mut ctx, &Ratio::from_int(2), &b); // new parameters invalidate
+        assert_eq!(o.rebuilds(), 4);
+        let h40 = PssBackend::insert(&mut o, 40);
+        let h2 = PssBackend::set_weight(&mut o, h40, 50).unwrap();
+        let _ = o.query(&mut ctx, &Ratio::from_int(2), &b); // reweight invalidates too
+        assert_eq!(o.rebuilds(), 5);
+        assert!(PssBackend::delete(&mut o, h2));
+    }
+
+    #[test]
+    fn odss_fresh_context_rematerializes_independently() {
+        // Materializations are per-context: a second context pays its own
+        // Θ(n) pass, the first context's stays warm.
+        let mut o = OdssStyle::new(7);
+        PssBackend::insert(&mut o, 10);
+        PssBackend::insert(&mut o, 20);
+        let a = Ratio::one();
+        let b = Ratio::zero();
+        let mut c1 = QueryCtx::new(1);
+        let mut c2 = QueryCtx::new(2);
+        let _ = o.query(&mut c1, &a, &b);
+        assert_eq!(o.rebuilds(), 1);
+        let _ = o.query(&mut c2, &a, &b);
+        assert_eq!(o.rebuilds(), 2);
+        let _ = o.query(&mut c1, &a, &b);
+        let _ = o.query(&mut c2, &a, &b);
+        assert_eq!(o.rebuilds(), 2, "both contexts warm");
     }
 
     #[test]
@@ -445,11 +527,12 @@ mod tests {
 
     #[test]
     fn zero_weight_items_skipped_by_all() {
+        let mut ctx = QueryCtx::new(3);
         for backend in all_backends(11).iter_mut() {
             let z = backend.insert(0);
             backend.insert(7);
             for _ in 0..50 {
-                let t = backend.query(&Ratio::one(), &Ratio::zero());
+                let t = backend.query(&mut ctx, &Ratio::one(), &Ratio::zero());
                 assert!(!t.contains(&z), "{}", backend.name());
             }
         }
@@ -465,6 +548,34 @@ mod tests {
             assert_eq!(backend.len(), 2, "{}", backend.name());
             assert!(backend.set_weight(h2, 1).is_some(), "{}", backend.name());
             assert_eq!(backend.total_weight(), 12, "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn set_weight_is_handle_stable_on_store_backends() {
+        // The Store-backed roster routes set_weight through the native
+        // in-place path: handles must survive, stale handles must fail.
+        for mut backend in [
+            Box::new(NaiveExact::new(1)) as Box<dyn PssBackend>,
+            Box::new(NaiveFloat::new(2)) as Box<dyn PssBackend>,
+            Box::new(OdssStyle::new(3)) as Box<dyn PssBackend>,
+            Box::new(OdssUnderDpss::new(4)) as Box<dyn PssBackend>,
+        ] {
+            let h = backend.insert(5);
+            let other = backend.insert(7);
+            let h2 = backend.set_weight(h, 50).expect("live handle");
+            assert_eq!(h, h2, "{}: set_weight must keep the handle", backend.name());
+            assert_eq!(backend.total_weight(), 57, "{}", backend.name());
+            // Reweighting must not have disturbed the other slot.
+            let o2 = backend.set_weight(other, 7).expect("live handle");
+            assert_eq!(other, o2, "{}", backend.name());
+            assert!(backend.delete(h));
+            assert!(
+                backend.set_weight(h, 1).is_none(),
+                "{}: stale handle must be rejected",
+                backend.name()
+            );
+            assert_eq!(backend.total_weight(), 7, "{}", backend.name());
         }
     }
 

@@ -41,9 +41,10 @@ use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
 use randvar::{ber_rational_parts, bgeo};
 use std::cmp::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use wordram::BitsetList;
 
-use crate::{Handle, PssBackend, Store};
+use crate::{Handle, PssBackend, QueryCtx, Store};
 
 /// Probabilities below `2^{-TAIL_EXP}` share the last bucket.
 const TAIL_EXP: usize = 64;
@@ -204,46 +205,81 @@ impl<R: RngCore> OdssDss<R> {
     }
 
     /// Draws one subset sample: each live item included independently with
-    /// its probability. Expected time `O(B + μ)`, `B` = non-empty buckets.
+    /// its probability, coins from the internal RNG. Expected time
+    /// `O(B + μ)`, `B` = non-empty buckets.
     pub fn query(&mut self) -> Vec<u64> {
+        Self::query_all(
+            &self.slots,
+            &self.buckets,
+            &self.nonempty,
+            &mut self.rng,
+            &mut self.buckets_scanned,
+        )
+    }
+
+    /// [`OdssDss::query`] with coins drawn from an **external** RNG — the
+    /// form [`OdssUnderDpss`] uses when the materialized structure lives in a
+    /// caller's `QueryCtx` (the internal RNG is untouched, so shared-read
+    /// batches stay a pure function of the caller's stream).
+    pub fn query_with<R2: RngCore>(&mut self, rng: &mut R2) -> Vec<u64> {
+        Self::query_all(&self.slots, &self.buckets, &self.nonempty, rng, &mut self.buckets_scanned)
+    }
+
+    /// The shared bucket walk behind [`OdssDss::query`] /
+    /// [`OdssDss::query_with`]: one definition, either RNG source.
+    fn query_all<R2: RngCore>(
+        slots: &[Slot],
+        buckets: &[Vec<u32>],
+        nonempty: &BitsetList,
+        rng: &mut R2,
+        scanned: &mut u64,
+    ) -> Vec<u64> {
         let mut out = Vec::new();
-        let mut j_opt = self.nonempty.min();
+        let mut j_opt = nonempty.min();
         while let Some(j) = j_opt {
-            self.buckets_scanned += 1;
-            self.query_bucket(j, &mut out);
-            j_opt = self.nonempty.succ(j + 1);
+            *scanned += 1;
+            Self::query_bucket(slots, &buckets[j], j, rng, &mut out);
+            j_opt = nonempty.succ(j + 1);
         }
         out
     }
 
     /// Majorizer walk over bucket `j`: candidates at `B-Geo(2^{-j})` strides,
-    /// each accepted with the exact residual `Ber(p·2^j)`.
-    fn query_bucket(&mut self, j: usize, out: &mut Vec<u64>) {
-        let n_j = self.buckets[j].len() as u64;
+    /// each accepted with the exact residual `Ber(p·2^j)`. Associated
+    /// function (not a method) so the RNG can be either the structure's own
+    /// or a caller-supplied stream.
+    fn query_bucket<R2: RngCore>(
+        slots: &[Slot],
+        bucket: &[u32],
+        j: usize,
+        rng: &mut R2,
+        out: &mut Vec<u64>,
+    ) {
+        let n_j = bucket.len() as u64;
         if j == 0 {
             // p ∈ (1/2, 1]: the majorizer is 1 — flip every item directly
             // (acceptance ≥ 1/2, so this is output-charged).
             for pos in 0..n_j {
-                let slot = self.buckets[0][pos as usize];
-                let p = &self.slots[slot as usize].prob;
-                if ber_rational_parts(&mut self.rng, p.num(), p.den()) {
+                let slot = bucket[pos as usize];
+                let p = &slots[slot as usize].prob;
+                if ber_rational_parts(rng, p.num(), p.den()) {
                     out.push(slot as u64);
                 }
             }
             return;
         }
         let q = Ratio::new(BigUint::one(), BigUint::pow2(j as u64));
-        let mut k = bgeo(&mut self.rng, &q, n_j + 1);
+        let mut k = bgeo(rng, &q, n_j + 1);
         while k <= n_j {
-            let slot = self.buckets[j][(k - 1) as usize];
-            let p = &self.slots[slot as usize].prob;
+            let slot = bucket[(k - 1) as usize];
+            let p = &slots[slot as usize].prob;
             // Accept with p / 2^{-j} = p·2^j ≤ 1 (p ≤ 2^{-j} in bucket j;
             // tail-bucket items have p ≤ 2^{-TAIL_EXP} ≤ 2^{-j} too).
             let num = p.num().shl(j as u64);
-            if ber_rational_parts(&mut self.rng, &num, p.den()) {
+            if ber_rational_parts(rng, &num, p.den()) {
                 out.push(slot as u64);
             }
-            k += bgeo(&mut self.rng, &q, n_j + 1);
+            k += bgeo(rng, &q, n_j + 1);
         }
     }
 
@@ -283,108 +319,133 @@ impl<R: RngCore> OdssDss<R> {
 // ---------------------------------------------------------------------------
 
 /// The ODSS structure driven with **DPSS semantics**: probabilities
-/// `p_x = min(w(x)/W(α,β), 1)` are materialized into an [`OdssDss`], and any
-/// update (or parameter change) forces a Θ(n) re-materialization because the
-/// shared denominator `W` moved. The counter [`OdssUnderDpss::items_rematerialized`]
-/// accumulates the penalty that experiment E5 reports.
+/// `p_x = min(w(x)/W(α,β), 1)` are materialized into an [`OdssDss`] living in
+/// the caller's [`QueryCtx`], and any update (or parameter change) forces a
+/// Θ(n) re-materialization because the shared denominator `W` moved. The
+/// counter [`OdssUnderDpss::items_rematerialized`] accumulates the penalty
+/// that experiment E5 reports (atomic: queries run on `&self`).
+///
+/// Query coins are drawn from the context's stream via
+/// [`OdssDss::query_with`], so sharded batches over this backend are a pure
+/// function of the per-index derived streams, like every other backend.
 #[derive(Debug)]
 pub struct OdssUnderDpss {
     store: Store,
-    inner: OdssDss<SmallRng>,
-    /// Maps inner DSS handles back to store handles (rebuilt per materialization).
-    dss_to_store: Vec<u32>,
-    mat_params: Option<(Ratio, Ratio)>,
-    seed: u64,
-    generation: u64,
+    /// Bumped by every update; stales all materializations everywhere.
+    epoch: u64,
+    /// Keys this structure's materialization inside any [`QueryCtx`].
+    instance: u64,
     /// Total items whose probability was recomputed across all rebuilds.
-    pub items_rematerialized: u64,
+    pub items_rematerialized: AtomicU64,
     /// Number of Θ(n) rebuilds performed.
-    pub rebuild_count: u64,
+    pub rebuild_count: AtomicU64,
+}
+
+/// One context's materialized inner DSS for an [`OdssUnderDpss`].
+#[derive(Debug)]
+struct DssMat {
+    /// Epoch of the adapter when this materialization was built
+    /// (`u64::MAX` = never built).
+    epoch: u64,
+    params: (Ratio, Ratio),
+    inner: OdssDss<SmallRng>,
+    /// Maps inner DSS handles back to store handles.
+    dss_to_store: Vec<u32>,
 }
 
 impl OdssUnderDpss {
-    /// Creates an empty adapter with a deterministic seed.
-    pub fn new(seed: u64) -> Self {
+    /// Creates an empty adapter. The seed is accepted for the uniform
+    /// seeding surface; query randomness is owned by the caller's context.
+    pub fn new(_seed: u64) -> Self {
         OdssUnderDpss {
             store: Store::default(),
-            inner: OdssDss::new(seed),
-            dss_to_store: Vec::new(),
-            mat_params: None,
-            seed,
-            generation: 0,
-            items_rematerialized: 0,
-            rebuild_count: 0,
+            epoch: 0,
+            instance: pss_core::fresh_backend_id(),
+            items_rematerialized: AtomicU64::new(0),
+            rebuild_count: AtomicU64::new(0),
         }
     }
 
-    /// Θ(n): rebuilds the inner DSS with the probabilities induced by `(α,β)`.
-    fn materialize(&mut self, alpha: &Ratio, beta: &Ratio) {
-        self.rebuild_count += 1;
-        self.generation += 1;
-        // Fresh inner structure; seed varied by generation so repeated
-        // rebuilds do not replay the same coin sequence.
-        self.inner = OdssDss::new(self.seed ^ self.generation.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        self.dss_to_store.clear();
+    /// Θ(n): rebuilds `mat`'s inner DSS with the probabilities induced by
+    /// `(α,β)`.
+    fn materialize(&self, mat: &mut DssMat, alpha: &Ratio, beta: &Ratio) {
+        self.rebuild_count.fetch_add(1, AtomicOrdering::Relaxed);
+        // Fresh inner structure; its internal RNG is never drawn from (all
+        // query coins come from the caller's context via `query_with`).
+        mat.inner = OdssDss::new(0);
+        mat.dss_to_store.clear();
         let w = self.store.param_weight(alpha, beta);
-        for i in 0..self.store.slot_count() {
-            if !self.store.is_live(i) || self.store.weight_at(i) == 0 {
+        let mut rebuilt = 0u64;
+        for (h, wx) in self.store.iter_live() {
+            if wx == 0 {
                 continue;
             }
-            self.items_rematerialized += 1;
+            rebuilt += 1;
             let p = if w.is_zero() {
                 Ratio::one()
             } else {
-                Ratio::new(BigUint::from_u64(self.store.weight_at(i)).mul(w.den()), w.num().clone())
-                    .min_one()
+                Ratio::new(BigUint::from_u64(wx).mul(w.den()), w.num().clone()).min_one()
             };
-            let h = self.inner.insert(p);
-            debug_assert_eq!(h as usize, self.dss_to_store.len());
-            self.dss_to_store.push(i as u32);
+            let dh = mat.inner.insert(p);
+            debug_assert_eq!(dh as usize, mat.dss_to_store.len());
+            mat.dss_to_store.push(h.raw() as u32);
         }
-        self.mat_params = Some((alpha.clone(), beta.clone()));
+        self.items_rematerialized.fetch_add(rebuilt, AtomicOrdering::Relaxed);
+        mat.epoch = self.epoch;
+        mat.params = (alpha.clone(), beta.clone());
+    }
+
+    /// Re-materializations performed so far (convenience over the atomic).
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuild_count.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Items whose probability was recomputed so far.
+    pub fn rematerialized(&self) -> u64 {
+        self.items_rematerialized.load(AtomicOrdering::Relaxed)
     }
 }
 
 impl crate::SpaceUsage for OdssUnderDpss {
     fn space_words(&self) -> usize {
-        // The inner DSS stores one exact probability per item; its heap size
-        // is dominated by the shared denominator's limbs, accounted coarsely
-        // as 8 words per slot.
-        self.store.space_words()
-            + self.inner.len() * 8
-            + self.dss_to_store.capacity().div_ceil(2)
-            + 8
+        // The materialized inner DSS lives in caller contexts; one image of
+        // it (one exact probability per item, coarsely 8 words of shared-
+        // denominator limbs each, plus the handle map) is charged here so
+        // the space comparison stays honest about what a query needs.
+        self.store.space_words() + self.store.len() * 8 + self.store.len().div_ceil(2) + 8
     }
 }
 
 impl PssBackend for OdssUnderDpss {
     fn insert(&mut self, weight: u64) -> Handle {
-        let h = self.store.insert(weight);
-        self.mat_params = None; // W moved: every probability is stale
-        h
+        self.epoch += 1; // W moved: every probability is stale
+        self.store.insert(weight)
     }
 
     fn delete(&mut self, handle: Handle) -> bool {
         let ok = self.store.delete(handle);
         if ok {
-            self.mat_params = None;
+            self.epoch += 1;
         }
         ok
     }
 
-    fn query(&mut self, alpha: &Ratio, beta: &Ratio) -> Vec<Handle> {
-        let stale = match &self.mat_params {
-            Some((a, b)) => a.cmp(alpha) != Ordering::Equal || b.cmp(beta) != Ordering::Equal,
-            None => true,
-        };
+    fn query(&self, ctx: &mut QueryCtx, alpha: &Ratio, beta: &Ratio) -> Vec<Handle> {
+        let epoch = self.epoch;
+        let (rng, mat) = ctx.state(self.instance, || DssMat {
+            epoch: u64::MAX,
+            params: (Ratio::zero(), Ratio::zero()),
+            inner: OdssDss::new(0),
+            dss_to_store: Vec::new(),
+        });
+        let stale = mat.epoch != epoch
+            || mat.params.0.cmp(alpha) != Ordering::Equal
+            || mat.params.1.cmp(beta) != Ordering::Equal;
         if stale {
-            self.materialize(alpha, beta);
+            self.materialize(mat, alpha, beta);
         }
-        self.inner
-            .query()
-            .into_iter()
-            .map(|h| Handle::from_raw(self.dss_to_store[h as usize] as u64))
-            .collect()
+        let sampled = mat.inner.query_with(rng);
+        sampled.into_iter().map(|h| Handle::from_raw(mat.dss_to_store[h as usize] as u64)).collect()
     }
 
     fn len(&self) -> usize {
@@ -397,6 +458,14 @@ impl PssBackend for OdssUnderDpss {
 
     fn name(&self) -> &'static str {
         "odss-dss"
+    }
+
+    fn set_weight(&mut self, handle: Handle, new_weight: u64) -> Option<Handle> {
+        let old = self.store.set_weight(handle, new_weight)?;
+        if old != new_weight {
+            self.epoch += 1;
+        }
+        Some(handle)
     }
 }
 
@@ -549,6 +618,7 @@ mod tests {
     #[test]
     fn odss_under_dpss_marginals_and_rebuild_accounting() {
         let mut o = OdssUnderDpss::new(9);
+        let mut ctx = QueryCtx::new(9);
         let weights = [1u64, 5, 25, 125, 625];
         let handles: Vec<Handle> = weights.iter().map(|&w| o.insert(w)).collect();
         let total: u128 = weights.iter().map(|&w| w as u128).sum();
@@ -558,7 +628,7 @@ mod tests {
         let trials = 40_000u64;
         let mut hits = vec![0u64; handles.len()];
         for _ in 0..trials {
-            for h in o.query(&a, &b) {
+            for h in o.query(&mut ctx, &a, &b) {
                 hits[handles.iter().position(|&x| x == h).unwrap()] += 1;
             }
         }
@@ -566,25 +636,54 @@ mod tests {
             let z = binomial_z(hits[i], trials, w as f64 / total as f64);
             assert!(z.abs() < 5.0, "item {i}: z = {z}");
         }
-        // Repeated same-parameter queries must NOT rebuild.
-        assert_eq!(o.rebuild_count, 1);
-        assert_eq!(o.items_rematerialized, 5);
+        // Repeated same-parameter queries through one context must NOT
+        // rebuild.
+        assert_eq!(o.rebuilds(), 1);
+        assert_eq!(o.rematerialized(), 5);
 
         // One update forces a full Θ(n) re-materialization at next query.
         o.insert(3125);
-        let _ = o.query(&a, &b);
-        assert_eq!(o.rebuild_count, 2);
-        assert_eq!(o.items_rematerialized, 5 + 6);
+        let _ = o.query(&mut ctx, &a, &b);
+        assert_eq!(o.rebuilds(), 2);
+        assert_eq!(o.rematerialized(), 5 + 6);
+
+        // A reweight moves W too: the materialization is stale again.
+        let h0 = handles[0];
+        assert_eq!(o.set_weight(h0, 2), Some(h0), "store-native reweight keeps the handle");
+        let _ = o.query(&mut ctx, &a, &b);
+        assert_eq!(o.rebuilds(), 3);
     }
 
     #[test]
     fn odss_under_dpss_clamped_heavy_item() {
         let mut o = OdssUnderDpss::new(10);
+        let mut ctx = QueryCtx::new(10);
         o.insert(1);
         let heavy = o.insert(u64::MAX / 2);
         // β makes W small ⇒ heavy item clamps at p = 1.
-        let t = o.query(&Ratio::zero(), &Ratio::from_int(10));
+        let t = o.query(&mut ctx, &Ratio::zero(), &Ratio::from_int(10));
         assert!(t.contains(&heavy));
+    }
+
+    #[test]
+    fn query_with_matches_query_law_and_leaves_inner_rng_alone() {
+        // query_with draws only from the supplied stream: two equal streams
+        // produce identical samples regardless of the inner RNG's state.
+        use rand::SeedableRng;
+        let build = || {
+            let mut s = OdssDss::new(77);
+            for i in 1..=20u64 {
+                s.insert(Ratio::from_u64s(1, i + 1));
+            }
+            s
+        };
+        let (mut s1, mut s2) = (build(), build());
+        let _ = s1.query(); // perturb s1's internal rng only
+        let mut r1 = SmallRng::seed_from_u64(5);
+        let mut r2 = SmallRng::seed_from_u64(5);
+        for _ in 0..50 {
+            assert_eq!(s1.query_with(&mut r1), s2.query_with(&mut r2));
+        }
     }
 
     #[test]

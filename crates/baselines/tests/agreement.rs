@@ -3,7 +3,7 @@
 //! workloads. We check mean sample size against the exact μ over a grid of
 //! weight distributions and parameter points.
 
-use baselines::{all_backends, PssBackend};
+use baselines::{all_backends, PssBackend, QueryCtx};
 use bignum::Ratio;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -22,11 +22,12 @@ fn check_mean_size(
     for &w in weights {
         backend.insert(w);
     }
+    let mut ctx = QueryCtx::new(0xA9);
     let mu = mu_exact_f64(weights, alpha, beta);
     let mut total = 0u64;
     let mut total_sq = 0f64;
     for _ in 0..trials {
-        let k = backend.query(alpha, beta).len() as u64;
+        let k = backend.query(&mut ctx, alpha, beta).len() as u64;
         total += k;
         total_sq += (k * k) as f64;
     }
@@ -108,10 +109,11 @@ fn agreement_after_interleaved_updates() {
         let (a, bp) = alpha_for_mu(4, 1);
         let mu = mu_exact_f64(&ws, &a, &bp);
         let backend = &mut *b.borrow_mut();
+        let mut ctx = QueryCtx::new(0xB7);
         let trials = 1500u64;
         let mut total = 0u64;
         for _ in 0..trials {
-            total += backend.query(&a, &bp).len() as u64;
+            total += backend.query(&mut ctx, &a, &bp).len() as u64;
         }
         let mean = total as f64 / trials as f64;
         let z = (mean - mu) / (mu / trials as f64).sqrt();

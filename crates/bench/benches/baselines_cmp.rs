@@ -5,7 +5,7 @@ use baselines::all_backends;
 use bench::WeightDist;
 use bignum::Ratio;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pss_core::{Handle, PssBackend};
+use pss_core::{Handle, PssBackend, QueryCtx};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::time::Duration;
@@ -29,10 +29,11 @@ fn bench_query_only(c: &mut Criterion) {
     g.sample_size(10);
     let alpha = Ratio::from_u64s(1, 16);
     for backend in backends() {
-        let (mut backend, _) = loaded(backend);
-        let _ = backend.query(&alpha, &Ratio::zero()); // warm materialization
+        let (backend, _) = loaded(backend);
+        let mut ctx = QueryCtx::new(19);
+        let _ = backend.query(&mut ctx, &alpha, &Ratio::zero()); // warm materialization
         g.bench_function(BenchmarkId::from_parameter(backend.name()), |b| {
-            b.iter(|| backend.query(&alpha, &Ratio::zero()));
+            b.iter(|| backend.query(&mut ctx, &alpha, &Ratio::zero()));
         });
     }
     g.finish();
@@ -45,13 +46,15 @@ fn bench_mixed_round(c: &mut Criterion) {
     g.sample_size(10);
     for backend in backends() {
         let (mut backend, mut handles) = loaded(backend);
+        let mut ctx = QueryCtx::new(29);
         let mut rng = SmallRng::seed_from_u64(29);
         g.bench_function(BenchmarkId::from_parameter(backend.name()), |b| {
             b.iter(|| {
                 let i = rng.gen_range(0..handles.len());
                 backend.delete(handles[i]);
                 handles[i] = backend.insert(rng.gen_range(1..=1u64 << 40));
-                backend.query(&Ratio::from_u64s(1, rng.gen_range(2..64)), &Ratio::zero()).len()
+                let alpha = Ratio::from_u64s(1, rng.gen_range(2..64));
+                backend.query(&mut ctx, &alpha, &Ratio::zero()).len()
             });
         });
     }

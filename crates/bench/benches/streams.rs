@@ -15,7 +15,7 @@ use dpss::{DeamortizedDpss, DpssSampler};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::time::Duration;
-use workloads::updates::{LiveSet, Op, StreamKind, UpdateStream};
+use workloads::updates::{scale_weight, LiveSet, Op, StreamKind, UpdateStream};
 use workloads::weights::WeightDist;
 
 const DIST: WeightDist = WeightDist::Uniform { lo: 1, hi: 1 << 40 };
@@ -40,6 +40,13 @@ fn replay_halt(stream: &UpdateStream) -> usize {
             Op::DeleteOldest => {
                 s.delete(live.remove_oldest());
             }
+            Op::ScaleAllWeights { num, den } => {
+                // HALT's native in-place reweight: ids stay stable.
+                for &id in live.handles() {
+                    let w = s.weight(id).expect("live id");
+                    s.set_weight(id, scale_weight(w, num, den)).expect("live id");
+                }
+            }
         }
     }
     live.len()
@@ -60,6 +67,21 @@ fn replay_deamortized(stream: &UpdateStream) -> usize {
             Op::DeleteOldest => {
                 s.delete(live.remove_oldest());
             }
+            Op::ScaleAllWeights { num, den } => {
+                // The de-amortized structure uses the facade's default
+                // (delete + reinsert): adopt the re-issued handles.
+                use pss_core::PssBackend;
+                for h in live.handles_mut() {
+                    let w = s.weight(*h).expect("live handle");
+                    let nh = PssBackend::set_weight(
+                        &mut s,
+                        pss_core::Handle::from_raw(*h),
+                        scale_weight(w, num, den),
+                    )
+                    .expect("live handle");
+                    *h = nh.raw();
+                }
+            }
         }
     }
     live.len()
@@ -78,6 +100,14 @@ fn bench_streams(c: &mut Criterion) {
         ("sliding_window", make_stream(StreamKind::SlidingWindow { window: 1 << 12 }, 0, 60_000)),
         ("fifo_window", make_stream(StreamKind::Fifo { window: 1 << 12 }, 0, 60_000)),
         ("mixed_50_50", make_stream(StreamKind::Mixed { insert_permille: 500 }, 1 << 12, 60_000)),
+        (
+            "decayed",
+            make_stream(
+                StreamKind::Decayed { insert_permille: 520, scale_every: 512, num: 1, den: 2 },
+                1 << 12,
+                20_000,
+            ),
+        ),
     ];
     for (label, stream) in &cases {
         g.bench_with_input(BenchmarkId::new("halt_amortized", *label), stream, |b, s| {

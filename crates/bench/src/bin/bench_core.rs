@@ -2,22 +2,26 @@
 //!
 //! Measures insert / churn / delete / set_weight / query / batched-query
 //! throughput for every backend in the roster through the `pss-core` facade
-//! and writes `BENCH_core.json` (see `--out`), validated against schema v2
+//! and writes `BENCH_core.json` (see `--out`), validated against schema v3
 //! right after writing, so successive PRs accumulate a performance
 //! trajectory that scripts can diff and whose shape cannot silently drift.
-//! The snapshot also carries two structure-level observability blocks:
-//! HALT's `(α, β)` plan-cache hit/miss counters and a FIFO sliding-window
-//! replay (the first delete-dominated scenario). Human-readable numbers go
-//! to stdout as they are produced.
+//! Queries run through the shared-read surface (`&self` + `QueryCtx`); the
+//! snapshot carries four structure-level observability blocks: HALT's
+//! `(α, β)` plan-cache hit/miss counters, a FIFO sliding-window replay, the
+//! decayed-weight replay (periodic `ScaleAllWeights`, the `set_weight`-heavy
+//! stream), and the `query_par` block comparing sequential `query_many`
+//! against the `ShardedQuery` parallel front-end (whose results are asserted
+//! bit-identical before timing). Human-readable numbers go to stdout as they
+//! are produced.
 //!
 //! Usage: `cargo run --release -p bench --bin bench_core [-- --out PATH
-//! --n ITEMS --quick]`
+//! --n ITEMS --threads T --quick]`
 
 use baselines::all_backends;
 use bench::{fmt_secs, time, time_per};
 use bignum::Ratio;
 use dpss::DpssSampler;
-use pss_core::Handle;
+use pss_core::{Handle, PssBackend, QueryCtx, ShardedQuery};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use workloads::drive::replay_stream;
@@ -52,6 +56,9 @@ fn measure(seed: u64, n: usize, quick: bool) -> Vec<Row> {
     for backend in all_backends(seed ^ 0xB0C4).iter_mut() {
         let name = backend.name();
         let linear_per_query = name.starts_with("naive") || name.starts_with("odss");
+        // One caller-owned context per backend: all query randomness and
+        // cached read-path state (plan caches, materializations) live here.
+        let mut ctx = QueryCtx::new(seed ^ 0xC0FE);
 
         // Insert: time loading the full item set, keeping the handles.
         let mut handles: Vec<Handle> = Vec::with_capacity(n);
@@ -85,8 +92,8 @@ fn measure(seed: u64, n: usize, quick: bool) -> Vec<Row> {
         }
 
         // set_weight: in-place reweighting where the backend supports it
-        // (HALT), delete+reinsert otherwise — always adopting the returned
-        // handle, exactly like a caller must.
+        // (HALT and every Store-backed baseline), delete+reinsert otherwise —
+        // always adopting the returned handle, exactly like a caller must.
         let sw_reps = if quick { (n / 8).max(1) } else { n };
         let per_set_weight = time_per(sw_reps, || {
             let j = rng.gen_range(0..handles.len());
@@ -97,7 +104,7 @@ fn measure(seed: u64, n: usize, quick: bool) -> Vec<Row> {
         // Query at fixed parameters (μ ≈ 16). The DSS-style backends
         // materialize once, then answer output-sensitively — that warm cost
         // is real but belongs to the mixed-round number below.
-        let _ = backend.query(&alpha, &beta);
+        let _ = backend.query(&mut ctx, &alpha, &beta);
         let q_reps = if quick {
             20
         } else if linear_per_query {
@@ -105,11 +112,12 @@ fn measure(seed: u64, n: usize, quick: bool) -> Vec<Row> {
         } else {
             2_000
         };
-        let per_query = time_per(q_reps, || backend.query(&alpha, &beta).len());
+        let per_query = time_per(q_reps, || backend.query(&mut ctx, &alpha, &beta).len());
 
         // Batched queries through the `query_many` facade entry point: 16
         // parameter pairs per call, reported per query. HALT's plan cache
-        // amortizes W/threshold/accelerator setup across the batch.
+        // (living in the context) amortizes W/threshold/accelerator setup
+        // across the batch.
         let batch: Vec<(Ratio, Ratio)> =
             (0..16u64).map(|i| (Ratio::from_u64s(1, 8 + i), Ratio::zero())).collect();
         let b_reps = if quick {
@@ -119,10 +127,10 @@ fn measure(seed: u64, n: usize, quick: bool) -> Vec<Row> {
         } else {
             200
         };
-        let _ = backend.query_many(&batch); // warm
-        let per_batch_query =
-            time_per(b_reps, || backend.query_many(&batch).iter().map(Vec::len).sum::<usize>())
-                / batch.len() as f64;
+        let _ = backend.query_many(&mut ctx, &batch); // warm
+        let per_batch_query = time_per(b_reps, || {
+            backend.query_many(&mut ctx, &batch).iter().map(Vec::len).sum::<usize>()
+        }) / batch.len() as f64;
 
         // Mixed round: one update + one fresh-parameter query — the regime
         // where DSS-under-DPSS pays its Θ(n) re-materialization.
@@ -139,7 +147,7 @@ fn measure(seed: u64, n: usize, quick: bool) -> Vec<Row> {
             backend.delete(handles[j]);
             handles[j] = backend.insert(rng.gen_range(1..=1u64 << 30));
             k = if k >= 64 { 2 } else { k + 1 };
-            backend.query(&Ratio::from_u64s(1, k), &beta).len()
+            backend.query(&mut ctx, &Ratio::from_u64s(1, k), &beta).len()
         });
 
         println!(
@@ -172,17 +180,18 @@ fn measure(seed: u64, n: usize, quick: bool) -> Vec<Row> {
 /// Snapshots HALT's `(α, β)` plan-cache counters under the batched query
 /// workload: 16 distinct pairs driven 4 times on a static item set should
 /// cost 16 misses and 48 hits; a mutation between rounds invalidates the
-/// epoch and costs a fresh batch of misses.
+/// epoch and costs a fresh batch of misses. Uses the legacy convenience
+/// surface, whose internal default context the stats read.
 fn plan_cache_probe(seed: u64, n: usize, weights: &[u64]) -> (u64, u64) {
     let (mut s, ids) = DpssSampler::from_weights(weights, seed);
     let batch: Vec<(Ratio, Ratio)> =
         (0..16u64).map(|i| (Ratio::from_u64s(1, 8 + i), Ratio::zero())).collect();
     for _ in 0..4 {
-        let _ = s.query_many(&batch);
+        let _ = DpssSampler::query_many(&mut s, &batch);
     }
     // One mutation, one more batch: all misses again (epoch invalidation).
-    let _ = s.set_weight(ids[n / 2], 12345);
-    let _ = s.query_many(&batch);
+    let _ = DpssSampler::set_weight(&mut s, ids[n / 2], 12345);
+    let _ = DpssSampler::query_many(&mut s, &batch);
     s.plan_cache_stats()
 }
 
@@ -196,14 +205,74 @@ fn fifo_window_probe(seed: u64, n: usize, quick: bool) -> (usize, f64) {
     let dist = WeightDist::Uniform { lo: 1, hi: 1 << 30 };
     let stream = UpdateStream::generate(StreamKind::Fifo { window }, 0, ops, dist, &mut rng);
     let mut backend = DpssSampler::new(seed ^ 0xF1F1);
-    let (report, secs) = time(|| replay_stream(&mut backend, &stream, None));
+    let mut ctx = QueryCtx::new(seed ^ 0xF1F2);
+    let (report, secs) = time(|| replay_stream(&mut backend, &mut ctx, &stream, None));
     (window, (report.inserts + report.deletes) as f64 / secs)
+}
+
+/// Replays the decayed-weight stream (mixed churn + periodic
+/// `ScaleAllWeights` halving every live weight) into a fresh HALT sampler
+/// and reports update ops per second (inserts + deletes + individual
+/// reweights) — the end-to-end scenario where `set_weight` cost dominates.
+fn decayed_probe(seed: u64, n: usize, quick: bool) -> (usize, f64) {
+    let scale_every = (n / 16).max(16);
+    let ops = if quick { n } else { 4 * n };
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xDECA);
+    let dist = WeightDist::Uniform { lo: 1 << 10, hi: 1 << 30 };
+    let kind = StreamKind::Decayed { insert_permille: 520, scale_every, num: 1, den: 2 };
+    let stream = UpdateStream::generate(kind, n / 4, ops, dist, &mut rng);
+    let mut backend = DpssSampler::new(seed ^ 0xDECB);
+    let mut ctx = QueryCtx::new(seed ^ 0xDECC);
+    let (report, secs) = time(|| replay_stream(&mut backend, &mut ctx, &stream, None));
+    (scale_every, (report.inserts + report.deletes + report.reweights) as f64 / secs)
+}
+
+/// Times sequential `query_many` against the `ShardedQuery` parallel
+/// front-end on an n-item HALT sampler with a μ≈16 batch, after asserting
+/// the two produce bit-identical results. Returns `(threads, sequential
+/// queries/s, parallel queries/s)` — on a single-core host the "parallel"
+/// number honestly degrades to sequential-plus-spawn-overhead; the speedup
+/// is `min(threads, cores)`-bound on real hardware.
+fn query_par_probe(seed: u64, n: usize, threads: usize, quick: bool) -> (usize, f64, f64) {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9A7);
+    let weights = WeightDist::Zipf { s_num: 2, s_den: 1, w_max: 1 << 30 }.generate(n, &mut rng);
+    let (s, _) = DpssSampler::from_weights(&weights, seed ^ 0x9A8);
+    let batch_len = if quick { 64u64 } else { 256 };
+    let batch: Vec<(Ratio, Ratio)> =
+        (0..batch_len).map(|i| (Ratio::from_u64s(1, 8 + (i % 16)), Ratio::zero())).collect();
+
+    // Determinism gate: the sharded result must be bit-identical to the
+    // sequential one before any throughput is recorded.
+    let mut check_ctx = QueryCtx::new(seed);
+    let seq_out = PssBackend::query_many(&s, &mut check_ctx, &batch);
+    let mut check_sharded = ShardedQuery::new(seed, threads);
+    assert_eq!(
+        check_sharded.query_many(&s, &batch),
+        seq_out,
+        "sharded query_many diverged from sequential"
+    );
+
+    let reps = if quick { 3 } else { 10 };
+    let mut seq_ctx = QueryCtx::new(seed ^ 1);
+    let _ = PssBackend::query_many(&s, &mut seq_ctx, &batch); // warm plans
+    let per_seq = time_per(reps, || {
+        PssBackend::query_many(&s, &mut seq_ctx, &batch).iter().map(Vec::len).sum::<usize>()
+    }) / batch.len() as f64;
+
+    let mut sharded = ShardedQuery::new(seed ^ 2, threads);
+    let _ = sharded.query_many(&s, &batch); // warm per-worker plans
+    let per_par =
+        time_per(reps, || sharded.query_many(&s, &batch).iter().map(Vec::len).sum::<usize>())
+            / batch.len() as f64;
+
+    (threads, 1.0 / per_seq, 1.0 / per_par)
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = "BENCH_core.json".to_string();
     let mut n = 1usize << 14;
+    let mut threads = 8usize;
     let mut quick = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -213,8 +282,12 @@ fn main() {
                 n = it.next().expect("--n ITEMS").parse().expect("integer n");
                 assert!(n >= 1, "--n must be at least 1");
             }
+            "--threads" => {
+                threads = it.next().expect("--threads T").parse().expect("integer threads");
+                assert!(threads >= 1, "--threads must be at least 1");
+            }
             "--quick" => quick = true,
-            other => panic!("unknown argument {other} (expected --out/--n/--quick)"),
+            other => panic!("unknown argument {other} (expected --out/--n/--threads/--quick)"),
         }
     }
 
@@ -227,16 +300,31 @@ fn main() {
     println!("\nplan cache probe: {hits} hits / {misses} misses (expect 48 / 32)");
     let (fifo_window, fifo_ops) = fifo_window_probe(42, n, quick);
     println!("fifo window (w={fifo_window}): {fifo_ops:.0} update ops/s on halt");
+    let (scale_every, decayed_ops) = decayed_probe(42, n, quick);
+    println!("decayed weights (scale_every={scale_every}): {decayed_ops:.0} update ops/s on halt");
+    let (threads, seq_qps, par_qps) = query_par_probe(42, n, threads, quick);
+    let speedup = par_qps / seq_qps;
+    println!(
+        "query_par ({threads} threads, bit-identical checked): \
+         seq {seq_qps:.0} q/s, sharded {par_qps:.0} q/s — {speedup:.2}x"
+    );
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": 2,\n");
+    json.push_str("  \"schema\": 3,\n");
     json.push_str(&format!("  \"n_items\": {n},\n"));
     json.push_str(&format!("  \"quick\": {quick},\n"));
     json.push_str("  \"unit\": \"ops_per_sec\",\n");
     json.push_str(&format!("  \"plan_cache\": {{\"hits\": {hits}, \"misses\": {misses}}},\n"));
     json.push_str(&format!(
         "  \"fifo_window\": {{\"window\": {fifo_window}, \"ops_per_sec\": {fifo_ops:.1}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"decayed\": {{\"scale_every\": {scale_every}, \"ops_per_sec\": {decayed_ops:.1}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"query_par\": {{\"threads\": {threads}, \"seq_ops_per_sec\": {seq_qps:.1}, \
+         \"par_ops_per_sec\": {par_qps:.1}, \"speedup\": {speedup:.3}}},\n"
     ));
     json.push_str("  \"backends\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -261,7 +349,7 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write BENCH_core.json");
     // Self-validate the snapshot so a shape regression fails the run (and
     // CI's --quick smoke step) instead of silently breaking the trajectory.
-    bench::schema::validate_bench_core_v2(&json)
-        .unwrap_or_else(|e| panic!("emitted snapshot violates schema v2: {e}"));
-    println!("\nwrote {out_path} (schema v2 OK)");
+    bench::schema::validate_bench_core_v3(&json)
+        .unwrap_or_else(|e| panic!("emitted snapshot violates schema v3: {e}"));
+    println!("\nwrote {out_path} (schema v3 OK)");
 }

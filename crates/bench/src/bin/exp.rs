@@ -202,12 +202,13 @@ fn e5_baselines() {
     let alpha = Ratio::from_u64s(1, 16);
     let mut base = None;
     for backend in all_backends(19).iter_mut() {
+        let mut ctx = pss_core::QueryCtx::new(19);
         for &w in &weights {
             backend.insert(w);
         }
-        let _ = backend.query(&alpha, &Ratio::zero()); // warm (odss materializes)
+        let _ = backend.query(&mut ctx, &alpha, &Ratio::zero()); // warm (odss materializes)
         let reps = if backend.name().starts_with("naive") { 60 } else { 2000 };
-        let per = time_per(reps, || backend.query(&alpha, &Ratio::zero()));
+        let per = time_per(reps, || backend.query(&mut ctx, &alpha, &Ratio::zero()));
         let b = *base.get_or_insert(per);
         row(&[backend.name().into(), fmt_secs(per), format!("{:.1}x", per / b)]);
     }
@@ -215,6 +216,7 @@ fn e5_baselines() {
     header(&["backend", "time/round", "vs halt"]);
     let mut base = None;
     for backend in all_backends(23).iter_mut() {
+        let mut ctx = pss_core::QueryCtx::new(23);
         let mut handles: Vec<pss_core::Handle> =
             weights.iter().map(|&w| backend.insert(w)).collect();
         let mut rng = SmallRng::seed_from_u64(29);
@@ -224,7 +226,7 @@ fn e5_baselines() {
             backend.delete(handles[i]);
             handles[i] = backend.insert(rng.gen_range(1..=1u64 << 40));
             let alpha = Ratio::from_u64s(1, rng.gen_range(2..64));
-            backend.query(&alpha, &Ratio::zero()).len()
+            backend.query(&mut ctx, &alpha, &Ratio::zero()).len()
         });
         let b = *base.get_or_insert(per);
         row(&[backend.name().into(), fmt_secs(per), format!("{:.1}x", per / b)]);
@@ -488,6 +490,7 @@ fn e3b_streams() {
                         Op::DeleteOldest => {
                             s.delete(live.remove_oldest());
                         }
+                        Op::ScaleAllWeights { .. } => unreachable!("e3b streams never scale"),
                     }
                     lat.push(t0.elapsed().as_secs_f64());
                 }
@@ -521,6 +524,7 @@ fn e3b_streams() {
                         Op::DeleteOldest => {
                             s.delete(live.remove_oldest());
                         }
+                        Op::ScaleAllWeights { .. } => unreachable!("e3b streams never scale"),
                     }
                     lat.push(t0.elapsed().as_secs_f64());
                 }

@@ -7,12 +7,14 @@
 //! so the emitter validates its own output against schema v2 right after
 //! writing, and CI runs the same check on the `--quick` smoke snapshot.
 //!
-//! Schema v2 (this PR) extends v1 with per-backend `delete` and
-//! `set_weight` throughput — making the update-path work visible in the
-//! trajectory — plus two observability blocks: `plan_cache`
-//! (hit/miss counters of HALT's `(α, β)` query-plan cache) and
-//! `fifo_window` (update throughput of the exact-FIFO sliding-window
-//! replay, the first delete-dominated scenario).
+//! Schema history: v2 extended v1 with per-backend `delete`/`set_weight`
+//! throughput plus the `plan_cache` and `fifo_window` observability blocks.
+//! Schema v3 (this PR) adds two more blocks for the query-API redesign:
+//! `query_par` (threads, sequential and sharded `query_many` throughput,
+//! and the parallel speedup of `ShardedQuery` — recorded honestly even on
+//! single-core hosts where it degrades to ≈1×) and `decayed` (update
+//! throughput of the decayed-weight stream, whose periodic
+//! `ScaleAllWeights` makes `set_weight` cost visible end-to-end).
 //!
 //! The workspace is offline (no serde), so this carries a deliberately tiny
 //! recursive-descent JSON reader: objects, arrays, strings (with escapes),
@@ -233,7 +235,7 @@ fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-/// Per-backend numeric throughput fields required by schema v2.
+/// Per-backend numeric throughput fields required by schema v3.
 pub const BACKEND_RATE_FIELDS: [&str; 7] =
     ["insert", "churn_pair", "delete", "set_weight", "query_mu16", "query_batch16", "mixed_round"];
 
@@ -249,23 +251,27 @@ fn require_num(obj: &Json, field: &str, min: f64, path: &str) -> Result<f64, Str
     Ok(v)
 }
 
-/// Validates a `BENCH_core.json` document against schema v2:
+/// Validates a `BENCH_core.json` document against schema v3:
 ///
-/// - top level: `schema == 2`, integer `n_items ≥ 1`, boolean `quick`,
+/// - top level: `schema == 3`, integer `n_items ≥ 1`, boolean `quick`,
 ///   `unit == "ops_per_sec"`, non-empty `backends` array;
 /// - `plan_cache`: finite non-negative `hits` and `misses`;
 /// - `fifo_window`: integer `window ≥ 1` and finite non-negative
+///   `ops_per_sec`;
+/// - `query_par`: integer `threads ≥ 1`, finite non-negative
+///   `seq_ops_per_sec` and `par_ops_per_sec`, finite non-negative `speedup`;
+/// - `decayed`: integer `scale_every ≥ 1` and finite non-negative
 ///   `ops_per_sec`;
 /// - each backend: non-empty string `name`, finite non-negative numbers for
 ///   every field in [`BACKEND_RATE_FIELDS`] plus `space_words`.
 ///
 /// Unknown extra fields are allowed (forward-compatible); missing or
 /// mistyped required fields are errors naming the offending path.
-pub fn validate_bench_core_v2(text: &str) -> Result<(), String> {
+pub fn validate_bench_core_v3(text: &str) -> Result<(), String> {
     let doc = parse(text)?;
     let schema = doc.get("schema").and_then(Json::as_num).ok_or("missing numeric 'schema'")?;
-    if schema != 2.0 {
-        return Err(format!("schema version {schema} is not 2"));
+    if schema != 3.0 {
+        return Err(format!("schema version {schema} is not 3"));
     }
     let n_items = doc.get("n_items").and_then(Json::as_num).ok_or("missing numeric 'n_items'")?;
     if n_items < 1.0 || n_items.fract() != 0.0 {
@@ -286,6 +292,20 @@ pub fn validate_bench_core_v2(text: &str) -> Result<(), String> {
         return Err(format!("fifo_window: 'window' = {window} is not an integer"));
     }
     require_num(fw, "ops_per_sec", 0.0, "fifo_window")?;
+    let qp = doc.get("query_par").ok_or("missing object 'query_par'")?;
+    let threads = require_num(qp, "threads", 1.0, "query_par")?;
+    if threads.fract() != 0.0 {
+        return Err(format!("query_par: 'threads' = {threads} is not an integer"));
+    }
+    require_num(qp, "seq_ops_per_sec", 0.0, "query_par")?;
+    require_num(qp, "par_ops_per_sec", 0.0, "query_par")?;
+    require_num(qp, "speedup", 0.0, "query_par")?;
+    let dc = doc.get("decayed").ok_or("missing object 'decayed'")?;
+    let scale_every = require_num(dc, "scale_every", 1.0, "decayed")?;
+    if scale_every.fract() != 0.0 {
+        return Err(format!("decayed: 'scale_every' = {scale_every} is not an integer"));
+    }
+    require_num(dc, "ops_per_sec", 0.0, "decayed")?;
     let backends = match doc.get("backends") {
         Some(Json::Arr(rows)) if !rows.is_empty() => rows,
         Some(Json::Arr(_)) => return Err("'backends' is empty".into()),
@@ -311,9 +331,12 @@ mod tests {
     use super::*;
 
     const GOOD: &str = r#"{
-      "schema": 2, "n_items": 4096, "quick": true, "unit": "ops_per_sec",
+      "schema": 3, "n_items": 4096, "quick": true, "unit": "ops_per_sec",
       "plan_cache": {"hits": 48, "misses": 32},
       "fifo_window": {"window": 1024, "ops_per_sec": 5.0e6},
+      "query_par": {"threads": 8, "seq_ops_per_sec": 5.0e4,
+                    "par_ops_per_sec": 1.5e5, "speedup": 3.0},
+      "decayed": {"scale_every": 256, "ops_per_sec": 2.0e6},
       "backends": [
         {"name": "halt", "insert": 1.5e6, "churn_pair": 2.0, "delete": 6.0,
          "set_weight": 7.0, "query_mu16": 3.0,
@@ -323,43 +346,64 @@ mod tests {
 
     #[test]
     fn accepts_a_valid_snapshot() {
-        validate_bench_core_v2(GOOD).unwrap();
+        validate_bench_core_v3(GOOD).unwrap();
     }
 
     #[test]
     fn rejects_shape_drift() {
         // Wrong version.
-        assert!(validate_bench_core_v2(&GOOD.replace("\"schema\": 2", "\"schema\": 1")).is_err());
+        assert!(validate_bench_core_v3(&GOOD.replace("\"schema\": 3", "\"schema\": 2")).is_err());
         // Missing v1 field.
-        assert!(validate_bench_core_v2(&GOOD.replace("\"query_mu16\": 3.0,", "")).is_err());
+        assert!(validate_bench_core_v3(&GOOD.replace("\"query_mu16\": 3.0,", "")).is_err());
         // Missing v2 update-path field.
-        assert!(validate_bench_core_v2(&GOOD.replace("\"delete\": 6.0,", "")).is_err());
-        assert!(validate_bench_core_v2(&GOOD.replace("\"set_weight\": 7.0,", "")).is_err());
+        assert!(validate_bench_core_v3(&GOOD.replace("\"delete\": 6.0,", "")).is_err());
+        assert!(validate_bench_core_v3(&GOOD.replace("\"set_weight\": 7.0,", "")).is_err());
         // Missing observability blocks.
-        assert!(validate_bench_core_v2(
+        assert!(validate_bench_core_v3(
             &GOOD.replace("\"plan_cache\": {\"hits\": 48, \"misses\": 32},", "")
         )
         .is_err());
-        assert!(validate_bench_core_v2(
+        assert!(validate_bench_core_v3(
             &GOOD.replace("\"fifo_window\": {\"window\": 1024, \"ops_per_sec\": 5.0e6},", "")
         )
         .is_err());
-        // Fractional window.
+        // Missing v3 blocks.
+        assert!(validate_bench_core_v3(
+            &GOOD.replace(
+                "\"query_par\": {\"threads\": 8, \"seq_ops_per_sec\": 5.0e4,\n                    \"par_ops_per_sec\": 1.5e5, \"speedup\": 3.0},",
+                ""
+            )
+        )
+        .is_err());
+        assert!(validate_bench_core_v3(
+            &GOOD.replace("\"decayed\": {\"scale_every\": 256, \"ops_per_sec\": 2.0e6},", "")
+        )
+        .is_err());
+        // Missing field inside a v3 block.
+        assert!(validate_bench_core_v3(&GOOD.replace("\"speedup\": 3.0", "\"speedup\": \"3x\""))
+            .is_err());
+        // Fractional integers.
         assert!(
-            validate_bench_core_v2(&GOOD.replace("\"window\": 1024", "\"window\": 2.5")).is_err()
+            validate_bench_core_v3(&GOOD.replace("\"window\": 1024", "\"window\": 2.5")).is_err()
+        );
+        assert!(
+            validate_bench_core_v3(&GOOD.replace("\"threads\": 8", "\"threads\": 1.5")).is_err()
         );
         // String where a number belongs.
-        assert!(validate_bench_core_v2(&GOOD.replace("\"insert\": 1.5e6", "\"insert\": \"fast\""))
+        assert!(validate_bench_core_v3(&GOOD.replace("\"insert\": 1.5e6", "\"insert\": \"fast\""))
             .is_err());
         // Empty roster.
-        let empty = r#"{"schema": 2, "n_items": 1, "quick": false,
+        let empty = r#"{"schema": 3, "n_items": 1, "quick": false,
                         "unit": "ops_per_sec",
                         "plan_cache": {"hits": 0, "misses": 0},
                         "fifo_window": {"window": 16, "ops_per_sec": 1.0},
+                        "query_par": {"threads": 1, "seq_ops_per_sec": 1.0,
+                                      "par_ops_per_sec": 1.0, "speedup": 1.0},
+                        "decayed": {"scale_every": 16, "ops_per_sec": 1.0},
                         "backends": []}"#;
-        assert!(validate_bench_core_v2(empty).is_err());
+        assert!(validate_bench_core_v3(empty).is_err());
         // Not JSON at all.
-        assert!(validate_bench_core_v2("{").is_err());
+        assert!(validate_bench_core_v3("{").is_err());
     }
 
     #[test]
@@ -380,9 +424,9 @@ mod tests {
 
     #[test]
     fn committed_snapshot_is_valid() {
-        // The repository's own BENCH_core.json must always pass schema v2.
+        // The repository's own BENCH_core.json must always pass schema v3.
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_core.json");
         let text = std::fs::read_to_string(path).expect("committed BENCH_core.json");
-        validate_bench_core_v2(&text).expect("committed snapshot violates schema v2");
+        validate_bench_core_v3(&text).expect("committed snapshot violates schema v3");
     }
 }

@@ -8,6 +8,12 @@
 //! - [`DpssSampler`] — the paper's structure, O(1) *amortized* updates;
 //! - [`DeamortizedDpss`] — worst-case O(1) structure work per update.
 //!
+//! Queries go through the shared-read surface (`&self` + [`QueryCtx`]):
+//! the trait's `query`/`query_many` delegate to
+//! [`DpssSampler::query_in`] / [`DeamortizedDpss::query_in`], so one shared
+//! sampler can serve many contexts — including `pss_core::ShardedQuery`'s
+//! thread-per-chunk workers.
+//!
 //! Handles are the samplers' own ids re-wrapped as the opaque
 //! [`pss_core::Handle`]; both directions are free (`raw`/`from_raw`).
 
@@ -15,10 +21,9 @@ use crate::deamortized::DeamortizedDpss;
 use crate::item::ItemId;
 use crate::sampler::DpssSampler;
 use bignum::Ratio;
-use pss_core::{Handle, PssBackend, SeedableBackend};
-use rand::RngCore;
+use pss_core::{Handle, PssBackend, QueryCtx, SeedableBackend};
 
-impl<R: RngCore> PssBackend for DpssSampler<R> {
+impl PssBackend for DpssSampler {
     fn insert(&mut self, weight: u64) -> Handle {
         Handle::from_raw(DpssSampler::insert(self, weight).raw())
     }
@@ -27,16 +32,17 @@ impl<R: RngCore> PssBackend for DpssSampler<R> {
         DpssSampler::delete(self, ItemId::from_raw(handle.raw())).is_some()
     }
 
-    fn query(&mut self, alpha: &Ratio, beta: &Ratio) -> Vec<Handle> {
-        DpssSampler::query(self, alpha, beta)
+    fn query(&self, ctx: &mut QueryCtx, alpha: &Ratio, beta: &Ratio) -> Vec<Handle> {
+        DpssSampler::query_in(self, ctx, alpha, beta)
             .into_iter()
             .map(|id| Handle::from_raw(id.raw()))
             .collect()
     }
 
-    // `query_many` deliberately uses the trait's default loop: the (α, β)
-    // plan cache inside `DpssSampler::query` already gives batches their
-    // cross-query reuse, so an override would duplicate the default verbatim.
+    // `query_many` deliberately uses the trait's default batch-stream loop:
+    // the per-context (α, β) plan cache inside `query_in` already gives
+    // batches their cross-query reuse, so an override would duplicate the
+    // default verbatim.
 
     fn len(&self) -> usize {
         DpssSampler::len(self)
@@ -71,18 +77,17 @@ impl PssBackend for DeamortizedDpss {
         DeamortizedDpss::delete(self, handle.raw()).is_some()
     }
 
-    fn query(&mut self, alpha: &Ratio, beta: &Ratio) -> Vec<Handle> {
-        DeamortizedDpss::query(self, alpha, beta).into_iter().map(Handle::from_raw).collect()
-    }
-
-    fn query_many(&mut self, params: &[(Ratio, Ratio)]) -> Vec<Vec<Handle>> {
-        // Native batched entry: one exact Σw conversion serves the batch and
-        // both migration halves share each pair's W.
-        DeamortizedDpss::query_many(self, params)
+    fn query(&self, ctx: &mut QueryCtx, alpha: &Ratio, beta: &Ratio) -> Vec<Handle> {
+        DeamortizedDpss::query_in(self, ctx, alpha, beta)
             .into_iter()
-            .map(|hs| hs.into_iter().map(Handle::from_raw).collect())
+            .map(Handle::from_raw)
             .collect()
     }
+
+    // `query_many` uses the trait's default batch-stream loop. The per-query
+    // Σw → BigUint conversion the legacy batched entry hoisted is a handful
+    // of word ops — not worth deviating from the shared stream discipline
+    // that keeps `ShardedQuery` bit-identical to the sequential path.
 
     fn len(&self) -> usize {
         DeamortizedDpss::len(self)
@@ -111,18 +116,37 @@ mod tests {
 
     #[test]
     fn both_halt_variants_work_as_trait_objects() {
+        let mut ctx = QueryCtx::new(11);
         for mut backend in [boxed::<DpssSampler>(7), boxed::<DeamortizedDpss>(7)] {
             let h1 = backend.insert(10);
             let h2 = backend.insert(30);
             assert_eq!(backend.len(), 2);
             assert_eq!(backend.total_weight(), 40);
             assert!(backend.space_words() > 0);
-            let t = backend.query(&Ratio::one(), &Ratio::zero());
+            let t = backend.query(&mut ctx, &Ratio::one(), &Ratio::zero());
             assert!(t.iter().all(|h| *h == h1 || *h == h2));
             assert!(backend.delete(h1));
             assert!(!backend.delete(h1), "{}: stale delete", backend.name());
             assert_eq!(backend.len(), 1);
         }
+    }
+
+    #[test]
+    fn shared_receiver_queries_share_one_sampler() {
+        // The point of the redesign: two contexts, one `&` sampler.
+        let mut s = DpssSampler::new(3);
+        for w in [1u64, 2, 4, 8, 1 << 20] {
+            PssBackend::insert(&mut s, w);
+        }
+        let shared = &s;
+        let mut a = QueryCtx::new(1);
+        let mut b = QueryCtx::new(2);
+        let ta = shared.query(&mut a, &Ratio::one(), &Ratio::zero());
+        let tb = shared.query(&mut b, &Ratio::one(), &Ratio::zero());
+        assert!(ta.iter().chain(&tb).all(|h| s.contains(crate::ItemId::from_raw(h.raw()))));
+        // Same seed, same call sequence ⇒ same bits.
+        let mut c = QueryCtx::new(1);
+        assert_eq!(shared.query(&mut c, &Ratio::one(), &Ratio::zero()), ta);
     }
 
     #[test]

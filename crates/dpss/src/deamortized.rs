@@ -30,13 +30,14 @@
 //! During a migration epoch items live in either the old or the new sampler.
 //! Queries stay exact because the PSS probability only depends on the *global*
 //! `W = α·(Σw_old + Σw_new) + β`: both halves are queried with the shared `W`
-//! via [`DpssSampler::query_with_total`], and the union of two independent
+//! via [`DpssSampler::query_with_total_in`], and the union of two independent
 //! per-item Bernoulli processes over a partition of `S` is exactly the PSS
 //! process over `S`.
 
 use crate::item::ItemId;
 use crate::sampler::DpssSampler;
 use bignum::{BigUint, Ratio};
+use pss_core::QueryCtx;
 
 /// Items migrated from the old to the new structure per update during an
 /// epoch. Any constant ≥ 3 suffices for the standard doubling analysis
@@ -111,6 +112,8 @@ pub struct DeamortizedDpss {
     /// Incremented each time an epoch *opens*; stamps new-resident entries.
     epoch: u64,
     epochs_done: u64,
+    /// Internal default context backing the legacy `&mut self` query surface.
+    ctx: QueryCtx,
 }
 
 impl DeamortizedDpss {
@@ -131,6 +134,7 @@ impl DeamortizedDpss {
             seed,
             epoch: 0,
             epochs_done: 0,
+            ctx: QueryCtx::new(seed),
         }
     }
 
@@ -250,20 +254,43 @@ impl DeamortizedDpss {
         w
     }
 
-    /// One PSS query with parameters `(α, β)` over the union of both halves.
-    /// O(1 + μ) expected — handle translation is by dense reverse maps.
-    pub fn query(&mut self, alpha: &Ratio, beta: &Ratio) -> Vec<Handle> {
+    /// One PSS query with parameters `(α, β)` over the union of both halves
+    /// on a **shared** receiver, drawing randomness and read-path state from
+    /// `ctx`. O(1 + μ) expected — handle translation is by dense reverse
+    /// maps.
+    pub fn query_in(&self, ctx: &mut QueryCtx, alpha: &Ratio, beta: &Ratio) -> Vec<Handle> {
         let total = BigUint::from_u128(self.total_weight());
-        self.query_with_shared_total(alpha, beta, &total)
+        self.query_with_shared_total(ctx, alpha, beta, &total)
     }
 
-    /// Answers a batch of PSS queries, one result per `(α, β)` pair —
-    /// semantically a loop of [`DeamortizedDpss::query`], with the exact
+    /// Runs `f` with the internal default context moved out of `self` (the
+    /// borrow-splitting step the legacy `&mut self` wrappers need). A panic
+    /// inside `f` leaves the field as a seed-0 default — acceptable, since a
+    /// panicking query is a bug and the suites abort.
+    fn with_default_ctx<T>(&mut self, f: impl FnOnce(&Self, &mut QueryCtx) -> T) -> T {
+        let mut ctx = std::mem::take(&mut self.ctx);
+        let out = f(self, &mut ctx);
+        self.ctx = ctx;
+        out
+    }
+
+    /// Legacy convenience: [`DeamortizedDpss::query_in`] over the internal
+    /// default context (seeded at construction).
+    pub fn query(&mut self, alpha: &Ratio, beta: &Ratio) -> Vec<Handle> {
+        self.with_default_ctx(|s, ctx| s.query_in(ctx, alpha, beta))
+    }
+
+    /// Legacy convenience: a batch of PSS queries on the internal default
+    /// context — a loop of [`DeamortizedDpss::query`] with the exact
     /// total-weight conversion hoisted out of the batch (queries never change
-    /// the weights, so one `Σw` serves every pair).
+    /// the weights, so one `Σw` serves every pair). The shared-read
+    /// `PssBackend::query_many` default instead derives an independent stream
+    /// per index; both produce the same law.
     pub fn query_many(&mut self, params: &[(Ratio, Ratio)]) -> Vec<Vec<Handle>> {
         let total = BigUint::from_u128(self.total_weight());
-        params.iter().map(|(a, b)| self.query_with_shared_total(a, b, &total)).collect()
+        self.with_default_ctx(|s, ctx| {
+            params.iter().map(|(a, b)| s.query_with_shared_total(ctx, a, b, &total)).collect()
+        })
     }
 
     /// Disables (`true`) or re-enables the word-level query fast path on both
@@ -278,19 +305,19 @@ impl DeamortizedDpss {
     }
 
     fn query_with_shared_total(
-        &mut self,
+        &self,
+        ctx: &mut QueryCtx,
         alpha: &Ratio,
         beta: &Ratio,
         total: &BigUint,
     ) -> Vec<Handle> {
         let w = alpha.mul_big(total).add(beta);
         let mut out = Vec::new();
-        for id in self.old.query_with_total(&w) {
+        for id in self.old.query_with_total_in(ctx, &w) {
             out.push(self.rev_old[id.idx()]);
         }
-        if let Some(new) = &mut self.new {
-            let ids = new.query_with_total(&w);
-            for id in ids {
+        if let Some(new) = &self.new {
+            for id in new.query_with_total_in(ctx, &w) {
                 out.push(self.rev_new[id.idx()]);
             }
         }
@@ -308,8 +335,7 @@ impl DeamortizedDpss {
                 // old-resident roster is already materialized — no scan.
                 self.epoch += 1;
                 self.seed = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
-                let mut successor =
-                    DpssSampler::with_capacity_rng(n, rand::SeedableRng::seed_from_u64(self.seed));
+                let mut successor = DpssSampler::with_capacity_seed(n, self.seed);
                 successor.set_force_exact(self.force_exact);
                 self.new = Some(successor);
                 debug_assert!(self.roster_new.is_empty());
@@ -338,9 +364,16 @@ impl DeamortizedDpss {
             // the roster/rev-map vectors move wholesale and the epoch stamps
             // keep meaning "old" because `new` is now `None`.
             debug_assert!(self.old.is_empty(), "roster drained but items remain");
+            let retired = self.old.instance;
             self.old = self.new.take().expect("completing a missing epoch");
             self.roster_old = std::mem::take(&mut self.roster_new);
             std::mem::swap(&mut self.rev_old, &mut self.rev_new);
+            // The retired half's plan/table state in the internal default
+            // context is dead — drop it now instead of waiting for the
+            // context's FIFO cap to age it out. (External contexts can't be
+            // reached from here; their bounded state area ages entries out
+            // by design.)
+            self.ctx.evict(retired);
             self.snapshot = self.n_live;
             self.epochs_done += 1;
         }

@@ -7,15 +7,16 @@
 //!   O(capacity) by [`DpssSampler::stats`]. Used by the E4 space experiment
 //!   and by the invariants tests to assert the hierarchy's *shape*, not just
 //!   its behaviour.
-//! - [`DpssSampler::new_counting`] — a sampler whose RNG counts every random
-//!   word drawn, so tests can assert the O(1)-expected-randomness claims of
-//!   §3 directly (queries draw O(1 + μ) words; updates draw none).
+//! - [`DpssSampler::new_counting`] / [`DpssSampler::words_consumed`] — the
+//!   §3 randomness-cost accounting. Since the RNG moved into the caller's
+//!   `QueryCtx` (whose stream counts every word it emits), *every* sampler
+//!   can report the words drawn through its internal default context; the
+//!   `new_counting` constructor survives as a documenting alias so tests can
+//!   assert the O(1)-expected-randomness claims directly (queries draw
+//!   O(1 + μ) words; updates draw none).
 
 use crate::sampler::DpssSampler;
 use crate::structure::{Level1, NodePool, NO_NODE};
-use rand::rngs::SmallRng;
-use rand::{RngCore, SeedableRng};
-use randvar::CountingRng;
 use wordram::SpaceUsage;
 
 /// Occupancy snapshot of one hierarchy level.
@@ -105,7 +106,7 @@ fn collect_level1(l1: &Level1) -> [LevelStats; 3] {
     [s1, s2, s3]
 }
 
-impl<R: RngCore> DpssSampler<R> {
+impl DpssSampler {
     /// Collects a full structural snapshot in O(capacity).
     pub fn stats(&self) -> StructureStats {
         StructureStats {
@@ -122,32 +123,25 @@ impl<R: RngCore> DpssSampler<R> {
         }
     }
 
-    /// Immutable access to the driving RNG (for [`CountingRng`] accounting).
-    pub fn rng_ref(&self) -> &R {
-        &self.rng
-    }
-
-    /// Mutable access to the driving RNG.
-    pub fn rng_mut(&mut self) -> &mut R {
-        &mut self.rng
-    }
-}
-
-impl DpssSampler<CountingRng<SmallRng>> {
-    /// A sampler whose RNG counts the random words it produces — the §3
-    /// randomness-cost accounting used by E8 and the cost tests.
+    /// A sampler whose internal default context counts the random words it
+    /// draws — the §3 randomness-cost accounting used by E8 and the cost
+    /// tests. Every context counts words now (see `pss_core::CtxRng`), so
+    /// this is simply [`DpssSampler::new`] under its historical name.
     pub fn new_counting(seed: u64) -> Self {
-        DpssSampler::with_rng(CountingRng::new(SmallRng::seed_from_u64(seed)))
+        DpssSampler::new(seed)
     }
 
-    /// Random words drawn since construction (or the last reset).
+    /// Random words drawn through the internal default context since
+    /// construction (or the last reset). Queries issued through *external*
+    /// contexts are counted by those contexts
+    /// (`pss_core::QueryCtx::words_consumed`).
     pub fn words_consumed(&self) -> u64 {
-        self.rng_ref().words_consumed()
+        self.ctx.words_consumed()
     }
 
-    /// Resets the word counter.
+    /// Resets the internal default context's word counter.
     pub fn reset_word_count(&mut self) {
-        self.rng_mut().reset_count();
+        self.ctx.reset_word_count();
     }
 }
 

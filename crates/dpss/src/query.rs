@@ -78,18 +78,21 @@ impl QueryAccel {
     }
 }
 
-/// Per-query context: the RNG, the exact parameterized total weight
-/// `W = α·Σw + β > 0`, its precomputed accelerators, and the shared lookup
-/// table.
+/// Per-query frame: the RNG, the exact parameterized total weight
+/// `W = α·Σw + β > 0`, its precomputed accelerators, and the lookup table.
+///
+/// Every field is *borrowed* — the RNG and the table come out of the
+/// caller's [`pss_core::QueryCtx`] (the sampler owns neither), which is what
+/// lets queries run on `&self` samplers.
 #[derive(Debug)]
-pub struct QueryCtx<'a, R: RngCore> {
-    /// Random source.
+pub struct QueryFrame<'a, R: RngCore> {
+    /// Random source (borrowed from the caller's context).
     pub rng: &'a mut R,
     /// `W_S(α,β)` as an exact rational (strictly positive).
     pub w: &'a Ratio,
     /// Word-sized accelerators derived from `w` (see [`QueryAccel`]).
     pub accel: QueryAccel,
-    /// The HALT lookup table (rows memoized across queries).
+    /// The HALT lookup table (rows memoized in the caller's context).
     pub table: &'a mut LookupTable,
     /// Final-level strategy (lookup table vs direct Bernoulli; ablation A1).
     pub final_mode: FinalLevelMode,
@@ -355,7 +358,7 @@ fn for_significant_groups(
 
 /// One-level query on a level-2 node (Algorithm 1 with recursion into the
 /// final level). Returns sampled proxies = level-1 bucket indices.
-pub fn query_node<R: RngCore>(view: &NodeView<'_>, ctx: &mut QueryCtx<'_, R>) -> Vec<u16> {
+pub fn query_node<R: RngCore>(view: &NodeView<'_>, ctx: &mut QueryFrame<'_, R>) -> Vec<u16> {
     debug_assert_eq!(view.node.level, 2);
     let n = view.node.n_members;
     if n == 0 {
@@ -378,7 +381,7 @@ pub fn query_node<R: RngCore>(view: &NodeView<'_>, ctx: &mut QueryCtx<'_, R>) ->
 /// The final-level query (§4.4): insignificant + certain ranges plus the
 /// lookup-table-driven middle range of at most `K = O(log m)` buckets.
 /// Returns sampled proxies = level-2 bucket indices.
-pub fn query_final<R: RngCore>(view: &NodeView<'_>, ctx: &mut QueryCtx<'_, R>) -> Vec<u16> {
+pub fn query_final<R: RngCore>(view: &NodeView<'_>, ctx: &mut QueryFrame<'_, R>) -> Vec<u16> {
     let node = view.node;
     debug_assert_eq!(node.level, 3);
     let n = node.n_members;
@@ -532,7 +535,10 @@ fn accept_direct_candidate<R: RngCore>(
 }
 
 /// Algorithm 1 at the root: the full PSS query on the real item set.
-pub fn query_level1<R: RngCore>(level1: &Level1, ctx: &mut QueryCtx<'_, R>) -> Vec<crate::ItemId> {
+pub fn query_level1<R: RngCore>(
+    level1: &Level1,
+    ctx: &mut QueryFrame<'_, R>,
+) -> Vec<crate::ItemId> {
     let n = level1.n_positive;
     if n == 0 {
         return Vec::new();
@@ -547,7 +553,7 @@ pub fn query_level1<R: RngCore>(level1: &Level1, ctx: &mut QueryCtx<'_, R>) -> V
 /// which skips the multi-word threshold setup on repeated queries.
 pub fn query_level1_planned<R: RngCore>(
     level1: &Level1,
-    ctx: &mut QueryCtx<'_, R>,
+    ctx: &mut QueryFrame<'_, R>,
     th: &Thresholds,
     p0: &Ratio,
 ) -> Vec<crate::ItemId> {
@@ -616,7 +622,7 @@ mod tests {
             let w = Ratio::from_int(8);
             let mut table = LookupTable::new(4);
             let mut rng = SmallRng::seed_from_u64(3);
-            let mut ctx = QueryCtx {
+            let mut ctx = QueryFrame {
                 rng: &mut rng,
                 w: &w,
                 accel: QueryAccel::new(&w, true),

@@ -1,15 +1,29 @@
 //! [`DpssSampler`] — the public facade over the HALT structure (Theorem 1.1).
+//!
+//! ## Read/write split
+//!
+//! Updates (`insert`/`delete`/`set_weight`) take `&mut self`. Queries take
+//! **`&self`** plus an explicit [`QueryCtx`] ([`DpssSampler::query_in`] /
+//! [`DpssSampler::query_with_total_in`]): the RNG stream, the memoized
+//! lookup-table rows, and the per-`(α, β)` plan cache all live in the
+//! caller's context (keyed by this sampler's instance id and validated
+//! against its mutation epoch), so independent queries can run concurrently
+//! over one shared sampler — see `pss_core::ShardedQuery`.
+//!
+//! The legacy `&mut self` convenience methods ([`DpssSampler::query`],
+//! [`DpssSampler::query_many`], …) remain as thin wrappers over an internal
+//! default context seeded at construction, so existing callers and the
+//! seeded agreement suites keep their exact sampling law.
 
 use crate::item::ItemId;
 use crate::lookup::LookupTable;
 use crate::query::{
-    query_level1, query_level1_planned, thresholds, FinalLevelMode, QueryAccel, QueryCtx,
+    query_level1, query_level1_planned, thresholds, FinalLevelMode, QueryAccel, QueryFrame,
     Thresholds,
 };
 use crate::structure::Level1;
 use bignum::{BigUint, Ratio};
-use rand::rngs::SmallRng;
-use rand::{RngCore, SeedableRng};
+use pss_core::{CtxRng, QueryCtx};
 use wordram::bits::ceil_log2_u64;
 use wordram::SpaceUsage;
 
@@ -35,6 +49,33 @@ struct QueryPlan {
     p0: Ratio,
 }
 
+/// The read-path scratch a [`DpssSampler`] parks in a [`QueryCtx`]: the
+/// memoized lookup-table rows and the epoch-keyed `(α, β)` plan cache, plus
+/// the cache's hit/miss counters. One entry per (context, sampler instance)
+/// pair — contexts never share plans across samplers, and a context used
+/// against a rebuilt sampler re-derives lazily (modulus check).
+#[derive(Debug)]
+pub(crate) struct PlanState {
+    pub(crate) table: LookupTable,
+    plans: Vec<(Ratio, Ratio, QueryPlan)>,
+    /// Sampler mutation epoch the cached plans are valid for.
+    epoch: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanState {
+    fn new(modulus: u32) -> Self {
+        PlanState {
+            table: LookupTable::new(modulus),
+            plans: Vec::new(),
+            epoch: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+}
+
 /// Derives `(g₁, g₂)` from `n₀`: `g₁ = max(2, ⌈log2 n₀⌉)` (level-1 group
 /// width) and `g₂ = max(2, ⌈log2 g₁⌉)` (level-2 group width = the lookup
 /// modulus `m`).
@@ -50,72 +91,62 @@ fn derive_widths(n0: usize) -> (u32, u32) {
 /// ([`DpssSampler::from_weights`]), O(1) worst-case updates
 /// ([`DpssSampler::insert`] / [`DpssSampler::delete`], amortized across the
 /// standard global rebuilds of §4.5), O(1 + μ) expected query time
-/// ([`DpssSampler::query`]), and O(n) words of space at all times.
+/// ([`DpssSampler::query_in`]), and O(n) words of space at all times.
 ///
 /// Every inclusion decision is made with exact rational arithmetic: for any
 /// parameters `(α, β)` the returned subset contains each item `x`
 /// independently with probability exactly
 /// `p_x(α,β) = min(w(x) / (α·Σw + β), 1)`.
 #[derive(Debug)]
-pub struct DpssSampler<R: RngCore = SmallRng> {
+pub struct DpssSampler {
     pub(crate) level1: Level1,
-    pub(crate) table: LookupTable,
-    pub(crate) rng: R,
     pub(crate) n0: usize,
     final_mode: FinalLevelMode,
     rebuilds: u64,
     rebuild_factor: usize,
-    /// Bumped by every item-set mutation; keys the plan cache.
+    /// Bumped by every item-set mutation; keys every context's plan cache.
     epoch: u64,
-    /// Cached `(α, β) → QueryPlan` entries, valid while `plans_epoch == epoch`.
-    plans: Vec<(Ratio, Ratio, QueryPlan)>,
-    plans_epoch: u64,
-    /// Queries answered from a cached plan.
-    plan_hits: u64,
-    /// Queries that had to build (and cache) a fresh plan.
-    plan_misses: u64,
+    /// Lookup modulus `g₂` for the current sizing (contexts rebuild their
+    /// memoized tables lazily when this moves under them).
+    table_modulus: u32,
+    /// Process-unique id keying this sampler's state inside any [`QueryCtx`].
+    pub(crate) instance: u64,
+    /// Internal default context backing the legacy `&mut self` query surface.
+    pub(crate) ctx: QueryCtx,
     /// Disables the word-level fast path (all coins exact; agreement tests).
     force_exact: bool,
 }
 
-impl DpssSampler<SmallRng> {
-    /// Creates an empty sampler with a deterministic seed.
+impl DpssSampler {
+    /// Creates an empty sampler with a deterministic seed (the seed drives
+    /// the internal default context used by the legacy query methods; the
+    /// shared-read surface draws from the caller's context instead).
     pub fn new(seed: u64) -> Self {
-        Self::with_rng(SmallRng::seed_from_u64(seed))
+        Self::with_capacity_seed(0, seed)
     }
 
     /// O(n) preprocessing: builds the sampler over `weights`, returning the
     /// handle of each item in input order.
     pub fn from_weights(weights: &[u64], seed: u64) -> (Self, Vec<ItemId>) {
-        let mut s = Self::with_capacity_rng(weights.len(), SmallRng::seed_from_u64(seed));
+        let mut s = Self::with_capacity_seed(weights.len(), seed);
         let ids = weights.iter().map(|&w| s.level1.insert(w)).collect();
         (s, ids)
     }
-}
-
-impl<R: RngCore> DpssSampler<R> {
-    /// Creates an empty sampler drawing randomness from `rng`.
-    pub fn with_rng(rng: R) -> Self {
-        Self::with_capacity_rng(0, rng)
-    }
 
     /// Creates an empty sampler sized for `n` upcoming insertions.
-    pub fn with_capacity_rng(n: usize, rng: R) -> Self {
+    pub fn with_capacity_seed(n: usize, seed: u64) -> Self {
         let n0 = n.max(N0_FLOOR);
         let (g1, g2) = derive_widths(n0);
         DpssSampler {
             level1: Level1::new(g1, g2),
-            table: LookupTable::new(g2),
-            rng,
             n0,
             final_mode: FinalLevelMode::default(),
             rebuilds: 0,
             rebuild_factor: 2,
             epoch: 0,
-            plans: Vec::new(),
-            plans_epoch: 0,
-            plan_hits: 0,
-            plan_misses: 0,
+            table_modulus: g2,
+            instance: pss_core::fresh_backend_id(),
+            ctx: QueryCtx::new(seed),
             force_exact: false,
         }
     }
@@ -183,26 +214,51 @@ impl<R: RngCore> DpssSampler<R> {
         self.rebuild_factor = k;
     }
 
-    /// Rows materialized in the lookup table so far (ablation A3).
+    /// Rows materialized in the internal default context's lookup table so
+    /// far (ablation A3; rows built through *other* contexts are counted by
+    /// those contexts).
     pub fn lookup_rows_built(&self) -> u64 {
-        self.table.rows_built()
+        self.ctx.state_ref::<PlanState>(self.instance).map_or(0, |st| st.table.rows_built())
     }
 
-    /// `(hits, misses)` of the per-`(α, β)` query-plan cache since
-    /// construction: a hit answers a query from a cached plan (no multi-word
-    /// `W`/threshold/accelerator setup), a miss builds and caches a fresh
-    /// one. Degenerate `W = 0` queries bypass the cache and count as
-    /// neither. Observability hook — snapshotted by `bench_core` so cache
-    /// regressions show in the perf trajectory.
+    /// `(hits, misses)` of the per-`(α, β)` query-plan cache in the internal
+    /// default context since construction: a hit answers a query from a
+    /// cached plan (no multi-word `W`/threshold/accelerator setup), a miss
+    /// builds and caches a fresh one. Degenerate `W = 0` queries bypass the
+    /// cache and count as neither. Observability hook — snapshotted by
+    /// `bench_core` so cache regressions show in the perf trajectory.
     pub fn plan_cache_stats(&self) -> (u64, u64) {
-        (self.plan_hits, self.plan_misses)
+        self.ctx.state_ref::<PlanState>(self.instance).map_or((0, 0), |st| (st.hits, st.misses))
+    }
+
+    /// `(hits, misses)` of this sampler's plan cache inside an *external*
+    /// context (each context keeps its own cache; see
+    /// [`DpssSampler::plan_cache_stats`] for the semantics).
+    pub fn plan_cache_stats_in(&self, ctx: &QueryCtx) -> (u64, u64) {
+        ctx.state_ref::<PlanState>(self.instance).map_or((0, 0), |st| (st.hits, st.misses))
+    }
+
+    /// Runs `f` with the internal default context moved out of `self` (the
+    /// borrow-splitting step every legacy `&mut self` wrapper needs: `f`
+    /// gets `&Self` *and* the context). A panic inside `f` leaves the field
+    /// as a seed-0 default — acceptable, since a panicking query is a bug
+    /// and the suites abort; nothing unwinds past this and keeps sampling.
+    fn with_default_ctx<T>(&mut self, f: impl FnOnce(&Self, &mut QueryCtx) -> T) -> T {
+        let mut ctx = std::mem::take(&mut self.ctx);
+        let out = f(self, &mut ctx);
+        self.ctx = ctx;
+        out
     }
 
     /// Eagerly materializes every lookup-table row of configuration dimension
-    /// `k` — the paper's O(n₀) preprocessing mode (ablation A3). Bounded to
-    /// small `(m+1)^k`; the default is lazy memoization.
+    /// `k` in the internal default context — the paper's O(n₀) preprocessing
+    /// mode (ablation A3). Bounded to small `(m+1)^k`; the default is lazy
+    /// memoization.
     pub fn eager_lookup(&mut self, k: usize) {
-        self.table.build_all(k);
+        self.with_default_ctx(|s, ctx| {
+            let (_, st) = s.plan_state(ctx);
+            st.table.build_all(k);
+        });
     }
 
     /// Inserts an item with `weight` in O(1) (amortized across rebuilds).
@@ -266,9 +322,10 @@ impl<R: RngCore> DpssSampler<R> {
         // rebuilds compact the bucket blocks to keep space O(n).
         let compact = n0 < self.n0;
         self.level1.rebuild(g1, g2, compact);
-        if g2 != self.table.modulus() {
-            self.table = LookupTable::new(g2);
-        }
+        // Contexts rebuild their memoized tables lazily (modulus check in
+        // `plan_state`); every update already bumped the epoch, so no cached
+        // plan can survive into the new sizing.
+        self.table_modulus = g2;
         self.n0 = n0;
         self.rebuilds += 1;
     }
@@ -298,26 +355,41 @@ impl<R: RngCore> DpssSampler<R> {
         self.iter().map(|(_, w)| if w == 0 { 0.0 } else { (w as f64 / tf).min(1.0) }).sum()
     }
 
+    /// This sampler's [`PlanState`] inside `ctx` (created on first use,
+    /// lookup table re-derived if a rebuild changed the modulus), returned
+    /// together with the context's RNG so the query can hold both mutably.
+    fn plan_state<'c>(&self, ctx: &'c mut QueryCtx) -> (&'c mut CtxRng, &'c mut PlanState) {
+        let modulus = self.table_modulus;
+        let (rng, st) = ctx.state(self.instance, || PlanState::new(modulus));
+        if st.table.modulus() != modulus {
+            st.table = LookupTable::new(modulus);
+            st.plans.clear();
+        }
+        (rng, st)
+    }
+
     /// Answers one PSS query with parameters `(α, β)` in O(1 + μ) expected
-    /// time: returns a subset containing each item `x` independently with
-    /// probability exactly `min(w(x)/W_S(α,β), 1)`.
+    /// time on a **shared** receiver: returns a subset containing each item
+    /// `x` independently with probability exactly `min(w(x)/W_S(α,β), 1)`,
+    /// drawing randomness and cached read-path state from `ctx`.
     ///
     /// Convention for `W_S(α,β) = 0` (e.g. `α = β = 0`): every positive-weight
     /// item has probability 1 (the limit of `w/W` as `W → 0+`) and zero-weight
     /// items have probability 0.
     ///
-    /// Repeated queries at the same parameters hit a small `(α, β)` plan
-    /// cache keyed on the sampler's mutation epoch, so `W`, its fast-path
-    /// accelerators, and the level-1 thresholds are computed once per
-    /// (parameters, item-set version) rather than per query.
-    pub fn query(&mut self, alpha: &Ratio, beta: &Ratio) -> Vec<ItemId> {
-        if self.plans_epoch != self.epoch {
-            self.plans.clear();
-            self.plans_epoch = self.epoch;
+    /// Repeated queries at the same parameters hit the context's `(α, β)`
+    /// plan cache keyed on the sampler's mutation epoch, so `W`, its
+    /// fast-path accelerators, and the level-1 thresholds are computed once
+    /// per (parameters, item-set version, context) rather than per query.
+    pub fn query_in(&self, ctx: &mut QueryCtx, alpha: &Ratio, beta: &Ratio) -> Vec<ItemId> {
+        let (rng, st) = self.plan_state(ctx);
+        if st.epoch != self.epoch {
+            st.plans.clear();
+            st.epoch = self.epoch;
         }
-        let idx = match self.plans.iter().position(|(a, b, _)| a == alpha && b == beta) {
+        let idx = match st.plans.iter().position(|(a, b, _)| a == alpha && b == beta) {
             Some(i) => {
-                self.plan_hits += 1;
+                st.hits += 1;
                 i
             }
             None => {
@@ -326,25 +398,25 @@ impl<R: RngCore> DpssSampler<R> {
                     // Degenerate convention; not worth a cache slot.
                     return crate::query::query_certain(&self.level1, 0);
                 }
-                self.plan_misses += 1;
+                st.misses += 1;
                 let plan = self.make_plan(w);
-                if self.plans.len() >= PLAN_CACHE {
-                    self.plans.remove(0);
+                if st.plans.len() >= PLAN_CACHE {
+                    st.plans.remove(0);
                 }
-                self.plans.push((alpha.clone(), beta.clone(), plan));
-                self.plans.len() - 1
+                st.plans.push((alpha.clone(), beta.clone(), plan));
+                st.plans.len() - 1
             }
         };
-        let plan = &self.plans[idx].2;
+        let plan = &st.plans[idx].2;
         let _guard = self.force_exact.then(randvar::exact_mode_guard);
-        let mut ctx = QueryCtx {
-            rng: &mut self.rng,
+        let mut frame = QueryFrame {
+            rng,
             w: &plan.w,
             accel: plan.accel,
-            table: &mut self.table,
+            table: &mut st.table,
             final_mode: self.final_mode,
         };
-        query_level1_planned(&self.level1, &mut ctx, &plan.th, &plan.p0)
+        query_level1_planned(&self.level1, &mut frame, &plan.th, &plan.p0)
     }
 
     /// Builds the cached plan for a non-zero total weight `w`.
@@ -356,12 +428,43 @@ impl<R: RngCore> DpssSampler<R> {
         QueryPlan { w, accel, th, p0 }
     }
 
-    /// Answers a batch of PSS queries, one result per `(α, β)` pair.
-    ///
-    /// Semantically identical to calling [`DpssSampler::query`] in a loop
-    /// (each query draws fresh randomness); the point of the batched entry is
-    /// that the plan cache amortizes `W`/threshold/accelerator setup across
-    /// the batch — repeated parameters cost their multi-word setup once.
+    /// Answers a PSS query against an externally supplied total weight `w`
+    /// on a shared receiver: each item `x` is included independently with
+    /// probability `min(w(x)/w, 1)`. This is the `(0, W)` form the hierarchy
+    /// uses internally (§4.1); it also lets several samplers share one global
+    /// `W` (the de-amortized structure queries both migration halves with
+    /// the union's `W`). `w = 0` follows the same convention as
+    /// [`DpssSampler::query_in`].
+    pub fn query_with_total_in(&self, ctx: &mut QueryCtx, w: &Ratio) -> Vec<ItemId> {
+        if w.is_zero() {
+            return crate::query::query_certain(&self.level1, 0);
+        }
+        let (rng, st) = self.plan_state(ctx);
+        let _guard = self.force_exact.then(randvar::exact_mode_guard);
+        let mut frame = QueryFrame {
+            rng,
+            w,
+            accel: QueryAccel::new(w, !self.force_exact),
+            table: &mut st.table,
+            final_mode: self.final_mode,
+        };
+        query_level1(&self.level1, &mut frame)
+    }
+
+    // -- Legacy convenience surface (internal default context) --------------
+
+    /// Legacy convenience: [`DpssSampler::query_in`] over the internal
+    /// default context (seeded at construction), preserving the pre-split
+    /// `&mut self` call shape and its exact sampling law.
+    pub fn query(&mut self, alpha: &Ratio, beta: &Ratio) -> Vec<ItemId> {
+        self.with_default_ctx(|s, ctx| s.query_in(ctx, alpha, beta))
+    }
+
+    /// Legacy convenience: a batch of PSS queries on the internal default
+    /// context, one result per `(α, β)` pair — a plain loop of
+    /// [`DpssSampler::query`] on one continuous stream (the shared-read
+    /// `PssBackend::query_many` instead derives an independent stream per
+    /// index; both produce the same law).
     pub fn query_many(&mut self, params: &[(Ratio, Ratio)]) -> Vec<Vec<ItemId>> {
         params.iter().map(|(a, b)| self.query(a, b)).collect()
     }
@@ -372,25 +475,10 @@ impl<R: RngCore> DpssSampler<R> {
         self.query(&Ratio::from_u64s(a.0, a.1), &Ratio::from_u64s(b.0, b.1))
     }
 
-    /// Answers a PSS query against an externally supplied total weight `w`:
-    /// each item `x` is included independently with probability
-    /// `min(w(x)/w, 1)`. This is the `(0, W)` form the hierarchy uses
-    /// internally (§4.1); it also lets several samplers share one global `W`
-    /// (e.g. during de-amortized rebuild migration). `w = 0` follows the same
-    /// convention as [`DpssSampler::query`].
+    /// Legacy convenience: [`DpssSampler::query_with_total_in`] over the
+    /// internal default context.
     pub fn query_with_total(&mut self, w: &Ratio) -> Vec<ItemId> {
-        if w.is_zero() {
-            return crate::query::query_certain(&self.level1, 0);
-        }
-        let _guard = self.force_exact.then(randvar::exact_mode_guard);
-        let mut ctx = QueryCtx {
-            rng: &mut self.rng,
-            w,
-            accel: QueryAccel::new(w, !self.force_exact),
-            table: &mut self.table,
-            final_mode: self.final_mode,
-        };
-        query_level1(&self.level1, &mut ctx)
+        self.with_default_ctx(|s, ctx| s.query_with_total_in(ctx, w))
     }
 
     /// Validates every structural invariant (test/debug hook; O(n)).
@@ -399,8 +487,15 @@ impl<R: RngCore> DpssSampler<R> {
     }
 }
 
-impl<R: RngCore> SpaceUsage for DpssSampler<R> {
+impl SpaceUsage for DpssSampler {
     fn space_words(&self) -> usize {
-        self.level1.space_words() + self.table.space_words() + 6
+        // The hierarchy plus whatever the internal default context memoized
+        // on this sampler's behalf. Rows memoized in *external* contexts are
+        // owned — and must be accounted — by those contexts (the structure
+        // cannot see them from `&self`); they are derived data bounded per
+        // context by the state cap, not part of the structure's O(n) story.
+        let table =
+            self.ctx.state_ref::<PlanState>(self.instance).map_or(0, |st| st.table.space_words());
+        self.level1.space_words() + table + 6
     }
 }

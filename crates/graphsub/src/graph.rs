@@ -6,7 +6,7 @@
 //! applications rely on. [`NaiveDynGraph`] is the linear-scan comparator.
 
 use dpss::{DpssSampler, Ratio};
-use pss_core::{Handle, PssBackend, SeedableBackend};
+use pss_core::{Handle, PssBackend, QueryCtx, SeedableBackend};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -25,6 +25,11 @@ struct NodeState<B> {
     in_edges: HashMap<Handle, NodeId>,
     /// out-edge item → target node.
     out_edges: HashMap<Handle, NodeId>,
+    /// Query context for this node's two samplers. Per-node (rather than one
+    /// graph-wide context) so that each sampler's plan/table state survives
+    /// round-robin sampling over arbitrarily many nodes — a shared context's
+    /// bounded state area would thrash above its entry cap.
+    ctx: QueryCtx,
 }
 
 impl<B: SeedableBackend> NodeState<B> {
@@ -34,6 +39,7 @@ impl<B: SeedableBackend> NodeState<B> {
             out_sampler: B::with_seed(seed ^ 0x9E37_79B9_7F4A_7C15),
             in_edges: HashMap::new(),
             out_edges: HashMap::new(),
+            ctx: QueryCtx::new(seed ^ 0x6A09_E667_F3BC_C909),
         }
     }
 }
@@ -134,11 +140,13 @@ impl<B: SeedableBackend> DynGraph<B> {
 
     /// Samples a subset of `v`'s in-neighbors, each included independently
     /// with probability `A_uv / Σ_u A_uv` (weighted-cascade probabilities —
-    /// the Appendix A.1 PSS query with `(α,β) = (1,0)`).
+    /// the Appendix A.1 PSS query with `(α,β) = (1,0)`). The sampler itself
+    /// is queried on `&self` through the shared-read surface; only the
+    /// node's context keeps this method `&mut`.
     pub fn sample_in_neighbors(&mut self, v: NodeId) -> Vec<NodeId> {
         let st = &mut self.nodes[v as usize];
         st.in_sampler
-            .query(&Ratio::one(), &Ratio::zero())
+            .query(&mut st.ctx, &Ratio::one(), &Ratio::zero())
             .into_iter()
             .map(|item| st.in_edges[&item])
             .collect()
@@ -149,7 +157,7 @@ impl<B: SeedableBackend> DynGraph<B> {
     pub fn sample_out_neighbors(&mut self, u: NodeId) -> Vec<NodeId> {
         let st = &mut self.nodes[u as usize];
         st.out_sampler
-            .query(&Ratio::one(), &Ratio::zero())
+            .query(&mut st.ctx, &Ratio::one(), &Ratio::zero())
             .into_iter()
             .map(|item| st.out_edges[&item])
             .collect()

@@ -7,26 +7,37 @@
 //! naive baselines, and the ODSS-style comparison structure of *Optimal
 //! Dynamic Subset Sampling* (Yi, Wang, Wei).
 //!
-//! Layering: `pss-core` sits directly above `bignum`/`wordram` and below
-//! every sampler crate, so `workloads`, `graphsub`, `bench`, and the
-//! integration suite can depend on the *interface* without depending on any
-//! particular sampler. Concrete structures implement [`PssBackend`] in their
-//! own crates (`dpss`, `baselines`); this crate defines:
+//! Layering: `pss-core` sits directly above `bignum`/`wordram` (plus the
+//! `rand` shim for the context RNG) and below every sampler crate, so
+//! `workloads`, `graphsub`, `bench`, and the integration suite can depend on
+//! the *interface* without depending on any particular sampler. Concrete
+//! structures implement [`PssBackend`] in their own crates (`dpss`,
+//! `baselines`); this crate defines:
 //!
-//! - [`PssBackend`]: insert/delete/query with exact rational parameters;
+//! - [`PssBackend`]: `&mut self` updates, **`&self` queries** with an
+//!   explicit [`QueryCtx`] holding all read-path mutable state;
+//! - [`QueryCtx`]: the caller-owned context (RNG stream + per-backend plan
+//!   caches/memoizations) that makes shared-read queries possible;
+//! - [`ShardedQuery`]: the parallel `query_many` front-end built on the
+//!   shared-read split — bit-identical to sequential at any thread count;
 //! - [`Handle`]: the opaque item identifier shared by every backend;
 //! - [`SeedableBackend`]: the uniform seeding surface (deterministic
 //!   construction from a `u64` seed);
 //! - [`SpaceUsage`] (re-exported from `wordram`): the paper's word-granularity
 //!   space measure, a supertrait of [`PssBackend`];
 //! - [`Store`]: the shared slot-based item store the O(n)-per-query baselines
-//!   are built on.
+//!   are built on, with native in-place [`Store::set_weight`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use bignum::{BigUint, Ratio};
 
+mod ctx;
+mod shard;
+
+pub use ctx::{fresh_backend_id, stream_seed, CtxRng, QueryCtx};
+pub use shard::ShardedQuery;
 pub use wordram::SpaceUsage;
 
 /// Opaque identifier of a live item inside a [`PssBackend`].
@@ -60,31 +71,56 @@ impl std::fmt::Display for Handle {
 /// item `x` is included independently with probability
 /// `min( w(x) / (α·Σw + β), 1 )`.
 ///
+/// ## Read/write split
+///
+/// Updates take `&mut self`; **queries take `&self`** plus an explicit
+/// [`QueryCtx`] that owns every piece of query-time mutable state (the RNG
+/// stream and whatever per-backend scratch the structure wants to reuse —
+/// HALT's `(α, β)` plan cache, the ODSS baselines' materialized buckets).
+/// Queries mutate nothing in the structure, so independent queries may run
+/// concurrently over one shared backend, each thread holding its own
+/// context — that is what [`ShardedQuery`] does.
+///
 /// Every sampler in the workspace implements this trait, which is what lets
 /// the benches, the workload drivers, and the agreement tests treat HALT, its
 /// de-amortized variant, and all baselines as interchangeable `dyn
 /// PssBackend` values.
-pub trait PssBackend: SpaceUsage {
+///
+/// `Send + Sync` are supertraits: with every piece of query-time mutable
+/// state evicted into [`QueryCtx`], a conforming backend is plain shared
+/// data, and requiring it here is what lets [`ShardedQuery`] fan out over
+/// `&dyn PssBackend` without per-callsite bounds.
+pub trait PssBackend: SpaceUsage + Send + Sync {
     /// Inserts an item with the given weight, returning its handle.
     fn insert(&mut self, weight: u64) -> Handle;
 
     /// Deletes an item by handle; `true` if it was live.
     fn delete(&mut self, handle: Handle) -> bool;
 
-    /// Answers one PSS query with parameters `(α, β)`.
-    fn query(&mut self, alpha: &Ratio, beta: &Ratio) -> Vec<Handle>;
+    /// Answers one PSS query with parameters `(α, β)`, drawing randomness
+    /// (and any cached read-path state) from `ctx`.
+    fn query(&self, ctx: &mut QueryCtx, alpha: &Ratio, beta: &Ratio) -> Vec<Handle>;
 
     /// Answers a batch of PSS queries, one independent result per `(α, β)`
     /// pair, in order.
     ///
-    /// Semantically identical to calling [`PssBackend::query`] in a loop
-    /// (which is the default implementation); backends with per-parameter
-    /// setup cost — HALT precomputes the total weight `W`, its word-RAM
-    /// fast-path accelerators, and the level thresholds — override this to
-    /// reuse that setup across the batch. Workload drivers and the bench
-    /// harness issue their query ticks through this entry point.
-    fn query_many(&mut self, params: &[(Ratio, Ratio)]) -> Vec<Vec<Handle>> {
-        params.iter().map(|(a, b)| self.query(a, b)).collect()
+    /// The default implementation follows the **batch stream discipline**
+    /// (see [`QueryCtx`] docs): query `i` runs on an RNG stream derived from
+    /// `(ctx seed, batch, i)`, which is what makes [`ShardedQuery`]
+    /// bit-identical to this sequential loop at any thread count. Overrides
+    /// may hoist deterministic RNG-free setup out of the loop (HALT-style
+    /// structures reuse the per-`(α, β)` plans cached in `ctx` anyway), but
+    /// must keep the same per-index stream selection.
+    fn query_many(&self, ctx: &mut QueryCtx, params: &[(Ratio, Ratio)]) -> Vec<Vec<Handle>> {
+        let batch = ctx.begin_batch();
+        params
+            .iter()
+            .enumerate()
+            .map(|(i, (a, b))| {
+                ctx.select_stream(batch, i as u64);
+                self.query(ctx, a, b)
+            })
+            .collect()
     }
 
     /// Number of live items.
@@ -105,9 +141,10 @@ pub trait PssBackend: SpaceUsage {
     /// handle, or `None` if the handle was stale.
     ///
     /// The default implementation deletes and re-inserts, which *changes the
-    /// handle*; structures with native in-place reweighting (HALT's
-    /// `set_weight`) override this and keep the handle stable. Callers that
-    /// cache handles must always adopt the returned one.
+    /// handle*; structures with native in-place reweighting (HALT, and every
+    /// [`Store`]-backed baseline via [`Store::set_weight`]) override this and
+    /// keep the handle stable. Callers that cache handles must always adopt
+    /// the returned one.
     fn set_weight(&mut self, handle: Handle, new_weight: u64) -> Option<Handle> {
         if !self.delete(handle) {
             return None;
@@ -119,8 +156,13 @@ pub trait PssBackend: SpaceUsage {
 /// Uniform deterministic-seeding surface: every backend in the workspace can
 /// be constructed from a bare `u64` seed, which is what the agreement tests
 /// and the benchmark harness rely on for reproducibility.
+///
+/// Since the query-path RNG moved into [`QueryCtx`], the seed no longer
+/// drives trait-level query randomness (the *context's* seed does); concrete
+/// backends may still use it for legacy convenience-method streams.
 pub trait SeedableBackend: PssBackend + Sized {
-    /// Creates an empty backend whose coin flips are driven by `seed`.
+    /// Creates an empty backend whose internal coin flips (if any) are
+    /// driven by `seed`.
     fn with_seed(seed: u64) -> Self;
 }
 
@@ -164,9 +206,12 @@ impl Store {
         self.live.get(i).copied().unwrap_or(false)
     }
 
-    /// Weight in slot `i` (stale for dead slots — check [`Store::is_live`]).
-    pub fn weight_at(&self, i: usize) -> u64 {
-        self.weights[i]
+    /// Weight of the live item in slot `i`, or `None` if the slot is dead or
+    /// out of range — the same total-function contract as [`Store::is_live`]
+    /// (the panicking, stale-weight-leaking variant this replaces was the
+    /// one asymmetric accessor in the store API).
+    pub fn weight_at(&self, i: usize) -> Option<u64> {
+        self.is_live(i).then(|| self.weights[i])
     }
 
     /// Number of live items.
@@ -210,6 +255,23 @@ impl Store {
         self.free.push(i as u32);
         self.n -= 1;
         true
+    }
+
+    /// Changes a live item's weight **in place** — the slot (and therefore
+    /// the handle) is untouched and the exact total is maintained. Returns
+    /// the previous weight, or `None` for a stale handle.
+    ///
+    /// This is what the baselines route [`PssBackend::set_weight`] through
+    /// instead of the handle-churning delete + reinsert default.
+    pub fn set_weight(&mut self, h: Handle, w: u64) -> Option<u64> {
+        let i = h.raw() as usize;
+        if !self.is_live(i) {
+            return None;
+        }
+        let old = self.weights[i];
+        self.total = self.total - old as u128 + w as u128;
+        self.weights[i] = w;
+        Some(old)
     }
 
     /// The exact query denominator `W(α, β) = α·Σw + β`.
@@ -278,5 +340,37 @@ mod tests {
         assert_eq!(h.raw(), 123);
         assert_eq!(format!("{h}"), "#123");
         assert_eq!(h, Handle::from_raw(123));
+    }
+
+    #[test]
+    fn set_weight_is_in_place_and_exact() {
+        let mut s = Store::default();
+        let a = s.insert(5);
+        let b = s.insert(7);
+        assert_eq!(s.set_weight(a, 50), Some(5));
+        assert_eq!(s.total(), 57);
+        assert_eq!(s.weight_at(a.raw() as usize), Some(50));
+        // Handle-stable: the slot never moved, b untouched.
+        assert_eq!(s.weight_at(b.raw() as usize), Some(7));
+        assert_eq!(s.len(), 2);
+        // Reweight to zero and back keeps exact totals.
+        assert_eq!(s.set_weight(a, 0), Some(50));
+        assert_eq!(s.total(), 7);
+        assert_eq!(s.set_weight(a, 3), Some(0));
+        assert_eq!(s.total(), 10);
+        // Stale handles rejected.
+        assert!(s.delete(a));
+        assert_eq!(s.set_weight(a, 1), None);
+        assert_eq!(s.total(), 7);
+    }
+
+    #[test]
+    fn weight_at_is_total_like_is_live() {
+        let mut s = Store::default();
+        let a = s.insert(5);
+        assert_eq!(s.weight_at(a.raw() as usize), Some(5));
+        assert_eq!(s.weight_at(999), None, "out of range is None, not a panic");
+        assert!(s.delete(a));
+        assert_eq!(s.weight_at(a.raw() as usize), None, "dead slot is None");
     }
 }

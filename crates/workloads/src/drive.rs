@@ -3,14 +3,20 @@
 //! [`UpdateStream::replay`](crate::updates::UpdateStream::replay) is
 //! callback-based and handle-type-generic; this module adds the one layer
 //! every consumer was re-implementing by hand: applying a stream to a
-//! `dyn PssBackend` while tracking live handles, optionally interleaving
-//! queries, and reporting what happened. It is the piece that lets the bench
-//! harness and the integration suite drive *every* sampler — HALT,
-//! de-amortized HALT, and all baselines — through one code path.
+//! `dyn PssBackend` while tracking live handles *and their weights*,
+//! optionally interleaving queries, and reporting what happened. It is the
+//! piece that lets the bench harness and the integration suite drive *every*
+//! sampler — HALT, de-amortized HALT, and all baselines — through one code
+//! path.
+//!
+//! Queries run through the shared-read surface: the caller supplies the
+//! [`QueryCtx`] (owning the RNG stream and any cached read-path state), so
+//! one driver invocation is deterministic in `(stream, ctx seed)` for every
+//! backend.
 
-use crate::updates::{LiveSet, Op, UpdateStream};
+use crate::updates::{scale_weight, LiveSet, Op, UpdateStream};
 use bignum::Ratio;
-use pss_core::PssBackend;
+use pss_core::{Handle, PssBackend, QueryCtx};
 
 /// Outcome of [`replay_stream`].
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -19,6 +25,9 @@ pub struct ReplayReport {
     pub inserts: u64,
     /// Items deleted.
     pub deletes: u64,
+    /// Individual `set_weight` calls issued by [`Op::ScaleAllWeights`]
+    /// (each scale op reweights every live item).
+    pub reweights: u64,
     /// Queries issued (0 unless a query cadence was requested).
     pub queries: u64,
     /// Query batches issued (one `query_many` call per cadence tick).
@@ -30,30 +39,34 @@ pub struct ReplayReport {
 /// Replays `stream` into `backend`: initial load, then every update op.
 ///
 /// If `query_every` is `Some((k, params))`, the whole parameter batch is
-/// issued through [`PssBackend::query_many`] after every `k`-th update op —
-/// backends with per-parameter setup (HALT's plan cache) amortize it across
-/// the batch. Panics if the backend rejects a delete of a handle the stream
+/// issued through [`PssBackend::query_many`] (on `ctx`) after every `k`-th
+/// update op — backends with per-parameter setup (HALT's plan cache) amortize
+/// it across the batch. [`Op::ScaleAllWeights`] reweights every live item
+/// through `set_weight`, adopting whatever handle comes back (the
+/// handle-churning default re-issues them; native in-place backends don't).
+/// Panics if the backend rejects a delete or reweight of a handle the stream
 /// believes is live — that is a backend bug, and the agreement suite relies
 /// on it being loud.
 pub fn replay_stream(
     backend: &mut dyn PssBackend,
+    ctx: &mut QueryCtx,
     stream: &UpdateStream,
     query_every: Option<(usize, &[(Ratio, Ratio)])>,
 ) -> ReplayReport {
-    let mut live = LiveSet::new();
+    let mut live: LiveSet<(Handle, u64)> = LiveSet::new();
     let mut report = ReplayReport::default();
     for &w in &stream.initial {
-        live.insert(backend.insert(w));
+        live.insert((backend.insert(w), w));
         report.inserts += 1;
     }
     for (step, op) in stream.ops.iter().enumerate() {
         match *op {
             Op::Insert(w) => {
-                live.insert(backend.insert(w));
+                live.insert((backend.insert(w), w));
                 report.inserts += 1;
             }
             Op::DeleteAt(i) => {
-                let h = live.remove_at(i);
+                let (h, _) = live.remove_at(i);
                 assert!(
                     backend.delete(h),
                     "{}: delete of live handle {h} rejected at step {step}",
@@ -62,7 +75,7 @@ pub fn replay_stream(
                 report.deletes += 1;
             }
             Op::DeleteOldest => {
-                let h = live.remove_oldest();
+                let (h, _) = live.remove_oldest();
                 assert!(
                     backend.delete(h),
                     "{}: FIFO delete of live handle {h} rejected at step {step}",
@@ -70,17 +83,33 @@ pub fn replay_stream(
                 );
                 report.deletes += 1;
             }
+            Op::ScaleAllWeights { num, den } => {
+                for entry in live.handles_mut() {
+                    let (h, w) = *entry;
+                    let scaled = scale_weight(w, num, den);
+                    let nh = backend.set_weight(h, scaled).unwrap_or_else(|| {
+                        panic!(
+                            "{}: reweight of live handle {h} rejected at step {step}",
+                            backend.name()
+                        )
+                    });
+                    *entry = (nh, scaled);
+                    report.reweights += 1;
+                }
+            }
         }
         if let Some((k, params)) = query_every {
             if k > 0 && (step + 1) % k == 0 && !params.is_empty() {
                 report.batches += 1;
                 report.queries += params.len() as u64;
                 report.sampled +=
-                    backend.query_many(params).iter().map(|s| s.len() as u64).sum::<u64>();
+                    backend.query_many(ctx, params).iter().map(|s| s.len() as u64).sum::<u64>();
             }
         }
     }
     assert_eq!(backend.len(), live.len(), "{}: live-set drift", backend.name());
+    let tracked: u128 = live.handles().iter().map(|&(_, w)| w as u128).sum();
+    assert_eq!(backend.total_weight(), tracked, "{}: weight drift", backend.name());
     report
 }
 
@@ -112,7 +141,7 @@ mod tests {
         fn delete(&mut self, handle: pss_core::Handle) -> bool {
             self.store.delete(handle)
         }
-        fn query(&mut self, _alpha: &Ratio, _beta: &Ratio) -> Vec<pss_core::Handle> {
+        fn query(&self, _ctx: &mut QueryCtx, _alpha: &Ratio, _beta: &Ratio) -> Vec<Handle> {
             self.store.iter_live().map(|(h, _)| h).collect()
         }
         fn len(&self) -> usize {
@@ -123,6 +152,9 @@ mod tests {
         }
         fn name(&self) -> &'static str {
             "counting"
+        }
+        fn set_weight(&mut self, handle: Handle, new_weight: u64) -> Option<Handle> {
+            self.store.set_weight(handle, new_weight).map(|_| handle)
         }
     }
 
@@ -137,8 +169,9 @@ mod tests {
             &mut rng,
         );
         let mut backend = CountingBackend::default();
+        let mut ctx = QueryCtx::new(5);
         let params = [(Ratio::one(), Ratio::zero()), (Ratio::from_u64s(1, 2), Ratio::zero())];
-        let report = replay_stream(&mut backend, &stream, Some((10, &params)));
+        let report = replay_stream(&mut backend, &mut ctx, &stream, Some((10, &params)));
         assert_eq!(report.inserts - report.deletes, backend.len() as u64);
         assert_eq!(report.batches, (stream.ops.len() / 10) as u64);
         assert_eq!(report.queries, report.batches * params.len() as u64);
@@ -157,7 +190,8 @@ mod tests {
             &mut rng,
         );
         let mut backend = CountingBackend::default();
-        let report = replay_stream(&mut backend, &stream, None);
+        let mut ctx = QueryCtx::new(21);
+        let report = replay_stream(&mut backend, &mut ctx, &stream, None);
         assert_eq!(report.inserts, 400);
         assert_eq!(report.deletes, 400 - backend.len() as u64);
         assert!(backend.len() <= 32, "window must cap the live size");
@@ -175,10 +209,34 @@ mod tests {
             &mut rng,
         );
         let mut backend = CountingBackend::default();
-        let report = replay_stream(&mut backend, &stream, None);
+        let mut ctx = QueryCtx::new(9);
+        let report = replay_stream(&mut backend, &mut ctx, &stream, None);
         assert_eq!(report.inserts, 200);
         assert_eq!(report.queries, 0);
         assert_eq!(backend.len(), 200);
         assert_eq!(backend.total_weight(), 600);
+    }
+
+    #[test]
+    fn replay_decayed_stream_scales_every_live_weight() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        let stream = UpdateStream::generate(
+            StreamKind::Decayed { insert_permille: 700, scale_every: 50, num: 1, den: 2 },
+            16,
+            300,
+            WeightDist::Equal { w: 1024 },
+            &mut rng,
+        );
+        let scale_ops =
+            stream.ops.iter().filter(|op| matches!(op, Op::ScaleAllWeights { .. })).count();
+        assert!(scale_ops >= 4, "expected periodic scale ops, got {scale_ops}");
+        let mut backend = CountingBackend::default();
+        let mut ctx = QueryCtx::new(31);
+        let report = replay_stream(&mut backend, &mut ctx, &stream, None);
+        assert!(report.reweights > 0, "scale ops must fan out into reweights");
+        // Every weight started at 1024 and was halved ≥ once for any item
+        // that survived a scale; the driver's weight-drift assertion already
+        // proved the backend total matches the tracked total exactly.
+        assert!(backend.total_weight() < 1024 * (backend.len() as u128));
     }
 }

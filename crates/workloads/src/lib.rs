@@ -37,5 +37,5 @@ pub mod weights;
 
 pub use drive::{replay_stream, ReplayReport};
 pub use params::{alpha_for_mu, beta_for_mu, mu_exact_f64, mu_exact_ratio, ParamSweep};
-pub use updates::{Op, StreamKind, UpdateStream};
+pub use updates::{scale_weight, Op, StreamKind, UpdateStream};
 pub use weights::WeightDist;

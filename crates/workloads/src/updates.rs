@@ -28,6 +28,30 @@ pub enum Op {
     /// pure Insert/DeleteOldest, so their expiry is exactly first-in
     /// first-out.
     DeleteOldest,
+    /// Downscale **every** live item's weight to `⌊w·num/den⌋` (decayed
+    /// weights: the periodic discount of streaming/recency scenarios). The
+    /// replayer applies it through `set_weight`, so backends with native
+    /// in-place reweighting pay n cheap updates, and the handle-churning
+    /// default pays n delete+insert pairs — exactly the cost difference the
+    /// decayed-weight benchmark measures. Weights may floor to 0 (zero-weight
+    /// items are legal and never sampled).
+    ScaleAllWeights {
+        /// Numerator of the decay factor (`1 ≤ num ≤ den`).
+        num: u32,
+        /// Denominator of the decay factor (`≥ 1`).
+        den: u32,
+    },
+}
+
+/// The decayed weight `⌊w·num/den⌋` of one [`Op::ScaleAllWeights`]
+/// application — the single definition every replayer shares. The product is
+/// widened to 128 bits and the result saturates at `u64::MAX`, so a
+/// hand-built op with an amplifying factor (`num > den` — the generator
+/// never emits one, and this helper debug-asserts against it) clamps loudly
+/// instead of silently wrapping.
+pub fn scale_weight(w: u64, num: u32, den: u32) -> u64 {
+    debug_assert!(den >= 1 && (1..=den).contains(&num), "scale factor must be in (0, 1]");
+    u64::try_from((w as u128 * num as u128) / den.max(1) as u128).unwrap_or(u64::MAX)
 }
 
 /// The shape of an update stream.
@@ -69,6 +93,20 @@ pub enum StreamKind {
         lo: usize,
         /// Upper live-set size of the oscillation.
         hi: usize,
+    },
+    /// Decayed weights: [`StreamKind::Mixed`]-style churn interrupted every
+    /// `scale_every` churn ops by one [`Op::ScaleAllWeights`] that downscales
+    /// every live weight by `num/den` — the streaming-recency scenario where
+    /// `set_weight` cost dominates (each scale op is n reweights).
+    Decayed {
+        /// Probability of an insertion among churn ops, in permille.
+        insert_permille: u32,
+        /// Churn ops between consecutive global decays.
+        scale_every: usize,
+        /// Numerator of the decay factor (`1 ≤ num ≤ den`).
+        num: u32,
+        /// Denominator of the decay factor (`≥ 1`).
+        den: u32,
     },
 }
 
@@ -155,6 +193,28 @@ impl UpdateStream {
                     }
                 }
             }
+            StreamKind::Decayed { insert_permille, scale_every, num, den } => {
+                assert!(insert_permille <= 1000, "insert_permille out of range");
+                assert!(scale_every > 0, "scale_every must be positive");
+                assert!(den >= 1 && (1..=den).contains(&num), "decay factor must be in (0, 1]");
+                let mut since_scale = 0usize;
+                while ops.len() < n_ops {
+                    if since_scale >= scale_every {
+                        ops.push(Op::ScaleAllWeights { num, den });
+                        since_scale = 0;
+                        continue;
+                    }
+                    let insert = live == 0 || rng.gen_range(0u32..1000) < insert_permille;
+                    if insert {
+                        ops.push(Op::Insert(dist.sample(rng)));
+                        live += 1;
+                    } else {
+                        ops.push(Op::DeleteAt(rng.gen_range(0..live)));
+                        live -= 1;
+                    }
+                    since_scale += 1;
+                }
+            }
             StreamKind::Oscillate { lo, hi } => {
                 assert!(lo < hi, "Oscillate requires lo < hi");
                 let mut growing = true;
@@ -195,6 +255,11 @@ impl UpdateStream {
     /// Replays the stream against callbacks, using a [`LiveSet`] to translate
     /// `DeleteAt` positions into the opaque handles returned by `insert`.
     /// Returns the number of live items at the end.
+    ///
+    /// # Panics
+    /// Panics on [`Op::ScaleAllWeights`] — reweighting needs the
+    /// weight-tracking driver (`workloads::drive::replay_stream`), not the
+    /// insert/delete callback pair.
     pub fn replay<H: Copy>(
         &self,
         mut insert: impl FnMut(u64) -> H,
@@ -209,6 +274,10 @@ impl UpdateStream {
                 Op::Insert(w) => live.insert(insert(w)),
                 Op::DeleteAt(i) => delete(live.remove_at(i)),
                 Op::DeleteOldest => delete(live.remove_oldest()),
+                Op::ScaleAllWeights { .. } => panic!(
+                    "Op::ScaleAllWeights needs the weight-tracking driver \
+                     (workloads::drive::replay_stream)"
+                ),
             }
         }
         live.len()
@@ -282,6 +351,12 @@ impl<H: Copy> LiveSet<H> {
     /// [`LiveSet::remove_at`]).
     pub fn handles(&self) -> &[H] {
         &self.handles[self.head..]
+    }
+
+    /// Mutable view of the live handles — the reweighting driver updates
+    /// entries in place when a backend's `set_weight` re-issues handles.
+    pub fn handles_mut(&mut self) -> &mut [H] {
+        &mut self.handles[self.head..]
     }
 }
 
@@ -385,6 +460,7 @@ mod tests {
                     live -= 1;
                 }
                 Op::DeleteOldest => live -= 1,
+                Op::ScaleAllWeights { .. } => panic!("window streams never scale"),
             }
             max_live = max_live.max(live);
         }
@@ -419,6 +495,7 @@ mod tests {
                 Op::Insert(_) => live += 1,
                 Op::DeleteOldest => live -= 1,
                 Op::DeleteAt(_) => panic!("Fifo streams never use DeleteAt"),
+                Op::ScaleAllWeights { .. } => panic!("Fifo streams never scale"),
             }
             assert!(live <= 17, "window overflow");
         }
@@ -464,6 +541,7 @@ mod tests {
             match op {
                 Op::Insert(_) => live += 1,
                 Op::DeleteAt(_) | Op::DeleteOldest => live -= 1,
+                Op::ScaleAllWeights { .. } => panic!("oscillate streams never scale"),
             }
             let now_above = live >= 32; // mid-band
             if now_above != above {
@@ -509,6 +587,7 @@ mod tests {
                     assert!(!deleted[id], "double delete of {id}");
                     deleted[id] = true;
                 }
+                Op::ScaleAllWeights { .. } => panic!("mixed streams never scale"),
             }
         }
     }

@@ -45,6 +45,7 @@ fn main() {
     println!("{:<12} {:>12} {:>12} {:>14}", "backend", "total time", "ops/s", "sampled items");
 
     for backend in all_backends(7).iter_mut() {
+        let mut ctx = pss_core::QueryCtx::new(7);
         let mut handles: Vec<pss_core::Handle> = init.iter().map(|&w| backend.insert(w)).collect();
         let mut sampled = 0usize;
         let t0 = Instant::now();
@@ -61,7 +62,7 @@ fn main() {
                 Op::Query(b, a) => {
                     let alpha = Ratio::from_u64s(*a, 2);
                     let beta = Ratio::from_int(*b * 1000);
-                    sampled += backend.query(&alpha, &beta).len();
+                    sampled += backend.query(&mut ctx, &alpha, &beta).len();
                 }
             }
         }

@@ -12,7 +12,7 @@
 use baselines::{NaiveExact, OdssUnderDpss};
 use bignum::Ratio;
 use dpss::DpssSampler;
-use pss_core::{boxed, Handle, PssBackend};
+use pss_core::{boxed, Handle, PssBackend, QueryCtx};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use randvar::stats::binomial_z;
@@ -43,10 +43,11 @@ fn trait_objects_agree_on_inclusion_marginals() {
     let trials = 30_000u64;
 
     for backend in roster(101).iter_mut() {
+        let mut ctx = QueryCtx::new(101);
         let handles: Vec<Handle> = weights.iter().map(|&w| backend.insert(w)).collect();
         let mut hits = vec![0u64; handles.len()];
         for _ in 0..trials {
-            for h in backend.query(&alpha, &beta) {
+            for h in backend.query(&mut ctx, &alpha, &beta) {
                 let i = handles.iter().position(|&x| x == h).expect("foreign handle");
                 hits[i] += 1;
             }
@@ -79,7 +80,8 @@ fn trait_objects_agree_after_identical_churn() {
     let mut means = Vec::new();
 
     for backend in roster(202).iter_mut() {
-        let report = replay_stream(backend.as_mut(), &stream, None);
+        let mut ctx = QueryCtx::new(202);
+        let report = replay_stream(backend.as_mut(), &mut ctx, &stream, None);
         assert_eq!(
             report.inserts - report.deletes,
             backend.len() as u64,
@@ -88,7 +90,7 @@ fn trait_objects_agree_after_identical_churn() {
         );
         let mut total_sampled = 0u64;
         for _ in 0..trials {
-            total_sampled += backend.query(&alpha, &beta).len() as u64;
+            total_sampled += backend.query(&mut ctx, &alpha, &beta).len() as u64;
         }
         means.push((backend.name(), total_sampled as f64 / trials as f64));
     }

@@ -2,7 +2,7 @@
 //! identical distributions, the applications end-to-end, and the sorting
 //! reduction — the workspace-level "does the whole system hang together" suite.
 
-use baselines::{Handle, NaiveExact, PssBackend};
+use baselines::{Handle, NaiveExact, PssBackend, QueryCtx};
 use bignum::Ratio;
 use dpss::{DpssSampler, SpaceUsage};
 use floatdpss::sort_via_dpss;
@@ -26,10 +26,11 @@ fn halt_and_naive_exact_agree_distributionally() {
         ("halt", Box::new(DpssSampler::new(5)) as Box<dyn PssBackend>),
         ("naive", Box::new(NaiveExact::new(5)) as Box<dyn PssBackend>),
     ] {
+        let mut ctx = QueryCtx::new(5);
         let handles: Vec<Handle> = weights.iter().map(|&w| backend.insert(w)).collect();
         let mut hits = vec![0u64; weights.len()];
         for _ in 0..trials {
-            for h in backend.query(&alpha, &beta) {
+            for h in backend.query(&mut ctx, &alpha, &beta) {
                 hits[handles.iter().position(|&x| x == h).unwrap()] += 1;
             }
         }
@@ -45,6 +46,7 @@ fn halt_and_naive_exact_agree_distributionally() {
 #[test]
 fn long_mixed_workload_end_to_end() {
     let mut s = DpssSampler::new(11);
+    let mut ctx = QueryCtx::new(11);
     let mut rng = SmallRng::seed_from_u64(13);
     let mut live = Vec::new();
     let mut sampled_total = 0usize;
@@ -61,7 +63,7 @@ fn long_mixed_workload_end_to_end() {
             _ => {
                 let alpha = Ratio::from_u64s(rng.gen_range(0..4), rng.gen_range(1..4));
                 let beta = Ratio::from_int(rng.gen_range(0..1000));
-                let t = s.query(&alpha, &beta);
+                let t = s.query_in(&mut ctx, &alpha, &beta);
                 sampled_total += t.len();
                 for id in t {
                     assert!(s.contains(id), "step {step}: dead item sampled");
@@ -127,11 +129,12 @@ fn sorting_reduction_cross_validated() {
 fn determinism_across_the_stack() {
     let run = || {
         let weights: Vec<u64> = (1..=200).map(|i| i * 31).collect();
-        let (mut s, _) = DpssSampler::from_weights(&weights, 4242);
+        let (s, _) = DpssSampler::from_weights(&weights, 4242);
+        let mut ctx = QueryCtx::new(4242);
         let mut out = Vec::new();
         for k in 1..6u64 {
             out.push(
-                s.query(&Ratio::from_u64s(1, k), &Ratio::from_int(k))
+                s.query_in(&mut ctx, &Ratio::from_u64s(1, k), &Ratio::from_int(k))
                     .iter()
                     .map(|id| id.raw())
                     .sum::<u64>(),
@@ -146,12 +149,13 @@ fn determinism_across_the_stack() {
 #[test]
 fn weight_extremes_round_trip() {
     let weights = [0u64, 1, 2, 3, u64::MAX, u64::MAX - 1, 1 << 63, (1 << 63) - 1];
-    let (mut s, ids) = DpssSampler::from_weights(&weights, 31);
+    let (s, ids) = DpssSampler::from_weights(&weights, 31);
+    let mut ctx = QueryCtx::new(31);
     for (i, &w) in weights.iter().enumerate() {
         assert_eq!(s.weight(ids[i]), Some(w));
     }
     s.validate();
     // β=1: all positive weights certain.
-    let t = s.query(&Ratio::zero(), &Ratio::one());
+    let t = s.query_in(&mut ctx, &Ratio::zero(), &Ratio::one());
     assert_eq!(t.len(), weights.iter().filter(|&&w| w > 0).count());
 }

@@ -24,6 +24,7 @@ fn streams_replay_on_both_samplers() {
         StreamKind::SlidingWindow { window: 64 },
         StreamKind::Fifo { window: 64 },
         StreamKind::Oscillate { lo: 32, hi: 256 },
+        StreamKind::Decayed { insert_permille: 600, scale_every: 200, num: 3, den: 4 },
     ];
     for (k, kind) in kinds.into_iter().enumerate() {
         let mut rng = SmallRng::seed_from_u64(k as u64);
@@ -57,6 +58,26 @@ fn streams_replay_on_both_samplers() {
                     assert!(halt.delete(live_h.remove_oldest()).is_some());
                     assert!(deam.delete(live_d.remove_oldest()).is_some());
                 }
+                Op::ScaleAllWeights { num, den } => {
+                    let scale = |w: u64| workloads::scale_weight(w, num, den);
+                    // HALT reweights in place (ids stable) ...
+                    for id in live_h.handles_mut() {
+                        let w = halt.weight(*id).expect("live id");
+                        assert!(halt.set_weight(*id, scale(w)).is_some());
+                    }
+                    // ... the de-amortized variant goes through the facade
+                    // default (delete + reinsert) and re-issues handles.
+                    for h in live_d.handles_mut() {
+                        let w = deam.weight(*h).expect("live handle");
+                        let nh = pss_core::PssBackend::set_weight(
+                            &mut deam,
+                            pss_core::Handle::from_raw(*h),
+                            scale(w),
+                        )
+                        .expect("live handle");
+                        *h = nh.raw();
+                    }
+                }
             }
         }
         halt.validate();
@@ -76,11 +97,12 @@ fn mu_targets_hold_across_all_backends() {
     let (a, b) = alpha_for_mu(6, 1);
     let mu = mu_exact_f64(&weights, &a, &b);
     for backend in all_backends(31).iter_mut() {
+        let mut ctx = pss_core::QueryCtx::new(31);
         for &w in &weights {
             backend.insert(w);
         }
         let trials = 2_000u64;
-        let total: u64 = (0..trials).map(|_| backend.query(&a, &b).len() as u64).sum();
+        let total: u64 = (0..trials).map(|_| backend.query(&mut ctx, &a, &b).len() as u64).sum();
         let mean = total as f64 / trials as f64;
         let z = (mean - mu) / (mu / trials as f64).sqrt();
         assert!(z.abs() < 5.0, "{}: mean {mean} vs μ {mu} (z = {z})", backend.name());
