@@ -9,23 +9,28 @@
 //! - [`NaiveFloat`]: O(n) per query with `f64` coins — the "what you'd write
 //!   in an afternoon" baseline; *inexact* (double-rounding bias ≈ 2^-53, plus
 //!   `Σw` rounding at scale).
-//! - [`OdssStyle`]: a Yi-et-al.-style *Dynamic Subset Sampling* structure that
-//!   materializes per-item probabilities into geometric probability buckets.
-//!   Its queries are output-sensitive, but under DPSS semantics every update
-//!   changes *all* probabilities (the weight sum moves), forcing an Ω(n)
-//!   re-bucketing per update — the exact gap the paper's introduction
-//!   identifies ("the existing optimal ODSS algorithm requires Ω(n) time to
-//!   support an update in the DPSS setup").
+//! - [`OdssStyle`]: a Yi-et-al.-style *Dynamic Subset Sampling* structure,
+//!   driven **incrementally** under DPSS semantics: its weight-bucketed
+//!   materialization ([`DeltaDss`]) catches up through the epoch-delta
+//!   change journal in O(deltas) per query, falling back to a Θ(n) rebuild
+//!   only when the journal's ring has wrapped. This is the fair
+//!   maintained-under-updates comparison the ODSS line of work implies.
+//! - [`OdssUnderDpss`] (`odss-dss`): the same structure driven with
+//!   *absolute* materialized probabilities, which no delta replay can save —
+//!   it deliberately re-materializes in Θ(n) whenever `W` moves, measuring
+//!   the exact gap the paper's introduction identifies ("the existing
+//!   optimal ODSS algorithm requires Ω(n) time to support an update in the
+//!   DPSS setup").
 //!
 //! ## Shared-read queries
 //!
 //! Queries take `&self` plus a caller-owned [`QueryCtx`]: the naive samplers
 //! draw their coins from the context's stream, and the ODSS-style structures
-//! park their Θ(n) materializations *in the context* (keyed by backend
-//! instance and validated against an update epoch) instead of mutating the
-//! structure — which is what lets `pss_core::ShardedQuery` fan batches out
-//! over any backend in this roster. Rebuild accounting moved to atomic
-//! counters so `&self` queries can still report the Θ(n) penalty E5 charges.
+//! park their materializations *in the context* (keyed by backend instance
+//! and journal-revalidated) instead of mutating the structure — which is
+//! what lets `pss_core::ShardedQuery` fan batches out over any backend in
+//! this roster. Rebuild/replay accounting lives in atomic counters so
+//! `&self` queries can still report the costs E5 charges.
 //!
 //! The HALT samplers themselves implement [`PssBackend`] in the `dpss` crate;
 //! [`all_backends`] assembles the full comparison roster (HALT, de-amortized
@@ -36,15 +41,31 @@
 
 pub mod odss;
 
-pub use odss::{OdssDss, OdssUnderDpss};
+pub use odss::{DeltaDss, OdssDss, OdssUnderDpss};
 pub use pss_core::{boxed, Handle, PssBackend, QueryCtx, SeedableBackend, SpaceUsage, Store};
 
 use bignum::{BigUint, Ratio};
 use dpss::{DeamortizedDpss, DpssSampler};
+use pss_core::{ChangeJournal, Delta, Replay};
 use rand::Rng;
-use randvar::{ber_rational_parts, bgeo};
-use std::cmp::Ordering;
+use randvar::ber_rational_parts;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+/// The one definition of a journaled bulk load for [`Store`]-backed
+/// backends: insert every weight, then record the whole batch under a
+/// single journal epoch (a bulk load must not wrap the ring out from under
+/// every observing context).
+pub(crate) fn store_insert_many(
+    store: &mut Store,
+    journal: &mut ChangeJournal,
+    weights: &[u64],
+) -> Vec<Handle> {
+    let handles: Vec<Handle> = weights.iter().map(|&w| store.insert(w)).collect();
+    journal.record_batch(
+        handles.iter().zip(weights).map(|(&h, &w)| Delta::Inserted { handle: h, weight: w }),
+    );
+    handles
+}
 
 // ---------------------------------------------------------------------------
 // NaiveExact
@@ -201,39 +222,67 @@ impl SeedableBackend for NaiveFloat {
 // OdssStyle
 // ---------------------------------------------------------------------------
 
-/// Probability resolution of [`OdssStyle`]: items with `p < 2^-64` share the
-/// last bucket.
-const ODSS_BUCKETS: usize = 65;
-
-/// A DSS structure in the style of Yi et al.'s ODSS: items grouped into
-/// probability buckets `[2^{-(i+1)}, 2^{-i})` for the *materialized* sampling
-/// probabilities of the most recent parameter set.
+/// A DSS structure in the style of Yi et al.'s ODSS, driven **incrementally**
+/// under DPSS semantics through the epoch-delta change journal.
 ///
-/// The materialization lives in the caller's [`QueryCtx`], keyed by this
-/// structure's instance id and stamped with its update epoch: queries with
-/// the materialized parameters are output-sensitive (`B-Geo` jumps inside
-/// each non-empty probability bucket), while any *update* — or a query with
-/// new parameters — forces the context to re-materialize every probability in
-/// Θ(n): the documented DSS-vs-DPSS gap.
+/// The materialization — a weight-bucketed [`DeltaDss`] with the shared
+/// denominator `W(α, β)` factored out — lives in the caller's [`QueryCtx`],
+/// keyed by this structure's instance id and stamped with the journal epoch
+/// it reflects. A query first catches the context up
+/// ([`pss_core::ChangeJournal::catch_up`]):
+///
+/// - no movement → the structure is reused as-is;
+/// - a delta replay → only the items the deltas name are re-bucketed,
+///   **O(deltas)** instead of the Θ(n) rebuild every update used to force
+///   (the mixed update+query regime this closes is the ROADMAP's
+///   "ODSS mixed-regime foil" item);
+/// - a lost window (ring wrap) → Θ(n) fallback rebuild, counted in
+///   [`OdssStyle::fallbacks`].
+///
+/// Parameter changes are no longer rebuilds at all: the bucketing is
+/// `W`-independent, so new `(α, β)` just recomputes one rational. Queries
+/// stay output-sensitive (`B-Geo` jumps inside each non-empty weight
+/// bucket) and exact — each item is included with probability exactly
+/// `min(w_x/W, 1)`, see [`DeltaDss::sample`].
 #[derive(Debug)]
 pub struct OdssStyle {
     store: Store,
-    /// Bumped by every update; stales all materializations everywhere.
-    epoch: u64,
+    /// The epoch-delta change log every update appends to.
+    journal: ChangeJournal,
     /// Keys this structure's materialization inside any [`QueryCtx`].
     instance: u64,
-    /// Number of Θ(n) re-materializations performed across all contexts
-    /// (cost accounting for E5; atomic because queries run on `&self`).
+    /// Θ(n) materializations performed across all contexts (first builds +
+    /// fallbacks; atomic because queries run on `&self`).
     pub rebuild_count: AtomicU64,
+    /// Θ(n) rebuilds forced by a lost replay window (ring wrap) — the
+    /// subset of [`OdssStyle::rebuild_count`] the journal failed to save.
+    pub fallback_count: AtomicU64,
+    /// Delta catch-ups applied (each one replaced a would-be Θ(n) rebuild).
+    pub replay_count: AtomicU64,
+    /// Items whose bucket was recomputed by full materializations.
+    pub items_rematerialized: AtomicU64,
+    /// Item slots touched by delta patches (the O(deltas) work).
+    pub items_patched: AtomicU64,
 }
 
-/// One context's materialized probability buckets for an [`OdssStyle`].
-#[derive(Debug)]
+/// One context's materialization slot for an [`OdssStyle`]: `None` until
+/// the first query builds it (an explicit option, not an epoch sentinel).
+#[derive(Debug, Default)]
 struct OdssMat {
-    /// Epoch of the structure when this materialization was built.
-    epoch: u64,
+    built: Option<OdssBuilt>,
+}
+
+/// A built materialization: the weight-bucketed structure plus the cached
+/// denominator of the most recent parameters.
+#[derive(Debug)]
+struct OdssBuilt {
+    /// Journal epoch the structure reflects.
+    journal_epoch: u64,
+    /// Parameters `w` was computed for.
     params: (Ratio, Ratio),
-    buckets: Vec<Vec<u32>>,
+    /// `W(α, β)` at `journal_epoch` — the only parameter-dependent state.
+    w: Ratio,
+    dss: DeltaDss,
 }
 
 impl OdssStyle {
@@ -241,125 +290,159 @@ impl OdssStyle {
     pub fn new(_seed: u64) -> Self {
         OdssStyle {
             store: Store::default(),
-            epoch: 0,
+            journal: ChangeJournal::new(),
             instance: pss_core::fresh_backend_id(),
             rebuild_count: AtomicU64::new(0),
+            fallback_count: AtomicU64::new(0),
+            replay_count: AtomicU64::new(0),
+            items_rematerialized: AtomicU64::new(0),
+            items_patched: AtomicU64::new(0),
         }
     }
 
-    /// Θ(n): recomputes every item's probability bucket for `(α, β)` into
-    /// `mat` (a context-owned slot).
-    fn materialize(&self, mat: &mut OdssMat, alpha: &Ratio, beta: &Ratio) {
-        self.rebuild_count.fetch_add(1, AtomicOrdering::Relaxed);
-        mat.buckets.resize(ODSS_BUCKETS, Vec::new());
-        for b in &mut mat.buckets {
-            b.clear();
-        }
-        let w = self.store.param_weight(alpha, beta);
-        for (h, wx) in self.store.iter_live() {
-            if wx == 0 {
-                continue;
-            }
-            let bucket = if w.is_zero() {
-                0
-            } else {
-                let p = Ratio::new(BigUint::from_u64(wx).mul(w.den()), w.num().clone());
-                if p.cmp_int(1) != Ordering::Less {
-                    0
-                } else {
-                    // p ∈ [2^{-(b+1)}, 2^{-b}) ⟺ b = -⌈log2 p⌉ … adjusted for
-                    // exact powers of two, where ceil == floor.
-                    let c = -p.ceil_log2();
-                    c.clamp(0, ODSS_BUCKETS as i64 - 1) as usize
-                }
-            };
-            mat.buckets[bucket].push(h.raw() as u32);
-        }
-        mat.epoch = self.epoch;
-        mat.params = (alpha.clone(), beta.clone());
-    }
-
-    /// Re-materializations performed so far (convenience over the atomic).
+    /// Θ(n) materializations performed so far (first builds + fallbacks).
     pub fn rebuilds(&self) -> u64 {
         self.rebuild_count.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Θ(n) fallbacks forced by a lost replay window.
+    pub fn fallbacks(&self) -> u64 {
+        self.fallback_count.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Delta catch-ups applied so far.
+    pub fn replays(&self) -> u64 {
+        self.replay_count.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Items recomputed by full materializations so far.
+    pub fn rematerialized(&self) -> u64 {
+        self.items_rematerialized.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Item slots touched by delta patches so far.
+    pub fn patched(&self) -> u64 {
+        self.items_patched.load(AtomicOrdering::Relaxed)
+    }
+
+    /// A clone of this structure's materialization inside `ctx`, if that
+    /// context has built one (test/diagnostic hook — the churn suite
+    /// compares a delta-patched context's structure bit-for-bit against a
+    /// from-scratch one).
+    pub fn materialization(&self, ctx: &QueryCtx) -> Option<DeltaDss> {
+        ctx.state_ref::<OdssMat>(self.instance)
+            .and_then(|m| m.built.as_ref())
+            .map(|b| b.dss.clone())
+    }
+
+    /// Validates `ctx`'s materialization (bucket layout, weights, liveness,
+    /// canonical order) against the backing store; panics on violation, or
+    /// if the context has none. Test hook.
+    pub fn validate_materialization(&self, ctx: &QueryCtx) {
+        let mat = ctx
+            .state_ref::<OdssMat>(self.instance)
+            .and_then(|m| m.built.as_ref())
+            .expect("context has no materialization to validate");
+        mat.dss.validate(&self.store);
+    }
+
+    /// Brings `mat` to the journal's current epoch: reuse, O(deltas) patch,
+    /// or Θ(n) fallback — then refreshes the cached denominator if either
+    /// the structure or the parameters moved.
+    fn catch_up_mat(&self, mat: &mut OdssMat, alpha: &Ratio, beta: &Ratio) {
+        let epoch = self.journal.epoch();
+        let rebuilt = match &mut mat.built {
+            None => {
+                mat.built = Some(self.build_mat(alpha, beta, epoch));
+                true
+            }
+            Some(built) => match self.journal.catch_up(built.journal_epoch) {
+                Replay::UpToDate => false,
+                Replay::Deltas(deltas) => {
+                    let mut touched = 0u64;
+                    for delta in deltas {
+                        touched += built.dss.apply(delta);
+                    }
+                    self.replay_count.fetch_add(1, AtomicOrdering::Relaxed);
+                    self.items_patched.fetch_add(touched, AtomicOrdering::Relaxed);
+                    built.journal_epoch = epoch;
+                    // The item set moved, so the cached denominator did too.
+                    built.w = self.store.param_weight(alpha, beta);
+                    built.params = (alpha.clone(), beta.clone());
+                    return;
+                }
+                Replay::TooOld => {
+                    self.fallback_count.fetch_add(1, AtomicOrdering::Relaxed);
+                    mat.built = Some(self.build_mat(alpha, beta, epoch));
+                    true
+                }
+            },
+        };
+        if rebuilt {
+            return;
+        }
+        let built = mat.built.as_mut().expect("checked above");
+        if built.params.0 != *alpha || built.params.1 != *beta {
+            // New parameters are *not* a rebuild: the weight buckets are
+            // W-independent — one rational recomputation suffices.
+            built.w = self.store.param_weight(alpha, beta);
+            built.params = (alpha.clone(), beta.clone());
+        }
+    }
+
+    /// Θ(n) from-scratch materialization (first build or fallback).
+    fn build_mat(&self, alpha: &Ratio, beta: &Ratio, epoch: u64) -> OdssBuilt {
+        self.rebuild_count.fetch_add(1, AtomicOrdering::Relaxed);
+        let (dss, built) = DeltaDss::build_from(&self.store);
+        self.items_rematerialized.fetch_add(built, AtomicOrdering::Relaxed);
+        OdssBuilt {
+            journal_epoch: epoch,
+            params: (alpha.clone(), beta.clone()),
+            w: self.store.param_weight(alpha, beta),
+            dss,
+        }
     }
 }
 
 impl SpaceUsage for OdssStyle {
     fn space_words(&self) -> usize {
-        // The materialized buckets live in caller contexts; the structure
-        // itself is the store plus scalars. One n-slot bucket image is
+        // The materialized structure lives in caller contexts; the structure
+        // itself is the store, the journal, plus scalars. One n-slot
+        // materialization image (weights + liveness + bucket entries) is
         // charged here so the E4-style space comparison stays honest about
         // what a query needs to exist somewhere.
-        self.store.space_words() + self.store.len().div_ceil(2) + 8
+        self.store.space_words()
+            + self.journal.space_words()
+            + self.store.slot_count() * 2
+            + self.store.len().div_ceil(2)
+            + 8
     }
 }
 
 impl PssBackend for OdssStyle {
     fn insert(&mut self, weight: u64) -> Handle {
-        self.epoch += 1; // any DPSS update moves every probability
-        self.store.insert(weight)
+        let h = self.store.insert(weight);
+        self.journal.record(Delta::Inserted { handle: h, weight });
+        h
+    }
+
+    fn insert_many(&mut self, weights: &[u64]) -> Vec<Handle> {
+        store_insert_many(&mut self.store, &mut self.journal, weights)
     }
 
     fn delete(&mut self, handle: Handle) -> bool {
         let ok = self.store.delete(handle);
         if ok {
-            self.epoch += 1;
+            self.journal.record(Delta::Deleted { handle });
         }
         ok
     }
 
     fn query(&self, ctx: &mut QueryCtx, alpha: &Ratio, beta: &Ratio) -> Vec<Handle> {
-        let epoch = self.epoch;
-        let (rng, mat) = ctx.state(self.instance, || OdssMat {
-            epoch: u64::MAX, // sentinel: always stale before first use
-            params: (Ratio::zero(), Ratio::zero()),
-            buckets: Vec::new(),
-        });
-        let stale = mat.epoch != epoch
-            || mat.params.0.cmp(alpha) != Ordering::Equal
-            || mat.params.1.cmp(beta) != Ordering::Equal;
-        if stale {
-            self.materialize(mat, alpha, beta); // Θ(n) — the DSS-under-DPSS penalty
-        }
-        let w = self.store.param_weight(alpha, beta);
-        let mut out = Vec::new();
-        for (bi, bucket) in mat.buckets.iter().enumerate() {
-            if bucket.is_empty() {
-                continue;
-            }
-            let n_b = bucket.len() as u64;
-            if bi == 0 {
-                // p ∈ [1/2, 1]: flip each item directly (Ω(1) acceptance).
-                for &i in bucket {
-                    let wx = self.store.weight_at(i as usize).expect("materialized item is live");
-                    let keep = if w.is_zero() {
-                        true
-                    } else {
-                        let num = BigUint::from_u64(wx).mul(w.den());
-                        ber_rational_parts(rng, &num, w.num())
-                    };
-                    if keep {
-                        out.push(Handle::from_raw(i as u64));
-                    }
-                }
-                continue;
-            }
-            // Majorizer q = 2^{-bi} for every item in this bucket.
-            let q = Ratio::new(BigUint::one(), BigUint::pow2(bi as u64));
-            let mut k = bgeo(rng, &q, n_b + 1);
-            while k <= n_b {
-                let i = bucket[(k - 1) as usize];
-                let wx = self.store.weight_at(i as usize).expect("materialized item is live");
-                // Accept with p_i/q = w_i·2^bi/W ≤ 1.
-                let num = BigUint::from_u64(wx).shl(bi as u64).mul(w.den());
-                if ber_rational_parts(rng, &num, w.num()) {
-                    out.push(Handle::from_raw(i as u64));
-                }
-                k += bgeo(rng, &q, n_b + 1);
-            }
-        }
-        out
+        let (rng, mat) = ctx.state(self.instance, OdssMat::default);
+        self.catch_up_mat(mat, alpha, beta);
+        let built = mat.built.as_ref().expect("caught up above");
+        built.dss.sample(rng, &built.w).into_iter().map(|s| Handle::from_raw(s as u64)).collect()
     }
 
     fn len(&self) -> usize {
@@ -377,9 +460,22 @@ impl PssBackend for OdssStyle {
     fn set_weight(&mut self, handle: Handle, new_weight: u64) -> Option<Handle> {
         let old = self.store.set_weight(handle, new_weight)?;
         if old != new_weight {
-            self.epoch += 1; // W moved: every materialization is stale
+            self.journal.record(Delta::Reweighted { handle, old, new: new_weight });
         }
         Some(handle)
+    }
+
+    fn scale_all_weights(&mut self, num: u32, den: u32) -> bool {
+        // One journal entry for the whole decay — replayers re-derive the
+        // floors themselves (Delta::ScaledAll), so the op stays inside a
+        // replay window instead of flooding it with n reweights.
+        self.store.scale_all(num, den);
+        self.journal.record(Delta::ScaledAll { num, den });
+        true
+    }
+
+    fn journal(&self) -> Option<&ChangeJournal> {
+        Some(&self.journal)
     }
 }
 
@@ -468,7 +564,10 @@ mod tests {
     }
 
     #[test]
-    fn odss_rematerializes_on_every_update() {
+    fn odss_patches_updates_instead_of_rematerializing() {
+        // The epoch-delta rewrite: one Θ(n) build per context, then every
+        // update is an O(deltas) patch — not the Θ(n) rebuild the old
+        // all-or-nothing epoch forced.
         let mut o = OdssStyle::new(5);
         let mut ctx = QueryCtx::new(5);
         let a = Ratio::one();
@@ -476,22 +575,66 @@ mod tests {
         let h = PssBackend::insert(&mut o, 10);
         PssBackend::insert(&mut o, 20);
         let _ = o.query(&mut ctx, &a, &b);
-        assert_eq!(o.rebuilds(), 1);
-        let _ = o.query(&mut ctx, &a, &b); // same params, same ctx: no rebuild
-        assert_eq!(o.rebuilds(), 1);
+        assert_eq!((o.rebuilds(), o.replays()), (1, 0), "first query builds");
+        let _ = o.query(&mut ctx, &a, &b); // same state, same ctx: pure reuse
+        assert_eq!((o.rebuilds(), o.replays()), (1, 0));
         PssBackend::insert(&mut o, 30);
-        let _ = o.query(&mut ctx, &a, &b); // update invalidates
-        assert_eq!(o.rebuilds(), 2);
+        let _ = o.query(&mut ctx, &a, &b); // one insert = one-delta replay
+        assert_eq!((o.rebuilds(), o.replays()), (1, 1));
+        assert_eq!(o.patched(), 1);
         PssBackend::delete(&mut o, h);
         let _ = o.query(&mut ctx, &a, &b);
-        assert_eq!(o.rebuilds(), 3);
-        let _ = o.query(&mut ctx, &Ratio::from_int(2), &b); // new parameters invalidate
-        assert_eq!(o.rebuilds(), 4);
+        assert_eq!((o.rebuilds(), o.replays()), (1, 2));
+        // New parameters are not even a replay: buckets are W-independent.
+        let _ = o.query(&mut ctx, &Ratio::from_int(2), &b);
+        assert_eq!((o.rebuilds(), o.replays()), (1, 2));
         let h40 = PssBackend::insert(&mut o, 40);
         let h2 = PssBackend::set_weight(&mut o, h40, 50).unwrap();
-        let _ = o.query(&mut ctx, &Ratio::from_int(2), &b); // reweight invalidates too
-        assert_eq!(o.rebuilds(), 5);
+        let _ = o.query(&mut ctx, &Ratio::from_int(2), &b); // insert + reweight replay
+        assert_eq!((o.rebuilds(), o.replays()), (1, 3));
+        assert_eq!(o.patched(), 1 + 1 + 2);
         assert!(PssBackend::delete(&mut o, h2));
+        assert_eq!(o.fallbacks(), 0, "nothing wrapped the ring");
+    }
+
+    #[test]
+    fn odss_falls_back_when_the_ring_wraps() {
+        let mut o = OdssStyle::new(6);
+        let mut ctx = QueryCtx::new(6);
+        let a = Ratio::one();
+        let b = Ratio::zero();
+        let mut handles: Vec<Handle> = (1..=8u64).map(|w| PssBackend::insert(&mut o, w)).collect();
+        let _ = o.query(&mut ctx, &a, &b);
+        assert_eq!((o.rebuilds(), o.fallbacks()), (1, 0));
+        // More deltas than the journal retains: the context's window is gone.
+        for i in 0..(pss_core::DEFAULT_JOURNAL_CAPACITY as u64 + 50) {
+            let j = (i % 8) as usize;
+            handles[j] =
+                PssBackend::set_weight(&mut o, handles[j], (i % 100) + 1).expect("live handle");
+        }
+        let _ = o.query(&mut ctx, &a, &b);
+        assert_eq!((o.rebuilds(), o.fallbacks()), (2, 1), "wrap forces the Θ(n) path");
+        let _ = o.query(&mut ctx, &a, &b);
+        assert_eq!((o.rebuilds(), o.fallbacks()), (2, 1), "and the rebuilt state is warm again");
+    }
+
+    #[test]
+    fn odss_scale_all_is_one_native_op_and_one_delta() {
+        let mut o = OdssStyle::new(7);
+        let mut ctx = QueryCtx::new(7);
+        let a = Ratio::one();
+        let b = Ratio::zero();
+        for w in [7u64, 64, 1000] {
+            PssBackend::insert(&mut o, w);
+        }
+        let _ = o.query(&mut ctx, &a, &b);
+        let epoch = PssBackend::journal(&o).unwrap().epoch();
+        assert!(o.scale_all_weights(1, 2), "store-backed decay is native");
+        assert_eq!(PssBackend::journal(&o).unwrap().epoch(), epoch + 1, "one delta, not n");
+        assert_eq!(PssBackend::total_weight(&o), 3 + 32 + 500);
+        let _ = o.query(&mut ctx, &a, &b);
+        assert_eq!(o.rebuilds(), 1, "the decay replayed, it did not rebuild");
+        assert_eq!(o.replays(), 1);
     }
 
     #[test]

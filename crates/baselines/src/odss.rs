@@ -37,11 +37,13 @@
 //! that Θ(n) penalty (the gap stated in the paper's introduction).
 
 use bignum::{BigUint, Ratio};
+use pss_core::{ChangeJournal, Delta, Replay};
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
 use randvar::{ber_rational_parts, bgeo};
 use std::cmp::Ordering;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use wordram::bits::floor_log2_u64;
 use wordram::BitsetList;
 
 use crate::{Handle, PssBackend, QueryCtx, Store};
@@ -315,15 +317,350 @@ impl<R: RngCore> OdssDss<R> {
 }
 
 // ---------------------------------------------------------------------------
+// The journal-patched materialization
+// ---------------------------------------------------------------------------
+
+/// Weight-bucket universe of [`DeltaDss`]: `⌊log2 w⌋ ∈ 0..64`.
+const W_BUCKETS: usize = 64;
+
+/// The **incrementally maintainable** DSS materialization: items grouped by
+/// `⌊log2 w⌋` with the shared denominator `W(α, β)` factored out, in the
+/// spirit of the bucket structures Yi, Wang & Wei (ODSS) and Huang & Wang
+/// (*Subset Sampling and Its Extensions*) maintain under single-item
+/// updates.
+///
+/// The original materialization bucketed items by their *probability*
+/// `p_x = w_x / W` — and since every DPSS update moves the shared `W`, every
+/// stored probability went stale at once, forcing the Θ(n) rebuild the
+/// ROADMAP's mixed-regime item names. Bucketing by **weight** instead makes
+/// the structure `W`-independent: a [`pss_core::Delta`] touches exactly the
+/// slots it names ([`DeltaDss::apply`] — an O(log) position search plus a
+/// sorted-bucket `u32` memmove, worst case the bucket's length when all
+/// weights share one `⌊log2 w⌋` class, still far below the per-item
+/// rational arithmetic of the Θ(n) rebuild it replaces), and the
+/// denominator is one [`Ratio`] refreshed per catch-up. Exactness is
+/// unchanged — for bucket `j` (weights in `[2^j, 2^{j+1})`) the query walk
+/// uses the majorizer `q_j = min(2^{j+1}/W, 1)` and accepts each B-Geo
+/// candidate with `p_x/q_j = w_x/2^{j+1}`, in which `W` cancels.
+///
+/// **Canonical layout.** Bucket lists are kept sorted by slot index, so the
+/// structure a context patches forward is *bit-identical* to one
+/// materialized from scratch ([`DeltaDss::build_from`] pushes slots in
+/// ascending order) — pinned by the suite's churn test, which is what lets
+/// the delta path claim the exact sampling law of the rebuild path.
+#[derive(Debug, Clone)]
+pub struct DeltaDss {
+    /// Last known weight per store slot (stale in dead slots).
+    weights: Vec<u64>,
+    /// Liveness per slot.
+    live: Vec<bool>,
+    /// `buckets[j]` lists live slots with `⌊log2 w⌋ = j`, ascending.
+    buckets: Vec<Vec<u32>>,
+    /// Non-empty bucket indices (Fact 2.1 structure).
+    nonempty: BitsetList,
+    /// Live items with positive weight.
+    n_pos: usize,
+}
+
+impl Default for DeltaDss {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DeltaDss {
+    /// Empty materialization.
+    pub fn new() -> Self {
+        DeltaDss {
+            weights: Vec::new(),
+            live: Vec::new(),
+            buckets: vec![Vec::new(); W_BUCKETS],
+            nonempty: BitsetList::new(W_BUCKETS),
+            n_pos: 0,
+        }
+    }
+
+    /// Θ(n) from-scratch materialization (the fallback path): canonical by
+    /// construction — slots are visited in ascending order, so every bucket
+    /// list comes out sorted. Returns the structure and the number of live
+    /// items materialized.
+    pub fn build_from(store: &Store) -> (Self, u64) {
+        let mut dss = DeltaDss::new();
+        let slots = store.slot_count();
+        dss.weights = vec![0; slots];
+        dss.live = vec![false; slots];
+        let mut built = 0u64;
+        for (h, w) in store.iter_live() {
+            let slot = h.raw() as usize;
+            dss.weights[slot] = w;
+            dss.live[slot] = true;
+            built += 1;
+            if w > 0 {
+                let j = floor_log2_u64(w) as usize;
+                if dss.buckets[j].is_empty() {
+                    dss.nonempty.insert(j);
+                }
+                dss.buckets[j].push(slot as u32);
+                dss.n_pos += 1;
+            }
+        }
+        (dss, built)
+    }
+
+    /// Live items with positive weight.
+    pub fn n_positive(&self) -> usize {
+        self.n_pos
+    }
+
+    /// Patches one journaled delta into the structure, preserving the
+    /// canonical (sorted) bucket layout. Returns the number of item slots
+    /// touched (1 for the single-item deltas, the live count for
+    /// [`Delta::ScaledAll`]). [`Delta::Rebuilt`] never reaches a replayer —
+    /// the journal converts it into a `TooOld` fallback — so it is rejected
+    /// loudly here.
+    pub fn apply(&mut self, delta: &Delta) -> u64 {
+        match *delta {
+            Delta::Inserted { handle, weight } => {
+                let slot = handle.raw() as usize;
+                if slot >= self.weights.len() {
+                    self.weights.resize(slot + 1, 0);
+                    self.live.resize(slot + 1, false);
+                }
+                debug_assert!(!self.live[slot], "insert into live slot");
+                self.weights[slot] = weight;
+                self.live[slot] = true;
+                if weight > 0 {
+                    self.attach(slot as u32, weight);
+                }
+                1
+            }
+            Delta::Deleted { handle } => {
+                let slot = handle.raw() as usize;
+                debug_assert!(self.live[slot], "delete of dead slot");
+                if self.weights[slot] > 0 {
+                    self.detach(slot as u32, self.weights[slot]);
+                }
+                self.live[slot] = false;
+                1
+            }
+            Delta::Reweighted { handle, old, new } => {
+                let slot = handle.raw() as usize;
+                debug_assert!(self.live[slot], "reweight of dead slot");
+                debug_assert_eq!(self.weights[slot], old, "reweight from unexpected weight");
+                self.weights[slot] = new;
+                let old_bucket = (old > 0).then(|| floor_log2_u64(old));
+                let new_bucket = (new > 0).then(|| floor_log2_u64(new));
+                if old_bucket != new_bucket {
+                    if old_bucket.is_some() {
+                        self.detach(slot as u32, old);
+                    }
+                    if new_bucket.is_some() {
+                        self.attach(slot as u32, new);
+                    }
+                }
+                1
+            }
+            Delta::ScaledAll { num, den } => self.scale_all(num, den),
+            Delta::Rebuilt => unreachable!("catch_up never replays across a rebuild"),
+        }
+    }
+
+    /// Inserts `slot` into the bucket of `w > 0` at its sorted position.
+    fn attach(&mut self, slot: u32, w: u64) {
+        let j = floor_log2_u64(w) as usize;
+        let b = &mut self.buckets[j];
+        let pos = b.partition_point(|&s| s < slot);
+        b.insert(pos, slot);
+        if b.len() == 1 {
+            self.nonempty.insert(j);
+        }
+        self.n_pos += 1;
+    }
+
+    /// Removes `slot` from the bucket of `w > 0`, keeping the order.
+    fn detach(&mut self, slot: u32, w: u64) {
+        let j = floor_log2_u64(w) as usize;
+        let b = &mut self.buckets[j];
+        let pos = b.partition_point(|&s| s < slot);
+        debug_assert!(b.get(pos) == Some(&slot), "slot missing from its bucket");
+        b.remove(pos);
+        if b.is_empty() {
+            self.nonempty.remove(j);
+        }
+        self.n_pos -= 1;
+    }
+
+    /// Applies one global decay `w → ⌊w·num/den⌋` (see
+    /// [`pss_core::scale_weight`]) by re-deriving every live slot's bucket in
+    /// one ascending integer pass — O(n) slot touches but *no* rational
+    /// arithmetic, and the ascending order keeps the layout canonical.
+    /// Consecutive scales compound exactly like the store's own sequential
+    /// floors (floors do not commute, so order matters). Returns slots
+    /// touched.
+    fn scale_all(&mut self, num: u32, den: u32) -> u64 {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.nonempty.reset(W_BUCKETS);
+        self.n_pos = 0;
+        let mut touched = 0u64;
+        for slot in 0..self.weights.len() {
+            if !self.live[slot] {
+                continue;
+            }
+            touched += 1;
+            let w = pss_core::scale_weight(self.weights[slot], num, den);
+            self.weights[slot] = w;
+            if w > 0 {
+                let j = floor_log2_u64(w) as usize;
+                if self.buckets[j].is_empty() {
+                    self.nonempty.insert(j);
+                }
+                self.buckets[j].push(slot as u32);
+                self.n_pos += 1;
+            }
+        }
+        touched
+    }
+
+    /// Draws one subset under DPSS semantics with denominator `w_total`:
+    /// each live item `x` included independently with probability exactly
+    /// `min(w_x / w_total, 1)` (`w_total = 0` means every positive-weight
+    /// item is certain, the workspace-wide convention). Expected time
+    /// `O(B + μ)` with `B ≤ 64` non-empty weight buckets. Returns store slot
+    /// indices; coins come from `rng` only, so the output is a pure function
+    /// of `(structure, w_total, stream)`.
+    pub fn sample<R: RngCore>(&self, rng: &mut R, w_total: &Ratio) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut j_opt = self.nonempty.min();
+        while let Some(j) = j_opt {
+            self.sample_bucket(rng, w_total, j, &mut out);
+            j_opt = self.nonempty.succ(j + 1);
+        }
+        out
+    }
+
+    /// Majorizer walk over weight bucket `j`: candidates at
+    /// `B-Geo(2^{j+1}/W)` strides, each accepted with the residual
+    /// `Ber(w_x/2^{j+1})` — the shared denominator cancels out of the
+    /// acceptance, which is exactly why this structure can survive `W`
+    /// moving under it.
+    fn sample_bucket<R: RngCore>(
+        &self,
+        rng: &mut R,
+        w_total: &Ratio,
+        j: usize,
+        out: &mut Vec<u32>,
+    ) {
+        let bucket = &self.buckets[j];
+        let n_j = bucket.len() as u64;
+        if w_total.is_zero() {
+            out.extend_from_slice(bucket);
+            return;
+        }
+        let cap = BigUint::pow2(j as u64 + 1);
+        let q = Ratio::new(cap.mul(w_total.den()), w_total.num().clone());
+        if q.cmp_int(1) != Ordering::Less {
+            // 2^{j+1} ≥ W: probabilities in this bucket are ≥ 1/2 (possibly
+            // clamped at 1) — flip every item directly, output-charged.
+            for &slot in bucket {
+                let num = BigUint::from_u64(self.weights[slot as usize]).mul(w_total.den());
+                if ber_rational_parts(rng, &num, w_total.num()) {
+                    out.push(slot);
+                }
+            }
+            return;
+        }
+        let mut k = bgeo(rng, &q, n_j + 1);
+        while k <= n_j {
+            let slot = bucket[(k - 1) as usize];
+            // Accept with p_x/q_j = w_x/2^{j+1} < 1 (w_x < 2^{j+1} in bucket j).
+            let num = BigUint::from_u64(self.weights[slot as usize]);
+            if ber_rational_parts(rng, &num, &cap) {
+                out.push(slot);
+            }
+            k += bgeo(rng, &q, n_j + 1);
+        }
+    }
+
+    /// Checks every structural invariant against `store`, including the
+    /// canonical sorted order; panics on violation. Test hook.
+    pub fn validate(&self, store: &Store) {
+        let mut n_pos = 0usize;
+        for slot in 0..self.weights.len().max(store.slot_count()) {
+            let expect = store.weight_at(slot);
+            let got = self.live.get(slot).copied().unwrap_or(false);
+            assert_eq!(expect.is_some(), got, "slot {slot}: liveness drift");
+            if let Some(w) = expect {
+                assert_eq!(self.weights[slot], w, "slot {slot}: weight drift");
+                if w > 0 {
+                    n_pos += 1;
+                }
+            }
+        }
+        assert_eq!(self.n_pos, n_pos, "positive count drift");
+        for (j, b) in self.buckets.iter().enumerate() {
+            assert_eq!(!b.is_empty(), self.nonempty.contains(j), "bucket {j}: bitset drift");
+            assert!(b.windows(2).all(|w| w[0] < w[1]), "bucket {j}: order not canonical");
+            for &slot in b {
+                let w = self.weights[slot as usize];
+                assert!(self.live[slot as usize] && w > 0, "bucket {j}: ghost slot {slot}");
+                assert_eq!(floor_log2_u64(w) as usize, j, "slot {slot}: wrong bucket");
+            }
+        }
+    }
+
+    /// Words of storage.
+    pub fn space_words(&self) -> usize {
+        self.weights.capacity()
+            + self.live.capacity().div_ceil(64)
+            + self.buckets.iter().map(|b| b.capacity().div_ceil(2) + 1).sum::<usize>()
+            + self.nonempty.space_words()
+            + 2
+    }
+}
+
+/// Semantic equality: same live items at the same weights in the same
+/// canonical bucket layout. Stale weights in dead slots (and trailing dead
+/// slots one side has never seen) are not part of the identity.
+impl PartialEq for DeltaDss {
+    fn eq(&self, other: &Self) -> bool {
+        if self.n_pos != other.n_pos || self.buckets != other.buckets {
+            return false;
+        }
+        let live_eq = |a: &DeltaDss, b: &DeltaDss| {
+            a.live.iter().enumerate().all(|(slot, &alive)| {
+                !alive
+                    || (b.live.get(slot).copied().unwrap_or(false)
+                        && a.weights[slot] == b.weights[slot])
+            })
+        };
+        live_eq(self, other) && live_eq(other, self)
+    }
+}
+
+impl Eq for DeltaDss {}
+
+// ---------------------------------------------------------------------------
 // ODSS under DPSS semantics
 // ---------------------------------------------------------------------------
 
 /// The ODSS structure driven with **DPSS semantics**: probabilities
 /// `p_x = min(w(x)/W(α,β), 1)` are materialized into an [`OdssDss`] living in
 /// the caller's [`QueryCtx`], and any update (or parameter change) forces a
-/// Θ(n) re-materialization because the shared denominator `W` moved. The
-/// counter [`OdssUnderDpss::items_rematerialized`] accumulates the penalty
-/// that experiment E5 reports (atomic: queries run on `&self`).
+/// Θ(n) re-materialization because the shared denominator `W` moved — the
+/// stored probabilities are *absolute*, so no delta replay can save them.
+/// This backend deliberately stays on that path: it **measures** the
+/// DSS-under-DPSS penalty the paper's introduction identifies (the
+/// incremental, journal-patched foil is `baselines::OdssStyle`). The counter
+/// [`OdssUnderDpss::items_rematerialized`] accumulates the penalty that
+/// experiment E5 reports (atomic: queries run on `&self`).
+///
+/// Staleness detection still rides the shared [`ChangeJournal`] protocol
+/// (`catch_up` deciding between reuse and rebuild), and a context that has
+/// never built is an explicit [`Option`] — not the `epoch: u64::MAX`
+/// sentinel this replaces, which a sufficiently long-lived journal could in
+/// principle have aliased.
 ///
 /// Query coins are drawn from the context's stream via
 /// [`OdssDss::query_with`], so sharded batches over this backend are a pure
@@ -331,8 +668,8 @@ impl<R: RngCore> OdssDss<R> {
 #[derive(Debug)]
 pub struct OdssUnderDpss {
     store: Store,
-    /// Bumped by every update; stales all materializations everywhere.
-    epoch: u64,
+    /// Update log; any replayable entry still means "rebuild" here.
+    journal: ChangeJournal,
     /// Keys this structure's materialization inside any [`QueryCtx`].
     instance: u64,
     /// Total items whose probability was recomputed across all rebuilds.
@@ -341,12 +678,17 @@ pub struct OdssUnderDpss {
     pub rebuild_count: AtomicU64,
 }
 
-/// One context's materialized inner DSS for an [`OdssUnderDpss`].
-#[derive(Debug)]
+/// One context's materialization slot for an [`OdssUnderDpss`]: `None`
+/// until the first query builds it.
+#[derive(Debug, Default)]
 struct DssMat {
-    /// Epoch of the adapter when this materialization was built
-    /// (`u64::MAX` = never built).
-    epoch: u64,
+    built: Option<BuiltMat>,
+}
+
+/// A built inner DSS, stamped with the journal epoch it reflects.
+#[derive(Debug)]
+struct BuiltMat {
+    journal_epoch: u64,
     params: (Ratio, Ratio),
     inner: OdssDss<SmallRng>,
     /// Maps inner DSS handles back to store handles.
@@ -359,21 +701,20 @@ impl OdssUnderDpss {
     pub fn new(_seed: u64) -> Self {
         OdssUnderDpss {
             store: Store::default(),
-            epoch: 0,
+            journal: ChangeJournal::new(),
             instance: pss_core::fresh_backend_id(),
             items_rematerialized: AtomicU64::new(0),
             rebuild_count: AtomicU64::new(0),
         }
     }
 
-    /// Θ(n): rebuilds `mat`'s inner DSS with the probabilities induced by
-    /// `(α,β)`.
-    fn materialize(&self, mat: &mut DssMat, alpha: &Ratio, beta: &Ratio) {
+    /// Θ(n): builds an inner DSS with the probabilities induced by `(α,β)`.
+    fn materialize(&self, alpha: &Ratio, beta: &Ratio) -> BuiltMat {
         self.rebuild_count.fetch_add(1, AtomicOrdering::Relaxed);
         // Fresh inner structure; its internal RNG is never drawn from (all
         // query coins come from the caller's context via `query_with`).
-        mat.inner = OdssDss::new(0);
-        mat.dss_to_store.clear();
+        let mut inner = OdssDss::new(0);
+        let mut dss_to_store = Vec::new();
         let w = self.store.param_weight(alpha, beta);
         let mut rebuilt = 0u64;
         for (h, wx) in self.store.iter_live() {
@@ -386,13 +727,17 @@ impl OdssUnderDpss {
             } else {
                 Ratio::new(BigUint::from_u64(wx).mul(w.den()), w.num().clone()).min_one()
             };
-            let dh = mat.inner.insert(p);
-            debug_assert_eq!(dh as usize, mat.dss_to_store.len());
-            mat.dss_to_store.push(h.raw() as u32);
+            let dh = inner.insert(p);
+            debug_assert_eq!(dh as usize, dss_to_store.len());
+            dss_to_store.push(h.raw() as u32);
         }
         self.items_rematerialized.fetch_add(rebuilt, AtomicOrdering::Relaxed);
-        mat.epoch = self.epoch;
-        mat.params = (alpha.clone(), beta.clone());
+        BuiltMat {
+            journal_epoch: self.journal.epoch(),
+            params: (alpha.clone(), beta.clone()),
+            inner,
+            dss_to_store,
+        }
     }
 
     /// Re-materializations performed so far (convenience over the atomic).
@@ -418,34 +763,45 @@ impl crate::SpaceUsage for OdssUnderDpss {
 
 impl PssBackend for OdssUnderDpss {
     fn insert(&mut self, weight: u64) -> Handle {
-        self.epoch += 1; // W moved: every probability is stale
-        self.store.insert(weight)
+        // W moves: every stored probability is stale (the measured penalty).
+        let h = self.store.insert(weight);
+        self.journal.record(Delta::Inserted { handle: h, weight });
+        h
+    }
+
+    fn insert_many(&mut self, weights: &[u64]) -> Vec<Handle> {
+        crate::store_insert_many(&mut self.store, &mut self.journal, weights)
     }
 
     fn delete(&mut self, handle: Handle) -> bool {
         let ok = self.store.delete(handle);
         if ok {
-            self.epoch += 1;
+            self.journal.record(Delta::Deleted { handle });
         }
         ok
     }
 
     fn query(&self, ctx: &mut QueryCtx, alpha: &Ratio, beta: &Ratio) -> Vec<Handle> {
-        let epoch = self.epoch;
-        let (rng, mat) = ctx.state(self.instance, || DssMat {
-            epoch: u64::MAX,
-            params: (Ratio::zero(), Ratio::zero()),
-            inner: OdssDss::new(0),
-            dss_to_store: Vec::new(),
-        });
-        let stale = mat.epoch != epoch
-            || mat.params.0.cmp(alpha) != Ordering::Equal
-            || mat.params.1.cmp(beta) != Ordering::Equal;
-        if stale {
-            self.materialize(mat, alpha, beta);
+        let (rng, mat) = ctx.state(self.instance, DssMat::default);
+        let rebuild = match &mat.built {
+            None => true,
+            Some(built) => {
+                // Absolute probabilities cannot be delta-patched: any
+                // journal movement (replayable or not) means rebuild.
+                !matches!(self.journal.catch_up(built.journal_epoch), Replay::UpToDate)
+                    || built.params.0.cmp(alpha) != Ordering::Equal
+                    || built.params.1.cmp(beta) != Ordering::Equal
+            }
+        };
+        if rebuild {
+            mat.built = Some(self.materialize(alpha, beta));
         }
-        let sampled = mat.inner.query_with(rng);
-        sampled.into_iter().map(|h| Handle::from_raw(mat.dss_to_store[h as usize] as u64)).collect()
+        let built = mat.built.as_mut().expect("materialized above");
+        let sampled = built.inner.query_with(rng);
+        sampled
+            .into_iter()
+            .map(|h| Handle::from_raw(built.dss_to_store[h as usize] as u64))
+            .collect()
     }
 
     fn len(&self) -> usize {
@@ -463,9 +819,19 @@ impl PssBackend for OdssUnderDpss {
     fn set_weight(&mut self, handle: Handle, new_weight: u64) -> Option<Handle> {
         let old = self.store.set_weight(handle, new_weight)?;
         if old != new_weight {
-            self.epoch += 1;
+            self.journal.record(Delta::Reweighted { handle, old, new: new_weight });
         }
         Some(handle)
+    }
+
+    fn scale_all_weights(&mut self, num: u32, den: u32) -> bool {
+        self.store.scale_all(num, den);
+        self.journal.record(Delta::ScaledAll { num, den });
+        true
+    }
+
+    fn journal(&self) -> Option<&ChangeJournal> {
+        Some(&self.journal)
     }
 }
 

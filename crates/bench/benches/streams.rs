@@ -40,6 +40,10 @@ fn replay_halt(stream: &UpdateStream) -> usize {
             Op::DeleteOldest => {
                 s.delete(live.remove_oldest());
             }
+            Op::ReweightAt { index, weight } => {
+                let id = live.handles()[index];
+                s.set_weight(id, weight).expect("live id");
+            }
             Op::ScaleAllWeights { num, den } => {
                 // HALT's native in-place reweight: ids stay stable.
                 for &id in live.handles() {
@@ -66,6 +70,13 @@ fn replay_deamortized(stream: &UpdateStream) -> usize {
             }
             Op::DeleteOldest => {
                 s.delete(live.remove_oldest());
+            }
+            Op::ReweightAt { index, weight } => {
+                use pss_core::PssBackend;
+                let entry = &mut live.handles_mut()[index];
+                let nh = PssBackend::set_weight(&mut s, pss_core::Handle::from_raw(*entry), weight)
+                    .expect("live handle");
+                *entry = nh.raw();
             }
             Op::ScaleAllWeights { num, den } => {
                 // The de-amortized structure uses the facade's default

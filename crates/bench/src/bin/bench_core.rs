@@ -2,26 +2,30 @@
 //!
 //! Measures insert / churn / delete / set_weight / query / batched-query
 //! throughput for every backend in the roster through the `pss-core` facade
-//! and writes `BENCH_core.json` (see `--out`), validated against schema v3
+//! and writes `BENCH_core.json` (see `--out`), validated against schema v4
 //! right after writing, so successive PRs accumulate a performance
 //! trajectory that scripts can diff and whose shape cannot silently drift.
 //! Queries run through the shared-read surface (`&self` + `QueryCtx`); the
-//! snapshot carries four structure-level observability blocks: HALT's
-//! `(α, β)` plan-cache hit/miss counters, a FIFO sliding-window replay, the
+//! snapshot carries five structure-level observability blocks: HALT's
+//! `(α, β)` plan-cache hit/miss/refresh counters (refreshes are the
+//! journal's shrunk miss path), a FIFO sliding-window replay, the
 //! decayed-weight replay (periodic `ScaleAllWeights`, the `set_weight`-heavy
-//! stream), and the `query_par` block comparing sequential `query_many`
-//! against the `ShardedQuery` parallel front-end (whose results are asserted
-//! bit-identical before timing). Human-readable numbers go to stdout as they
-//! are produced.
+//! stream), the `query_par` block comparing sequential `query_many` against
+//! the `ShardedQuery` parallel front-end (whose results are asserted
+//! bit-identical before timing), and the `mixed_regime` block replaying the
+//! reweight+query interleaved stream on the `odss-style` backend — the
+//! workload whose Θ(n)-per-round re-materialization the epoch-delta change
+//! journal turned into O(deltas) catch-ups (replay/fallback counters
+//! included). Human-readable numbers go to stdout as they are produced.
 //!
 //! Usage: `cargo run --release -p bench --bin bench_core [-- --out PATH
 //! --n ITEMS --threads T --quick]`
 
-use baselines::all_backends;
+use baselines::{all_backends, OdssStyle};
 use bench::{fmt_secs, time, time_per};
 use bignum::Ratio;
 use dpss::DpssSampler;
-use pss_core::{Handle, PssBackend, QueryCtx, ShardedQuery};
+use pss_core::{Handle, PssBackend, QueryCtx, SeedableBackend, ShardedQuery};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use workloads::drive::replay_stream;
@@ -178,21 +182,45 @@ fn measure(seed: u64, n: usize, quick: bool) -> Vec<Row> {
 }
 
 /// Snapshots HALT's `(α, β)` plan-cache counters under the batched query
-/// workload: 16 distinct pairs driven 4 times on a static item set should
-/// cost 16 misses and 48 hits; a mutation between rounds invalidates the
-/// epoch and costs a fresh batch of misses. Uses the legacy convenience
-/// surface, whose internal default context the stats read.
-fn plan_cache_probe(seed: u64, n: usize, weights: &[u64]) -> (u64, u64) {
+/// workload: 16 distinct pairs driven 4 times on a static item set cost 16
+/// misses and 48 hits; one reweight between rounds is weight-only churn, so
+/// the journal-revalidated cache *refreshes* all 16 entries in place
+/// (keeping keys and the memoized lookup table) instead of re-missing —
+/// expect (48, 16, 16). Uses the legacy convenience surface, whose internal
+/// default context the stats read.
+fn plan_cache_probe(seed: u64, n: usize, weights: &[u64]) -> (u64, u64, u64) {
     let (mut s, ids) = DpssSampler::from_weights(weights, seed);
     let batch: Vec<(Ratio, Ratio)> =
         (0..16u64).map(|i| (Ratio::from_u64s(1, 8 + i), Ratio::zero())).collect();
     for _ in 0..4 {
         let _ = DpssSampler::query_many(&mut s, &batch);
     }
-    // One mutation, one more batch: all misses again (epoch invalidation).
+    // One mutation, one more batch: 16 in-place refreshes (not misses).
     let _ = DpssSampler::set_weight(&mut s, ids[n / 2], 12345);
     let _ = DpssSampler::query_many(&mut s, &batch);
     s.plan_cache_stats()
+}
+
+/// Replays the mixed update+query regime (reweight-dominated churn, one
+/// single-parameter query after every update) into a fresh `odss-style`
+/// backend — the workload where the old all-or-nothing epoch forced a Θ(n)
+/// re-materialization per round (~500 rounds/s at n = 2^14) and the
+/// epoch-delta journal now patches per-context state forward in O(deltas).
+/// Returns rounds/s plus the journal accounting: items rebuilt by Θ(n)
+/// materializations, delta replays applied, and ring-wrap fallbacks.
+fn mixed_regime_probe(seed: u64, n: usize, quick: bool) -> (f64, u64, u64, u64) {
+    let rounds = if quick { n / 4 } else { n };
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x317ED);
+    let dist = WeightDist::Zipf { s_num: 2, s_den: 1, w_max: 1 << 30 };
+    let kind = StreamKind::MixedRegime { insert_permille: 150, reweight_permille: 600 };
+    let stream = UpdateStream::generate(kind, n, rounds, dist, &mut rng);
+    let mut backend = OdssStyle::with_seed(seed ^ 0x317EE);
+    let mut ctx = QueryCtx::new(seed ^ 0x317EF);
+    let params = [(Ratio::from_u64s(1, 16), Ratio::zero())];
+    let (report, secs) =
+        time(|| replay_stream(&mut backend, &mut ctx, &stream, Some((1, &params))));
+    debug_assert_eq!(report.queries, rounds as u64);
+    (rounds as f64 / secs, backend.rematerialized(), backend.replays(), backend.fallbacks())
 }
 
 /// Replays the exact-FIFO sliding-window stream (insert at head, delete at
@@ -296,8 +324,11 @@ fn main() {
 
     let mut rng = SmallRng::seed_from_u64(42);
     let weights = WeightDist::Zipf { s_num: 2, s_den: 1, w_max: 1 << 30 }.generate(n, &mut rng);
-    let (hits, misses) = plan_cache_probe(42, n, &weights);
-    println!("\nplan cache probe: {hits} hits / {misses} misses (expect 48 / 32)");
+    let (hits, misses, refreshes) = plan_cache_probe(42, n, &weights);
+    println!(
+        "\nplan cache probe: {hits} hits / {misses} misses / {refreshes} refreshes \
+         (expect 48 / 16 / 16)"
+    );
     let (fifo_window, fifo_ops) = fifo_window_probe(42, n, quick);
     println!("fifo window (w={fifo_window}): {fifo_ops:.0} update ops/s on halt");
     let (scale_every, decayed_ops) = decayed_probe(42, n, quick);
@@ -308,14 +339,23 @@ fn main() {
         "query_par ({threads} threads, bit-identical checked): \
          seq {seq_qps:.0} q/s, sharded {par_qps:.0} q/s — {speedup:.2}x"
     );
+    let (mr_rounds, mr_remat, mr_replays, mr_fallbacks) = mixed_regime_probe(42, n, quick);
+    println!(
+        "mixed regime (odss-style, update+query per round): {mr_rounds:.0} rounds/s — \
+         {mr_remat} items rematerialized, {mr_replays} journal replays, \
+         {mr_fallbacks} fallbacks"
+    );
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": 3,\n");
+    json.push_str("  \"schema\": 4,\n");
     json.push_str(&format!("  \"n_items\": {n},\n"));
     json.push_str(&format!("  \"quick\": {quick},\n"));
     json.push_str("  \"unit\": \"ops_per_sec\",\n");
-    json.push_str(&format!("  \"plan_cache\": {{\"hits\": {hits}, \"misses\": {misses}}},\n"));
+    json.push_str(&format!(
+        "  \"plan_cache\": {{\"hits\": {hits}, \"misses\": {misses}, \
+         \"refreshes\": {refreshes}}},\n"
+    ));
     json.push_str(&format!(
         "  \"fifo_window\": {{\"window\": {fifo_window}, \"ops_per_sec\": {fifo_ops:.1}}},\n"
     ));
@@ -325,6 +365,11 @@ fn main() {
     json.push_str(&format!(
         "  \"query_par\": {{\"threads\": {threads}, \"seq_ops_per_sec\": {seq_qps:.1}, \
          \"par_ops_per_sec\": {par_qps:.1}, \"speedup\": {speedup:.3}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"mixed_regime\": {{\"rounds_per_sec\": {mr_rounds:.1}, \
+         \"rematerialized\": {mr_remat}, \"replays\": {mr_replays}, \
+         \"fallbacks\": {mr_fallbacks}}},\n"
     ));
     json.push_str("  \"backends\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -349,7 +394,7 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write BENCH_core.json");
     // Self-validate the snapshot so a shape regression fails the run (and
     // CI's --quick smoke step) instead of silently breaking the trajectory.
-    bench::schema::validate_bench_core_v3(&json)
-        .unwrap_or_else(|e| panic!("emitted snapshot violates schema v3: {e}"));
-    println!("\nwrote {out_path} (schema v3 OK)");
+    bench::schema::validate_bench_core_v4(&json)
+        .unwrap_or_else(|e| panic!("emitted snapshot violates schema v4: {e}"));
+    println!("\nwrote {out_path} (schema v4 OK)");
 }

@@ -490,6 +490,7 @@ fn e3b_streams() {
                         Op::DeleteOldest => {
                             s.delete(live.remove_oldest());
                         }
+                        Op::ReweightAt { .. } => unreachable!("e3b streams never reweight"),
                         Op::ScaleAllWeights { .. } => unreachable!("e3b streams never scale"),
                     }
                     lat.push(t0.elapsed().as_secs_f64());
@@ -524,6 +525,7 @@ fn e3b_streams() {
                         Op::DeleteOldest => {
                             s.delete(live.remove_oldest());
                         }
+                        Op::ReweightAt { .. } => unreachable!("e3b streams never reweight"),
                         Op::ScaleAllWeights { .. } => unreachable!("e3b streams never scale"),
                     }
                     lat.push(t0.elapsed().as_secs_f64());

@@ -4,17 +4,24 @@
 //! performance trajectory that scripts can diff. A snapshot whose *shape*
 //! silently drifts (renamed field, string where a number belongs, empty
 //! backend roster) breaks every downstream diff without failing anything —
-//! so the emitter validates its own output against schema v2 right after
+//! so the emitter validates its own output against schema v4 right after
 //! writing, and CI runs the same check on the `--quick` smoke snapshot.
 //!
 //! Schema history: v2 extended v1 with per-backend `delete`/`set_weight`
 //! throughput plus the `plan_cache` and `fifo_window` observability blocks.
-//! Schema v3 (this PR) adds two more blocks for the query-API redesign:
-//! `query_par` (threads, sequential and sharded `query_many` throughput,
-//! and the parallel speedup of `ShardedQuery` — recorded honestly even on
+//! Schema v3 added two blocks for the query-API redesign: `query_par`
+//! (threads, sequential and sharded `query_many` throughput, and the
+//! parallel speedup of `ShardedQuery` — recorded honestly even on
 //! single-core hosts where it degrades to ≈1×) and `decayed` (update
 //! throughput of the decayed-weight stream, whose periodic
 //! `ScaleAllWeights` makes `set_weight` cost visible end-to-end).
+//! Schema v4 (this PR) instruments the epoch-delta change journal:
+//! `plan_cache` gains `refreshes` (stale plans re-derived in place after
+//! weight-only churn — the journal's shrunk miss path), and the new
+//! `mixed_regime` block records the interleaved update+query replay on the
+//! `odss-style` backend (rounds/s, items rematerialized by Θ(n) fallbacks,
+//! and the journal replay/fallback counters) — the regime the journal
+//! rewrite exists to fix.
 //!
 //! The workspace is offline (no serde), so this carries a deliberately tiny
 //! recursive-descent JSON reader: objects, arrays, strings (with escapes),
@@ -235,7 +242,7 @@ fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-/// Per-backend numeric throughput fields required by schema v3.
+/// Per-backend numeric throughput fields required by schema v4.
 pub const BACKEND_RATE_FIELDS: [&str; 7] =
     ["insert", "churn_pair", "delete", "set_weight", "query_mu16", "query_batch16", "mixed_round"];
 
@@ -251,27 +258,29 @@ fn require_num(obj: &Json, field: &str, min: f64, path: &str) -> Result<f64, Str
     Ok(v)
 }
 
-/// Validates a `BENCH_core.json` document against schema v3:
+/// Validates a `BENCH_core.json` document against schema v4:
 ///
-/// - top level: `schema == 3`, integer `n_items ≥ 1`, boolean `quick`,
+/// - top level: `schema == 4`, integer `n_items ≥ 1`, boolean `quick`,
 ///   `unit == "ops_per_sec"`, non-empty `backends` array;
-/// - `plan_cache`: finite non-negative `hits` and `misses`;
+/// - `plan_cache`: finite non-negative `hits`, `misses`, and `refreshes`;
 /// - `fifo_window`: integer `window ≥ 1` and finite non-negative
 ///   `ops_per_sec`;
 /// - `query_par`: integer `threads ≥ 1`, finite non-negative
 ///   `seq_ops_per_sec` and `par_ops_per_sec`, finite non-negative `speedup`;
 /// - `decayed`: integer `scale_every ≥ 1` and finite non-negative
 ///   `ops_per_sec`;
+/// - `mixed_regime`: finite non-negative `rounds_per_sec`, integer
+///   `rematerialized ≥ 0`, integer `replays ≥ 0`, integer `fallbacks ≥ 0`;
 /// - each backend: non-empty string `name`, finite non-negative numbers for
 ///   every field in [`BACKEND_RATE_FIELDS`] plus `space_words`.
 ///
 /// Unknown extra fields are allowed (forward-compatible); missing or
 /// mistyped required fields are errors naming the offending path.
-pub fn validate_bench_core_v3(text: &str) -> Result<(), String> {
+pub fn validate_bench_core_v4(text: &str) -> Result<(), String> {
     let doc = parse(text)?;
     let schema = doc.get("schema").and_then(Json::as_num).ok_or("missing numeric 'schema'")?;
-    if schema != 3.0 {
-        return Err(format!("schema version {schema} is not 3"));
+    if schema != 4.0 {
+        return Err(format!("schema version {schema} is not 4"));
     }
     let n_items = doc.get("n_items").and_then(Json::as_num).ok_or("missing numeric 'n_items'")?;
     if n_items < 1.0 || n_items.fract() != 0.0 {
@@ -286,6 +295,7 @@ pub fn validate_bench_core_v3(text: &str) -> Result<(), String> {
     let pc = doc.get("plan_cache").ok_or("missing object 'plan_cache'")?;
     require_num(pc, "hits", 0.0, "plan_cache")?;
     require_num(pc, "misses", 0.0, "plan_cache")?;
+    require_num(pc, "refreshes", 0.0, "plan_cache")?;
     let fw = doc.get("fifo_window").ok_or("missing object 'fifo_window'")?;
     let window = require_num(fw, "window", 1.0, "fifo_window")?;
     if window.fract() != 0.0 {
@@ -306,6 +316,14 @@ pub fn validate_bench_core_v3(text: &str) -> Result<(), String> {
         return Err(format!("decayed: 'scale_every' = {scale_every} is not an integer"));
     }
     require_num(dc, "ops_per_sec", 0.0, "decayed")?;
+    let mr = doc.get("mixed_regime").ok_or("missing object 'mixed_regime'")?;
+    require_num(mr, "rounds_per_sec", 0.0, "mixed_regime")?;
+    for field in ["rematerialized", "replays", "fallbacks"] {
+        let v = require_num(mr, field, 0.0, "mixed_regime")?;
+        if v.fract() != 0.0 {
+            return Err(format!("mixed_regime: '{field}' = {v} is not an integer"));
+        }
+    }
     let backends = match doc.get("backends") {
         Some(Json::Arr(rows)) if !rows.is_empty() => rows,
         Some(Json::Arr(_)) => return Err("'backends' is empty".into()),
@@ -331,12 +349,14 @@ mod tests {
     use super::*;
 
     const GOOD: &str = r#"{
-      "schema": 3, "n_items": 4096, "quick": true, "unit": "ops_per_sec",
-      "plan_cache": {"hits": 48, "misses": 32},
+      "schema": 4, "n_items": 4096, "quick": true, "unit": "ops_per_sec",
+      "plan_cache": {"hits": 48, "misses": 16, "refreshes": 16},
       "fifo_window": {"window": 1024, "ops_per_sec": 5.0e6},
       "query_par": {"threads": 8, "seq_ops_per_sec": 5.0e4,
                     "par_ops_per_sec": 1.5e5, "speedup": 3.0},
       "decayed": {"scale_every": 256, "ops_per_sec": 2.0e6},
+      "mixed_regime": {"rounds_per_sec": 2.5e4, "rematerialized": 4096,
+                       "replays": 4000, "fallbacks": 1},
       "backends": [
         {"name": "halt", "insert": 1.5e6, "churn_pair": 2.0, "delete": 6.0,
          "set_weight": 7.0, "query_mu16": 3.0,
@@ -346,64 +366,77 @@ mod tests {
 
     #[test]
     fn accepts_a_valid_snapshot() {
-        validate_bench_core_v3(GOOD).unwrap();
+        validate_bench_core_v4(GOOD).unwrap();
     }
 
     #[test]
     fn rejects_shape_drift() {
         // Wrong version.
-        assert!(validate_bench_core_v3(&GOOD.replace("\"schema\": 3", "\"schema\": 2")).is_err());
+        assert!(validate_bench_core_v4(&GOOD.replace("\"schema\": 4", "\"schema\": 3")).is_err());
         // Missing v1 field.
-        assert!(validate_bench_core_v3(&GOOD.replace("\"query_mu16\": 3.0,", "")).is_err());
+        assert!(validate_bench_core_v4(&GOOD.replace("\"query_mu16\": 3.0,", "")).is_err());
         // Missing v2 update-path field.
-        assert!(validate_bench_core_v3(&GOOD.replace("\"delete\": 6.0,", "")).is_err());
-        assert!(validate_bench_core_v3(&GOOD.replace("\"set_weight\": 7.0,", "")).is_err());
+        assert!(validate_bench_core_v4(&GOOD.replace("\"delete\": 6.0,", "")).is_err());
+        assert!(validate_bench_core_v4(&GOOD.replace("\"set_weight\": 7.0,", "")).is_err());
         // Missing observability blocks.
-        assert!(validate_bench_core_v3(
-            &GOOD.replace("\"plan_cache\": {\"hits\": 48, \"misses\": 32},", "")
+        assert!(validate_bench_core_v4(
+            &GOOD.replace("\"plan_cache\": {\"hits\": 48, \"misses\": 16, \"refreshes\": 16},", "")
         )
         .is_err());
-        assert!(validate_bench_core_v3(
+        assert!(validate_bench_core_v4(
             &GOOD.replace("\"fifo_window\": {\"window\": 1024, \"ops_per_sec\": 5.0e6},", "")
         )
         .is_err());
         // Missing v3 blocks.
-        assert!(validate_bench_core_v3(
+        assert!(validate_bench_core_v4(
             &GOOD.replace(
                 "\"query_par\": {\"threads\": 8, \"seq_ops_per_sec\": 5.0e4,\n                    \"par_ops_per_sec\": 1.5e5, \"speedup\": 3.0},",
                 ""
             )
         )
         .is_err());
-        assert!(validate_bench_core_v3(
+        assert!(validate_bench_core_v4(
             &GOOD.replace("\"decayed\": {\"scale_every\": 256, \"ops_per_sec\": 2.0e6},", "")
         )
         .is_err());
+        // Missing v4 instrumentation.
+        assert!(validate_bench_core_v4(&GOOD.replace(", \"refreshes\": 16", "")).is_err());
+        assert!(validate_bench_core_v4(
+            &GOOD.replace(
+                "\"mixed_regime\": {\"rounds_per_sec\": 2.5e4, \"rematerialized\": 4096,\n                       \"replays\": 4000, \"fallbacks\": 1},",
+                ""
+            )
+        )
+        .is_err());
+        assert!(validate_bench_core_v4(&GOOD.replace("\"replays\": 4000", "\"replays\": 4000.5"))
+            .is_err());
         // Missing field inside a v3 block.
-        assert!(validate_bench_core_v3(&GOOD.replace("\"speedup\": 3.0", "\"speedup\": \"3x\""))
+        assert!(validate_bench_core_v4(&GOOD.replace("\"speedup\": 3.0", "\"speedup\": \"3x\""))
             .is_err());
         // Fractional integers.
         assert!(
-            validate_bench_core_v3(&GOOD.replace("\"window\": 1024", "\"window\": 2.5")).is_err()
+            validate_bench_core_v4(&GOOD.replace("\"window\": 1024", "\"window\": 2.5")).is_err()
         );
         assert!(
-            validate_bench_core_v3(&GOOD.replace("\"threads\": 8", "\"threads\": 1.5")).is_err()
+            validate_bench_core_v4(&GOOD.replace("\"threads\": 8", "\"threads\": 1.5")).is_err()
         );
         // String where a number belongs.
-        assert!(validate_bench_core_v3(&GOOD.replace("\"insert\": 1.5e6", "\"insert\": \"fast\""))
+        assert!(validate_bench_core_v4(&GOOD.replace("\"insert\": 1.5e6", "\"insert\": \"fast\""))
             .is_err());
         // Empty roster.
-        let empty = r#"{"schema": 3, "n_items": 1, "quick": false,
+        let empty = r#"{"schema": 4, "n_items": 1, "quick": false,
                         "unit": "ops_per_sec",
-                        "plan_cache": {"hits": 0, "misses": 0},
+                        "plan_cache": {"hits": 0, "misses": 0, "refreshes": 0},
                         "fifo_window": {"window": 16, "ops_per_sec": 1.0},
                         "query_par": {"threads": 1, "seq_ops_per_sec": 1.0,
                                       "par_ops_per_sec": 1.0, "speedup": 1.0},
                         "decayed": {"scale_every": 16, "ops_per_sec": 1.0},
+                        "mixed_regime": {"rounds_per_sec": 1.0, "rematerialized": 0,
+                                         "replays": 0, "fallbacks": 0},
                         "backends": []}"#;
-        assert!(validate_bench_core_v3(empty).is_err());
+        assert!(validate_bench_core_v4(empty).is_err());
         // Not JSON at all.
-        assert!(validate_bench_core_v3("{").is_err());
+        assert!(validate_bench_core_v4("{").is_err());
     }
 
     #[test]
@@ -424,9 +457,9 @@ mod tests {
 
     #[test]
     fn committed_snapshot_is_valid() {
-        // The repository's own BENCH_core.json must always pass schema v3.
+        // The repository's own BENCH_core.json must always pass schema v4.
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_core.json");
         let text = std::fs::read_to_string(path).expect("committed BENCH_core.json");
-        validate_bench_core_v3(&text).expect("committed snapshot violates schema v3");
+        validate_bench_core_v4(&text).expect("committed snapshot violates schema v4");
     }
 }

@@ -21,11 +21,19 @@ use crate::deamortized::DeamortizedDpss;
 use crate::item::ItemId;
 use crate::sampler::DpssSampler;
 use bignum::Ratio;
-use pss_core::{Handle, PssBackend, QueryCtx, SeedableBackend};
+use pss_core::{ChangeJournal, Handle, PssBackend, QueryCtx, SeedableBackend};
 
 impl PssBackend for DpssSampler {
     fn insert(&mut self, weight: u64) -> Handle {
         Handle::from_raw(DpssSampler::insert(self, weight).raw())
+    }
+
+    fn insert_many(&mut self, weights: &[u64]) -> Vec<Handle> {
+        // Native batch: one journal epoch for the whole load.
+        DpssSampler::insert_many(self, weights)
+            .into_iter()
+            .map(|id| Handle::from_raw(id.raw()))
+            .collect()
     }
 
     fn delete(&mut self, handle: Handle) -> bool {
@@ -60,6 +68,10 @@ impl PssBackend for DpssSampler {
         // Native O(1) reweighting keeps the handle stable.
         DpssSampler::set_weight(self, ItemId::from_raw(handle.raw()), new_weight).map(|_| handle)
     }
+
+    fn journal(&self) -> Option<&ChangeJournal> {
+        Some(DpssSampler::journal(self))
+    }
 }
 
 impl SeedableBackend for DpssSampler {
@@ -71,6 +83,11 @@ impl SeedableBackend for DpssSampler {
 impl PssBackend for DeamortizedDpss {
     fn insert(&mut self, weight: u64) -> Handle {
         Handle::from_raw(DeamortizedDpss::insert(self, weight))
+    }
+
+    fn insert_many(&mut self, weights: &[u64]) -> Vec<Handle> {
+        // Native batch: one union-journal epoch for the whole load.
+        DeamortizedDpss::insert_many(self, weights).into_iter().map(Handle::from_raw).collect()
     }
 
     fn delete(&mut self, handle: Handle) -> bool {
@@ -99,6 +116,10 @@ impl PssBackend for DeamortizedDpss {
 
     fn name(&self) -> &'static str {
         "halt-deam"
+    }
+
+    fn journal(&self) -> Option<&ChangeJournal> {
+        Some(DeamortizedDpss::journal(self))
     }
 }
 

@@ -37,7 +37,7 @@
 use crate::item::ItemId;
 use crate::sampler::DpssSampler;
 use bignum::{BigUint, Ratio};
-use pss_core::QueryCtx;
+use pss_core::{ChangeJournal, Delta, QueryCtx};
 
 /// Items migrated from the old to the new structure per update during an
 /// epoch. Any constant ≥ 3 suffices for the standard doubling analysis
@@ -114,6 +114,9 @@ pub struct DeamortizedDpss {
     epochs_done: u64,
     /// Internal default context backing the legacy `&mut self` query surface.
     ctx: QueryCtx,
+    /// Epoch-delta change log over the *union* handle space (each migration
+    /// half additionally keeps its own journal over its internal ids).
+    journal: ChangeJournal,
 }
 
 impl DeamortizedDpss {
@@ -135,7 +138,15 @@ impl DeamortizedDpss {
             epoch: 0,
             epochs_done: 0,
             ctx: QueryCtx::new(seed),
+            journal: ChangeJournal::new(),
         }
+    }
+
+    /// The structure's change journal (stable union-handle deltas; migration
+    /// itself is invisible here — items neither appear nor disappear when
+    /// they move between halves).
+    pub fn journal(&self) -> &ChangeJournal {
+        &self.journal
     }
 
     /// Number of live items.
@@ -195,6 +206,28 @@ impl DeamortizedDpss {
 
     /// Inserts an item; O(MIGRATION_BATCH) worst-case structure work.
     pub fn insert(&mut self, weight: u64) -> Handle {
+        let h = self.insert_inner(weight);
+        self.journal.record(Delta::Inserted { handle: pss_core::Handle::from_raw(h), weight });
+        h
+    }
+
+    /// Inserts a batch of items; identical structure evolution to a loop of
+    /// [`DeamortizedDpss::insert`], but the union journal is stamped with
+    /// **one** epoch for the whole batch — a bulk load must not wrap the
+    /// ring out from under every observing context.
+    pub fn insert_many(&mut self, weights: &[u64]) -> Vec<Handle> {
+        let handles: Vec<Handle> = weights.iter().map(|&w| self.insert_inner(w)).collect();
+        self.journal.record_batch(
+            handles.iter().zip(weights).map(|(&h, &w)| Delta::Inserted {
+                handle: pss_core::Handle::from_raw(h),
+                weight: w,
+            }),
+        );
+        handles
+    }
+
+    /// The body of [`DeamortizedDpss::insert`] minus the journal entry.
+    fn insert_inner(&mut self, weight: u64) -> Handle {
         // Route to the successor while migrating, else to the primary.
         let (id, epoch) = match &mut self.new {
             Some(new) => (new.insert_frozen(weight), self.epoch),
@@ -250,6 +283,7 @@ impl DeamortizedDpss {
             let moved = roster[pos];
             self.slots[handle_idx(moved)].pos = pos as u32;
         }
+        self.journal.record(Delta::Deleted { handle: pss_core::Handle::from_raw(h) });
         self.step();
         w
     }
@@ -427,6 +461,7 @@ impl wordram::SpaceUsage for DeamortizedDpss {
             + self.roster_new.capacity()
             + self.rev_old.capacity()
             + self.rev_new.capacity()
+            + self.journal.space_words()
             + 6
     }
 }

@@ -23,7 +23,7 @@ use crate::query::{
 };
 use crate::structure::Level1;
 use bignum::{BigUint, Ratio};
-use pss_core::{CtxRng, QueryCtx};
+use pss_core::{ChangeJournal, CtxRng, Delta, Handle, QueryCtx, Replay};
 use wordram::bits::ceil_log2_u64;
 use wordram::SpaceUsage;
 
@@ -49,29 +49,60 @@ struct QueryPlan {
     p0: Ratio,
 }
 
+/// One cached plan-cache entry: the parameter pair, its plan, and whether
+/// the plan still matches the sampler's current `(Σw, n⁺)` state. A stale
+/// entry keeps its key and its allocation; the next lookup refreshes the
+/// plan in place (see [`PlanState`]).
+#[derive(Debug)]
+struct PlanEntry {
+    alpha: Ratio,
+    beta: Ratio,
+    plan: QueryPlan,
+    valid: bool,
+}
+
 /// The read-path scratch a [`DpssSampler`] parks in a [`QueryCtx`]: the
-/// memoized lookup-table rows and the epoch-keyed `(α, β)` plan cache, plus
-/// the cache's hit/miss counters. One entry per (context, sampler instance)
-/// pair — contexts never share plans across samplers, and a context used
-/// against a rebuilt sampler re-derives lazily (modulus check).
+/// memoized lookup-table rows and the `(α, β)` plan cache, plus the cache's
+/// hit/miss/refresh counters. One entry per (context, sampler instance)
+/// pair — contexts never share plans across samplers.
+///
+/// Revalidation is journal-driven (the epoch-delta protocol): the state
+/// remembers the [`ChangeJournal`] epoch it last synchronized to plus a
+/// `(Σw, n⁺)` snapshot, and [`DpssSampler::query_in`] catches it up before
+/// every lookup. Weight-only churn (a delta replay) keeps the memoized
+/// lookup table *and* every cache entry — entries are merely marked stale
+/// and refreshed in place on next use, and if the churn was weight-neutral
+/// (`Σw` and `n⁺` both unchanged) the plans stay exactly valid. Only a
+/// structural rebuild (`Rebuilt` entry, or a replay window lost to ring
+/// wrap) clears the cache, and only a modulus change rebuilds the table.
 #[derive(Debug)]
 pub(crate) struct PlanState {
     pub(crate) table: LookupTable,
-    plans: Vec<(Ratio, Ratio, QueryPlan)>,
-    /// Sampler mutation epoch the cached plans are valid for.
-    epoch: u64,
+    plans: Vec<PlanEntry>,
+    /// Journal epoch this state last synchronized to.
+    journal_epoch: u64,
+    /// `Σw` at the last synchronization (plans depend on it through `W`).
+    total_snapshot: u128,
+    /// Positive-item count at the last synchronization (thresholds, `p₀`).
+    n_pos_snapshot: usize,
     hits: u64,
     misses: u64,
+    /// Stale entries re-derived in place (the shrunk miss path: no key
+    /// clone, no eviction, table untouched).
+    refreshes: u64,
 }
 
 impl PlanState {
-    fn new(modulus: u32) -> Self {
+    fn new(modulus: u32, journal_epoch: u64, total: u128, n_pos: usize) -> Self {
         PlanState {
             table: LookupTable::new(modulus),
             plans: Vec::new(),
-            epoch: 0,
+            journal_epoch,
+            total_snapshot: total,
+            n_pos_snapshot: n_pos,
             hits: 0,
             misses: 0,
+            refreshes: 0,
         }
     }
 }
@@ -104,8 +135,11 @@ pub struct DpssSampler {
     final_mode: FinalLevelMode,
     rebuilds: u64,
     rebuild_factor: usize,
-    /// Bumped by every item-set mutation; keys every context's plan cache.
-    epoch: u64,
+    /// The epoch-delta change log: every item-set mutation appends a
+    /// [`Delta`], structural rebuilds append [`Delta::Rebuilt`], and every
+    /// context's [`PlanState`] catches up through it (weight-only churn
+    /// refreshes plans in place; only structural entries clear them).
+    journal: ChangeJournal,
     /// Lookup modulus `g₂` for the current sizing (contexts rebuild their
     /// memoized tables lazily when this moves under them).
     table_modulus: u32,
@@ -143,7 +177,7 @@ impl DpssSampler {
             final_mode: FinalLevelMode::default(),
             rebuilds: 0,
             rebuild_factor: 2,
-            epoch: 0,
+            journal: ChangeJournal::new(),
             table_modulus: g2,
             instance: pss_core::fresh_backend_id(),
             ctx: QueryCtx::new(seed),
@@ -193,7 +227,9 @@ impl DpssSampler {
     pub fn set_force_exact(&mut self, force_exact: bool) {
         if self.force_exact != force_exact {
             self.force_exact = force_exact;
-            self.epoch += 1; // cached plans bake the fast flag into the accel
+            // Structural: cached plans bake the fast flag into the accel, so
+            // no context state may replay across the flip.
+            self.journal.record_rebuilt();
         }
     }
 
@@ -221,21 +257,33 @@ impl DpssSampler {
         self.ctx.state_ref::<PlanState>(self.instance).map_or(0, |st| st.table.rows_built())
     }
 
-    /// `(hits, misses)` of the per-`(α, β)` query-plan cache in the internal
-    /// default context since construction: a hit answers a query from a
-    /// cached plan (no multi-word `W`/threshold/accelerator setup), a miss
-    /// builds and caches a fresh one. Degenerate `W = 0` queries bypass the
-    /// cache and count as neither. Observability hook — snapshotted by
-    /// `bench_core` so cache regressions show in the perf trajectory.
-    pub fn plan_cache_stats(&self) -> (u64, u64) {
-        self.ctx.state_ref::<PlanState>(self.instance).map_or((0, 0), |st| (st.hits, st.misses))
+    /// `(hits, misses, refreshes)` of the per-`(α, β)` query-plan cache in
+    /// the internal default context since construction: a *hit* answers a
+    /// query from a still-valid cached plan (no multi-word
+    /// `W`/threshold/accelerator setup), a *miss* builds and caches a fresh
+    /// entry, and a *refresh* re-derives a stale entry's plan **in place** —
+    /// the journal-driven middle path for weight-only churn, which skips the
+    /// key clone and cache eviction of a miss and keeps the memoized lookup
+    /// table. Degenerate `W = 0` queries bypass the cache and count as none
+    /// of the three. Observability hook — snapshotted by `bench_core` so
+    /// cache regressions show in the perf trajectory.
+    pub fn plan_cache_stats(&self) -> (u64, u64, u64) {
+        self.ctx
+            .state_ref::<PlanState>(self.instance)
+            .map_or((0, 0, 0), |st| (st.hits, st.misses, st.refreshes))
     }
 
-    /// `(hits, misses)` of this sampler's plan cache inside an *external*
-    /// context (each context keeps its own cache; see
+    /// `(hits, misses, refreshes)` of this sampler's plan cache inside an
+    /// *external* context (each context keeps its own cache; see
     /// [`DpssSampler::plan_cache_stats`] for the semantics).
-    pub fn plan_cache_stats_in(&self, ctx: &QueryCtx) -> (u64, u64) {
-        ctx.state_ref::<PlanState>(self.instance).map_or((0, 0), |st| (st.hits, st.misses))
+    pub fn plan_cache_stats_in(&self, ctx: &QueryCtx) -> (u64, u64, u64) {
+        ctx.state_ref::<PlanState>(self.instance)
+            .map_or((0, 0, 0), |st| (st.hits, st.misses, st.refreshes))
+    }
+
+    /// The sampler's change journal (shared epoch-delta protocol surface).
+    pub fn journal(&self) -> &ChangeJournal {
+        &self.journal
     }
 
     /// Runs `f` with the internal default context moved out of `self` (the
@@ -263,16 +311,44 @@ impl DpssSampler {
 
     /// Inserts an item with `weight` in O(1) (amortized across rebuilds).
     pub fn insert(&mut self, weight: u64) -> ItemId {
-        self.epoch += 1;
         let id = self.level1.insert(weight);
+        self.journal.record(Delta::Inserted { handle: Handle::from_raw(id.raw()), weight });
         self.maybe_rebuild();
         id
     }
 
+    /// Inserts a batch of items in O(batch), returning their handles in
+    /// order. Structurally bit-identical to a loop of
+    /// [`DpssSampler::insert`] (same bucketing, same rebuild points), but
+    /// the journal epoch is bumped **once per batch** instead of once per
+    /// item ([`ChangeJournal::record_batch`]): observers replay the batch
+    /// all-or-nothing, so per-op semantics are unchanged while the version
+    /// bookkeeping drops out of the per-item path.
+    pub fn insert_many(&mut self, weights: &[u64]) -> Vec<ItemId> {
+        let ids: Vec<ItemId> = weights
+            .iter()
+            .map(|&w| {
+                let id = self.level1.insert(w);
+                self.maybe_rebuild();
+                id
+            })
+            .collect();
+        self.journal.record_batch(
+            ids.iter()
+                .zip(weights)
+                .map(|(id, &w)| Delta::Inserted { handle: Handle::from_raw(id.raw()), weight: w }),
+        );
+        ids
+    }
+
     /// Deletes an item in O(1) (amortized); returns its weight.
     pub fn delete(&mut self, id: ItemId) -> Option<u64> {
-        let w = self.level1.delete(id)?;
-        self.epoch += 1;
+        // Touch (and validate) the slab record before the journal append:
+        // the line is then resident by the time the cascade dereferences it,
+        // and stale handles never reach the journal.
+        self.level1.slab.weight(id)?;
+        self.journal.record(Delta::Deleted { handle: Handle::from_raw(id.raw()) });
+        let w = self.level1.delete(id).expect("slab record validated above");
         self.maybe_rebuild();
         Some(w)
     }
@@ -282,12 +358,22 @@ impl DpssSampler {
     /// Returns the previous weight, or `None` for stale handles. The item
     /// count is unchanged, so no rebuild can trigger.
     pub fn set_weight(&mut self, id: ItemId, new_weight: u64) -> Option<u64> {
-        let old = self.level1.set_weight(id, new_weight)?;
-        if old != new_weight {
-            // Only a real change invalidates cached query plans; stale
-            // handles and no-op re-sets leave the item set untouched.
-            self.epoch += 1;
+        // Early slab read: validates the handle, fetches the old weight for
+        // the journal entry, and warms the record the cascade is about to
+        // rewrite (the append between read and rewrite hides the load).
+        let old = self.level1.slab.weight(id)?;
+        if old == new_weight {
+            // Stale handles and no-op re-sets leave the item set (and every
+            // cached query plan) untouched — nothing to journal.
+            return Some(old);
         }
+        self.journal.record(Delta::Reweighted {
+            handle: Handle::from_raw(id.raw()),
+            old,
+            new: new_weight,
+        });
+        // Already validated and filtered above — skip straight to the body.
+        self.level1.reweight(id, old, new_weight);
         Some(old)
     }
 
@@ -296,18 +382,21 @@ impl DpssSampler {
     /// entirely (its trigger band sits strictly inside the rebuild band, so
     /// sizes never drift far enough to need one).
     pub(crate) fn insert_frozen(&mut self, weight: u64) -> ItemId {
-        self.epoch += 1;
-        self.level1.insert(weight)
+        let id = self.level1.insert(weight);
+        self.journal.record(Delta::Inserted { handle: Handle::from_raw(id.raw()), weight });
+        id
     }
 
     /// Delete without the global-rebuild check (see
     /// [`DpssSampler::insert_frozen`]); essential while an epoch drains the
     /// old half toward zero items.
     pub(crate) fn delete_frozen(&mut self, id: ItemId) -> Option<u64> {
-        self.epoch += 1;
+        self.level1.slab.weight(id)?;
+        self.journal.record(Delta::Deleted { handle: Handle::from_raw(id.raw()) });
         self.level1.delete(id)
     }
 
+    #[inline]
     fn maybe_rebuild(&mut self) {
         let n = self.len().max(N0_FLOOR);
         if n > self.n0 * self.rebuild_factor || n * self.rebuild_factor < self.n0 {
@@ -315,6 +404,12 @@ impl DpssSampler {
         }
     }
 
+    /// The structural arm of the update path, kept out of the hot
+    /// count-only code (`#[cold]`: rebuilds are geometrically rare, and the
+    /// compiler should neither inline this body nor spend registers on it
+    /// along the fast path).
+    #[cold]
+    #[inline(never)]
     fn rebuild(&mut self, n0: usize) {
         let (g1, g2) = derive_widths(n0);
         // In-place: the hierarchy re-grows out of its own recycled storage.
@@ -322,9 +417,10 @@ impl DpssSampler {
         // rebuilds compact the bucket blocks to keep space O(n).
         let compact = n0 < self.n0;
         self.level1.rebuild(g1, g2, compact);
-        // Contexts rebuild their memoized tables lazily (modulus check in
-        // `plan_state`); every update already bumped the epoch, so no cached
-        // plan can survive into the new sizing.
+        // A structural journal entry: no context state replays across a
+        // rebuild (group widths moved), and contexts re-derive their
+        // memoized tables lazily when the modulus changed (`plan_state`).
+        self.journal.record_rebuilt();
         self.table_modulus = g2;
         self.n0 = n0;
         self.rebuilds += 1;
@@ -360,12 +456,54 @@ impl DpssSampler {
     /// together with the context's RNG so the query can hold both mutably.
     fn plan_state<'c>(&self, ctx: &'c mut QueryCtx) -> (&'c mut CtxRng, &'c mut PlanState) {
         let modulus = self.table_modulus;
-        let (rng, st) = ctx.state(self.instance, || PlanState::new(modulus));
+        let (rng, st) = ctx.state(self.instance, || {
+            // Fresh state synchronizes to the journal *now*: no sentinel
+            // epochs, no spurious first-query invalidation.
+            PlanState::new(
+                modulus,
+                self.journal.epoch(),
+                self.level1.total_weight,
+                self.level1.n_positive,
+            )
+        });
         if st.table.modulus() != modulus {
             st.table = LookupTable::new(modulus);
             st.plans.clear();
         }
         (rng, st)
+    }
+
+    /// Journal-driven revalidation of one context's [`PlanState`] — the
+    /// epoch-delta replacement for the old "any mutation stales everything"
+    /// protocol. Weight-only churn keeps the cache: entries go stale (to be
+    /// refreshed in place) only if `(Σw, n⁺)` actually moved, and survive
+    /// untouched when the churn was weight-neutral. A structural rebuild or
+    /// a lost replay window clears the cache outright (the memoized table
+    /// still survives unless the modulus moved — `plan_state` handles that).
+    fn revalidate(&self, st: &mut PlanState) {
+        let epoch = self.journal.epoch();
+        if st.journal_epoch == epoch {
+            return;
+        }
+        match self.journal.catch_up(st.journal_epoch) {
+            Replay::UpToDate => {}
+            Replay::Deltas(_) => {
+                // The hierarchy's sizing is intact (a rebuild would have
+                // taken the structural path), so plans survive keyed on the
+                // quantities they actually depend on.
+                if st.total_snapshot != self.level1.total_weight
+                    || st.n_pos_snapshot != self.level1.n_positive
+                {
+                    for entry in &mut st.plans {
+                        entry.valid = false;
+                    }
+                }
+            }
+            Replay::TooOld => st.plans.clear(),
+        }
+        st.journal_epoch = epoch;
+        st.total_snapshot = self.level1.total_weight;
+        st.n_pos_snapshot = self.level1.n_positive;
     }
 
     /// Answers one PSS query with parameters `(α, β)` in O(1 + μ) expected
@@ -383,13 +521,25 @@ impl DpssSampler {
     /// per (parameters, item-set version, context) rather than per query.
     pub fn query_in(&self, ctx: &mut QueryCtx, alpha: &Ratio, beta: &Ratio) -> Vec<ItemId> {
         let (rng, st) = self.plan_state(ctx);
-        if st.epoch != self.epoch {
-            st.plans.clear();
-            st.epoch = self.epoch;
-        }
-        let idx = match st.plans.iter().position(|(a, b, _)| a == alpha && b == beta) {
-            Some(i) => {
+        self.revalidate(st);
+        let idx = match st.plans.iter().position(|e| e.alpha == *alpha && e.beta == *beta) {
+            Some(i) if st.plans[i].valid => {
                 st.hits += 1;
+                i
+            }
+            Some(i) => {
+                // Stale entry: weight-only churn moved `W` under the cached
+                // plan. Refresh it in place — no key clone, no eviction.
+                let w = self.param_weight(alpha, beta);
+                if w.is_zero() {
+                    // Degenerate convention; the entry can never be
+                    // refreshed into a usable plan, so drop it.
+                    st.plans.remove(i);
+                    return crate::query::query_certain(&self.level1, 0);
+                }
+                st.refreshes += 1;
+                st.plans[i].plan = self.make_plan(w);
+                st.plans[i].valid = true;
                 i
             }
             None => {
@@ -403,11 +553,16 @@ impl DpssSampler {
                 if st.plans.len() >= PLAN_CACHE {
                     st.plans.remove(0);
                 }
-                st.plans.push((alpha.clone(), beta.clone(), plan));
+                st.plans.push(PlanEntry {
+                    alpha: alpha.clone(),
+                    beta: beta.clone(),
+                    plan,
+                    valid: true,
+                });
                 st.plans.len() - 1
             }
         };
-        let plan = &st.plans[idx].2;
+        let plan = &st.plans[idx].plan;
         let _guard = self.force_exact.then(randvar::exact_mode_guard);
         let mut frame = QueryFrame {
             rng,
@@ -496,6 +651,6 @@ impl SpaceUsage for DpssSampler {
         // context by the state cap, not part of the structure's O(n) story.
         let table =
             self.ctx.state_ref::<PlanState>(self.instance).map_or(0, |st| st.table.space_words());
-        self.level1.space_words() + table + 6
+        self.level1.space_words() + table + self.journal.space_words() + 6
     }
 }

@@ -278,7 +278,12 @@ impl NodePool {
     }
 
     /// The structural arm of [`NodePool::set_member`]: the proxy appears,
-    /// disappears, or moves between buckets.
+    /// disappears, or moves between buckets. `#[cold]` keeps this body (and
+    /// its register pressure) out of the hot count-only path — a cascade
+    /// step whose count does not cross a power of two never calls it, and
+    /// crossings are geometrically rare.
+    #[cold]
+    #[inline(never)]
     fn set_member_slow(&mut self, idx: u32, child: u16, new_bucket: Option<u16>) {
         // Buckets whose count changed (cascade targets) and whether their
         // non-empty status flipped (group-bookkeeping targets).
@@ -610,6 +615,17 @@ impl Level1 {
         if old_w == new_w {
             return Some(old_w);
         }
+        self.reweight(id, old_w, new_w);
+        Some(old_w)
+    }
+
+    /// The body of [`Level1::set_weight`] for a caller that has already
+    /// validated `id` and fetched `old_w ≠ new_w` (the sampler's update
+    /// path reads the slab record early anyway — for the journal entry and
+    /// to warm the line — so re-validating here would be pure duplication).
+    pub(crate) fn reweight(&mut self, id: ItemId, old_w: u64, new_w: u64) {
+        debug_assert_eq!(self.slab.weight(id), Some(old_w), "stale caller-supplied weight");
+        debug_assert_ne!(old_w, new_w, "no-op reweights are filtered by the caller");
         self.total_weight = (self.total_weight - old_w as u128)
             .checked_add(new_w as u128)
             .expect("total weight exceeds 2^128 (Word RAM precondition)");
@@ -619,7 +635,7 @@ impl Level1 {
         if old_bucket == new_bucket {
             // Same bucket (or both zero): proxy weights depend only on the
             // bucket index and count, so nothing else moves.
-            return Some(old_w);
+            return;
         }
         // Detach from the old bucket, if any.
         if let Some(i) = old_bucket {
@@ -645,7 +661,6 @@ impl Level1 {
         } else {
             self.n_zero += 1;
         }
-        Some(old_w)
     }
 
     /// Cascades bucket `i`'s count change into its level-2 proxy, but only

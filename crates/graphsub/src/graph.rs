@@ -28,7 +28,12 @@ struct NodeState<B> {
     /// Query context for this node's two samplers. Per-node (rather than one
     /// graph-wide context) so that each sampler's plan/table state survives
     /// round-robin sampling over arbitrarily many nodes — a shared context's
-    /// bounded state area would thrash above its entry cap.
+    /// bounded state area would thrash above its entry cap. Since the
+    /// backends adopted the epoch-delta change journal, this persistence is
+    /// also what makes edge churn cheap: the context's cached read-path
+    /// state (plan caches, DSS materializations) catches up through
+    /// `ChangeJournal::catch_up` in O(deltas touched) at the node's next
+    /// sample instead of rebuilding.
     ctx: QueryCtx,
 }
 

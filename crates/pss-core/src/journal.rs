@@ -1,0 +1,465 @@
+//! [`ChangeJournal`] — the epoch-delta change log every backend keeps on its
+//! update path.
+//!
+//! ## Why a journal
+//!
+//! Before this module, `pss-core` exposed only a coarse mutation epoch:
+//! read-path state parked in a [`crate::QueryCtx`] (HALT's `(α, β)` plan
+//! cache, the ODSS baselines' materialized probability buckets) could ask
+//! *whether* the backend changed, but never *how* — so every update forced
+//! the most pessimistic answer ("everything is stale") and per-context
+//! materializations paid Θ(n) rebuilds for single-item weight moves.
+//!
+//! The journal replaces that protocol with a bounded, epoch-stamped ring of
+//! fine-grained [`Delta`]s. Backends append one entry per `&mut self` update
+//! (or one *epoch* per batch — see [`ChangeJournal::record_batch`]); context
+//! state remembers the epoch it last observed and calls
+//! [`ChangeJournal::catch_up`] at query time:
+//!
+//! - [`Replay::UpToDate`] — nothing moved, reuse everything;
+//! - [`Replay::Deltas`] — patch forward in O(deltas), not Θ(n);
+//! - [`Replay::TooOld`] — the ring wrapped past the observer, or a
+//!   structural [`Delta::Rebuilt`] entry intervened: rebuild from scratch.
+//!
+//! The fallback is what keeps the ring *bounded*: a journal never grows with
+//! the update rate, it only trades replay reach for space. A `Rebuilt` entry
+//! additionally clears the ring outright — no replay crosses a structural
+//! rebuild, so retaining pre-rebuild deltas would be dead weight.
+//!
+//! ## Epoch discipline
+//!
+//! Epochs are the journal's version numbers: `epoch()` is the version an
+//! observer synchronizes to, and every retained entry is stamped with the
+//! epoch at which it was applied. Stamps are monotone but **not necessarily
+//! unique** — [`ChangeJournal::record_batch`] stamps a whole update batch
+//! with a single bumped epoch, which is what lets a backend amortize the
+//! version bump over a batch insert without changing per-op semantics
+//! (observers replay whole batches or nothing; there is no "halfway through
+//! a batch" state to observe).
+
+use crate::Handle;
+
+/// Default ring capacity: deep enough that a query-interleaved update stream
+/// (the mixed regimes the journal exists for) replays instead of falling
+/// back, small enough that the journal never shows up in a space profile.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 1024;
+
+/// One fine-grained backend mutation, as observed by read-path state.
+///
+/// Weight payloads are carried on the delta (not re-read from the backend)
+/// so a replayer can patch its own bookkeeping without holding a borrow of
+/// the structure that emitted the entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Delta {
+    /// An item was inserted with the given weight.
+    Inserted {
+        /// Handle of the new item.
+        handle: Handle,
+        /// Its weight at insertion.
+        weight: u64,
+    },
+    /// A live item was deleted.
+    Deleted {
+        /// Handle of the removed item.
+        handle: Handle,
+    },
+    /// A live item's weight changed in place (handle preserved).
+    Reweighted {
+        /// Handle of the reweighted item.
+        handle: Handle,
+        /// Weight before the change.
+        old: u64,
+        /// Weight after the change.
+        new: u64,
+    },
+    /// Every live weight was scaled to `⌊w·num/den⌋` in one operation (the
+    /// decayed-weight discount — see [`crate::scale_weight`] for the one
+    /// shared definition of the floor arithmetic).
+    ScaledAll {
+        /// Numerator of the decay factor (`1 ≤ num ≤ den`).
+        num: u32,
+        /// Denominator of the decay factor (`≥ 1`).
+        den: u32,
+    },
+    /// A structural rebuild: handles survive but derived layout (group
+    /// widths, bucket carving, baked query modes) may not. Recording this
+    /// clears the ring — no replay crosses it.
+    Rebuilt,
+}
+
+/// One retained journal entry: the delta plus the epoch that applied it.
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    epoch: u64,
+    delta: Delta,
+}
+
+/// The bounded epoch-delta ring (see the module docs).
+///
+/// All operations are O(1) except [`ChangeJournal::catch_up`], which is
+/// O(log cap) to locate the replay suffix plus O(1) per delta yielded.
+#[derive(Clone, Debug)]
+pub struct ChangeJournal {
+    /// Physical ring storage (`ring.len() ≤ cap` during fill-up).
+    ring: Vec<Entry>,
+    cap: usize,
+    /// Physical index of the logically oldest entry.
+    head: usize,
+    /// Number of live entries.
+    len: usize,
+    /// Current version.
+    epoch: u64,
+    /// Observers strictly below this epoch must fully rebuild: the ring
+    /// wrapped past them, or a structural rebuild intervened.
+    floor: u64,
+}
+
+impl Default for ChangeJournal {
+    fn default() -> Self {
+        ChangeJournal::with_capacity(DEFAULT_JOURNAL_CAPACITY)
+    }
+}
+
+impl ChangeJournal {
+    /// Creates an empty journal retaining at most `capacity ≥ 1` deltas.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 1, "journal capacity must be at least 1");
+        ChangeJournal { ring: Vec::new(), cap: capacity, head: 0, len: 0, epoch: 0, floor: 0 }
+    }
+
+    /// Creates an empty journal with the default capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current version. Context state stores this after building or
+    /// catching up, and passes it back as `since` next time.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Retained entries (diagnostics).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff no entries are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum retained entries.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Words of storage charged to the journal (ring entries are an epoch
+    /// word plus a four-word delta).
+    pub fn space_words(&self) -> usize {
+        self.ring.capacity() * 5 + 5
+    }
+
+    /// Appends one delta under a freshly bumped epoch; returns the new
+    /// epoch. [`Delta::Rebuilt`] takes the structural path (ring cleared,
+    /// replay floor raised) — identical to [`ChangeJournal::record_rebuilt`].
+    #[inline]
+    pub fn record(&mut self, delta: Delta) -> u64 {
+        if matches!(delta, Delta::Rebuilt) {
+            return self.record_rebuilt();
+        }
+        self.epoch += 1;
+        self.push(Entry { epoch: self.epoch, delta });
+        self.epoch
+    }
+
+    /// Appends a batch of deltas under **one** bumped epoch; returns it.
+    /// Observers replay the whole batch or none of it, so stamping the batch
+    /// with a single version keeps per-op semantics while doing one epoch
+    /// bump per batch instead of one per item. An empty batch records
+    /// nothing and leaves the epoch untouched.
+    ///
+    /// # Panics
+    /// Panics on a [`Delta::Rebuilt`] inside a batch — a structural rebuild
+    /// is a version boundary of its own, never part of a batch.
+    pub fn record_batch(&mut self, deltas: impl IntoIterator<Item = Delta>) -> u64 {
+        let mut iter = deltas.into_iter().peekable();
+        if iter.peek().is_none() {
+            return self.epoch;
+        }
+        self.epoch += 1;
+        for delta in iter {
+            assert!(
+                !matches!(delta, Delta::Rebuilt),
+                "Delta::Rebuilt is a version boundary, not a batch member"
+            );
+            self.push(Entry { epoch: self.epoch, delta });
+        }
+        self.epoch
+    }
+
+    /// Records a structural rebuild: bumps the epoch, raises the replay
+    /// floor to it, and clears the ring (no replay crosses a rebuild, so
+    /// retained entries are dead weight). Returns the new epoch.
+    pub fn record_rebuilt(&mut self) -> u64 {
+        self.epoch += 1;
+        self.floor = self.epoch;
+        // Keeps the allocation; the ring refills from index 0.
+        self.ring.clear();
+        self.head = 0;
+        self.len = 0;
+        self.epoch
+    }
+
+    #[inline]
+    fn push(&mut self, entry: Entry) {
+        // Invariant: either the ring is still filling (`head == 0`,
+        // `ring.len() == len`) or it is physically full and wrapped
+        // (`ring.len() == cap == len`); `record_rebuilt` clears back to the
+        // filling state.
+        if self.ring.len() < self.cap {
+            debug_assert_eq!(self.head, 0);
+            self.ring.push(entry);
+            self.len += 1;
+        } else {
+            // Evict the oldest entry: observers older than it fall back.
+            // (Conditional wrap, not `%`: the capacity is a runtime value,
+            // and an integer division per update would dominate the append.)
+            self.floor = self.floor.max(self.ring[self.head].epoch);
+            self.ring[self.head] = entry;
+            self.head += 1;
+            if self.head == self.cap {
+                self.head = 0;
+            }
+        }
+    }
+
+    /// Entry at logical index `i` (0 = oldest).
+    #[inline]
+    fn entry(&self, i: usize) -> &Entry {
+        debug_assert!(i < self.len);
+        let mut p = self.head + i;
+        if p >= self.cap {
+            p -= self.cap;
+        }
+        &self.ring[p]
+    }
+
+    /// How an observer last synchronized at `since` gets back to
+    /// [`ChangeJournal::epoch`]: nothing to do, a delta replay, or a full
+    /// rebuild (ring wrapped / structural rebuild / unknown future epoch).
+    pub fn catch_up(&self, since: u64) -> Replay<'_> {
+        if since == self.epoch {
+            return Replay::UpToDate;
+        }
+        if since > self.epoch || since < self.floor {
+            // A future epoch means the observer synchronized against some
+            // other journal life; treat it like a wrap.
+            return Replay::TooOld;
+        }
+        // Entries with epoch > since form a suffix (stamps are monotone).
+        let start = self.partition_point(since);
+        Replay::Deltas(DeltaReplay { journal: self, next: start })
+    }
+
+    /// First logical index whose epoch exceeds `since`.
+    fn partition_point(&self, since: u64) -> usize {
+        let (mut lo, mut hi) = (0usize, self.len);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.entry(mid).epoch <= since {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+/// Result of [`ChangeJournal::catch_up`].
+#[derive(Debug)]
+pub enum Replay<'a> {
+    /// The observer already sits at the journal's epoch.
+    UpToDate,
+    /// The observer can patch forward by applying these deltas in order.
+    Deltas(DeltaReplay<'a>),
+    /// The window is gone (ring wrap or structural rebuild): the observer
+    /// must rebuild its state from the backend and re-synchronize at
+    /// [`ChangeJournal::epoch`].
+    TooOld,
+}
+
+/// Iterator over the replay suffix, oldest first.
+#[derive(Debug)]
+pub struct DeltaReplay<'a> {
+    journal: &'a ChangeJournal,
+    next: usize,
+}
+
+impl DeltaReplay<'_> {
+    /// Deltas remaining in the replay.
+    pub fn len(&self) -> usize {
+        self.journal.len - self.next
+    }
+
+    /// `true` iff nothing remains (an observer can be behind on *epoch*
+    /// while the delta suffix is empty only when epochs advanced without
+    /// retained entries, which `record`/`record_batch` never produce).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<'a> Iterator for DeltaReplay<'a> {
+    type Item = &'a Delta;
+
+    fn next(&mut self) -> Option<&'a Delta> {
+        if self.next >= self.journal.len {
+            return None;
+        }
+        let delta = &self.journal.entry(self.next).delta;
+        self.next += 1;
+        Some(delta)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.len(), Some(self.len()))
+    }
+}
+
+impl ExactSizeIterator for DeltaReplay<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ins(raw: u64, w: u64) -> Delta {
+        Delta::Inserted { handle: Handle::from_raw(raw), weight: w }
+    }
+
+    fn collect(replay: Replay<'_>) -> Vec<Delta> {
+        match replay {
+            Replay::Deltas(iter) => iter.copied().collect(),
+            other => panic!("expected Deltas, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn record_and_catch_up_roundtrip() {
+        let mut j = ChangeJournal::with_capacity(8);
+        assert!(matches!(j.catch_up(0), Replay::UpToDate));
+        let e1 = j.record(ins(1, 10));
+        let e2 = j.record(Delta::Deleted { handle: Handle::from_raw(1) });
+        assert_eq!((e1, e2), (1, 2));
+        assert_eq!(j.epoch(), 2);
+        assert!(matches!(j.catch_up(2), Replay::UpToDate));
+        assert_eq!(
+            collect(j.catch_up(0)),
+            vec![ins(1, 10), Delta::Deleted { handle: Handle::from_raw(1) }]
+        );
+        assert_eq!(collect(j.catch_up(1)), vec![Delta::Deleted { handle: Handle::from_raw(1) }]);
+    }
+
+    #[test]
+    fn wrap_falls_back_to_too_old() {
+        let mut j = ChangeJournal::with_capacity(4);
+        for i in 0..10u64 {
+            j.record(ins(i, 1));
+        }
+        // Entries 7..=10 retained; observers at ≤ 5 lost entry 6.
+        assert!(matches!(j.catch_up(5), Replay::TooOld));
+        assert!(matches!(j.catch_up(0), Replay::TooOld));
+        assert_eq!(collect(j.catch_up(6)).len(), 4);
+        assert_eq!(collect(j.catch_up(9)).len(), 1);
+        assert!(matches!(j.catch_up(10), Replay::UpToDate));
+    }
+
+    #[test]
+    fn rebuilt_clears_the_ring_and_raises_the_floor() {
+        let mut j = ChangeJournal::with_capacity(8);
+        j.record(ins(1, 1));
+        j.record(ins(2, 2));
+        let e = j.record(Delta::Rebuilt);
+        assert_eq!(e, 3);
+        assert!(j.is_empty(), "no replay crosses a rebuild");
+        assert!(matches!(j.catch_up(2), Replay::TooOld));
+        assert!(matches!(j.catch_up(0), Replay::TooOld));
+        assert!(matches!(j.catch_up(3), Replay::UpToDate));
+        // Post-rebuild deltas replay normally.
+        j.record(ins(3, 3));
+        assert_eq!(collect(j.catch_up(3)), vec![ins(3, 3)]);
+        assert!(matches!(j.catch_up(2), Replay::TooOld));
+    }
+
+    #[test]
+    fn batch_shares_one_epoch() {
+        let mut j = ChangeJournal::with_capacity(8);
+        let e = j.record_batch([ins(1, 1), ins(2, 2), ins(3, 3)]);
+        assert_eq!(e, 1, "one bump for the whole batch");
+        assert_eq!(j.len(), 3);
+        // All-or-nothing: an observer is either before or after the batch.
+        assert_eq!(collect(j.catch_up(0)).len(), 3);
+        assert!(matches!(j.catch_up(1), Replay::UpToDate));
+        // Empty batches record nothing.
+        assert_eq!(j.record_batch([]), 1);
+        assert_eq!(j.len(), 3);
+    }
+
+    #[test]
+    fn batch_larger_than_capacity_wraps_itself() {
+        let mut j = ChangeJournal::with_capacity(2);
+        j.record(ins(0, 1));
+        let e = j.record_batch((1..=5u64).map(|i| ins(i, i)));
+        assert_eq!(e, 2);
+        // The batch evicted its own head: observers at epoch 1 lost part of
+        // epoch 2's batch and must fall back.
+        assert!(matches!(j.catch_up(1), Replay::TooOld));
+        assert!(matches!(j.catch_up(2), Replay::UpToDate));
+    }
+
+    #[test]
+    fn future_epochs_are_too_old() {
+        let mut j = ChangeJournal::with_capacity(4);
+        j.record(ins(1, 1));
+        assert!(matches!(j.catch_up(99), Replay::TooOld));
+    }
+
+    #[test]
+    fn replay_is_exact_size() {
+        let mut j = ChangeJournal::with_capacity(16);
+        for i in 0..6u64 {
+            j.record(ins(i, i));
+        }
+        match j.catch_up(2) {
+            Replay::Deltas(iter) => {
+                assert_eq!(iter.len(), 4);
+                assert!(!iter.is_empty());
+                assert_eq!(iter.count(), 4);
+            }
+            other => panic!("expected Deltas, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reuse_after_rebuilt_keeps_physical_capacity() {
+        let mut j = ChangeJournal::with_capacity(4);
+        for i in 0..4u64 {
+            j.record(ins(i, i));
+        }
+        j.record_rebuilt();
+        for i in 0..3u64 {
+            j.record(ins(10 + i, i));
+        }
+        assert_eq!(j.len(), 3);
+        assert_eq!(collect(j.catch_up(5)).len(), 3);
+        assert!(matches!(j.catch_up(4), Replay::TooOld), "pre-rebuild observer");
+    }
+
+    #[test]
+    fn space_words_positive() {
+        let mut j = ChangeJournal::with_capacity(4);
+        j.record(ins(1, 1));
+        assert!(j.space_words() > 0);
+    }
+}

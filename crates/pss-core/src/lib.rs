@@ -18,6 +18,11 @@
 //!   explicit [`QueryCtx`] holding all read-path mutable state;
 //! - [`QueryCtx`]: the caller-owned context (RNG stream + per-backend plan
 //!   caches/memoizations) that makes shared-read queries possible;
+//! - [`ChangeJournal`]: the bounded epoch-stamped ring of fine-grained
+//!   [`Delta`]s a backend appends to on its update path, with the
+//!   [`ChangeJournal::catch_up`] revalidation API through which per-context
+//!   read-path state patches itself forward in O(deltas) instead of
+//!   rebuilding Θ(n);
 //! - [`ShardedQuery`]: the parallel `query_many` front-end built on the
 //!   shared-read split — bit-identical to sequential at any thread count;
 //! - [`Handle`]: the opaque item identifier shared by every backend;
@@ -26,7 +31,8 @@
 //! - [`SpaceUsage`] (re-exported from `wordram`): the paper's word-granularity
 //!   space measure, a supertrait of [`PssBackend`];
 //! - [`Store`]: the shared slot-based item store the O(n)-per-query baselines
-//!   are built on, with native in-place [`Store::set_weight`].
+//!   are built on, with native in-place [`Store::set_weight`] and the
+//!   one-op decay [`Store::scale_all`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,11 +40,25 @@
 use bignum::{BigUint, Ratio};
 
 mod ctx;
+mod journal;
 mod shard;
 
 pub use ctx::{fresh_backend_id, stream_seed, CtxRng, QueryCtx};
+pub use journal::{ChangeJournal, Delta, DeltaReplay, Replay, DEFAULT_JOURNAL_CAPACITY};
 pub use shard::ShardedQuery;
 pub use wordram::SpaceUsage;
+
+/// The decayed weight `⌊w·num/den⌋` of one global weight scale — the single
+/// definition every producer (native [`Store::scale_all`], the workload
+/// replayers' per-item fallback) shares, so journaled `ScaledAll` deltas and
+/// tracked weights agree bit for bit. The product is widened to 128 bits and
+/// the result saturates at `u64::MAX`, so a hand-built amplifying factor
+/// (`num > den` — generators never emit one, and this helper debug-asserts
+/// against it) clamps loudly instead of silently wrapping.
+pub fn scale_weight(w: u64, num: u32, den: u32) -> u64 {
+    debug_assert!(den >= 1 && (1..=den).contains(&num), "scale factor must be in (0, 1]");
+    u64::try_from((w as u128 * num as u128) / den.max(1) as u128).unwrap_or(u64::MAX)
+}
 
 /// Opaque identifier of a live item inside a [`PssBackend`].
 ///
@@ -93,6 +113,17 @@ impl std::fmt::Display for Handle {
 pub trait PssBackend: SpaceUsage + Send + Sync {
     /// Inserts an item with the given weight, returning its handle.
     fn insert(&mut self, weight: u64) -> Handle;
+
+    /// Inserts a batch of items, returning their handles in order.
+    ///
+    /// Semantically identical to calling [`PssBackend::insert`] in a loop
+    /// (and that is the default). Backends with a [`ChangeJournal`] override
+    /// this to stamp the whole batch with **one** journal epoch
+    /// ([`ChangeJournal::record_batch`]) instead of one per item — observers
+    /// replay whole batches or nothing, so per-op semantics are unchanged.
+    fn insert_many(&mut self, weights: &[u64]) -> Vec<Handle> {
+        weights.iter().map(|&w| self.insert(w)).collect()
+    }
 
     /// Deletes an item by handle; `true` if it was live.
     fn delete(&mut self, handle: Handle) -> bool;
@@ -150,6 +181,31 @@ pub trait PssBackend: SpaceUsage + Send + Sync {
             return None;
         }
         Some(self.insert(new_weight))
+    }
+
+    /// Scales **every** live weight to `⌊w·num/den⌋` (see [`scale_weight`])
+    /// in one native operation, returning `true` if the backend supports it.
+    ///
+    /// The default returns `false` without touching anything: callers (the
+    /// workload replayers) then fall back to per-item
+    /// [`PssBackend::set_weight`] calls. [`Store`]-backed backends override
+    /// this via [`Store::scale_all`], emitting a single
+    /// [`Delta::ScaledAll`] journal entry instead of `n` reweights — which
+    /// is what keeps a decay op inside a journal replay window.
+    fn scale_all_weights(&mut self, num: u32, den: u32) -> bool {
+        let _ = (num, den);
+        false
+    }
+
+    /// The backend's change journal, if it keeps one.
+    ///
+    /// Backends whose queries park derived state in a [`QueryCtx`] (HALT's
+    /// plan caches, the ODSS materializations) maintain a journal so that
+    /// state can [`catch up`](ChangeJournal::catch_up) in O(deltas); stateless
+    /// backends (the naive O(n) scans, whose update paths run at memcpy
+    /// speed and have nothing to revalidate) return `None`.
+    fn journal(&self) -> Option<&ChangeJournal> {
+        None
     }
 }
 
@@ -274,6 +330,26 @@ impl Store {
         Some(old)
     }
 
+    /// Scales every live weight to `⌊w·num/den⌋` in place (the decayed-weight
+    /// discount; floors via [`scale_weight`], the shared definition), keeping
+    /// the exact total and every handle. Returns the number of live items
+    /// touched. O(slots) — one pass, no per-item handle churn.
+    pub fn scale_all(&mut self, num: u32, den: u32) -> u64 {
+        let mut touched = 0u64;
+        let mut total = 0u128;
+        for i in 0..self.weights.len() {
+            if !self.live[i] {
+                continue;
+            }
+            let scaled = scale_weight(self.weights[i], num, den);
+            self.weights[i] = scaled;
+            total += scaled as u128;
+            touched += 1;
+        }
+        self.total = total;
+        touched
+    }
+
     /// The exact query denominator `W(α, β) = α·Σw + β`.
     pub fn param_weight(&self, alpha: &Ratio, beta: &Ratio) -> Ratio {
         alpha.mul_big(&BigUint::from_u128(self.total)).add(beta)
@@ -362,6 +438,26 @@ mod tests {
         assert!(s.delete(a));
         assert_eq!(s.set_weight(a, 1), None);
         assert_eq!(s.total(), 7);
+    }
+
+    #[test]
+    fn scale_all_floors_and_keeps_exact_totals() {
+        let mut s = Store::default();
+        let a = s.insert(7);
+        let b = s.insert(1);
+        let dead = s.insert(100);
+        assert!(s.delete(dead));
+        assert_eq!(s.scale_all(1, 2), 2, "two live items touched");
+        assert_eq!(s.weight_at(a.raw() as usize), Some(3), "⌊7/2⌋");
+        assert_eq!(s.weight_at(b.raw() as usize), Some(0), "⌊1/2⌋ floors to zero");
+        assert_eq!(s.total(), 3);
+        assert_eq!(s.len(), 2, "zero-weight items stay live");
+        // Identity factor is a no-op; repeated decay compounds with floors.
+        assert_eq!(s.scale_all(3, 3), 2);
+        assert_eq!(s.total(), 3);
+        assert_eq!(s.scale_all(2, 3), 2);
+        assert_eq!(s.weight_at(a.raw() as usize), Some(2), "⌊3·2/3⌋");
+        assert_eq!(s.total(), 2);
     }
 
     #[test]

@@ -36,17 +36,23 @@ pub struct ReplayReport {
     pub sampled: u64,
 }
 
-/// Replays `stream` into `backend`: initial load, then every update op.
+/// Replays `stream` into `backend`: initial load (batched through
+/// [`PssBackend::insert_many`], so journaled backends version it once), then
+/// every update op.
 ///
 /// If `query_every` is `Some((k, params))`, the whole parameter batch is
 /// issued through [`PssBackend::query_many`] (on `ctx`) after every `k`-th
 /// update op — backends with per-parameter setup (HALT's plan cache) amortize
-/// it across the batch. [`Op::ScaleAllWeights`] reweights every live item
-/// through `set_weight`, adopting whatever handle comes back (the
-/// handle-churning default re-issues them; native in-place backends don't).
-/// Panics if the backend rejects a delete or reweight of a handle the stream
-/// believes is live — that is a backend bug, and the agreement suite relies
-/// on it being loud.
+/// it across the batch. [`Op::ReweightAt`] reweights one live item in place.
+/// [`Op::ScaleAllWeights`] first offers the backend one native
+/// [`PssBackend::scale_all_weights`] call (handles stay put, one journal
+/// entry); backends without it get every live item reweighted through
+/// `set_weight`, adopting whatever handle comes back (the handle-churning
+/// default re-issues them; native in-place backends don't). Either way the
+/// report counts one reweight per live item — that is the semantic work a
+/// decay performs. Panics if the backend rejects a delete or reweight of a
+/// handle the stream believes is live — that is a backend bug, and the
+/// agreement suite relies on it being loud.
 pub fn replay_stream(
     backend: &mut dyn PssBackend,
     ctx: &mut QueryCtx,
@@ -55,8 +61,8 @@ pub fn replay_stream(
 ) -> ReplayReport {
     let mut live: LiveSet<(Handle, u64)> = LiveSet::new();
     let mut report = ReplayReport::default();
-    for &w in &stream.initial {
-        live.insert((backend.insert(w), w));
+    for (h, &w) in backend.insert_many(&stream.initial).into_iter().zip(&stream.initial) {
+        live.insert((h, w));
         report.inserts += 1;
     }
     for (step, op) in stream.ops.iter().enumerate() {
@@ -83,18 +89,39 @@ pub fn replay_stream(
                 );
                 report.deletes += 1;
             }
+            Op::ReweightAt { index, weight } => {
+                let entry = &mut live.handles_mut()[index];
+                let (h, _) = *entry;
+                let nh = backend.set_weight(h, weight).unwrap_or_else(|| {
+                    panic!(
+                        "{}: reweight of live handle {h} rejected at step {step}",
+                        backend.name()
+                    )
+                });
+                *entry = (nh, weight);
+                report.reweights += 1;
+            }
             Op::ScaleAllWeights { num, den } => {
-                for entry in live.handles_mut() {
-                    let (h, w) = *entry;
-                    let scaled = scale_weight(w, num, den);
-                    let nh = backend.set_weight(h, scaled).unwrap_or_else(|| {
-                        panic!(
-                            "{}: reweight of live handle {h} rejected at step {step}",
-                            backend.name()
-                        )
-                    });
-                    *entry = (nh, scaled);
-                    report.reweights += 1;
+                if backend.scale_all_weights(num, den) {
+                    // Native decay: handles are untouched; mirror the floors
+                    // into the tracked weights with the shared definition.
+                    for entry in live.handles_mut() {
+                        entry.1 = scale_weight(entry.1, num, den);
+                        report.reweights += 1;
+                    }
+                } else {
+                    for entry in live.handles_mut() {
+                        let (h, w) = *entry;
+                        let scaled = scale_weight(w, num, den);
+                        let nh = backend.set_weight(h, scaled).unwrap_or_else(|| {
+                            panic!(
+                                "{}: reweight of live handle {h} rejected at step {step}",
+                                backend.name()
+                            )
+                        });
+                        *entry = (nh, scaled);
+                        report.reweights += 1;
+                    }
                 }
             }
         }
@@ -126,6 +153,9 @@ mod tests {
     #[derive(Debug, Default)]
     struct CountingBackend {
         store: pss_core::Store,
+        /// Support the native one-op decay (exercises the driver's fast arm).
+        native_scale: bool,
+        scale_calls: u64,
     }
 
     impl pss_core::SpaceUsage for CountingBackend {
@@ -155,6 +185,14 @@ mod tests {
         }
         fn set_weight(&mut self, handle: Handle, new_weight: u64) -> Option<Handle> {
             self.store.set_weight(handle, new_weight).map(|_| handle)
+        }
+        fn scale_all_weights(&mut self, num: u32, den: u32) -> bool {
+            if !self.native_scale {
+                return false;
+            }
+            self.store.scale_all(num, den);
+            self.scale_calls += 1;
+            true
         }
     }
 
@@ -215,6 +253,54 @@ mod tests {
         assert_eq!(report.queries, 0);
         assert_eq!(backend.len(), 200);
         assert_eq!(backend.total_weight(), 600);
+    }
+
+    #[test]
+    fn replay_mixed_regime_tracks_reweights() {
+        let mut rng = SmallRng::seed_from_u64(41);
+        let stream = UpdateStream::generate(
+            StreamKind::MixedRegime { insert_permille: 250, reweight_permille: 500 },
+            32,
+            600,
+            WeightDist::Uniform { lo: 1, hi: 1000 },
+            &mut rng,
+        );
+        let mut backend = CountingBackend::default();
+        let mut ctx = QueryCtx::new(41);
+        let params = [(Ratio::one(), Ratio::zero())];
+        let report = replay_stream(&mut backend, &mut ctx, &stream, Some((1, &params)));
+        assert!(report.reweights > 150, "reweight-dominated stream");
+        assert_eq!(report.queries, stream.ops.len() as u64, "one query per round");
+        // The driver's own exit assertions already proved exact weight
+        // tracking across every reweight.
+        assert_eq!(report.inserts - report.deletes, backend.len() as u64);
+    }
+
+    #[test]
+    fn replay_decayed_uses_the_native_scale_arm_when_offered() {
+        let mut rng = SmallRng::seed_from_u64(51);
+        let stream = UpdateStream::generate(
+            StreamKind::Decayed { insert_permille: 700, scale_every: 50, num: 1, den: 2 },
+            16,
+            300,
+            WeightDist::Equal { w: 1024 },
+            &mut rng,
+        );
+        let scale_ops =
+            stream.ops.iter().filter(|op| matches!(op, Op::ScaleAllWeights { .. })).count() as u64;
+        assert!(scale_ops >= 4);
+        let mut native = CountingBackend { native_scale: true, ..Default::default() };
+        let mut fallback = CountingBackend::default();
+        let mut ctx = QueryCtx::new(51);
+        let rep_native = replay_stream(&mut native, &mut ctx, &stream, None);
+        let rep_fallback = replay_stream(&mut fallback, &mut ctx, &stream, None);
+        assert_eq!(native.scale_calls, scale_ops, "one native call per decay op");
+        assert_eq!(fallback.scale_calls, 0);
+        // Same semantic work, same exact totals, either arm (the driver's
+        // weight-drift assertion checked each backend against its tracker;
+        // this pins the two arms against each other).
+        assert_eq!(rep_native, rep_fallback);
+        assert_eq!(native.total_weight(), fallback.total_weight());
     }
 
     #[test]

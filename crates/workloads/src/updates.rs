@@ -14,6 +14,12 @@ use crate::weights::WeightDist;
 use rand::Rng;
 use rand::RngCore;
 
+/// The decayed weight `⌊w·num/den⌋` of one [`Op::ScaleAllWeights`]
+/// application — re-exported from `pss-core`, where the native
+/// `Store::scale_all` and the journal's `ScaledAll` replayers share the same
+/// definition, so every producer floors identically.
+pub use pss_core::scale_weight;
+
 /// One update operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Op {
@@ -28,30 +34,33 @@ pub enum Op {
     /// pure Insert/DeleteOldest, so their expiry is exactly first-in
     /// first-out.
     DeleteOldest,
+    /// Change the weight of the live item at this index of the replayer's
+    /// [`LiveSet`] to `weight` (no insertion, no deletion — the live set and
+    /// its positions are untouched). This is the single-item reweight of the
+    /// mixed update+query regime ([`StreamKind::MixedRegime`]): under DPSS
+    /// semantics it moves the shared denominator `W` and therefore *every*
+    /// sampling probability, which is exactly the churn the epoch-delta
+    /// journal lets per-context materializations absorb in O(1).
+    ReweightAt {
+        /// Index into the replayer's live set.
+        index: usize,
+        /// The new weight.
+        weight: u64,
+    },
     /// Downscale **every** live item's weight to `⌊w·num/den⌋` (decayed
     /// weights: the periodic discount of streaming/recency scenarios). The
-    /// replayer applies it through `set_weight`, so backends with native
-    /// in-place reweighting pay n cheap updates, and the handle-churning
-    /// default pays n delete+insert pairs — exactly the cost difference the
-    /// decayed-weight benchmark measures. Weights may floor to 0 (zero-weight
-    /// items are legal and never sampled).
+    /// replayer first offers the backend one native
+    /// `PssBackend::scale_all_weights` call (one journaled delta); backends
+    /// without it pay n individual `set_weight`s — and the handle-churning
+    /// default pays n delete+insert pairs: exactly the cost ladder the
+    /// decayed-weight benchmark measures. Weights may floor to 0
+    /// (zero-weight items are legal and never sampled).
     ScaleAllWeights {
         /// Numerator of the decay factor (`1 ≤ num ≤ den`).
         num: u32,
         /// Denominator of the decay factor (`≥ 1`).
         den: u32,
     },
-}
-
-/// The decayed weight `⌊w·num/den⌋` of one [`Op::ScaleAllWeights`]
-/// application — the single definition every replayer shares. The product is
-/// widened to 128 bits and the result saturates at `u64::MAX`, so a
-/// hand-built op with an amplifying factor (`num > den` — the generator
-/// never emits one, and this helper debug-asserts against it) clamps loudly
-/// instead of silently wrapping.
-pub fn scale_weight(w: u64, num: u32, den: u32) -> u64 {
-    debug_assert!(den >= 1 && (1..=den).contains(&num), "scale factor must be in (0, 1]");
-    u64::try_from((w as u128 * num as u128) / den.max(1) as u128).unwrap_or(u64::MAX)
 }
 
 /// The shape of an update stream.
@@ -107,6 +116,21 @@ pub enum StreamKind {
         num: u32,
         /// Denominator of the decay factor (`≥ 1`).
         den: u32,
+    },
+    /// The mixed update+query regime: reweight-dominated single-item churn
+    /// ([`Op::ReweightAt`] with fresh weights from the distribution), with
+    /// inserts and deletes mixed in. Driven through
+    /// `workloads::drive::replay_stream` with a query cadence, every round
+    /// interleaves weight movement with sampling — the workload where a
+    /// DSS-style structure's Θ(n) re-materialization per moved `W`
+    /// collapses, and the epoch-delta journal's O(deltas) catch-up is
+    /// measured (the `mixed_regime` bench block).
+    MixedRegime {
+        /// Probability of an insertion, in permille.
+        insert_permille: u32,
+        /// Probability of a single-item reweight, in permille (the rest,
+        /// after inserts and reweights, are deletions).
+        reweight_permille: u32,
     },
 }
 
@@ -215,6 +239,27 @@ impl UpdateStream {
                     since_scale += 1;
                 }
             }
+            StreamKind::MixedRegime { insert_permille, reweight_permille } => {
+                assert!(
+                    insert_permille + reweight_permille <= 1000,
+                    "insert + reweight permille out of range"
+                );
+                for _ in 0..n_ops {
+                    let r = rng.gen_range(0u32..1000);
+                    if live == 0 || r < insert_permille {
+                        ops.push(Op::Insert(dist.sample(rng)));
+                        live += 1;
+                    } else if r < insert_permille + reweight_permille {
+                        ops.push(Op::ReweightAt {
+                            index: rng.gen_range(0..live),
+                            weight: dist.sample(rng),
+                        });
+                    } else {
+                        ops.push(Op::DeleteAt(rng.gen_range(0..live)));
+                        live -= 1;
+                    }
+                }
+            }
             StreamKind::Oscillate { lo, hi } => {
                 assert!(lo < hi, "Oscillate requires lo < hi");
                 let mut growing = true;
@@ -257,9 +302,10 @@ impl UpdateStream {
     /// Returns the number of live items at the end.
     ///
     /// # Panics
-    /// Panics on [`Op::ScaleAllWeights`] — reweighting needs the
-    /// weight-tracking driver (`workloads::drive::replay_stream`), not the
-    /// insert/delete callback pair.
+    /// Panics on [`Op::ScaleAllWeights`] and [`Op::ReweightAt`] —
+    /// reweighting needs the weight-tracking driver
+    /// (`workloads::drive::replay_stream`), not the insert/delete callback
+    /// pair.
     pub fn replay<H: Copy>(
         &self,
         mut insert: impl FnMut(u64) -> H,
@@ -274,8 +320,8 @@ impl UpdateStream {
                 Op::Insert(w) => live.insert(insert(w)),
                 Op::DeleteAt(i) => delete(live.remove_at(i)),
                 Op::DeleteOldest => delete(live.remove_oldest()),
-                Op::ScaleAllWeights { .. } => panic!(
-                    "Op::ScaleAllWeights needs the weight-tracking driver \
+                Op::ReweightAt { .. } | Op::ScaleAllWeights { .. } => panic!(
+                    "reweighting ops need the weight-tracking driver \
                      (workloads::drive::replay_stream)"
                 ),
             }
@@ -460,6 +506,7 @@ mod tests {
                     live -= 1;
                 }
                 Op::DeleteOldest => live -= 1,
+                Op::ReweightAt { .. } => panic!("window streams never reweight"),
                 Op::ScaleAllWeights { .. } => panic!("window streams never scale"),
             }
             max_live = max_live.max(live);
@@ -495,6 +542,7 @@ mod tests {
                 Op::Insert(_) => live += 1,
                 Op::DeleteOldest => live -= 1,
                 Op::DeleteAt(_) => panic!("Fifo streams never use DeleteAt"),
+                Op::ReweightAt { .. } => panic!("Fifo streams never reweight"),
                 Op::ScaleAllWeights { .. } => panic!("Fifo streams never scale"),
             }
             assert!(live <= 17, "window overflow");
@@ -526,6 +574,38 @@ mod tests {
     }
 
     #[test]
+    fn mixed_regime_reweights_reference_live_positions() {
+        let s = UpdateStream::generate(
+            StreamKind::MixedRegime { insert_permille: 250, reweight_permille: 500 },
+            64,
+            3000,
+            DIST,
+            &mut rng(),
+        );
+        let mut live = s.initial.len();
+        let mut reweights = 0usize;
+        for op in &s.ops {
+            match *op {
+                Op::Insert(_) => live += 1,
+                Op::DeleteAt(i) => {
+                    assert!(i < live, "delete index out of range");
+                    live -= 1;
+                }
+                Op::ReweightAt { index, weight } => {
+                    assert!(index < live, "reweight index out of range");
+                    assert!((1..=100).contains(&weight), "weight from the distribution");
+                    reweights += 1;
+                }
+                Op::DeleteOldest | Op::ScaleAllWeights { .. } => {
+                    panic!("mixed-regime streams only insert/delete/reweight")
+                }
+            }
+        }
+        // ~50% of 3000 ops; loose CLT bound.
+        assert!((1300..=1700).contains(&reweights), "got {reweights} reweights");
+    }
+
+    #[test]
     fn oscillate_crosses_band_repeatedly() {
         let s = UpdateStream::generate(
             StreamKind::Oscillate { lo: 8, hi: 64 },
@@ -541,6 +621,7 @@ mod tests {
             match op {
                 Op::Insert(_) => live += 1,
                 Op::DeleteAt(_) | Op::DeleteOldest => live -= 1,
+                Op::ReweightAt { .. } => panic!("oscillate streams never reweight"),
                 Op::ScaleAllWeights { .. } => panic!("oscillate streams never scale"),
             }
             let now_above = live >= 32; // mid-band
@@ -587,6 +668,7 @@ mod tests {
                     assert!(!deleted[id], "double delete of {id}");
                     deleted[id] = true;
                 }
+                Op::ReweightAt { .. } => panic!("mixed streams never reweight"),
                 Op::ScaleAllWeights { .. } => panic!("mixed streams never scale"),
             }
         }

@@ -25,6 +25,7 @@ fn streams_replay_on_both_samplers() {
         StreamKind::Fifo { window: 64 },
         StreamKind::Oscillate { lo: 32, hi: 256 },
         StreamKind::Decayed { insert_permille: 600, scale_every: 200, num: 3, den: 4 },
+        StreamKind::MixedRegime { insert_permille: 250, reweight_permille: 500 },
     ];
     for (k, kind) in kinds.into_iter().enumerate() {
         let mut rng = SmallRng::seed_from_u64(k as u64);
@@ -57,6 +58,20 @@ fn streams_replay_on_both_samplers() {
                 Op::DeleteOldest => {
                     assert!(halt.delete(live_h.remove_oldest()).is_some());
                     assert!(deam.delete(live_d.remove_oldest()).is_some());
+                }
+                Op::ReweightAt { index, weight } => {
+                    // HALT's native reweight keeps the id stable ...
+                    let id = live_h.handles()[index];
+                    assert!(halt.set_weight(id, weight).is_some());
+                    // ... the de-amortized facade default re-issues handles.
+                    let entry = &mut live_d.handles_mut()[index];
+                    let nh = pss_core::PssBackend::set_weight(
+                        &mut deam,
+                        pss_core::Handle::from_raw(*entry),
+                        weight,
+                    )
+                    .expect("live handle");
+                    *entry = nh.raw();
                 }
                 Op::ScaleAllWeights { num, den } => {
                     let scale = |w: u64| workloads::scale_weight(w, num, den);
