@@ -4,7 +4,7 @@
 //! performance trajectory that scripts can diff. A snapshot whose *shape*
 //! silently drifts (renamed field, string where a number belongs, empty
 //! backend roster) breaks every downstream diff without failing anything —
-//! so the emitter validates its own output against schema v4 right after
+//! so the emitter validates its own output against schema v5 right after
 //! writing, and CI runs the same check on the `--quick` smoke snapshot.
 //!
 //! Schema history: v2 extended v1 with per-backend `delete`/`set_weight`
@@ -15,13 +15,21 @@
 //! single-core hosts where it degrades to ≈1×) and `decayed` (update
 //! throughput of the decayed-weight stream, whose periodic
 //! `ScaleAllWeights` makes `set_weight` cost visible end-to-end).
-//! Schema v4 (this PR) instruments the epoch-delta change journal:
-//! `plan_cache` gains `refreshes` (stale plans re-derived in place after
-//! weight-only churn — the journal's shrunk miss path), and the new
-//! `mixed_regime` block records the interleaved update+query replay on the
-//! `odss-style` backend (rounds/s, items rematerialized by Θ(n) fallbacks,
-//! and the journal replay/fallback counters) — the regime the journal
-//! rewrite exists to fix.
+//! Schema v4 instrumented the epoch-delta change journal: `plan_cache`
+//! gained `refreshes` (stale plans re-derived in place after weight-only
+//! churn — the journal's shrunk miss path), and the `mixed_regime` block
+//! records the interleaved update+query replay on the `odss-style` backend
+//! (rounds/s, items rematerialized by Θ(n) fallbacks, and the journal
+//! replay/fallback counters) — the regime the journal rewrite exists to fix.
+//! Schema v5 (this PR) measures the radix-partitioned bulk build: the new
+//! `bulk_load` block records `from_weights` throughput at n = 2^14 and
+//! n = 2^20 (fixed sizes, independent of `--n`), the per-item reference
+//! insert rate at 2^20, their ratio (`speedup`, the ≥3× acceptance bar),
+//! and `rebuild_ms` — the wall time of the single delete that fires the
+//! shrink-compaction rebuild, now itself a radix partition. The three
+//! replay blocks (`fifo_window`, `decayed`, `mixed_regime`) each gain
+//! `setup_ms`: initial-load time reported separately so bulk-build speed
+//! never hides inside a steady-state op rate.
 //!
 //! The workspace is offline (no serde), so this carries a deliberately tiny
 //! recursive-descent JSON reader: objects, arrays, strings (with escapes),
@@ -242,7 +250,7 @@ fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-/// Per-backend numeric throughput fields required by schema v4.
+/// Per-backend numeric throughput fields required by schema v5.
 pub const BACKEND_RATE_FIELDS: [&str; 7] =
     ["insert", "churn_pair", "delete", "set_weight", "query_mu16", "query_batch16", "mixed_round"];
 
@@ -258,29 +266,33 @@ fn require_num(obj: &Json, field: &str, min: f64, path: &str) -> Result<f64, Str
     Ok(v)
 }
 
-/// Validates a `BENCH_core.json` document against schema v4:
+/// Validates a `BENCH_core.json` document against schema v5:
 ///
-/// - top level: `schema == 4`, integer `n_items ≥ 1`, boolean `quick`,
+/// - top level: `schema == 5`, integer `n_items ≥ 1`, boolean `quick`,
 ///   `unit == "ops_per_sec"`, non-empty `backends` array;
 /// - `plan_cache`: finite non-negative `hits`, `misses`, and `refreshes`;
-/// - `fifo_window`: integer `window ≥ 1` and finite non-negative
-///   `ops_per_sec`;
+/// - `fifo_window`: integer `window ≥ 1`, finite non-negative `ops_per_sec`
+///   and `setup_ms`;
 /// - `query_par`: integer `threads ≥ 1`, finite non-negative
 ///   `seq_ops_per_sec` and `par_ops_per_sec`, finite non-negative `speedup`;
-/// - `decayed`: integer `scale_every ≥ 1` and finite non-negative
-///   `ops_per_sec`;
-/// - `mixed_regime`: finite non-negative `rounds_per_sec`, integer
-///   `rematerialized ≥ 0`, integer `replays ≥ 0`, integer `fallbacks ≥ 0`;
+/// - `decayed`: integer `scale_every ≥ 1`, finite non-negative
+///   `ops_per_sec` and `setup_ms`;
+/// - `mixed_regime`: finite non-negative `rounds_per_sec` and `setup_ms`,
+///   integer `rematerialized ≥ 0`, integer `replays ≥ 0`, integer
+///   `fallbacks ≥ 0`;
+/// - `bulk_load`: integers `n_small ≥ 1` and `n_large ≥ 1`, finite
+///   non-negative `small_items_per_sec`, `large_items_per_sec`,
+///   `per_op_items_per_sec`, `speedup`, and `rebuild_ms`;
 /// - each backend: non-empty string `name`, finite non-negative numbers for
 ///   every field in [`BACKEND_RATE_FIELDS`] plus `space_words`.
 ///
 /// Unknown extra fields are allowed (forward-compatible); missing or
 /// mistyped required fields are errors naming the offending path.
-pub fn validate_bench_core_v4(text: &str) -> Result<(), String> {
+pub fn validate_bench_core_v5(text: &str) -> Result<(), String> {
     let doc = parse(text)?;
     let schema = doc.get("schema").and_then(Json::as_num).ok_or("missing numeric 'schema'")?;
-    if schema != 4.0 {
-        return Err(format!("schema version {schema} is not 4"));
+    if schema != 5.0 {
+        return Err(format!("schema version {schema} is not 5"));
     }
     let n_items = doc.get("n_items").and_then(Json::as_num).ok_or("missing numeric 'n_items'")?;
     if n_items < 1.0 || n_items.fract() != 0.0 {
@@ -302,6 +314,7 @@ pub fn validate_bench_core_v4(text: &str) -> Result<(), String> {
         return Err(format!("fifo_window: 'window' = {window} is not an integer"));
     }
     require_num(fw, "ops_per_sec", 0.0, "fifo_window")?;
+    require_num(fw, "setup_ms", 0.0, "fifo_window")?;
     let qp = doc.get("query_par").ok_or("missing object 'query_par'")?;
     let threads = require_num(qp, "threads", 1.0, "query_par")?;
     if threads.fract() != 0.0 {
@@ -316,14 +329,28 @@ pub fn validate_bench_core_v4(text: &str) -> Result<(), String> {
         return Err(format!("decayed: 'scale_every' = {scale_every} is not an integer"));
     }
     require_num(dc, "ops_per_sec", 0.0, "decayed")?;
+    require_num(dc, "setup_ms", 0.0, "decayed")?;
     let mr = doc.get("mixed_regime").ok_or("missing object 'mixed_regime'")?;
     require_num(mr, "rounds_per_sec", 0.0, "mixed_regime")?;
+    require_num(mr, "setup_ms", 0.0, "mixed_regime")?;
     for field in ["rematerialized", "replays", "fallbacks"] {
         let v = require_num(mr, field, 0.0, "mixed_regime")?;
         if v.fract() != 0.0 {
             return Err(format!("mixed_regime: '{field}' = {v} is not an integer"));
         }
     }
+    let bl = doc.get("bulk_load").ok_or("missing object 'bulk_load'")?;
+    for field in ["n_small", "n_large"] {
+        let v = require_num(bl, field, 1.0, "bulk_load")?;
+        if v.fract() != 0.0 {
+            return Err(format!("bulk_load: '{field}' = {v} is not an integer"));
+        }
+    }
+    require_num(bl, "small_items_per_sec", 0.0, "bulk_load")?;
+    require_num(bl, "large_items_per_sec", 0.0, "bulk_load")?;
+    require_num(bl, "per_op_items_per_sec", 0.0, "bulk_load")?;
+    require_num(bl, "speedup", 0.0, "bulk_load")?;
+    require_num(bl, "rebuild_ms", 0.0, "bulk_load")?;
     let backends = match doc.get("backends") {
         Some(Json::Arr(rows)) if !rows.is_empty() => rows,
         Some(Json::Arr(_)) => return Err("'backends' is empty".into()),
@@ -349,14 +376,19 @@ mod tests {
     use super::*;
 
     const GOOD: &str = r#"{
-      "schema": 4, "n_items": 4096, "quick": true, "unit": "ops_per_sec",
+      "schema": 5, "n_items": 4096, "quick": true, "unit": "ops_per_sec",
       "plan_cache": {"hits": 48, "misses": 16, "refreshes": 16},
-      "fifo_window": {"window": 1024, "ops_per_sec": 5.0e6},
+      "fifo_window": {"window": 1024, "ops_per_sec": 5.0e6, "setup_ms": 0.0},
       "query_par": {"threads": 8, "seq_ops_per_sec": 5.0e4,
                     "par_ops_per_sec": 1.5e5, "speedup": 3.0},
-      "decayed": {"scale_every": 256, "ops_per_sec": 2.0e6},
-      "mixed_regime": {"rounds_per_sec": 2.5e4, "rematerialized": 4096,
+      "decayed": {"scale_every": 256, "ops_per_sec": 2.0e6, "setup_ms": 0.4},
+      "mixed_regime": {"rounds_per_sec": 2.5e4, "setup_ms": 1.2,
+                       "rematerialized": 4096,
                        "replays": 4000, "fallbacks": 1},
+      "bulk_load": {"n_small": 16384, "small_items_per_sec": 8.0e7,
+                    "n_large": 1048576, "large_items_per_sec": 6.5e7,
+                    "per_op_items_per_sec": 1.8e7, "speedup": 3.6,
+                    "rebuild_ms": 2.5},
       "backends": [
         {"name": "halt", "insert": 1.5e6, "churn_pair": 2.0, "delete": 6.0,
          "set_weight": 7.0, "query_mu16": 3.0,
@@ -366,77 +398,93 @@ mod tests {
 
     #[test]
     fn accepts_a_valid_snapshot() {
-        validate_bench_core_v4(GOOD).unwrap();
+        validate_bench_core_v5(GOOD).unwrap();
     }
 
     #[test]
     fn rejects_shape_drift() {
         // Wrong version.
-        assert!(validate_bench_core_v4(&GOOD.replace("\"schema\": 4", "\"schema\": 3")).is_err());
+        assert!(validate_bench_core_v5(&GOOD.replace("\"schema\": 5", "\"schema\": 4")).is_err());
         // Missing v1 field.
-        assert!(validate_bench_core_v4(&GOOD.replace("\"query_mu16\": 3.0,", "")).is_err());
+        assert!(validate_bench_core_v5(&GOOD.replace("\"query_mu16\": 3.0,", "")).is_err());
         // Missing v2 update-path field.
-        assert!(validate_bench_core_v4(&GOOD.replace("\"delete\": 6.0,", "")).is_err());
-        assert!(validate_bench_core_v4(&GOOD.replace("\"set_weight\": 7.0,", "")).is_err());
+        assert!(validate_bench_core_v5(&GOOD.replace("\"delete\": 6.0,", "")).is_err());
+        assert!(validate_bench_core_v5(&GOOD.replace("\"set_weight\": 7.0,", "")).is_err());
         // Missing observability blocks.
-        assert!(validate_bench_core_v4(
+        assert!(validate_bench_core_v5(
             &GOOD.replace("\"plan_cache\": {\"hits\": 48, \"misses\": 16, \"refreshes\": 16},", "")
         )
         .is_err());
-        assert!(validate_bench_core_v4(
-            &GOOD.replace("\"fifo_window\": {\"window\": 1024, \"ops_per_sec\": 5.0e6},", "")
-        )
+        assert!(validate_bench_core_v5(&GOOD.replace(
+            "\"fifo_window\": {\"window\": 1024, \"ops_per_sec\": 5.0e6, \"setup_ms\": 0.0},",
+            ""
+        ))
         .is_err());
         // Missing v3 blocks.
-        assert!(validate_bench_core_v4(
+        assert!(validate_bench_core_v5(
             &GOOD.replace(
                 "\"query_par\": {\"threads\": 8, \"seq_ops_per_sec\": 5.0e4,\n                    \"par_ops_per_sec\": 1.5e5, \"speedup\": 3.0},",
                 ""
             )
         )
         .is_err());
-        assert!(validate_bench_core_v4(
-            &GOOD.replace("\"decayed\": {\"scale_every\": 256, \"ops_per_sec\": 2.0e6},", "")
-        )
+        assert!(validate_bench_core_v5(&GOOD.replace(
+            "\"decayed\": {\"scale_every\": 256, \"ops_per_sec\": 2.0e6, \"setup_ms\": 0.4},",
+            ""
+        ))
         .is_err());
         // Missing v4 instrumentation.
-        assert!(validate_bench_core_v4(&GOOD.replace(", \"refreshes\": 16", "")).is_err());
-        assert!(validate_bench_core_v4(
+        assert!(validate_bench_core_v5(&GOOD.replace(", \"refreshes\": 16", "")).is_err());
+        assert!(validate_bench_core_v5(&GOOD.replace("\"rematerialized\": 4096,", "")).is_err());
+        assert!(validate_bench_core_v5(&GOOD.replace("\"replays\": 4000", "\"replays\": 4000.5"))
+            .is_err());
+        // Missing v5 instrumentation: the bulk_load block, any field inside
+        // it, and the setup_ms split on the replay blocks.
+        assert!(validate_bench_core_v5(
             &GOOD.replace(
-                "\"mixed_regime\": {\"rounds_per_sec\": 2.5e4, \"rematerialized\": 4096,\n                       \"replays\": 4000, \"fallbacks\": 1},",
+                "\"bulk_load\": {\"n_small\": 16384, \"small_items_per_sec\": 8.0e7,\n                    \"n_large\": 1048576, \"large_items_per_sec\": 6.5e7,\n                    \"per_op_items_per_sec\": 1.8e7, \"speedup\": 3.6,\n                    \"rebuild_ms\": 2.5},",
                 ""
             )
         )
         .is_err());
-        assert!(validate_bench_core_v4(&GOOD.replace("\"replays\": 4000", "\"replays\": 4000.5"))
+        assert!(validate_bench_core_v5(&GOOD.replace("\"rebuild_ms\": 2.5", "\"rebuild_ms\": -1"))
             .is_err());
+        assert!(validate_bench_core_v5(&GOOD.replace("\"n_large\": 1048576", "\"n_large\": 2.5"))
+            .is_err());
+        assert!(validate_bench_core_v5(&GOOD.replace(", \"setup_ms\": 0.4", "")).is_err());
+        assert!(validate_bench_core_v5(&GOOD.replace("\"setup_ms\": 1.2,", "")).is_err());
         // Missing field inside a v3 block.
-        assert!(validate_bench_core_v4(&GOOD.replace("\"speedup\": 3.0", "\"speedup\": \"3x\""))
+        assert!(validate_bench_core_v5(&GOOD.replace("\"speedup\": 3.0", "\"speedup\": \"3x\""))
             .is_err());
         // Fractional integers.
         assert!(
-            validate_bench_core_v4(&GOOD.replace("\"window\": 1024", "\"window\": 2.5")).is_err()
+            validate_bench_core_v5(&GOOD.replace("\"window\": 1024", "\"window\": 2.5")).is_err()
         );
         assert!(
-            validate_bench_core_v4(&GOOD.replace("\"threads\": 8", "\"threads\": 1.5")).is_err()
+            validate_bench_core_v5(&GOOD.replace("\"threads\": 8", "\"threads\": 1.5")).is_err()
         );
         // String where a number belongs.
-        assert!(validate_bench_core_v4(&GOOD.replace("\"insert\": 1.5e6", "\"insert\": \"fast\""))
+        assert!(validate_bench_core_v5(&GOOD.replace("\"insert\": 1.5e6", "\"insert\": \"fast\""))
             .is_err());
         // Empty roster.
-        let empty = r#"{"schema": 4, "n_items": 1, "quick": false,
+        let empty = r#"{"schema": 5, "n_items": 1, "quick": false,
                         "unit": "ops_per_sec",
                         "plan_cache": {"hits": 0, "misses": 0, "refreshes": 0},
-                        "fifo_window": {"window": 16, "ops_per_sec": 1.0},
+                        "fifo_window": {"window": 16, "ops_per_sec": 1.0, "setup_ms": 0.0},
                         "query_par": {"threads": 1, "seq_ops_per_sec": 1.0,
                                       "par_ops_per_sec": 1.0, "speedup": 1.0},
-                        "decayed": {"scale_every": 16, "ops_per_sec": 1.0},
-                        "mixed_regime": {"rounds_per_sec": 1.0, "rematerialized": 0,
+                        "decayed": {"scale_every": 16, "ops_per_sec": 1.0, "setup_ms": 0.0},
+                        "mixed_regime": {"rounds_per_sec": 1.0, "setup_ms": 0.0,
+                                         "rematerialized": 0,
                                          "replays": 0, "fallbacks": 0},
+                        "bulk_load": {"n_small": 16, "small_items_per_sec": 1.0,
+                                      "n_large": 32, "large_items_per_sec": 1.0,
+                                      "per_op_items_per_sec": 1.0, "speedup": 1.0,
+                                      "rebuild_ms": 0.0},
                         "backends": []}"#;
-        assert!(validate_bench_core_v4(empty).is_err());
+        assert!(validate_bench_core_v5(empty).is_err());
         // Not JSON at all.
-        assert!(validate_bench_core_v4("{").is_err());
+        assert!(validate_bench_core_v5("{").is_err());
     }
 
     #[test]
@@ -457,9 +505,9 @@ mod tests {
 
     #[test]
     fn committed_snapshot_is_valid() {
-        // The repository's own BENCH_core.json must always pass schema v4.
+        // The repository's own BENCH_core.json must always pass schema v5.
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_core.json");
         let text = std::fs::read_to_string(path).expect("committed BENCH_core.json");
-        validate_bench_core_v4(&text).expect("committed snapshot violates schema v4");
+        validate_bench_core_v5(&text).expect("committed snapshot violates schema v5");
     }
 }

@@ -102,6 +102,13 @@ impl Slab {
         self.insert_bucketed(weight, 0)
     }
 
+    /// Pre-sizes the record vector for `n` upcoming insertions beyond what
+    /// the free list covers (bulk loads pay one reservation instead of a
+    /// doubling chain of record copies).
+    pub(crate) fn reserve(&mut self, n: usize) {
+        self.recs.reserve(n.saturating_sub(self.free.len()));
+    }
+
     /// Inserts an item with its bucket position in one slot write (the
     /// update hot path: one record touch instead of insert + set_bucket_pos).
     pub(crate) fn insert_bucketed(&mut self, weight: u64, bucket_pos: u32) -> ItemId {
@@ -119,6 +126,28 @@ impl Slab {
             self.recs.push(Rec { weight, bucket_pos, meta: 1 });
             ItemId::new(idx, 0)
         }
+    }
+
+    /// Fast-path insert for a slab with an **empty free list**: the handle
+    /// is always a fresh slot at generation 0, so the recycling branch of
+    /// [`Slab::insert_bucketed`] is skipped. Bulk fills call this for the
+    /// tail of a batch once [`Slab::free_slots`] recycled slots have been
+    /// consumed — the handle sequence is identical to the generic path.
+    #[inline]
+    pub(crate) fn insert_bucketed_fresh(&mut self, weight: u64, bucket_pos: u32) -> ItemId {
+        debug_assert!(self.free.is_empty(), "fresh-path insert with recycled slots pending");
+        self.len += 1;
+        let idx = self.recs.len() as u32;
+        assert!(idx != u32::MAX, "slab capacity exhausted");
+        self.recs.push(Rec { weight, bucket_pos, meta: 1 });
+        ItemId::new(idx, 0)
+    }
+
+    /// Number of recycled slots the next inserts will consume before fresh
+    /// slots are appended.
+    #[inline]
+    pub(crate) fn free_slots(&self) -> usize {
+        self.free.len()
     }
 
     /// Removes `id`, returning its weight; `None` if stale or unknown.

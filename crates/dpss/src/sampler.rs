@@ -160,10 +160,13 @@ impl DpssSampler {
     }
 
     /// O(n) preprocessing: builds the sampler over `weights`, returning the
-    /// handle of each item in input order.
+    /// handle of each item in input order. Rides the radix-partitioned bulk
+    /// build (`Level1::insert_many`): sized once for `weights.len()`, built
+    /// in four linear passes, no journal traffic (a fresh structure has no
+    /// observers to notify).
     pub fn from_weights(weights: &[u64], seed: u64) -> (Self, Vec<ItemId>) {
         let mut s = Self::with_capacity_seed(weights.len(), seed);
-        let ids = weights.iter().map(|&w| s.level1.insert(w)).collect();
+        let ids = s.level1.insert_many(weights);
         (s, ids)
     }
 
@@ -318,21 +321,44 @@ impl DpssSampler {
     }
 
     /// Inserts a batch of items in O(batch), returning their handles in
-    /// order. Structurally bit-identical to a loop of
-    /// [`DpssSampler::insert`] (same bucketing, same rebuild points), but
-    /// the journal epoch is bumped **once per batch** instead of once per
-    /// item ([`ChangeJournal::record_batch`]): observers replay the batch
-    /// all-or-nothing, so per-op semantics are unchanged while the version
-    /// bookkeeping drops out of the per-item path.
+    /// order — the radix-partitioned bulk path. The structure is sized
+    /// **once** up front from `len() + weights.len()` (at most one rebuild,
+    /// instead of the O(log batch) intermediate rebuilds a per-item loop
+    /// pays), then `Level1::insert_many` classifies, carves, fills, and
+    /// derives in four linear passes. The journal epoch is bumped once per
+    /// batch ([`ChangeJournal::record_batch`]): observers replay the batch
+    /// all-or-nothing, so per-op semantics are unchanged.
+    ///
+    /// Bit-identical — bucket contents, canonical node order, handles, and
+    /// therefore every position-sensitive query — to the retained per-item
+    /// reference loop (`insert_many_per_op`, behind the `per-op-reference`
+    /// feature), which the bulk-vs-per-op suite pins down.
     pub fn insert_many(&mut self, weights: &[u64]) -> Vec<ItemId> {
-        let ids: Vec<ItemId> = weights
-            .iter()
-            .map(|&w| {
-                let id = self.level1.insert(w);
-                self.maybe_rebuild();
-                id
-            })
-            .collect();
+        if weights.is_empty() {
+            return Vec::new();
+        }
+        self.reserve_for(self.len() + weights.len());
+        let ids = self.level1.insert_many(weights);
+        self.journal.record_batch(
+            ids.iter()
+                .zip(weights)
+                .map(|(id, &w)| Delta::Inserted { handle: Handle::from_raw(id.raw()), weight: w }),
+        );
+        ids
+    }
+
+    /// The per-item batch loop the bulk build replaced, kept as the
+    /// bit-identity oracle: identical up-front sizing (one `reserve_for`),
+    /// identical one-epoch journal semantics, but n incremental cascades
+    /// instead of one classifier sweep. Test-only surface — enable the
+    /// `per-op-reference` feature to compile it.
+    #[cfg(feature = "per-op-reference")]
+    pub fn insert_many_per_op(&mut self, weights: &[u64]) -> Vec<ItemId> {
+        if weights.is_empty() {
+            return Vec::new();
+        }
+        self.reserve_for(self.len() + weights.len());
+        let ids: Vec<ItemId> = weights.iter().map(|&w| self.level1.insert(w)).collect();
         self.journal.record_batch(
             ids.iter()
                 .zip(weights)
@@ -387,6 +413,20 @@ impl DpssSampler {
         id
     }
 
+    /// Batch insert without the global-rebuild check (the bulk analogue of
+    /// [`DpssSampler::insert_frozen`]): one journal epoch, structure sized
+    /// by the caller ([`crate::DeamortizedDpss`] pre-sizes via
+    /// [`DpssSampler::reserve_for`] when a batch outgrows the trigger band).
+    pub(crate) fn insert_many_frozen(&mut self, weights: &[u64]) -> Vec<ItemId> {
+        let ids = self.level1.insert_many(weights);
+        self.journal.record_batch(
+            ids.iter()
+                .zip(weights)
+                .map(|(id, &w)| Delta::Inserted { handle: Handle::from_raw(id.raw()), weight: w }),
+        );
+        ids
+    }
+
     /// Delete without the global-rebuild check (see
     /// [`DpssSampler::insert_frozen`]); essential while an epoch drains the
     /// old half toward zero items.
@@ -399,6 +439,16 @@ impl DpssSampler {
     #[inline]
     fn maybe_rebuild(&mut self) {
         let n = self.len().max(N0_FLOOR);
+        if n > self.n0 * self.rebuild_factor || n * self.rebuild_factor < self.n0 {
+            self.rebuild(n);
+        }
+    }
+
+    /// The batch analogue of `maybe_rebuild`: sizes the structure once for
+    /// a final count of `n_final` items, firing **at most one** rebuild up
+    /// front, so a bulk load performs zero intermediate rebuilds.
+    pub(crate) fn reserve_for(&mut self, n_final: usize) {
+        let n = n_final.max(N0_FLOOR);
         if n > self.n0 * self.rebuild_factor || n * self.rebuild_factor < self.n0 {
             self.rebuild(n);
         }

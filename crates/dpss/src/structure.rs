@@ -33,7 +33,7 @@
 
 use crate::item::{ItemId, Slab};
 use wordram::bits::floor_log2_u64;
-use wordram::{BitsetList, Bucket, BucketArena, Pool, SpaceUsage, U256};
+use wordram::{BitsetList, Bucket, BucketArena, FillCursor, Pool, SpaceUsage, U256};
 
 /// Level-1 bucket-index universe: weights are `< 2^64`.
 pub const L1_BUCKETS: usize = 64;
@@ -95,7 +95,13 @@ pub struct Node {
     /// Width of this node's groups in bucket indices (level 2 only).
     pub group_width: u32,
     /// `buckets[b]` lists child bucket indices whose proxies live in bucket
-    /// `b` (arena handles; resolve through the owning pool).
+    /// `b` (arena handles; resolve through the owning pool). **Canonical
+    /// order invariant:** every bucket lists its children in ascending child
+    /// index — the order a class-ascending derive produces — so the node's
+    /// layout is a pure function of the child level's bucket counts, never
+    /// of update history. That is what lets a bulk build derive the whole
+    /// hierarchy in one sweep and still be bit-identical (position-sensitive
+    /// queries included) to n incremental cascades.
     pub buckets: Vec<Bucket>,
     /// Non-empty bucket indices (Fact 2.1 structure).
     pub nonempty_buckets: BitsetList,
@@ -296,15 +302,17 @@ impl NodePool {
             let node = nodes.get_mut(idx);
             level = node.level;
             group_width = node.group_width;
-            // Remove the old proxy, if any.
+            // Remove the old proxy, if any — order-preserving, so the
+            // canonical ascending-child order survives (the entries after
+            // the hole shift down; their positions are patched below).
             let old = std::mem::replace(&mut node.members[child as usize], Member::NONE);
             if old.present() {
                 let b = old.bucket as usize;
-                let removed = arena.swap_remove(&mut node.buckets[b], old.pos as usize);
+                let removed = arena.remove_at(&mut node.buckets[b], old.pos as usize);
                 debug_assert_eq!(removed, child, "bucket {b} held ghost child");
-                if (old.pos as usize) < node.buckets[b].len() {
-                    let moved = arena.get(&node.buckets[b], old.pos as usize);
-                    node.members[moved as usize].pos = old.pos;
+                for q in old.pos as usize..node.buckets[b].len() {
+                    let moved = arena.get(&node.buckets[b], q);
+                    node.members[moved as usize].pos = q as u32;
                 }
                 if node.buckets[b].is_empty() {
                     node.nonempty_buckets.remove(b);
@@ -313,19 +321,27 @@ impl NodePool {
                 node.n_members -= 1;
                 touched[0] = old.bucket;
             }
-            // Insert the new proxy, if any.
+            // Insert the new proxy, if any, at its canonical (ascending
+            // child index) position. Buckets hold at most one group's worth
+            // of children, so the scan and shift are over a handful of u16s
+            // — and this whole body is the cold, geometrically rare arm.
             if let Some(bucket) = new_bucket {
                 let b = bucket as usize;
-                let pos = node.buckets[b].len() as u32;
-                arena.push(&mut node.buckets[b], child);
-                if pos == 0 {
+                let was_empty = node.buckets[b].is_empty();
+                let pos = arena.slice(&node.buckets[b]).partition_point(|&c| c < child);
+                arena.insert_at(&mut node.buckets[b], pos, child);
+                for q in pos + 1..node.buckets[b].len() {
+                    let moved = arena.get(&node.buckets[b], q);
+                    node.members[moved as usize].pos = q as u32;
+                }
+                if was_empty {
                     node.nonempty_buckets.insert(b);
                 }
-                node.members[child as usize] = Member { bucket, pos };
+                node.members[child as usize] = Member { bucket, pos: pos as u32 };
                 node.n_members += 1;
                 if touched[0] != bucket {
                     touched[1] = bucket;
-                    flipped[1] = pos == 0;
+                    flipped[1] = was_empty;
                 }
             }
         }
@@ -378,6 +394,10 @@ impl NodePool {
         for b in 0..node.buckets.len() {
             let items = self.arena.slice(&node.buckets[b]);
             assert_eq!(!items.is_empty(), node.nonempty_buckets.contains(b), "bucket {b} bitset");
+            assert!(
+                items.windows(2).all(|p| p[0] < p[1]),
+                "bucket {b} violates the canonical ascending-child order"
+            );
             for (pos, &child) in items.iter().enumerate() {
                 let m = &node.members[child as usize];
                 assert!(m.present(), "bucket {b} holds ghost child {child}");
@@ -574,6 +594,119 @@ impl Level1 {
         id
     }
 
+    /// Bulk insert: the radix-partitioned build path. One classifier pass
+    /// histograms the batch by `⌊log2 w⌋`, every target bucket is carved (or
+    /// grown) straight to its final size class, the fill writes each item
+    /// once in input order — so slab handles issue exactly as a per-item
+    /// loop would — and the proxy hierarchy is derived with **one** cascade
+    /// per touched class instead of one per item.
+    ///
+    /// Bit-identical to a loop of [`Level1::insert`]: level-1 bucket
+    /// contents are input-ordered either way, and the node buckets' canonical
+    /// ascending-child order (see [`Node::buckets`]) makes the hierarchy a
+    /// pure function of the final bucket counts, so deriving once and
+    /// cascading n times land on the same structure.
+    pub fn insert_many(&mut self, weights: &[u64]) -> Vec<ItemId> {
+        // Pass 1: classify — the per-class occupancy histogram.
+        let mut add = [0usize; L1_BUCKETS];
+        let mut add_zero = 0usize;
+        let mut add_total: u128 = 0;
+        for &w in weights {
+            // No overflow: < 2^64 items of weight < 2^64 sum below 2^128.
+            add_total += w as u128;
+            if w == 0 {
+                add_zero += 1;
+            } else {
+                add[floor_log2_u64(w) as usize] += 1;
+            }
+        }
+        self.total_weight = self
+            .total_weight
+            .checked_add(add_total)
+            .expect("total weight exceeds 2^128 (Word RAM precondition)");
+        // Pass 2: carve. A fresh structure (no live or parked blocks) sizes
+        // the arena once and carves all blocks by cursor arithmetic; a warm
+        // one grows each target bucket straight to its final class, skipping
+        // the doubling chain.
+        if self.n_positive == 0 && self.item_arena.carved() == 0 {
+            self.item_arena.reset_to_plan(add.iter().copied());
+            for (i, &c) in add.iter().enumerate() {
+                if c > 0 {
+                    self.item_arena.carve_exact(&mut self.buckets[i], c);
+                }
+            }
+        } else {
+            for (i, &c) in add.iter().enumerate() {
+                if c > 0 {
+                    let cap = self.buckets[i].len() + c;
+                    self.item_arena.reserve(&mut self.buckets[i], cap);
+                }
+            }
+        }
+        // Pass 3: fill, in input order. Every push lands in a pre-sized
+        // block, so this is a linear sweep of slab and bucket writes. Two
+        // per-item costs of the generic path are hoisted out of the loop:
+        // bucket appends go through raw `FillCursor`s (one store + increment
+        // each; the `Bucket` handles are published once at the end), and
+        // slab handles switch to the branch-free fresh path as soon as the
+        // free list drains — the handle sequence is identical either way,
+        // because recycled slots pop in free-list order regardless of
+        // weight, exactly as a per-item loop would consume them.
+        self.slab.reserve(weights.len());
+        let mut ids = Vec::with_capacity(weights.len());
+        let mut cur = [FillCursor::default(); L1_BUCKETS];
+        for (i, &c) in add.iter().enumerate() {
+            if c > 0 {
+                cur[i] = self.item_arena.fill_cursor(&self.buckets[i]);
+            }
+        }
+        let recycled = self.slab.free_slots().min(weights.len());
+        let (head, tail) = weights.split_at(recycled);
+        for &w in head {
+            if w == 0 {
+                self.n_zero += 1;
+                ids.push(self.slab.insert(0));
+                continue;
+            }
+            let i = floor_log2_u64(w) as usize;
+            let id = self.slab.insert_bucketed(w, cur[i].pos());
+            self.item_arena.push_raw(&mut cur[i], id);
+            ids.push(id);
+        }
+        for &w in tail {
+            if w == 0 {
+                self.n_zero += 1;
+                ids.push(self.slab.insert_bucketed_fresh(0, 0));
+                continue;
+            }
+            let i = floor_log2_u64(w) as usize;
+            let id = self.slab.insert_bucketed_fresh(w, cur[i].pos());
+            self.item_arena.push_raw(&mut cur[i], id);
+            ids.push(id);
+        }
+        for (i, &c) in add.iter().enumerate() {
+            if c > 0 {
+                let fc = cur[i];
+                self.item_arena.commit_cursor(&mut self.buckets[i], fc);
+            }
+        }
+        self.n_positive += weights.len() - add_zero;
+        // Pass 4: derive — one bitset/cascade update per touched class.
+        for (i, &c) in add.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let count = self.buckets[i].len() as u64;
+            let old_count = count - c as u64;
+            if old_count == 0 {
+                self.nonempty_buckets.insert(i);
+                self.nonempty_groups.insert(i / self.group_width as usize);
+            }
+            self.cascade_if_moved(i, old_count, count);
+        }
+        ids
+    }
+
     /// Deletes an item; returns its weight, or `None` for stale handles.
     pub fn delete(&mut self, id: ItemId) -> Option<u64> {
         let (weight, pos) = self.slab.remove_bucketed(id)?;
@@ -707,14 +840,16 @@ impl Level1 {
         self.children.resize(n_groups, NO_NODE);
         self.nonempty_groups.reset(n_groups);
         if compact {
-            self.item_arena.reset();
             self.buckets.iter_mut().for_each(|b| *b = Bucket::EMPTY);
             self.nonempty_buckets.reset(L1_BUCKETS);
             self.total_weight = 0;
             self.n_positive = 0;
             self.n_zero = 0;
-            // Pass 1: bucket occupancies, so every block is carved at its
-            // final size class (no doubling-chain copies during the fill).
+            // Pass 1: bucket occupancies — the same classifier histogram as
+            // the bulk build — so shrink-compaction is a radix partition:
+            // one arena resize plans the whole region, and every block is
+            // carved at its final size class by cursor arithmetic (no
+            // free-list traffic, no doubling-chain copies during the fill).
             let mut counts = [0usize; L1_BUCKETS];
             for idx in 0..self.slab.slot_count() {
                 if let Some((_, w)) = self.slab.entry_at(idx) {
@@ -723,9 +858,10 @@ impl Level1 {
                     }
                 }
             }
+            self.item_arena.reset_to_plan(counts.iter().copied());
             for (i, &c) in counts.iter().enumerate() {
                 if c > 0 {
-                    self.item_arena.reserve(&mut self.buckets[i], c);
+                    self.item_arena.carve_exact(&mut self.buckets[i], c);
                 }
             }
             // Pass 2: place the items.
@@ -937,5 +1073,143 @@ impl LevelView for NodeView<'_> {
         // exact f64 — the bracket is a point.
         let f = self.proxy_count(id) as f64 * pow2f(id as i32 + 1);
         (f, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Bucket-level equality of two nodes: same members, same bucket
+    /// contents in the same order, same bitsets, recursing into the
+    /// children of non-empty groups. Arena offsets and pool slot indices
+    /// are layout, not structure, and are deliberately not compared; nor
+    /// are "warm" children of empty groups (nodes a proxy transited
+    /// through), which no query ever visits.
+    fn assert_nodes_equal(pa: &NodePool, ia: u32, pb: &NodePool, ib: u32) {
+        let a = pa.node(ia);
+        let b = pb.node(ib);
+        assert_eq!(a.level, b.level);
+        assert_eq!(a.group_width, b.group_width);
+        assert_eq!(a.n_members, b.n_members);
+        assert_eq!(a.members, b.members);
+        assert_eq!(a.buckets.len(), b.buckets.len());
+        for (x, y) in a.buckets.iter().zip(&b.buckets) {
+            assert_eq!(pa.arena.slice(x), pb.arena.slice(y));
+        }
+        for i in 0..a.nonempty_buckets.universe() {
+            assert_eq!(a.nonempty_buckets.contains(i), b.nonempty_buckets.contains(i));
+        }
+        if a.level == 2 {
+            for l in 0..a.nonempty_groups.universe() {
+                assert_eq!(a.nonempty_groups.contains(l), b.nonempty_groups.contains(l));
+                if a.nonempty_groups.contains(l) {
+                    assert_ne!(a.children[l], NO_NODE);
+                    assert_ne!(b.children[l], NO_NODE);
+                    assert_nodes_equal(pa, a.children[l], pb, b.children[l]);
+                }
+            }
+        }
+    }
+
+    /// Full bucket-level structure equality across all three levels — the
+    /// bit-identity relation the bulk build promises against the per-item
+    /// loop (everything a position-sensitive query can observe).
+    fn assert_equivalent(a: &Level1, b: &Level1) {
+        assert_eq!(a.group_width, b.group_width);
+        assert_eq!(a.l2_group_width, b.l2_group_width);
+        assert_eq!(a.total_weight, b.total_weight);
+        assert_eq!(a.n_positive, b.n_positive);
+        assert_eq!(a.n_zero, b.n_zero);
+        for (x, y) in a.buckets.iter().zip(&b.buckets) {
+            assert_eq!(a.item_arena.slice(x), b.item_arena.slice(y));
+        }
+        for i in 0..L1_BUCKETS {
+            assert_eq!(a.nonempty_buckets.contains(i), b.nonempty_buckets.contains(i));
+        }
+        for j in 0..a.nonempty_groups.universe() {
+            assert_eq!(a.nonempty_groups.contains(j), b.nonempty_groups.contains(j));
+            if a.nonempty_groups.contains(j) {
+                assert_ne!(a.children[j], NO_NODE);
+                assert_ne!(b.children[j], NO_NODE);
+                assert_nodes_equal(&a.pool, a.children[j], &b.pool, b.children[j]);
+            }
+        }
+        a.validate();
+        b.validate();
+    }
+
+    /// Mixed-magnitude weights: zeros, pure powers of two across the whole
+    /// exponent range, and general values — every classifier class and the
+    /// power-crossing cascade paths all get exercised.
+    fn weights(n: usize, seed: u64) -> Vec<u64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                match x % 8 {
+                    0 => 0,
+                    1 => 1u64 << (x >> 58),
+                    2 => (x >> 32) & 0xFFFF,
+                    _ => (x >> 40) | 1,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bulk_build_matches_per_item_loop() {
+        for n in [0usize, 1, 5, 100, 3000] {
+            let ws = weights(n, 0xABCD ^ n as u64);
+            let mut a = Level1::new(9, 4);
+            let mut b = Level1::new(9, 4);
+            let ids_a = a.insert_many(&ws);
+            let ids_b: Vec<ItemId> = ws.iter().map(|&w| b.insert(w)).collect();
+            assert_eq!(ids_a, ids_b, "n = {n}");
+            assert_equivalent(&a, &b);
+        }
+    }
+
+    #[test]
+    fn bulk_into_warm_structure_matches_per_item_loop() {
+        let pre = weights(500, 1);
+        let batch = weights(800, 2);
+        let mut a = Level1::new(10, 4);
+        let mut b = Level1::new(10, 4);
+        // Identical warm-up with churn, so parked blocks and slab free
+        // lists are in play when the batch lands.
+        let ids_a = a.insert_many(&pre);
+        let ids_b: Vec<ItemId> = pre.iter().map(|&w| b.insert(w)).collect();
+        for k in (0..pre.len()).step_by(3) {
+            assert_eq!(a.delete(ids_a[k]), b.delete(ids_b[k]));
+        }
+        let batch_a = a.insert_many(&batch);
+        let batch_b: Vec<ItemId> = batch.iter().map(|&w| b.insert(w)).collect();
+        assert_eq!(batch_a, batch_b);
+        assert_equivalent(&a, &b);
+    }
+
+    #[test]
+    fn bulk_equivalence_survives_rebuilds() {
+        let ws = weights(2000, 7);
+        let mut a = Level1::new(11, 4);
+        let mut b = Level1::new(11, 4);
+        let ids_a = a.insert_many(&ws);
+        let ids_b: Vec<ItemId> = ws.iter().map(|&w| b.insert(w)).collect();
+        // Shrink-compaction: mass delete, then the partition-style rebuild.
+        for k in 0..1500 {
+            assert_eq!(a.delete(ids_a[k]), b.delete(ids_b[k]));
+        }
+        a.rebuild(9, 4, true);
+        b.rebuild(9, 4, true);
+        assert_equivalent(&a, &b);
+        // Grow rebuild after one more bulk/per-op round.
+        let more = weights(4000, 8);
+        let more_a = a.insert_many(&more);
+        let more_b: Vec<ItemId> = more.iter().map(|&w| b.insert(w)).collect();
+        assert_eq!(more_a, more_b);
+        a.rebuild(12, 4, false);
+        b.rebuild(12, 4, false);
+        assert_equivalent(&a, &b);
     }
 }

@@ -31,9 +31,11 @@ fn insert_many_matches_per_op_inserts_bit_for_bit() {
     for (alpha, beta) in batch() {
         assert_eq!(a.query_in(&mut ca, &alpha, &beta), b.query_in(&mut cb, &alpha, &beta));
     }
-    // One journal epoch for the whole batch (plus one per structural
-    // rebuild the growth forced) vs one per item.
-    assert_eq!(a.rebuild_count(), b.rebuild_count());
+    // The batch sizes the structure once up front (a single rebuild, since a
+    // fresh sampler is far below 300 items) and journals one epoch; the
+    // per-item loop walks the whole doubling chain and journals every insert.
+    assert_eq!(a.rebuild_count(), 1, "bulk sizes once up front");
+    assert_eq!(b.rebuild_count(), 4, "per-item loop pays the doubling chain");
     assert_eq!(a.journal().epoch(), a.rebuild_count() + 1, "batch bumps the version once");
     assert_eq!(b.journal().epoch(), weights.len() as u64 + b.rebuild_count());
 }

@@ -24,7 +24,7 @@ mod pool;
 mod u256;
 
 pub use bitset_list::{BitsetIter, BitsetList, BitsetRangeIter};
-pub use pool::{Bucket, BucketArena, Pool};
+pub use pool::{Bucket, BucketArena, FillCursor, Pool};
 pub use u256::U256;
 
 /// Word-granularity space accounting, the paper's space measure (§2.1).

@@ -89,13 +89,51 @@ pub struct BucketArena<T: Copy> {
     free: Vec<Vec<u32>>,
     /// Padding value for freshly carved blocks.
     fill: T,
+    /// Next offset handed out by [`BucketArena::carve_exact`] inside the
+    /// region sized by [`BucketArena::reset_to_plan`].
+    plan_cursor: usize,
+}
+
+/// Raw append cursor for one bucket: the absolute arena index of the next
+/// free slot, the block base (so the within-bucket position is `abs − base`
+/// without reading the `Bucket`), and the block end as an overrun guard.
+/// Issued by [`BucketArena::fill_cursor`], advanced by
+/// [`BucketArena::push_raw`], published by [`BucketArena::commit_cursor`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FillCursor {
+    abs: u32,
+    base: u32,
+    end: u32,
+}
+
+impl FillCursor {
+    /// Within-bucket position of the next pushed element.
+    #[inline]
+    pub fn pos(&self) -> u32 {
+        self.abs - self.base
+    }
+}
+
+/// Smallest size class whose block holds `cap` elements.
+fn class_for(cap: usize) -> u8 {
+    let mut class = MIN_CLASS;
+    while (1usize << class) < cap {
+        class += 1;
+        assert!(class <= MAX_CLASS, "bucket exceeds 2^31 elements");
+    }
+    class
 }
 
 impl<T: Copy> BucketArena<T> {
     /// Creates an empty arena; `fill` pads freshly carved blocks (its value
     /// is never observable through the `Bucket` API).
     pub fn new(fill: T) -> Self {
-        BucketArena { data: Vec::new(), free: vec![Vec::new(); (MAX_CLASS + 1) as usize], fill }
+        BucketArena {
+            data: Vec::new(),
+            free: vec![Vec::new(); (MAX_CLASS + 1) as usize],
+            fill,
+            plan_cursor: 0,
+        }
     }
 
     /// Total elements carved from the backing vector (live + free blocks).
@@ -112,6 +150,34 @@ impl<T: Copy> BucketArena<T> {
         for f in &mut self.free {
             f.clear();
         }
+        self.plan_cursor = 0;
+    }
+
+    /// Resets the arena and sizes the backing vector for one block per
+    /// non-zero entry of `caps` in a **single** resize — the batch-carve
+    /// setup for bulk builds that know every bucket's final size. The caller
+    /// must then claim each planned block with [`BucketArena::carve_exact`]
+    /// (in any order, since all planned classes are fixed by the caps); the
+    /// plan must be fully consumed before any other allocation, or the
+    /// unclaimed region would sit untiled between the carved blocks and the
+    /// growth tail.
+    pub fn reset_to_plan(&mut self, caps: impl Iterator<Item = usize>) {
+        self.reset();
+        let total: usize = caps.filter(|&c| c > 0).map(|c| 1usize << class_for(c)).sum();
+        assert!(total <= u32::MAX as usize, "bucket arena exhausted");
+        self.data.resize(total, self.fill);
+    }
+
+    /// Claims the next planned block for `b` (an empty handle) at the size
+    /// class covering `cap` — pure cursor arithmetic, no allocator traffic
+    /// and no free-list traffic. Pair with [`BucketArena::reset_to_plan`].
+    pub fn carve_exact(&mut self, b: &mut Bucket, cap: usize) {
+        debug_assert_eq!(b.class, NO_CLASS, "carve_exact target must be empty");
+        let class = class_for(cap);
+        let off = self.plan_cursor;
+        self.plan_cursor += 1usize << class;
+        assert!(self.plan_cursor <= self.data.len(), "carve beyond the planned region");
+        *b = Bucket { off: off as u32, len: 0, class };
     }
 
     /// Offsets of the free blocks of every class (audit hook).
@@ -161,11 +227,7 @@ impl<T: Copy> BucketArena<T> {
         if cap <= b.capacity() {
             return;
         }
-        let mut class = MIN_CLASS;
-        while (1usize << class) < cap {
-            class += 1;
-            assert!(class <= MAX_CLASS, "bucket exceeds 2^31 elements");
-        }
+        let class = class_for(cap);
         let off = self.alloc_block(class);
         if b.class != NO_CLASS {
             self.data.copy_within(b.off as usize..(b.off + b.len) as usize, off as usize);
@@ -173,6 +235,42 @@ impl<T: Copy> BucketArena<T> {
         }
         b.off = off;
         b.class = class;
+    }
+
+    /// Inserts `v` at `pos`, shifting later elements up by one (`Vec::insert`
+    /// discipline; grows the block like [`BucketArena::push`] when full).
+    /// O(len − pos) element moves — for order-maintaining callers whose
+    /// buckets are short by construction.
+    pub fn insert_at(&mut self, b: &mut Bucket, pos: usize, v: T) {
+        debug_assert!(pos <= b.len as usize, "insert_at {pos} of {}", b.len);
+        if b.class == NO_CLASS {
+            let off = self.alloc_block(MIN_CLASS);
+            *b = Bucket { off, len: 0, class: MIN_CLASS };
+        } else if b.len == 1u32 << b.class {
+            let class = b.class + 1;
+            assert!(class <= MAX_CLASS, "bucket exceeds 2^31 elements");
+            let off = self.alloc_block(class);
+            self.data.copy_within(b.off as usize..(b.off + b.len) as usize, off as usize);
+            self.free[b.class as usize].push(b.off);
+            b.off = off;
+            b.class = class;
+        }
+        let base = b.off as usize;
+        self.data.copy_within(base + pos..base + b.len as usize, base + pos + 1);
+        self.data[base + pos] = v;
+        b.len += 1;
+    }
+
+    /// Removes and returns the element at `pos`, shifting later elements
+    /// down by one (`Vec::remove` discipline, order-preserving; the block is
+    /// retained at its high-water class).
+    pub fn remove_at(&mut self, b: &mut Bucket, pos: usize) -> T {
+        debug_assert!(pos < b.len as usize, "remove_at {pos} of {}", b.len);
+        let base = b.off as usize;
+        let out = self.data[base + pos];
+        self.data.copy_within(base + pos + 1..base + b.len as usize, base + pos);
+        b.len -= 1;
+        out
     }
 
     /// Removes and returns the element at `pos`, moving the last element
@@ -201,6 +299,37 @@ impl<T: Copy> BucketArena<T> {
             return &[];
         }
         &self.data[b.off as usize..b.off as usize + b.len as usize]
+    }
+
+    /// Append cursor at the current end of `b`, for a caller about to push
+    /// a known number of elements (≤ the block's spare capacity) without
+    /// touching the `Bucket` handle per element. Pair every cursor with one
+    /// [`BucketArena::commit_cursor`]; until then the bucket's recorded
+    /// length is stale. The bucket must already own a block (carved or
+    /// reserved to its final class).
+    #[inline]
+    pub fn fill_cursor(&self, b: &Bucket) -> FillCursor {
+        debug_assert!(b.class != NO_CLASS, "fill_cursor target owns no block");
+        FillCursor { abs: b.off + b.len, base: b.off, end: b.off + (1u32 << b.class) }
+    }
+
+    /// Appends `v` through a raw cursor: one store and an increment — no
+    /// branch on the size class, no `Bucket` read-modify-write. The caller
+    /// guarantees (checked in debug builds) that the reserved block is not
+    /// overrun.
+    #[inline]
+    pub fn push_raw(&mut self, c: &mut FillCursor, v: T) {
+        debug_assert!(c.abs < c.end, "push_raw beyond the reserved block");
+        self.data[c.abs as usize] = v;
+        c.abs += 1;
+    }
+
+    /// Publishes a cursor's final length back into the `Bucket` it was
+    /// issued from.
+    #[inline]
+    pub fn commit_cursor(&self, b: &mut Bucket, c: FillCursor) {
+        debug_assert_eq!(b.off, c.base, "cursor committed to a different bucket");
+        b.len = c.abs - c.base;
     }
 
     /// Returns the bucket's block to the free list and resets the handle.
@@ -424,6 +553,72 @@ mod tests {
         }
         assert_eq!(arena.carved(), carved, "steady-state churn must not carve");
         arena.audit([b, c].into_iter()).unwrap();
+    }
+
+    /// Reference model for the order-preserving ops: a plain Vec per bucket
+    /// driven with `insert`/`remove` at random positions.
+    #[test]
+    fn ordered_ops_match_vec_model() {
+        let mut arena = BucketArena::new(0u16);
+        let mut buckets = [Bucket::EMPTY; 4];
+        let mut model: Vec<Vec<u16>> = vec![Vec::new(); 4];
+        let mut x = 0xD1B54A32D192ED03u64;
+        for step in 0..20_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let b = ((x >> 32) % 4) as usize;
+            let v = (x >> 48) as u16;
+            if !(x >> 8).is_multiple_of(3) || model[b].is_empty() {
+                let pos = ((x >> 16) as usize) % (model[b].len() + 1);
+                arena.insert_at(&mut buckets[b], pos, v);
+                model[b].insert(pos, v);
+            } else {
+                let pos = ((x >> 16) as usize) % model[b].len();
+                let got = arena.remove_at(&mut buckets[b], pos);
+                let want = model[b].remove(pos);
+                assert_eq!(got, want, "step {step}");
+            }
+            assert_eq!(arena.slice(&buckets[b]), model[b].as_slice(), "step {step}");
+            if step % 1024 == 0 {
+                arena.audit(buckets.iter().copied()).unwrap();
+            }
+        }
+        arena.audit(buckets.iter().copied()).unwrap();
+    }
+
+    #[test]
+    fn plan_carve_tiles_exactly_and_single_resize() {
+        let mut arena = BucketArena::new(0u32);
+        // Warm the arena through the incremental path first, so the plan
+        // must reclaim the old region rather than append to it.
+        let mut warm = Bucket::EMPTY;
+        for i in 0..100 {
+            arena.push(&mut warm, i);
+        }
+        let caps = [5usize, 0, 1, 16, 0, 3];
+        arena.reset_to_plan(caps.iter().copied());
+        // Planned region: 8 + 4 + 16 + 4 elements, carved up front.
+        assert_eq!(arena.carved(), 32);
+        let mut buckets = [Bucket::EMPTY; 6];
+        for (b, &c) in buckets.iter_mut().zip(&caps) {
+            if c > 0 {
+                arena.carve_exact(b, c);
+            }
+        }
+        assert_eq!(arena.carved(), 32, "carving must not grow the arena");
+        for (b, &c) in buckets.iter_mut().zip(&caps) {
+            for i in 0..c as u32 {
+                arena.push(b, i);
+            }
+            assert_eq!(b.len(), c);
+        }
+        assert_eq!(arena.carved(), 32, "filling to plan must not grow the arena");
+        arena.audit(buckets.iter().copied()).unwrap();
+        // The arena keeps working incrementally after the plan is consumed.
+        let mut extra = Bucket::EMPTY;
+        for i in 0..10 {
+            arena.push(&mut extra, i);
+        }
+        arena.audit(buckets.iter().copied().chain(std::iter::once(extra))).unwrap();
     }
 
     #[test]

@@ -17,6 +17,7 @@
 use crate::updates::{scale_weight, LiveSet, Op, UpdateStream};
 use bignum::Ratio;
 use pss_core::{Handle, PssBackend, QueryCtx};
+use std::time::{Duration, Instant};
 
 /// Outcome of [`replay_stream`].
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -34,6 +35,20 @@ pub struct ReplayReport {
     pub batches: u64,
     /// Total items returned across all queries.
     pub sampled: u64,
+}
+
+/// Wall-clock split of one [`replay_stream_timed`] run.
+///
+/// Kept separate from [`ReplayReport`] on purpose: reports are compared
+/// across backends for semantic agreement (`PartialEq`), and wall-clock
+/// times must never participate in that comparison.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReplayTiming {
+    /// Time spent in the initial bulk load (`insert_many` of
+    /// `stream.initial`) before the first stream op runs.
+    pub setup: Duration,
+    /// Time spent replaying the update/query ops.
+    pub ops: Duration,
 }
 
 /// Replays `stream` into `backend`: initial load (batched through
@@ -59,12 +74,28 @@ pub fn replay_stream(
     stream: &UpdateStream,
     query_every: Option<(usize, &[(Ratio, Ratio)])>,
 ) -> ReplayReport {
+    replay_stream_timed(backend, ctx, stream, query_every).0
+}
+
+/// [`replay_stream`] plus a wall-clock split: how long the initial bulk load
+/// took versus the op replay. The bench harness reports the two phases
+/// separately so a backend's bulk-build speed never hides inside (or
+/// pollutes) its steady-state op rate.
+pub fn replay_stream_timed(
+    backend: &mut dyn PssBackend,
+    ctx: &mut QueryCtx,
+    stream: &UpdateStream,
+    query_every: Option<(usize, &[(Ratio, Ratio)])>,
+) -> (ReplayReport, ReplayTiming) {
     let mut live: LiveSet<(Handle, u64)> = LiveSet::new();
     let mut report = ReplayReport::default();
+    let t0 = Instant::now();
     for (h, &w) in backend.insert_many(&stream.initial).into_iter().zip(&stream.initial) {
         live.insert((h, w));
         report.inserts += 1;
     }
+    let setup = t0.elapsed();
+    let t1 = Instant::now();
     for (step, op) in stream.ops.iter().enumerate() {
         match *op {
             Op::Insert(w) => {
@@ -134,10 +165,11 @@ pub fn replay_stream(
             }
         }
     }
+    let ops = t1.elapsed();
     assert_eq!(backend.len(), live.len(), "{}: live-set drift", backend.name());
     let tracked: u128 = live.handles().iter().map(|&(_, w)| w as u128).sum();
     assert_eq!(backend.total_weight(), tracked, "{}: weight drift", backend.name());
-    report
+    (report, ReplayTiming { setup, ops })
 }
 
 #[cfg(test)]
@@ -215,6 +247,27 @@ mod tests {
         assert_eq!(report.queries, report.batches * params.len() as u64);
         // The counting backend returns everything live on each query.
         assert!(report.sampled >= report.queries);
+    }
+
+    #[test]
+    fn timed_replay_reports_identical_semantics() {
+        let mut rng = SmallRng::seed_from_u64(77);
+        let stream = UpdateStream::generate(
+            StreamKind::Mixed { insert_permille: 500 },
+            64,
+            300,
+            WeightDist::Uniform { lo: 1, hi: 100 },
+            &mut rng,
+        );
+        let mut plain = CountingBackend::default();
+        let mut timed = CountingBackend::default();
+        let mut ctx = QueryCtx::new(77);
+        let a = replay_stream(&mut plain, &mut ctx, &stream, None);
+        let (b, timing) = replay_stream_timed(&mut timed, &mut ctx, &stream, None);
+        assert_eq!(a, b, "the timed variant is the same replay, split by phase");
+        assert_eq!(plain.len(), timed.len());
+        // 300 ops did run, so the op phase cannot be a literal zero reading.
+        assert!(timing.ops > Duration::ZERO);
     }
 
     #[test]
