@@ -2,6 +2,9 @@
 //! under arbitrary update sequences, and sampled marginals match a naive
 //! per-item mirror.
 
+// HashMap/HashSet sanctioned: test-side bookkeeping only; no iteration order reaches an assertion or a sample.
+#![allow(clippy::disallowed_types)]
+
 use baselines::OdssDss;
 use bignum::Ratio;
 use proptest::prelude::*;

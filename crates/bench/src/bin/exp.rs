@@ -4,6 +4,9 @@
 //!
 //! Usage: `cargo run --release -p bench --bin exp -- [e1|…|e10|e3b|e9b|e10b|v1|v2|a1|…|a4|all]`
 
+// Wall-clock timing is sanctioned here: this is measurement/driver code, not serving-path library code.
+#![allow(clippy::disallowed_types)]
+
 use baselines::all_backends;
 use bench::{fmt_secs, header, row, time, time_per, WeightDist};
 use bignum::Ratio;
@@ -17,6 +20,7 @@ use randvar::{
     ber_oracle, ber_u64, bgeo, tgeo, tgeo_paper_literal, CountingRng, HalfRecipPStarOracle,
     PStarOracle,
 };
+use wordram::bits;
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
@@ -87,7 +91,7 @@ fn e1_build() {
     println!("\n## E1 — Theorem 1.1 preprocessing: O(n) build (ns/item should be flat)\n");
     header(&["n", "uniform", "zipf", "bimodal", "random"]);
     for exp in [12u32, 14, 16, 18, 20] {
-        let n = 1usize << exp;
+        let n = bits::pow2_usize(u64::from(exp));
         let mut cells = vec![format!("2^{exp}")];
         for d in WeightDist::ALL {
             let w = d.weights(n, 1);
@@ -129,7 +133,7 @@ fn e2_query() {
     println!("\nFixed μ = 1, sweeping n (flatness in n):\n");
     header(&["n", "time/query (μ=1)"]);
     for exp in [12u32, 14, 16, 18, 20] {
-        let n = 1usize << exp;
+        let n = bits::pow2_usize(u64::from(exp));
         let weights = WeightDist::Random.weights(n, 3);
         let (mut s, _) = DpssSampler::from_weights(&weights, 11);
         let alpha = Ratio::one();
@@ -142,7 +146,7 @@ fn e3_update() {
     println!("\n## E3 — Theorem 1.1 update: O(1) per insert/delete (flat in n)\n");
     header(&["n", "ns/update (steady)", "max single op", "rebuilds"]);
     for exp in [12u32, 14, 16, 18, 20] {
-        let n = 1usize << exp;
+        let n = bits::pow2_usize(u64::from(exp));
         let weights = WeightDist::Random.weights(n, 4);
         let (mut s, mut ids) = DpssSampler::from_weights(&weights, 13);
         let mut rng = SmallRng::seed_from_u64(5);
@@ -172,7 +176,7 @@ fn e4_space() {
     println!("\n## E4 — Theorem 1.1 space: O(n) words (words/item should flatten)\n");
     header(&["n", "after build", "after churn", "words/item"]);
     for exp in [12u32, 14, 16, 18, 20] {
-        let n = 1usize << exp;
+        let n = bits::pow2_usize(u64::from(exp));
         let weights = WeightDist::Random.weights(n, 6);
         let (mut s, mut ids) = DpssSampler::from_weights(&weights, 17);
         let w_build = s.space_words();
@@ -242,7 +246,7 @@ fn e6_tgeo() {
         let p = Ratio::from_u64s(num, den);
         let mut cells = vec![format!("{num}/{den}")];
         for nexp in [8u32, 16, 24, 30] {
-            let n = 1u64 << nexp;
+            let n = bits::pow2_64(u64::from(nexp));
             let per = time_per(2000, || tgeo(&mut rng, &p, n));
             cells.push(fmt_secs(per));
         }
@@ -306,7 +310,7 @@ fn e7_sorting() {
     header(&["N", "dpss-sort", "std sort", "ratio", "correct"]);
     let mut rng = SmallRng::seed_from_u64(41);
     for exp in [8u32, 10, 12, 14] {
-        let n = 1usize << exp;
+        let n = bits::pow2_usize(u64::from(exp));
         let vals: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
         let (ours, t_ours) = time(|| sort_via_dpss(&vals, 43));
         let mut std_sorted = vals.clone();
@@ -666,7 +670,7 @@ fn v1_marginals() {
     header(&["weights", "(α, β)", "max |z|", "items at p=1 ok", "items at p≈0 ok"]);
     let configs: Vec<(&str, Vec<u64>)> = vec![
         ("uniform", vec![100; 50]),
-        ("geometric", (0..50).map(|i| 1u64 << (i % 40)).collect()),
+        ("geometric", (0..50).map(|i| bits::pow2_64((i % 40) as u64)).collect()),
         ("adversarial", {
             let mut v = vec![1u64; 25];
             v.extend(vec![u64::MAX / 64; 25]);
@@ -765,7 +769,7 @@ fn a1_final_mode() {
     println!("\n## A1 — ablation: final-level lookup table vs direct Bernoulli\n");
     header(&["n", "lookup table", "direct", "rows built"]);
     for exp in [14u32, 18] {
-        let n = 1usize << exp;
+        let n = bits::pow2_usize(u64::from(exp));
         let weights = WeightDist::Zipf.weights(n, 9);
         let alpha = Ratio::one();
         let (mut s, _) = DpssSampler::from_weights(&weights, 91);

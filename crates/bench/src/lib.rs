@@ -2,12 +2,15 @@
 //! experiment harness (`exp` binary) and the Criterion benches.
 
 #![forbid(unsafe_code)]
+// Wall-clock timing is sanctioned here: this is measurement/driver code, not serving-path library code.
+#![allow(clippy::disallowed_types)]
 
 pub mod schema;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
+use wordram::bits;
 
 /// Weight distributions used across experiments (E1/E2/E3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -70,7 +73,7 @@ pub fn radix_sort_u64(values: &[u64]) -> Vec<u64> {
         let shift = pass * 8;
         let mut counts = [0usize; 256];
         for &v in &src {
-            counts[((v >> shift) & 0xFF) as usize] += 1;
+            counts[(bits::shr64(v, u64::from(shift)) & 0xFF) as usize] += 1;
         }
         let mut pos = [0usize; 256];
         let mut acc = 0usize;
@@ -79,7 +82,7 @@ pub fn radix_sort_u64(values: &[u64]) -> Vec<u64> {
             acc += c;
         }
         for &v in &src {
-            let b = ((v >> shift) & 0xFF) as usize;
+            let b = (bits::shr64(v, u64::from(shift)) & 0xFF) as usize;
             dst[pos[b]] = v;
             pos[b] += 1;
         }

@@ -59,7 +59,7 @@ impl Dyadic {
     #[allow(clippy::should_implement_trait)]
     pub fn cmp(&self, other: &Self) -> Ordering {
         if self.m.is_zero() || other.m.is_zero() {
-            return (!self.m.is_zero() as u8).cmp(&(!other.m.is_zero() as u8));
+            return u8::from(!self.m.is_zero()).cmp(&u8::from(!other.m.is_zero()));
         }
         // Quick path on magnitudes: value ∈ [2^(bl-1+e), 2^(bl+e)).
         let lo_a = self.m.bit_len() as i64 - 1 + self.e;
@@ -174,7 +174,9 @@ impl Dyadic {
         }
         let bl = self.m.bit_len();
         let keep = bl.min(53);
+        // pss-lint: allow(no-panic-paths) — shr(bl - keep) leaves keep ≤ 53 bits, which always fits u64
         let top = self.m.shr(bl - keep).to_u64().unwrap() as f64;
+        // pss-lint: allow(no-lossy-cast) — f64 exponents span ±1074; anything beyond is already ±inf after powi
         top * 2f64.powi((self.e + (bl - keep) as i64) as i32)
     }
 }

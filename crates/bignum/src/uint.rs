@@ -5,6 +5,12 @@
 //! 64-bit limbs with no leading zero limb. All arithmetic is exact; division is
 //! Knuth's Algorithm D in base 2^32 with a fast single-limb path.
 
+// pss-lint: allow-file(no-bare-index) — limb arrays are self-managed: every index is derived
+// from limbs.len() or a split of it, audited in place; a slip here is caught by the proptest
+// round-trip suite rather than hidden behind get() chains that would obscure Algorithm D
+// pss-lint: allow-file(no-lossy-cast) — the base-2^32 Knuth division deliberately decomposes
+// limbs with truncating casts (lo-32 semantics); remaining casts are masked (% 64) or bounded
+
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -145,6 +151,7 @@ impl BigUint {
         if limb >= self.limbs.len() {
             return false;
         }
+        // pss-lint: allow(no-bare-shift) — amount is masked to < 64
         (self.limbs[limb] >> (i % 64)) & 1 == 1
     }
 
@@ -152,6 +159,7 @@ impl BigUint {
     pub fn pow2(k: u64) -> Self {
         let limb = (k / 64) as usize;
         let mut limbs = vec![0u64; limb + 1];
+        // pss-lint: allow(no-bare-shift) — amount is masked to < 64
         limbs[limb] = 1u64 << (k % 64);
         BigUint { limbs }
     }
@@ -161,7 +169,9 @@ impl BigUint {
         if self.is_zero() {
             return false;
         }
-        let (last, rest) = self.limbs.split_last().unwrap();
+        let Some((last, rest)) = self.limbs.split_last() else {
+            return false;
+        };
         last.is_power_of_two() && rest.iter().all(|&l| l == 0)
     }
 
@@ -274,7 +284,9 @@ impl BigUint {
         } else {
             let mut carry = 0u64;
             for &l in &self.limbs {
+                // pss-lint: allow(no-bare-shift) — bit_shift ∈ 1..=63: the == 0 case took the branch above
                 out.push((l << bit_shift) | carry);
+                // pss-lint: allow(no-bare-shift) — 64 - bit_shift ∈ 1..=63 for bit_shift ∈ 1..=63
                 carry = l >> (64 - bit_shift);
             }
             if carry != 0 {
@@ -298,6 +310,7 @@ impl BigUint {
         } else {
             for i in 0..src.len() {
                 let hi = src.get(i + 1).copied().unwrap_or(0);
+                // pss-lint: allow(no-bare-shift) — bit_shift ∈ 1..=63: the == 0 case took the branch above
                 out.push((src[i] >> bit_shift) | (hi << (64 - bit_shift)));
             }
         }
@@ -315,8 +328,10 @@ impl BigUint {
         if rem == 0 {
             limbs.pop();
         } else {
-            let last = limbs.last_mut().unwrap();
-            *last &= (1u64 << rem) - 1;
+            if let Some(last) = limbs.last_mut() {
+                // pss-lint: allow(no-bare-shift) — rem = k % 64 and the rem == 0 case took the branch above
+                *last &= (1u64 << rem) - 1;
+            }
         }
         BigUint::from_limbs(limbs)
     }
@@ -466,8 +481,8 @@ impl BigUint {
         if b.is_zero() {
             return a;
         }
-        let za = a.trailing_zeros().unwrap();
-        let zb = b.trailing_zeros().unwrap();
+        let za = a.trailing_zeros().unwrap_or(0);
+        let zb = b.trailing_zeros().unwrap_or(0);
         let z = za.min(zb);
         a = a.shr(za);
         b = b.shr(zb);
@@ -476,11 +491,11 @@ impl BigUint {
                 Ordering::Equal => break,
                 Ordering::Greater => {
                     a = a.sub(&b);
-                    a = a.shr(a.trailing_zeros().unwrap());
+                    a = a.shr(a.trailing_zeros().unwrap_or(0));
                 }
                 Ordering::Less => {
                     b = b.sub(&a);
-                    b = b.shr(b.trailing_zeros().unwrap());
+                    b = b.shr(b.trailing_zeros().unwrap_or(0));
                 }
             }
         }
@@ -558,6 +573,7 @@ impl fmt::Display for BigUint {
             cur = q;
         }
         digits.reverse();
+        // pss-lint: allow(no-panic-paths) — digits holds only ASCII b'0'..=b'9' built two lines up
         f.write_str(std::str::from_utf8(&digits).unwrap())
     }
 }
@@ -579,11 +595,14 @@ pub fn f64_bounds_from_limbs(limbs: &[u64], bit_len: u64) -> (f64, f64) {
     let s = bit_len - 53;
     let word = (s / 64) as usize;
     let off = (s % 64) as u32;
+    // pss-lint: allow(no-bare-shift) — off = s % 64 < 64
     let mut t = limbs[word] >> off;
     if off != 0 && word + 1 < limbs.len() {
+        // pss-lint: allow(no-bare-shift) — guarded by off != 0, so 64 - off ∈ 1..=63
         t |= limbs[word + 1] << (64 - off);
     }
     debug_assert!(t >> 53 == 0, "top-bit extraction overflowed 53 bits");
+    // pss-lint: allow(no-bare-shift) — off = s % 64 < 64 and the mask is only read when off != 0
     let sticky = (off != 0 && limbs[word] & ((1u64 << off) - 1) != 0)
         || limbs[..word].iter().any(|&l| l != 0);
     // t and t+1 are ≤ 2^53 (exact in f64); scaling by 2^s is exact while the

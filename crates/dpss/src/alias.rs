@@ -8,8 +8,11 @@
 //! `(m²)^K` cells (substitution 1 in DESIGN.md). No floating point is involved
 //! anywhere, so sampling remains exact.
 
+// pss-lint: allow-file(no-bare-index) — alias tables index fixed-length parallel arrays (primary/alias/thresh, all of length k) built together in the constructor
+
 use rand::RngCore;
 use randvar::{uniform_below, uniform_below_u128};
+use wordram::narrow;
 
 /// An alias table over outcomes `0..k` with exact integer weights.
 #[derive(Clone, Debug)]
@@ -29,9 +32,11 @@ impl IntAlias {
         let k = weights.len();
         assert!(k > 0, "empty alias table");
         let total: u128 =
+            // pss-lint: allow(no-panic-paths) — overflow means the Word RAM precondition (total < 2^128) was violated; failing loudly beats sampling from a wrapped distribution
             weights.iter().fold(0u128, |a, &w| a.checked_add(w).expect("alias weight overflow"));
         assert!(total > 0, "alias table needs positive total weight");
         let kk = k as u128;
+        // pss-lint: allow(no-panic-paths) — overflow means the Word RAM precondition was violated; failing loudly beats sampling from a wrapped distribution
         total.checked_mul(kk).expect("alias total·k overflow");
 
         // Scaled weights w_i·k against slot capacity `total`.
@@ -40,9 +45,9 @@ impl IntAlias {
         let mut large: Vec<u32> = Vec::new();
         for (i, &r) in residual.iter().enumerate() {
             if r < total {
-                small.push(i as u32);
+                small.push(narrow::u32_of_usize(i));
             } else {
-                large.push(i as u32);
+                large.push(narrow::u32_of_usize(i));
             }
         }
         let mut thresh = vec![0u128; k];
@@ -90,7 +95,8 @@ impl IntAlias {
                 // Route to an arbitrary positive outcome; never taken since
                 // thresh == 0 means the primary branch has probability 0 and
                 // alias must cover the slot: find any positive-weight outcome.
-                let pos = weights.iter().position(|&w| w > 0).unwrap() as u32;
+                // pss-lint: allow(no-panic-paths) — a non-filled slot can only exist when total > 0 (asserted in the constructor), so a positive weight exists
+                let pos = narrow::u32_of_usize(weights.iter().position(|&w| w > 0).unwrap());
                 primary[s] = pos;
                 alias[s] = pos;
             }

@@ -34,10 +34,13 @@
 //! per-item Bernoulli processes over a partition of `S` is exactly the PSS
 //! process over `S`.
 
+// pss-lint: allow-file(no-bare-index) — slot and roster indices are generation-checked handles into self-managed arrays; a bad index is a broken epoch invariant, caught by the suite
+
 use crate::item::ItemId;
 use crate::sampler::DpssSampler;
 use bignum::{BigUint, Ratio};
 use pss_core::{ChangeJournal, Delta, QueryCtx};
+use wordram::narrow;
 
 /// Items migrated from the old to the new structure per update during an
 /// epoch. Any constant ≥ 3 suffices for the standard doubling analysis
@@ -70,7 +73,7 @@ fn handle_idx(h: Handle) -> usize {
 
 #[inline]
 fn handle_gen(h: Handle) -> u32 {
-    (h >> 32) as u32
+    narrow::u32_of_u64(h >> 32)
 }
 
 /// Per-item bookkeeping slot.
@@ -267,7 +270,7 @@ impl DeamortizedDpss {
                 debug_assert!(!s.alive);
                 (idx, s.gen)
             } else {
-                let idx = self.slots.len() as u32;
+                let idx = narrow::u32_of_usize(self.slots.len());
                 assert!(idx != u32::MAX, "handle space exhausted");
                 self.slots.push(Slot { id, epoch: self.epoch, pos: 0, gen: 0, alive: false });
                 (idx, 0)
@@ -275,7 +278,7 @@ impl DeamortizedDpss {
             let h = handle_of(idx, gen);
             Self::rev_set(&mut self.rev_old, id, h);
             self.roster_old.push(h);
-            let pos = (self.roster_old.len() - 1) as u32;
+            let pos = narrow::u32_of_usize(self.roster_old.len() - 1);
             self.slots[idx as usize] = Slot { id, epoch: self.epoch, pos, gen, alive: true };
             self.n_live += 1;
             handles.push(h);
@@ -299,7 +302,7 @@ impl DeamortizedDpss {
             debug_assert!(!s.alive);
             (idx, s.gen)
         } else {
-            let idx = self.slots.len() as u32;
+            let idx = narrow::u32_of_usize(self.slots.len());
             assert!(idx != u32::MAX, "handle space exhausted");
             self.slots.push(Slot { id, epoch, pos: 0, gen: 0, alive: false });
             (idx, 0)
@@ -308,11 +311,11 @@ impl DeamortizedDpss {
         let pos = if self.new.is_some() {
             Self::rev_set(&mut self.rev_new, id, h);
             self.roster_new.push(h);
-            (self.roster_new.len() - 1) as u32
+            narrow::u32_of_usize(self.roster_new.len() - 1)
         } else {
             Self::rev_set(&mut self.rev_old, id, h);
             self.roster_old.push(h);
-            (self.roster_old.len() - 1) as u32
+            narrow::u32_of_usize(self.roster_old.len() - 1)
         };
         self.slots[idx as usize] = Slot { id, epoch, pos, gen, alive: true };
         self.n_live += 1;
@@ -327,9 +330,10 @@ impl DeamortizedDpss {
         let idx = handle_idx(h);
         self.slots[idx].alive = false;
         self.slots[idx].gen = self.slots[idx].gen.wrapping_add(1);
-        self.free.push(idx as u32);
+        self.free.push(narrow::u32_of_usize(idx));
         self.n_live -= 1;
         let w = if in_new {
+            // pss-lint: allow(no-panic-paths) — in_new(slot) returned true, which by the epoch invariant means `new` is Some
             self.new.as_mut().expect("in_new implies a successor").delete_frozen(slot.id)
         } else {
             self.old.delete_frozen(slot.id)
@@ -341,7 +345,7 @@ impl DeamortizedDpss {
         roster.swap_remove(pos);
         if pos < roster.len() {
             let moved = roster[pos];
-            self.slots[handle_idx(moved)].pos = pos as u32;
+            self.slots[handle_idx(moved)].pos = narrow::u32_of_usize(pos);
         }
         self.journal.record(Delta::Deleted { handle: pss_core::Handle::from_raw(h) });
         self.step();
@@ -440,10 +444,13 @@ impl DeamortizedDpss {
         // Migrate up to MIGRATION_BATCH items from the tail of the old roster.
         for _ in 0..MIGRATION_BATCH {
             let Some(&h) = self.roster_old.last() else { break };
+            // pss-lint: allow(no-panic-paths) — h was popped from the migration roster, which holds only live handles (delete removes them)
             let slot = *self.slot(h).expect("roster lists live handles");
             debug_assert!(!self.in_new(&slot));
             self.roster_old.pop();
+            // pss-lint: allow(no-panic-paths) — the roster entry guarantees the item is still frozen in `old`; migration is the only remover
             let w = self.old.delete_frozen(slot.id).expect("pending item vanished");
+            // pss-lint: allow(no-panic-paths) — step() is only called while an epoch is open, i.e. `new` is Some
             let new = self.new.as_mut().expect("step only migrates inside an epoch");
             let new_id = new.insert_frozen(w);
             Self::rev_set(&mut self.rev_new, new_id, h);
@@ -451,7 +458,7 @@ impl DeamortizedDpss {
             let s = &mut self.slots[handle_idx(h)];
             s.id = new_id;
             s.epoch = self.epoch;
-            s.pos = (self.roster_new.len() - 1) as u32;
+            s.pos = narrow::u32_of_usize(self.roster_new.len() - 1);
         }
         if self.roster_old.is_empty() {
             // Epoch complete: the successor becomes the structure. All O(1):
@@ -459,6 +466,7 @@ impl DeamortizedDpss {
             // keep meaning "old" because `new` is now `None`.
             debug_assert!(self.old.is_empty(), "roster drained but items remain");
             let retired = self.old.instance;
+            // pss-lint: allow(no-panic-paths) — complete_epoch runs only after step() drained a roster, which requires an open epoch
             self.old = self.new.take().expect("completing a missing epoch");
             self.roster_old = std::mem::take(&mut self.roster_new);
             std::mem::swap(&mut self.rev_old, &mut self.rev_new);
@@ -490,8 +498,9 @@ impl DeamortizedDpss {
                 continue;
             }
             live_seen += 1;
-            let h = handle_of(idx as u32, slot.gen);
+            let h = handle_of(narrow::u32_of_usize(idx), slot.gen);
             let (roster, rev, alive) = if self.in_new(slot) {
+                // pss-lint: allow(no-panic-paths) — in_new(slot) returned true, which by the epoch invariant means `new` is Some
                 let new = self.new.as_ref().expect("in_new without successor");
                 (&self.roster_new, &self.rev_new, new.contains(slot.id))
             } else {
@@ -701,6 +710,8 @@ mod tests {
     }
 
     #[test]
+    // HashSet sanctioned: duplicate detection in a test; only len() is observed.
+    #[allow(clippy::disallowed_types)]
     fn query_translates_handles_during_migration() {
         let mut s = DeamortizedDpss::new(7);
         let hs: Vec<Handle> = (0..100).map(|_| s.insert(1000)).collect();

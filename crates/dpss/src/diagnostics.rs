@@ -79,6 +79,7 @@ fn collect_node(pool: &NodePool, idx: u32, l2: &mut LevelStats, l3: &mut LevelSt
     stats.nonempty_buckets += node.nonempty_buckets.len();
     stats.nonempty_groups += node.nonempty_groups.len();
     for b in node.nonempty_buckets.iter() {
+        // pss-lint: allow(no-bare-index) — b iterates nonempty_buckets, whose bits mirror buckets.len() by construction
         stats.max_bucket_len = stats.max_bucket_len.max(node.buckets[b].len());
     }
     for &child in &node.children {
@@ -94,6 +95,7 @@ fn collect_level1(l1: &Level1) -> [LevelStats; 3] {
     s1.nonempty_buckets = l1.nonempty_buckets.len();
     s1.nonempty_groups = l1.nonempty_groups.len();
     for b in l1.nonempty_buckets.iter() {
+        // pss-lint: allow(no-bare-index) — b iterates nonempty_buckets, whose bits mirror buckets.len() by construction
         s1.max_bucket_len = s1.max_bucket_len.max(l1.buckets[b].len());
     }
     let mut s2 = LevelStats::default();

@@ -5,7 +5,9 @@
 //! deletions (and across HALT rebuilds). A generation counter in the handle
 //! detects use-after-delete at O(1) cost.
 
+// pss-lint: hot-path — slab lookups/updates sit on every insert/delete/query path
 use std::fmt;
+use wordram::narrow;
 
 /// A stable handle to an item in a [`crate::DpssSampler`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -24,7 +26,7 @@ impl ItemId {
 
     #[inline]
     fn gen(self) -> u32 {
-        (self.0 >> 32) as u32
+        narrow::u32_of_u64(self.0 >> 32)
     }
 
     /// Raw handle bits (stable, hashable).
@@ -114,6 +116,7 @@ impl Slab {
     pub(crate) fn insert_bucketed(&mut self, weight: u64, bucket_pos: u32) -> ItemId {
         self.len += 1;
         if let Some(idx) = self.free.pop() {
+            // pss-lint: allow(no-bare-index) — the free list holds only indices of recycled recs slots
             let rec = &mut self.recs[idx as usize];
             debug_assert!(!rec.alive());
             rec.weight = weight;
@@ -121,8 +124,9 @@ impl Slab {
             rec.meta |= 1;
             ItemId::new(idx, rec.gen())
         } else {
-            let idx = self.recs.len() as u32;
+            let idx = narrow::u32_of_usize(self.recs.len());
             assert!(idx != u32::MAX, "slab capacity exhausted");
+            // pss-lint: allow(no-alloc-hot-path) — fresh-slot tail push only while the slab grows toward its high-water mark; steady state recycles the free list
             self.recs.push(Rec { weight, bucket_pos, meta: 1 });
             ItemId::new(idx, 0)
         }
@@ -137,8 +141,9 @@ impl Slab {
     pub(crate) fn insert_bucketed_fresh(&mut self, weight: u64, bucket_pos: u32) -> ItemId {
         debug_assert!(self.free.is_empty(), "fresh-path insert with recycled slots pending");
         self.len += 1;
-        let idx = self.recs.len() as u32;
+        let idx = narrow::u32_of_usize(self.recs.len());
         assert!(idx != u32::MAX, "slab capacity exhausted");
+        // pss-lint: allow(no-alloc-hot-path) — fresh-slot tail push only while the slab grows toward its high-water mark; steady state recycles the free list
         self.recs.push(Rec { weight, bucket_pos, meta: 1 });
         ItemId::new(idx, 0)
     }
@@ -164,7 +169,8 @@ impl Slab {
         }
         // Clear the alive bit and bump the generation (31-bit wrap).
         rec.meta = (rec.meta.wrapping_add(2)) & !1;
-        self.free.push(id.idx() as u32);
+        // pss-lint: allow(no-alloc-hot-path) — free-list push; capacity is retained across cycles and bounded by the high-water mark
+        self.free.push(narrow::u32_of_usize(id.idx()));
         self.len -= 1;
         Some((rec.weight, rec.bucket_pos))
     }
@@ -197,12 +203,14 @@ impl Slab {
     /// Bucket position of a live item (caller must know it is bucketed).
     pub(crate) fn bucket_pos(&self, id: ItemId) -> u32 {
         debug_assert!(self.contains(id));
+        // pss-lint: allow(no-bare-index) — contains(id) is debug-asserted above; ids are generation-checked slab handles
         self.recs[id.idx()].bucket_pos
     }
 
     /// Sets the bucket position of a live item.
     pub(crate) fn set_bucket_pos(&mut self, id: ItemId, pos: u32) {
         debug_assert!(self.contains(id));
+        // pss-lint: allow(no-bare-index) — contains(id) is debug-asserted above; ids are generation-checked slab handles
         self.recs[id.idx()].bucket_pos = pos;
     }
 
@@ -214,15 +222,16 @@ impl Slab {
     /// The live item in slot `idx`, if any (index-based scan for rebuilds —
     /// no iterator borrow, so the caller can interleave mutation).
     pub(crate) fn entry_at(&self, idx: usize) -> Option<(ItemId, u64)> {
+        // pss-lint: allow(no-bare-index) — entry_at is documented to take idx < slot_count() = recs.len()
         let rec = &self.recs[idx];
-        rec.alive().then(|| (ItemId::new(idx as u32, rec.gen()), rec.weight))
+        rec.alive().then(|| (ItemId::new(narrow::u32_of_usize(idx), rec.gen()), rec.weight))
     }
 
     /// Iterates `(id, weight)` over live items.
     pub fn iter(&self) -> impl Iterator<Item = (ItemId, u64)> + '_ {
         self.recs.iter().enumerate().filter_map(|(i, r)| {
             if r.alive() {
-                Some((ItemId::new(i as u32, r.gen()), r.weight))
+                Some((ItemId::new(narrow::u32_of_usize(i), r.gen()), r.weight))
             } else {
                 None
             }

@@ -13,7 +13,8 @@
 
 use crate::alias::IntAlias;
 use rand::RngCore;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use wordram::bits;
 
 /// Largest supported configuration dimension; `K ≤ 2·log2(m)+2` in the
 /// hierarchy, so 16 leaves enormous headroom while keeping `2^K` row builds
@@ -25,7 +26,10 @@ pub const MAX_K: usize = 16;
 pub struct LookupTable {
     m: u32,
     m2: u64,
-    rows: HashMap<u128, IntAlias>,
+    /// Materialized rows by packed configuration key. A `BTreeMap` keeps the
+    /// table's iteration (space accounting, future persistence) in key order,
+    /// independent of hasher state.
+    rows: BTreeMap<u128, IntAlias>,
     /// Number of rows ever materialized (ablation A3 statistics).
     builds: u64,
 }
@@ -34,7 +38,7 @@ impl LookupTable {
     /// Creates an empty table for modulus `m ≥ 1`.
     pub fn new(m: u32) -> Self {
         assert!((1..=64).contains(&m), "lookup modulus out of range");
-        LookupTable { m, m2: (m as u64) * (m as u64), rows: HashMap::new(), builds: 0 }
+        LookupTable { m, m2: (m as u64) * (m as u64), rows: BTreeMap::new(), builds: 0 }
     }
 
     /// The modulus `m`.
@@ -74,7 +78,7 @@ impl LookupTable {
         let raw = if t + 2 >= 64 {
             u64::MAX
         } else {
-            u64::try_from((c as u128) << (t + 2)).unwrap_or(u64::MAX)
+            u64::try_from(bits::shl128(c as u128, (t + 2) as u64)).unwrap_or(u64::MAX)
         };
         raw.min(self.m2)
     }
@@ -92,13 +96,14 @@ impl LookupTable {
     fn build_row(&mut self, config: &[u32]) -> IntAlias {
         self.builds += 1;
         let k = config.len();
+        // pss-lint: allow(no-bare-index) — t ranges over 0..k = config.len()
         let nums: Vec<u64> = (0..k).map(|t| self.slot_prob_num(t, config[t])).collect();
-        let outcomes = 1usize << k;
+        let outcomes = bits::pow2_usize(k as u64);
         let mut weights = vec![0u128; outcomes];
         for (r, w) in weights.iter_mut().enumerate() {
             let mut mass: u128 = 1;
             for (t, &num) in nums.iter().enumerate() {
-                let factor = if (r >> t) & 1 == 1 { num } else { self.m2 - num };
+                let factor = if bits::bit64(r as u64, t as u64) { num } else { self.m2 - num };
                 mass *= factor as u128;
                 if mass == 0 {
                     break;
@@ -120,11 +125,13 @@ impl LookupTable {
             return 0;
         }
         let key = Self::key(config);
-        if !self.rows.contains_key(&key) {
-            let row = self.build_row(config);
-            self.rows.insert(key, row);
+        if let Some(row) = self.rows.get(&key) {
+            return row.sample(rng);
         }
-        self.rows[&key].sample(rng)
+        let row = self.build_row(config);
+        let out = row.sample(rng);
+        self.rows.insert(key, row);
+        out
     }
 
     /// Eagerly materializes every configuration of dimension `k` (the paper's
@@ -147,17 +154,18 @@ impl LookupTable {
                     self.rows.insert(key, row);
                 }
             }
-            // Increment the mixed-radix counter.
+            // Increment the mixed-radix counter; running off the end
+            // means every configuration has been enumerated.
             let mut t = 0;
             loop {
-                if t == k {
+                let Some(c) = config.get_mut(t) else {
                     return;
-                }
-                config[t] += 1;
-                if config[t] <= self.m {
+                };
+                *c += 1;
+                if *c <= self.m {
                     break;
                 }
-                config[t] = 0;
+                *c = 0;
                 t += 1;
             }
         }

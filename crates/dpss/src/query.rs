@@ -36,6 +36,8 @@ use randvar::{
     tgeo, Bits64,
 };
 use std::cmp::Ordering;
+use wordram::bits;
+use wordram::narrow;
 
 /// Precomputed word-sized accelerators for a query's total weight `W`:
 /// certified `f64` bounds of `1/W` (each coin's [`Bits64`] bracket is then
@@ -212,10 +214,12 @@ pub fn query_insignificant<V: LevelView, R: RngCore>(
         return Vec::new();
     }
     let mut out = Vec::new();
+    // pss-lint: allow(no-bare-index) — k ≥ 1 (bgeo is 1-based) and a.len() ≥ k was checked above
     let first = a[(k - 1) as usize];
     if accept_thinned(rng, &view.weight_u256(first).to_biguint(), w, p0) {
         out.push(first);
     }
+    // pss-lint: allow(no-bare-index) — a.len() ≥ k was checked above, so the range start is in bounds
     for &x in &a[k as usize..] {
         if accept_plain(view, rng, w, accel, x) {
             out.push(x);
@@ -321,7 +325,7 @@ fn accept_in_bucket<V: LevelView, R: RngCore>(
 ) -> bool {
     if accel.use_fast() {
         let (w_lo, w_hi) = view.weight_f64_bounds(x);
-        let sc = pow2f(-(shift as i32));
+        let sc = pow2f(-narrow::i32_of_u64(shift));
         let bits = Bits64::from_f64_bounds(mul_down(w_lo, sc), mul_up(w_hi, sc));
         if cfg!(debug_assertions) {
             bits.debug_validate(&view.weight_u256(x).to_biguint(), pow);
@@ -371,6 +375,7 @@ pub fn query_node<R: RngCore>(view: &NodeView<'_>, ctx: &mut QueryFrame<'_, R>) 
     let mut sig_groups: Vec<usize> = Vec::new();
     for_significant_groups(&view.node.nonempty_groups, &th, |l| sig_groups.push(l));
     for l in sig_groups {
+        // pss-lint: allow(no-panic-paths) — for_significant_groups only yields groups whose bitset bit is set, and a set bit implies an allocated child
         let child = view.child(l).expect("non-empty group without child");
         let tz = query_final(&child, ctx);
         out.extend(extract_items(view, ctx.rng, ctx.w, &ctx.accel, &tz));
@@ -415,7 +420,8 @@ pub fn query_final<R: RngCore>(view: &NodeView<'_>, ctx: &mut QueryFrame<'_, R>)
         for (t, c) in config.iter_mut().enumerate() {
             let idx = lo as usize + t;
             if idx < node.buckets.len() {
-                *c = node.buckets[idx].len() as u32;
+                // pss-lint: allow(no-bare-index) — guarded by idx < node.buckets.len() on the previous line
+                *c = narrow::u32_of_usize(node.buckets[idx].len());
                 any |= *c > 0;
             }
         }
@@ -426,13 +432,16 @@ pub fn query_final<R: RngCore>(view: &NodeView<'_>, ctx: &mut QueryFrame<'_, R>)
         let r = ctx.table.sample(ctx.rng, &config);
         #[allow(clippy::needless_range_loop)]
         for t in 0..config.len() {
-            if (r >> t) & 1 == 0 || config[t] == 0 {
+            // pss-lint: allow(no-bare-index) — t ranges over 0..config.len()
+            if !bits::bit64(u64::from(r), t as u64) || config[t] == 0 {
                 continue;
             }
             let idx = lo as usize + t;
+            // pss-lint: allow(no-bare-index) — t ranges over 0..config.len()
             let num_t = ctx.table.slot_prob_num(t, config[t]);
+            // pss-lint: allow(no-bare-index) — t ranges over 0..config.len()
             if accept_table_candidate(ctx.rng, ctx.w, &ctx.accel, idx, config[t], num_t, m2) {
-                candidates.push(idx as u16);
+                candidates.push(narrow::u16_of_usize(idx));
             }
         }
     } else {
@@ -443,9 +452,10 @@ pub fn query_final<R: RngCore>(view: &NodeView<'_>, ctx: &mut QueryFrame<'_, R>)
             let hi = ((i2 - 1) as usize).min(last);
             if lo.max(0) as usize <= hi {
                 for idx in node.nonempty_buckets.range(lo.max(0) as usize, hi) {
+                    // pss-lint: allow(no-bare-index) — idx iterates nonempty_buckets, whose bits mirror buckets.len()
                     let c = node.buckets[idx].len() as u64;
                     if accept_direct_candidate(ctx.rng, ctx.w, &ctx.accel, idx, c) {
-                        candidates.push(idx as u16);
+                        candidates.push(narrow::u16_of_usize(idx));
                     }
                 }
             }
@@ -488,7 +498,7 @@ fn accept_table_candidate<R: RngCore>(
     if accel.use_fast() {
         // w_v = c·2^{idx+1} is exact in f64 (c ≤ m ≤ 64: few significant
         // bits); m²/num_t is a correctly-rounded quotient of small integers.
-        let wv = c as f64 * pow2f(idx as i32 + 1);
+        let wv = c as f64 * pow2f(narrow::i32_of_u64(idx as u64) + 1);
         let a_lo = mul_down(wv, accel.winv_lo).min(1.0);
         let a_hi = mul_up(wv, accel.winv_hi).min(1.0);
         let ratio = m2 as f64 / num_t as f64;
@@ -520,7 +530,7 @@ fn accept_direct_candidate<R: RngCore>(
 ) -> bool {
     if accel.use_fast() {
         debug_assert!(c <= 1 << 53, "bucket count exceeds exact f64 range");
-        let wv = c as f64 * pow2f(idx as i32 + 1); // exact product
+        let wv = c as f64 * pow2f(narrow::i32_of_u64(idx as u64) + 1); // exact product
         let bits = Bits64::from_f64_bounds(mul_down(wv, accel.winv_lo), mul_up(wv, accel.winv_hi));
         if cfg!(debug_assertions) {
             bits.debug_validate(&BigUint::from_u64(c).shl(idx as u64 + 1).mul(w.den()), w.num());
@@ -565,6 +575,7 @@ pub fn query_level1_planned<R: RngCore>(
     let mut sig_groups: Vec<usize> = Vec::new();
     for_significant_groups(&level1.nonempty_groups, th, |j| sig_groups.push(j));
     for j in sig_groups {
+        // pss-lint: allow(no-panic-paths) — for_significant_groups only yields groups whose bitset bit is set, and a set bit implies an allocated child
         let child = level1.child_view(j).expect("non-empty group without child");
         let ty = query_node(&child, ctx);
         out.extend(extract_items(level1, ctx.rng, ctx.w, &ctx.accel, &ty));

@@ -374,6 +374,7 @@ impl DpssSampler {
         // and stale handles never reach the journal.
         self.level1.slab.weight(id)?;
         self.journal.record(Delta::Deleted { handle: Handle::from_raw(id.raw()) });
+        // pss-lint: allow(no-panic-paths) — the slab lookup two lines up already returned Some for this id
         let w = self.level1.delete(id).expect("slab record validated above");
         self.maybe_rebuild();
         Some(w)
@@ -573,6 +574,7 @@ impl DpssSampler {
         let (rng, st) = self.plan_state(ctx);
         self.revalidate(st);
         let idx = match st.plans.iter().position(|e| e.alpha == *alpha && e.beta == *beta) {
+            // pss-lint: allow(no-bare-index) — i was returned by position() over st.plans
             Some(i) if st.plans[i].valid => {
                 st.hits += 1;
                 i
@@ -588,7 +590,9 @@ impl DpssSampler {
                     return crate::query::query_certain(&self.level1, 0);
                 }
                 st.refreshes += 1;
+                // pss-lint: allow(no-bare-index) — i was returned by position() over st.plans
                 st.plans[i].plan = self.make_plan(w);
+                // pss-lint: allow(no-bare-index) — i was returned by position() over st.plans
                 st.plans[i].valid = true;
                 i
             }
@@ -612,6 +616,7 @@ impl DpssSampler {
                 st.plans.len() - 1
             }
         };
+        // pss-lint: allow(no-bare-index) — idx is position() over st.plans or len() - 1 after a push
         let plan = &st.plans[idx].plan;
         let _guard = self.force_exact.then(randvar::exact_mode_guard);
         let mut frame = QueryFrame {

@@ -31,8 +31,12 @@
 //! only when a count crosses a power of two — geometrically rare — and
 //! remain O(1) word operations when they do.
 
+// pss-lint: allow-file(no-bare-index) — bucket vectors and the member slab are self-managed parallel arrays; indices are generation-checked handles or loop bounds derived from len(), and audit()/audit_storage() verify the cross-references
+
+// pss-lint: hot-path — the O(1) update cascade must not touch the global allocator in steady state
 use crate::item::{ItemId, Slab};
 use wordram::bits::floor_log2_u64;
+use wordram::narrow;
 use wordram::{BitsetList, Bucket, BucketArena, FillCursor, Pool, SpaceUsage, U256};
 
 /// Level-1 bucket-index universe: weights are `< 2^64`.
@@ -124,11 +128,14 @@ impl Node {
         Node {
             level: 2,
             group_width,
+            // pss-lint: allow(no-alloc-hot-path) — one-time construction, not the steady-state cascade
             buckets: vec![Bucket::EMPTY; L2_BUCKETS],
             nonempty_buckets: BitsetList::new(L2_BUCKETS),
             nonempty_groups: BitsetList::new(n_groups),
+            // pss-lint: allow(no-alloc-hot-path) — one-time construction, not the steady-state cascade
             members: vec![Member::NONE; L1_BUCKETS],
             n_members: 0,
+            // pss-lint: allow(no-alloc-hot-path) — one-time construction, not the steady-state cascade
             children: vec![NO_NODE; n_groups],
         }
     }
@@ -137,11 +144,14 @@ impl Node {
         Node {
             level: 3,
             group_width: 0,
+            // pss-lint: allow(no-alloc-hot-path) — one-time construction, not the steady-state cascade
             buckets: vec![Bucket::EMPTY; L3_BUCKETS],
             nonempty_buckets: BitsetList::new(L3_BUCKETS),
             nonempty_groups: BitsetList::new(1),
+            // pss-lint: allow(no-alloc-hot-path) — one-time construction, not the steady-state cascade
             members: vec![Member::NONE; L2_BUCKETS],
             n_members: 0,
+            // pss-lint: allow(no-alloc-hot-path) — one-time construction, not the steady-state cascade
             children: Vec::new(),
         }
     }
@@ -153,13 +163,16 @@ impl Node {
         self.level = 2;
         self.group_width = group_width;
         self.buckets.clear();
+        // pss-lint: allow(no-alloc-hot-path) — clear+resize to the retained length reuses the kept allocation — no allocator traffic
         self.buckets.resize(L2_BUCKETS, Bucket::EMPTY);
         self.nonempty_buckets.reset(L2_BUCKETS);
         self.nonempty_groups.reset(n_groups);
         self.members.clear();
+        // pss-lint: allow(no-alloc-hot-path) — clear+resize to the retained length reuses the kept allocation — no allocator traffic
         self.members.resize(L1_BUCKETS, Member::NONE);
         self.n_members = 0;
         self.children.clear();
+        // pss-lint: allow(no-alloc-hot-path) — clear+resize to the retained length reuses the kept allocation — no allocator traffic (reinit/rebuild)
         self.children.resize(n_groups, NO_NODE);
     }
 
@@ -168,10 +181,12 @@ impl Node {
         self.level = 3;
         self.group_width = 0;
         self.buckets.clear();
+        // pss-lint: allow(no-alloc-hot-path) — clear+resize to the retained length reuses the kept allocation — no allocator traffic
         self.buckets.resize(L3_BUCKETS, Bucket::EMPTY);
         self.nonempty_buckets.reset(L3_BUCKETS);
         self.nonempty_groups.reset(1);
         self.members.clear();
+        // pss-lint: allow(no-alloc-hot-path) — clear+resize to the retained length reuses the kept allocation — no allocator traffic
         self.members.resize(L2_BUCKETS, Member::NONE);
         self.n_members = 0;
         self.children.clear();
@@ -266,7 +281,7 @@ impl NodePool {
     pub fn set_member(&mut self, idx: u32, child: u16, count: u64, shift: u32) {
         let node = self.nodes.get_mut(idx);
         if count > 0 {
-            let bucket = (shift + floor_log2_u64(count)) as u16;
+            let bucket = narrow::u16_of_u64(u64::from(shift + floor_log2_u64(count)));
             debug_assert!(
                 (bucket as usize) < node.buckets.len(),
                 "bucket {bucket} out of universe"
@@ -312,7 +327,7 @@ impl NodePool {
                 debug_assert_eq!(removed, child, "bucket {b} held ghost child");
                 for q in old.pos as usize..node.buckets[b].len() {
                     let moved = arena.get(&node.buckets[b], q);
-                    node.members[moved as usize].pos = q as u32;
+                    node.members[moved as usize].pos = narrow::u32_of_usize(q);
                 }
                 if node.buckets[b].is_empty() {
                     node.nonempty_buckets.remove(b);
@@ -332,12 +347,12 @@ impl NodePool {
                 arena.insert_at(&mut node.buckets[b], pos, child);
                 for q in pos + 1..node.buckets[b].len() {
                     let moved = arena.get(&node.buckets[b], q);
-                    node.members[moved as usize].pos = q as u32;
+                    node.members[moved as usize].pos = narrow::u32_of_usize(q);
                 }
                 if was_empty {
                     node.nonempty_buckets.insert(b);
                 }
-                node.members[child as usize] = Member { bucket, pos: pos as u32 };
+                node.members[child as usize] = Member { bucket, pos: narrow::u32_of_usize(pos) };
                 node.n_members += 1;
                 if touched[0] != bucket {
                     touched[1] = bucket;
@@ -369,7 +384,7 @@ impl NodePool {
                     child_idx = self.alloc_level3();
                     self.nodes.get_mut(idx).children[l] = child_idx;
                 }
-                self.set_member(child_idx, b, count, b as u32 + 1);
+                self.set_member(child_idx, b, count, u32::from(b) + 1);
             }
             if flipped[t] {
                 let node = self.nodes.get_mut(idx);
@@ -420,8 +435,8 @@ impl NodePool {
             if count == 0 {
                 assert!(!m.present(), "child {c} empty but proxy present");
             } else {
-                let expect = c as u32 + 1 + floor_log2_u64(count);
-                assert_eq!(m.bucket as u32, expect, "child {c}: misplaced proxy");
+                let expect = narrow::u32_of_usize(c) + 1 + floor_log2_u64(count);
+                assert_eq!(u32::from(m.bucket), expect, "child {c}: misplaced proxy");
             }
         }
         if node.level == 2 {
@@ -453,19 +468,25 @@ impl NodePool {
     /// O(capacity); test hook.
     pub fn audit(&self, roots: impl Iterator<Item = u32>) -> Result<(), String> {
         self.nodes.audit()?;
+        // pss-lint: allow(no-alloc-hot-path) — audit() is an O(capacity) test/debug hook, never on the update path
         let mut live_nodes = vec![false; self.nodes.slot_count()];
+        // pss-lint: allow(no-alloc-hot-path) — audit() is an O(capacity) test/debug hook, never on the update path
         let mut stack: Vec<u32> = roots.filter(|&r| r != NO_NODE).collect();
         while let Some(idx) = stack.pop() {
             let slot = live_nodes
                 .get_mut(idx as usize)
+                // pss-lint: allow(no-alloc-hot-path) — audit() is an O(capacity) test/debug hook, never on the update path
                 .ok_or_else(|| format!("child link {idx} out of bounds"))?;
             if std::mem::replace(slot, true) {
+                // pss-lint: allow(no-alloc-hot-path) — audit() is an O(capacity) test/debug hook, never on the update path
                 return Err(format!("node {idx} reachable twice"));
             }
+            // pss-lint: allow(no-alloc-hot-path) — audit() is an O(capacity) test/debug hook, never on the update path
             stack.extend(self.nodes.get(idx).children.iter().filter(|&&c| c != NO_NODE));
         }
         let reachable = live_nodes.iter().filter(|&&v| v).count();
         if reachable + self.nodes.free_count() != self.nodes.slot_count() {
+            // pss-lint: allow(no-alloc-hot-path) — audit() is an O(capacity) test/debug hook, never on the update path
             return Err(format!(
                 "{reachable} reachable + {} free != {} slots",
                 self.nodes.free_count(),
@@ -476,7 +497,7 @@ impl NodePool {
             .iter()
             .enumerate()
             .filter(|&(_, &live)| live)
-            .flat_map(|(i, _)| self.nodes.get(i as u32).buckets.iter().copied());
+            .flat_map(|(i, _)| self.nodes.get(narrow::u32_of_usize(i)).buckets.iter().copied());
         self.arena.audit(live_buckets)
     }
 }
@@ -537,11 +558,13 @@ impl Level1 {
         let n_groups = L1_BUCKETS / group_width as usize + 1;
         Level1 {
             slab: Slab::new(),
+            // pss-lint: allow(no-alloc-hot-path) — one-time construction, not the steady-state cascade
             buckets: vec![Bucket::EMPTY; L1_BUCKETS],
             item_arena: BucketArena::new(ItemId::from_raw(0)),
             nonempty_buckets: BitsetList::new(L1_BUCKETS),
             nonempty_groups: BitsetList::new(n_groups),
             group_width,
+            // pss-lint: allow(no-alloc-hot-path) — one-time construction, not the steady-state cascade
             children: vec![NO_NODE; n_groups],
             pool: NodePool::new(),
             total_weight: 0,
@@ -576,6 +599,7 @@ impl Level1 {
         self.total_weight = self
             .total_weight
             .checked_add(weight as u128)
+            // pss-lint: allow(no-panic-paths) — overflow means the Word RAM precondition (W < 2^128) was violated; failing loudly beats sampling from a wrapped total
             .expect("total weight exceeds 2^128 (Word RAM precondition)");
         if weight == 0 {
             self.n_zero += 1;
@@ -583,8 +607,9 @@ impl Level1 {
         }
         self.n_positive += 1;
         let i = floor_log2_u64(weight) as usize;
-        let pos = self.buckets[i].len() as u32;
+        let pos = narrow::u32_of_usize(self.buckets[i].len());
         let id = self.slab.insert_bucketed(weight, pos);
+        // pss-lint: allow(no-alloc-hot-path) — BucketArena::push is the arena primitive; it allocates only while a size class grows toward its high-water mark
         self.item_arena.push(&mut self.buckets[i], id);
         if pos == 0 {
             self.nonempty_buckets.insert(i);
@@ -623,6 +648,7 @@ impl Level1 {
         self.total_weight = self
             .total_weight
             .checked_add(add_total)
+            // pss-lint: allow(no-panic-paths) — overflow means the Word RAM precondition (W < 2^128) was violated; failing loudly beats sampling from a wrapped total
             .expect("total weight exceeds 2^128 (Word RAM precondition)");
         // Pass 2: carve. A fresh structure (no live or parked blocks) sizes
         // the arena once and carves all blocks by cursor arithmetic; a warm
@@ -653,6 +679,7 @@ impl Level1 {
         // because recycled slots pop in free-list order regardless of
         // weight, exactly as a per-item loop would consume them.
         self.slab.reserve(weights.len());
+        // pss-lint: allow(no-alloc-hot-path) — bulk build is the amortized O(n) path, not the per-update cascade
         let mut ids = Vec::with_capacity(weights.len());
         let mut cur = [FillCursor::default(); L1_BUCKETS];
         for (i, &c) in add.iter().enumerate() {
@@ -665,23 +692,27 @@ impl Level1 {
         for &w in head {
             if w == 0 {
                 self.n_zero += 1;
+                // pss-lint: allow(no-alloc-hot-path) — bulk build is the amortized O(n) path, not the per-update cascade
                 ids.push(self.slab.insert(0));
                 continue;
             }
             let i = floor_log2_u64(w) as usize;
             let id = self.slab.insert_bucketed(w, cur[i].pos());
             self.item_arena.push_raw(&mut cur[i], id);
+            // pss-lint: allow(no-alloc-hot-path) — bulk build is the amortized O(n) path, not the per-update cascade
             ids.push(id);
         }
         for &w in tail {
             if w == 0 {
                 self.n_zero += 1;
+                // pss-lint: allow(no-alloc-hot-path) — bulk build is the amortized O(n) path, not the per-update cascade
                 ids.push(self.slab.insert_bucketed_fresh(0, 0));
                 continue;
             }
             let i = floor_log2_u64(w) as usize;
             let id = self.slab.insert_bucketed_fresh(w, cur[i].pos());
             self.item_arena.push_raw(&mut cur[i], id);
+            // pss-lint: allow(no-alloc-hot-path) — bulk build is the amortized O(n) path, not the per-update cascade
             ids.push(id);
         }
         for (i, &c) in add.iter().enumerate() {
@@ -729,7 +760,7 @@ impl Level1 {
         self.item_arena.swap_remove(&mut self.buckets[i], pos);
         if pos < self.buckets[i].len() {
             let moved = self.item_arena.get(&self.buckets[i], pos);
-            self.slab.set_bucket_pos(moved, pos as u32);
+            self.slab.set_bucket_pos(moved, narrow::u32_of_usize(pos));
         }
         if self.buckets[i].is_empty() {
             self.nonempty_buckets.remove(i);
@@ -761,6 +792,7 @@ impl Level1 {
         debug_assert_ne!(old_w, new_w, "no-op reweights are filtered by the caller");
         self.total_weight = (self.total_weight - old_w as u128)
             .checked_add(new_w as u128)
+            // pss-lint: allow(no-panic-paths) — overflow means the Word RAM precondition (W < 2^128) was violated; failing loudly beats sampling from a wrapped total
             .expect("total weight exceeds 2^128 (Word RAM precondition)");
         let old_bucket = (old_w > 0).then(|| floor_log2_u64(old_w) as usize);
         let new_bucket = (new_w > 0).then(|| floor_log2_u64(new_w) as usize);
@@ -782,7 +814,8 @@ impl Level1 {
         }
         // Attach to the new bucket, if any.
         if let Some(i) = new_bucket {
-            let pos = self.buckets[i].len() as u32;
+            let pos = narrow::u32_of_usize(self.buckets[i].len());
+            // pss-lint: allow(no-alloc-hot-path) — BucketArena::push is the arena primitive; it allocates only while a size class grows toward its high-water mark
             self.item_arena.push(&mut self.buckets[i], id);
             self.slab.set_bucket_pos(id, pos);
             if pos == 0 {
@@ -803,7 +836,7 @@ impl Level1 {
     #[inline]
     fn cascade_if_moved(&mut self, i: usize, old_count: u64, new_count: u64) {
         if proxy_moves(old_count, new_count) {
-            self.cascade_bucket(i as u16, new_count);
+            self.cascade_bucket(narrow::u16_of_usize(i), new_count);
         }
     }
 
@@ -815,7 +848,7 @@ impl Level1 {
             child = self.pool.alloc_level2(self.l2_group_width);
             self.children[j] = child;
         }
-        self.pool.set_member(child, i, count, i as u32 + 1);
+        self.pool.set_member(child, i, count, u32::from(i) + 1);
     }
 
     /// Rebuilds the group/hierarchy layers in place with new group widths
@@ -837,6 +870,7 @@ impl Level1 {
         self.l2_group_width = level2_group_width;
         self.pool.reset();
         self.children.clear();
+        // pss-lint: allow(no-alloc-hot-path) — clear+resize to the retained length reuses the kept allocation — no allocator traffic (reinit/rebuild)
         self.children.resize(n_groups, NO_NODE);
         self.nonempty_groups.reset(n_groups);
         if compact {
@@ -874,7 +908,8 @@ impl Level1 {
                 self.n_positive += 1;
                 self.total_weight += w as u128;
                 let i = floor_log2_u64(w) as usize;
-                let pos = self.buckets[i].len() as u32;
+                let pos = narrow::u32_of_usize(self.buckets[i].len());
+                // pss-lint: allow(no-alloc-hot-path) — BucketArena::push is the arena primitive; it allocates only while a size class grows toward its high-water mark (rebuild)
                 self.item_arena.push(&mut self.buckets[i], id);
                 self.slab.set_bucket_pos(id, pos);
             }
@@ -890,7 +925,7 @@ impl Level1 {
             let count = self.buckets[i].len() as u64;
             if count > 0 {
                 self.nonempty_groups.insert(i / group_width as usize);
-                self.cascade_bucket(i as u16, count);
+                self.cascade_bucket(narrow::u16_of_usize(i), count);
             }
         }
     }
@@ -937,6 +972,7 @@ impl Level1 {
                 }
             }
         }
+        // pss-lint: allow(no-panic-paths) — audit() is an explicitly requested integrity check; a violated invariant must abort, not be papered over
         self.audit_storage().expect("storage audit");
     }
 
@@ -1000,9 +1036,11 @@ impl LevelView for Level1 {
         self.item_arena.get(&self.buckets[b], pos)
     }
     fn weight_u256(&self, id: ItemId) -> U256 {
+        // pss-lint: allow(no-panic-paths) — ids handed to weight_u256 come from this level's own bucket lists, which hold only live items
         U256::from_u64(self.slab.weight(id).expect("live item"))
     }
     fn weight_f64_bounds(&self, id: ItemId) -> (f64, f64) {
+        // pss-lint: allow(no-panic-paths) — ids handed to weight_f64_bounds come from this level's own bucket lists, which hold only live items
         let w = self.slab.weight(id).expect("live item");
         // u64 → f64 is correctly rounded; exact below 2^53, else nudge.
         let f = w as f64;
@@ -1066,12 +1104,12 @@ impl LevelView for NodeView<'_> {
         self.pool.arena.get(&self.node.buckets[b], pos)
     }
     fn weight_u256(&self, id: u16) -> U256 {
-        U256::from_u64_shifted(self.proxy_count(id), id as u32 + 1)
+        U256::from_u64_shifted(self.proxy_count(id), u32::from(id) + 1)
     }
     fn weight_f64_bounds(&self, id: u16) -> (f64, f64) {
         // count < 2^53 and the scale is a power of two, so the product is an
         // exact f64 — the bracket is a point.
-        let f = self.proxy_count(id) as f64 * pow2f(id as i32 + 1);
+        let f = self.proxy_count(id) as f64 * pow2f(i32::from(id) + 1);
         (f, f)
     }
 }

@@ -2,6 +2,9 @@
 //! empirical inclusion frequencies must match the exact `p_x(α,β)` for every
 //! item, across weight regimes, parameter regimes, and dynamic updates.
 
+// HashMap/HashSet sanctioned: test-side bookkeeping only; no iteration order reaches an assertion or a sample.
+#![allow(clippy::disallowed_types)]
+
 use dpss::{DpssSampler, FinalLevelMode, ItemId, Ratio};
 use randvar::stats::binomial_z;
 use std::collections::HashMap;

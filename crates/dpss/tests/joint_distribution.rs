@@ -2,6 +2,9 @@
 //! *every subset outcome* must equal `Π_{x∈T} p_x · Π_{x∉T} (1−p_x)` — this
 //! verifies independence across items, which marginal tests cannot see.
 
+// HashMap/HashSet sanctioned: test-side bookkeeping only; no iteration order reaches an assertion or a sample.
+#![allow(clippy::disallowed_types)]
+
 use dpss::{DpssSampler, ItemId, Ratio};
 use randvar::stats::chi_square;
 use std::collections::HashMap;

@@ -26,6 +26,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// HashMap sanctioned: the handle index is keyed-access only (insert/remove/get); iteration order is never observed.
+#![allow(clippy::disallowed_types)]
 
 use bignum::{BigUint, Dyadic, Interval};
 use rand::rngs::SmallRng;

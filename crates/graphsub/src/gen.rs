@@ -1,5 +1,8 @@
 //! Synthetic graph generators for the application experiments (E9/E10).
 
+// HashMap/HashSet sanctioned: graph application layer; sampling determinism is owned by the DpssSampler underneath, and these maps never feed a sample order.
+#![allow(clippy::disallowed_types)]
+
 use crate::graph::{DynGraph, NaiveDynGraph, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};

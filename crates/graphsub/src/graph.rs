@@ -5,6 +5,9 @@
 //! probability implicitly rescales — the DPSS property the appendix
 //! applications rely on. [`NaiveDynGraph`] is the linear-scan comparator.
 
+// HashMap/HashSet sanctioned: graph application layer; sampling determinism is owned by the DpssSampler underneath, and these maps never feed a sample order.
+#![allow(clippy::disallowed_types)]
+
 use dpss::{DpssSampler, Ratio};
 use pss_core::{Handle, PssBackend, QueryCtx, SeedableBackend};
 use rand::rngs::SmallRng;

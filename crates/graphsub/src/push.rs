@@ -15,6 +15,9 @@
 //! 3. [`sweep_cut`] scans prefixes of the ranking and returns the prefix with
 //!    the lowest conductance.
 
+// HashMap/HashSet sanctioned: graph application layer; sampling determinism is owned by the DpssSampler underneath, and these maps never feed a sample order.
+#![allow(clippy::disallowed_types)]
+
 use crate::graph::{DynGraph, NodeId};
 use rand::Rng;
 use rand::RngCore;

@@ -13,6 +13,9 @@
 //! on `v`'s in-edges, so a dynamic graph needs DPSS (a single edge update at
 //! `v` moves *all* of `v`'s in-probabilities).
 
+// HashMap/HashSet sanctioned: graph application layer; sampling determinism is owned by the DpssSampler underneath, and these maps never feed a sample order.
+#![allow(clippy::disallowed_types)]
+
 use crate::graph::{DynGraph, NodeId};
 use rand::Rng;
 use rand::RngCore;

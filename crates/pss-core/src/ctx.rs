@@ -36,6 +36,7 @@ use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
 use std::any::Any;
 use std::sync::atomic::{AtomicU64, Ordering};
+use wordram::narrow;
 
 /// Per-context cap on distinct backend state entries. One context driving
 /// more than this many backends round-robin (e.g. a graph with thousands of
@@ -101,7 +102,7 @@ impl CtxRng {
 impl RngCore for CtxRng {
     #[inline]
     fn next_u32(&mut self) -> u32 {
-        self.next_u64() as u32
+        narrow::lo32(self.next_u64())
     }
 
     #[inline]
@@ -217,6 +218,8 @@ impl QueryCtx {
                 self.state.len() - 1
             }
         };
+        // pss-lint: allow(no-panic-paths) — pos was found by matching TypeId two lines up, so the downcast cannot fail
+        // pss-lint: allow(no-bare-index) — pos was returned by position() over state
         let entry = self.state[pos].1.downcast_mut::<T>().expect("state type checked above");
         (&mut self.rng, entry)
     }

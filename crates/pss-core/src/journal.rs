@@ -225,7 +225,9 @@ impl ChangeJournal {
             // Evict the oldest entry: observers older than it fall back.
             // (Conditional wrap, not `%`: the capacity is a runtime value,
             // and an integer division per update would dominate the append.)
+            // pss-lint: allow(no-bare-index) — the ring is full here (len == cap == ring.len()) and head < cap
             self.floor = self.floor.max(self.ring[self.head].epoch);
+            // pss-lint: allow(no-bare-index) — the ring is full here (len == cap == ring.len()) and head < cap
             self.ring[self.head] = entry;
             self.head += 1;
             if self.head == self.cap {
@@ -242,6 +244,7 @@ impl ChangeJournal {
         if p >= self.cap {
             p -= self.cap;
         }
+        // pss-lint: allow(no-bare-index) — p = (head + i) mod cap with i < len ≤ cap = ring.len()
         &self.ring[p]
     }
 

@@ -37,7 +37,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+// pss-lint: allow-file(no-bare-index) — the reference backend indexes parallel weight/live vectors by handles it validated against live.len() on entry
+
 use bignum::{BigUint, Ratio};
+use wordram::narrow;
 
 mod ctx;
 mod journal;
@@ -308,7 +311,7 @@ impl Store {
         }
         self.live[i] = false;
         self.total -= self.weights[i] as u128;
-        self.free.push(i as u32);
+        self.free.push(narrow::u32_of_usize(i));
         self.n -= 1;
         true
     }

@@ -93,6 +93,7 @@ impl ShardedQuery {
                 .collect();
             joins
                 .into_iter()
+                // pss-lint: allow(no-panic-paths) — a worker panic has already lost the query; re-raising on the caller thread preserves the panic message
                 .flat_map(|j| j.join().expect("sharded query worker panicked"))
                 .collect()
         })

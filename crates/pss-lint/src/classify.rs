@@ -1,0 +1,73 @@
+//! Map workspace-relative paths to a lint classification.
+
+/// How a file is treated by the rule scoping logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library or binary source under `src/` — full rule set per scope.
+    Lib,
+    /// Tests, benches, examples — exempt from the panic/alloc/cast rules,
+    /// still covered by exhaustiveness and pragma hygiene.
+    TestLike,
+    /// Not scanned: shims (offline stand-ins for crates.io packages are
+    /// audited as vendored code) and lint fixtures (deliberate violations).
+    Skip,
+}
+
+/// Classification of one file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileClass {
+    /// Workspace crate the file belongs to (`dpss`, `suite`, …).
+    pub crate_name: String,
+    /// Scanning category.
+    pub kind: FileKind,
+}
+
+impl FileClass {
+    /// Convenience constructor, mostly for fixture tests.
+    pub fn new(crate_name: &str, kind: FileKind) -> Self {
+        FileClass { crate_name: crate_name.to_string(), kind }
+    }
+}
+
+/// Classify a workspace-relative path (`/`-separated).
+pub fn classify(rel: &str) -> FileClass {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let skip = FileClass::new("", FileKind::Skip);
+    if parts.first() == Some(&"shims") || parts.contains(&"fixtures") {
+        return skip;
+    }
+    match parts.as_slice() {
+        ["crates", name, "src", ..] => FileClass::new(name, FileKind::Lib),
+        ["crates", name, "tests" | "benches" | "examples", ..] => {
+            FileClass::new(name, FileKind::TestLike)
+        }
+        ["suite", "src", ..] => FileClass::new("suite", FileKind::Lib),
+        ["suite", "tests" | "examples" | "benches", ..] => {
+            FileClass::new("suite", FileKind::TestLike)
+        }
+        _ => skip,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_classify_as_expected() {
+        assert_eq!(classify("crates/dpss/src/structure.rs"), FileClass::new("dpss", FileKind::Lib));
+        assert_eq!(
+            classify("crates/bench/src/bin/bench_core.rs"),
+            FileClass::new("bench", FileKind::Lib)
+        );
+        assert_eq!(
+            classify("crates/dpss/tests/journal.rs"),
+            FileClass::new("dpss", FileKind::TestLike)
+        );
+        assert_eq!(classify("suite/tests/pipelines.rs").kind, FileKind::TestLike);
+        assert_eq!(classify("suite/src/lib.rs").kind, FileKind::Lib);
+        assert_eq!(classify("shims/rand/src/lib.rs").kind, FileKind::Skip);
+        assert_eq!(classify("crates/pss-lint/tests/fixtures/bad.rs").kind, FileKind::Skip);
+        assert_eq!(classify("README.md").kind, FileKind::Skip);
+    }
+}

@@ -1,0 +1,152 @@
+//! Per-file lint pipeline and workspace walker.
+
+use crate::classify::{classify, FileClass, FileKind};
+use crate::diag::{rules as ids, Diagnostic};
+use crate::lexer::{lex, TokKind};
+use crate::pragma::{self, PragmaKind};
+use crate::rules::{exempt_spans, run_all, FileCtx};
+use std::collections::BTreeSet;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Result of a workspace (or file-set) lint run.
+#[derive(Debug)]
+pub struct Report {
+    /// All surviving diagnostics, sorted by (path, line, col, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of files lexed and checked (skipped files not counted).
+    pub files_scanned: usize,
+}
+
+/// Lint a single source text under an explicit classification. This is the
+/// engine entry point used for both real files and fixture tests.
+pub fn lint_source(path_label: &str, src: &str, class: &FileClass) -> Vec<Diagnostic> {
+    if class.kind == FileKind::Skip {
+        return Vec::new();
+    }
+    let toks = lex(src);
+    let sig: Vec<usize> = toks
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .map(|(i, _)| i)
+        .collect();
+    let code_lines: BTreeSet<u32> = sig.iter().map(|&i| toks[i].line).collect();
+    let last_line = src.lines().count() as u32;
+    let pragmas = pragma::collect(src, &toks, &|l| code_lines.contains(&l), last_line);
+    let hot = pragmas.iter().any(|p| p.kind == PragmaKind::HotPath);
+    let exempt = exempt_spans(src, &toks, &sig);
+    let in_exempt = |line: u32, col: u32| -> bool {
+        // Pragmas are comments, so locate them by line against exempt
+        // token spans' line coverage; byte positions work too — find the
+        // comment token and compare bytes.
+        toks.iter()
+            .find(|t| t.line == line && t.col == col)
+            .map(|t| exempt.iter().any(|&(a, b)| t.start >= a && t.start < b))
+            .unwrap_or(false)
+    };
+
+    let ctx =
+        FileCtx { src, toks: &toks, sig: &sig, class, hot, exempt: &exempt, path: path_label };
+    let mut raw = Vec::new();
+    run_all(&ctx, &mut raw);
+
+    // Apply suppressions.
+    let mut kept: Vec<Diagnostic> = Vec::new();
+    'diags: for d in raw {
+        for p in &pragmas {
+            let matches_rule = p.rules.iter().any(|r| r == d.rule);
+            if p.error.is_none() && matches_rule {
+                let covers = match p.kind {
+                    PragmaKind::Allow => p.covers_line == d.line,
+                    PragmaKind::AllowFile => true,
+                    PragmaKind::HotPath => false,
+                };
+                if covers {
+                    p.used.set(true);
+                    continue 'diags;
+                }
+            }
+        }
+        kept.push(d);
+    }
+
+    // Pragma hygiene. Pragmas inside test-gated items are inert, not errors.
+    for p in &pragmas {
+        if in_exempt(p.line, p.col) {
+            continue;
+        }
+        if let Some(err) = &p.error {
+            kept.push(Diagnostic {
+                rule: ids::BAD_PRAGMA,
+                path: path_label.to_string(),
+                line: p.line,
+                col: p.col,
+                message: err.clone(),
+            });
+        } else if p.kind != PragmaKind::HotPath && !p.used.get() {
+            kept.push(Diagnostic {
+                rule: ids::UNUSED_PRAGMA,
+                path: path_label.to_string(),
+                line: p.line,
+                col: p.col,
+                message: format!(
+                    "pragma allows {} but suppressed nothing; remove it or move it to the offending line",
+                    p.rules.join(", ")
+                ),
+            });
+        }
+    }
+    kept
+}
+
+/// Recursively collect the workspace's `.rs` files, relative to `root`.
+/// Skips `target/`, VCS metadata, shims, and lint fixtures.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> =
+            std::fs::read_dir(&dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        entries.sort();
+        for path in entries {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if path.is_dir() {
+                if matches!(name, "target" | ".git" | ".github" | "shims" | "fixtures") {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lint every classified file under `root`.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let files = workspace_files(root)?;
+    let mut diagnostics = Vec::new();
+    let mut files_scanned = 0usize;
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let class = classify(&rel);
+        if class.kind == FileKind::Skip {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path)?;
+        files_scanned += 1;
+        diagnostics.extend(lint_source(&rel, &src, &class));
+    }
+    diagnostics
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    Ok(Report { diagnostics, files_scanned })
+}

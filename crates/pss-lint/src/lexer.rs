@@ -1,0 +1,551 @@
+//! A small, self-contained Rust lexer.
+//!
+//! crates.io is unreachable from this environment, so there is no `syn`,
+//! `proc-macro2`, or `dylint` to lean on. The rules in this crate only need a
+//! *token-accurate* view of the source — enough to never confuse an
+//! `unwrap()` inside a string literal or a nested block comment with real
+//! code — not a full parse tree. This lexer therefore handles, correctly:
+//!
+//! - line comments (`//`, `///`, `//!`) and **nested** block comments,
+//! - string literals with escapes, byte strings, and raw (byte) strings with
+//!   arbitrary `#` fences (`r"…"`, `r#"…"#`, `br##"…"##`),
+//! - char literals vs lifetimes (`'a'` vs `'a`, including `'\''`, `'\u{…}'`,
+//!   and multi-byte chars),
+//! - raw identifiers (`r#match`),
+//! - integer/float literals with radix prefixes, `_` separators, exponents,
+//!   and type suffixes (so `0..10` lexes as `0`, `..`, `10` and `1.max(2)`
+//!   as `1`, `.`, `max`, …),
+//! - maximal-munch multi-character punctuation (`<<=`, `>>`, `=>`, `..=`, …).
+//!
+//! Columns are byte offsets within the line (1-based); lines are 1-based.
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`foo`, `match`, `self`).
+    Ident,
+    /// Raw identifier (`r#match`).
+    RawIdent,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// Integer literal, any radix, with optional suffix (`0xff_u64`).
+    Int,
+    /// Float literal (`1.5`, `1e9`, `2f64`).
+    Float,
+    /// String literal (`"…"`) or byte string (`b"…"`).
+    Str,
+    /// Raw string literal (`r"…"`, `r#"…"#`, `br"…"`).
+    RawStr,
+    /// Char literal (`'x'`) or byte char (`b'x'`).
+    Char,
+    /// Line comment, including the leading `//`.
+    LineComment,
+    /// Block comment, including delimiters; nesting handled.
+    BlockComment,
+    /// Punctuation; multi-character operators are single tokens.
+    Punct,
+}
+
+/// One token: kind plus byte span and position of its first byte.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based byte column of the first byte within its line.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text as a slice of the source it was lexed from.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Lex `src` into a token stream. Whitespace is dropped; comments are kept
+/// (the pragma system lives in them). Unknown bytes become 1-byte `Punct`
+/// tokens so lexing always terminates.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1, toks: Vec::new() }.run()
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    toks: Vec<Token>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Multi-byte punctuation, longest first (maximal munch).
+const PUNCT3: &[&[u8]] = &[b"<<=", b">>=", b"..=", b"..."];
+const PUNCT2: &[&[u8]] = &[
+    b"::", b"->", b"=>", b"==", b"!=", b"<=", b">=", b"&&", b"||", b"<<", b">>", b"..", b"+=",
+    b"-=", b"*=", b"/=", b"%=", b"^=", b"&=", b"|=",
+];
+
+impl<'s> Lexer<'s> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let (start, line, col) = (self.pos, self.line, self.col);
+            let b = self.src[self.pos];
+            let kind = match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                    continue;
+                }
+                b'/' if self.at(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.at(1) == Some(b'*') => self.block_comment(),
+                b'r' => self.r_prefixed(),
+                b'b' => self.b_prefixed(),
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                b'0'..=b'9' => self.number(),
+                _ if is_ident_start(b) => self.ident(),
+                _ => self.punct(),
+            };
+            self.toks.push(Token { kind, start, end: self.pos, line, col });
+        }
+        self.toks
+    }
+
+    fn at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    /// Advance one byte, maintaining line/col.
+    fn bump(&mut self) {
+        if self.src[self.pos] == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn line_comment(&mut self) -> TokKind {
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.bump();
+        }
+        TokKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokKind {
+        self.bump_n(2); // consume `/*`
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.src[self.pos] == b'/' && self.at(1) == Some(b'*') {
+                depth += 1;
+                self.bump_n(2);
+            } else if self.src[self.pos] == b'*' && self.at(1) == Some(b'/') {
+                depth -= 1;
+                self.bump_n(2);
+            } else {
+                self.bump();
+            }
+        }
+        TokKind::BlockComment
+    }
+
+    /// `r"…"`, `r#"…"#`, `r#ident`, or a plain identifier starting with `r`.
+    fn r_prefixed(&mut self) -> TokKind {
+        let mut hashes = 0usize;
+        while self.at(1 + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        match self.at(1 + hashes) {
+            Some(b'"') => {
+                self.bump_n(1 + hashes + 1);
+                self.raw_string_body(hashes)
+            }
+            Some(b2) if hashes == 1 && is_ident_start(b2) => {
+                self.bump_n(2); // `r#`
+                while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+                    self.bump();
+                }
+                TokKind::RawIdent
+            }
+            _ => self.ident(),
+        }
+    }
+
+    /// `b'x'`, `b"…"`, `br"…"`, `br#"…"#`, or a plain identifier.
+    fn b_prefixed(&mut self) -> TokKind {
+        match self.at(1) {
+            Some(b'\'') => {
+                self.bump(); // `b`
+                self.char_literal();
+                TokKind::Char
+            }
+            Some(b'"') => {
+                self.bump();
+                self.string()
+            }
+            Some(b'r') => {
+                let mut hashes = 0usize;
+                while self.at(2 + hashes) == Some(b'#') {
+                    hashes += 1;
+                }
+                if self.at(2 + hashes) == Some(b'"') {
+                    self.bump_n(2 + hashes + 1);
+                    self.raw_string_body(hashes)
+                } else {
+                    self.ident()
+                }
+            }
+            _ => self.ident(),
+        }
+    }
+
+    /// Body of a raw string whose opening fence had `hashes` `#`s; the
+    /// opening `"` has been consumed.
+    fn raw_string_body(&mut self, hashes: usize) -> TokKind {
+        'scan: while self.pos < self.src.len() {
+            if self.src[self.pos] == b'"' {
+                for k in 0..hashes {
+                    if self.at(1 + k) != Some(b'#') {
+                        self.bump();
+                        continue 'scan;
+                    }
+                }
+                self.bump_n(1 + hashes);
+                return TokKind::RawStr;
+            }
+            self.bump();
+        }
+        TokKind::RawStr // unterminated; EOF closes it
+    }
+
+    /// Cooked string; opening `"` at current position.
+    fn string(&mut self) -> TokKind {
+        self.bump(); // `"`
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.bump_n(2.min(self.src.len() - self.pos)),
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        TokKind::Str
+    }
+
+    /// `'` at current position: char literal or lifetime. Rust's rule: it is
+    /// a char literal iff the quote is followed by an escape, or by exactly
+    /// one character and a closing quote.
+    fn char_or_lifetime(&mut self) -> TokKind {
+        if self.at(1) == Some(b'\\') {
+            self.char_literal();
+            return TokKind::Char;
+        }
+        // Width of the single char after the quote (UTF-8 aware).
+        let first = self.at(1);
+        let width = match first {
+            Some(b) if b < 0x80 => 1,
+            Some(b) if b >= 0xF0 => 4,
+            Some(b) if b >= 0xE0 => 3,
+            Some(b) if b >= 0xC0 => 2,
+            _ => 0,
+        };
+        if width > 0 && first != Some(b'\'') && self.at(1 + width) == Some(b'\'') {
+            self.bump_n(1 + width + 1);
+            return TokKind::Char;
+        }
+        // Lifetime: `'` then ident chars (possibly none, e.g. a stray quote).
+        self.bump();
+        while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+            self.bump();
+        }
+        TokKind::Lifetime
+    }
+
+    /// Char literal with escapes; opening `'` at current position.
+    fn char_literal(&mut self) {
+        self.bump(); // `'`
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.bump_n(2.min(self.src.len() - self.pos)),
+                b'\'' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    fn ident(&mut self) -> TokKind {
+        while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+            self.bump();
+        }
+        TokKind::Ident
+    }
+
+    fn number(&mut self) -> TokKind {
+        let mut float = false;
+        if self.src[self.pos] == b'0'
+            && matches!(self.at(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'))
+        {
+            // Radix literal: digits, `_`, and hex letters; suffix consumed
+            // by the ident-continue sweep below.
+            self.bump_n(2);
+            while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+                self.bump();
+            }
+            return TokKind::Int;
+        }
+        while self.pos < self.src.len() && matches!(self.src[self.pos], b'0'..=b'9' | b'_') {
+            self.bump();
+        }
+        // Fractional part: `.` not followed by another `.` (range) or an
+        // identifier start (method call on a literal, e.g. `1.max(2)`).
+        if self.src.get(self.pos) == Some(&b'.') {
+            let next = self.at(1);
+            let is_range = next == Some(b'.');
+            let is_method = next.is_some_and(is_ident_start);
+            if !is_range && !is_method {
+                float = true;
+                self.bump();
+                while self.pos < self.src.len() && matches!(self.src[self.pos], b'0'..=b'9' | b'_')
+                {
+                    self.bump();
+                }
+            }
+        }
+        // Exponent.
+        if matches!(self.src.get(self.pos), Some(b'e' | b'E')) {
+            let (sign, digit) = (self.at(1), self.at(2));
+            let sign_form =
+                matches!(sign, Some(b'+' | b'-')) && digit.is_some_and(|d| d.is_ascii_digit());
+            let bare_form = sign.is_some_and(|d| d.is_ascii_digit());
+            if sign_form || bare_form {
+                float = true;
+                self.bump_n(if sign_form { 2 } else { 1 });
+                while self.pos < self.src.len() && matches!(self.src[self.pos], b'0'..=b'9' | b'_')
+                {
+                    self.bump();
+                }
+            }
+        }
+        // Type suffix (`u64`, `f32`, …); an `f` suffix makes it a float.
+        if self.pos < self.src.len() && is_ident_start(self.src[self.pos]) {
+            if self.src[self.pos] == b'f' {
+                float = true;
+            }
+            while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+                self.bump();
+            }
+        }
+        if float {
+            TokKind::Float
+        } else {
+            TokKind::Int
+        }
+    }
+
+    fn punct(&mut self) -> TokKind {
+        let rest = &self.src[self.pos..];
+        for p in PUNCT3 {
+            if rest.starts_with(p) {
+                self.bump_n(3);
+                return TokKind::Punct;
+            }
+        }
+        for p in PUNCT2 {
+            if rest.starts_with(p) {
+                self.bump_n(2);
+                return TokKind::Punct;
+            }
+        }
+        // Single byte (or the lead byte of a stray non-ASCII char; its
+        // continuation bytes will each become 1-byte puncts too, harmlessly).
+        self.bump();
+        TokKind::Punct
+    }
+}
+
+/// Rust keywords (strict + reserved) — used by rules to tell expression
+/// identifiers from keywords. `self`/`Self` are deliberately *not* listed:
+/// in expression position they behave like idents for our heuristics.
+pub fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "as" | "break"
+            | "const"
+            | "continue"
+            | "crate"
+            | "dyn"
+            | "else"
+            | "enum"
+            | "extern"
+            | "false"
+            | "fn"
+            | "for"
+            | "if"
+            | "impl"
+            | "in"
+            | "let"
+            | "loop"
+            | "match"
+            | "mod"
+            | "move"
+            | "mut"
+            | "pub"
+            | "ref"
+            | "return"
+            | "static"
+            | "struct"
+            | "super"
+            | "trait"
+            | "true"
+            | "type"
+            | "unsafe"
+            | "use"
+            | "where"
+            | "while"
+            | "async"
+            | "await"
+            | "abstract"
+            | "become"
+            | "box"
+            | "do"
+            | "final"
+            | "macro"
+            | "override"
+            | "priv"
+            | "typeof"
+            | "unsized"
+            | "virtual"
+            | "yield"
+            | "try"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text(src).to_string())).collect()
+    }
+
+    #[test]
+    fn comments_nest_and_keep_text() {
+        let toks = kinds("a /* x /* y */ z */ b // tail");
+        assert_eq!(toks[0], (TokKind::Ident, "a".into()));
+        assert_eq!(toks[1], (TokKind::BlockComment, "/* x /* y */ z */".into()));
+        assert_eq!(toks[2], (TokKind::Ident, "b".into()));
+        assert_eq!(toks[3], (TokKind::LineComment, "// tail".into()));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_fences() {
+        let src = r####"let s = r#"has "quotes" and // not a comment"#; x"####;
+        let toks = kinds(src);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::RawStr && t.contains("not a comment")));
+        assert_eq!(toks.last().unwrap(), &(TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = kinds(r###"b"ab" br#"cd"# b'z' br2"###);
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert_eq!(toks[1].0, TokKind::RawStr);
+        assert_eq!(toks[2].0, TokKind::Char);
+        assert_eq!(toks[3], (TokKind::Ident, "br2".into()));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds(r"'a' 'a 'static '\'' '\u{1F600}' '_ '_'");
+        let ks: Vec<TokKind> = toks.iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            ks,
+            vec![
+                TokKind::Char,
+                TokKind::Lifetime,
+                TokKind::Lifetime,
+                TokKind::Char,
+                TokKind::Char,
+                TokKind::Lifetime,
+                TokKind::Char,
+            ]
+        );
+    }
+
+    #[test]
+    fn multibyte_char_literal() {
+        let toks = kinds("'∞' x");
+        assert_eq!(toks[0].0, TokKind::Char);
+        assert_eq!(toks[1], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn raw_ident() {
+        let toks = kinds("r#match r#try x");
+        assert_eq!(toks[0], (TokKind::RawIdent, "r#match".into()));
+        assert_eq!(toks[1], (TokKind::RawIdent, "r#try".into()));
+    }
+
+    #[test]
+    fn numbers_ranges_and_method_calls() {
+        let toks = kinds("0..10 1.max(2) 1.5e-3 0xff_u64 2f64 1_000");
+        let ks: Vec<(TokKind, &str)> = toks.iter().map(|(k, t)| (*k, t.as_str())).collect();
+        assert_eq!(ks[0], (TokKind::Int, "0"));
+        assert_eq!(ks[1], (TokKind::Punct, ".."));
+        assert_eq!(ks[2], (TokKind::Int, "10"));
+        assert_eq!(ks[3], (TokKind::Int, "1"));
+        assert_eq!(ks[4], (TokKind::Punct, "."));
+        assert_eq!(ks[5], (TokKind::Ident, "max"));
+        assert!(ks.contains(&(TokKind::Float, "1.5e-3")));
+        assert!(ks.contains(&(TokKind::Int, "0xff_u64")));
+        assert!(ks.contains(&(TokKind::Float, "2f64")));
+        assert!(ks.contains(&(TokKind::Int, "1_000")));
+    }
+
+    #[test]
+    fn shift_operators_lex_as_single_tokens() {
+        let toks = kinds("a << b; c >>= 2; Vec<Vec<u64>>");
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert!(texts.contains(&"<<"));
+        assert!(texts.contains(&">>="));
+        assert!(texts.contains(&">>")); // the generic close, same token
+    }
+
+    #[test]
+    fn strings_hide_code() {
+        let toks = kinds(r#"let s = "x.unwrap() << y"; done"#);
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+        assert_eq!(toks.last().unwrap(), &(TokKind::Ident, "done".into()));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

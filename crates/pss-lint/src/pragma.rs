@@ -1,0 +1,222 @@
+//! Per-site suppression pragmas.
+//!
+//! Syntax, always inside a plain `//` line comment (doc comments are never
+//! pragmas, so rule documentation can quote the syntax safely):
+//!
+//! ```text
+//! // pss-lint: allow(rule-a, rule-b) — why this site is sound
+//! // pss-lint: allow-file(rule-a) — why this whole file is audited
+//! // pss-lint: hot-path — optional note
+//! ```
+//!
+//! The reason separator is an em dash `—`, an en dash `–`, or ASCII `--`.
+//! A *trailing* `allow` pragma (code before it on the same line) covers its
+//! own line; a *standalone* one covers the next line that contains code.
+//! `allow-file` covers the whole file for the named rules. `hot-path` marks
+//! the file for the `no-alloc-hot-path` rule.
+//!
+//! Hygiene: a pragma naming an unknown rule or missing its reason is a
+//! `bad-pragma` error; an `allow` that suppressed nothing is an
+//! `unused-pragma` error (so stale suppressions rot loudly, not silently).
+
+use crate::lexer::{TokKind, Token};
+use std::cell::Cell;
+
+/// What a parsed pragma does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PragmaKind {
+    /// `allow(...)`: suppress the named rules on the covered line.
+    Allow,
+    /// `allow-file(...)`: suppress the named rules in the whole file.
+    AllowFile,
+    /// `hot-path`: opt this file into `no-alloc-hot-path`.
+    HotPath,
+}
+
+/// One parsed pragma comment.
+#[derive(Debug)]
+pub struct Pragma {
+    /// Kind of directive.
+    pub kind: PragmaKind,
+    /// Rule ids named in `allow`/`allow-file` (empty for `hot-path`).
+    pub rules: Vec<String>,
+    /// Line the pragma comment sits on.
+    pub line: u32,
+    /// Column of the comment.
+    pub col: u32,
+    /// For `Allow`: the source line this pragma covers.
+    pub covers_line: u32,
+    /// Parse/validation error, reported as `bad-pragma`.
+    pub error: Option<String>,
+    /// Set when the pragma suppresses at least one diagnostic.
+    pub used: Cell<bool>,
+}
+
+/// Split off a trailing `— reason` (em dash, en dash, or `--`). Returns
+/// `(head, Some(reason))` or `(all, None)`.
+fn split_reason(s: &str) -> (&str, Option<&str>) {
+    for sep in ["—", "–", "--"] {
+        if let Some(i) = s.find(sep) {
+            let reason = s[i + sep.len()..].trim();
+            return (s[..i].trim(), (!reason.is_empty()).then_some(reason));
+        }
+    }
+    (s.trim(), None)
+}
+
+/// Parse the body after `pss-lint:`. Returns kind, rules, and error.
+fn parse_body(body: &str) -> (PragmaKind, Vec<String>, Option<String>) {
+    let (head, reason) = split_reason(body);
+    if head == "hot-path" {
+        // Reason optional: the annotation changes scope, it doesn't suppress.
+        return (PragmaKind::HotPath, Vec::new(), None);
+    }
+    let (kind, rest) = if let Some(r) = head.strip_prefix("allow-file") {
+        (PragmaKind::AllowFile, r)
+    } else if let Some(r) = head.strip_prefix("allow") {
+        (PragmaKind::Allow, r)
+    } else {
+        return (
+            PragmaKind::Allow,
+            Vec::new(),
+            Some(format!(
+                "unknown pss-lint directive `{head}` (expected allow, allow-file, or hot-path)"
+            )),
+        );
+    };
+    let rest = rest.trim();
+    let inner = match rest.strip_prefix('(').and_then(|r| r.strip_suffix(')')) {
+        Some(i) => i,
+        None => {
+            return (kind, Vec::new(), Some("expected `(<rule>, ...)` after allow".to_string()))
+        }
+    };
+    let rules: Vec<String> =
+        inner.split(',').map(|r| r.trim().to_string()).filter(|r| !r.is_empty()).collect();
+    if rules.is_empty() {
+        return (kind, rules, Some("empty rule list in allow(...)".to_string()));
+    }
+    for r in &rules {
+        if !crate::diag::is_known_rule(r) {
+            return (kind, rules.clone(), Some(format!("unknown rule `{r}` in pragma")));
+        }
+    }
+    if reason.is_none() {
+        return (
+            kind,
+            rules,
+            Some("missing justification: write `— <reason>` after the rule list".to_string()),
+        );
+    }
+    (kind, rules, None)
+}
+
+/// Extract all pragmas from a token stream. `line_has_code` must answer
+/// whether a given line contains at least one non-comment token.
+pub fn collect(
+    src: &str,
+    toks: &[Token],
+    line_has_code: &dyn Fn(u32) -> bool,
+    last_line: u32,
+) -> Vec<Pragma> {
+    let mut out = Vec::new();
+    for t in toks {
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        let text = t.text(src);
+        // Plain `//` only: `///` and `//!` are documentation, never pragmas.
+        let Some(body) = text.strip_prefix("//") else { continue };
+        if body.starts_with('/') || body.starts_with('!') {
+            continue;
+        }
+        let Some(body) = body.trim_start().strip_prefix("pss-lint:") else { continue };
+        let (kind, rules, error) = parse_body(body.trim());
+        // Trailing pragma covers its own line; standalone covers the next
+        // line that has code.
+        let covers_line = if line_has_code(t.line) {
+            t.line
+        } else {
+            let mut l = t.line + 1;
+            while l <= last_line && !line_has_code(l) {
+                l += 1;
+            }
+            l
+        };
+        out.push(Pragma {
+            kind,
+            rules,
+            line: t.line,
+            col: t.col,
+            covers_line,
+            error,
+            used: Cell::new(false),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn collect_src(src: &str) -> Vec<Pragma> {
+        let toks = lex(src);
+        let code_lines: std::collections::BTreeSet<u32> = toks
+            .iter()
+            .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .map(|t| t.line)
+            .collect();
+        let last = src.lines().count() as u32;
+        collect(src, &toks, &move |l| code_lines.contains(&l), last)
+    }
+
+    #[test]
+    fn trailing_covers_own_line_standalone_covers_next() {
+        let src = "let a = 1; // pss-lint: allow(no-bare-index) — audited\n\
+                   // pss-lint: allow(no-bare-shift) — audited\n\
+                   \n\
+                   let b = 2;\n";
+        let ps = collect_src(src);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].covers_line, 1);
+        assert_eq!(ps[1].covers_line, 4); // skips the blank line
+        assert!(ps.iter().all(|p| p.error.is_none()));
+    }
+
+    #[test]
+    fn reasons_required_and_separators_accepted() {
+        for sep in ["—", "–", "--"] {
+            let src = format!("// pss-lint: allow(no-bare-index) {sep} why\nlet x = 1;\n");
+            let ps = collect_src(&src);
+            assert!(ps[0].error.is_none(), "separator {sep:?} should parse");
+        }
+        let ps = collect_src("// pss-lint: allow(no-bare-index)\nlet x = 1;\n");
+        assert!(ps[0].error.as_deref().unwrap_or("").contains("justification"));
+    }
+
+    #[test]
+    fn unknown_rule_and_directive_are_errors() {
+        let ps = collect_src("// pss-lint: allow(not-a-rule) — x\n");
+        assert!(ps[0].error.as_deref().unwrap_or("").contains("unknown rule"));
+        let ps = collect_src("// pss-lint: frobnicate — x\n");
+        assert!(ps[0].error.as_deref().unwrap_or("").contains("unknown pss-lint directive"));
+    }
+
+    #[test]
+    fn doc_comments_and_strings_are_not_pragmas() {
+        let src = "/// pss-lint: allow(no-bare-index) — doc example\n\
+                   //! pss-lint: allow(no-bare-index) — doc example\n\
+                   let s = \"// pss-lint: allow(no-bare-index) — in a string\";\n";
+        assert!(collect_src(src).is_empty());
+    }
+
+    #[test]
+    fn hot_path_and_multi_rule() {
+        let ps = collect_src("// pss-lint: hot-path\n// pss-lint: allow(no-bare-index, no-bare-shift) — both\nlet x=1;\n");
+        assert_eq!(ps[0].kind, PragmaKind::HotPath);
+        assert_eq!(ps[1].rules.len(), 2);
+        assert!(ps[1].error.is_none());
+    }
+}

@@ -1,0 +1,605 @@
+//! The workspace-specific rules.
+//!
+//! Every rule works on the significant-token stream (comments stripped) of a
+//! single file, with three pieces of context: the file's classification
+//! (which crate, lib vs test code), whether it carries the
+//! `// pss-lint: hot-path` annotation, and the `#[cfg(test)]`-exempt byte
+//! spans computed by [`exempt_spans`].
+
+use crate::classify::{FileClass, FileKind};
+use crate::diag::{rules as ids, Diagnostic};
+use crate::lexer::{is_keyword, TokKind, Token};
+
+/// Crates whose library code carries the exactness discipline: panic-freedom,
+/// audited narrowing, deterministic iteration.
+pub const EXACT_CRATES: &[&str] = &["dpss", "pss-core", "wordram", "randvar", "bignum"];
+
+/// Enums whose `match` coverage must stay exhaustive (adding a variant must
+/// break the build, not fall into a `_` arm).
+pub const WATCHED_ENUMS: &[&str] = &["Delta", "Replay", "StreamKind", "Op"];
+
+/// Cast targets that can silently truncate a wider word-RAM value.
+const LOSSY_CAST_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+
+/// Allocation constructors banned under `// pss-lint: hot-path`.
+/// `Method`: flagged as `.name(` or `.name::`; `PathNew`: flagged as
+/// `Type::name`; `Macro`: flagged as `name!`; `AnyUse`: flagged anywhere.
+const ALLOC_METHODS: &[&str] =
+    &["push", "to_vec", "to_string", "to_owned", "collect", "clone", "extend", "resize"];
+const ALLOC_PATHS: &[(&str, &str)] = &[
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("Vec", "from"),
+    ("Box", "new"),
+    ("Rc", "new"),
+    ("Arc", "new"),
+    ("String", "new"),
+    ("String", "from"),
+    ("String", "with_capacity"),
+    ("BTreeMap", "new"),
+    ("BTreeSet", "new"),
+    ("VecDeque", "new"),
+];
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Everything a rule needs to inspect one file.
+#[derive(Debug)]
+pub struct FileCtx<'s> {
+    /// Raw source.
+    pub src: &'s str,
+    /// Full token stream (comments included).
+    pub toks: &'s [Token],
+    /// Indices into `toks` of non-comment tokens.
+    pub sig: &'s [usize],
+    /// Classification of this file.
+    pub class: &'s FileClass,
+    /// Whether the file carries the hot-path annotation.
+    pub hot: bool,
+    /// Byte spans exempt from panic/index/cast/alloc/iteration rules
+    /// (`#[cfg(test)]`/`#[test]` items inside library files).
+    pub exempt: &'s [(usize, usize)],
+    /// Workspace-relative path label for diagnostics.
+    pub path: &'s str,
+}
+
+impl FileCtx<'_> {
+    fn tok(&self, sig_idx: usize) -> &Token {
+        &self.toks[self.sig[sig_idx]]
+    }
+
+    fn text(&self, sig_idx: usize) -> &str {
+        self.tok(sig_idx).text(self.src)
+    }
+
+    fn is_exempt(&self, sig_idx: usize) -> bool {
+        let p = self.tok(sig_idx).start;
+        self.exempt.iter().any(|&(a, b)| p >= a && p < b)
+    }
+
+    fn diag(&self, rule: &'static str, sig_idx: usize, message: String) -> Diagnostic {
+        let t = self.tok(sig_idx);
+        Diagnostic { rule, path: self.path.to_string(), line: t.line, col: t.col, message }
+    }
+
+    fn is_lib_of(&self, crates: &[&str]) -> bool {
+        self.class.kind == FileKind::Lib && crates.iter().any(|c| *c == self.class.crate_name)
+    }
+}
+
+/// Run every applicable rule on one file.
+pub fn run_all(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.is_lib_of(EXACT_CRATES) {
+        no_panic_paths(ctx, out);
+        no_bare_index(ctx, out);
+        no_lossy_cast(ctx, out);
+    }
+    if ctx.is_lib_of(&["dpss", "pss-core", "wordram", "randvar", "bignum", "baselines"]) {
+        deterministic_iteration(ctx, out);
+    }
+    if ctx.class.kind == FileKind::Lib && ctx.class.crate_name != "wordram" {
+        no_bare_shift(ctx, out);
+    }
+    if ctx.hot {
+        no_alloc_hot_path(ctx, out);
+    }
+    // Exhaustiveness matters in tests too: a `_` arm in a test would silently
+    // skip a new journal variant instead of failing to compile.
+    no_wildcard_delta(ctx, out);
+}
+
+/// Rule 1: `unwrap`/`expect` calls and panicking macros in library code.
+fn no_panic_paths(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for i in 0..ctx.sig.len() {
+        if ctx.tok(i).kind != TokKind::Ident || ctx.is_exempt(i) {
+            continue;
+        }
+        let name = ctx.text(i);
+        let flagged = match name {
+            // `.unwrap(` / `.expect(` — method position only, so local
+            // helpers that merely *mention* these names are not flagged.
+            "unwrap" | "expect" => {
+                i > 0
+                    && ctx.text(i - 1) == "."
+                    && ctx.sig.get(i + 1).is_some_and(|_| ctx.text(i + 1) == "(")
+            }
+            // Panicking macros.
+            "panic" | "unreachable" | "todo" | "unimplemented" => {
+                ctx.sig.get(i + 1).is_some_and(|_| ctx.text(i + 1) == "!")
+            }
+            _ => false,
+        };
+        if flagged {
+            let what = if name == "unwrap" || name == "expect" {
+                format!(".{name}() can panic")
+            } else {
+                format!("{name}! is a panic path")
+            };
+            out.push(ctx.diag(
+                ids::NO_PANIC_PATHS,
+                i,
+                format!("{what}; return an error, guard the call, or pragma with the invariant that makes it unreachable"),
+            ));
+        }
+    }
+}
+
+/// Rule 2: bare `expr[...]` indexing (panics on out-of-bounds).
+///
+/// Heuristic: a `[` whose previous significant token is an expression tail
+/// (non-keyword identifier, `)`, `]`, or `?`) opens an index expression.
+/// Array *types* (`[u64; 4]`), slice patterns, attributes (`#[...]`), and
+/// macro bracket args (`vec![...]`) all have non-expression predecessors.
+/// `x[..]` (full-range, cannot panic) is exempt.
+fn no_bare_index(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for i in 1..ctx.sig.len() {
+        if ctx.text(i) != "[" || ctx.is_exempt(i) {
+            continue;
+        }
+        let prev = ctx.tok(i - 1);
+        let prev_text = prev.text(ctx.src);
+        let expr_tail = match prev.kind {
+            TokKind::Ident => !is_keyword(prev_text),
+            TokKind::Punct => matches!(prev_text, ")" | "]" | "?"),
+            _ => false,
+        };
+        if !expr_tail {
+            continue;
+        }
+        // `x[..]` — RangeFull indexing never panics.
+        if ctx.sig.get(i + 1).is_some_and(|_| ctx.text(i + 1) == "..")
+            && ctx.sig.get(i + 2).is_some_and(|_| ctx.text(i + 2) == "]")
+        {
+            continue;
+        }
+        out.push(ctx.diag(
+            ids::NO_BARE_INDEX,
+            i,
+            format!(
+                "bare indexing after `{prev_text}` can panic; use get()/audited cursors, or pragma with the bound that holds"
+            ),
+        ));
+    }
+}
+
+/// Rule 3: shifts by a non-literal amount outside wordram's audited helpers.
+///
+/// A `<<`/`>>` is flagged when its left neighbour is an expression tail and
+/// its right neighbour is a non-literal operand — `x << 3` is statically
+/// auditable, `1u64 << t` is the PR 2 wrap-bug class. `Vec<Vec<u64>>` is not
+/// flagged: the token after the generic-closing `>>` is never an expression
+/// head. `<<=`/`>>=` are always expression context and flagged on any
+/// non-literal right-hand side.
+fn no_bare_shift(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for i in 0..ctx.sig.len() {
+        let t = ctx.tok(i);
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        let op = ctx.text(i);
+        let compound = matches!(op, "<<=" | ">>=");
+        if !compound && !matches!(op, "<<" | ">>") {
+            continue;
+        }
+        if ctx.is_exempt(i) {
+            continue;
+        }
+        let Some(next) = ctx.sig.get(i + 1).map(|_| ctx.tok(i + 1)) else { continue };
+        let next_text = next.text(ctx.src);
+        if next.kind == TokKind::Int {
+            continue; // literal shift amount: statically auditable
+        }
+        let next_is_operand = match next.kind {
+            TokKind::Ident => (!is_keyword(next_text) || next_text == "self") && next_text != "_",
+            TokKind::Punct => matches!(next_text, "(" | "*" | "!"),
+            _ => false,
+        };
+        if !next_is_operand {
+            continue;
+        }
+        // `collect::<Vec<T>>()` — a `>>` closing a turbofish is not a shift.
+        if op == ">>" && closes_turbofish(ctx, i) {
+            continue;
+        }
+        if !compound {
+            let prev_is_expr = i > 0
+                && match ctx.tok(i - 1).kind {
+                    TokKind::Ident => !is_keyword(ctx.text(i - 1)),
+                    TokKind::Int | TokKind::Float => true,
+                    TokKind::Punct => matches!(ctx.text(i - 1), ")" | "]"),
+                    _ => false,
+                };
+            if !prev_is_expr {
+                continue;
+            }
+        }
+        out.push(ctx.diag(
+            ids::NO_BARE_SHIFT,
+            i,
+            format!(
+                "`{op}` by a non-literal amount can wrap or panic (the slot_prob_num t>=60 bug class); use wordram's checked shift helpers"
+            ),
+        ));
+    }
+}
+
+/// Does the `>>` at sig index `i` close a turbofish (`::<...>>`)? Walks
+/// backwards balancing angle brackets; if the opening `<` matching our outer
+/// `>` is preceded by `::`, this is generics syntax, not a shift.
+fn closes_turbofish(ctx: &FileCtx<'_>, i: usize) -> bool {
+    let mut bal = 2i32; // the two unmatched `>`s of our `>>`
+    let mut k = i;
+    while k > 0 && i - k < 64 {
+        k -= 1;
+        match ctx.text(k) {
+            ">" => bal += 1,
+            ">>" => bal += 2,
+            "<" => {
+                bal -= 1;
+                // Either of our two `>`s may be closed by a `::<` opener; the
+                // inner `<` of `collect::<Vec<_>>` belongs to `Vec` and is
+                // passed over (bal 2 -> 1), the outer one hits `::` at bal 0.
+                if bal <= 1 && k > 0 && ctx.text(k - 1) == "::" {
+                    return true;
+                }
+                if bal <= 0 {
+                    return false;
+                }
+            }
+            "<<" => {
+                bal -= 2;
+                if bal <= 1 {
+                    return false; // `<<` never opens generics
+                }
+            }
+            ";" | "{" | "}" => return false,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Rule 4: `as` casts to a type that can truncate.
+fn no_lossy_cast(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for i in 0..ctx.sig.len().saturating_sub(1) {
+        if ctx.tok(i).kind != TokKind::Ident || ctx.text(i) != "as" || ctx.is_exempt(i) {
+            continue;
+        }
+        let target = ctx.text(i + 1);
+        if ctx.tok(i + 1).kind == TokKind::Ident && LOSSY_CAST_TARGETS.contains(&target) {
+            out.push(ctx.diag(
+                ids::NO_LOSSY_CAST,
+                i,
+                format!(
+                    "`as {target}` can truncate; use an audited narrowing helper or pragma with why the value fits"
+                ),
+            ));
+        }
+    }
+}
+
+/// Rule 5: allocation constructors in hot-path-annotated modules.
+fn no_alloc_hot_path(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for i in 0..ctx.sig.len() {
+        if ctx.tok(i).kind != TokKind::Ident || ctx.is_exempt(i) {
+            continue;
+        }
+        let name = ctx.text(i);
+        let next = ctx.sig.get(i + 1).map(|_| ctx.text(i + 1));
+        let prev = i.checked_sub(1).map(|p| ctx.text(p));
+        let hit = if ALLOC_MACROS.contains(&name) && next == Some("!") {
+            Some(format!("{name}! allocates"))
+        } else if ALLOC_METHODS.contains(&name)
+            && prev == Some(".")
+            && matches!(next, Some("(") | Some("::"))
+        {
+            Some(format!(".{name}() allocates (or is an owning-type method)"))
+        } else if next == Some("::")
+            && ctx.sig.get(i + 2).is_some() // path form `Type::ctor`
+            && ALLOC_PATHS.iter().any(|(ty, ctor)| *ty == name && *ctor == ctx.text(i + 2))
+        {
+            Some(format!("{}::{} allocates", name, ctx.text(i + 2)))
+        } else {
+            None
+        };
+        if let Some(what) = hit {
+            out.push(ctx.diag(
+                ids::NO_ALLOC_HOT_PATH,
+                i,
+                format!(
+                    "{what} inside a hot-path module; steady-state update/query code must reuse arena/pool storage (pragma sanctioned cold paths)"
+                ),
+            ));
+        }
+    }
+}
+
+/// Rule 6: `_` wildcard arms in matches over the watched enums.
+fn no_wildcard_delta(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for i in 0..ctx.sig.len() {
+        if ctx.tok(i).kind != TokKind::Ident || ctx.text(i) != "match" {
+            continue;
+        }
+        // `match` as a path segment (`Foo::match`?) is impossible; raw ident
+        // `r#match` lexes separately. Find the body `{` at depth 0 relative
+        // to the scrutinee (parens/brackets may nest; bare struct literals
+        // cannot appear in scrutinee position).
+        let mut depth = 0i32;
+        let mut body_start = None;
+        for j in i + 1..ctx.sig.len() {
+            match ctx.text(j) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => {
+                    body_start = Some(j);
+                    break;
+                }
+                ";" if depth == 0 => break, // not a match expression after all
+                _ => {}
+            }
+        }
+        let Some(body) = body_start else { continue };
+        // Walk the body, collecting arm patterns at depth 0.
+        let mut arms: Vec<(usize, usize)> = Vec::new(); // sig ranges of patterns
+        let mut depth = 0i32;
+        let mut pat_start = body + 1;
+        let mut j = body + 1;
+        let mut body_end = ctx.sig.len();
+        while j < ctx.sig.len() {
+            let txt = ctx.text(j);
+            match txt {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "}" => {
+                    if depth == 0 {
+                        body_end = j;
+                        break;
+                    }
+                    // Closing a struct-pattern brace inside an arm pattern.
+                    depth -= 1;
+                }
+                "=>" if depth == 0 => {
+                    arms.push((pat_start, j));
+                    // Skip the arm expression: block arms end at their `}`,
+                    // expression arms at a depth-0 `,`.
+                    let mut k = j + 1;
+                    let block_arm = k < ctx.sig.len() && ctx.text(k) == "{";
+                    let mut edepth = 0i32;
+                    while k < ctx.sig.len() {
+                        match ctx.text(k) {
+                            "(" | "[" | "{" => edepth += 1,
+                            ")" | "]" => edepth -= 1,
+                            "}" => {
+                                edepth -= 1;
+                                if block_arm && edepth == 0 {
+                                    k += 1;
+                                    break;
+                                }
+                                if edepth < 0 {
+                                    break; // body `}`
+                                }
+                            }
+                            "," if edepth == 0 => {
+                                k += 1;
+                                break;
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    // A block arm's optional trailing `,`.
+                    if k < ctx.sig.len() && ctx.text(k) == "," {
+                        k += 1;
+                    }
+                    pat_start = k;
+                    j = k;
+                    continue;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        // Is any arm pattern a watched-enum variant path?
+        let watched = arms.iter().any(|&(a, b)| {
+            (a..b).any(|k| {
+                ctx.tok(k).kind == TokKind::Ident
+                    && WATCHED_ENUMS.contains(&ctx.text(k))
+                    && k + 1 < b
+                    && ctx.text(k + 1) == "::"
+            })
+        });
+        if !watched {
+            continue;
+        }
+        let enum_names: Vec<&str> = WATCHED_ENUMS
+            .iter()
+            .copied()
+            .filter(|e| {
+                (body..body_end).any(|k| ctx.tok(k).kind == TokKind::Ident && ctx.text(k) == *e)
+            })
+            .collect();
+        // Flag `_` alternatives at the top level of any arm pattern.
+        for &(a, b) in &arms {
+            // Split the pattern (before a depth-0 `if` guard) on depth-0 `|`.
+            let mut depth = 0i32;
+            let mut alt_start = a;
+            let mut alts: Vec<(usize, usize)> = Vec::new();
+            let mut end = b;
+            for k in a..b {
+                match ctx.text(k) {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "|" if depth == 0 => {
+                        alts.push((alt_start, k));
+                        alt_start = k + 1;
+                    }
+                    "if" if depth == 0 && ctx.tok(k).kind == TokKind::Ident => {
+                        end = k;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            alts.push((alt_start, end));
+            for (s, e) in alts {
+                if e == s + 1 && ctx.text(s) == "_" {
+                    out.push(ctx.diag(
+                        ids::NO_WILDCARD_DELTA,
+                        s,
+                        format!(
+                            "`_` arm in a match over {} hides future variants; list every variant so additions fail loudly at compile time",
+                            enum_names.join("/")
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Rule 7: `HashMap`/`HashSet` anywhere a sample can observe iteration order.
+fn deterministic_iteration(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for i in 0..ctx.sig.len() {
+        if ctx.tok(i).kind != TokKind::Ident || ctx.is_exempt(i) {
+            continue;
+        }
+        let name = ctx.text(i);
+        if name == "HashMap" || name == "HashSet" {
+            out.push(ctx.diag(
+                ids::DETERMINISTIC_ITERATION,
+                i,
+                format!(
+                    "{name} iteration order is nondeterministic and can leak into sample distributions; use BTreeMap/BTreeSet or a sorted structure"
+                ),
+            ));
+        }
+    }
+}
+
+/// Byte spans of items gated to test builds: any item whose attributes
+/// contain the identifier `test` (`#[test]`, `#[cfg(test)]`,
+/// `#[cfg(any(test, …))]`). The span runs from the attribute's `#` to the
+/// item's closing `}` or `;`.
+pub fn exempt_spans(src: &str, toks: &[Token], sig: &[usize]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let text = |k: usize| toks[sig[k]].text(src);
+    let mut i = 0usize;
+    while i < sig.len() {
+        if !(text(i) == "#" && i + 1 < sig.len() && text(i + 1) == "[") {
+            i += 1;
+            continue;
+        }
+        let attr_start_byte = toks[sig[i]].start;
+        // Scan the attribute `[...]`.
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let mut has_test = false;
+        while j < sig.len() {
+            match text(j) {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                t if toks[sig[j]].kind == TokKind::Ident && t == "test" => {
+                    // `#[cfg(not(test))]` gates *non*-test code.
+                    let negated = j >= 2 && text(j - 1) == "(" && text(j - 2) == "not";
+                    if !negated {
+                        has_test = true;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if !has_test {
+            i = j + 1;
+            continue;
+        }
+        // Skip any further attributes, then find the item's end: the first
+        // depth-0 `;`, or the close of the first depth-0 `{…}` block that
+        // isn't part of an initializer expression (no `=` seen before it).
+        let mut k = j + 1;
+        while k + 1 < sig.len() && text(k) == "#" && text(k + 1) == "[" {
+            let mut d = 0i32;
+            while k < sig.len() {
+                match text(k) {
+                    "[" => d += 1,
+                    "]" => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        let mut d = 0i32;
+        let mut eq_seen = false;
+        let mut end_byte = src.len();
+        while k < sig.len() {
+            match text(k) {
+                "(" | "[" => d += 1,
+                ")" | "]" => d -= 1,
+                "=" if d == 0 => eq_seen = true,
+                ";" if d == 0 => {
+                    end_byte = toks[sig[k]].end;
+                    break;
+                }
+                "{" => {
+                    if d == 0 && !eq_seen {
+                        // Item body: skip to the matching `}`.
+                        let mut bd = 0i32;
+                        while k < sig.len() {
+                            match text(k) {
+                                "(" | "[" | "{" => bd += 1,
+                                ")" | "]" => bd -= 1,
+                                "}" => {
+                                    bd -= 1;
+                                    if bd == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                        end_byte = toks.get(sig[k.min(sig.len() - 1)]).map_or(src.len(), |t| t.end);
+                        break;
+                    }
+                    d += 1;
+                }
+                "}" => d -= 1,
+                _ => {}
+            }
+            k += 1;
+        }
+        spans.push((attr_start_byte, end_byte));
+        i = k + 1;
+    }
+    spans
+}

@@ -1,0 +1,13 @@
+//! Hot-path fixture: the marker below opts this file into
+//! `no-alloc-hot-path`; one alloc is bare (flagged), one is pragma'd.
+
+// pss-lint: hot-path — fixture: steady-state code, allocation is budget-breaking
+
+pub fn bare_alloc(n: usize) -> Vec<u64> {
+    vec![0u64; n] // line 7: no-alloc-hot-path
+}
+
+pub fn sanctioned_alloc() -> Vec<u64> {
+    // pss-lint: allow(no-alloc-hot-path) — cold path: runs once at construction
+    Vec::new()
+}

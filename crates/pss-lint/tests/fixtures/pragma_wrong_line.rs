@@ -1,0 +1,10 @@
+//! A standalone pragma covers the NEXT code line. Here an unrelated
+//! statement sits between the pragma and the violation, so the pragma
+//! suppresses nothing: the violation is still reported AND the pragma is
+//! flagged unused.
+
+pub fn misplaced(x: Option<u32>) -> u32 {
+    // pss-lint: allow(no-panic-paths) — attached to the wrong line
+    let y = x; // line 8: the pragma covers this clean line
+    y.unwrap() // line 9: no-panic-paths (not suppressed)
+}

@@ -1,0 +1,54 @@
+//! Lexer stress fixture: everything here LOOKS like a violation to a naive
+//! regex scanner but is comment/string/type context. Expected diagnostics:
+//! none.
+
+/* A block comment mentioning x.unwrap() and panic!("boom").
+   /* Nested block comment — still comment: y[i], 1u64 << t, HashMap. */
+   Still inside the outer comment after the nested one closes. */
+
+// Line comment: .unwrap() and v[idx] and x as u32 are not code here.
+
+pub fn raw_strings_are_opaque() -> &'static str {
+    let s = r#"calling .unwrap() inside a raw string, plus v[i] and panic!"#;
+    let t = r##"outer r## form: "quoted" .expect("nope") and 1 << n"##;
+    let u = "escaped quote \" then .unwrap() still inside the string";
+    let b = b"byte string with .unwrap() bytes";
+    let _ = (t, u, b);
+    s
+}
+
+pub fn char_and_lifetime_soup<'a>(x: &'a [u64; 4]) -> (char, &'a u64) {
+    let q = '"'; // a double-quote char literal must not open a string
+    let esc = '\''; // escaped single quote
+    let first = x.first().unwrap_or(&0); // unwrap_or is not unwrap
+    (if q == esc { 'y' } else { 'n' }, first)
+}
+
+pub fn non_index_brackets(n: usize) -> Vec<u64> {
+    // vec! macro brackets, array types, array repeat literals, slice
+    // patterns, and full-range indexing are all non-panicking bracket forms.
+    let v: [u64; 3] = [1, 2, 3];
+    let [a, _b, _c] = v;
+    let w = vec![a; n];
+    let all = &w[..];
+    all.to_vec()
+}
+
+pub fn generics_not_shifts(xs: &[u64]) -> Vec<Vec<u64>> {
+    // `Vec<Vec<u64>>` ends in `>>` and `collect::<Vec<_>>()` nests a
+    // turbofish — neither is a shift expression.
+    let inner: Vec<u64> = xs.iter().copied().collect::<Vec<_>>();
+    let mut out: Vec<Vec<u64>> = Vec::new();
+    out.push(inner);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    // Test-gated code is exempt from the panic/index/cast rules.
+    #[test]
+    fn exempt() {
+        let v = vec![1u64, 2];
+        assert_eq!(v[0], v.first().copied().unwrap());
+    }
+}

@@ -1,0 +1,18 @@
+//! Pragma hygiene: suppressions must not rot. An `allow` that suppressed
+//! nothing is an `unused-pragma` error; an unknown rule name or a missing
+//! reason is a `bad-pragma` error.
+
+pub fn clean() -> u32 {
+    // pss-lint: allow(no-bare-shift) — stale: the shift was refactored away (line 6: unused-pragma)
+    7
+}
+
+pub fn typo() -> u32 {
+    // pss-lint: allow(no-bear-index) — misspelled rule name (line 11: bad-pragma)
+    8
+}
+
+pub fn unreasoned(x: Option<u32>) -> u32 {
+    // pss-lint: allow(no-panic-paths) (line 16: bad-pragma, missing reason)
+    x.unwrap_or(0)
+}

@@ -1,0 +1,31 @@
+//! One violation per rule, at a line number the golden test pins down.
+//! Keep line positions stable: the golden expectations name them.
+
+use std::collections::HashMap; // line 4: deterministic-iteration
+
+pub fn panics(x: Option<u32>) -> u32 {
+    x.unwrap() // line 7: no-panic-paths
+}
+
+pub fn aborts() -> ! {
+    panic!("boom") // line 11: no-panic-paths
+}
+
+pub fn indexes(v: &[u64], i: usize) -> u64 {
+    v[i] // line 15: no-bare-index
+}
+
+pub fn shifts(t: u32) -> u64 {
+    1u64 << t // line 19: no-bare-shift
+}
+
+pub fn casts(x: u64) -> u32 {
+    x as u32 // line 23: no-lossy-cast
+}
+
+pub fn wildcards(d: &Delta) -> u32 {
+    match d {
+        Delta::Inserted { .. } => 1,
+        _ => 0, // line 29: no-wildcard-delta
+    }
+}

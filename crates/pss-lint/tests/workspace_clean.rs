@@ -1,0 +1,45 @@
+//! The workspace must lint clean: `cargo test` fails on any new violation,
+//! independent of whether CI runs the dedicated pss-lint job.
+
+// Instant sanctioned: this test IS the lint-runtime bench guard.
+#![allow(clippy::disallowed_types)]
+
+use pss_lint::{lint_workspace, META_RULES, RULES};
+use std::path::PathBuf;
+use std::time::Instant;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let t0 = Instant::now();
+    let report = lint_workspace(&root).expect("workspace scan");
+    let elapsed = t0.elapsed();
+
+    assert!(
+        report.files_scanned >= 50,
+        "scan looks truncated: only {} files (wrong root?)",
+        report.files_scanned
+    );
+    assert!(RULES.len() >= 6, "rule set shrank to {}", RULES.len());
+    assert!(!META_RULES.is_empty(), "pragma hygiene meta-rules missing");
+
+    if !report.diagnostics.is_empty() {
+        let mut msg = String::new();
+        for d in &report.diagnostics {
+            msg.push_str(&format!("{}:{}:{}: [{}] {}\n", d.path, d.line, d.col, d.rule, d.message));
+        }
+        panic!(
+            "workspace has {} lint violation(s) — fix them or add a reasoned \
+             `// pss-lint: allow(<rule>) — <why>` pragma:\n{msg}",
+            report.diagnostics.len()
+        );
+    }
+
+    // Bench guard: the full-workspace scan stays interactive. The release
+    // binary runs in ~0.1 s; even an unoptimized test build gets 5 s.
+    assert!(
+        elapsed.as_millis() < 5000,
+        "workspace scan took {} ms (budget 5000 ms)",
+        elapsed.as_millis()
+    );
+}

@@ -20,6 +20,7 @@ use crate::lazy::{ber_oracle, ber_oracle_from_word};
 use crate::oracles::PowOneMinusOracle;
 use bignum::{BigUint, Ratio};
 use rand::RngCore;
+use wordram::bits;
 
 /// Certified `f64` bracket of `(1−p)^k` for `p ∈ [0, 1]`: directed-rounded
 /// square-and-multiply on the bracket of `1−p`, a few ulps wide. This is the
@@ -91,7 +92,7 @@ pub fn bgeo<R: RngCore>(rng: &mut R, p: &Ratio, n: u64) -> u64 {
     let s_p = (-p.floor_log2()).max(0) as u64; // ⌈log2(1/p)⌉ = −⌊log2 p⌋ ≥ 0
     let s_n = 64 - (n - 1).leading_zeros() as u64; // ⌈log2 n⌉ for n ≥ 1
     let s = s_p.min(s_n).min(62);
-    let t: u64 = 1 << s;
+    let t: u64 = bits::pow2_64(s);
 
     let mut blocks_done: u64 = 0; // number of fully-failed blocks
     loop {

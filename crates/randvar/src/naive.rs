@@ -14,6 +14,7 @@
 use bignum::Ratio;
 use rand::Rng;
 use rand::RngCore;
+use wordram::narrow;
 
 use crate::bernoulli::ber_rational;
 
@@ -57,7 +58,7 @@ pub fn tgeo_inversion_f64<R: RngCore>(rng: &mut R, p_f: f64, n: u64) -> u64 {
         // uniform (documented failure mode of the f64 shortcut).
         return rng.gen_range(1..=n);
     }
-    let tail = 1.0 - q.powi(n.min(i32::MAX as u64) as i32);
+    let tail = 1.0 - q.powi(narrow::i32_of_u64(n.min(i32::MAX as u64)));
     let u: f64 = rng.gen::<f64>() * tail;
     let i = 1 + ((1.0 - u).ln() / q.ln()).floor() as i64;
     (i.max(1) as u64).min(n)

@@ -38,7 +38,7 @@ impl<R: RngCore> CountingRng<R> {
 
 impl<R: RngCore> RngCore for CountingRng<R> {
     fn next_u32(&mut self) -> u32 {
-        self.next_u64() as u32
+        wordram::narrow::lo32(self.next_u64())
     }
 
     fn next_u64(&mut self) -> u64 {
@@ -90,7 +90,7 @@ pub fn uniform_below_u128<R: RngCore>(rng: &mut R, n: u128) -> u128 {
         if bits > 64 {
             v |= (rng.next_u64() as u128) << 64;
         }
-        v &= if bits == 128 { u128::MAX } else { (1u128 << bits) - 1 };
+        v &= wordram::bits::low_mask128(u64::from(bits));
         if v < n {
             return v;
         }

@@ -88,7 +88,7 @@ pub fn binomial_z(hits: u64, trials: u64, p: f64) -> f64 {
 pub fn ks_statistic(samples: &[f64], cdf: impl Fn(f64) -> f64) -> f64 {
     assert!(!samples.is_empty(), "KS needs at least one sample");
     let mut s = samples.to_vec();
-    s.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    s.sort_by(|a, b| a.total_cmp(b));
     let n = s.len() as f64;
     let mut d = 0.0f64;
     for (i, &x) in s.iter().enumerate() {
@@ -147,6 +147,7 @@ pub fn ln_gamma(x: f64) -> f64 {
         return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
     }
     let x = x - 1.0;
+    // pss-lint: allow(no-bare-index) — C is a non-empty const coefficient table
     let mut a = C[0];
     let t = x + G + 0.5;
     for (i, &c) in C.iter().enumerate().skip(1) {

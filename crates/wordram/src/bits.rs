@@ -58,6 +58,109 @@ pub fn highest_set_bit(v: u64) -> Option<u32> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Audited shifts.
+//
+// Rust's `<<`/`>>` panic in debug and wrap the shift *amount* in release when
+// it reaches the word width — the bug class behind the historical
+// `slot_prob_num` t ≥ 60 incident. The helpers below are total: in range they
+// are the plain shift, past the word width they return the mathematically
+// consistent limit (0 for left shifts mod 2^w and for right shifts, the full
+// mask for `low_mask64`). `pss-lint`'s `no-bare-shift` rule steers every
+// non-literal shift in the workspace through this module.
+// ---------------------------------------------------------------------------
+
+/// `x << s` over `u64`, total: returns `x·2^s mod 2^64`, which is 0 once
+/// `s ≥ 64`.
+#[inline]
+pub fn shl64(x: u64, s: u64) -> u64 {
+    if s >= 64 {
+        0
+    } else {
+        x << s
+    }
+}
+
+/// `⌊x / 2^s⌋` over `u64`, total: 0 once `s ≥ 64`.
+#[inline]
+pub fn shr64(x: u64, s: u64) -> u64 {
+    if s >= 64 {
+        0
+    } else {
+        x >> s
+    }
+}
+
+/// `x << s` over `u128`, total (`x·2^s mod 2^128`).
+#[inline]
+pub fn shl128(x: u128, s: u64) -> u128 {
+    if s >= 128 {
+        0
+    } else {
+        x << s
+    }
+}
+
+/// `⌊x / 2^s⌋` over `u128`, total.
+#[inline]
+pub fn shr128(x: u128, s: u64) -> u128 {
+    if s >= 128 {
+        0
+    } else {
+        x >> s
+    }
+}
+
+/// `2^k` as `u64`. Callers promise `k < 64`; the debug assertion catches a
+/// violation in tests, release builds degrade to the exact mod-2^64 value (0)
+/// instead of panicking mid-query.
+#[inline]
+pub fn pow2_64(k: u64) -> u64 {
+    debug_assert!(k < 64, "pow2_64: exponent {k} out of range");
+    shl64(1, k)
+}
+
+/// `2^k` as `u128`. Callers promise `k < 128`.
+#[inline]
+pub fn pow2_128(k: u64) -> u128 {
+    debug_assert!(k < 128, "pow2_128: exponent {k} out of range");
+    shl128(1, k)
+}
+
+/// `2^k` as `usize`. Callers promise the value fits the platform word.
+#[inline]
+pub fn pow2_usize(k: u64) -> usize {
+    debug_assert!(k < usize::BITS as u64, "pow2_usize: exponent {k} out of range");
+    shl64(1, k) as usize
+}
+
+/// The low-`k`-bit mask `2^k - 1`, total: all ones once `k ≥ 64`.
+#[inline]
+pub fn low_mask64(k: u64) -> u64 {
+    if k >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << k) - 1
+    }
+}
+
+/// The low-`k`-bit mask `2^k - 1` over `u128`, total: all ones once
+/// `k ≥ 128`.
+#[inline]
+pub fn low_mask128(k: u64) -> u128 {
+    if k >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << k) - 1
+    }
+}
+
+/// Bit `i` of `x` (little-endian; false past the word width).
+#[inline]
+pub fn bit64(x: u64, i: u64) -> bool {
+    shr64(x, i) & 1 == 1
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,5 +198,37 @@ mod tests {
     #[should_panic]
     fn log2_zero_panics() {
         floor_log2_u64(0);
+    }
+
+    #[test]
+    fn audited_shifts_are_total() {
+        assert_eq!(shl64(3, 2), 12);
+        assert_eq!(shl64(1, 63), 1 << 63);
+        assert_eq!(shl64(u64::MAX, 64), 0);
+        assert_eq!(shl64(5, 1000), 0);
+        assert_eq!(shr64(12, 2), 3);
+        assert_eq!(shr64(u64::MAX, 64), 0);
+        assert_eq!(shl128(1, 127), 1 << 127);
+        assert_eq!(shl128(1, 128), 0);
+        assert_eq!(shr128(u128::MAX, 128), 0);
+        assert_eq!(shr128(1 << 100, 99), 2);
+    }
+
+    #[test]
+    fn pow2_and_masks() {
+        assert_eq!(pow2_64(0), 1);
+        assert_eq!(pow2_64(63), 1 << 63);
+        assert_eq!(pow2_128(100), 1 << 100);
+        assert_eq!(pow2_usize(10), 1024);
+        assert_eq!(low_mask64(0), 0);
+        assert_eq!(low_mask64(3), 0b111);
+        assert_eq!(low_mask64(64), u64::MAX);
+        assert_eq!(low_mask64(200), u64::MAX);
+        assert_eq!(low_mask128(0), 0);
+        assert_eq!(low_mask128(64), u64::MAX as u128);
+        assert_eq!(low_mask128(128), u128::MAX);
+        assert!(bit64(0b1010, 1));
+        assert!(!bit64(0b1010, 2));
+        assert!(!bit64(u64::MAX, 64));
     }
 }

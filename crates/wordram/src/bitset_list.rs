@@ -9,6 +9,8 @@
 //! Every operation is a constant number of word instructions for any universe
 //! up to 64·64 = 4096 — the Word RAM assumption made concrete.
 
+// pss-lint: allow-file(no-bare-index) — word indices derive from the summary hierarchy, which mirrors words.len() by construction
+
 use crate::bits::{highest_set_bit, lowest_set_bit};
 
 /// Dynamic sorted integer set over the universe `{0, …, universe−1}`,
@@ -115,6 +117,7 @@ impl BitsetList {
         }
         let higher = if w + 1 >= 64 { 0 } else { self.summary & (u64::MAX << (w + 1)) };
         let hw = lowest_set_bit(higher)? as usize;
+        // pss-lint: allow(no-panic-paths) — hw came from the non-zero summary word, and the hierarchy invariant makes words[hw] non-zero
         Some(hw * 64 + lowest_set_bit(self.words[hw]).unwrap() as usize)
     }
 
@@ -135,18 +138,21 @@ impl BitsetList {
         }
         let lower = if w == 0 { 0 } else { self.summary & ((1u64 << w) - 1) };
         let lw = highest_set_bit(lower)? as usize;
+        // pss-lint: allow(no-panic-paths) — lw came from the non-zero summary word, and the hierarchy invariant makes words[lw] non-zero
         Some(lw * 64 + highest_set_bit(self.words[lw]).unwrap() as usize)
     }
 
     /// Smallest stored integer.
     pub fn min(&self) -> Option<usize> {
         let w = lowest_set_bit(self.summary)? as usize;
+        // pss-lint: allow(no-panic-paths) — w was selected by a set summary bit, so words[w] is non-zero by the hierarchy invariant
         Some(w * 64 + lowest_set_bit(self.words[w]).unwrap() as usize)
     }
 
     /// Largest stored integer.
     pub fn max(&self) -> Option<usize> {
         let w = highest_set_bit(self.summary)? as usize;
+        // pss-lint: allow(no-panic-paths) — w was selected by a set summary bit, so words[w] is non-zero by the hierarchy invariant
         Some(w * 64 + highest_set_bit(self.words[w]).unwrap() as usize)
     }
 

@@ -20,6 +20,7 @@
 
 pub mod bits;
 mod bitset_list;
+pub mod narrow;
 mod pool;
 mod u256;
 

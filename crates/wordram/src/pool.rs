@@ -22,7 +22,11 @@
 //! so the space accounting matches the previous per-bucket-`Vec` layout's
 //! high-water capacities word for word.
 
+// pss-lint: allow-file(no-bare-index) — arena offsets and slot indices are allocated by this module and audited by BucketArena::audit; get() chains would obscure the O(1) fill-cursor arithmetic
+
 use crate::SpaceUsage;
+// pss-lint: hot-path — pool/arena ops back the allocation-free cascade; only growth paths may allocate
+use crate::narrow;
 
 /// Sentinel class marking a [`Bucket`] that owns no block yet.
 const NO_CLASS: u8 = u8::MAX;
@@ -129,7 +133,9 @@ impl<T: Copy> BucketArena<T> {
     /// is never observable through the `Bucket` API).
     pub fn new(fill: T) -> Self {
         BucketArena {
+            // pss-lint: allow(no-alloc-hot-path) — one-time construction, not the steady-state cascade
             data: Vec::new(),
+            // pss-lint: allow(no-alloc-hot-path) — one-time construction, not the steady-state cascade
             free: vec![Vec::new(); (MAX_CLASS + 1) as usize],
             fill,
             plan_cursor: 0,
@@ -165,6 +171,7 @@ impl<T: Copy> BucketArena<T> {
         self.reset();
         let total: usize = caps.filter(|&c| c > 0).map(|c| 1usize << class_for(c)).sum();
         assert!(total <= u32::MAX as usize, "bucket arena exhausted");
+        // pss-lint: allow(no-alloc-hot-path) — bulk-plan resize; runs once per rebuild, amortized
         self.data.resize(total, self.fill);
     }
 
@@ -177,7 +184,7 @@ impl<T: Copy> BucketArena<T> {
         let off = self.plan_cursor;
         self.plan_cursor += 1usize << class;
         assert!(self.plan_cursor <= self.data.len(), "carve beyond the planned region");
-        *b = Bucket { off: off as u32, len: 0, class };
+        *b = Bucket { off: narrow::u32_of_usize(off), len: 0, class };
     }
 
     /// Offsets of the free blocks of every class (audit hook).
@@ -195,8 +202,9 @@ impl<T: Copy> BucketArena<T> {
         }
         let off = self.data.len();
         assert!(off + (1usize << class) <= u32::MAX as usize, "bucket arena exhausted");
+        // pss-lint: allow(no-alloc-hot-path) — tail growth toward the arena high-water mark; steady state is satisfied from the free lists
         self.data.resize(off + (1usize << class), self.fill);
-        off as u32
+        narrow::u32_of_usize(off)
     }
 
     /// Appends `v` to `b`, growing the bucket to the next size class when
@@ -211,6 +219,7 @@ impl<T: Copy> BucketArena<T> {
             assert!(class <= MAX_CLASS, "bucket exceeds 2^31 elements");
             let off = self.alloc_block(class);
             self.data.copy_within(b.off as usize..(b.off + b.len) as usize, off as usize);
+            // pss-lint: allow(no-alloc-hot-path) — free-list push; capacity is retained across cycles and bounded by the high-water mark
             self.free[b.class as usize].push(b.off);
             b.off = off;
             b.class = class;
@@ -231,6 +240,7 @@ impl<T: Copy> BucketArena<T> {
         let off = self.alloc_block(class);
         if b.class != NO_CLASS {
             self.data.copy_within(b.off as usize..(b.off + b.len) as usize, off as usize);
+            // pss-lint: allow(no-alloc-hot-path) — free-list push; capacity is retained across cycles and bounded by the high-water mark
             self.free[b.class as usize].push(b.off);
         }
         b.off = off;
@@ -251,6 +261,7 @@ impl<T: Copy> BucketArena<T> {
             assert!(class <= MAX_CLASS, "bucket exceeds 2^31 elements");
             let off = self.alloc_block(class);
             self.data.copy_within(b.off as usize..(b.off + b.len) as usize, off as usize);
+            // pss-lint: allow(no-alloc-hot-path) — free-list push; capacity is retained across cycles and bounded by the high-water mark
             self.free[b.class as usize].push(b.off);
             b.off = off;
             b.class = class;
@@ -335,6 +346,7 @@ impl<T: Copy> BucketArena<T> {
     /// Returns the bucket's block to the free list and resets the handle.
     pub fn release(&mut self, b: &mut Bucket) {
         if b.class != NO_CLASS {
+            // pss-lint: allow(no-alloc-hot-path) — free-list push; capacity is retained across cycles and bounded by the high-water mark
             self.free[b.class as usize].push(b.off);
         }
         *b = Bucket::EMPTY;
@@ -345,26 +357,32 @@ impl<T: Copy> BucketArena<T> {
     /// together they must tile the carved region exactly. O(blocks log
     /// blocks); test/debug hook.
     pub fn audit(&self, live: impl Iterator<Item = Bucket>) -> Result<(), String> {
+        // pss-lint: allow(no-alloc-hot-path) — audit() is an O(capacity) test/debug hook, never on the update path
         let mut blocks: Vec<(u32, usize, bool)> = Vec::new();
         for b in live {
             if b.len as usize > b.capacity() {
+                // pss-lint: allow(no-alloc-hot-path) — audit() is an O(capacity) test/debug hook, never on the update path
                 return Err(format!("bucket len {} exceeds capacity {}", b.len, b.capacity()));
             }
             if let Some((off, size)) = b.block() {
+                // pss-lint: allow(no-alloc-hot-path) — audit() is an O(capacity) test/debug hook, never on the update path
                 blocks.push((off, size, true));
             }
         }
+        // pss-lint: allow(no-alloc-hot-path) — audit() is an O(capacity) test/debug hook, never on the update path
         blocks.extend(self.free_blocks().map(|(off, size)| (off, size, false)));
         blocks.sort_unstable();
         let mut expect = 0usize;
         for &(off, size, live) in &blocks {
             let kind = if live { "live" } else { "free" };
             if (off as usize) != expect {
+                // pss-lint: allow(no-alloc-hot-path) — audit() is an O(capacity) test/debug hook, never on the update path
                 return Err(format!("{kind} block at {off} expected at {expect} (overlap/gap)"));
             }
             expect += size;
         }
         if expect != self.data.len() {
+            // pss-lint: allow(no-alloc-hot-path) — audit() is an O(capacity) test/debug hook, never on the update path
             return Err(format!("blocks tile {expect} of {} carved elements", self.data.len()));
         }
         Ok(())
@@ -397,6 +415,7 @@ pub struct Pool<T> {
 impl<T> Pool<T> {
     /// Creates an empty pool.
     pub fn new() -> Self {
+        // pss-lint: allow(no-alloc-hot-path) — one-time construction, not the steady-state cascade
         Pool { slots: Vec::new(), free: Vec::new() }
     }
 
@@ -425,8 +444,9 @@ impl<T> Pool<T> {
         }
         let idx = self.slots.len();
         assert!(idx < u32::MAX as usize, "pool index space exhausted");
+        // pss-lint: allow(no-alloc-hot-path) — fresh-slot push only while the pool grows toward its high-water mark; steady state pops the free list
         self.slots.push(make());
-        idx as u32
+        narrow::u32_of_usize(idx)
     }
 
     /// Returns a slot to the free list. The caller must drop every index to
@@ -435,6 +455,7 @@ impl<T> Pool<T> {
     pub fn free(&mut self, idx: u32) {
         debug_assert!((idx as usize) < self.slots.len());
         debug_assert!(!self.free.contains(&idx), "double free of pool slot {idx}");
+        // pss-lint: allow(no-alloc-hot-path) — free-list push; capacity is retained across cycles and bounded by the high-water mark
         self.free.push(idx);
     }
 
@@ -443,7 +464,8 @@ impl<T> Pool<T> {
     /// its own previous nodes without touching the global allocator.
     pub fn free_all(&mut self) {
         self.free.clear();
-        self.free.extend(0..self.slots.len() as u32);
+        // pss-lint: allow(no-alloc-hot-path) — rebuild-only path, amortized against the updates that triggered it
+        self.free.extend(0..narrow::u32_of_usize(self.slots.len()));
     }
 
     /// Shared access to a slot.
@@ -467,12 +489,15 @@ impl<T> Pool<T> {
     /// Verifies free-list sanity: indices in bounds, no duplicates.
     /// O(slots); test/debug hook.
     pub fn audit(&self) -> Result<(), String> {
+        // pss-lint: allow(no-alloc-hot-path) — audit() is an O(capacity) test/debug hook, never on the update path
         let mut seen = vec![false; self.slots.len()];
         for &idx in &self.free {
             let slot = seen
                 .get_mut(idx as usize)
+                // pss-lint: allow(no-alloc-hot-path) — audit() is an O(capacity) test/debug hook, never on the update path
                 .ok_or_else(|| format!("free index {idx} beyond {} slots", self.slots.len()))?;
             if *slot {
+                // pss-lint: allow(no-alloc-hot-path) — audit() is an O(capacity) test/debug hook, never on the update path
                 return Err(format!("free index {idx} listed twice"));
             }
             *slot = true;

@@ -5,6 +5,9 @@
 //! and level-3 items reach ≈ `2^140`. A fixed four-limb integer keeps them
 //! `Copy` and O(1)-word, per the Word RAM model.
 
+// pss-lint: allow-file(no-bare-index) — the limb array is a fixed [u64; 4] indexed by constants and values masked to < 4
+
+use crate::narrow;
 use bignum::BigUint;
 use std::cmp::Ordering;
 use std::fmt;
@@ -89,7 +92,7 @@ impl U256 {
     pub fn bit_len(&self) -> u32 {
         for i in (0..4).rev() {
             if self.0[i] != 0 {
-                return i as u32 * 64 + 64 - self.0[i].leading_zeros();
+                return narrow::u32_of_usize(i) * 64 + 64 - self.0[i].leading_zeros();
             }
         }
         0

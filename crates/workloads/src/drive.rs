@@ -14,6 +14,9 @@
 //! one driver invocation is deterministic in `(stream, ctx seed)` for every
 //! backend.
 
+// Wall-clock timing is sanctioned here: this is measurement/driver code, not serving-path library code.
+#![allow(clippy::disallowed_types)]
+
 use crate::updates::{scale_weight, LiveSet, Op, UpdateStream};
 use bignum::Ratio;
 use pss_core::{Handle, PssBackend, QueryCtx};

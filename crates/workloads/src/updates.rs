@@ -10,6 +10,9 @@
 //! set in insertion order ([`Op::DeleteAt`]), which every backend can resolve
 //! in O(1) with a `Vec` + swap-remove mirror (see [`LiveSet`]).
 
+// HashMap/HashSet sanctioned: test-side bookkeeping only; no iteration order reaches an assertion or a sample.
+#![allow(clippy::disallowed_types)]
+
 use crate::weights::WeightDist;
 use rand::Rng;
 use rand::RngCore;

@@ -15,8 +15,12 @@
 //! * **HeavyHitter** — one dominating item, forcing `p ≈ 1` clamping and a
 //!   near-empty remainder (the regime of the Theorem 1.2 sorting reduction).
 
+// HashMap/HashSet sanctioned: test-side bookkeeping only; no iteration order reaches an assertion or a sample.
+#![allow(clippy::disallowed_types)]
+
 use rand::Rng;
 use rand::RngCore;
+use wordram::bits;
 
 /// A generator of item weights.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,7 +106,7 @@ impl WeightDist {
             WeightDist::Equal { w } => w,
             WeightDist::PowersOfTwo { max_exp } => {
                 assert!(max_exp <= 63, "max_exp must be <= 63");
-                1u64 << rng.gen_range(0..=max_exp)
+                bits::pow2_64(u64::from(rng.gen_range(0..=max_exp)))
             }
             WeightDist::HeavyHitter { light, heavy, n_hint } => {
                 let mask = n_hint.next_power_of_two().saturating_sub(1);

@@ -15,6 +15,8 @@
 //! (outlier analysis, HTML reports) is out of scope for the shim.
 
 #![forbid(unsafe_code)]
+// Wall-clock timing is the entire point of a benchmark harness shim.
+#![allow(clippy::disallowed_types)]
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};

@@ -5,6 +5,9 @@
 //!
 //! Run with: `cargo run --release --example dynamic_workload`
 
+// Wall-clock timing is sanctioned here: this is measurement/driver code, not serving-path library code.
+#![allow(clippy::disallowed_types)]
+
 use baselines::all_backends;
 use bignum::Ratio;
 use rand::rngs::SmallRng;

@@ -8,6 +8,9 @@
 //!
 //! Run with: `cargo run --release --example integer_sorting`
 
+// Wall-clock timing is sanctioned here: this is measurement/driver code, not serving-path library code.
+#![allow(clippy::disallowed_types)]
+
 use floatdpss::{sort_via_dpss, ExpDpss};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};

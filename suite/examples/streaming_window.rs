@@ -12,6 +12,9 @@
 //!
 //! Run with: `cargo run --release --example streaming_window`
 
+// Wall-clock timing is sanctioned here: this is measurement/driver code, not serving-path library code.
+#![allow(clippy::disallowed_types)]
+
 use dpss::{DeamortizedDpss, Ratio};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};

@@ -3,6 +3,9 @@
 //! noise): build linearity, query independence from n at fixed μ, update
 //! flatness, and space linearity.
 
+// Wall-clock timing is sanctioned here: this is measurement/driver code, not serving-path library code.
+#![allow(clippy::disallowed_types)]
+
 use bignum::Ratio;
 use dpss::{DpssSampler, SpaceUsage};
 use rand::rngs::SmallRng;
