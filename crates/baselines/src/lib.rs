@@ -42,11 +42,14 @@
 pub mod odss;
 
 pub use odss::{DeltaDss, OdssDss, OdssUnderDpss};
-pub use pss_core::{boxed, Handle, PssBackend, QueryCtx, SeedableBackend, SpaceUsage, Store};
+pub use pss_core::{
+    boxed, recover, Handle, PssBackend, QueryCtx, RecoverError, SeedableBackend, SnapshotError,
+    Snapshottable, SpaceUsage, Store,
+};
 
 use bignum::{BigUint, Ratio};
 use dpss::{DeamortizedDpss, DpssSampler};
-use pss_core::{ChangeJournal, Delta, Replay};
+use pss_core::{kind, ChangeJournal, Delta, Enc, Replay, SnapshotReader, SnapshotWriter};
 use rand::Rng;
 use randvar::ber_rational_parts;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
@@ -66,6 +69,11 @@ pub(crate) fn store_insert_many(
     );
     handles
 }
+
+/// Section tag for the [`Store`] payload inside every baseline snapshot.
+pub(crate) const TAG_STORE: u32 = 1;
+/// Section tag for journaled baselines' scalar metadata (journal watermark).
+pub(crate) const TAG_META: u32 = 2;
 
 // ---------------------------------------------------------------------------
 // NaiveExact
@@ -147,6 +155,24 @@ impl SeedableBackend for NaiveExact {
     }
 }
 
+impl Snapshottable for NaiveExact {
+    fn write_snapshot(&self, out: &mut Vec<u8>) {
+        let mut w = SnapshotWriter::new(kind::NAIVE_EXACT);
+        let mut enc = Enc::new();
+        self.store.write_snapshot_payload(&mut enc);
+        w.section(TAG_STORE, enc);
+        w.finish(out);
+    }
+
+    fn from_snapshot(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let r = SnapshotReader::new(bytes, kind::NAIVE_EXACT)?;
+        let mut dec = r.section(TAG_STORE)?;
+        let store = Store::from_snapshot_payload(&mut dec)?;
+        dec.finish()?;
+        Ok(NaiveExact { store })
+    }
+}
+
 // ---------------------------------------------------------------------------
 // NaiveFloat
 // ---------------------------------------------------------------------------
@@ -215,6 +241,24 @@ impl PssBackend for NaiveFloat {
 impl SeedableBackend for NaiveFloat {
     fn with_seed(seed: u64) -> Self {
         NaiveFloat::new(seed)
+    }
+}
+
+impl Snapshottable for NaiveFloat {
+    fn write_snapshot(&self, out: &mut Vec<u8>) {
+        let mut w = SnapshotWriter::new(kind::NAIVE_FLOAT);
+        let mut enc = Enc::new();
+        self.store.write_snapshot_payload(&mut enc);
+        w.section(TAG_STORE, enc);
+        w.finish(out);
+    }
+
+    fn from_snapshot(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let r = SnapshotReader::new(bytes, kind::NAIVE_FLOAT)?;
+        let mut dec = r.section(TAG_STORE)?;
+        let store = Store::from_snapshot_payload(&mut dec)?;
+        dec.finish()?;
+        Ok(NaiveFloat { store })
     }
 }
 
@@ -482,6 +526,46 @@ impl PssBackend for OdssStyle {
 impl SeedableBackend for OdssStyle {
     fn with_seed(seed: u64) -> Self {
         OdssStyle::new(seed)
+    }
+}
+
+impl Snapshottable for OdssStyle {
+    fn write_snapshot(&self, out: &mut Vec<u8>) {
+        let mut w = SnapshotWriter::new(kind::ODSS_STYLE);
+        let mut enc = Enc::new();
+        self.store.write_snapshot_payload(&mut enc);
+        w.section(TAG_STORE, enc);
+        let mut meta = Enc::new();
+        meta.put_u64(self.journal.epoch());
+        w.section(TAG_META, meta);
+        w.finish(out);
+    }
+
+    fn from_snapshot(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let r = SnapshotReader::new(bytes, kind::ODSS_STYLE)?;
+        let mut dec = r.section(TAG_STORE)?;
+        let store = Store::from_snapshot_payload(&mut dec)?;
+        dec.finish()?;
+        let mut meta = r.section(TAG_META)?;
+        let watermark = meta.get_u64()?;
+        meta.finish()?;
+        Ok(OdssStyle {
+            store,
+            // The journal resumes at the saved watermark with an empty ring:
+            // recovery replays a durable journal's suffix from here; the
+            // first post-restore query in any context is a Θ(n) first build.
+            journal: ChangeJournal::resumed_at(watermark),
+            // Process-local identity is deliberately not durable: a restored
+            // structure keys fresh per-context materializations.
+            instance: pss_core::fresh_backend_id(),
+            // Cost counters describe work done by *this* process's structure,
+            // so a restored copy starts its accounting from zero.
+            rebuild_count: AtomicU64::new(0),
+            fallback_count: AtomicU64::new(0),
+            replay_count: AtomicU64::new(0),
+            items_rematerialized: AtomicU64::new(0),
+            items_patched: AtomicU64::new(0),
+        })
     }
 }
 

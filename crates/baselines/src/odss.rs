@@ -37,7 +37,10 @@
 //! that Θ(n) penalty (the gap stated in the paper's introduction).
 
 use bignum::{BigUint, Ratio};
-use pss_core::{ChangeJournal, Delta, Replay};
+use pss_core::{
+    kind, ChangeJournal, Delta, Enc, Replay, SnapshotError, SnapshotReader, SnapshotWriter,
+    Snapshottable,
+};
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
 use randvar::{ber_rational_parts, bgeo};
@@ -838,6 +841,40 @@ impl PssBackend for OdssUnderDpss {
 impl crate::SeedableBackend for OdssUnderDpss {
     fn with_seed(seed: u64) -> Self {
         OdssUnderDpss::new(seed)
+    }
+}
+
+impl Snapshottable for OdssUnderDpss {
+    fn write_snapshot(&self, out: &mut Vec<u8>) {
+        let mut w = SnapshotWriter::new(kind::ODSS_UNDER_DPSS);
+        let mut enc = Enc::new();
+        self.store.write_snapshot_payload(&mut enc);
+        w.section(crate::TAG_STORE, enc);
+        let mut meta = Enc::new();
+        meta.put_u64(self.journal.epoch());
+        w.section(crate::TAG_META, meta);
+        w.finish(out);
+    }
+
+    fn from_snapshot(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let r = SnapshotReader::new(bytes, kind::ODSS_UNDER_DPSS)?;
+        let mut dec = r.section(crate::TAG_STORE)?;
+        let store = Store::from_snapshot_payload(&mut dec)?;
+        dec.finish()?;
+        let mut meta = r.section(crate::TAG_META)?;
+        let watermark = meta.get_u64()?;
+        meta.finish()?;
+        Ok(OdssUnderDpss {
+            store,
+            // Resumed at the saved watermark with an empty ring; any context
+            // re-materializes from scratch on its first post-restore query
+            // (which is this adapter's behavior on any `W` movement anyway).
+            journal: ChangeJournal::resumed_at(watermark),
+            instance: pss_core::fresh_backend_id(),
+            // Counters account this process's work only.
+            items_rematerialized: AtomicU64::new(0),
+            rebuild_count: AtomicU64::new(0),
+        })
     }
 }
 

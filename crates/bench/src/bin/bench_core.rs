@@ -2,7 +2,7 @@
 //!
 //! Measures insert / churn / delete / set_weight / query / batched-query
 //! throughput for every backend in the roster through the `pss-core` facade
-//! and writes `BENCH_core.json` (see `--out`), validated against schema v5
+//! and writes `BENCH_core.json` (see `--out`), validated against schema v6
 //! right after writing, so successive PRs accumulate a performance
 //! trajectory that scripts can diff and whose shape cannot silently drift.
 //! Queries run through the shared-read surface (`&self` + `QueryCtx`); the
@@ -19,7 +19,13 @@
 //! included). The `bulk_load` block measures the radix-partitioned bulk
 //! build (`from_weights` at n = 2^14 and 2^20 against the per-item insert
 //! loop, plus the shrink-compaction rebuild latency), and every replay
-//! block reports its initial-load time separately as `setup_ms`.
+//! block reports its initial-load time separately as `setup_ms`. The
+//! `snapshot` block measures the durability path at n = 2^20: image size,
+//! encode/decode wall time (decode rides the same radix-partitioned bulk
+//! build, so `load_items_per_sec` is held to within 2× of the bulk rate),
+//! and `pss_core::recover` replaying a 4096-delta journal tail from a
+//! durable log — gated on the recovered sampler being byte-identical to
+//! the live one.
 //! Human-readable numbers go to stdout as they are produced.
 //!
 //! Usage: `cargo run --release -p bench --bin bench_core [-- --out PATH
@@ -29,7 +35,10 @@ use baselines::{all_backends, OdssStyle};
 use bench::{fmt_secs, time, time_per};
 use bignum::Ratio;
 use dpss::DpssSampler;
-use pss_core::{Handle, PssBackend, QueryCtx, SeedableBackend, ShardedQuery};
+use pss_core::{
+    recover, ChangeJournal, Delta, Handle, PssBackend, QueryCtx, SeedableBackend, ShardedQuery,
+    Snapshottable,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use workloads::drive::replay_stream_timed;
@@ -432,6 +441,92 @@ fn bulk_load_probe(seed: u64) -> BulkLoad {
     }
 }
 
+/// Outcome of [`snapshot_probe`].
+struct SnapshotStats {
+    n: usize,
+    bytes: usize,
+    journal_tail: usize,
+    save_ms: f64,
+    load_ms: f64,
+    recover_ms: f64,
+    load_items_per_sec: f64,
+}
+
+/// Measures the durability path on a 2^20-item HALT sampler (fixed size,
+/// independent of `--n`, so the trajectory stays diffable): `save_ms` times
+/// `snapshot()` (slab-verbatim encode + per-section CRCs), `load_ms` times
+/// `from_snapshot` (decode + the classify→carve→fill→derive bulk rebuild —
+/// the same engine `from_weights` runs, which is why the acceptance bar
+/// holds `load_items_per_sec` to within 2× of `bulk_load`'s rate), and
+/// `recover_ms` times `pss_core::recover` replaying a 4096-reweight journal
+/// tail from a durable log on top of the image. The durable log starts at
+/// the image's watermark epoch and is sized to hold the whole tail — the
+/// sampler's own ring keeps only the last 1024 deltas, which is exactly the
+/// situation `ChangeJournal::resumed_with_capacity` exists for. Every
+/// timing is the best of three runs (same preemption argument as
+/// [`bulk_load_probe`], which also pre-warmed the allocator arenas), and no
+/// number is recorded until the recovered sampler re-encodes byte-identical
+/// to the live one.
+fn snapshot_probe(seed: u64) -> SnapshotStats {
+    let n = 1usize << 20;
+    let tail = 4096usize;
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5A9);
+    let weights = WeightDist::Zipf { s_num: 2, s_den: 1, w_max: 1 << 30 }.generate(n, &mut rng);
+    let (mut s, ids) = DpssSampler::from_weights(&weights, seed ^ 0x5AA);
+
+    const RUNS: usize = 3;
+    let mut save_secs = f64::INFINITY;
+    let mut img = Vec::new();
+    for _ in 0..RUNS {
+        let (bytes, secs) = time(|| s.snapshot());
+        save_secs = save_secs.min(secs);
+        img = bytes;
+    }
+
+    let mut load_secs = f64::INFINITY;
+    for _ in 0..RUNS {
+        let (restored, secs) = time(|| DpssSampler::from_snapshot(&img).expect("pristine image"));
+        std::hint::black_box(&restored);
+        load_secs = load_secs.min(secs);
+    }
+
+    // Run the tail past the snapshot, mirroring every delta into the
+    // durable log. Reweights keep n fixed, so no rebuild can raise the
+    // journal floor mid-tail.
+    let mut durable = ChangeJournal::resumed_with_capacity(s.journal().epoch(), 2 * tail);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5AB);
+    for _ in 0..tail {
+        let j = rng.gen_range(0..ids.len());
+        let w = rng.gen_range(1..=1u64 << 30);
+        let old = DpssSampler::set_weight(&mut s, ids[j], w).expect("live handle");
+        durable.record(Delta::Reweighted { handle: Handle::from_raw(ids[j].raw()), old, new: w });
+    }
+
+    let mut recover_secs = f64::INFINITY;
+    let mut recovered = None;
+    for _ in 0..RUNS {
+        let (r, secs) =
+            time(|| recover::<DpssSampler>(&img, &durable).expect("snapshot + in-band tail"));
+        recover_secs = recover_secs.min(secs);
+        recovered = Some(r);
+    }
+    assert_eq!(
+        recovered.expect("RUNS > 0").snapshot(),
+        s.snapshot(),
+        "recovered sampler diverged from the live one"
+    );
+
+    SnapshotStats {
+        n,
+        bytes: img.len(),
+        journal_tail: tail,
+        save_ms: save_secs * 1e3,
+        load_ms: load_secs * 1e3,
+        recover_ms: recover_secs * 1e3,
+        load_items_per_sec: n as f64 / load_secs,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = "BENCH_core.json".to_string();
@@ -498,10 +593,21 @@ fn main() {
         bl.speedup,
         bl.rebuild_ms
     );
+    let sn = snapshot_probe(42);
+    println!(
+        "snapshot: {:.1} MiB image at 2^20 — save {:.2} ms, load {:.2} ms \
+         ({:.1}M items/s), recover {:.2} ms with a {}-delta journal tail",
+        sn.bytes as f64 / (1 << 20) as f64,
+        sn.save_ms,
+        sn.load_ms,
+        sn.load_items_per_sec / 1e6,
+        sn.recover_ms,
+        sn.journal_tail
+    );
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": 5,\n");
+    json.push_str("  \"schema\": 6,\n");
     json.push_str(&format!("  \"n_items\": {n},\n"));
     json.push_str(&format!("  \"quick\": {quick},\n"));
     json.push_str("  \"unit\": \"ops_per_sec\",\n");
@@ -540,6 +646,18 @@ fn main() {
         bl.speedup,
         bl.rebuild_ms
     ));
+    json.push_str(&format!(
+        "  \"snapshot\": {{\"n\": {}, \"bytes\": {}, \"journal_tail\": {}, \
+         \"save_ms\": {:.3}, \"load_ms\": {:.3}, \"recover_ms\": {:.3}, \
+         \"load_items_per_sec\": {:.1}}},\n",
+        sn.n,
+        sn.bytes,
+        sn.journal_tail,
+        sn.save_ms,
+        sn.load_ms,
+        sn.recover_ms,
+        sn.load_items_per_sec
+    ));
     json.push_str("  \"backends\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
@@ -563,7 +681,7 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write BENCH_core.json");
     // Self-validate the snapshot so a shape regression fails the run (and
     // CI's --quick smoke step) instead of silently breaking the trajectory.
-    bench::schema::validate_bench_core_v5(&json)
-        .unwrap_or_else(|e| panic!("emitted snapshot violates schema v5: {e}"));
-    println!("\nwrote {out_path} (schema v5 OK)");
+    bench::schema::validate_bench_core_v6(&json)
+        .unwrap_or_else(|e| panic!("emitted snapshot violates schema v6: {e}"));
+    println!("\nwrote {out_path} (schema v6 OK)");
 }

@@ -4,7 +4,7 @@
 //! performance trajectory that scripts can diff. A snapshot whose *shape*
 //! silently drifts (renamed field, string where a number belongs, empty
 //! backend roster) breaks every downstream diff without failing anything —
-//! so the emitter validates its own output against schema v5 right after
+//! so the emitter validates its own output against schema v6 right after
 //! writing, and CI runs the same check on the `--quick` smoke snapshot.
 //!
 //! Schema history: v2 extended v1 with per-backend `delete`/`set_weight`
@@ -21,7 +21,7 @@
 //! records the interleaved update+query replay on the `odss-style` backend
 //! (rounds/s, items rematerialized by Θ(n) fallbacks, and the journal
 //! replay/fallback counters) — the regime the journal rewrite exists to fix.
-//! Schema v5 (this PR) measures the radix-partitioned bulk build: the new
+//! Schema v5 measured the radix-partitioned bulk build: the
 //! `bulk_load` block records `from_weights` throughput at n = 2^14 and
 //! n = 2^20 (fixed sizes, independent of `--n`), the per-item reference
 //! insert rate at 2^20, their ratio (`speedup`, the ≥3× acceptance bar),
@@ -30,6 +30,14 @@
 //! replay blocks (`fifo_window`, `decayed`, `mixed_regime`) each gain
 //! `setup_ms`: initial-load time reported separately so bulk-build speed
 //! never hides inside a steady-state op rate.
+//! Schema v6 (this PR) measures the durability path: the `snapshot` block
+//! records, at n = 2^20, the encoded image size (`bytes`), `save_ms` and
+//! `load_ms` for `snapshot()`/`from_snapshot`, the restored-image load rate
+//! (`load_items_per_sec` — the acceptance bar keeps it within 2× of the
+//! bulk-build rate, since the loader *is* the classify→carve→fill→derive
+//! bulk build), and `recover_ms`: `pss_core::recover` replaying a
+//! `journal_tail`-delta suffix (4096 deltas) from a durable log on top of
+//! the snapshot.
 //!
 //! The workspace is offline (no serde), so this carries a deliberately tiny
 //! recursive-descent JSON reader: objects, arrays, strings (with escapes),
@@ -250,7 +258,7 @@ fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-/// Per-backend numeric throughput fields required by schema v5.
+/// Per-backend numeric throughput fields required by schema v6.
 pub const BACKEND_RATE_FIELDS: [&str; 7] =
     ["insert", "churn_pair", "delete", "set_weight", "query_mu16", "query_batch16", "mixed_round"];
 
@@ -266,9 +274,9 @@ fn require_num(obj: &Json, field: &str, min: f64, path: &str) -> Result<f64, Str
     Ok(v)
 }
 
-/// Validates a `BENCH_core.json` document against schema v5:
+/// Validates a `BENCH_core.json` document against schema v6:
 ///
-/// - top level: `schema == 5`, integer `n_items ≥ 1`, boolean `quick`,
+/// - top level: `schema == 6`, integer `n_items ≥ 1`, boolean `quick`,
 ///   `unit == "ops_per_sec"`, non-empty `backends` array;
 /// - `plan_cache`: finite non-negative `hits`, `misses`, and `refreshes`;
 /// - `fifo_window`: integer `window ≥ 1`, finite non-negative `ops_per_sec`
@@ -283,16 +291,19 @@ fn require_num(obj: &Json, field: &str, min: f64, path: &str) -> Result<f64, Str
 /// - `bulk_load`: integers `n_small ≥ 1` and `n_large ≥ 1`, finite
 ///   non-negative `small_items_per_sec`, `large_items_per_sec`,
 ///   `per_op_items_per_sec`, `speedup`, and `rebuild_ms`;
+/// - `snapshot`: integers `n ≥ 1`, `bytes ≥ 1`, `journal_tail ≥ 0`, finite
+///   non-negative `save_ms`, `load_ms`, `recover_ms`, and
+///   `load_items_per_sec`;
 /// - each backend: non-empty string `name`, finite non-negative numbers for
 ///   every field in [`BACKEND_RATE_FIELDS`] plus `space_words`.
 ///
 /// Unknown extra fields are allowed (forward-compatible); missing or
 /// mistyped required fields are errors naming the offending path.
-pub fn validate_bench_core_v5(text: &str) -> Result<(), String> {
+pub fn validate_bench_core_v6(text: &str) -> Result<(), String> {
     let doc = parse(text)?;
     let schema = doc.get("schema").and_then(Json::as_num).ok_or("missing numeric 'schema'")?;
-    if schema != 5.0 {
-        return Err(format!("schema version {schema} is not 5"));
+    if schema != 6.0 {
+        return Err(format!("schema version {schema} is not 6"));
     }
     let n_items = doc.get("n_items").and_then(Json::as_num).ok_or("missing numeric 'n_items'")?;
     if n_items < 1.0 || n_items.fract() != 0.0 {
@@ -351,6 +362,17 @@ pub fn validate_bench_core_v5(text: &str) -> Result<(), String> {
     require_num(bl, "per_op_items_per_sec", 0.0, "bulk_load")?;
     require_num(bl, "speedup", 0.0, "bulk_load")?;
     require_num(bl, "rebuild_ms", 0.0, "bulk_load")?;
+    let sn = doc.get("snapshot").ok_or("missing object 'snapshot'")?;
+    for (field, min) in [("n", 1.0), ("bytes", 1.0), ("journal_tail", 0.0)] {
+        let v = require_num(sn, field, min, "snapshot")?;
+        if v.fract() != 0.0 {
+            return Err(format!("snapshot: '{field}' = {v} is not an integer"));
+        }
+    }
+    require_num(sn, "save_ms", 0.0, "snapshot")?;
+    require_num(sn, "load_ms", 0.0, "snapshot")?;
+    require_num(sn, "recover_ms", 0.0, "snapshot")?;
+    require_num(sn, "load_items_per_sec", 0.0, "snapshot")?;
     let backends = match doc.get("backends") {
         Some(Json::Arr(rows)) if !rows.is_empty() => rows,
         Some(Json::Arr(_)) => return Err("'backends' is empty".into()),
@@ -376,7 +398,7 @@ mod tests {
     use super::*;
 
     const GOOD: &str = r#"{
-      "schema": 5, "n_items": 4096, "quick": true, "unit": "ops_per_sec",
+      "schema": 6, "n_items": 4096, "quick": true, "unit": "ops_per_sec",
       "plan_cache": {"hits": 48, "misses": 16, "refreshes": 16},
       "fifo_window": {"window": 1024, "ops_per_sec": 5.0e6, "setup_ms": 0.0},
       "query_par": {"threads": 8, "seq_ops_per_sec": 5.0e4,
@@ -389,6 +411,9 @@ mod tests {
                     "n_large": 1048576, "large_items_per_sec": 6.5e7,
                     "per_op_items_per_sec": 1.8e7, "speedup": 3.6,
                     "rebuild_ms": 2.5},
+      "snapshot": {"n": 1048576, "bytes": 25165824, "journal_tail": 4096,
+                   "save_ms": 4.0, "load_ms": 12.0, "recover_ms": 13.0,
+                   "load_items_per_sec": 8.0e7},
       "backends": [
         {"name": "halt", "insert": 1.5e6, "churn_pair": 2.0, "delete": 6.0,
          "set_weight": 7.0, "query_mu16": 3.0,
@@ -398,76 +423,98 @@ mod tests {
 
     #[test]
     fn accepts_a_valid_snapshot() {
-        validate_bench_core_v5(GOOD).unwrap();
+        validate_bench_core_v6(GOOD).unwrap();
     }
 
     #[test]
     fn rejects_shape_drift() {
         // Wrong version.
-        assert!(validate_bench_core_v5(&GOOD.replace("\"schema\": 5", "\"schema\": 4")).is_err());
+        assert!(validate_bench_core_v6(&GOOD.replace("\"schema\": 6", "\"schema\": 5")).is_err());
         // Missing v1 field.
-        assert!(validate_bench_core_v5(&GOOD.replace("\"query_mu16\": 3.0,", "")).is_err());
+        assert!(validate_bench_core_v6(&GOOD.replace("\"query_mu16\": 3.0,", "")).is_err());
         // Missing v2 update-path field.
-        assert!(validate_bench_core_v5(&GOOD.replace("\"delete\": 6.0,", "")).is_err());
-        assert!(validate_bench_core_v5(&GOOD.replace("\"set_weight\": 7.0,", "")).is_err());
+        assert!(validate_bench_core_v6(&GOOD.replace("\"delete\": 6.0,", "")).is_err());
+        assert!(validate_bench_core_v6(&GOOD.replace("\"set_weight\": 7.0,", "")).is_err());
         // Missing observability blocks.
-        assert!(validate_bench_core_v5(
+        assert!(validate_bench_core_v6(
             &GOOD.replace("\"plan_cache\": {\"hits\": 48, \"misses\": 16, \"refreshes\": 16},", "")
         )
         .is_err());
-        assert!(validate_bench_core_v5(&GOOD.replace(
+        assert!(validate_bench_core_v6(&GOOD.replace(
             "\"fifo_window\": {\"window\": 1024, \"ops_per_sec\": 5.0e6, \"setup_ms\": 0.0},",
             ""
         ))
         .is_err());
         // Missing v3 blocks.
-        assert!(validate_bench_core_v5(
+        assert!(validate_bench_core_v6(
             &GOOD.replace(
                 "\"query_par\": {\"threads\": 8, \"seq_ops_per_sec\": 5.0e4,\n                    \"par_ops_per_sec\": 1.5e5, \"speedup\": 3.0},",
                 ""
             )
         )
         .is_err());
-        assert!(validate_bench_core_v5(&GOOD.replace(
+        assert!(validate_bench_core_v6(&GOOD.replace(
             "\"decayed\": {\"scale_every\": 256, \"ops_per_sec\": 2.0e6, \"setup_ms\": 0.4},",
             ""
         ))
         .is_err());
         // Missing v4 instrumentation.
-        assert!(validate_bench_core_v5(&GOOD.replace(", \"refreshes\": 16", "")).is_err());
-        assert!(validate_bench_core_v5(&GOOD.replace("\"rematerialized\": 4096,", "")).is_err());
-        assert!(validate_bench_core_v5(&GOOD.replace("\"replays\": 4000", "\"replays\": 4000.5"))
+        assert!(validate_bench_core_v6(&GOOD.replace(", \"refreshes\": 16", "")).is_err());
+        assert!(validate_bench_core_v6(&GOOD.replace("\"rematerialized\": 4096,", "")).is_err());
+        assert!(validate_bench_core_v6(&GOOD.replace("\"replays\": 4000", "\"replays\": 4000.5"))
             .is_err());
         // Missing v5 instrumentation: the bulk_load block, any field inside
         // it, and the setup_ms split on the replay blocks.
-        assert!(validate_bench_core_v5(
+        assert!(validate_bench_core_v6(
             &GOOD.replace(
                 "\"bulk_load\": {\"n_small\": 16384, \"small_items_per_sec\": 8.0e7,\n                    \"n_large\": 1048576, \"large_items_per_sec\": 6.5e7,\n                    \"per_op_items_per_sec\": 1.8e7, \"speedup\": 3.6,\n                    \"rebuild_ms\": 2.5},",
                 ""
             )
         )
         .is_err());
-        assert!(validate_bench_core_v5(&GOOD.replace("\"rebuild_ms\": 2.5", "\"rebuild_ms\": -1"))
+        assert!(validate_bench_core_v6(&GOOD.replace("\"rebuild_ms\": 2.5", "\"rebuild_ms\": -1"))
             .is_err());
-        assert!(validate_bench_core_v5(&GOOD.replace("\"n_large\": 1048576", "\"n_large\": 2.5"))
+        assert!(validate_bench_core_v6(&GOOD.replace("\"n_large\": 1048576", "\"n_large\": 2.5"))
             .is_err());
-        assert!(validate_bench_core_v5(&GOOD.replace(", \"setup_ms\": 0.4", "")).is_err());
-        assert!(validate_bench_core_v5(&GOOD.replace("\"setup_ms\": 1.2,", "")).is_err());
+        assert!(validate_bench_core_v6(&GOOD.replace(", \"setup_ms\": 0.4", "")).is_err());
+        assert!(validate_bench_core_v6(&GOOD.replace("\"setup_ms\": 1.2,", "")).is_err());
         // Missing field inside a v3 block.
-        assert!(validate_bench_core_v5(&GOOD.replace("\"speedup\": 3.0", "\"speedup\": \"3x\""))
+        assert!(validate_bench_core_v6(&GOOD.replace("\"speedup\": 3.0", "\"speedup\": \"3x\""))
             .is_err());
         // Fractional integers.
         assert!(
-            validate_bench_core_v5(&GOOD.replace("\"window\": 1024", "\"window\": 2.5")).is_err()
+            validate_bench_core_v6(&GOOD.replace("\"window\": 1024", "\"window\": 2.5")).is_err()
         );
         assert!(
-            validate_bench_core_v5(&GOOD.replace("\"threads\": 8", "\"threads\": 1.5")).is_err()
+            validate_bench_core_v6(&GOOD.replace("\"threads\": 8", "\"threads\": 1.5")).is_err()
         );
+        // Missing v6 instrumentation: the snapshot block and any field
+        // inside it; its counts must be integral and its timings finite.
+        assert!(validate_bench_core_v6(
+            &GOOD.replace(
+                "\"snapshot\": {\"n\": 1048576, \"bytes\": 25165824, \"journal_tail\": 4096,\n                   \"save_ms\": 4.0, \"load_ms\": 12.0, \"recover_ms\": 13.0,\n                   \"load_items_per_sec\": 8.0e7},",
+                ""
+            )
+        )
+        .is_err());
+        assert!(validate_bench_core_v6(&GOOD.replace("\"recover_ms\": 13.0,", "")).is_err());
+        assert!(
+            validate_bench_core_v6(&GOOD.replace("\"bytes\": 25165824", "\"bytes\": 0")).is_err()
+        );
+        assert!(
+            validate_bench_core_v6(&GOOD.replace("\"bytes\": 25165824", "\"bytes\": 2.5")).is_err()
+        );
+        assert!(validate_bench_core_v6(
+            &GOOD.replace("\"journal_tail\": 4096", "\"journal_tail\": -1")
+        )
+        .is_err());
+        assert!(validate_bench_core_v6(&GOOD.replace("\"load_ms\": 12.0", "\"load_ms\": -0.5"))
+            .is_err());
         // String where a number belongs.
-        assert!(validate_bench_core_v5(&GOOD.replace("\"insert\": 1.5e6", "\"insert\": \"fast\""))
+        assert!(validate_bench_core_v6(&GOOD.replace("\"insert\": 1.5e6", "\"insert\": \"fast\""))
             .is_err());
         // Empty roster.
-        let empty = r#"{"schema": 5, "n_items": 1, "quick": false,
+        let empty = r#"{"schema": 6, "n_items": 1, "quick": false,
                         "unit": "ops_per_sec",
                         "plan_cache": {"hits": 0, "misses": 0, "refreshes": 0},
                         "fifo_window": {"window": 16, "ops_per_sec": 1.0, "setup_ms": 0.0},
@@ -481,10 +528,14 @@ mod tests {
                                       "n_large": 32, "large_items_per_sec": 1.0,
                                       "per_op_items_per_sec": 1.0, "speedup": 1.0,
                                       "rebuild_ms": 0.0},
+                        "snapshot": {"n": 16, "bytes": 1, "journal_tail": 0,
+                                     "save_ms": 0.0, "load_ms": 0.0,
+                                     "recover_ms": 0.0,
+                                     "load_items_per_sec": 1.0},
                         "backends": []}"#;
-        assert!(validate_bench_core_v5(empty).is_err());
+        assert!(validate_bench_core_v6(empty).is_err());
         // Not JSON at all.
-        assert!(validate_bench_core_v5("{").is_err());
+        assert!(validate_bench_core_v6("{").is_err());
     }
 
     #[test]
@@ -505,9 +556,9 @@ mod tests {
 
     #[test]
     fn committed_snapshot_is_valid() {
-        // The repository's own BENCH_core.json must always pass schema v5.
+        // The repository's own BENCH_core.json must always pass schema v6.
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_core.json");
         let text = std::fs::read_to_string(path).expect("committed BENCH_core.json");
-        validate_bench_core_v5(&text).expect("committed snapshot violates schema v5");
+        validate_bench_core_v6(&text).expect("committed snapshot violates schema v6");
     }
 }

@@ -72,6 +72,10 @@ impl PssBackend for DpssSampler {
     fn journal(&self) -> Option<&ChangeJournal> {
         Some(DpssSampler::journal(self))
     }
+
+    fn poisoned(&self) -> bool {
+        DpssSampler::poisoned(self)
+    }
 }
 
 impl SeedableBackend for DpssSampler {
@@ -120,6 +124,10 @@ impl PssBackend for DeamortizedDpss {
 
     fn journal(&self) -> Option<&ChangeJournal> {
         Some(DeamortizedDpss::journal(self))
+    }
+
+    fn poisoned(&self) -> bool {
+        DeamortizedDpss::poisoned(self)
     }
 }
 

@@ -37,9 +37,13 @@
 // pss-lint: allow-file(no-bare-index) — slot and roster indices are generation-checked handles into self-managed arrays; a bad index is a broken epoch invariant, caught by the suite
 
 use crate::item::ItemId;
-use crate::sampler::DpssSampler;
+use crate::sampler::{DpssSampler, OpError};
 use bignum::{BigUint, Ratio};
-use pss_core::{ChangeJournal, Delta, QueryCtx};
+use pss_core::fault::{self, Site};
+use pss_core::{
+    kind, ChangeJournal, Delta, Enc, QueryCtx, SnapshotError, SnapshotReader, SnapshotWriter,
+    Snapshottable,
+};
 use wordram::narrow;
 
 /// Items migrated from the old to the new structure per update during an
@@ -120,6 +124,10 @@ pub struct DeamortizedDpss {
     /// Epoch-delta change log over the *union* handle space (each migration
     /// half additionally keeps its own journal over its internal ids).
     journal: ChangeJournal,
+    /// Set while a `&mut` update is mid-flight and cleared on completion: an
+    /// unwind (or injected fault) in between leaves it stuck `true`, and
+    /// every later update is refused with [`OpError::Poisoned`].
+    poisoned: bool,
 }
 
 impl DeamortizedDpss {
@@ -142,6 +150,22 @@ impl DeamortizedDpss {
             epochs_done: 0,
             ctx: QueryCtx::new(seed),
             journal: ChangeJournal::new(),
+            poisoned: false,
+        }
+    }
+
+    /// `true` iff an earlier update unwound mid-flight and the structure must
+    /// be recovered from a snapshot before further updates.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    #[inline]
+    fn ensure_unpoisoned(&self) -> Result<(), OpError> {
+        if self.poisoned {
+            Err(OpError::Poisoned)
+        } else {
+            Ok(())
         }
     }
 
@@ -209,9 +233,23 @@ impl DeamortizedDpss {
 
     /// Inserts an item; O(MIGRATION_BATCH) worst-case structure work.
     pub fn insert(&mut self, weight: u64) -> Handle {
+        // pss-lint: allow(no-panic-paths) — fails only on a poisoned sampler or an armed failpoint; both mean the caller opted into fault-injection semantics and must use try_insert
+        self.try_insert(weight).expect("update refused; use try_insert on a fallible path")
+    }
+
+    /// Fallible [`DeamortizedDpss::insert`]: refuses to run on a poisoned
+    /// structure, and surfaces injected faults as typed errors. An unwind (or
+    /// injected fault) after routing/migration but before the journal entry
+    /// leaves the structure poisoned — and the dying op out of the journal.
+    pub fn try_insert(&mut self, weight: u64) -> Result<Handle, OpError> {
+        self.ensure_unpoisoned()?;
+        fault::fail_point(Site::InsertEntry).map_err(OpError::Fault)?;
+        self.poisoned = true;
         let h = self.insert_inner(weight);
+        fault::fail_point(Site::InsertCascade).map_err(OpError::Fault)?;
         self.journal.record(Delta::Inserted { handle: pss_core::Handle::from_raw(h), weight });
-        h
+        self.poisoned = false;
+        Ok(h)
     }
 
     /// Inserts a batch of items; the union journal is stamped with **one**
@@ -227,9 +265,21 @@ impl DeamortizedDpss {
     /// every single-item operation. Mid-migration batches fall back to the
     /// per-item path so the epoch keeps draining at its guaranteed pace.
     pub fn insert_many(&mut self, weights: &[u64]) -> Vec<Handle> {
+        // pss-lint: allow(no-panic-paths) — fails only on a poisoned sampler or an armed failpoint; both mean the caller opted into fault-injection semantics and must use try_insert_many
+        self.try_insert_many(weights).expect("update refused; use try_insert_many")
+    }
+
+    /// Fallible [`DeamortizedDpss::insert_many`] (see
+    /// [`DeamortizedDpss::try_insert`] for the poisoning contract). The batch
+    /// journals all-or-nothing, so a kill anywhere inside the build leaves
+    /// recovery replaying none of it.
+    pub fn try_insert_many(&mut self, weights: &[u64]) -> Result<Vec<Handle>, OpError> {
+        self.ensure_unpoisoned()?;
+        fault::fail_point(Site::BulkEntry).map_err(OpError::Fault)?;
         if weights.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
+        self.poisoned = true;
         let handles: Vec<Handle> = if self.new.is_some() {
             weights.iter().map(|&w| self.insert_inner(w)).collect()
         } else {
@@ -241,7 +291,8 @@ impl DeamortizedDpss {
                 weight: w,
             }),
         );
-        handles
+        self.poisoned = false;
+        Ok(handles)
     }
 
     /// Bulk insert with no migration epoch in flight. Inserts only grow the
@@ -325,7 +376,20 @@ impl DeamortizedDpss {
 
     /// Deletes an item; O(MIGRATION_BATCH) worst-case structure work.
     pub fn delete(&mut self, h: Handle) -> Option<u64> {
-        let slot = *self.slot(h)?;
+        // pss-lint: allow(no-panic-paths) — fails only on a poisoned sampler or an armed failpoint; both mean the caller opted into fault-injection semantics and must use try_delete
+        self.try_delete(h).expect("update refused; use try_delete on a fallible path")
+    }
+
+    /// Fallible [`DeamortizedDpss::delete`] (see
+    /// [`DeamortizedDpss::try_insert`] for the poisoning contract). Stale
+    /// handles return `Ok(None)` without touching — or poisoning — anything.
+    pub fn try_delete(&mut self, h: Handle) -> Result<Option<u64>, OpError> {
+        self.ensure_unpoisoned()?;
+        fault::fail_point(Site::DeleteEntry).map_err(OpError::Fault)?;
+        let Some(&slot) = self.slot(h) else {
+            return Ok(None);
+        };
+        self.poisoned = true;
         let in_new = self.in_new(&slot);
         let idx = handle_idx(h);
         self.slots[idx].alive = false;
@@ -347,9 +411,11 @@ impl DeamortizedDpss {
             let moved = roster[pos];
             self.slots[handle_idx(moved)].pos = narrow::u32_of_usize(pos);
         }
+        fault::fail_point(Site::DeleteCascade).map_err(OpError::Fault)?;
         self.journal.record(Delta::Deleted { handle: pss_core::Handle::from_raw(h) });
         self.step();
-        w
+        self.poisoned = false;
+        Ok(w)
     }
 
     /// One PSS query with parameters `(α, β)` over the union of both halves
@@ -516,6 +582,193 @@ impl DeamortizedDpss {
         if self.new.is_none() {
             assert!(self.roster_new.is_empty());
         }
+    }
+}
+
+/// Section tag of the band/epoch scalars inside a [`kind::HALT_DEAM`] image.
+const TAG_DEAM: u32 = 1;
+/// Section tag of the nested half images (old, and new if migrating).
+const TAG_HALVES: u32 = 2;
+/// Section tag of the handle slab, free list, and residence rosters.
+const TAG_SLOTS: u32 = 3;
+
+impl Snapshottable for DeamortizedDpss {
+    fn write_snapshot(&self, out: &mut Vec<u8>) {
+        let mut w = SnapshotWriter::new(kind::HALT_DEAM);
+        let mut enc = Enc::new();
+        enc.put_usize(self.snapshot);
+        enc.put_bool(self.force_exact);
+        enc.put_u64(self.seed);
+        enc.put_u64(self.epoch);
+        enc.put_u64(self.epochs_done);
+        enc.put_u64(self.ctx.seed());
+        enc.put_u64(self.journal.epoch());
+        enc.put_bool(self.new.is_some());
+        w.section(TAG_DEAM, enc);
+        // Each migration half is a complete nested HALT image — framing,
+        // CRCs, and all — so the halves load through the same validated path
+        // as a standalone sampler.
+        let mut halves = Enc::new();
+        halves.put_bytes(&self.old.snapshot());
+        if let Some(new) = &self.new {
+            halves.put_bytes(&new.snapshot());
+        }
+        w.section(TAG_HALVES, halves);
+        let mut slots = Enc::new();
+        slots.put_usize(self.slots.len());
+        for s in &self.slots {
+            slots.put_u64(s.id.raw());
+            slots.put_u64(s.epoch);
+            slots.put_u32(s.pos);
+            slots.put_u32(s.gen);
+            slots.put_bool(s.alive);
+        }
+        slots.put_usize(self.free.len());
+        for &idx in &self.free {
+            slots.put_u32(idx);
+        }
+        slots.put_usize(self.roster_old.len());
+        for &h in &self.roster_old {
+            slots.put_u64(h);
+        }
+        slots.put_usize(self.roster_new.len());
+        for &h in &self.roster_new {
+            slots.put_u64(h);
+        }
+        w.section(TAG_SLOTS, slots);
+        w.finish(out);
+    }
+
+    fn from_snapshot(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let r = SnapshotReader::new(bytes, kind::HALT_DEAM)?;
+        let mut dec = r.section(TAG_DEAM)?;
+        let snapshot = dec.get_usize()?;
+        let force_exact = dec.get_bool()?;
+        let seed = dec.get_u64()?;
+        let epoch = dec.get_u64()?;
+        let epochs_done = dec.get_u64()?;
+        let ctx_seed = dec.get_u64()?;
+        let watermark = dec.get_u64()?;
+        let has_new = dec.get_bool()?;
+        dec.finish()?;
+        // The trigger band multiplies the snapshot count; an absurd value
+        // would overflow the band arithmetic, so reject it as corrupt.
+        if snapshot > u32::MAX as usize {
+            return Err(SnapshotError::Invalid("epoch size snapshot out of range"));
+        }
+        let mut halves = r.section(TAG_HALVES)?;
+        let old = DpssSampler::from_snapshot(halves.get_bytes()?)?;
+        let new =
+            if has_new { Some(DpssSampler::from_snapshot(halves.get_bytes()?)?) } else { None };
+        halves.finish()?;
+        let mut sdec = r.section(TAG_SLOTS)?;
+        let n_slots = sdec.get_usize()?;
+        let mut slots = Vec::new();
+        for _ in 0..n_slots {
+            let id = ItemId::from_raw(sdec.get_u64()?);
+            let slot_epoch = sdec.get_u64()?;
+            let pos = sdec.get_u32()?;
+            let gen = sdec.get_u32()?;
+            let alive = sdec.get_bool()?;
+            slots.push(Slot { id, epoch: slot_epoch, pos, gen, alive });
+        }
+        let n_free = sdec.get_usize()?;
+        let mut free = Vec::new();
+        let mut in_free = vec![false; slots.len()];
+        for _ in 0..n_free {
+            let idx = sdec.get_u32()?;
+            let slot = slots
+                .get(idx as usize)
+                .ok_or(SnapshotError::Invalid("free-list entry out of range"))?;
+            if slot.alive {
+                return Err(SnapshotError::Invalid("free-list entry is a live slot"));
+            }
+            let seen =
+                in_free.get_mut(idx as usize).ok_or(SnapshotError::Invalid("free index range"))?;
+            if *seen {
+                return Err(SnapshotError::Invalid("free-list entry repeated"));
+            }
+            *seen = true;
+            free.push(idx);
+        }
+        let n_live = slots.iter().filter(|s| s.alive).count();
+        if n_free != slots.len() - n_live {
+            return Err(SnapshotError::Invalid("dead slots and free list disagree"));
+        }
+        let read_roster = |sdec: &mut pss_core::Dec<'_>| -> Result<Vec<Handle>, SnapshotError> {
+            let len = sdec.get_usize()?;
+            let mut roster = Vec::new();
+            for _ in 0..len {
+                roster.push(sdec.get_u64()?);
+            }
+            Ok(roster)
+        };
+        let roster_old = read_roster(&mut sdec)?;
+        let roster_new = read_roster(&mut sdec)?;
+        sdec.finish()?;
+        // Cross-validate the rosters against the slots and the halves: every
+        // roster entry must back-point its slot, reside in the right half,
+        // and map to a distinct live item there; the counts then prove the
+        // mapping is a bijection.
+        if roster_old.len() + roster_new.len() != n_live
+            || roster_old.len() != old.len()
+            || roster_new.len() != new.as_ref().map_or(0, DpssSampler::len)
+        {
+            return Err(SnapshotError::Invalid("rosters disagree with live counts"));
+        }
+        let mut rev_old: Vec<Handle> = Vec::new();
+        let mut rev_new: Vec<Handle> = Vec::new();
+        for (is_new, roster) in [(false, &roster_old), (true, &roster_new)] {
+            for (pos, &h) in roster.iter().enumerate() {
+                let slot = slots
+                    .get(handle_idx(h))
+                    .filter(|s| s.alive && s.gen == handle_gen(h))
+                    .ok_or(SnapshotError::Invalid("roster entry is not a live handle"))?;
+                if slot.pos as usize != pos {
+                    return Err(SnapshotError::Invalid("roster back-pointer mismatch"));
+                }
+                let resident_new = has_new && slot.epoch == epoch;
+                if resident_new != is_new {
+                    return Err(SnapshotError::Invalid("roster entry in the wrong half"));
+                }
+                let (half, rev) =
+                    if is_new { (new.as_ref(), &mut rev_new) } else { (Some(&old), &mut rev_old) };
+                if !half.is_some_and(|s| s.contains(slot.id)) {
+                    return Err(SnapshotError::Invalid("roster entry missing from its half"));
+                }
+                let idx = slot.id.idx();
+                if idx >= rev.len() {
+                    rev.resize(idx + 1, Handle::MAX);
+                }
+                if rev[idx] != Handle::MAX {
+                    return Err(SnapshotError::Invalid("two handles share one item"));
+                }
+                rev[idx] = h;
+            }
+        }
+        Ok(DeamortizedDpss {
+            old,
+            new,
+            slots,
+            free,
+            n_live,
+            roster_old,
+            roster_new,
+            rev_old,
+            rev_new,
+            snapshot,
+            force_exact,
+            seed,
+            epoch,
+            epochs_done,
+            // Process-local identity is deliberately not durable: the default
+            // context restarts its derived stream at the saved seed.
+            ctx: QueryCtx::new(ctx_seed),
+            // The union journal resumes at the saved watermark with an empty
+            // ring: recovery replays a durable journal's suffix from here.
+            journal: ChangeJournal::resumed_at(watermark),
+            poisoned: false,
+        })
     }
 }
 

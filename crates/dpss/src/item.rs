@@ -58,6 +58,11 @@ struct Rec {
     meta: u32,
 }
 
+/// Bytes of one serialized slot record: weight u64 + bucket_pos u32 +
+/// meta u32, all little-endian (the layout [`Slab::from_raw_parts`] parses
+/// and the snapshot codec's `write_slab` emits).
+pub(crate) const SLOT_REC_BYTES: usize = 16;
+
 impl Rec {
     #[inline]
     fn alive(&self) -> bool {
@@ -217,6 +222,71 @@ impl Slab {
     /// Number of slots (live + recycled); slot indices range over it.
     pub(crate) fn slot_count(&self) -> usize {
         self.recs.len()
+    }
+
+    /// Raw per-slot records `(weight, bucket_pos, meta)` in slot order —
+    /// the snapshot codec's verbatim view. Dead slots are included (their
+    /// stale weights and generations are part of the durable image: handle
+    /// issuance after a restore must match the original exactly).
+    pub(crate) fn raw_slots(&self) -> impl Iterator<Item = (u64, u32, u32)> + '_ {
+        self.recs.iter().map(|r| (r.weight, r.bucket_pos, r.meta))
+    }
+
+    /// The free list in recycling order (the snapshot codec persists it
+    /// verbatim so restored slabs pop slots in the original order).
+    pub(crate) fn raw_free(&self) -> &[u32] {
+        &self.free
+    }
+
+    /// Rebuilds a slab from serialized [`Slab::raw_slots`] records (the raw
+    /// little-endian byte stream, [`SLOT_REC_BYTES`] per slot) plus the
+    /// [`Slab::raw_free`] list. Validates the free list (every entry in
+    /// range, unique, and dead; every dead slot listed) so a corrupt image
+    /// is rejected instead of producing a slab that double-issues handles.
+    /// Parsing bytes here fuses the decode loop straight into the one
+    /// `Vec<Rec>` allocation — at 2^20 slots the intermediate tuple vector
+    /// this replaces was a measurable slice of load time. The caller has
+    /// already bounds-proven `bytes` against the image, so sizing the
+    /// vector from its length trusts nothing.
+    pub(crate) fn from_raw_parts(bytes: &[u8], free: Vec<u32>) -> Result<Slab, &'static str> {
+        if !bytes.len().is_multiple_of(SLOT_REC_BYTES) {
+            return Err("slot record stream misaligned");
+        }
+        // pss-lint: allow(no-alloc-hot-path) — snapshot restore is a cold path; one exact-size build
+        let mut recs: Vec<Rec> = Vec::with_capacity(bytes.len() / SLOT_REC_BYTES);
+        let mut len = 0usize;
+        for rec in bytes.chunks_exact(SLOT_REC_BYTES) {
+            // pss-lint: allow(no-bare-index) — chunks_exact yields exactly SLOT_REC_BYTES = 16-byte records
+            let weight = u64::from_le_bytes(rec[..8].try_into().map_err(|_| "record width")?);
+            // pss-lint: allow(no-bare-index) — chunks_exact yields exactly SLOT_REC_BYTES = 16-byte records
+            let bp: [u8; 4] = rec[8..12].try_into().map_err(|_| "record width")?;
+            let bucket_pos = u32::from_le_bytes(bp);
+            // pss-lint: allow(no-bare-index) — chunks_exact yields exactly SLOT_REC_BYTES = 16-byte records
+            let meta = u32::from_le_bytes(rec[12..].try_into().map_err(|_| "record width")?);
+            len += (meta & 1) as usize;
+            // pss-lint: allow(no-alloc-hot-path) — cold restore path; capacity reserved exactly above
+            recs.push(Rec { weight, bucket_pos, meta });
+        }
+        // pss-lint: allow(no-alloc-hot-path) — cold restore path; one scratch bitmap per restore
+        let mut in_free = vec![false; recs.len()];
+        for &idx in &free {
+            let Some(rec) = recs.get(idx as usize) else {
+                return Err("free-list entry out of range");
+            };
+            if rec.alive() {
+                return Err("free-list entry is a live slot");
+            }
+            // pss-lint: allow(no-bare-index) — idx proved in range by the recs.get() above; in_free.len() == recs.len()
+            let seen = &mut in_free[idx as usize];
+            if *seen {
+                return Err("free-list entry repeated");
+            }
+            *seen = true;
+        }
+        if free.len() != recs.len() - len {
+            return Err("dead slots and free list disagree");
+        }
+        Ok(Slab { recs, free, len })
     }
 
     /// The live item in slot `idx`, if any (index-based scan for rebuilds —

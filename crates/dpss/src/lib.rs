@@ -43,13 +43,16 @@ pub mod item;
 pub mod lookup;
 pub mod query;
 pub mod sampler;
+mod snapshot;
 pub mod structure;
 
 pub use bignum::Ratio;
 pub use deamortized::DeamortizedDpss;
 pub use diagnostics::{LevelStats, StructureStats};
 pub use item::ItemId;
-pub use pss_core::{Handle, PssBackend, SeedableBackend};
+pub use pss_core::{
+    recover, Handle, PssBackend, RecoverError, SeedableBackend, SnapshotError, Snapshottable,
+};
 pub use query::FinalLevelMode;
-pub use sampler::DpssSampler;
+pub use sampler::{DpssSampler, OpError};
 pub use wordram::SpaceUsage;

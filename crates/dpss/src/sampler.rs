@@ -21,9 +21,14 @@ use crate::query::{
     query_level1, query_level1_planned, thresholds, FinalLevelMode, QueryAccel, QueryFrame,
     Thresholds,
 };
+use crate::snapshot::{level1_from_slab, read_slab, write_slab};
 use crate::structure::Level1;
 use bignum::{BigUint, Ratio};
-use pss_core::{ChangeJournal, CtxRng, Delta, Handle, QueryCtx, Replay};
+use pss_core::fault::{self, FaultError, Site};
+use pss_core::{
+    kind, ChangeJournal, CtxRng, Delta, Enc, Handle, QueryCtx, Replay, SnapshotError,
+    SnapshotReader, SnapshotWriter, Snapshottable,
+};
 use wordram::bits::ceil_log2_u64;
 use wordram::SpaceUsage;
 
@@ -116,6 +121,30 @@ fn derive_widths(n0: usize) -> (u32, u32) {
     (g1, g2)
 }
 
+/// Why a fallible HALT update (`try_insert` & co.) refused to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpError {
+    /// A previous `&mut` update unwound mid-cascade: the hierarchy may be
+    /// half-cascaded, so every subsequent update is refused until the caller
+    /// recovers from a snapshot (the journal stays readable for that).
+    Poisoned,
+    /// An armed failpoint fired (fault-injection builds only). At an entry
+    /// site the structure is untouched and stays usable; at a mid-cascade
+    /// site the op is torn, so the sampler is additionally poisoned.
+    Fault(FaultError),
+}
+
+impl std::fmt::Display for OpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpError::Poisoned => write!(f, "sampler poisoned by an earlier torn update"),
+            OpError::Fault(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for OpError {}
+
 /// Dynamic Parameterized Subset Sampling over integer-weighted items.
 ///
 /// Implements the paper's Theorem 1.1 bounds: O(n) preprocessing
@@ -149,6 +178,10 @@ pub struct DpssSampler {
     pub(crate) ctx: QueryCtx,
     /// Disables the word-level fast path (all coins exact; agreement tests).
     force_exact: bool,
+    /// Set while a `&mut` update is mid-cascade and cleared on completion: a
+    /// panic (or injected fault) inside the cascade leaves it stuck `true`,
+    /// and every later update is refused with [`OpError::Poisoned`].
+    poisoned: bool,
 }
 
 impl DpssSampler {
@@ -185,6 +218,7 @@ impl DpssSampler {
             instance: pss_core::fresh_backend_id(),
             ctx: QueryCtx::new(seed),
             force_exact: false,
+            poisoned: false,
         }
     }
 
@@ -312,12 +346,41 @@ impl DpssSampler {
         });
     }
 
+    /// `true` iff an earlier update unwound mid-cascade and the structure
+    /// must be recovered from a snapshot before further updates.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    #[inline]
+    fn ensure_unpoisoned(&self) -> Result<(), OpError> {
+        if self.poisoned {
+            Err(OpError::Poisoned)
+        } else {
+            Ok(())
+        }
+    }
+
     /// Inserts an item with `weight` in O(1) (amortized across rebuilds).
     pub fn insert(&mut self, weight: u64) -> ItemId {
+        // pss-lint: allow(no-panic-paths) — fails only on a poisoned sampler or an armed failpoint; both mean the caller opted into fault-injection semantics and must use try_insert
+        self.try_insert(weight).expect("update refused; use try_insert on a fallible path")
+    }
+
+    /// Fallible [`DpssSampler::insert`]: refuses to run on a poisoned
+    /// sampler, and surfaces injected faults as typed errors. An unwind (or
+    /// injected fault) between the first structural write and completion
+    /// leaves the sampler poisoned.
+    pub fn try_insert(&mut self, weight: u64) -> Result<ItemId, OpError> {
+        self.ensure_unpoisoned()?;
+        fault::fail_point(Site::InsertEntry).map_err(OpError::Fault)?;
+        self.poisoned = true;
         let id = self.level1.insert(weight);
+        fault::fail_point(Site::InsertCascade).map_err(OpError::Fault)?;
         self.journal.record(Delta::Inserted { handle: Handle::from_raw(id.raw()), weight });
         self.maybe_rebuild();
-        id
+        self.poisoned = false;
+        Ok(id)
     }
 
     /// Inserts a batch of items in O(batch), returning their handles in
@@ -334,9 +397,22 @@ impl DpssSampler {
     /// reference loop (`insert_many_per_op`, behind the `per-op-reference`
     /// feature), which the bulk-vs-per-op suite pins down.
     pub fn insert_many(&mut self, weights: &[u64]) -> Vec<ItemId> {
+        // pss-lint: allow(no-panic-paths) — fails only on a poisoned sampler or an armed failpoint; both mean the caller opted into fault-injection semantics and must use try_insert_many
+        self.try_insert_many(weights).expect("update refused; use try_insert_many")
+    }
+
+    /// Fallible [`DpssSampler::insert_many`] (see [`DpssSampler::try_insert`]
+    /// for the poisoning contract). The batch journals all-or-nothing: a kill
+    /// anywhere inside the build leaves the journal without the batch epoch,
+    /// so recovery replays none of it — matching the torn structure being
+    /// discarded wholesale.
+    pub fn try_insert_many(&mut self, weights: &[u64]) -> Result<Vec<ItemId>, OpError> {
+        self.ensure_unpoisoned()?;
+        fault::fail_point(Site::BulkEntry).map_err(OpError::Fault)?;
         if weights.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
+        self.poisoned = true;
         self.reserve_for(self.len() + weights.len());
         let ids = self.level1.insert_many(weights);
         self.journal.record_batch(
@@ -344,7 +420,8 @@ impl DpssSampler {
                 .zip(weights)
                 .map(|(id, &w)| Delta::Inserted { handle: Handle::from_raw(id.raw()), weight: w }),
         );
-        ids
+        self.poisoned = false;
+        Ok(ids)
     }
 
     /// The per-item batch loop the bulk build replaced, kept as the
@@ -369,15 +446,30 @@ impl DpssSampler {
 
     /// Deletes an item in O(1) (amortized); returns its weight.
     pub fn delete(&mut self, id: ItemId) -> Option<u64> {
+        // pss-lint: allow(no-panic-paths) — fails only on a poisoned sampler or an armed failpoint; both mean the caller opted into fault-injection semantics and must use try_delete
+        self.try_delete(id).expect("update refused; use try_delete on a fallible path")
+    }
+
+    /// Fallible [`DpssSampler::delete`] (see [`DpssSampler::try_insert`] for
+    /// the poisoning contract). Stale handles return `Ok(None)` without
+    /// touching — or poisoning — anything.
+    pub fn try_delete(&mut self, id: ItemId) -> Result<Option<u64>, OpError> {
+        self.ensure_unpoisoned()?;
+        fault::fail_point(Site::DeleteEntry).map_err(OpError::Fault)?;
         // Touch (and validate) the slab record before the journal append:
         // the line is then resident by the time the cascade dereferences it,
         // and stale handles never reach the journal.
-        self.level1.slab.weight(id)?;
+        if self.level1.slab.weight(id).is_none() {
+            return Ok(None);
+        }
+        self.poisoned = true;
         self.journal.record(Delta::Deleted { handle: Handle::from_raw(id.raw()) });
-        // pss-lint: allow(no-panic-paths) — the slab lookup two lines up already returned Some for this id
+        fault::fail_point(Site::DeleteCascade).map_err(OpError::Fault)?;
+        // pss-lint: allow(no-panic-paths) — the slab lookup above already returned Some for this id
         let w = self.level1.delete(id).expect("slab record validated above");
         self.maybe_rebuild();
-        Some(w)
+        self.poisoned = false;
+        Ok(Some(w))
     }
 
     /// Changes a live item's weight in O(1) **preserving its handle** —
@@ -385,23 +477,38 @@ impl DpssSampler {
     /// Returns the previous weight, or `None` for stale handles. The item
     /// count is unchanged, so no rebuild can trigger.
     pub fn set_weight(&mut self, id: ItemId, new_weight: u64) -> Option<u64> {
+        // pss-lint: allow(no-panic-paths) — fails only on a poisoned sampler or an armed failpoint; both mean the caller opted into fault-injection semantics and must use try_set_weight
+        self.try_set_weight(id, new_weight).expect("update refused; use try_set_weight")
+    }
+
+    /// Fallible [`DpssSampler::set_weight`] (see [`DpssSampler::try_insert`]
+    /// for the poisoning contract). Stale handles (`Ok(None)`) and no-op
+    /// re-sets (`Ok(Some(old))`) return before anything is touched.
+    pub fn try_set_weight(&mut self, id: ItemId, new_weight: u64) -> Result<Option<u64>, OpError> {
+        self.ensure_unpoisoned()?;
+        fault::fail_point(Site::SetWeightEntry).map_err(OpError::Fault)?;
         // Early slab read: validates the handle, fetches the old weight for
         // the journal entry, and warms the record the cascade is about to
         // rewrite (the append between read and rewrite hides the load).
-        let old = self.level1.slab.weight(id)?;
+        let Some(old) = self.level1.slab.weight(id) else {
+            return Ok(None);
+        };
         if old == new_weight {
             // Stale handles and no-op re-sets leave the item set (and every
             // cached query plan) untouched — nothing to journal.
-            return Some(old);
+            return Ok(Some(old));
         }
+        self.poisoned = true;
         self.journal.record(Delta::Reweighted {
             handle: Handle::from_raw(id.raw()),
             old,
             new: new_weight,
         });
+        fault::fail_point(Site::SetWeightCascade).map_err(OpError::Fault)?;
         // Already validated and filtered above — skip straight to the body.
         self.level1.reweight(id, old, new_weight);
-        Some(old)
+        self.poisoned = false;
+        Ok(Some(old))
     }
 
     /// Insert without the global-rebuild check — used by
@@ -468,6 +575,10 @@ impl DpssSampler {
         // rebuilds compact the bucket blocks to keep space O(n).
         let compact = n0 < self.n0;
         self.level1.rebuild(g1, g2, compact);
+        // Failpoint between the structural rebuild and its journal entry: a
+        // crash here leaves a rebuilt hierarchy the journal knows nothing
+        // about — recovery must converge through replay, not the journal.
+        fault::fail_point_unwind(Site::RebuildMid);
         // A structural journal entry: no context state replays across a
         // rebuild (group widths moved), and contexts re-derive their
         // memoized tables lazily when the modulus changed (`plan_state`).
@@ -694,6 +805,89 @@ impl DpssSampler {
     /// Validates every structural invariant (test/debug hook; O(n)).
     pub fn validate(&self) {
         self.level1.validate();
+    }
+}
+
+/// Section tag of the sizing/journal scalars inside a [`kind::HALT`] image.
+const TAG_SAMPLER: u32 = 1;
+/// Section tag of the verbatim slab payload inside a [`kind::HALT`] image.
+const TAG_SLAB: u32 = 2;
+
+impl Snapshottable for DpssSampler {
+    fn write_snapshot(&self, out: &mut Vec<u8>) {
+        let mut w = SnapshotWriter::new(kind::HALT);
+        let mut enc = Enc::new();
+        enc.put_usize(self.n0);
+        enc.put_u32(self.level1.group_width);
+        enc.put_u32(self.level1.l2_group_width);
+        enc.put_u64(self.rebuilds);
+        enc.put_usize(self.rebuild_factor);
+        enc.put_bool(self.force_exact);
+        enc.put_u8(match self.final_mode {
+            FinalLevelMode::Lookup => 0,
+            FinalLevelMode::Direct => 1,
+        });
+        enc.put_u64(self.ctx.seed());
+        enc.put_u64(self.journal.epoch());
+        w.section(TAG_SAMPLER, enc);
+        let mut slab = Enc::new();
+        write_slab(&mut slab, &self.level1.slab);
+        w.section(TAG_SLAB, slab);
+        w.finish(out);
+    }
+
+    fn from_snapshot(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let r = SnapshotReader::new(bytes, kind::HALT)?;
+        let mut dec = r.section(TAG_SAMPLER)?;
+        let n0 = dec.get_usize()?;
+        let g1 = dec.get_u32()?;
+        let g2 = dec.get_u32()?;
+        let rebuilds = dec.get_u64()?;
+        let rebuild_factor = dec.get_usize()?;
+        let force_exact = dec.get_bool()?;
+        let final_mode = match dec.get_u8()? {
+            0 => FinalLevelMode::Lookup,
+            1 => FinalLevelMode::Direct,
+            _ => return Err(SnapshotError::Invalid("final-mode byte out of range")),
+        };
+        let seed = dec.get_u64()?;
+        let watermark = dec.get_u64()?;
+        dec.finish()?;
+        // Sizing sanity: the widths divide bucket universes and the rebuild
+        // band multiplies n₀ — absurd values would divide by zero or
+        // overflow, so they are rejected as corrupt rather than trusted.
+        if n0 == 0 || n0 > u32::MAX as usize {
+            return Err(SnapshotError::Invalid("sizing parameter out of range"));
+        }
+        if !(2..=1 << 16).contains(&rebuild_factor) {
+            return Err(SnapshotError::Invalid("rebuild factor out of range"));
+        }
+        if g1 == 0 || g1 > 64 || g2 == 0 || g2 > 64 {
+            return Err(SnapshotError::Invalid("group width out of range"));
+        }
+        let mut sdec = r.section(TAG_SLAB)?;
+        let slab = read_slab(&mut sdec)?;
+        sdec.finish()?;
+        let level1 = level1_from_slab(slab, g1, g2)?;
+        Ok(DpssSampler {
+            level1,
+            n0,
+            final_mode,
+            rebuilds,
+            rebuild_factor,
+            // The journal resumes at the saved watermark with an empty ring:
+            // recovery replays a durable journal's suffix from here.
+            journal: ChangeJournal::resumed_at(watermark),
+            // `table_modulus` tracks `l2_group_width` by construction.
+            table_modulus: g2,
+            // Process-local identity is deliberately not durable: a restored
+            // sampler keys fresh per-context state (and the default context
+            // restarts its derived stream at the saved seed).
+            instance: pss_core::fresh_backend_id(),
+            ctx: QueryCtx::new(seed),
+            force_exact,
+            poisoned: false,
+        })
     }
 }
 

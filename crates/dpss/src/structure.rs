@@ -560,7 +560,12 @@ impl Level1 {
             slab: Slab::new(),
             // pss-lint: allow(no-alloc-hot-path) — one-time construction, not the steady-state cascade
             buckets: vec![Bucket::EMPTY; L1_BUCKETS],
-            item_arena: BucketArena::new(ItemId::from_raw(0)),
+            // The arena's fill padding is never observable through the
+            // `Bucket` API; `u64::MAX` is unreachable as a real handle
+            // (31-bit generations keep raw ids below 2^63), so the snapshot
+            // restore can use displaced padding as its vacancy sentinel
+            // when scattering items to their serialized positions.
+            item_arena: BucketArena::new(ItemId::from_raw(u64::MAX)),
             nonempty_buckets: BitsetList::new(L1_BUCKETS),
             nonempty_groups: BitsetList::new(n_groups),
             group_width,
@@ -722,6 +727,9 @@ impl Level1 {
             }
         }
         self.n_positive += weights.len() - add_zero;
+        // Failpoint between fill and derive: a crash here leaves buckets
+        // populated but bitsets/hierarchy stale — the worst-case torn bulk.
+        pss_core::fault::fail_point_unwind(pss_core::fault::Site::BulkFill);
         // Pass 4: derive — one bitset/cascade update per touched class.
         for (i, &c) in add.iter().enumerate() {
             if c == 0 {

@@ -1,0 +1,377 @@
+//! Deterministic fault injection — the failpoint shim behind the crash
+//! harness.
+//!
+//! Same idiom as the offline `shims/rand` crate: a tiny, dependency-free
+//! stand-in for the crates.io `fail` crate, feature-gated so the default
+//! build carries **zero cost**. With the `fault-injection` feature off,
+//! [`fail_point`] / [`fail_point_unwind`] / [`corrupt_region`] are
+//! `#[inline(always)]` no-ops that the optimizer erases entirely; with it
+//! on, a process-global registry lets a test arm a one-shot [`Action`] at a
+//! named [`Site`] and observe the backend die exactly there.
+//!
+//! Sites are threaded through the HALT insert/delete/set_weight cascades,
+//! the rebuild, the radix bulk build, and the snapshot codec. Three action
+//! families cover the crash harness:
+//!
+//! - [`Action::Error`] — the op returns a typed [`FaultError`] (clean early
+//!   return; *entry* sites fire before any mutation, so nothing poisons);
+//! - [`Action::Panic`] — the op unwinds mid-cascade, which must leave the
+//!   backend poisoned rather than half-cascaded;
+//! - [`Action::Truncate`] / [`Action::FlipByte`] — byte-level snapshot
+//!   corruption at [`Site::SnapshotEncode`], with the offset derived
+//!   deterministically from the seed carried by the action.
+//!
+//! Everything is deterministic: a seeded workload plus an armed site
+//! reproduces the same death on every run.
+
+// pss-lint: allow-file(no-bare-index) — per-site hit counters are indexed by Site::index(), a dense enum match bounded by Site::COUNT == the array length
+
+/// One named failpoint. The crash harness iterates [`Site::ALL`] and proves
+/// recovery at every one of them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Site {
+    /// Entry of an insert, before any mutation.
+    InsertEntry,
+    /// Mid-insert: the structure is mutated, the journal not yet appended.
+    InsertCascade,
+    /// Entry of a delete, before any mutation.
+    DeleteEntry,
+    /// Mid-delete: the structure is mutated, the journal not yet appended.
+    DeleteCascade,
+    /// Entry of a set_weight, before any mutation.
+    SetWeightEntry,
+    /// Mid-reweight: the structure is mutated, the journal not yet appended.
+    SetWeightCascade,
+    /// Entry of a bulk insert, before any mutation.
+    BulkEntry,
+    /// Inside the radix bulk build, between the fill and derive passes.
+    BulkFill,
+    /// Inside a structural rebuild, after the re-partition but before the
+    /// journal records the rebuild.
+    RebuildMid,
+    /// Snapshot encoding (byte-level corruption of the written image).
+    SnapshotEncode,
+    /// Snapshot decoding (typed decode failure).
+    SnapshotDecode,
+}
+
+impl Site {
+    /// Number of distinct sites.
+    pub const COUNT: usize = 11;
+
+    /// Every site, in declaration order — the crash harness's iteration set.
+    pub const ALL: [Site; Site::COUNT] = [
+        Site::InsertEntry,
+        Site::InsertCascade,
+        Site::DeleteEntry,
+        Site::DeleteCascade,
+        Site::SetWeightEntry,
+        Site::SetWeightCascade,
+        Site::BulkEntry,
+        Site::BulkFill,
+        Site::RebuildMid,
+        Site::SnapshotEncode,
+        Site::SnapshotDecode,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Site::InsertEntry => "insert-entry",
+            Site::InsertCascade => "insert-cascade",
+            Site::DeleteEntry => "delete-entry",
+            Site::DeleteCascade => "delete-cascade",
+            Site::SetWeightEntry => "set-weight-entry",
+            Site::SetWeightCascade => "set-weight-cascade",
+            Site::BulkEntry => "bulk-entry",
+            Site::BulkFill => "bulk-fill",
+            Site::RebuildMid => "rebuild-mid",
+            Site::SnapshotEncode => "snapshot-encode",
+            Site::SnapshotDecode => "snapshot-decode",
+        }
+    }
+
+    /// Dense index into per-site counters.
+    #[cfg(feature = "fault-injection")]
+    fn index(self) -> usize {
+        match self {
+            Site::InsertEntry => 0,
+            Site::InsertCascade => 1,
+            Site::DeleteEntry => 2,
+            Site::DeleteCascade => 3,
+            Site::SetWeightEntry => 4,
+            Site::SetWeightCascade => 5,
+            Site::BulkEntry => 6,
+            Site::BulkFill => 7,
+            Site::RebuildMid => 8,
+            Site::SnapshotEncode => 9,
+            Site::SnapshotDecode => 10,
+        }
+    }
+}
+
+impl std::fmt::Display for Site {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The typed error an armed [`Action::Error`] failpoint returns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultError {
+    /// The site that fired.
+    pub site: Site,
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected fault at {}", self.site)
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// What an armed failpoint does when it fires. One-shot: firing disarms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Return a typed [`FaultError`] from the op.
+    Error,
+    /// Unwind (panic) mid-op — the crash the poisoning contract is for.
+    Panic,
+    /// Truncate the snapshot image at a seed-derived interior byte
+    /// (byte-level corruption sites only).
+    Truncate(u64),
+    /// XOR a seed-derived byte of the snapshot image with a seed-derived
+    /// non-zero mask (byte-level corruption sites only).
+    FlipByte(u64),
+}
+
+/// SplitMix64 finalizer — derives corruption offsets from action seeds.
+#[cfg(feature = "fault-injection")]
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(feature = "fault-injection")]
+mod registry {
+    use super::{Action, Site};
+    use std::sync::Mutex;
+
+    /// Process-global armed-failpoint registry. A `Vec` (not a map) both
+    /// because arming is rare and because `HashMap` is banned workspace-wide
+    /// (deterministic-iteration).
+    pub(super) struct State {
+        /// `(site, absolute hit number to fire on, action)`.
+        pub(super) armed: Vec<(Site, u64, Action)>,
+        /// Hits observed per site since the last [`super::clear`].
+        pub(super) hits: [u64; Site::COUNT],
+    }
+
+    pub(super) static STATE: Mutex<State> =
+        Mutex::new(State { armed: Vec::new(), hits: [0; Site::COUNT] });
+
+    /// Locks the registry, shrugging off mutex poisoning: an injected panic
+    /// unwinding through a backend is this module's *job*, and the registry
+    /// state (plain counters + a list) is valid at every instruction.
+    pub(super) fn lock() -> std::sync::MutexGuard<'static, State> {
+        STATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// Arms `action` to fire at the **next** hit of `site`. One-shot.
+#[cfg(feature = "fault-injection")]
+pub fn arm(site: Site, action: Action) {
+    arm_nth(site, 0, action);
+}
+
+/// Arms `action` to fire at the `nth` subsequent hit of `site` (0 = next).
+/// One-shot: firing removes the entry.
+#[cfg(feature = "fault-injection")]
+pub fn arm_nth(site: Site, nth: u64, action: Action) {
+    let mut st = registry::lock();
+    let trigger = st.hits[site.index()] + nth;
+    st.armed.push((site, trigger, action));
+}
+
+/// Disarms everything and zeroes the per-site hit counters.
+#[cfg(feature = "fault-injection")]
+pub fn clear() {
+    let mut st = registry::lock();
+    st.armed.clear();
+    st.hits = [0; Site::COUNT];
+}
+
+/// Hits observed at `site` since the last [`clear`] (diagnostics: the crash
+/// harness asserts its workload actually reached the site it armed).
+#[cfg(feature = "fault-injection")]
+pub fn hits(site: Site) -> u64 {
+    registry::lock().hits[site.index()]
+}
+
+/// Takes the armed action for this hit of `site`, if any, bumping the hit
+/// counter either way.
+#[cfg(feature = "fault-injection")]
+fn fire(site: Site) -> Option<Action> {
+    let mut st = registry::lock();
+    let hit = st.hits[site.index()];
+    st.hits[site.index()] += 1;
+    let pos = st.armed.iter().position(|&(s, trigger, _)| s == site && trigger == hit)?;
+    Some(st.armed.remove(pos).2)
+}
+
+/// The failpoint for fallible ops: returns the typed error on an armed
+/// [`Action::Error`], unwinds on an armed [`Action::Panic`], and is inert
+/// otherwise (byte-level actions do not apply at control-flow sites).
+#[cfg(feature = "fault-injection")]
+pub fn fail_point(site: Site) -> Result<(), FaultError> {
+    match fire(site) {
+        Some(Action::Error) => Err(FaultError { site }),
+        Some(Action::Panic) => {
+            // pss-lint: allow(no-panic-paths) — the unwind IS the injected fault; only reachable with the fault-injection feature armed
+            panic!("injected fault (unwind) at {site}")
+        }
+        Some(Action::Truncate(_)) | Some(Action::FlipByte(_)) | None => Ok(()),
+    }
+}
+
+/// The failpoint for infallible interior code (mid-rebuild, mid-bulk-fill):
+/// there is no error channel, so **any** armed control-flow action unwinds.
+#[cfg(feature = "fault-injection")]
+pub fn fail_point_unwind(site: Site) {
+    match fire(site) {
+        Some(Action::Error) | Some(Action::Panic) => {
+            // pss-lint: allow(no-panic-paths) — the unwind IS the injected fault; only reachable with the fault-injection feature armed
+            panic!("injected fault (unwind) at {site}")
+        }
+        Some(Action::Truncate(_)) | Some(Action::FlipByte(_)) | None => {}
+    }
+}
+
+/// The byte-corruption point: deterministically truncates or flips the
+/// region `buf[start..]` when a byte-level action is armed at `site`.
+/// Control-flow actions do not apply here.
+#[cfg(feature = "fault-injection")]
+pub fn corrupt_region(site: Site, buf: &mut Vec<u8>, start: usize) {
+    let len = buf.len().saturating_sub(start);
+    if len == 0 {
+        return;
+    }
+    match fire(site) {
+        Some(Action::Truncate(seed)) => {
+            // Keep a strict prefix of the region: always at least one byte
+            // shorter than the valid image.
+            let keep = (splitmix(seed) % len as u64) as usize;
+            buf.truncate(start + keep);
+        }
+        Some(Action::FlipByte(seed)) => {
+            let off = start + (splitmix(seed) % len as u64) as usize;
+            // pss-lint: allow(no-lossy-cast) — value is reduced mod 255 first, fits in 8 bits
+            let mask = (splitmix(seed ^ 0xC0DE) % 255) as u8 + 1;
+            if let Some(b) = buf.get_mut(off) {
+                *b ^= mask;
+            }
+        }
+        Some(Action::Error) | Some(Action::Panic) | None => {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Feature-off stubs: fully inert, `#[inline(always)]`, zero cost.
+// ---------------------------------------------------------------------------
+
+/// No-op failpoint (fault-injection disabled).
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn fail_point(_site: Site) -> Result<(), FaultError> {
+    Ok(())
+}
+
+/// No-op failpoint (fault-injection disabled).
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn fail_point_unwind(_site: Site) {}
+
+/// No-op corruption point (fault-injection disabled).
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn corrupt_region(_site: Site, _buf: &mut Vec<u8>, _start: usize) {}
+
+#[cfg(all(test, feature = "fault-injection"))]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The registry is process-global; tests in this module serialize on
+    /// this lock so their armings never interleave.
+    static GUARD: Mutex<()> = Mutex::new(());
+
+    fn guarded() -> std::sync::MutexGuard<'static, ()> {
+        let g = GUARD.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        clear();
+        g
+    }
+
+    #[test]
+    fn error_action_fires_once() {
+        let _g = guarded();
+        arm(Site::InsertEntry, Action::Error);
+        assert_eq!(fail_point(Site::InsertEntry), Err(FaultError { site: Site::InsertEntry }));
+        assert_eq!(fail_point(Site::InsertEntry), Ok(()), "one-shot");
+        assert_eq!(hits(Site::InsertEntry), 2);
+        assert_eq!(fail_point(Site::DeleteEntry), Ok(()), "other sites inert");
+    }
+
+    #[test]
+    fn nth_arming_skips_hits() {
+        let _g = guarded();
+        arm_nth(Site::DeleteCascade, 2, Action::Error);
+        assert!(fail_point(Site::DeleteCascade).is_ok());
+        assert!(fail_point(Site::DeleteCascade).is_ok());
+        assert!(fail_point(Site::DeleteCascade).is_err());
+    }
+
+    #[test]
+    fn panic_action_unwinds() {
+        let _g = guarded();
+        arm(Site::RebuildMid, Action::Panic);
+        let r = std::panic::catch_unwind(|| fail_point_unwind(Site::RebuildMid));
+        assert!(r.is_err(), "armed unwind site must panic");
+        fail_point_unwind(Site::RebuildMid); // disarmed: no panic
+    }
+
+    #[test]
+    fn corruption_is_deterministic_and_strict() {
+        let _g = guarded();
+        let img: Vec<u8> = (0..200u8).collect();
+        let mut a = img.clone();
+        arm(Site::SnapshotEncode, Action::Truncate(7));
+        corrupt_region(Site::SnapshotEncode, &mut a, 10);
+        assert!(a.len() < img.len(), "truncation must shorten");
+        assert!(a.len() >= 10, "the region before start is untouched");
+        clear();
+        let mut b = img.clone();
+        arm(Site::SnapshotEncode, Action::Truncate(7));
+        corrupt_region(Site::SnapshotEncode, &mut b, 10);
+        assert_eq!(a, b, "same seed, same truncation");
+        clear();
+        let mut c = img.clone();
+        arm(Site::SnapshotEncode, Action::FlipByte(9));
+        corrupt_region(Site::SnapshotEncode, &mut c, 0);
+        assert_eq!(c.len(), img.len());
+        assert_ne!(c, img, "the flipped byte must differ");
+        assert_eq!(c.iter().zip(&img).filter(|(x, y)| x != y).count(), 1);
+    }
+
+    #[test]
+    fn unarmed_sites_are_inert() {
+        let _g = guarded();
+        let mut buf = vec![1, 2, 3];
+        corrupt_region(Site::SnapshotEncode, &mut buf, 0);
+        assert_eq!(buf, vec![1, 2, 3]);
+        assert!(fail_point(Site::BulkFill).is_ok());
+        fail_point_unwind(Site::BulkFill);
+    }
+}

@@ -132,6 +132,27 @@ impl ChangeJournal {
         Self::default()
     }
 
+    /// Creates an empty journal resuming at `epoch` — the snapshot-restore
+    /// constructor. Both the epoch and the replay floor start at the
+    /// watermark: a restored journal retains no deltas, so an observer from
+    /// a previous life that is *behind* the watermark must fall back
+    /// ([`Replay::TooOld`]) rather than replay through a gap, while
+    /// observers at the watermark are up to date.
+    pub fn resumed_at(epoch: u64) -> Self {
+        Self::resumed_with_capacity(epoch, DEFAULT_JOURNAL_CAPACITY)
+    }
+
+    /// [`ChangeJournal::resumed_at`] with an explicit ring capacity — the
+    /// durable-log constructor. A write-ahead log that must bridge a
+    /// snapshot to the present is typically retained far deeper than the
+    /// in-memory observer ring (whose only job is saving per-context
+    /// catch-ups): a [`crate::recover`] caller sizes it to the longest
+    /// journal tail it intends to replay.
+    pub fn resumed_with_capacity(epoch: u64, capacity: usize) -> Self {
+        assert!(capacity >= 1, "journal capacity must be at least 1");
+        ChangeJournal { ring: Vec::new(), cap: capacity, head: 0, len: 0, epoch, floor: epoch }
+    }
+
     /// The current version. Context state stores this after building or
     /// catching up, and passes it back as `since` next time.
     #[inline]
@@ -457,6 +478,21 @@ mod tests {
         assert_eq!(j.len(), 3);
         assert_eq!(collect(j.catch_up(5)).len(), 3);
         assert!(matches!(j.catch_up(4), Replay::TooOld), "pre-rebuild observer");
+    }
+
+    #[test]
+    fn resumed_journal_floors_at_the_watermark() {
+        let mut j = ChangeJournal::resumed_at(42);
+        assert_eq!(j.epoch(), 42);
+        assert!(j.is_empty());
+        assert!(matches!(j.catch_up(42), Replay::UpToDate));
+        assert!(matches!(j.catch_up(41), Replay::TooOld), "pre-watermark observers fall back");
+        assert!(matches!(j.catch_up(0), Replay::TooOld));
+        // Recording resumes normally above the watermark.
+        j.record(ins(1, 5));
+        assert_eq!(j.epoch(), 43);
+        assert_eq!(collect(j.catch_up(42)), vec![ins(1, 5)]);
+        assert!(matches!(j.catch_up(41), Replay::TooOld));
     }
 
     #[test]

@@ -43,12 +43,18 @@ use bignum::{BigUint, Ratio};
 use wordram::narrow;
 
 mod ctx;
+pub mod fault;
 mod journal;
 mod shard;
+mod snapshot;
 
 pub use ctx::{fresh_backend_id, stream_seed, CtxRng, QueryCtx};
 pub use journal::{ChangeJournal, Delta, DeltaReplay, Replay, DEFAULT_JOURNAL_CAPACITY};
 pub use shard::ShardedQuery;
+pub use snapshot::{
+    kind, recover, Dec, Enc, RecoverError, SnapshotError, SnapshotReader, SnapshotWriter,
+    Snapshottable, FORMAT_VERSION, MAGIC,
+};
 pub use wordram::SpaceUsage;
 
 /// The decayed weight `⌊w·num/den⌋` of one global weight scale — the single
@@ -210,6 +216,23 @@ pub trait PssBackend: SpaceUsage + Send + Sync {
     fn journal(&self) -> Option<&ChangeJournal> {
         None
     }
+
+    /// `true` iff a previous `&mut` operation unwound mid-cascade and left
+    /// the structure in an indeterminate state.
+    ///
+    /// Backends with multi-step update cascades (the HALT structures) arm a
+    /// poison flag around each mutation: an unwind between the first write
+    /// and the journal append leaves the flag set, and every subsequent
+    /// fallible op returns `Err(Poisoned)` rather than computing on a
+    /// half-cascaded structure. A poisoned backend still answers
+    /// [`PssBackend::journal`] (recovery reads the durable watermark off it)
+    /// but must not be queried or updated; the way out is
+    /// [`recover`](crate::recover) from a snapshot + journal. Backends whose
+    /// updates are single-step (the [`Store`]-backed baselines) never
+    /// poison, which is what this default encodes.
+    fn poisoned(&self) -> bool {
+        false
+    }
 }
 
 /// Uniform deterministic-seeding surface: every backend in the workspace can
@@ -239,7 +262,7 @@ pub fn boxed<B: SeedableBackend + 'static>(seed: u64) -> Box<dyn PssBackend> {
 /// Handles are slot indices; freed slots are recycled. The store also tracks
 /// the exact total weight, from which [`Store::param_weight`] derives the
 /// query denominator `W(α, β) = α·Σw + β` in exact rational arithmetic.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Store {
     /// Weight per slot (stale weights remain in dead slots).
     weights: Vec<u64>,

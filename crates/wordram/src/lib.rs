@@ -12,6 +12,8 @@
 //! - [`Pool`] / [`BucketArena`]: index-addressed slab and size-class block
 //!   arena backing the allocation-free update cascade (nodes and bucket
 //!   lists live in flat storage instead of behind `Box`/`Vec` pointers);
+//! - [`crc`]: table-driven CRC-32, the per-section integrity check of the
+//!   snapshot codec in `pss-core`;
 //! - [`SpaceUsage`]: word-granularity space accounting used by the E4
 //!   experiment (space is "measured in words", §2.1).
 
@@ -20,6 +22,7 @@
 
 pub mod bits;
 mod bitset_list;
+pub mod crc;
 pub mod narrow;
 mod pool;
 mod u256;

@@ -343,6 +343,32 @@ impl<T: Copy> BucketArena<T> {
         b.len = c.abs - c.base;
     }
 
+    /// Writes `v` at within-block position `pos` of `b`'s carved block and
+    /// returns the value it displaced — the random-access counterpart of
+    /// [`BucketArena::push_raw`] for callers that fill a block *out of
+    /// order* (a snapshot restore scattering items straight to their
+    /// serialized positions). The displaced value lets such callers detect
+    /// duplicate positions against the arena's known `fill` padding. The
+    /// bucket's recorded length is untouched; publish it afterwards with
+    /// [`BucketArena::commit_len`].
+    #[inline]
+    pub fn scatter_raw(&mut self, b: &Bucket, pos: u32, v: T) -> T {
+        debug_assert!(pos < 1u32 << b.class, "scatter_raw beyond the reserved block");
+        let cell = (b.off + pos) as usize;
+        let prev = self.data[cell];
+        self.data[cell] = v;
+        prev
+    }
+
+    /// Publishes `len` as `b`'s length after an out-of-order
+    /// [`BucketArena::scatter_raw`] fill (the scatter counterpart of
+    /// [`BucketArena::commit_cursor`]).
+    #[inline]
+    pub fn commit_len(&self, b: &mut Bucket, len: u32) {
+        debug_assert!(len <= 1u32 << b.class, "committed length exceeds the block");
+        b.len = len;
+    }
+
     /// Returns the bucket's block to the free list and resets the handle.
     pub fn release(&mut self, b: &mut Bucket) {
         if b.class != NO_CLASS {
