@@ -777,11 +777,12 @@ impl PssBackend for OdssUnderDpss {
     }
 
     fn delete(&mut self, handle: Handle) -> bool {
-        let ok = self.store.delete(handle);
-        if ok {
+        if self.store.delete(handle) {
             self.journal.record(Delta::Deleted { handle });
+            true
+        } else {
+            false
         }
-        ok
     }
 
     fn query(&self, ctx: &mut QueryCtx, alpha: &Ratio, beta: &Ratio) -> Vec<Handle> {
@@ -824,6 +825,7 @@ impl PssBackend for OdssUnderDpss {
         if old != new_weight {
             self.journal.record(Delta::Reweighted { handle, old, new: new_weight });
         }
+        // pss-lint: allow(journal-completeness) — equal-weight re-set is a semantic no-op (store value unchanged); every actual change records above
         Some(handle)
     }
 

@@ -241,6 +241,7 @@ impl DeamortizedDpss {
     /// structure, and surfaces injected faults as typed errors. An unwind (or
     /// injected fault) after routing/migration but before the journal entry
     /// leaves the structure poisoned — and the dying op out of the journal.
+    // pss-lint: fault-window — arms self.poisoned across the mutation cascade; recovery is journal replay
     pub fn try_insert(&mut self, weight: u64) -> Result<Handle, OpError> {
         self.ensure_unpoisoned()?;
         fault::fail_point(Site::InsertEntry).map_err(OpError::Fault)?;
@@ -273,6 +274,7 @@ impl DeamortizedDpss {
     /// [`DeamortizedDpss::try_insert`] for the poisoning contract). The batch
     /// journals all-or-nothing, so a kill anywhere inside the build leaves
     /// recovery replaying none of it.
+    // pss-lint: fault-window — arms self.poisoned across the mutation cascade; recovery is journal replay
     pub fn try_insert_many(&mut self, weights: &[u64]) -> Result<Vec<Handle>, OpError> {
         self.ensure_unpoisoned()?;
         fault::fail_point(Site::BulkEntry).map_err(OpError::Fault)?;
@@ -383,6 +385,7 @@ impl DeamortizedDpss {
     /// Fallible [`DeamortizedDpss::delete`] (see
     /// [`DeamortizedDpss::try_insert`] for the poisoning contract). Stale
     /// handles return `Ok(None)` without touching — or poisoning — anything.
+    // pss-lint: fault-window — arms self.poisoned across the mutation cascade; recovery is journal replay
     pub fn try_delete(&mut self, h: Handle) -> Result<Option<u64>, OpError> {
         self.ensure_unpoisoned()?;
         fault::fail_point(Site::DeleteEntry).map_err(OpError::Fault)?;

@@ -28,12 +28,12 @@
 //! bit-for-bit the same as the all-exact implementation.
 
 use crate::lookup::{LookupTable, MAX_K};
-use crate::structure::{pow2f, Level1, LevelView, NodeView};
+use crate::structure::{pow2_scaled, pow2f, Level1, LevelView, NodeView};
 use bignum::{BigUint, Ratio};
 use rand::RngCore;
 use randvar::{
-    ber_bits_with, ber_pstar, ber_rational_from_word, ber_rational_parts, bgeo, mul_down, mul_up,
-    tgeo, Bits64,
+    ber_bits_with, ber_pstar, ber_rational_from_word, ber_rational_parts, bgeo, div_down, div_up,
+    mul_down, mul_up, tgeo, Bits64,
 };
 use std::cmp::Ordering;
 use wordram::bits;
@@ -497,14 +497,13 @@ fn accept_table_candidate<R: RngCore>(
 ) -> bool {
     if accel.use_fast() {
         // w_v = c·2^{idx+1} is exact in f64 (c ≤ m ≤ 64: few significant
-        // bits); m²/num_t is a correctly-rounded quotient of small integers.
-        let wv = c as f64 * pow2f(narrow::i32_of_u64(idx as u64) + 1);
+        // bits); m²/num_t is a directed-rounded quotient of small integers.
+        let wv = pow2_scaled(u64::from(c), narrow::i32_of_u64(idx as u64) + 1);
         let a_lo = mul_down(wv, accel.winv_lo).min(1.0);
         let a_hi = mul_up(wv, accel.winv_hi).min(1.0);
-        let ratio = m2 as f64 / num_t as f64;
         let bits = Bits64::from_f64_bounds(
-            mul_down(a_lo, ratio.next_down()),
-            mul_up(a_hi, ratio.next_up()),
+            mul_down(a_lo, div_down(m2 as f64, num_t as f64)),
+            mul_up(a_hi, div_up(m2 as f64, num_t as f64)),
         );
         if cfg!(debug_assertions) {
             let (num, den) = table_accept_parts(w, idx, c, num_t, m2);
@@ -529,8 +528,7 @@ fn accept_direct_candidate<R: RngCore>(
     c: u64,
 ) -> bool {
     if accel.use_fast() {
-        debug_assert!(c <= 1 << 53, "bucket count exceeds exact f64 range");
-        let wv = c as f64 * pow2f(narrow::i32_of_u64(idx as u64) + 1); // exact product
+        let wv = pow2_scaled(c, narrow::i32_of_u64(idx as u64) + 1); // exact product
         let bits = Bits64::from_f64_bounds(mul_down(wv, accel.winv_lo), mul_up(wv, accel.winv_hi));
         if cfg!(debug_assertions) {
             bits.debug_validate(&BigUint::from_u64(c).shl(idx as u64 + 1).mul(w.den()), w.num());

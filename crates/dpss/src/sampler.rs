@@ -371,6 +371,7 @@ impl DpssSampler {
     /// sampler, and surfaces injected faults as typed errors. An unwind (or
     /// injected fault) between the first structural write and completion
     /// leaves the sampler poisoned.
+    // pss-lint: fault-window — arms self.poisoned across the mutation cascade; recovery is journal replay
     pub fn try_insert(&mut self, weight: u64) -> Result<ItemId, OpError> {
         self.ensure_unpoisoned()?;
         fault::fail_point(Site::InsertEntry).map_err(OpError::Fault)?;
@@ -406,6 +407,7 @@ impl DpssSampler {
     /// anywhere inside the build leaves the journal without the batch epoch,
     /// so recovery replays none of it — matching the torn structure being
     /// discarded wholesale.
+    // pss-lint: fault-window — arms self.poisoned across the mutation cascade; recovery is journal replay
     pub fn try_insert_many(&mut self, weights: &[u64]) -> Result<Vec<ItemId>, OpError> {
         self.ensure_unpoisoned()?;
         fault::fail_point(Site::BulkEntry).map_err(OpError::Fault)?;
@@ -453,6 +455,7 @@ impl DpssSampler {
     /// Fallible [`DpssSampler::delete`] (see [`DpssSampler::try_insert`] for
     /// the poisoning contract). Stale handles return `Ok(None)` without
     /// touching — or poisoning — anything.
+    // pss-lint: fault-window — arms self.poisoned across the mutation cascade; recovery is journal replay
     pub fn try_delete(&mut self, id: ItemId) -> Result<Option<u64>, OpError> {
         self.ensure_unpoisoned()?;
         fault::fail_point(Site::DeleteEntry).map_err(OpError::Fault)?;
@@ -484,6 +487,7 @@ impl DpssSampler {
     /// Fallible [`DpssSampler::set_weight`] (see [`DpssSampler::try_insert`]
     /// for the poisoning contract). Stale handles (`Ok(None)`) and no-op
     /// re-sets (`Ok(Some(old))`) return before anything is touched.
+    // pss-lint: fault-window — arms self.poisoned across the mutation cascade; recovery is journal replay
     pub fn try_set_weight(&mut self, id: ItemId, new_weight: u64) -> Result<Option<u64>, OpError> {
         self.ensure_unpoisoned()?;
         fault::fail_point(Site::SetWeightEntry).map_err(OpError::Fault)?;
@@ -496,6 +500,7 @@ impl DpssSampler {
         if old == new_weight {
             // Stale handles and no-op re-sets leave the item set (and every
             // cached query plan) untouched — nothing to journal.
+            // pss-lint: allow(journal-completeness) — no-op re-set: the weight is unchanged, so there is no delta to record
             return Ok(Some(old));
         }
         self.poisoned = true;

@@ -56,6 +56,16 @@ pub(crate) fn pow2f(e: i32) -> f64 {
     2f64.powi(e)
 }
 
+/// `c·2^e` as an exact `f64`: scaling by a power of two only shifts the
+/// exponent, so the product is exact whenever `c` itself is (`c < 2^53`)
+/// and no overflow occurs — the bucket counts and indices the query layer
+/// feeds in stay far inside both limits.
+#[inline]
+pub(crate) fn pow2_scaled(c: u64, e: i32) -> f64 {
+    debug_assert!(c < (1u64 << 53), "count exceeds exact f64 range");
+    c as f64 * pow2f(e)
+}
+
 /// `true` iff a proxy for a bucket whose count changed `old → new` moves
 /// between buckets of its node (appears, disappears, or crosses a power of
 /// two). When `false`, the cascade can stop: placement is unchanged and the

@@ -1,0 +1,532 @@
+//! A lightweight Rust AST — exactly the shape the semantic rules need.
+//!
+//! This is *not* full Rust. The parser ([`crate::parse`]) recognises items
+//! (fns, impl blocks, inline mods), statement structure (`let`, let-`else`,
+//! expression statements), and enough expression shape to see control flow
+//! (`if`/`match`/loops/`return`/`break`/`?`), calls, method calls, field
+//! accesses, casts, and assignments. Everything else — macro bodies, type
+//! expressions, patterns beyond their bound identifiers — is consumed as
+//! balanced token soup and surfaces as [`ExprKind::Opaque`] or a plain
+//! string. The semantic rules are written to stay sound-for-their-purpose
+//! under that compression: an opaque expression never grants a certificate
+//! (float-taint), never counts as a journal record, and never emits codec
+//! ops.
+
+/// One parsed source file: its top-level items plus parser health.
+#[derive(Debug, Default)]
+pub struct SrcFile {
+    /// Top-level items, in source order.
+    pub items: Vec<Item>,
+    /// Number of fn bodies the parser had to bail out of (skipped via brace
+    /// matching). Non-zero means the semantic rules ran blind somewhere —
+    /// the workspace-clean test pins this to zero for the real tree.
+    pub parse_failures: usize,
+}
+
+/// A top-level (or mod-nested) item.
+#[derive(Debug)]
+pub enum Item {
+    /// A free function.
+    Fn(FnItem),
+    /// An `impl` block (inherent or trait).
+    Impl(ImplBlock),
+    /// An inline `mod name { ... }` — its items are flattened by the parser
+    /// with test-gating propagated, so rules never see this variant nested.
+    Mod(Vec<Item>),
+    /// Anything else (struct/enum/trait/use/const/...), consumed and dropped.
+    Other,
+}
+
+/// An `impl` block: `impl Type { .. }` or `impl Trait for Type { .. }`.
+#[derive(Debug)]
+pub struct ImplBlock {
+    /// Last path segment of the implemented trait, if any.
+    pub trait_name: Option<String>,
+    /// Last path segment of the self type.
+    pub type_name: String,
+    /// The block's functions.
+    pub fns: Vec<FnItem>,
+}
+
+/// How a function takes `self`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Receiver {
+    /// Free function or associated fn without `self`.
+    None,
+    /// `&self`.
+    Ref,
+    /// `&mut self`.
+    RefMut,
+    /// `self` / `mut self` by value.
+    Owned,
+}
+
+/// One non-receiver parameter: its bound identifiers and the type text.
+#[derive(Debug)]
+pub struct Param {
+    /// Identifiers bound by the parameter pattern (usually one).
+    pub names: Vec<String>,
+    /// The declared type, as whitespace-joined token text (e.g. `"f64"`,
+    /// `"&mut Enc"`).
+    pub ty: String,
+}
+
+/// A function (free, inherent, or trait-impl method).
+#[derive(Debug)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Line of the `fn` name token (diagnostic anchor).
+    pub line: u32,
+    /// Column of the `fn` name token.
+    pub col: u32,
+    /// Declared with any `pub` visibility (including `pub(crate)`).
+    pub is_pub: bool,
+    /// How `self` is taken.
+    pub receiver: Receiver,
+    /// Non-receiver parameters.
+    pub params: Vec<Param>,
+    /// Return type text after `->` (empty for `()`).
+    pub ret: String,
+    /// The body. `None` for bodiless declarations or parser bailouts.
+    pub body: Option<Block>,
+    /// Inside a `#[cfg(test)]`/`#[test]` item — semantic rules skip these.
+    pub test_gated: bool,
+    /// The parser bailed out of this body (see [`SrcFile::parse_failures`]).
+    pub parse_failed: bool,
+}
+
+/// A `{ ... }` block.
+#[derive(Debug, Default)]
+pub struct Block {
+    /// Statements in order. A trailing expression is a
+    /// [`Stmt::Expr`] with `has_semi == false`.
+    pub stmts: Vec<Stmt>,
+}
+
+/// One statement.
+#[derive(Debug)]
+pub enum Stmt {
+    /// `let <pat>(: ty)? (= init)? (else { .. })?;`
+    Let {
+        /// Identifiers bound by the pattern.
+        pats: Vec<String>,
+        /// Initialiser, if present.
+        init: Option<Expr>,
+        /// let-`else` divergent block, if present.
+        else_block: Option<Block>,
+        /// Line of the `let` keyword.
+        line: u32,
+    },
+    /// An expression statement; `has_semi == false` marks a tail expression.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Whether a `;` followed (tail expressions have none).
+        has_semi: bool,
+    },
+    /// A nested item inside a block, consumed and dropped.
+    Item,
+}
+
+/// Binary operators, bucketed by what the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+ - * / %` — float-taint sources when an operand is floaty.
+    Arith,
+    /// `== != < <= > >=` — float-taint sinks when an operand is tainted.
+    Cmp,
+    /// `&& ||`.
+    Logic,
+    /// `& | ^ << >>`.
+    Bit,
+    /// `..` / `..=`.
+    Range,
+}
+
+/// One match arm.
+#[derive(Debug)]
+pub struct Arm {
+    /// Identifiers bound by the arm's pattern(s).
+    pub pats: Vec<String>,
+    /// Guard expression after `if`, if any.
+    pub guard: Option<Expr>,
+    /// The arm body.
+    pub body: Expr,
+}
+
+/// An expression with its source anchor.
+#[derive(Debug)]
+pub struct Expr {
+    /// Shape.
+    pub kind: ExprKind,
+    /// 1-based line of the expression's first token.
+    pub line: u32,
+    /// 1-based byte column of the expression's first token.
+    pub col: u32,
+}
+
+/// Expression shapes. See the module docs for what is deliberately absent.
+#[derive(Debug)]
+pub enum ExprKind {
+    /// `a`, `a::b::c`, `self`, `Self` — segments in order.
+    Path(Vec<String>),
+    /// Integer literal.
+    IntLit,
+    /// Float literal.
+    FloatLit,
+    /// `true` / `false`.
+    BoolLit(bool),
+    /// String/char/byte literal.
+    StrLit,
+    /// `callee(args...)`.
+    Call {
+        /// The called expression (usually a path).
+        callee: Box<Expr>,
+        /// Arguments in order.
+        args: Vec<Expr>,
+    },
+    /// `recv.name(args...)`.
+    MethodCall {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Method name.
+        name: String,
+        /// Arguments in order.
+        args: Vec<Expr>,
+    },
+    /// `base.name` (also `.0` tuple fields, name = "0").
+    Field {
+        /// Base expression.
+        base: Box<Expr>,
+        /// Field name.
+        name: String,
+    },
+    /// `base[index]`.
+    Index {
+        /// Base expression.
+        base: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator bucket.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Prefix `- ! * & &mut`.
+    Unary {
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// `lhs = rhs` or compound `lhs op= rhs`.
+    Assign {
+        /// Assignment target.
+        lhs: Box<Expr>,
+        /// Assigned value.
+        rhs: Box<Expr>,
+        /// True for `+=`-style compound assignment (reads and computes).
+        compound: bool,
+    },
+    /// `expr as Ty`.
+    Cast {
+        /// Cast operand.
+        expr: Box<Expr>,
+        /// Target type text (e.g. `"f64"`).
+        ty: String,
+    },
+    /// `expr?`.
+    Try {
+        /// The fallible expression.
+        expr: Box<Expr>,
+    },
+    /// `return (value)?`.
+    Return {
+        /// Returned value, if any.
+        value: Option<Box<Expr>>,
+    },
+    /// `break ('label)? (value)?`.
+    Break {
+        /// Break value, if any.
+        value: Option<Box<Expr>>,
+    },
+    /// `continue ('label)?`.
+    Continue,
+    /// `if cond { then } (else ...)?`.
+    If {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Then block.
+        then: Block,
+        /// `else` branch: a `Block` expression or another `If`.
+        else_: Option<Box<Expr>>,
+    },
+    /// `if let <pat> = scrutinee (&& more)* { then } (else ...)?`.
+    IfLet {
+        /// Identifiers bound by the pattern(s).
+        pats: Vec<String>,
+        /// The matched expression (first `let`'s scrutinee).
+        scrutinee: Box<Expr>,
+        /// Further chained conditions after `&&`, in order.
+        also: Vec<Expr>,
+        /// Then block.
+        then: Block,
+        /// `else` branch.
+        else_: Option<Box<Expr>>,
+    },
+    /// `match scrutinee { arms }`.
+    Match {
+        /// The matched expression.
+        scrutinee: Box<Expr>,
+        /// Arms in order.
+        arms: Vec<Arm>,
+    },
+    /// `while cond { body }`.
+    While {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Body.
+        body: Block,
+    },
+    /// `while let <pat> = scrutinee { body }`.
+    WhileLet {
+        /// Identifiers bound by the pattern.
+        pats: Vec<String>,
+        /// The matched expression.
+        scrutinee: Box<Expr>,
+        /// Body.
+        body: Block,
+    },
+    /// `loop { body }`.
+    Loop {
+        /// Body.
+        body: Block,
+    },
+    /// `for <pat> in iter { body }`.
+    For {
+        /// Identifiers bound by the loop pattern.
+        pats: Vec<String>,
+        /// Iterated expression.
+        iter: Box<Expr>,
+        /// Body.
+        body: Block,
+    },
+    /// A block used as an expression (also `unsafe { .. }`).
+    BlockExpr(Block),
+    /// `|args| body` / `move |args| body`. The body is parsed (so token
+    /// consumption stays exact) but analyses treat it as a separate scope.
+    /// Codec-symmetry is the one exception: it splices *let-bound* codec
+    /// closures at their call sites, which needs the parameter names.
+    Closure {
+        /// Parameter identifiers, in order (types/patterns compressed away).
+        params: Vec<String>,
+        /// Closure body.
+        body: Box<Expr>,
+    },
+    /// `(a, b, ...)` — also 1-element parenthesised expressions.
+    Tuple(Vec<Expr>),
+    /// `[a, b, ...]` / `[x; n]`.
+    Array(Vec<Expr>),
+    /// `Path { field: expr, .. }`.
+    StructLit {
+        /// Struct path segments.
+        path: Vec<String>,
+        /// Field initialisers in order (shorthand fields get a Path expr).
+        fields: Vec<Expr>,
+    },
+    /// `name!(...)` — token tree consumed, contents invisible to rules.
+    MacroCall {
+        /// Macro name (last path segment).
+        name: String,
+    },
+    /// `lo? .. hi?` range.
+    RangeLit {
+        /// Lower bound.
+        lo: Option<Box<Expr>>,
+        /// Upper bound.
+        hi: Option<Box<Expr>>,
+    },
+    /// Something outside the modelled subset; tokens were consumed.
+    Opaque,
+}
+
+impl Expr {
+    /// Last segment of a path expression, if this is one.
+    pub fn path_last(&self) -> Option<&str> {
+        match &self.kind {
+            ExprKind::Path(segs) => segs.last().map(String::as_str),
+            _ => None,
+        }
+    }
+
+    /// Pre-order walk over this expression and every nested sub-expression,
+    /// including guard/body expressions of control flow and closure bodies.
+    /// Statements inside nested blocks are visited via their expressions.
+    pub fn walk(&self, f: &mut dyn FnMut(&Expr)) {
+        self.walk_impl(true, f);
+    }
+
+    /// Like [`Expr::walk`], but does not descend into closure bodies —
+    /// the traversal dataflow transfer functions use, since a closure body
+    /// runs (if ever) in its own scope, not at its definition site.
+    pub fn walk_pruned(&self, f: &mut dyn FnMut(&Expr)) {
+        self.walk_impl(false, f);
+    }
+
+    fn walk_impl(&self, enter_closures: bool, f: &mut dyn FnMut(&Expr)) {
+        let walk = |e: &Expr, f: &mut dyn FnMut(&Expr)| e.walk_impl(enter_closures, f);
+        f(self);
+        match &self.kind {
+            ExprKind::Path(_)
+            | ExprKind::IntLit
+            | ExprKind::FloatLit
+            | ExprKind::BoolLit(_)
+            | ExprKind::StrLit
+            | ExprKind::Continue
+            | ExprKind::MacroCall { .. }
+            | ExprKind::Opaque => {}
+            ExprKind::Call { callee, args } => {
+                walk(callee, f);
+                for a in args {
+                    walk(a, f);
+                }
+            }
+            ExprKind::MethodCall { recv, args, .. } => {
+                walk(recv, f);
+                for a in args {
+                    walk(a, f);
+                }
+            }
+            ExprKind::Field { base, .. } => walk(base, f),
+            ExprKind::Index { base, index } => {
+                walk(base, f);
+                walk(index, f);
+            }
+            ExprKind::Binary { lhs, rhs, .. } | ExprKind::Assign { lhs, rhs, .. } => {
+                walk(lhs, f);
+                walk(rhs, f);
+            }
+            ExprKind::Unary { expr } | ExprKind::Cast { expr, .. } | ExprKind::Try { expr } => {
+                walk(expr, f)
+            }
+            ExprKind::Closure { body, .. } => {
+                if enter_closures {
+                    walk(body, f);
+                }
+            }
+            ExprKind::Return { value } | ExprKind::Break { value } => {
+                if let Some(v) = value {
+                    walk(v, f);
+                }
+            }
+            ExprKind::If { cond, then, else_ } => {
+                walk(cond, f);
+                then.walk_impl(enter_closures, f);
+                if let Some(e) = else_ {
+                    walk(e, f);
+                }
+            }
+            ExprKind::IfLet { scrutinee, also, then, else_, .. } => {
+                walk(scrutinee, f);
+                for a in also {
+                    walk(a, f);
+                }
+                then.walk_impl(enter_closures, f);
+                if let Some(e) = else_ {
+                    walk(e, f);
+                }
+            }
+            ExprKind::Match { scrutinee, arms } => {
+                walk(scrutinee, f);
+                for arm in arms {
+                    if let Some(g) = &arm.guard {
+                        walk(g, f);
+                    }
+                    walk(&arm.body, f);
+                }
+            }
+            ExprKind::While { cond, body } => {
+                walk(cond, f);
+                body.walk_impl(enter_closures, f);
+            }
+            ExprKind::WhileLet { scrutinee, body, .. } => {
+                walk(scrutinee, f);
+                body.walk_impl(enter_closures, f);
+            }
+            ExprKind::Loop { body } => body.walk_impl(enter_closures, f),
+            ExprKind::For { iter, body, .. } => {
+                walk(iter, f);
+                body.walk_impl(enter_closures, f);
+            }
+            ExprKind::BlockExpr(b) => b.walk_impl(enter_closures, f),
+            ExprKind::Tuple(es) | ExprKind::Array(es) => {
+                for e in es {
+                    walk(e, f);
+                }
+            }
+            ExprKind::StructLit { fields, .. } => {
+                for e in fields {
+                    walk(e, f);
+                }
+            }
+            ExprKind::RangeLit { lo, hi } => {
+                if let Some(e) = lo {
+                    walk(e, f);
+                }
+                if let Some(e) = hi {
+                    walk(e, f);
+                }
+            }
+        }
+    }
+}
+
+impl Block {
+    /// Walk every expression in the block (see [`Expr::walk`]).
+    pub fn walk_exprs(&self, f: &mut dyn FnMut(&Expr)) {
+        self.walk_impl(true, f);
+    }
+
+    fn walk_impl(&self, enter_closures: bool, f: &mut dyn FnMut(&Expr)) {
+        for s in &self.stmts {
+            match s {
+                Stmt::Let { init, else_block, .. } => {
+                    if let Some(e) = init {
+                        e.walk_impl(enter_closures, f);
+                    }
+                    if let Some(b) = else_block {
+                        b.walk_impl(enter_closures, f);
+                    }
+                }
+                Stmt::Expr { expr, .. } => expr.walk_impl(enter_closures, f),
+                Stmt::Item => {}
+            }
+        }
+    }
+}
+
+impl SrcFile {
+    /// Visit every function in the file (free, mod-nested, and impl
+    /// methods), with the enclosing impl block (if any).
+    pub fn for_each_fn(&self, f: &mut dyn FnMut(Option<&ImplBlock>, &FnItem)) {
+        fn items(list: &[Item], f: &mut dyn FnMut(Option<&ImplBlock>, &FnItem)) {
+            for it in list {
+                match it {
+                    Item::Fn(func) => f(None, func),
+                    Item::Impl(block) => {
+                        for func in &block.fns {
+                            f(Some(block), func);
+                        }
+                    }
+                    Item::Mod(inner) => items(inner, f),
+                    Item::Other => {}
+                }
+            }
+        }
+        items(&self.items, f);
+    }
+}

@@ -1,0 +1,448 @@
+//! Incremental scan cache: content-hash keyed per-file result reuse.
+//!
+//! The parse+CFG+dataflow pipeline is the expensive part of a workspace
+//! scan. Since every per-file analysis ([`crate::engine::FileAnalysis`])
+//! is a pure function of (path, file bytes, engine version), its outputs
+//! — local post-suppression diagnostics, the journal
+//! [`crate::resolve::FnFacts`], and deferred waiver verdicts — can be
+//! keyed by an FNV-1a 64 hash and replayed on the next run. Cross-file
+//! state is *not* cached: the journal fixpoint re-runs from the replayed
+//! per-file facts every time, so a change in one file correctly
+//! re-judges every other file's cross-file obligations.
+//!
+//! The store is a plain line-based text file under `target/` (already
+//! outside the scanned tree). A version stamp embeds [`ENGINE_VERSION`];
+//! bump that constant whenever rule behaviour changes so stale caches
+//! self-invalidate. `--no-cache` bypasses both load and store.
+
+use crate::diag::Diagnostic;
+use crate::engine::PendingWaiver;
+use crate::resolve::{ExitFacts, FileFacts, FnFacts, JournalEvent};
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Bump on any change to lexer/parser/rule behaviour: invalidates all
+/// cached entries at once.
+pub const ENGINE_VERSION: u32 = 4;
+
+/// FNV-1a 64-bit over raw bytes — stable, dependency-free, fast enough
+/// for a few hundred files.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Cache key of one file. The *path* participates alongside the content:
+/// classification, diagnostics, and journal facts all embed it, so two
+/// identical files at different paths must not share an entry.
+pub fn file_key(rel: &str, src: &str) -> u64 {
+    let mut bytes = Vec::with_capacity(rel.len() + 1 + src.len());
+    bytes.extend_from_slice(rel.as_bytes());
+    bytes.push(0x1f);
+    bytes.extend_from_slice(src.as_bytes());
+    fnv1a64(&bytes)
+}
+
+/// Cached per-file scan output: everything `lint_workspace` needs from a
+/// file it did not re-analyse (mirrors `FileAnalysis`).
+#[derive(Debug, Clone, Default)]
+pub struct FileEntry {
+    /// Local post-suppression diagnostics, pragma hygiene included.
+    pub diags: Vec<Diagnostic>,
+    /// Journal facts feeding the cross-file fixpoint.
+    pub facts: FileFacts,
+    /// Journal waivers awaiting their fixpoint verdict.
+    pub pending: Vec<PendingWaiver>,
+}
+
+/// The on-disk cache: file key → per-file entry.
+#[derive(Debug, Default)]
+pub struct Cache {
+    entries: BTreeMap<u64, FileEntry>,
+    dirty: bool,
+}
+
+impl Cache {
+    /// Default store location for a workspace root.
+    pub fn default_path(root: &Path) -> PathBuf {
+        root.join("target").join("pss-lint.cache")
+    }
+
+    /// Load from `path`; any parse problem or version mismatch yields an
+    /// empty cache (never an error — the cache is advisory).
+    pub fn load(path: &Path) -> Cache {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Cache::default();
+        };
+        let mut lines = text.lines();
+        if lines.next() != Some(&format!("pss-lint-cache v{ENGINE_VERSION}")) {
+            return Cache::default();
+        }
+        let mut entries = BTreeMap::new();
+        let mut cur_hash: Option<u64> = None;
+        let mut cur = FileEntry::default();
+        for line in lines {
+            let Some((tag, rest)) = line.split_once(' ') else {
+                if line == "end" {
+                    if let Some(h) = cur_hash.take() {
+                        entries.insert(h, std::mem::take(&mut cur));
+                    }
+                }
+                continue;
+            };
+            match tag {
+                "file" => {
+                    // Unterminated previous entry: drop it.
+                    cur = FileEntry::default();
+                    cur_hash = rest.parse::<u64>().ok();
+                }
+                "diag" => {
+                    let mut f = rest.splitn(5, '\u{1f}');
+                    let (Some(rule), Some(path), Some(line_s), Some(col_s), Some(msg)) =
+                        (f.next(), f.next(), f.next(), f.next(), f.next())
+                    else {
+                        cur_hash = None;
+                        continue;
+                    };
+                    // Resolve to the registry's 'static id; unknown rule
+                    // ids mean a stale/foreign cache — drop the entry.
+                    let Some(rule) = known_rule_id(rule) else {
+                        cur_hash = None;
+                        continue;
+                    };
+                    let (Ok(line), Ok(col)) = (line_s.parse(), col_s.parse()) else {
+                        cur_hash = None;
+                        continue;
+                    };
+                    cur.diags.push(Diagnostic {
+                        rule,
+                        path: unescape(path),
+                        line,
+                        col,
+                        message: unescape(msg),
+                    });
+                }
+                "facts-path" => cur.facts.path = unescape(rest),
+                "fn" => {
+                    let mut f = rest.split('\u{1f}');
+                    let (Some(ty), Some(name), Some(flags), Some(line_s), Some(col_s)) =
+                        (f.next(), f.next(), f.next(), f.next(), f.next())
+                    else {
+                        cur_hash = None;
+                        continue;
+                    };
+                    let (Ok(line), Ok(col), 4) = (line_s.parse(), col_s.parse(), flags.len())
+                    else {
+                        cur_hash = None;
+                        continue;
+                    };
+                    let flag = |i: usize| flags.as_bytes()[i] == b'1';
+                    let may_calls = f
+                        .filter_map(|c| c.split_once('\u{1e}'))
+                        .map(|(t, n)| (unescape(t), unescape(n)))
+                        .collect();
+                    cur.facts.fns.push(FnFacts {
+                        type_name: unescape(ty),
+                        fn_name: unescape(name),
+                        backend_mutator: flag(0),
+                        candidate: flag(1),
+                        journals_direct: flag(2),
+                        touches_journal: flag(3),
+                        may_calls,
+                        exits: Vec::new(),
+                        line,
+                        col,
+                    });
+                }
+                "exit" => {
+                    let Some(last) = cur.facts.fns.last_mut() else {
+                        cur_hash = None;
+                        continue;
+                    };
+                    let mut f = rest.split('\u{1f}');
+                    let (Some(noop), Some(waived), Some(line_s), Some(col_s)) =
+                        (f.next(), f.next(), f.next(), f.next())
+                    else {
+                        cur_hash = None;
+                        continue;
+                    };
+                    let (Ok(line), Ok(col)) = (line_s.parse(), col_s.parse()) else {
+                        cur_hash = None;
+                        continue;
+                    };
+                    let mut events = Vec::new();
+                    for ev in f {
+                        if ev == "D" {
+                            events.push(JournalEvent::Direct);
+                        } else if let Some((t, n)) = ev.split_once('\u{1e}') {
+                            events.push(JournalEvent::Call(unescape(t), unescape(n)));
+                        }
+                    }
+                    last.exits.push(ExitFacts {
+                        events,
+                        noop: noop == "1",
+                        waived: waived == "1",
+                        line,
+                        col,
+                    });
+                }
+                "pend" => {
+                    let mut f = rest.splitn(5, '\u{1f}');
+                    let (Some(fw), Some(cov_s), Some(line_s), Some(col_s), Some(rules)) =
+                        (f.next(), f.next(), f.next(), f.next(), f.next())
+                    else {
+                        cur_hash = None;
+                        continue;
+                    };
+                    let (Ok(covers_line), Ok(line), Ok(col)) =
+                        (cov_s.parse(), line_s.parse(), col_s.parse())
+                    else {
+                        cur_hash = None;
+                        continue;
+                    };
+                    cur.pending.push(PendingWaiver {
+                        path: cur.facts.path.clone(),
+                        file_wide: fw == "1",
+                        covers_line,
+                        line,
+                        col,
+                        rules: unescape(rules),
+                    });
+                }
+                _ => {}
+            }
+        }
+        Cache { entries, dirty: false }
+    }
+
+    /// Look up a file by its key.
+    pub fn get(&self, hash: u64) -> Option<&FileEntry> {
+        self.entries.get(&hash)
+    }
+
+    /// Record a freshly analysed file.
+    pub fn put(&mut self, hash: u64, entry: FileEntry) {
+        self.entries.insert(hash, entry);
+        self.dirty = true;
+    }
+
+    /// Persist to `path` (best-effort; errors are swallowed — an absent
+    /// cache only costs time).
+    pub fn store(&self, path: &Path) {
+        if !self.dirty {
+            return;
+        }
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let mut out = String::new();
+        out.push_str(&format!("pss-lint-cache v{ENGINE_VERSION}\n"));
+        for (hash, e) in &self.entries {
+            out.push_str(&format!("file {hash}\n"));
+            for d in &e.diags {
+                out.push_str(&format!(
+                    "diag {}\u{1f}{}\u{1f}{}\u{1f}{}\u{1f}{}\n",
+                    d.rule,
+                    escape(&d.path),
+                    d.line,
+                    d.col,
+                    escape(&d.message)
+                ));
+            }
+            out.push_str(&format!("facts-path {}\n", escape(&e.facts.path)));
+            for f in &e.facts.fns {
+                let mut line = format!(
+                    "fn {}\u{1f}{}\u{1f}{}{}{}{}\u{1f}{}\u{1f}{}",
+                    escape(&f.type_name),
+                    escape(&f.fn_name),
+                    u8::from(f.backend_mutator),
+                    u8::from(f.candidate),
+                    u8::from(f.journals_direct),
+                    u8::from(f.touches_journal),
+                    f.line,
+                    f.col
+                );
+                for (t, n) in &f.may_calls {
+                    line.push_str(&format!("\u{1f}{}\u{1e}{}", escape(t), escape(n)));
+                }
+                out.push_str(&line);
+                out.push('\n');
+                for x in &f.exits {
+                    let mut line = format!(
+                        "exit {}\u{1f}{}\u{1f}{}\u{1f}{}",
+                        u8::from(x.noop),
+                        u8::from(x.waived),
+                        x.line,
+                        x.col
+                    );
+                    for ev in &x.events {
+                        match ev {
+                            JournalEvent::Direct => line.push_str("\u{1f}D"),
+                            JournalEvent::Call(t, n) => {
+                                line.push_str(&format!("\u{1f}{}\u{1e}{}", escape(t), escape(n)))
+                            }
+                        }
+                    }
+                    out.push_str(&line);
+                    out.push('\n');
+                }
+            }
+            for w in &e.pending {
+                out.push_str(&format!(
+                    "pend {}\u{1f}{}\u{1f}{}\u{1f}{}\u{1f}{}\n",
+                    u8::from(w.file_wide),
+                    w.covers_line,
+                    w.line,
+                    w.col,
+                    escape(&w.rules)
+                ));
+            }
+            out.push_str("end\n");
+        }
+        let tmp = path.with_extension("cache.tmp");
+        let ok = std::fs::File::create(&tmp).and_then(|mut f| f.write_all(out.as_bytes())).is_ok();
+        if ok {
+            let _ = std::fs::rename(&tmp, path);
+        }
+    }
+}
+
+/// Map a cached rule-id string back to the registry's `&'static str`.
+fn known_rule_id(id: &str) -> Option<&'static str> {
+    crate::RULES.iter().chain(crate::META_RULES.iter()).find(|r| r.id == id).map(|r| r.id)
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\n' => out.push_str("\\n"),
+            '\\' => out.push_str("\\\\"),
+            '\u{1f}' => out.push_str("\\u"),
+            '\u{1e}' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('\\') => out.push('\\'),
+            Some('u') => out.push('\u{1f}'),
+            Some('r') => out.push('\u{1e}'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_content_sensitive() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a64(b"fn a() {}"), fnv1a64(b"fn b() {}"));
+        // Same content at a different path is a different key.
+        assert_ne!(file_key("a/lib.rs", "fn x() {}"), file_key("b/lib.rs", "fn x() {}"));
+    }
+
+    #[test]
+    fn roundtrip_preserves_diags_facts_and_pending() {
+        let dir = std::env::temp_dir().join(format!("pss-lint-cache-test-{}", std::process::id()));
+        let path = dir.join("c.cache");
+        let mut c = Cache::default();
+        let entry = FileEntry {
+            diags: vec![Diagnostic {
+                rule: crate::diag::rules::FLOAT_TAINT,
+                path: "crates/x/src/lib.rs".into(),
+                line: 3,
+                col: 9,
+                message: "tainted \"float\"\nline2".into(),
+            }],
+            facts: FileFacts {
+                path: "crates/x/src/lib.rs".into(),
+                fns: vec![FnFacts {
+                    type_name: "T".into(),
+                    fn_name: "insert".into(),
+                    backend_mutator: true,
+                    candidate: false,
+                    journals_direct: true,
+                    touches_journal: true,
+                    may_calls: vec![
+                        ("T".into(), "try_insert".into()),
+                        (String::new(), "go".into()),
+                    ],
+                    exits: vec![ExitFacts {
+                        events: vec![
+                            JournalEvent::Direct,
+                            JournalEvent::Call("T".into(), "try_insert".into()),
+                        ],
+                        noop: false,
+                        waived: true,
+                        line: 7,
+                        col: 5,
+                    }],
+                    line: 5,
+                    col: 8,
+                }],
+            },
+            pending: vec![PendingWaiver {
+                path: "crates/x/src/lib.rs".into(),
+                file_wide: false,
+                covers_line: 7,
+                line: 6,
+                col: 5,
+                rules: "journal-completeness".into(),
+            }],
+        };
+        c.put(42, entry);
+        c.store(&path);
+        let back = Cache::load(&path);
+        let e = back.get(42).expect("entry survives");
+        assert_eq!(e.diags.len(), 1);
+        assert_eq!(e.diags[0].message, "tainted \"float\"\nline2");
+        assert_eq!(e.facts.fns.len(), 1);
+        let f = &e.facts.fns[0];
+        assert!(f.backend_mutator && f.journals_direct && f.touches_journal && !f.candidate);
+        assert_eq!(f.may_calls.len(), 2);
+        assert_eq!(f.may_calls[1].1, "go");
+        assert_eq!(f.exits[0].events.len(), 2);
+        assert!(f.exits[0].waived);
+        assert_eq!(e.pending.len(), 1);
+        assert_eq!(e.pending[0].covers_line, 7);
+        assert_eq!(e.pending[0].path, "crates/x/src/lib.rs");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_mismatch_and_garbage_yield_empty() {
+        let dir = std::env::temp_dir().join(format!("pss-lint-cache-test2-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("c.cache");
+        std::fs::write(&path, "pss-lint-cache v0\nfile 1\nend\n").unwrap();
+        assert!(Cache::load(&path).get(1).is_none());
+        std::fs::write(&path, "not a cache at all").unwrap();
+        assert!(Cache::load(&path).get(1).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,692 @@
+//! Intra-procedural control-flow graph over the lightweight AST.
+//!
+//! Statement granularity: each [`Node`] holds a run of straight-line
+//! [`Step`]s and one [`Term`]inator. Structured control flow (`if`,
+//! `match`, loops, `?`, `return`, `break`/`continue`, let-`else`) is
+//! lowered to explicit edges; a statement containing `?` grows an
+//! err-exit edge. Expressions *nested inside* a step (e.g. a `match` in
+//! a call argument) are not lowered — transfer functions walk them
+//! flow-insensitively, which can only over-approximate the events of a
+//! step, never invent a new path. Labelled `break`/`continue` are
+//! resolved to the innermost loop (labels are not tracked) — an accepted
+//! imprecision, absent from the analysed tree.
+
+use crate::ast::{Block as AstBlock, Expr, ExprKind, FnItem, Stmt};
+
+/// One straight-line element of a basic block.
+#[derive(Debug, Clone, Copy)]
+pub enum Step<'a> {
+    /// A binding of `pats` from `init` (`None` when the value is opaque:
+    /// loop pattern, match arm pattern, bare `let x;`).
+    Let {
+        /// Bound identifiers.
+        pats: &'a [String],
+        /// Bound value, when statically visible.
+        init: Option<&'a Expr>,
+        /// Source line of the binding.
+        line: u32,
+    },
+    /// An expression evaluated for value/effect.
+    Expr(&'a Expr),
+    /// A branch condition / match scrutinee — a float-taint sink position.
+    Cond(&'a Expr),
+}
+
+impl<'a> Step<'a> {
+    /// The step's expressions, for transfer functions (0..=1 of them).
+    pub fn expr(&self) -> Option<&'a Expr> {
+        match self {
+            Step::Let { init, .. } => *init,
+            Step::Expr(e) | Step::Cond(e) => Some(e),
+        }
+    }
+}
+
+/// How control leaves a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitKind {
+    /// Normal return (explicit `return`, tail value, or fall-off-end).
+    Ok,
+    /// Error return: `?` desugaring, `return Err(..)`, tail `Err(..)`, or
+    /// a divergent let-`else` block that never returned.
+    Err,
+}
+
+/// An exit point with its returned value (when visible) and anchor.
+#[derive(Debug, Clone, Copy)]
+pub struct ExitInfo<'a> {
+    /// Ok or Err.
+    pub kind: ExitKind,
+    /// The returned expression, if syntactically visible.
+    pub value: Option<&'a Expr>,
+    /// Diagnostic line.
+    pub line: u32,
+    /// Diagnostic column.
+    pub col: u32,
+}
+
+/// Basic-block terminator.
+#[derive(Debug, Clone)]
+pub enum Term<'a> {
+    /// Unconditional edge.
+    Goto(usize),
+    /// One-of edges (branch targets or a statement's ok/err split).
+    Branch(Vec<usize>),
+    /// Function exit.
+    Exit(ExitInfo<'a>),
+}
+
+/// One basic block.
+#[derive(Debug)]
+pub struct Node<'a> {
+    /// Straight-line steps, in order.
+    pub steps: Vec<Step<'a>>,
+    /// How the block ends.
+    pub term: Term<'a>,
+}
+
+/// The function CFG. Block 0 is the entry.
+#[derive(Debug)]
+pub struct Cfg<'a> {
+    /// Basic blocks; edges index into this vec.
+    pub blocks: Vec<Node<'a>>,
+}
+
+impl<'a> Cfg<'a> {
+    /// Build the CFG for a function body. `None` when the fn has no body.
+    pub fn build(f: &'a FnItem) -> Option<Cfg<'a>> {
+        let body = f.body.as_ref()?;
+        let mut b = Builder { blocks: Vec::new(), loops: Vec::new() };
+        let entry = b.new_block();
+        debug_assert_eq!(entry, 0);
+        b.lower_block(body, entry, Dest::Exit);
+        Some(b.finish())
+    }
+
+    /// All exit points, with their owning block id.
+    pub fn exits(&self) -> impl Iterator<Item = (usize, &ExitInfo<'a>)> {
+        self.blocks.iter().enumerate().filter_map(|(i, n)| match &n.term {
+            Term::Exit(e) => Some((i, e)),
+            _ => None,
+        })
+    }
+
+    /// Successor block ids of `id` (empty for exits).
+    pub fn succs(&self, id: usize) -> &[usize] {
+        match &self.blocks[id].term {
+            Term::Goto(t) => std::slice::from_ref(t),
+            Term::Branch(ts) => ts,
+            Term::Exit(_) => &[],
+        }
+    }
+}
+
+/// Does the expression contain a `?` outside any closure?
+pub fn contains_try(e: &Expr) -> bool {
+    let mut found = false;
+    e.walk_pruned(&mut |x| {
+        if matches!(x.kind, ExprKind::Try { .. }) {
+            found = true;
+        }
+    });
+    found
+}
+
+/// Expressions whose *internal* paths must be lowered to CFG edges when
+/// they appear in statement/binding position.
+fn is_control_flow(e: &Expr) -> bool {
+    matches!(
+        e.kind,
+        ExprKind::If { .. }
+            | ExprKind::IfLet { .. }
+            | ExprKind::Match { .. }
+            | ExprKind::While { .. }
+            | ExprKind::WhileLet { .. }
+            | ExprKind::Loop { .. }
+            | ExprKind::For { .. }
+            | ExprKind::BlockExpr(_)
+            | ExprKind::Return { .. }
+            | ExprKind::Break { .. }
+            | ExprKind::Continue
+    )
+}
+
+/// Classify a returned value: `Err(..)` → Err, anything else → Ok.
+fn classify_exit(value: Option<&Expr>) -> ExitKind {
+    if let Some(v) = value {
+        if let ExprKind::Call { callee, .. } = &v.kind {
+            if callee.path_last() == Some("Err") {
+                return ExitKind::Err;
+            }
+        }
+        if v.path_last() == Some("Err") {
+            return ExitKind::Err; // `Err` of a unit error passed bare — not real, but cheap
+        }
+    }
+    ExitKind::Ok
+}
+
+/// Anchor of the last statement in a block (for implicit exits).
+fn last_anchor(b: &AstBlock) -> Option<(u32, u32)> {
+    b.stmts.iter().rev().find_map(|s| match s {
+        Stmt::Let { line, .. } => Some((*line, 1)),
+        Stmt::Expr { expr, .. } => Some((expr.line, expr.col)),
+        Stmt::Item => None,
+    })
+}
+
+/// What to do with the value a lowered expression produces.
+#[derive(Clone, Copy)]
+enum Dest<'a> {
+    /// Discard (statement position).
+    Ignore,
+    /// Bind to these pattern identifiers (`let` position).
+    Bind(&'a [String]),
+    /// Function tail position: the value exits the function.
+    Exit,
+}
+
+struct LoopCtx<'a> {
+    continue_to: usize,
+    break_to: usize,
+    dest: Dest<'a>,
+}
+
+struct Builder<'a> {
+    blocks: Vec<(Vec<Step<'a>>, Option<Term<'a>>)>,
+    loops: Vec<LoopCtx<'a>>,
+}
+
+impl<'a> Builder<'a> {
+    fn new_block(&mut self) -> usize {
+        self.blocks.push((Vec::new(), None));
+        self.blocks.len() - 1
+    }
+
+    fn push(&mut self, id: usize, step: Step<'a>) {
+        self.blocks[id].0.push(step);
+    }
+
+    fn set_term(&mut self, id: usize, t: Term<'a>) {
+        if self.blocks[id].1.is_none() {
+            self.blocks[id].1 = Some(t);
+        }
+    }
+
+    fn finish(self) -> Cfg<'a> {
+        let blocks = self
+            .blocks
+            .into_iter()
+            .map(|(steps, term)| Node {
+                steps,
+                // Unterminated blocks are unreachable continuations
+                // (after return/break); an empty branch diverges them.
+                term: term.unwrap_or(Term::Branch(Vec::new())),
+            })
+            .collect();
+        Cfg { blocks }
+    }
+
+    /// If `e` contains `?`, split the current block: ok-edge to a fresh
+    /// block, err-edge to an err exit. Returns the ok continuation.
+    fn try_split(&mut self, cur: usize, e: &'a Expr) -> usize {
+        if !contains_try(e) {
+            return cur;
+        }
+        let err = self.new_block();
+        self.set_term(
+            err,
+            Term::Exit(ExitInfo { kind: ExitKind::Err, value: None, line: e.line, col: e.col }),
+        );
+        let next = self.new_block();
+        self.set_term(cur, Term::Branch(vec![next, err]));
+        next
+    }
+
+    /// Lower a block's statements. Returns the block where control
+    /// continues (may be unreachable if every path diverged).
+    fn lower_block(&mut self, b: &'a AstBlock, mut cur: usize, dest: Dest<'a>) -> usize {
+        let n = b.stmts.len();
+        for (i, s) in b.stmts.iter().enumerate() {
+            let is_tail = i + 1 == n && matches!(s, Stmt::Expr { has_semi: false, .. });
+            match s {
+                Stmt::Expr { expr, .. } if is_tail => {
+                    return self.lower_value(expr, cur, dest);
+                }
+                Stmt::Expr { expr, .. } => {
+                    cur = self.lower_value(expr, cur, Dest::Ignore);
+                }
+                Stmt::Let { pats, init, else_block, line } => {
+                    cur = self.lower_let(pats, init.as_ref(), else_block.as_ref(), *line, cur);
+                }
+                Stmt::Item => {}
+            }
+        }
+        // No tail expression: deliver the implicit unit value.
+        match dest {
+            Dest::Bind(pats) => {
+                let line = last_anchor(b).map_or(0, |a| a.0);
+                self.push(cur, Step::Let { pats, init: None, line });
+            }
+            Dest::Exit => {
+                let (line, col) = last_anchor(b).unwrap_or((0, 0));
+                self.set_term(
+                    cur,
+                    Term::Exit(ExitInfo { kind: ExitKind::Ok, value: None, line, col }),
+                );
+            }
+            Dest::Ignore => {}
+        }
+        cur
+    }
+
+    fn lower_let(
+        &mut self,
+        pats: &'a [String],
+        init: Option<&'a Expr>,
+        else_block: Option<&'a AstBlock>,
+        line: u32,
+        mut cur: usize,
+    ) -> usize {
+        let Some(init) = init else {
+            self.push(cur, Step::Let { pats, init: None, line });
+            return cur;
+        };
+        if let Some(else_b) = else_block {
+            // let-else: evaluate, then either bind or diverge.
+            self.push(cur, Step::Let { pats, init: Some(init), line });
+            cur = self.try_split(cur, init);
+            let div = self.new_block();
+            let bound = self.new_block();
+            self.set_term(cur, Term::Branch(vec![bound, div]));
+            let div_end = self.lower_block(else_b, div, Dest::Ignore);
+            // The else block must diverge; if it didn't return/break, it
+            // panicked — model as an err exit (exempt from must-checks).
+            self.set_term(
+                div_end,
+                Term::Exit(ExitInfo { kind: ExitKind::Err, value: None, line, col: 1 }),
+            );
+            return bound;
+        }
+        if is_control_flow(init) {
+            self.lower_value(init, cur, Dest::Bind(pats))
+        } else {
+            self.push(cur, Step::Let { pats, init: Some(init), line });
+            self.try_split(cur, init)
+        }
+    }
+
+    /// Lower an expression whose value flows to `dest`. Returns the block
+    /// where control continues.
+    fn lower_value(&mut self, e: &'a Expr, mut cur: usize, dest: Dest<'a>) -> usize {
+        match &e.kind {
+            ExprKind::If { cond, then, else_ } => {
+                self.push(cur, Step::Cond(cond));
+                cur = self.try_split(cur, cond);
+                let then_id = self.new_block();
+                let join = self.new_block();
+                let else_id = if else_.is_some() { self.new_block() } else { join };
+                self.set_term(cur, Term::Branch(vec![then_id, else_id]));
+                let then_end = self.lower_block(then, then_id, dest);
+                self.seal(then_end, dest, e, join);
+                if let Some(else_e) = else_ {
+                    let else_end = self.lower_value(else_e, else_id, dest);
+                    self.seal(else_end, dest, e, join);
+                }
+                join
+            }
+            ExprKind::IfLet { pats, scrutinee, also, then, else_ } => {
+                self.push(cur, Step::Expr(scrutinee));
+                cur = self.try_split(cur, scrutinee);
+                for a in also {
+                    self.push(cur, Step::Cond(a));
+                    cur = self.try_split(cur, a);
+                }
+                let then_id = self.new_block();
+                self.push(then_id, Step::Let { pats, init: None, line: e.line });
+                let join = self.new_block();
+                let else_id = if else_.is_some() { self.new_block() } else { join };
+                self.set_term(cur, Term::Branch(vec![then_id, else_id]));
+                let then_end = self.lower_block(then, then_id, dest);
+                self.seal(then_end, dest, e, join);
+                if let Some(else_e) = else_ {
+                    let else_end = self.lower_value(else_e, else_id, dest);
+                    self.seal(else_end, dest, e, join);
+                }
+                join
+            }
+            ExprKind::Match { scrutinee, arms } => {
+                self.push(cur, Step::Cond(scrutinee));
+                cur = self.try_split(cur, scrutinee);
+                let join = self.new_block();
+                let mut targets = Vec::with_capacity(arms.len().max(1));
+                for arm in arms {
+                    let arm_id = self.new_block();
+                    targets.push(arm_id);
+                    self.push(arm_id, Step::Let { pats: &arm.pats, init: None, line: e.line });
+                    let mut arm_cur = arm_id;
+                    if let Some(g) = &arm.guard {
+                        self.push(arm_cur, Step::Cond(g));
+                        arm_cur = self.try_split(arm_cur, g);
+                    }
+                    let arm_end = self.lower_value(&arm.body, arm_cur, dest);
+                    self.seal(arm_end, dest, e, join);
+                }
+                if targets.is_empty() {
+                    targets.push(join); // empty match: fall through
+                }
+                self.set_term(cur, Term::Branch(targets));
+                join
+            }
+            ExprKind::While { cond, body } => {
+                let head = self.new_block();
+                self.set_term(cur, Term::Goto(head));
+                self.push(head, Step::Cond(cond));
+                let head_tail = self.try_split(head, cond);
+                let body_id = self.new_block();
+                let after = self.new_block();
+                self.set_term(head_tail, Term::Branch(vec![body_id, after]));
+                self.loops.push(LoopCtx { continue_to: head, break_to: after, dest: Dest::Ignore });
+                let body_end = self.lower_block(body, body_id, Dest::Ignore);
+                self.loops.pop();
+                self.set_term(body_end, Term::Goto(head));
+                self.deliver_unit(after, dest, e);
+                after
+            }
+            ExprKind::WhileLet { pats, scrutinee, body } => {
+                let head = self.new_block();
+                self.set_term(cur, Term::Goto(head));
+                self.push(head, Step::Expr(scrutinee));
+                let head_tail = self.try_split(head, scrutinee);
+                let body_id = self.new_block();
+                let after = self.new_block();
+                self.set_term(head_tail, Term::Branch(vec![body_id, after]));
+                self.push(body_id, Step::Let { pats, init: None, line: e.line });
+                self.loops.push(LoopCtx { continue_to: head, break_to: after, dest: Dest::Ignore });
+                let body_end = self.lower_block(body, body_id, Dest::Ignore);
+                self.loops.pop();
+                self.set_term(body_end, Term::Goto(head));
+                self.deliver_unit(after, dest, e);
+                after
+            }
+            ExprKind::Loop { body } => {
+                let head = self.new_block();
+                self.set_term(cur, Term::Goto(head));
+                let after = self.new_block();
+                // `break value` delivers the loop's value to our dest.
+                self.loops.push(LoopCtx { continue_to: head, break_to: after, dest });
+                let body_end = self.lower_block(body, head, Dest::Ignore);
+                self.loops.pop();
+                self.set_term(body_end, Term::Goto(head));
+                after
+            }
+            ExprKind::For { pats, iter, body } => {
+                self.push(cur, Step::Expr(iter));
+                cur = self.try_split(cur, iter);
+                let head = self.new_block();
+                self.set_term(cur, Term::Goto(head));
+                let body_id = self.new_block();
+                let after = self.new_block();
+                self.set_term(head, Term::Branch(vec![body_id, after]));
+                self.push(body_id, Step::Let { pats, init: None, line: e.line });
+                self.loops.push(LoopCtx { continue_to: head, break_to: after, dest: Dest::Ignore });
+                let body_end = self.lower_block(body, body_id, Dest::Ignore);
+                self.loops.pop();
+                self.set_term(body_end, Term::Goto(head));
+                self.deliver_unit(after, dest, e);
+                after
+            }
+            ExprKind::BlockExpr(b) => {
+                let end = self.lower_block(b, cur, dest);
+                if let Dest::Exit = dest {
+                    // A tail block with no tail expression exits unit.
+                    self.set_term(
+                        end,
+                        Term::Exit(ExitInfo {
+                            kind: ExitKind::Ok,
+                            value: None,
+                            line: e.line,
+                            col: e.col,
+                        }),
+                    );
+                }
+                end
+            }
+            ExprKind::Return { value } => {
+                if let Some(v) = value {
+                    self.push(cur, Step::Expr(v));
+                    cur = self.try_split(cur, v);
+                }
+                let value = value.as_deref();
+                self.set_term(
+                    cur,
+                    Term::Exit(ExitInfo {
+                        kind: classify_exit(value),
+                        value,
+                        line: e.line,
+                        col: e.col,
+                    }),
+                );
+                self.new_block() // unreachable continuation
+            }
+            ExprKind::Break { value } => {
+                if let Some(v) = value {
+                    self.push(cur, Step::Expr(v));
+                    cur = self.try_split(cur, v);
+                }
+                if let Some(ctx) = self.loops.last() {
+                    let (break_to, ldest) = (ctx.break_to, ctx.dest);
+                    match (ldest, value) {
+                        (Dest::Bind(pats), v) => {
+                            self.push(cur, Step::Let { pats, init: v.as_deref(), line: e.line })
+                        }
+                        (Dest::Exit, v) => {
+                            let v = v.as_deref();
+                            self.set_term(
+                                cur,
+                                Term::Exit(ExitInfo {
+                                    kind: classify_exit(v),
+                                    value: v,
+                                    line: e.line,
+                                    col: e.col,
+                                }),
+                            );
+                        }
+                        (Dest::Ignore, _) => {}
+                    }
+                    self.set_term(cur, Term::Goto(break_to));
+                } else {
+                    self.set_term(
+                        cur,
+                        Term::Exit(ExitInfo {
+                            kind: ExitKind::Ok,
+                            value: None,
+                            line: e.line,
+                            col: e.col,
+                        }),
+                    );
+                }
+                self.new_block()
+            }
+            ExprKind::Continue => {
+                if let Some(ctx) = self.loops.last() {
+                    let t = ctx.continue_to;
+                    self.set_term(cur, Term::Goto(t));
+                } else {
+                    self.set_term(
+                        cur,
+                        Term::Exit(ExitInfo {
+                            kind: ExitKind::Ok,
+                            value: None,
+                            line: e.line,
+                            col: e.col,
+                        }),
+                    );
+                }
+                self.new_block()
+            }
+            _ => {
+                // Plain leaf value.
+                match dest {
+                    Dest::Ignore => self.push(cur, Step::Expr(e)),
+                    Dest::Bind(pats) => {
+                        self.push(cur, Step::Let { pats, init: Some(e), line: e.line })
+                    }
+                    Dest::Exit => self.push(cur, Step::Expr(e)),
+                }
+                cur = self.try_split(cur, e);
+                if let Dest::Exit = dest {
+                    self.set_term(
+                        cur,
+                        Term::Exit(ExitInfo {
+                            kind: classify_exit(Some(e)),
+                            value: Some(e),
+                            line: e.line,
+                            col: e.col,
+                        }),
+                    );
+                    return self.new_block();
+                }
+                cur
+            }
+        }
+    }
+
+    /// Route a branch-arm end to the join (arm values were already
+    /// delivered leaf-by-leaf; Exit dests exited at the leaves).
+    fn seal(&mut self, end: usize, dest: Dest<'a>, e: &'a Expr, join: usize) {
+        if let Dest::Exit = dest {
+            // A branch arm with no tail expression exits unit here.
+            self.set_term(
+                end,
+                Term::Exit(ExitInfo { kind: ExitKind::Ok, value: None, line: e.line, col: e.col }),
+            );
+        } else {
+            self.set_term(end, Term::Goto(join));
+        }
+    }
+
+    /// A loop used as a value produces unit at its exit block.
+    fn deliver_unit(&mut self, after: usize, dest: Dest<'a>, e: &'a Expr) {
+        match dest {
+            Dest::Bind(pats) => self.push(after, Step::Let { pats, init: None, line: e.line }),
+            Dest::Exit => self.set_term(
+                after,
+                Term::Exit(ExitInfo { kind: ExitKind::Ok, value: None, line: e.line, col: e.col }),
+            ),
+            Dest::Ignore => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, TokKind};
+    use crate::parse::parse_file;
+
+    fn cfg_of(src: &str) -> (crate::ast::SrcFile, usize) {
+        let toks = lex(src);
+        let sig: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .map(|(i, _)| i)
+            .collect();
+        let file = parse_file(src, &toks, &sig);
+        assert_eq!(file.parse_failures, 0);
+        (file, 0)
+    }
+
+    fn first_fn(file: &crate::ast::SrcFile) -> &FnItem {
+        let mut out = None;
+        fn walk<'a>(items: &'a [crate::ast::Item], out: &mut Option<&'a FnItem>) {
+            for it in items {
+                match it {
+                    crate::ast::Item::Fn(f) if out.is_none() => *out = Some(f),
+                    crate::ast::Item::Impl(b) if out.is_none() => *out = b.fns.first(),
+                    crate::ast::Item::Mod(inner) => walk(inner, out),
+                    _ => {}
+                }
+            }
+        }
+        walk(&file.items, &mut out);
+        out.expect("fn")
+    }
+
+    #[test]
+    fn straight_line_has_single_ok_exit() {
+        let (file, _) = cfg_of("fn f() -> u32 { let x = 1; x + 1 }\n");
+        let cfg = Cfg::build(first_fn(&file)).unwrap();
+        let exits: Vec<_> = cfg.exits().collect();
+        assert_eq!(exits.len(), 1);
+        assert_eq!(exits[0].1.kind, ExitKind::Ok);
+        assert!(exits[0].1.value.is_some());
+    }
+
+    #[test]
+    fn try_adds_err_exit() {
+        let (file, _) = cfg_of("fn f() -> Result<(), E> { g()?; Ok(()) }\n");
+        let cfg = Cfg::build(first_fn(&file)).unwrap();
+        let kinds: Vec<ExitKind> = cfg.exits().map(|(_, e)| e.kind).collect();
+        assert!(kinds.contains(&ExitKind::Err));
+        assert!(kinds.contains(&ExitKind::Ok));
+    }
+
+    #[test]
+    fn if_branches_join_and_loops_cycle() {
+        let (file, _) = cfg_of(
+            "fn f(c: bool) -> u32 {\n\
+             let mut t = 0;\n\
+             for i in 0..4 { if c { t += i; } else { continue; } }\n\
+             while t > 10 { t -= 1; }\n\
+             match t { 0 => return 7, _ => {} }\n\
+             t\n}\n",
+        );
+        let cfg = Cfg::build(first_fn(&file)).unwrap();
+        // Reachability: every exit must be reachable from entry.
+        let mut seen = vec![false; cfg.blocks.len()];
+        let mut stack = vec![0usize];
+        while let Some(b) = stack.pop() {
+            if std::mem::replace(&mut seen[b], true) {
+                continue;
+            }
+            stack.extend_from_slice(cfg.succs(b));
+        }
+        let reachable_exits = cfg.exits().filter(|(i, _)| seen[*i]).count();
+        assert!(reachable_exits >= 2, "return 7 and tail exit both reachable");
+    }
+
+    #[test]
+    fn tail_err_classified() {
+        let (file, _) = cfg_of("fn f() -> Result<u32, E> { Err(E::Bad) }\n");
+        let cfg = Cfg::build(first_fn(&file)).unwrap();
+        let exits: Vec<_> = cfg.exits().collect();
+        assert_eq!(exits.len(), 1);
+        assert_eq!(exits[0].1.kind, ExitKind::Err);
+    }
+
+    #[test]
+    fn let_bound_match_delivers_per_arm() {
+        let (file, _) = cfg_of(
+            "fn f(r: R) -> bool {\n\
+             let ok = match r { R::A => true, R::B => false };\n\
+             ok\n}\n",
+        );
+        let cfg = Cfg::build(first_fn(&file)).unwrap();
+        // Both arms must produce a Let step binding `ok` with a visible init.
+        let mut bound_inits = 0;
+        for n in &cfg.blocks {
+            for s in &n.steps {
+                if let Step::Let { pats, init: Some(init), .. } = s {
+                    if pats.first().map(String::as_str) == Some("ok")
+                        && matches!(init.kind, ExprKind::BoolLit(_))
+                    {
+                        bound_inits += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(bound_inits, 2);
+    }
+}

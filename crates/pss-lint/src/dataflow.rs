@@ -1,0 +1,161 @@
+//! A small forward dataflow engine over [`crate::cfg::Cfg`].
+//!
+//! Generic worklist fixpoint: the analysis supplies a bounded-height
+//! lattice (`State`), a `meet` for joins, and a per-step `transfer`.
+//! The engine returns the fixpoint *entry* state of every block
+//! (`None` = unreachable); rules then replay `transfer` through the
+//! blocks they care about to inspect step-level states and exit states.
+
+use crate::cfg::{Cfg, Step};
+
+/// A forward dataflow analysis.
+pub trait Analysis<'a> {
+    /// The abstract state. Must form a lattice of bounded height under
+    /// [`Analysis::meet`], or the engine's iteration cap truncates the
+    /// fixpoint (conservatively, states just stop improving).
+    type State: Clone + PartialEq;
+
+    /// State on function entry.
+    fn boundary(&self) -> Self::State;
+
+    /// Join of two predecessor states.
+    fn meet(&self, a: &Self::State, b: &Self::State) -> Self::State;
+
+    /// Flow `state` through one step.
+    fn transfer(&self, step: &Step<'a>, state: &mut Self::State);
+}
+
+/// Run `a` to fixpoint over `cfg`; returns each block's entry state
+/// (`None` for blocks no path reaches).
+pub fn forward<'a, A: Analysis<'a>>(cfg: &Cfg<'a>, a: &A) -> Vec<Option<A::State>> {
+    let n = cfg.blocks.len();
+    let mut input: Vec<Option<A::State>> = vec![None; n];
+    if n == 0 {
+        return input;
+    }
+    input[0] = Some(a.boundary());
+    let mut work: Vec<usize> = vec![0];
+    let mut on_work = vec![false; n];
+    on_work[0] = true;
+    // Cap: each block can be reprocessed once per lattice-height drop of
+    // any predecessor; our lattices are tiny, so this is generous.
+    let mut fuel = 64usize.saturating_mul(n).max(1024);
+    while let Some(b) = work.pop() {
+        on_work[b] = false;
+        if fuel == 0 {
+            break;
+        }
+        fuel -= 1;
+        let Some(mut state) = input[b].clone() else { continue };
+        for step in &cfg.blocks[b].steps {
+            a.transfer(step, &mut state);
+        }
+        for &s in cfg.succs(b) {
+            let merged = match &input[s] {
+                None => state.clone(),
+                Some(old) => a.meet(old, &state),
+            };
+            if input[s].as_ref() != Some(&merged) {
+                input[s] = Some(merged);
+                if !on_work[s] {
+                    on_work[s] = true;
+                    work.push(s);
+                }
+            }
+        }
+    }
+    input
+}
+
+/// Replay `a` through block `b` from its fixpoint entry state, calling
+/// `visit` with the state *before* each step. Returns the block's exit
+/// state. This is how rules inspect mid-block program points.
+pub fn replay<'a, A: Analysis<'a>>(
+    cfg: &Cfg<'a>,
+    a: &A,
+    b: usize,
+    entry: &A::State,
+    visit: &mut dyn FnMut(&Step<'a>, &A::State),
+) -> A::State {
+    let mut state = entry.clone();
+    for step in &cfg.blocks[b].steps {
+        visit(step, &state);
+        a.transfer(step, &mut state);
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ExprKind;
+    use crate::cfg::Cfg;
+    use crate::lexer::{lex, TokKind};
+    use crate::parse::parse_file;
+
+    /// Toy must-analysis: has `mark()` been called on every path?
+    struct Marked;
+
+    impl<'a> Analysis<'a> for Marked {
+        type State = bool;
+        fn boundary(&self) -> bool {
+            false
+        }
+        fn meet(&self, a: &bool, b: &bool) -> bool {
+            *a && *b
+        }
+        fn transfer(&self, step: &Step<'a>, state: &mut bool) {
+            if let Some(e) = step.expr() {
+                e.walk_pruned(&mut |x| {
+                    if let ExprKind::Call { callee, .. } = &x.kind {
+                        if callee.path_last() == Some("mark") {
+                            *state = true;
+                        }
+                    }
+                });
+            }
+        }
+    }
+
+    fn exit_states(src: &str) -> Vec<bool> {
+        let toks = lex(src);
+        let sig: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .map(|(i, _)| i)
+            .collect();
+        let file = parse_file(src, &toks, &sig);
+        let mut out = Vec::new();
+        file.for_each_fn(&mut |_, f| {
+            let Some(cfg) = Cfg::build(f) else { return };
+            let states = forward(&cfg, &Marked);
+            for (b, _) in cfg.exits() {
+                if let Some(entry) = &states[b] {
+                    out.push(replay(&cfg, &Marked, b, entry, &mut |_, _| {}));
+                }
+            }
+        });
+        out
+    }
+
+    #[test]
+    fn must_analysis_intersects_at_joins() {
+        // mark() only on one branch: the joined exit must be `false`.
+        let partial = exit_states("fn f(c: bool) { if c { mark(); } done(); }\n");
+        assert_eq!(partial, vec![false]);
+        // mark() on both branches: exit is `true`.
+        let full = exit_states("fn f(c: bool) { if c { mark(); } else { mark(); } done(); }\n");
+        assert_eq!(full, vec![true]);
+    }
+
+    #[test]
+    fn loops_reach_fixpoint() {
+        // mark() inside a loop body may execute zero times: exit `false`.
+        let looped = exit_states("fn f(n: u32) { for i in 0..n { mark(); } }\n");
+        assert_eq!(looped, vec![false]);
+        // mark() before the loop survives the cycle: exit `true`.
+        let pre = exit_states("fn f(n: u32) { mark(); for i in 0..n { step(); } }\n");
+        assert_eq!(pre, vec![true]);
+    }
+}

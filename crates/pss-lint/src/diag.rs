@@ -74,6 +74,10 @@ pub mod rules {
     pub const NO_ALLOC_HOT_PATH: &str = "no-alloc-hot-path";
     pub const NO_WILDCARD_DELTA: &str = "no-wildcard-delta";
     pub const DETERMINISTIC_ITERATION: &str = "deterministic-iteration";
+    pub const JOURNAL_COMPLETENESS: &str = "journal-completeness";
+    pub const FLOAT_TAINT: &str = "float-taint";
+    pub const CODEC_SYMMETRY: &str = "codec-symmetry";
+    pub const POISON_DISCIPLINE: &str = "poison-discipline";
     pub const UNUSED_PRAGMA: &str = "unused-pragma";
     pub const BAD_PRAGMA: &str = "bad-pragma";
 }
@@ -115,6 +119,30 @@ pub const RULES: &[RuleInfo] = &[
         id: rules::DETERMINISTIC_ITERATION,
         summary: "HashMap/HashSet banned where a sample can observe iteration order",
         scope: "lib code of dpss, pss-core, wordram, randvar, bignum, baselines",
+    },
+    RuleInfo {
+        id: rules::JOURNAL_COMPLETENESS,
+        summary: "public &mut self mutators on journaled backends must reach journal.record* \
+                  on every non-error, non-noop exit path (delegation closed workspace-wide)",
+        scope: "lib code of dpss, pss-core, baselines (semantic; CFG must-analysis)",
+    },
+    RuleInfo {
+        id: rules::FLOAT_TAINT,
+        summary: "an f64 produced by raw arithmetic may not reach a branch condition or coin \
+                  call except through the certified *_f64_bounds/Bits64 API",
+        scope: "lib code of dpss, pss-core, baselines, randvar (semantic; forward dataflow)",
+    },
+    RuleInfo {
+        id: rules::CODEC_SYMMETRY,
+        summary: "the Enc::put_* sequence of write_snapshot must mirror the Dec::get_* sequence \
+                  of the paired from_snapshot, section tags included",
+        scope: "files defining write_snapshot/from_snapshot or write_*/read_* codec helpers",
+    },
+    RuleInfo {
+        id: rules::POISON_DISCIPLINE,
+        summary: "inside a fault window, cascade fail-points must run with the poison flag \
+                  armed, and every ok-exit must have disarmed it",
+        scope: "try_* mutators containing fallible fail_point calls (or marked fault-window)",
     },
 ];
 

@@ -1,10 +1,25 @@
 //! Per-file lint pipeline and workspace walker.
+//!
+//! Linting is two-phase. [`analyze_source`] runs everything that depends
+//! only on one file — lexical rules, parse, CFG/dataflow semantic rules,
+//! pragma suppression, and pragma hygiene — and compresses the result
+//! into a [`FileAnalysis`]. [`finalize`] then runs the one genuinely
+//! cross-file pass, the `journal-completeness` fixpoint of
+//! [`crate::resolve`], over all files' facts, and settles the deferred
+//! `unused-pragma` verdicts for journal waivers (whether a waiver is
+//! load-bearing is only knowable after the fixpoint). The split is what
+//! makes the scan cache sound: a [`FileAnalysis`] is a pure function of
+//! (path, bytes), so it can be replayed from disk, while the fixpoint is
+//! cheap and re-runs from replayed facts on every scan.
 
+use crate::cache::{file_key, Cache, FileEntry};
 use crate::classify::{classify, FileClass, FileKind};
 use crate::diag::{rules as ids, Diagnostic};
 use crate::lexer::{lex, TokKind};
+use crate::parse::parse_file;
 use crate::pragma::{self, PragmaKind};
-use crate::rules::{exempt_spans, run_all, FileCtx};
+use crate::resolve::{journal_fixpoint, FileFacts};
+use crate::rules::{exempt_spans, run_all, run_semantic, FileCtx};
 use std::collections::BTreeSet;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -16,13 +31,47 @@ pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
     /// Number of files lexed and checked (skipped files not counted).
     pub files_scanned: usize,
+    /// How many of those were replayed from the scan cache.
+    pub files_reused: usize,
 }
 
-/// Lint a single source text under an explicit classification. This is the
-/// engine entry point used for both real files and fixture tests.
-pub fn lint_source(path_label: &str, src: &str, class: &FileClass) -> Vec<Diagnostic> {
+/// A `journal-completeness` waiver whose unused-pragma verdict is
+/// deferred to [`finalize`]: only the cross-file fixpoint knows whether
+/// the exit it covers actually needed waiving.
+#[derive(Debug, Clone)]
+pub struct PendingWaiver {
+    /// Path of the file holding the pragma.
+    pub path: String,
+    /// `allow-file` (covers any exit in the file) vs line-scoped `allow`.
+    pub file_wide: bool,
+    /// For line-scoped waivers: the covered source line.
+    pub covers_line: u32,
+    /// Pragma anchor.
+    pub line: u32,
+    /// Pragma anchor.
+    pub col: u32,
+    /// The pragma's rule list, for the unused-pragma message.
+    pub rules: String,
+}
+
+/// Everything one file contributes to a lint run.
+#[derive(Debug, Clone, Default)]
+pub struct FileAnalysis {
+    /// Local diagnostics, post-suppression, pragma hygiene included.
+    pub diags: Vec<Diagnostic>,
+    /// Journal facts feeding the cross-file fixpoint.
+    pub facts: FileFacts,
+    /// Journal waivers awaiting their fixpoint verdict.
+    pub pending: Vec<PendingWaiver>,
+}
+
+/// Phase 1: analyse a single source text under an explicit
+/// classification. Pure in (path_label, src, class) — cacheable.
+pub fn analyze_source(path_label: &str, src: &str, class: &FileClass) -> FileAnalysis {
+    let mut analysis = FileAnalysis::default();
+    analysis.facts.path = path_label.to_string();
     if class.kind == FileKind::Skip {
-        return Vec::new();
+        return analysis;
     }
     let toks = lex(src);
     let sig: Vec<usize> = toks
@@ -37,9 +86,6 @@ pub fn lint_source(path_label: &str, src: &str, class: &FileClass) -> Vec<Diagno
     let hot = pragmas.iter().any(|p| p.kind == PragmaKind::HotPath);
     let exempt = exempt_spans(src, &toks, &sig);
     let in_exempt = |line: u32, col: u32| -> bool {
-        // Pragmas are comments, so locate them by line against exempt
-        // token spans' line coverage; byte positions work too — find the
-        // comment token and compare bytes.
         toks.iter()
             .find(|t| t.line == line && t.col == col)
             .map(|t| exempt.iter().any(|&(a, b)| t.start >= a && t.start < b))
@@ -50,9 +96,12 @@ pub fn lint_source(path_label: &str, src: &str, class: &FileClass) -> Vec<Diagno
         FileCtx { src, toks: &toks, sig: &sig, class, hot, exempt: &exempt, path: path_label };
     let mut raw = Vec::new();
     run_all(&ctx, &mut raw);
+    if class.kind == FileKind::Lib {
+        let file = parse_file(src, &toks, &sig);
+        analysis.facts = run_semantic(&ctx, &file, &pragmas, &mut raw);
+    }
 
     // Apply suppressions.
-    let mut kept: Vec<Diagnostic> = Vec::new();
     'diags: for d in raw {
         for p in &pragmas {
             let matches_rule = p.rules.iter().any(|r| r == d.rule);
@@ -60,7 +109,7 @@ pub fn lint_source(path_label: &str, src: &str, class: &FileClass) -> Vec<Diagno
                 let covers = match p.kind {
                     PragmaKind::Allow => p.covers_line == d.line,
                     PragmaKind::AllowFile => true,
-                    PragmaKind::HotPath => false,
+                    PragmaKind::HotPath | PragmaKind::FaultWindow => false,
                 };
                 if covers {
                     p.used.set(true);
@@ -68,24 +117,40 @@ pub fn lint_source(path_label: &str, src: &str, class: &FileClass) -> Vec<Diagno
                 }
             }
         }
-        kept.push(d);
+        analysis.diags.push(d);
     }
 
     // Pragma hygiene. Pragmas inside test-gated items are inert, not errors.
+    // Scope markers (hot-path, fault-window) never suppress, so they are
+    // exempt from unused-pragma; journal waivers defer to the fixpoint.
     for p in &pragmas {
         if in_exempt(p.line, p.col) {
             continue;
         }
         if let Some(err) = &p.error {
-            kept.push(Diagnostic {
+            analysis.diags.push(Diagnostic {
                 rule: ids::BAD_PRAGMA,
                 path: path_label.to_string(),
                 line: p.line,
                 col: p.col,
                 message: err.clone(),
             });
-        } else if p.kind != PragmaKind::HotPath && !p.used.get() {
-            kept.push(Diagnostic {
+            continue;
+        }
+        if matches!(p.kind, PragmaKind::HotPath | PragmaKind::FaultWindow) || p.used.get() {
+            continue;
+        }
+        if p.rules.iter().any(|r| r == ids::JOURNAL_COMPLETENESS) {
+            analysis.pending.push(PendingWaiver {
+                path: path_label.to_string(),
+                file_wide: p.kind == PragmaKind::AllowFile,
+                covers_line: p.covers_line,
+                line: p.line,
+                col: p.col,
+                rules: p.rules.join(", "),
+            });
+        } else {
+            analysis.diags.push(Diagnostic {
                 rule: ids::UNUSED_PRAGMA,
                 path: path_label.to_string(),
                 line: p.line,
@@ -97,7 +162,49 @@ pub fn lint_source(path_label: &str, src: &str, class: &FileClass) -> Vec<Diagno
             });
         }
     }
-    kept
+    analysis
+}
+
+/// Phase 2: run the cross-file journal fixpoint, settle deferred waiver
+/// verdicts, and return the sorted merged diagnostics.
+pub fn finalize(analyses: Vec<FileAnalysis>) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+    let mut pending = Vec::new();
+    let mut facts = Vec::with_capacity(analyses.len());
+    for a in analyses {
+        diagnostics.extend(a.diags);
+        pending.extend(a.pending);
+        facts.push(a.facts);
+    }
+    let outcome = journal_fixpoint(&facts);
+    diagnostics.extend(outcome.diags);
+    for w in pending {
+        let used = outcome
+            .used_waivers
+            .iter()
+            .any(|(p, l)| *p == w.path && (w.file_wide || *l == w.covers_line));
+        if !used {
+            diagnostics.push(Diagnostic {
+                rule: ids::UNUSED_PRAGMA,
+                path: w.path,
+                line: w.line,
+                col: w.col,
+                message: format!(
+                    "pragma allows {} but suppressed nothing; remove it or move it to the offending line",
+                    w.rules
+                ),
+            });
+        }
+    }
+    diagnostics
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    diagnostics
+}
+
+/// Lint a single source text end to end (both phases, a one-file
+/// "workspace"). This is the entry point fixture tests use.
+pub fn lint_source(path_label: &str, src: &str, class: &FileClass) -> Vec<Diagnostic> {
+    finalize(vec![analyze_source(path_label, src, class)])
 }
 
 /// Recursively collect the workspace's `.rs` files, relative to `root`.
@@ -125,11 +232,15 @@ pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// Lint every classified file under `root`.
-pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+/// Lint every classified file under `root`, replaying unchanged files
+/// from the scan cache when `use_cache` is set.
+pub fn lint_workspace_with(root: &Path, use_cache: bool) -> io::Result<Report> {
     let files = workspace_files(root)?;
-    let mut diagnostics = Vec::new();
+    let cache_path = Cache::default_path(root);
+    let mut cache = if use_cache { Cache::load(&cache_path) } else { Cache::default() };
+    let mut analyses = Vec::new();
     let mut files_scanned = 0usize;
+    let mut files_reused = 0usize;
     for path in files {
         let rel = path
             .strip_prefix(root)
@@ -144,9 +255,38 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
         }
         let src = std::fs::read_to_string(&path)?;
         files_scanned += 1;
-        diagnostics.extend(lint_source(&rel, &src, &class));
+        let key = file_key(&rel, &src);
+        if use_cache {
+            if let Some(e) = cache.get(key) {
+                files_reused += 1;
+                analyses.push(FileAnalysis {
+                    diags: e.diags.clone(),
+                    facts: e.facts.clone(),
+                    pending: e.pending.clone(),
+                });
+                continue;
+            }
+        }
+        let a = analyze_source(&rel, &src, &class);
+        if use_cache {
+            cache.put(
+                key,
+                FileEntry {
+                    diags: a.diags.clone(),
+                    facts: a.facts.clone(),
+                    pending: a.pending.clone(),
+                },
+            );
+        }
+        analyses.push(a);
     }
-    diagnostics
-        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
-    Ok(Report { diagnostics, files_scanned })
+    if use_cache {
+        cache.store(&cache_path);
+    }
+    Ok(Report { diagnostics: finalize(analyses), files_scanned, files_reused })
+}
+
+/// Lint every classified file under `root` (cache enabled).
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    lint_workspace_with(root, true)
 }

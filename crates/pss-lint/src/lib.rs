@@ -19,16 +19,25 @@
 
 #![forbid(unsafe_code)]
 
+pub mod ast;
+pub mod cache;
+pub mod cfg;
 pub mod classify;
+pub mod dataflow;
 pub mod diag;
 mod engine;
 pub mod lexer;
+pub mod parse;
 pub mod pragma;
+pub mod resolve;
 pub mod rules;
 
 pub use classify::{classify, FileClass, FileKind};
 pub use diag::{is_known_rule, json_escape, Diagnostic, RuleInfo, META_RULES, RULES};
-pub use engine::{lint_source, lint_workspace, workspace_files, Report};
+pub use engine::{
+    analyze_source, finalize, lint_source, lint_workspace, lint_workspace_with, workspace_files,
+    FileAnalysis, PendingWaiver, Report,
+};
 
 #[cfg(test)]
 mod tests {

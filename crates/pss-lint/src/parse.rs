@@ -1,0 +1,1386 @@
+//! A forgiving, hand-rolled item-level parser over the [`crate::lexer`]
+//! token stream.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Never panic, never loop.** Every consuming loop either advances or
+//!    bails; a bail inside a fn body is *recovered* by brace-matching past
+//!    the body, and the fn is marked [`crate::ast::FnItem::parse_failed`]
+//!    (counted in [`crate::ast::SrcFile::parse_failures`], which the
+//!    workspace-clean test pins to zero for the real tree).
+//! 2. **Exact token consumption.** Constructs the rules do not need —
+//!    macro bodies, trait definitions, type expressions, generic arguments —
+//!    are consumed with balanced-delimiter skips so the parser never
+//!    desynchronises, and surface as [`ExprKind::Opaque`] / dropped items.
+//! 3. **Not full Rust.** Item-level only: enough statement and expression
+//!    shape for the semantic rules (calls, method calls, control flow, `?`,
+//!    casts, assignments), documented in [`crate::ast`].
+
+use crate::ast::{
+    Arm, BinOp, Block, Expr, ExprKind, FnItem, ImplBlock, Item, Param, Receiver, SrcFile, Stmt,
+};
+use crate::lexer::{is_keyword, TokKind, Token};
+
+/// Parse one file's significant tokens (comments already stripped) into the
+/// lightweight AST.
+pub fn parse_file(src: &str, toks: &[Token], sig: &[usize]) -> SrcFile {
+    let stream: Vec<Token> = sig.iter().map(|&i| toks[i]).collect();
+    let mut p = Parser { src, toks: stream, pos: 0, failures: 0 };
+    let items = p.items_until_end();
+    SrcFile { items, parse_failures: p.failures }
+}
+
+/// Non-fatal parse bail: the enclosing fn body is skipped by brace matching.
+struct Bail;
+
+type PResult<T> = Result<T, Bail>;
+
+struct Parser<'s> {
+    src: &'s str,
+    toks: Vec<Token>,
+    pos: usize,
+    failures: usize,
+}
+
+impl<'s> Parser<'s> {
+    // ---------------------------------------------------------------------
+    // Token cursor helpers.
+    // ---------------------------------------------------------------------
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn tok(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn kind(&self) -> Option<TokKind> {
+        self.tok().map(|t| t.kind)
+    }
+
+    /// Text of the token `off` ahead of the cursor ("" past the end).
+    fn txt_at(&self, off: usize) -> &'s str {
+        self.toks.get(self.pos + off).map_or("", |t| t.text(self.src))
+    }
+
+    fn txt(&self) -> &'s str {
+        self.txt_at(0)
+    }
+
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    fn eat(&mut self, text: &str) -> bool {
+        if self.txt() == text {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, text: &str) -> PResult<()> {
+        if self.eat(text) {
+            Ok(())
+        } else {
+            Err(Bail)
+        }
+    }
+
+    fn anchor(&self) -> (u32, u32) {
+        self.tok().map_or((0, 0), |t| (t.line, t.col))
+    }
+
+    /// Skip a balanced delimiter run starting at the current `open` token.
+    fn skip_balanced(&mut self, open: &str, close: &str) {
+        debug_assert_eq!(self.txt(), open);
+        let mut depth = 0usize;
+        while let Some(t) = self.tok() {
+            let s = t.text(self.src);
+            if s == open {
+                depth += 1;
+            } else if s == close {
+                depth -= 1;
+                if depth == 0 {
+                    self.bump();
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Skip a balanced generic-argument run starting at the current `<`.
+    /// `>>`/`<<` close/open two levels; other brackets are skipped whole.
+    fn skip_angles(&mut self) {
+        debug_assert!(self.txt().starts_with('<'));
+        let mut depth = 0i32;
+        while let Some(t) = self.tok() {
+            match t.text(self.src) {
+                "<" | "<=" => depth += 1,
+                "<<" | "<<=" => depth += 2,
+                ">" | ">=" => depth -= 1,
+                ">>" | ">>=" => depth -= 2,
+                "(" => {
+                    self.skip_balanced("(", ")");
+                    continue;
+                }
+                "[" => {
+                    self.skip_balanced("[", "]");
+                    continue;
+                }
+                "{" => {
+                    self.skip_balanced("{", "}");
+                    continue;
+                }
+                _ => {}
+            }
+            self.bump();
+            if depth <= 0 {
+                return;
+            }
+        }
+    }
+
+    /// True when the current token text matches one of `stops` at bracket
+    /// depth zero. Used by the pattern/type consumers.
+    fn consume_until(&mut self, stops: &[&str], mut visit: impl FnMut(&Token, &str, &str)) {
+        let mut depth = 0usize;
+        while let Some(t) = self.tok() {
+            let s = t.text(self.src);
+            if depth == 0 && stops.contains(&s) {
+                return;
+            }
+            match s {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    if depth == 0 {
+                        return; // enclosing closer — let the caller see it
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+            let next = self.txt_at(1);
+            visit(t, s, next);
+            self.bump();
+        }
+    }
+
+    /// Collect identifiers bound by a pattern, consuming tokens up to (not
+    /// including) the first depth-0 occurrence of a stop. Heuristic: a
+    /// lowercase-first identifier that is not a keyword, not a path segment
+    /// (`x::`), not a call/struct/macro head (`x(`, `x{`, `x!`), and not a
+    /// struct-pattern field name (`x:` *inside* braces — at depth 0 a
+    /// trailing `:` introduces a type ascription and `x` IS the binding, as
+    /// in `let x: f64` or the fn param `enc: &mut Enc`) is a binding.
+    fn pattern_idents(&mut self, stops: &[&str]) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut depth = 0usize;
+        while let Some(t) = self.tok() {
+            let s = t.text(self.src);
+            if depth == 0 && stops.contains(&s) {
+                break;
+            }
+            match s {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    if depth == 0 {
+                        return out; // enclosing closer — let the caller see it
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+            let next = self.txt_at(1);
+            let binds = (t.kind == TokKind::Ident || t.kind == TokKind::RawIdent)
+                && !is_keyword(s)
+                && s != "_"
+                && !s.starts_with(|c: char| c.is_ascii_uppercase())
+                && !matches!(next, "::" | "(" | "{" | "!")
+                && !(next == ":" && depth > 0);
+            if binds {
+                out.push(s.to_string());
+            }
+            self.bump();
+        }
+        out
+    }
+
+    /// Consume type tokens up to the first depth-0 stop, returning the
+    /// normalised text. Generic arguments are angle-balanced.
+    fn type_text(&mut self, stops: &[&str]) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        let mut depth = 0usize;
+        while let Some(t) = self.tok() {
+            let s = t.text(self.src);
+            if depth == 0 && stops.contains(&s) {
+                break;
+            }
+            match s {
+                "(" | "[" => depth += 1,
+                ")" | "]" => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                "{" | "}" if depth == 0 => break,
+                "<" => {
+                    self.skip_angles();
+                    parts.push("<..>".to_string());
+                    continue;
+                }
+                _ => {}
+            }
+            parts.push(s.to_string());
+            self.bump();
+        }
+        parts.join(" ")
+    }
+
+    // ---------------------------------------------------------------------
+    // Items.
+    // ---------------------------------------------------------------------
+
+    fn items_until_end(&mut self) -> Vec<Item> {
+        let mut out = Vec::new();
+        while !self.at_end() {
+            if self.txt() == "}" {
+                break;
+            }
+            match self.item(false) {
+                Some(it) => out.push(it),
+                None => self.bump(), // error recovery: never stall
+            }
+        }
+        out
+    }
+
+    /// Skip attributes before an item/statement; returns whether any of
+    /// them gate the item to test builds (`#[test]`, `#[cfg(test)]` — but
+    /// not `#[cfg(not(test))]`).
+    fn skip_attrs(&mut self) -> bool {
+        let mut gated = false;
+        while self.txt() == "#" {
+            self.bump();
+            self.eat("!");
+            if self.txt() != "[" {
+                break;
+            }
+            let start = self.pos;
+            self.skip_balanced("[", "]");
+            let mut has_test = false;
+            let mut has_not = false;
+            for t in &self.toks[start..self.pos] {
+                match t.text(self.src) {
+                    "test" => has_test = true,
+                    "not" => has_not = true,
+                    _ => {}
+                }
+            }
+            if has_test && !has_not {
+                gated = true;
+            }
+        }
+        gated
+    }
+
+    fn item(&mut self, parent_gated: bool) -> Option<Item> {
+        let gated = self.skip_attrs() || parent_gated;
+        let is_pub = self.visibility();
+        // Modifier keywords before `fn`/`impl` etc.
+        while matches!(self.txt(), "unsafe" | "async" | "const" if self.txt_at(1) == "fn") {
+            self.bump();
+        }
+        match self.txt() {
+            "fn" => Some(Item::Fn(self.parse_fn(is_pub, gated))),
+            "impl" => self.parse_impl(gated),
+            "mod" => self.parse_mod(gated),
+            "trait" => {
+                // Trait definitions (including default method bodies) are
+                // deliberately outside the analysed subset.
+                self.consume_item_tokens();
+                Some(Item::Other)
+            }
+            "struct" | "enum" | "union" | "use" | "static" | "const" | "type" | "extern"
+            | "macro_rules" => {
+                self.consume_item_tokens();
+                Some(Item::Other)
+            }
+            _ => None,
+        }
+    }
+
+    /// `pub`, `pub(crate)`, `pub(in ...)` — returns whether any pub.
+    fn visibility(&mut self) -> bool {
+        if !self.eat("pub") {
+            return false;
+        }
+        if self.txt() == "(" {
+            self.skip_balanced("(", ")");
+        }
+        true
+    }
+
+    /// Consume a non-fn item: to the first depth-0 `;`, or past the first
+    /// depth-0 `{...}` run (whichever comes first).
+    fn consume_item_tokens(&mut self) {
+        while let Some(t) = self.tok() {
+            match t.text(self.src) {
+                ";" => {
+                    self.bump();
+                    return;
+                }
+                "(" => self.skip_balanced("(", ")"),
+                "[" => self.skip_balanced("[", "]"),
+                "<" => self.skip_angles(),
+                "{" => {
+                    self.skip_balanced("{", "}");
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    fn parse_mod(&mut self, gated: bool) -> Option<Item> {
+        self.expect("mod").ok()?;
+        if self.kind() == Some(TokKind::Ident) {
+            self.bump();
+        }
+        if self.eat(";") {
+            return Some(Item::Other);
+        }
+        self.expect("{").ok()?;
+        let mut items = Vec::new();
+        while !self.at_end() && self.txt() != "}" {
+            match self.item(gated) {
+                Some(it) => items.push(it),
+                None => self.bump(),
+            }
+        }
+        self.eat("}");
+        Some(Item::Mod(items))
+    }
+
+    /// A path in impl-header position: segments, angle runs skipped.
+    fn impl_path(&mut self) -> Vec<String> {
+        let mut segs = Vec::new();
+        loop {
+            match self.txt() {
+                "<" => self.skip_angles(),
+                "::" => self.bump(),
+                s if !s.is_empty()
+                    && matches!(self.kind(), Some(TokKind::Ident | TokKind::RawIdent))
+                    && (!is_keyword(s) || s == "crate" || s == "super" || s == "Self") =>
+                {
+                    segs.push(s.to_string());
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        segs
+    }
+
+    fn parse_impl(&mut self, gated: bool) -> Option<Item> {
+        self.expect("impl").ok()?;
+        if self.txt() == "<" {
+            self.skip_angles();
+        }
+        let first = self.impl_path();
+        let (trait_name, type_name) = if self.eat("for") {
+            let ty = self.impl_path();
+            (first.last().cloned(), ty.last().cloned().unwrap_or_default())
+        } else {
+            (None, first.last().cloned().unwrap_or_default())
+        };
+        // Skip a where clause, then the body braces.
+        while !self.at_end() && self.txt() != "{" {
+            match self.txt() {
+                "<" => self.skip_angles(),
+                "(" => self.skip_balanced("(", ")"),
+                _ => self.bump(),
+            }
+        }
+        self.expect("{").ok()?;
+        let mut fns = Vec::new();
+        while !self.at_end() && self.txt() != "}" {
+            let item_gated = self.skip_attrs() || gated;
+            let is_pub = self.visibility();
+            while matches!(self.txt(), "unsafe" | "async" | "const" if self.txt_at(1) == "fn") {
+                self.bump();
+            }
+            match self.txt() {
+                "fn" => fns.push(self.parse_fn(is_pub, item_gated)),
+                "" => break,
+                _ => self.consume_item_tokens(), // consts, types, macros
+            }
+        }
+        self.eat("}");
+        Some(Item::Impl(ImplBlock { trait_name, type_name, fns }))
+    }
+
+    fn parse_fn(&mut self, is_pub: bool, test_gated: bool) -> FnItem {
+        // Caller guarantees we sit on `fn`.
+        self.bump();
+        let (line, col) = self.anchor();
+        let name = if matches!(self.kind(), Some(TokKind::Ident | TokKind::RawIdent)) {
+            let n = self.txt().to_string();
+            self.bump();
+            n
+        } else {
+            String::new()
+        };
+        let mut item = FnItem {
+            name,
+            line,
+            col,
+            is_pub,
+            receiver: Receiver::None,
+            params: Vec::new(),
+            ret: String::new(),
+            body: None,
+            test_gated,
+            parse_failed: false,
+        };
+        if self.txt() == "<" {
+            self.skip_angles();
+        }
+        if self.expect("(").is_err() {
+            item.parse_failed = true;
+            self.failures += 1;
+            return item;
+        }
+        self.parse_fn_params(&mut item);
+        if self.eat("->") {
+            item.ret = self.type_text(&["{", ";", "where"]);
+        }
+        // Where clause.
+        while !self.at_end() && self.txt() != "{" && self.txt() != ";" {
+            match self.txt() {
+                "<" => self.skip_angles(),
+                "(" => self.skip_balanced("(", ")"),
+                _ => self.bump(),
+            }
+        }
+        if self.txt() == "{" {
+            let body_start = self.pos;
+            match self.parse_block() {
+                Ok(b) => item.body = Some(b),
+                Err(Bail) => {
+                    self.pos = body_start;
+                    self.skip_balanced("{", "}");
+                    item.parse_failed = true;
+                    self.failures += 1;
+                }
+            }
+        } else {
+            self.eat(";");
+        }
+        item
+    }
+
+    fn parse_fn_params(&mut self, item: &mut FnItem) {
+        // Receiver?
+        let save = self.pos;
+        let mut reference = false;
+        if self.txt() == "&" {
+            reference = true;
+            self.bump();
+            if self.kind() == Some(TokKind::Lifetime) {
+                self.bump();
+            }
+        }
+        let is_mut = self.eat("mut");
+        if self.txt() == "self" {
+            self.bump();
+            item.receiver = match (reference, is_mut) {
+                (true, true) => Receiver::RefMut,
+                (true, false) => Receiver::Ref,
+                (false, _) => Receiver::Owned,
+            };
+            self.eat(",");
+        } else {
+            self.pos = save;
+        }
+        // Remaining params.
+        while !self.at_end() && self.txt() != ")" {
+            let names = self.pattern_idents(&[":"]);
+            if !self.eat(":") {
+                break;
+            }
+            let ty = self.type_text(&[",", ")"]);
+            item.params.push(Param { names, ty });
+            if !self.eat(",") {
+                break;
+            }
+        }
+        self.eat(")");
+    }
+
+    // ---------------------------------------------------------------------
+    // Statements.
+    // ---------------------------------------------------------------------
+
+    fn parse_block(&mut self) -> PResult<Block> {
+        self.expect("{")?;
+        let mut stmts = Vec::new();
+        while !self.at_end() && self.txt() != "}" {
+            self.skip_attrs();
+            match self.txt() {
+                ";" => {
+                    self.bump();
+                }
+                "let" => stmts.push(self.parse_let()?),
+                "fn" | "struct" | "enum" | "impl" | "trait" | "mod" | "use" | "static"
+                | "union" | "macro_rules" | "extern" => {
+                    self.consume_item_tokens();
+                    stmts.push(Stmt::Item);
+                }
+                "const" if self.txt_at(1) != "{" => {
+                    self.consume_item_tokens();
+                    stmts.push(Stmt::Item);
+                }
+                "pub" => {
+                    self.visibility();
+                    self.consume_item_tokens();
+                    stmts.push(Stmt::Item);
+                }
+                _ => {
+                    let expr = self.parse_stmt_expr()?;
+                    let has_semi = self.eat(";");
+                    stmts.push(Stmt::Expr { expr, has_semi });
+                }
+            }
+        }
+        self.expect("}")?;
+        Ok(Block { stmts })
+    }
+
+    fn parse_let(&mut self) -> PResult<Stmt> {
+        let (line, _) = self.anchor();
+        self.expect("let")?;
+        let pats = self.pattern_idents(&["=", ":", ";"]);
+        if self.eat(":") {
+            self.type_text(&["=", ";"]);
+        }
+        let init = if self.eat("=") { Some(self.parse_expr(0, true)?) } else { None };
+        let else_block = if self.eat("else") { Some(self.parse_block()?) } else { None };
+        self.expect(";")?;
+        Ok(Stmt::Let { pats, init, else_block, line })
+    }
+
+    // ---------------------------------------------------------------------
+    // Expressions (Pratt).
+    // ---------------------------------------------------------------------
+
+    fn parse_expr(&mut self, min_bp: u8, struct_ok: bool) -> PResult<Expr> {
+        let mut lhs = self.prefix(struct_ok)?;
+        lhs = self.postfix(lhs)?;
+        self.binary_tail(lhs, min_bp, struct_ok)
+    }
+
+    /// An expression in statement or match-arm position. Rust terminates
+    /// block-like expressions (`if`/`match`/loops/plain blocks) there: a
+    /// following `[`, `-`, `*`, or `.` starts a new statement or arm, never
+    /// an index/binary/method continuation of the block. Without this cut,
+    /// `for .. { }` followed by an array literal mis-parses as an indexing
+    /// expression and the whole fn body bails.
+    fn parse_stmt_expr(&mut self) -> PResult<Expr> {
+        let lhs = self.prefix(true)?;
+        if block_like(&lhs) {
+            return Ok(lhs);
+        }
+        let lhs = self.postfix(lhs)?;
+        self.binary_tail(lhs, 0, true)
+    }
+
+    fn binary_tail(&mut self, mut lhs: Expr, min_bp: u8, struct_ok: bool) -> PResult<Expr> {
+        loop {
+            let op = self.txt();
+            let (l_bp, r_bp, kind) = match op {
+                "=" | "+=" | "-=" | "*=" | "/=" | "%=" | "^=" | "&=" | "|=" | "<<=" | ">>=" => {
+                    (4, 3, None) // right-assoc assignment
+                }
+                ".." | "..=" => (6, 7, Some(BinOp::Range)),
+                "||" => (8, 9, Some(BinOp::Logic)),
+                "&&" => (10, 11, Some(BinOp::Logic)),
+                "==" | "!=" | "<" | "<=" | ">" | ">=" => (12, 13, Some(BinOp::Cmp)),
+                "|" => (14, 15, Some(BinOp::Bit)),
+                "^" => (16, 17, Some(BinOp::Bit)),
+                "&" => (18, 19, Some(BinOp::Bit)),
+                "<<" | ">>" => (20, 21, Some(BinOp::Bit)),
+                "+" | "-" => (22, 23, Some(BinOp::Arith)),
+                "*" | "/" | "%" => (24, 25, Some(BinOp::Arith)),
+                _ => break,
+            };
+            if l_bp < min_bp {
+                break;
+            }
+            let (line, col) = (lhs.line, lhs.col);
+            let compound = kind.is_none() && op != "=";
+            let is_assign = kind.is_none();
+            let bin = kind;
+            self.bump();
+            // Open-ended ranges: `lo..` with nothing rangeable after.
+            if bin == Some(BinOp::Range) && !self.can_start_expr() {
+                lhs = Expr {
+                    kind: ExprKind::RangeLit { lo: Some(Box::new(lhs)), hi: None },
+                    line,
+                    col,
+                };
+                continue;
+            }
+            let rhs = self.parse_expr(r_bp, struct_ok)?;
+            lhs = match bin {
+                Some(BinOp::Range) => Expr {
+                    kind: ExprKind::RangeLit { lo: Some(Box::new(lhs)), hi: Some(Box::new(rhs)) },
+                    line,
+                    col,
+                },
+                Some(op) => Expr {
+                    kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                    line,
+                    col,
+                },
+                None => {
+                    debug_assert!(is_assign);
+                    Expr {
+                        kind: ExprKind::Assign { lhs: Box::new(lhs), rhs: Box::new(rhs), compound },
+                        line,
+                        col,
+                    }
+                }
+            };
+        }
+        Ok(lhs)
+    }
+
+    /// Can the current token begin an expression? Used for optional values
+    /// (`return;`, `break;`, open ranges).
+    fn can_start_expr(&self) -> bool {
+        match self.kind() {
+            None => false,
+            Some(
+                TokKind::Int | TokKind::Float | TokKind::Str | TokKind::RawStr | TokKind::Char,
+            ) => true,
+            Some(TokKind::Lifetime) => true, // labelled break value? loop labels
+            Some(TokKind::Ident | TokKind::RawIdent) => !matches!(
+                self.txt(),
+                "else" | "in" | "where" | "as" | "const" | "static" | "use" | "let"
+            ),
+            Some(TokKind::Punct) => {
+                matches!(self.txt(), "(" | "[" | "{" | "-" | "!" | "*" | "&" | "|" | "||" | "..")
+            }
+            _ => false,
+        }
+    }
+
+    fn prefix(&mut self, struct_ok: bool) -> PResult<Expr> {
+        let (line, col) = self.anchor();
+        let mk = |kind| Expr { kind, line, col };
+        let t = self.tok().ok_or(Bail)?;
+        match t.kind {
+            TokKind::Int => {
+                self.bump();
+                Ok(mk(ExprKind::IntLit))
+            }
+            TokKind::Float => {
+                self.bump();
+                Ok(mk(ExprKind::FloatLit))
+            }
+            TokKind::Str | TokKind::RawStr | TokKind::Char => {
+                self.bump();
+                Ok(mk(ExprKind::StrLit))
+            }
+            TokKind::Lifetime => {
+                // Loop label: `'outer: loop { .. }`.
+                self.bump();
+                self.expect(":")?;
+                self.prefix(struct_ok)
+            }
+            TokKind::Punct => match self.txt() {
+                "-" | "!" | "*" => {
+                    self.bump();
+                    let operand = self.parse_expr(26, struct_ok)?;
+                    Ok(mk(ExprKind::Unary { expr: Box::new(operand) }))
+                }
+                "&" | "&&" => {
+                    // `&&x` is two nested refs; model as one unary.
+                    self.bump();
+                    self.eat("mut");
+                    let operand = self.parse_expr(26, struct_ok)?;
+                    Ok(mk(ExprKind::Unary { expr: Box::new(operand) }))
+                }
+                "|" | "||" => self.closure(line, col),
+                "(" => {
+                    self.bump();
+                    let mut items = Vec::new();
+                    while !self.at_end() && self.txt() != ")" {
+                        items.push(self.parse_expr(0, true)?);
+                        if !self.eat(",") {
+                            break;
+                        }
+                    }
+                    self.expect(")")?;
+                    Ok(mk(ExprKind::Tuple(items)))
+                }
+                "[" => {
+                    self.bump();
+                    let mut items = Vec::new();
+                    while !self.at_end() && self.txt() != "]" {
+                        items.push(self.parse_expr(0, true)?);
+                        if !self.eat(",") && !self.eat(";") {
+                            break;
+                        }
+                    }
+                    self.expect("]")?;
+                    Ok(mk(ExprKind::Array(items)))
+                }
+                "{" => Ok(mk(ExprKind::BlockExpr(self.parse_block()?))),
+                ".." | "..=" => {
+                    // Open-start range `..hi` / full-open `..`.
+                    self.bump();
+                    let hi = if self.can_start_expr() {
+                        Some(Box::new(self.parse_expr(7, struct_ok)?))
+                    } else {
+                        None
+                    };
+                    Ok(mk(ExprKind::RangeLit { lo: None, hi }))
+                }
+                _ => Err(Bail),
+            },
+            TokKind::Ident | TokKind::RawIdent => match self.txt() {
+                "true" => {
+                    self.bump();
+                    Ok(mk(ExprKind::BoolLit(true)))
+                }
+                "false" => {
+                    self.bump();
+                    Ok(mk(ExprKind::BoolLit(false)))
+                }
+                "if" => self.parse_if(line, col),
+                "match" => self.parse_match(line, col),
+                "while" => {
+                    self.bump();
+                    if self.eat("let") {
+                        let pats = self.pattern_idents(&["="]);
+                        self.expect("=")?;
+                        let scrutinee = self.parse_expr(0, false)?;
+                        let body = self.parse_block()?;
+                        Ok(mk(ExprKind::WhileLet { pats, scrutinee: Box::new(scrutinee), body }))
+                    } else {
+                        let cond = self.parse_expr(0, false)?;
+                        let body = self.parse_block()?;
+                        Ok(mk(ExprKind::While { cond: Box::new(cond), body }))
+                    }
+                }
+                "loop" => {
+                    self.bump();
+                    Ok(mk(ExprKind::Loop { body: self.parse_block()? }))
+                }
+                "for" => {
+                    self.bump();
+                    let pats = self.pattern_idents(&["in"]);
+                    self.expect("in")?;
+                    let iter = self.parse_expr(0, false)?;
+                    let body = self.parse_block()?;
+                    Ok(mk(ExprKind::For { pats, iter: Box::new(iter), body }))
+                }
+                "unsafe" | "async" if self.txt_at(1) == "{" => {
+                    self.bump();
+                    Ok(mk(ExprKind::BlockExpr(self.parse_block()?)))
+                }
+                "return" => {
+                    self.bump();
+                    let value = if self.can_start_expr() {
+                        Some(Box::new(self.parse_expr(0, struct_ok)?))
+                    } else {
+                        None
+                    };
+                    Ok(mk(ExprKind::Return { value }))
+                }
+                "break" => {
+                    self.bump();
+                    if self.kind() == Some(TokKind::Lifetime) {
+                        self.bump();
+                    }
+                    let value = if self.can_start_expr() {
+                        Some(Box::new(self.parse_expr(0, struct_ok)?))
+                    } else {
+                        None
+                    };
+                    Ok(mk(ExprKind::Break { value }))
+                }
+                "continue" => {
+                    self.bump();
+                    if self.kind() == Some(TokKind::Lifetime) {
+                        self.bump();
+                    }
+                    Ok(mk(ExprKind::Continue))
+                }
+                "move" => {
+                    self.bump();
+                    self.closure(line, col)
+                }
+                _ => self.path_prefix(struct_ok, line, col),
+            },
+            TokKind::LineComment | TokKind::BlockComment => Err(Bail), // filtered out upstream
+        }
+    }
+
+    /// `|params| body`, cursor on `|` or `||`.
+    fn closure(&mut self, line: u32, col: u32) -> PResult<Expr> {
+        let mut params = Vec::new();
+        if !self.eat("||") {
+            self.expect("|")?;
+            // Params: consume to the closing `|` at depth 0, collecting one
+            // binder per comma-separated slot (the identifier before any
+            // `:`-introduced type; `mut`/`&` noise is skipped as keywords
+            // or punctuation).
+            let mut depth = 0usize;
+            let mut expect = true;
+            self.consume_until(&["|"], |t, s, _| match s {
+                "(" | "[" | "{" | "<" => depth += 1,
+                ")" | "]" | "}" | ">" => depth = depth.saturating_sub(1),
+                "," if depth == 0 => expect = true,
+                ":" if depth == 0 => expect = false,
+                _ => {
+                    if expect
+                        && depth == 0
+                        && matches!(t.kind, TokKind::Ident | TokKind::RawIdent)
+                        && !is_keyword(s)
+                        && s != "_"
+                    {
+                        params.push(s.to_string());
+                        expect = false;
+                    }
+                }
+            });
+            self.expect("|")?;
+        }
+        let body = if self.eat("->") {
+            self.type_text(&["{"]);
+            Expr { kind: ExprKind::BlockExpr(self.parse_block()?), line, col }
+        } else {
+            self.parse_expr(0, true)?
+        };
+        Ok(Expr { kind: ExprKind::Closure { params, body: Box::new(body) }, line, col })
+    }
+
+    fn parse_if(&mut self, line: u32, col: u32) -> PResult<Expr> {
+        self.expect("if")?;
+        if self.eat("let") {
+            let mut pats = self.pattern_idents(&["="]);
+            self.expect("=")?;
+            // Element above `&&` so chains stay separable.
+            let scrutinee = self.parse_expr(11, false)?;
+            let mut also = Vec::new();
+            while self.eat("&&") {
+                if self.eat("let") {
+                    pats.extend(self.pattern_idents(&["="]));
+                    self.expect("=")?;
+                    also.push(self.parse_expr(11, false)?);
+                } else {
+                    also.push(self.parse_expr(11, false)?);
+                }
+            }
+            let then = self.parse_block()?;
+            let else_ = self.parse_else()?;
+            Ok(Expr {
+                kind: ExprKind::IfLet { pats, scrutinee: Box::new(scrutinee), also, then, else_ },
+                line,
+                col,
+            })
+        } else {
+            let cond = self.parse_expr(0, false)?;
+            let then = self.parse_block()?;
+            let else_ = self.parse_else()?;
+            Ok(Expr { kind: ExprKind::If { cond: Box::new(cond), then, else_ }, line, col })
+        }
+    }
+
+    fn parse_else(&mut self) -> PResult<Option<Box<Expr>>> {
+        if !self.eat("else") {
+            return Ok(None);
+        }
+        let (line, col) = self.anchor();
+        if self.txt() == "if" {
+            Ok(Some(Box::new(self.parse_if(line, col)?)))
+        } else {
+            let b = self.parse_block()?;
+            Ok(Some(Box::new(Expr { kind: ExprKind::BlockExpr(b), line, col })))
+        }
+    }
+
+    fn parse_match(&mut self, line: u32, col: u32) -> PResult<Expr> {
+        self.expect("match")?;
+        let scrutinee = self.parse_expr(0, false)?;
+        self.expect("{")?;
+        let mut arms = Vec::new();
+        while !self.at_end() && self.txt() != "}" {
+            self.skip_attrs();
+            self.eat("|"); // leading alternation pipe
+            let pats = self.pattern_idents(&["=>", "if"]);
+            let guard = if self.eat("if") { Some(self.parse_expr(0, false)?) } else { None };
+            self.expect("=>")?;
+            let body = self.parse_stmt_expr()?;
+            self.eat(",");
+            arms.push(Arm { pats, guard, body });
+        }
+        self.expect("}")?;
+        Ok(Expr { kind: ExprKind::Match { scrutinee: Box::new(scrutinee), arms }, line, col })
+    }
+
+    /// Path-headed prefix: plain path, macro call, struct literal, or the
+    /// head of a call (calls themselves attach in [`Parser::postfix`]).
+    fn path_prefix(&mut self, struct_ok: bool, line: u32, col: u32) -> PResult<Expr> {
+        let segs = self.expr_path()?;
+        // Macro call: `name!(..)` / `name![..]` / `name!{..}`.
+        if self.txt() == "!" && matches!(self.txt_at(1), "(" | "[" | "{") {
+            self.bump();
+            match self.txt() {
+                "(" => self.skip_balanced("(", ")"),
+                "[" => self.skip_balanced("[", "]"),
+                _ => self.skip_balanced("{", "}"),
+            }
+            let name = segs.last().cloned().unwrap_or_default();
+            return Ok(Expr { kind: ExprKind::MacroCall { name }, line, col });
+        }
+        // Struct literal: `Path { .. }` — only in struct-literal position
+        // and only for Uppercase-headed paths (workspace convention), so
+        // `match x {`-style blocks are never mis-taken.
+        let upper = segs.last().is_some_and(|s| s.starts_with(|c: char| c.is_ascii_uppercase()));
+        if struct_ok && upper && self.txt() == "{" {
+            self.bump();
+            let mut fields = Vec::new();
+            while !self.at_end() && self.txt() != "}" {
+                if self.txt() == ".." {
+                    self.bump();
+                    fields.push(self.parse_expr(0, true)?); // struct update base
+                    break;
+                }
+                let (fl, fc) = self.anchor();
+                let fname = self.txt().to_string();
+                if self.kind() != Some(TokKind::Ident) && self.kind() != Some(TokKind::Int) {
+                    return Err(Bail);
+                }
+                self.bump();
+                if self.eat(":") {
+                    fields.push(self.parse_expr(0, true)?);
+                } else {
+                    // Shorthand `field,` binds the same-named local.
+                    fields.push(Expr { kind: ExprKind::Path(vec![fname]), line: fl, col: fc });
+                }
+                if !self.eat(",") {
+                    break;
+                }
+            }
+            self.expect("}")?;
+            return Ok(Expr { kind: ExprKind::StructLit { path: segs, fields }, line, col });
+        }
+        Ok(Expr { kind: ExprKind::Path(segs), line, col })
+    }
+
+    /// A path in expression position: `a::b::<T>::c`. Turbofish runs are
+    /// skipped; segments are the identifiers only.
+    fn expr_path(&mut self) -> PResult<Vec<String>> {
+        let mut segs = Vec::new();
+        let first = self.txt();
+        if !matches!(self.kind(), Some(TokKind::Ident | TokKind::RawIdent))
+            || (is_keyword(first) && !matches!(first, "self" | "Self" | "crate" | "super"))
+        {
+            return Err(Bail);
+        }
+        segs.push(first.to_string());
+        self.bump();
+        while self.txt() == "::" {
+            self.bump();
+            if self.txt() == "<" {
+                self.skip_angles();
+                continue;
+            }
+            if matches!(self.kind(), Some(TokKind::Ident | TokKind::RawIdent)) {
+                segs.push(self.txt().to_string());
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(segs)
+    }
+
+    fn postfix(&mut self, mut lhs: Expr) -> PResult<Expr> {
+        loop {
+            let (line, col) = (lhs.line, lhs.col);
+            match self.txt() {
+                "." => {
+                    self.bump();
+                    match self.kind() {
+                        Some(TokKind::Ident | TokKind::RawIdent) => {
+                            let name = self.txt().to_string();
+                            self.bump();
+                            if self.txt() == "::" && self.txt_at(1) == "<" {
+                                self.bump();
+                                self.skip_angles();
+                            }
+                            if self.txt() == "(" {
+                                let args = self.call_args()?;
+                                lhs = Expr {
+                                    kind: ExprKind::MethodCall { recv: Box::new(lhs), name, args },
+                                    line,
+                                    col,
+                                };
+                            } else {
+                                lhs = Expr {
+                                    kind: ExprKind::Field { base: Box::new(lhs), name },
+                                    line,
+                                    col,
+                                };
+                            }
+                        }
+                        Some(TokKind::Int | TokKind::Float) => {
+                            // Tuple field (`.0`; `.0.1` lexes as a float).
+                            let name = self.txt().to_string();
+                            self.bump();
+                            lhs = Expr {
+                                kind: ExprKind::Field { base: Box::new(lhs), name },
+                                line,
+                                col,
+                            };
+                        }
+                        _ => return Err(Bail),
+                    }
+                }
+                "(" => {
+                    let args = self.call_args()?;
+                    lhs = Expr { kind: ExprKind::Call { callee: Box::new(lhs), args }, line, col };
+                }
+                "[" => {
+                    self.bump();
+                    let index = self.parse_expr(0, true)?;
+                    self.expect("]")?;
+                    lhs = Expr {
+                        kind: ExprKind::Index { base: Box::new(lhs), index: Box::new(index) },
+                        line,
+                        col,
+                    };
+                }
+                "?" => {
+                    self.bump();
+                    lhs = Expr { kind: ExprKind::Try { expr: Box::new(lhs) }, line, col };
+                }
+                "as" => {
+                    self.bump();
+                    let ty = self.cast_type();
+                    lhs = Expr { kind: ExprKind::Cast { expr: Box::new(lhs), ty }, line, col };
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn call_args(&mut self) -> PResult<Vec<Expr>> {
+        self.expect("(")?;
+        let mut args = Vec::new();
+        while !self.at_end() && self.txt() != ")" {
+            args.push(self.parse_expr(0, true)?);
+            if !self.eat(",") {
+                break;
+            }
+        }
+        self.expect(")")?;
+        Ok(args)
+    }
+
+    /// The type after `as`: `&`/`*const`/`*mut`/`dyn` prefixes, one path
+    /// with optional generic args. Stops before anything else (so `x as
+    /// f64 * y` leaves the `*` for the binary loop).
+    fn cast_type(&mut self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        loop {
+            match self.txt() {
+                "&" | "dyn" | "mut" | "const" => {
+                    parts.push(self.txt().to_string());
+                    self.bump();
+                }
+                "*" if matches!(self.txt_at(1), "const" | "mut") => {
+                    parts.push("*".to_string());
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        while matches!(self.kind(), Some(TokKind::Ident | TokKind::RawIdent))
+            && !is_keyword(self.txt())
+        {
+            parts.push(self.txt().to_string());
+            self.bump();
+            if self.txt() == "::" {
+                parts.push("::".to_string());
+                self.bump();
+                continue;
+            }
+            if self.txt() == "<" {
+                self.skip_angles();
+                parts.push("<..>".to_string());
+            }
+            break;
+        }
+        parts.join(" ")
+    }
+}
+
+/// Rust's "expression with block": complete on its own in statement and
+/// match-arm position, taking no postfix or binary continuation there.
+fn block_like(e: &Expr) -> bool {
+    matches!(
+        e.kind,
+        ExprKind::If { .. }
+            | ExprKind::IfLet { .. }
+            | ExprKind::Match { .. }
+            | ExprKind::While { .. }
+            | ExprKind::WhileLet { .. }
+            | ExprKind::For { .. }
+            | ExprKind::Loop { .. }
+            | ExprKind::BlockExpr(_)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> SrcFile {
+        let toks = lex(src);
+        let sig: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .map(|(i, _)| i)
+            .collect();
+        parse_file(src, &toks, &sig)
+    }
+
+    fn only_fn(file: &SrcFile) -> &FnItem {
+        let mut out = None;
+        let mut file_ref = None;
+        file.for_each_fn(&mut |_, f| {
+            if file_ref.is_none() {
+                file_ref = Some(());
+            }
+            if out.is_none() {
+                out = Some(f as *const FnItem);
+            }
+        });
+        // Safety-free workaround: re-walk to return a reference.
+        struct Holder<'a>(Option<&'a FnItem>);
+        let mut h = Holder(None);
+        fn walk<'a>(items: &'a [Item], h: &mut Holder<'a>) {
+            for it in items {
+                match it {
+                    Item::Fn(f) => {
+                        if h.0.is_none() {
+                            h.0 = Some(f);
+                        }
+                    }
+                    Item::Impl(b) => {
+                        if h.0.is_none() {
+                            h.0 = b.fns.first();
+                        }
+                    }
+                    Item::Mod(inner) => walk(inner, h),
+                    Item::Other => {}
+                }
+            }
+        }
+        walk(&file.items, &mut h);
+        h.0.expect("no fn parsed")
+    }
+
+    #[test]
+    fn fn_shape_receiver_params_ret() {
+        let f = parse(
+            "pub fn try_insert(&mut self, weight: u64) -> Result<ItemId, OpError> { Ok(id) }\n",
+        );
+        assert_eq!(f.parse_failures, 0);
+        let func = only_fn(&f);
+        assert_eq!(func.name, "try_insert");
+        assert!(func.is_pub);
+        assert_eq!(func.receiver, Receiver::RefMut);
+        assert_eq!(func.params.len(), 1);
+        assert_eq!(func.params[0].ty, "u64");
+        assert!(func.ret.starts_with("Result"));
+        assert!(func.body.is_some());
+    }
+
+    #[test]
+    fn impl_blocks_resolve_trait_and_type() {
+        let f = parse(
+            "impl PssBackend for DpssSampler {\n\
+             fn insert(&mut self, w: u64) -> Handle { Handle::from_raw(DpssSampler::insert(self, w).raw()) }\n\
+             }\n\
+             impl<'a> SnapshotReader<'a> { fn section(&self) {} }\n",
+        );
+        assert_eq!(f.parse_failures, 0);
+        let mut seen = Vec::new();
+        f.for_each_fn(&mut |imp, func| {
+            let imp = imp.expect("impl fn");
+            seen.push((imp.trait_name.clone(), imp.type_name.clone(), func.name.clone()));
+        });
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0], (Some("PssBackend".into()), "DpssSampler".into(), "insert".into()));
+        assert_eq!(seen[1], (None, "SnapshotReader".into(), "section".into()));
+    }
+
+    #[test]
+    fn control_flow_and_try_parse() {
+        let src = "fn f(&mut self) -> Result<u32, E> {\n\
+             self.ensure_unpoisoned()?;\n\
+             let x = if c { 1 } else { 2 };\n\
+             match d {\n\
+                 Delta::Inserted { handle, weight } => self.journal.record(handle),\n\
+                 _ => return Err(E::Bad),\n\
+             }\n\
+             for (i, s) in list.iter().enumerate() { total += s as u128; }\n\
+             while let Some(v) = q.pop() { v.go()?; }\n\
+             'outer: loop { if done { break 'outer 7; } continue; }\n\
+             Ok(x)\n\
+             }\n";
+        let f = parse(src);
+        assert_eq!(f.parse_failures, 0, "body must parse");
+        let func = only_fn(&f);
+        let mut kinds = Vec::new();
+        func.body.as_ref().unwrap().walk_exprs(&mut |e| {
+            if let ExprKind::MethodCall { name, .. } = &e.kind {
+                kinds.push(name.clone());
+            }
+        });
+        assert!(kinds.contains(&"ensure_unpoisoned".to_string()));
+        assert!(kinds.contains(&"record".to_string()));
+        assert!(kinds.contains(&"enumerate".to_string()));
+    }
+
+    #[test]
+    fn tricky_expressions_parse_exactly() {
+        let src = "fn f() {\n\
+             let v: Vec<u64> = xs.iter().map(|(a, b)| a + b).collect::<Vec<_>>();\n\
+             let w = c as f64 * pow2f(i32_of_u64(idx as u64) + 1);\n\
+             let r = if w.is_zero() { 1.0 } else { (wx as f64 / w).min(1.0) };\n\
+             let bits = Bits64::from_f64_bounds(mul_down(a, r.next_down()), mul_up(b, r.next_up()));\n\
+             let d = Delta::Inserted { handle: Handle::from_raw(id.raw()), weight };\n\
+             let arr = [0u8; SLOT_REC_BYTES];\n\
+             let ok = !(2..=1 << 16).contains(&rebuild_factor);\n\
+             let Some(&slot) = self.slot(h) else { return };\n\
+             assert_eq!(a, b, \"mismatch {x}\");\n\
+             }\n";
+        let f = parse(src);
+        assert_eq!(f.parse_failures, 0);
+        let func = only_fn(&f);
+        let mut casts = 0;
+        let mut closures = 0;
+        let mut structs = 0;
+        func.body.as_ref().unwrap().walk_exprs(&mut |e| match &e.kind {
+            ExprKind::Cast { ty, .. } if ty == "f64" || ty == "u64" => casts += 1,
+            ExprKind::Closure { .. } => closures += 1,
+            ExprKind::StructLit { path, .. }
+                if path.last().map(String::as_str) == Some("Inserted") =>
+            {
+                structs += 1;
+            }
+            _ => {}
+        });
+        assert_eq!(casts, 3);
+        assert_eq!(closures, 1);
+        assert_eq!(structs, 1);
+    }
+
+    #[test]
+    fn test_gated_items_are_marked() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn helper() { x.unwrap(); }\n}\n\
+                   #[cfg(not(test))]\nfn live() {}\n";
+        let f = parse(src);
+        let mut gated = Vec::new();
+        f.for_each_fn(&mut |_, func| gated.push((func.name.clone(), func.test_gated)));
+        assert_eq!(gated, vec![("helper".to_string(), true), ("live".to_string(), false)]);
+    }
+
+    #[test]
+    fn ascribed_bindings_are_captured_struct_fields_are_not() {
+        // Regression: `x:` used to be treated as a struct-pattern field name
+        // everywhere, dropping every fn param name and every `let x: T`
+        // binding — which silently blinded the codec stream tracker and the
+        // float dataflow to annotated locals.
+        let src = "fn f(enc: &mut Enc, (a, b): (u64, u64)) {\n\
+                   \x20   let p: f64 = 0.5;\n\
+                   \x20   let Delta::Inserted { handle: h } = d;\n\
+                   }\n";
+        let f = parse(src);
+        assert_eq!(f.parse_failures, 0);
+        f.for_each_fn(&mut |_, func| {
+            let names: Vec<Vec<String>> = func.params.iter().map(|p| p.names.clone()).collect();
+            assert_eq!(
+                names,
+                vec![vec!["enc".to_string()], vec!["a".to_string(), "b".to_string()]]
+            );
+            let body = func.body.as_ref().unwrap();
+            let pats: Vec<Vec<String>> = body
+                .stmts
+                .iter()
+                .filter_map(|s| match s {
+                    crate::ast::Stmt::Let { pats, .. } => Some(pats.clone()),
+                    _ => None,
+                })
+                .collect();
+            // `p` is a binding despite the ascription; `handle` is a field
+            // name (depth 1) and must not be, while `h` is.
+            assert_eq!(pats, vec![vec!["p".to_string()], vec!["h".to_string()]]);
+        });
+    }
+
+    #[test]
+    fn block_like_statements_terminate_without_postfix() {
+        // Regression: a block-like expression in statement or match-arm
+        // position used to keep accepting postfix operators, so a loop
+        // followed by an array literal (`for .. { } [s1, s2]`) or a
+        // block-bodied arm followed by a slice-pattern arm parsed as an
+        // index expression and bailed the whole fn body.
+        let src = "fn tail(xs: &[u64]) -> [u64; 2] {\n\
+                   \x20   let mut a = 0;\n\
+                   \x20   for x in xs { a += x; }\n\
+                   \x20   [a, a]\n\
+                   }\n\
+                   fn arms(parts: &[&str]) -> u64 {\n\
+                   \x20   match parts {\n\
+                   \x20       [one] => { one.len() as u64 }\n\
+                   \x20       [.., last] => last.len() as u64,\n\
+                   \x20       _ => 0,\n\
+                   \x20   }\n\
+                   }\n";
+        let f = parse(src);
+        assert_eq!(f.parse_failures, 0, "block-like stmt swallowed a following `[`");
+    }
+
+    #[test]
+    fn items_and_macros_are_consumed_without_failures() {
+        let src = "use std::io;\n\
+                   pub struct Foo { a: u64 }\n\
+                   enum E { A, B(u32) }\n\
+                   const N: usize = 3;\n\
+                   static S: &str = \"x\";\n\
+                   macro_rules! m { ($x:expr) => { $x } }\n\
+                   trait T { fn d(&self) -> bool { true } }\n\
+                   fn real() { m!(1 + 2); println!(\"{}\", 3); }\n";
+        let f = parse(src);
+        assert_eq!(f.parse_failures, 0);
+        let mut names = Vec::new();
+        f.for_each_fn(&mut |_, func| names.push(func.name.clone()));
+        // Trait default bodies are deliberately not analysed.
+        assert_eq!(names, vec!["real".to_string()]);
+    }
+}

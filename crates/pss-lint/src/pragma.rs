@@ -7,6 +7,7 @@
 //! // pss-lint: allow(rule-a, rule-b) — why this site is sound
 //! // pss-lint: allow-file(rule-a) — why this whole file is audited
 //! // pss-lint: hot-path — optional note
+//! // pss-lint: fault-window — optional note
 //! ```
 //!
 //! The reason separator is an em dash `—`, an en dash `–`, or ASCII `--`.
@@ -31,6 +32,10 @@ pub enum PragmaKind {
     AllowFile,
     /// `hot-path`: opt this file into `no-alloc-hot-path`.
     HotPath,
+    /// `fault-window`: mark the next (or current) line's fn as a poison
+    /// fault window for `poison-discipline`, even if it contains no
+    /// fallible `fail_point` call yet.
+    FaultWindow,
 }
 
 /// One parsed pragma comment.
@@ -71,6 +76,10 @@ fn parse_body(body: &str) -> (PragmaKind, Vec<String>, Option<String>) {
         // Reason optional: the annotation changes scope, it doesn't suppress.
         return (PragmaKind::HotPath, Vec::new(), None);
     }
+    if head == "fault-window" {
+        // Marker like hot-path: widens a rule's scope, never suppresses.
+        return (PragmaKind::FaultWindow, Vec::new(), None);
+    }
     let (kind, rest) = if let Some(r) = head.strip_prefix("allow-file") {
         (PragmaKind::AllowFile, r)
     } else if let Some(r) = head.strip_prefix("allow") {
@@ -80,7 +89,7 @@ fn parse_body(body: &str) -> (PragmaKind, Vec<String>, Option<String>) {
             PragmaKind::Allow,
             Vec::new(),
             Some(format!(
-                "unknown pss-lint directive `{head}` (expected allow, allow-file, or hot-path)"
+                "unknown pss-lint directive `{head}` (expected allow, allow-file, hot-path, or fault-window)"
             )),
         );
     };

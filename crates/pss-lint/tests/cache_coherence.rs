@@ -1,0 +1,111 @@
+//! Scan-cache coherence over a throwaway mini-workspace.
+//!
+//! The cache replays per-file results keyed by (path, content, engine
+//! version). Three properties keep it honest:
+//!
+//! 1. a cache hit replays the *same* diagnostics the analysis produced —
+//!    reuse never swallows a violation;
+//! 2. an edit is a cache miss — the fix takes effect immediately, and
+//!    re-introducing the old bytes re-surfaces the old diagnostic;
+//! 3. a version-stamp mismatch invalidates everything — rule changes
+//!    never replay stale verdicts (this exact failure was observed live
+//!    when a rule refinement landed without a version bump).
+
+use pss_lint::cache::{Cache, ENGINE_VERSION};
+use pss_lint::{lint_workspace, lint_workspace_with};
+use std::path::{Path, PathBuf};
+
+const TAINTED: &str = "//! Mini crate under test.\n\n\
+    pub fn biased_coin(rng: &mut SmallRng, w: f64) -> bool {\n    \
+    let p = w / 2.0;\n    \
+    rng.gen_bool(p)\n\
+    }\n";
+
+const FIXED: &str = "//! Mini crate under test.\n\n\
+    pub fn biased_coin(rng: &mut SmallRng, w: f64) -> bool {\n    \
+    let p = mul_down(w, 0.5);\n    \
+    rng.gen_bool(p)\n\
+    }\n";
+
+struct MiniWs {
+    root: PathBuf,
+}
+
+impl MiniWs {
+    fn new(tag: &str) -> MiniWs {
+        let root =
+            std::env::temp_dir().join(format!("pss-lint-coherence-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(root.join("crates/dpss/src")).expect("mkdir mini workspace");
+        MiniWs { root }
+    }
+
+    fn write(&self, src: &str) {
+        std::fs::write(self.root.join("crates/dpss/src/lib.rs"), src).expect("write lib.rs");
+    }
+
+    fn cache_path(&self) -> PathBuf {
+        Cache::default_path(&self.root)
+    }
+}
+
+impl Drop for MiniWs {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+fn float_taints(root: &Path, use_cache: bool) -> (usize, usize) {
+    let report = lint_workspace_with(root, use_cache).expect("scan mini workspace");
+    let taints = report.diagnostics.iter().filter(|d| d.rule == "float-taint").count();
+    assert_eq!(
+        taints,
+        report.diagnostics.len(),
+        "unexpected extra rules: {:?}",
+        report.diagnostics
+    );
+    (taints, report.files_reused)
+}
+
+#[test]
+fn hits_replay_misses_reanalyze_and_edits_cohere() {
+    let ws = MiniWs::new("edit");
+
+    // Cold scan: one violation, nothing reused, cache written.
+    ws.write(TAINTED);
+    assert_eq!(float_taints(&ws.root, true), (1, 0));
+    assert!(ws.cache_path().exists(), "scan must persist a cache");
+
+    // Warm scan, unchanged bytes: the hit replays the same diagnostic.
+    assert_eq!(float_taints(&ws.root, true), (1, 1));
+
+    // Fix the file: content miss, diagnostic gone at once.
+    ws.write(FIXED);
+    assert_eq!(float_taints(&ws.root, true), (0, 0));
+
+    // Re-introduce the original bytes: the old entry is still keyed by
+    // content, so the violation resurfaces *from the cache*.
+    ws.write(TAINTED);
+    assert_eq!(float_taints(&ws.root, true), (1, 1));
+
+    // `--no-cache` bypasses load and store entirely.
+    assert_eq!(float_taints(&ws.root, false), (1, 0));
+}
+
+#[test]
+fn foreign_version_stamp_invalidates_the_whole_cache() {
+    let ws = MiniWs::new("version");
+    ws.write(TAINTED);
+    assert_eq!(float_taints(&ws.root, true), (1, 0));
+
+    // Rewrite the store as if an older engine had produced it. The next
+    // scan must reuse nothing — and still find the violation fresh.
+    let stale = std::fs::read_to_string(ws.cache_path())
+        .expect("cache readable")
+        .replace(&format!("pss-lint-cache v{ENGINE_VERSION}"), "pss-lint-cache v1");
+    std::fs::write(ws.cache_path(), stale).expect("rewrite cache");
+    let report = lint_workspace(&ws.root).expect("rescan");
+    assert_eq!(report.files_reused, 0, "stale-version entries must not replay");
+    assert_eq!(report.diagnostics.len(), 1);
+    assert_eq!(report.diagnostics[0].rule, "float-taint");
+}

@@ -1,0 +1,20 @@
+//! Fixture: codec-symmetry. The writer emits u64,u32 but the reader
+//! consumes u64,u64.
+
+pub struct Snap {
+    a: u64,
+    b: u64,
+}
+
+impl Snap {
+    pub fn write_state(&self, enc: &mut Enc) {
+        enc.put_u64(self.a);
+        enc.put_u32(self.b);
+    }
+
+    pub fn read_state(dec: &mut Dec) -> Snap {
+        let a = dec.get_u64();
+        let b = dec.get_u64();
+        Snap { a, b }
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture: float-taint. A raw f64 quotient reaches a coin; the certified
+//! twin right below stays clean.
+
+pub fn biased_coin(rng: &mut SmallRng, w: f64) -> bool {
+    let p = w / 2.0;
+    rng.gen_bool(p) // tainted probability feeds a coin
+}
+
+pub fn certified_coin(rng: &mut SmallRng, w: f64) -> bool {
+    let p = mul_down(w, 0.5);
+    rng.gen_bool(p)
+}

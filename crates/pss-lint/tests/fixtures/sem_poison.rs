@@ -1,0 +1,18 @@
+//! Fixture: poison-discipline. A cascade fail point fires before the
+//! poison flag is armed.
+
+pub struct S {
+    poisoned: bool,
+    value: u64,
+}
+
+impl S {
+    // pss-lint: fault-window — fixture: mutation cascade under fault injection
+    pub fn try_mutate(&mut self) -> Result<(), OpError> {
+        fail_point(Site::MutateEntry)?;
+        self.value += 1;
+        fail_point(Site::MutateCascade)?; // torn here, but poisoned is still false
+        self.poisoned = false;
+        Ok(())
+    }
+}

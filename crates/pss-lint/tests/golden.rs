@@ -78,6 +78,56 @@ fn hot_path_marker_arms_the_alloc_rule() {
 }
 
 #[test]
+fn journal_completeness_flags_the_uncovered_exit_only() {
+    // `insert` delegates to an always-journaling `try_insert` (clean via
+    // the call-graph closure); `delete`'s `return true` is the one exit
+    // that escapes without a record.
+    let got = lint_fixture("sem_journal.rs");
+    let want: Vec<(u32, String)> = vec![(28, "journal-completeness".to_string())];
+    assert_eq!(got, want);
+}
+
+#[test]
+fn float_taint_flags_the_raw_coin_only() {
+    // `w / 2.0` taints `p`; the `mul_down` twin is certified and clean.
+    let got = lint_fixture("sem_float.rs");
+    let want: Vec<(u32, String)> = vec![(6, "float-taint".to_string())];
+    assert_eq!(got, want);
+}
+
+#[test]
+fn codec_symmetry_flags_the_mismatched_read() {
+    // Writer put_u64,put_u32 vs reader get_u64,get_u64.
+    let got = lint_fixture("sem_codec.rs");
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert_eq!(got[0].1, "codec-symmetry");
+}
+
+#[test]
+fn poison_discipline_flags_the_unarmed_cascade() {
+    // The cascade fail point fires while `poisoned` is still false.
+    let got = lint_fixture("sem_poison.rs");
+    let want: Vec<(u32, String)> = vec![(14, "poison-discipline".to_string())];
+    assert_eq!(got, want);
+}
+
+#[test]
+fn cfg_stress_is_clean() {
+    // Labeled breaks, while-let, `?`, early Err returns, loop meets on the
+    // float lattice: the builders must neither crash nor over-report.
+    let got = lint_fixture("cfg_stress.rs");
+    assert!(got.is_empty(), "expected clean, got {got:?}");
+}
+
+#[test]
+fn semantic_false_positive_guard_is_clean() {
+    // No-op exits, a load-bearing waiver, delegated journaling, a certifier
+    // body, a mirrored codec pair (helpers + rep), an armed fault window.
+    let got = lint_fixture("sem_clean.rs");
+    assert!(got.is_empty(), "expected clean, got {got:?}");
+}
+
+#[test]
 fn fixtures_are_outside_the_workspace_scan() {
     // The deliberate violations above must never dirty the real scan.
     use pss_lint::classify;

@@ -4,7 +4,9 @@
 // Instant sanctioned: this test IS the lint-runtime bench guard.
 #![allow(clippy::disallowed_types)]
 
-use pss_lint::{lint_workspace, META_RULES, RULES};
+use pss_lint::lexer::{lex, TokKind};
+use pss_lint::parse::parse_file;
+use pss_lint::{classify, lint_workspace, workspace_files, FileKind, META_RULES, RULES};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -20,7 +22,7 @@ fn workspace_is_lint_clean() {
         "scan looks truncated: only {} files (wrong root?)",
         report.files_scanned
     );
-    assert!(RULES.len() >= 6, "rule set shrank to {}", RULES.len());
+    assert!(RULES.len() >= 11, "rule set shrank to {}", RULES.len());
     assert!(!META_RULES.is_empty(), "pragma hygiene meta-rules missing");
 
     if !report.diagnostics.is_empty() {
@@ -42,4 +44,33 @@ fn workspace_is_lint_clean() {
         "workspace scan took {} ms (budget 5000 ms)",
         elapsed.as_millis()
     );
+}
+
+#[test]
+fn workspace_parses_without_fallback() {
+    // The semantic rules silently skip any fn the item parser bails on, so
+    // a creeping parse failure would *weaken* enforcement without failing
+    // anything. Pin the failure count at zero: new syntax that the parser
+    // cannot handle must extend the parser, not shrink the rule surface.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut failures = Vec::new();
+    for path in workspace_files(&root).expect("walk workspace") {
+        let rel = path.strip_prefix(&root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+        if classify(&rel).kind != FileKind::Lib {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).expect("read source");
+        let toks = lex(&src);
+        let sig: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .map(|(i, _)| i)
+            .collect();
+        let file = parse_file(&src, &toks, &sig);
+        if file.parse_failures > 0 {
+            failures.push(format!("{rel}: {} fn bodies skipped", file.parse_failures));
+        }
+    }
+    assert!(failures.is_empty(), "parser fell back on:\n{}", failures.join("\n"));
 }

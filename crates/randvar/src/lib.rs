@@ -48,8 +48,8 @@ pub use bernoulli::{ber_rational, ber_rational_from_word, ber_rational_parts, be
 pub use bgeo::{ber_pow_one_minus, bgeo, pow_one_minus_f64_bounds};
 pub use binomial::{binomial, binomial_positions};
 pub use fast::{
-    ber_bits_rational, ber_bits_with, exact_mode_guard, fast_path_enabled, mul_down, mul_up,
-    pow_bounds_unit, sliver_hits, Bits64, ExactModeGuard, FastDecision,
+    ber_bits_rational, ber_bits_with, div_down, div_up, exact_mode_guard, fast_path_enabled,
+    mul_down, mul_up, pow_bounds_unit, sliver_hits, Bits64, ExactModeGuard, FastDecision,
 };
 pub use lazy::{ber_oracle, ber_oracle_from_word, ProbOracle, RatioOracle};
 pub use naive::{bgeo_naive_scan, geo_f64, tgeo_inversion_f64, tgeo_naive_scan};

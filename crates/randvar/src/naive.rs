@@ -11,6 +11,8 @@
 //!   `1−p` rounds to 1);
 //! - [`geo_f64`]: the textbook `⌈ln U / ln(1−p)⌉` geometric.
 
+// pss-lint: allow-file(float-taint) — the f64 generators here are deliberately-inexact baselines; E6 measures exactly the bias this rule exists to prevent
+
 use bignum::Ratio;
 use rand::Rng;
 use rand::RngCore;

@@ -9,6 +9,8 @@
 //!   checks of the word-RAM `uniform_below` primitive);
 //! - binomial z-scores for single-marginal checks.
 
+// pss-lint: allow-file(float-taint) — offline acceptance statistics (χ²/KS/z over sampled counts); purely diagnostic, never on a sampling path
+
 /// Pearson χ² statistic of `observed` counts against cell probabilities
 /// `probs` (which must sum to ≈ 1) for `trials` total draws.
 ///
