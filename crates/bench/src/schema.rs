@@ -30,7 +30,7 @@
 //! replay blocks (`fifo_window`, `decayed`, `mixed_regime`) each gain
 //! `setup_ms`: initial-load time reported separately so bulk-build speed
 //! never hides inside a steady-state op rate.
-//! Schema v6 (this PR) measures the durability path: the `snapshot` block
+//! Schema v6 measured the durability path: the `snapshot` block
 //! records, at n = 2^20, the encoded image size (`bytes`), `save_ms` and
 //! `load_ms` for `snapshot()`/`from_snapshot`, the restored-image load rate
 //! (`load_items_per_sec` — the acceptance bar keeps it within 2× of the
@@ -38,6 +38,19 @@
 //! bulk build), and `recover_ms`: `pss_core::recover` replaying a
 //! `journal_tail`-delta suffix (4096 deltas) from a durable log on top of
 //! the snapshot.
+//! Schema v7 (this PR) adds the cache-regime scaling tier: a top-level
+//! integer `nproc` (worker threads the host actually offers, so sharded
+//! speedups are interpretable), and the `scaling` block — `packed` and
+//! `hugepages` booleans naming the compiled arm, a `points` array with one
+//! entry per size (n ∈ {2^14, 2^17, 2^20, 2^23}; `--quick` keeps only
+//! 2^20) carrying insert/churn-pair/μ≈16-query op rates, the bulk-load
+//! items/s, and per-point space telemetry (`space_words` plus the arena
+//! residency split `live_words`/`parked_words`/`slack_words`), a
+//! `flatness` object with the smallest-to-largest per-op cost ratios
+//! (`insert_ratio`, `churn_ratio`, `query_ratio` — ≈1 is the O(1)/O(1+μ)
+//! story holding beyond L2), and `ab`: `null` in a single-arm run, or the
+//! `layout-baseline` arm's points plus the packed-over-baseline `speedups`
+//! for `query_mu16`, `churn_pair`, and `bulk_load` at the largest common n.
 //!
 //! The workspace is offline (no serde), so this carries a deliberately tiny
 //! recursive-descent JSON reader: objects, arrays, strings (with escapes),
@@ -258,7 +271,7 @@ fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-/// Per-backend numeric throughput fields required by schema v6.
+/// Per-backend numeric throughput fields required by schema v7.
 pub const BACKEND_RATE_FIELDS: [&str; 7] =
     ["insert", "churn_pair", "delete", "set_weight", "query_mu16", "query_batch16", "mixed_round"];
 
@@ -274,10 +287,48 @@ fn require_num(obj: &Json, field: &str, min: f64, path: &str) -> Result<f64, Str
     Ok(v)
 }
 
-/// Validates a `BENCH_core.json` document against schema v6:
+/// Required numeric-rate fields of one `scaling.points[]` entry.
+const SCALING_POINT_RATES: [&str; 4] =
+    ["insert_ops", "churn_pair_ops", "query_mu16_ops", "bulk_items_per_sec"];
+
+/// Required integer space-telemetry fields of one `scaling.points[]` entry.
+const SCALING_POINT_SPACE: [&str; 4] = ["space_words", "live_words", "parked_words", "slack_words"];
+
+/// Validates one `scaling.points[]`-shaped array (also used for
+/// `ab.baseline_points`). Returns the points for cross-checks.
+fn validate_scaling_points<'a>(
+    scaling: &'a Json,
+    key: &str,
+    path: &str,
+) -> Result<&'a [Json], String> {
+    let points = match scaling.get(key) {
+        Some(Json::Arr(rows)) if !rows.is_empty() => rows,
+        Some(Json::Arr(_)) => return Err(format!("{path}: '{key}' is empty")),
+        _ => return Err(format!("{path}: missing array '{key}'")),
+    };
+    for (i, pt) in points.iter().enumerate() {
+        let p = format!("{path}.{key}[{i}]");
+        let n = require_num(pt, "n", 1.0, &p)?;
+        if n.fract() != 0.0 {
+            return Err(format!("{p}: 'n' = {n} is not an integer"));
+        }
+        for field in SCALING_POINT_RATES {
+            require_num(pt, field, 0.0, &p)?;
+        }
+        for field in SCALING_POINT_SPACE {
+            let v = require_num(pt, field, 0.0, &p)?;
+            if v.fract() != 0.0 {
+                return Err(format!("{p}: '{field}' = {v} is not an integer"));
+            }
+        }
+    }
+    Ok(points)
+}
+
+/// Validates a `BENCH_core.json` document against schema v7:
 ///
-/// - top level: `schema == 6`, integer `n_items ≥ 1`, boolean `quick`,
-///   `unit == "ops_per_sec"`, non-empty `backends` array;
+/// - top level: `schema == 7`, integer `n_items ≥ 1`, integer `nproc ≥ 1`,
+///   boolean `quick`, `unit == "ops_per_sec"`, non-empty `backends` array;
 /// - `plan_cache`: finite non-negative `hits`, `misses`, and `refreshes`;
 /// - `fifo_window`: integer `window ≥ 1`, finite non-negative `ops_per_sec`
 ///   and `setup_ms`;
@@ -294,20 +345,32 @@ fn require_num(obj: &Json, field: &str, min: f64, path: &str) -> Result<f64, Str
 /// - `snapshot`: integers `n ≥ 1`, `bytes ≥ 1`, `journal_tail ≥ 0`, finite
 ///   non-negative `save_ms`, `load_ms`, `recover_ms`, and
 ///   `load_items_per_sec`;
+/// - `scaling`: booleans `packed` and `hugepages`, a non-empty `points`
+///   array (per point: integer `n ≥ 1`, finite non-negative rates for every
+///   field in `SCALING_POINT_RATES`, integer space telemetry for every
+///   field in `SCALING_POINT_SPACE`), a `flatness` object with finite
+///   non-negative `insert_ratio`/`churn_ratio`/`query_ratio`, and `ab`:
+///   `null`, or an object with `baseline_points` (same shape as `points`)
+///   and a `speedups` object with finite non-negative `query_mu16`,
+///   `churn_pair`, and `bulk_load`;
 /// - each backend: non-empty string `name`, finite non-negative numbers for
 ///   every field in [`BACKEND_RATE_FIELDS`] plus `space_words`.
 ///
 /// Unknown extra fields are allowed (forward-compatible); missing or
 /// mistyped required fields are errors naming the offending path.
-pub fn validate_bench_core_v6(text: &str) -> Result<(), String> {
+pub fn validate_bench_core_v7(text: &str) -> Result<(), String> {
     let doc = parse(text)?;
     let schema = doc.get("schema").and_then(Json::as_num).ok_or("missing numeric 'schema'")?;
-    if schema != 6.0 {
-        return Err(format!("schema version {schema} is not 6"));
+    if schema != 7.0 {
+        return Err(format!("schema version {schema} is not 7"));
     }
     let n_items = doc.get("n_items").and_then(Json::as_num).ok_or("missing numeric 'n_items'")?;
     if n_items < 1.0 || n_items.fract() != 0.0 {
         return Err(format!("'n_items' must be a positive integer, got {n_items}"));
+    }
+    let nproc = require_num(&doc, "nproc", 1.0, "top level")?;
+    if nproc.fract() != 0.0 {
+        return Err(format!("'nproc' = {nproc} is not an integer"));
     }
     if !matches!(doc.get("quick"), Some(Json::Bool(_))) {
         return Err("missing boolean 'quick'".into());
@@ -373,6 +436,28 @@ pub fn validate_bench_core_v6(text: &str) -> Result<(), String> {
     require_num(sn, "load_ms", 0.0, "snapshot")?;
     require_num(sn, "recover_ms", 0.0, "snapshot")?;
     require_num(sn, "load_items_per_sec", 0.0, "snapshot")?;
+    let sc = doc.get("scaling").ok_or("missing object 'scaling'")?;
+    for field in ["packed", "hugepages"] {
+        if !matches!(sc.get(field), Some(Json::Bool(_))) {
+            return Err(format!("scaling: missing boolean '{field}'"));
+        }
+    }
+    validate_scaling_points(sc, "points", "scaling")?;
+    let fl = sc.get("flatness").ok_or("scaling: missing object 'flatness'")?;
+    for field in ["insert_ratio", "churn_ratio", "query_ratio"] {
+        require_num(fl, field, 0.0, "scaling.flatness")?;
+    }
+    match sc.get("ab") {
+        Some(Json::Null) => {}
+        Some(ab @ Json::Obj(_)) => {
+            validate_scaling_points(ab, "baseline_points", "scaling.ab")?;
+            let sp = ab.get("speedups").ok_or("scaling.ab: missing object 'speedups'")?;
+            for field in ["query_mu16", "churn_pair", "bulk_load"] {
+                require_num(sp, field, 0.0, "scaling.ab.speedups")?;
+            }
+        }
+        _ => return Err("scaling: 'ab' must be null or an object".into()),
+    }
     let backends = match doc.get("backends") {
         Some(Json::Arr(rows)) if !rows.is_empty() => rows,
         Some(Json::Arr(_)) => return Err("'backends' is empty".into()),
@@ -398,7 +483,7 @@ mod tests {
     use super::*;
 
     const GOOD: &str = r#"{
-      "schema": 6, "n_items": 4096, "quick": true, "unit": "ops_per_sec",
+      "schema": 7, "n_items": 4096, "nproc": 1, "quick": true, "unit": "ops_per_sec",
       "plan_cache": {"hits": 48, "misses": 16, "refreshes": 16},
       "fifo_window": {"window": 1024, "ops_per_sec": 5.0e6, "setup_ms": 0.0},
       "query_par": {"threads": 8, "seq_ops_per_sec": 5.0e4,
@@ -414,6 +499,26 @@ mod tests {
       "snapshot": {"n": 1048576, "bytes": 25165824, "journal_tail": 4096,
                    "save_ms": 4.0, "load_ms": 12.0, "recover_ms": 13.0,
                    "load_items_per_sec": 8.0e7},
+      "scaling": {"packed": true, "hugepages": false,
+                  "points": [
+                    {"n": 16384, "insert_ops": 2.0e7, "churn_pair_ops": 1.8e7,
+                     "query_mu16_ops": 5.0e4, "bulk_items_per_sec": 9.0e7,
+                     "space_words": 180000, "live_words": 120000,
+                     "parked_words": 20000, "slack_words": 40000},
+                    {"n": 1048576, "insert_ops": 5.0e6, "churn_pair_ops": 2.5e6,
+                     "query_mu16_ops": 3.0e4, "bulk_items_per_sec": 8.0e7,
+                     "space_words": 12000000, "live_words": 9000000,
+                     "parked_words": 1000000, "slack_words": 2000000}],
+                  "flatness": {"insert_ratio": 4.0, "churn_ratio": 7.2,
+                               "query_ratio": 1.7},
+                  "ab": {"baseline_points": [
+                           {"n": 1048576, "insert_ops": 3.0e6,
+                            "churn_pair_ops": 1.5e6, "query_mu16_ops": 2.0e4,
+                            "bulk_items_per_sec": 5.0e7,
+                            "space_words": 12000000, "live_words": 9000000,
+                            "parked_words": 1000000, "slack_words": 2000000}],
+                         "speedups": {"query_mu16": 1.5, "churn_pair": 1.66,
+                                      "bulk_load": 1.6}}},
       "backends": [
         {"name": "halt", "insert": 1.5e6, "churn_pair": 2.0, "delete": 6.0,
          "set_weight": 7.0, "query_mu16": 3.0,
@@ -423,95 +528,95 @@ mod tests {
 
     #[test]
     fn accepts_a_valid_snapshot() {
-        validate_bench_core_v6(GOOD).unwrap();
+        validate_bench_core_v7(GOOD).unwrap();
     }
 
     #[test]
     fn rejects_shape_drift() {
         // Wrong version.
-        assert!(validate_bench_core_v6(&GOOD.replace("\"schema\": 6", "\"schema\": 5")).is_err());
+        assert!(validate_bench_core_v7(&GOOD.replace("\"schema\": 7", "\"schema\": 6")).is_err());
         // Missing v1 field.
-        assert!(validate_bench_core_v6(&GOOD.replace("\"query_mu16\": 3.0,", "")).is_err());
+        assert!(validate_bench_core_v7(&GOOD.replace("\"query_mu16\": 3.0,", "")).is_err());
         // Missing v2 update-path field.
-        assert!(validate_bench_core_v6(&GOOD.replace("\"delete\": 6.0,", "")).is_err());
-        assert!(validate_bench_core_v6(&GOOD.replace("\"set_weight\": 7.0,", "")).is_err());
+        assert!(validate_bench_core_v7(&GOOD.replace("\"delete\": 6.0,", "")).is_err());
+        assert!(validate_bench_core_v7(&GOOD.replace("\"set_weight\": 7.0,", "")).is_err());
         // Missing observability blocks.
-        assert!(validate_bench_core_v6(
+        assert!(validate_bench_core_v7(
             &GOOD.replace("\"plan_cache\": {\"hits\": 48, \"misses\": 16, \"refreshes\": 16},", "")
         )
         .is_err());
-        assert!(validate_bench_core_v6(&GOOD.replace(
+        assert!(validate_bench_core_v7(&GOOD.replace(
             "\"fifo_window\": {\"window\": 1024, \"ops_per_sec\": 5.0e6, \"setup_ms\": 0.0},",
             ""
         ))
         .is_err());
         // Missing v3 blocks.
-        assert!(validate_bench_core_v6(
+        assert!(validate_bench_core_v7(
             &GOOD.replace(
                 "\"query_par\": {\"threads\": 8, \"seq_ops_per_sec\": 5.0e4,\n                    \"par_ops_per_sec\": 1.5e5, \"speedup\": 3.0},",
                 ""
             )
         )
         .is_err());
-        assert!(validate_bench_core_v6(&GOOD.replace(
+        assert!(validate_bench_core_v7(&GOOD.replace(
             "\"decayed\": {\"scale_every\": 256, \"ops_per_sec\": 2.0e6, \"setup_ms\": 0.4},",
             ""
         ))
         .is_err());
         // Missing v4 instrumentation.
-        assert!(validate_bench_core_v6(&GOOD.replace(", \"refreshes\": 16", "")).is_err());
-        assert!(validate_bench_core_v6(&GOOD.replace("\"rematerialized\": 4096,", "")).is_err());
-        assert!(validate_bench_core_v6(&GOOD.replace("\"replays\": 4000", "\"replays\": 4000.5"))
+        assert!(validate_bench_core_v7(&GOOD.replace(", \"refreshes\": 16", "")).is_err());
+        assert!(validate_bench_core_v7(&GOOD.replace("\"rematerialized\": 4096,", "")).is_err());
+        assert!(validate_bench_core_v7(&GOOD.replace("\"replays\": 4000", "\"replays\": 4000.5"))
             .is_err());
         // Missing v5 instrumentation: the bulk_load block, any field inside
         // it, and the setup_ms split on the replay blocks.
-        assert!(validate_bench_core_v6(
+        assert!(validate_bench_core_v7(
             &GOOD.replace(
                 "\"bulk_load\": {\"n_small\": 16384, \"small_items_per_sec\": 8.0e7,\n                    \"n_large\": 1048576, \"large_items_per_sec\": 6.5e7,\n                    \"per_op_items_per_sec\": 1.8e7, \"speedup\": 3.6,\n                    \"rebuild_ms\": 2.5},",
                 ""
             )
         )
         .is_err());
-        assert!(validate_bench_core_v6(&GOOD.replace("\"rebuild_ms\": 2.5", "\"rebuild_ms\": -1"))
+        assert!(validate_bench_core_v7(&GOOD.replace("\"rebuild_ms\": 2.5", "\"rebuild_ms\": -1"))
             .is_err());
-        assert!(validate_bench_core_v6(&GOOD.replace("\"n_large\": 1048576", "\"n_large\": 2.5"))
+        assert!(validate_bench_core_v7(&GOOD.replace("\"n_large\": 1048576", "\"n_large\": 2.5"))
             .is_err());
-        assert!(validate_bench_core_v6(&GOOD.replace(", \"setup_ms\": 0.4", "")).is_err());
-        assert!(validate_bench_core_v6(&GOOD.replace("\"setup_ms\": 1.2,", "")).is_err());
+        assert!(validate_bench_core_v7(&GOOD.replace(", \"setup_ms\": 0.4", "")).is_err());
+        assert!(validate_bench_core_v7(&GOOD.replace("\"setup_ms\": 1.2,", "")).is_err());
         // Missing field inside a v3 block.
-        assert!(validate_bench_core_v6(&GOOD.replace("\"speedup\": 3.0", "\"speedup\": \"3x\""))
+        assert!(validate_bench_core_v7(&GOOD.replace("\"speedup\": 3.0", "\"speedup\": \"3x\""))
             .is_err());
         // Fractional integers.
         assert!(
-            validate_bench_core_v6(&GOOD.replace("\"window\": 1024", "\"window\": 2.5")).is_err()
+            validate_bench_core_v7(&GOOD.replace("\"window\": 1024", "\"window\": 2.5")).is_err()
         );
         assert!(
-            validate_bench_core_v6(&GOOD.replace("\"threads\": 8", "\"threads\": 1.5")).is_err()
+            validate_bench_core_v7(&GOOD.replace("\"threads\": 8", "\"threads\": 1.5")).is_err()
         );
         // Missing v6 instrumentation: the snapshot block and any field
         // inside it; its counts must be integral and its timings finite.
-        assert!(validate_bench_core_v6(
+        assert!(validate_bench_core_v7(
             &GOOD.replace(
                 "\"snapshot\": {\"n\": 1048576, \"bytes\": 25165824, \"journal_tail\": 4096,\n                   \"save_ms\": 4.0, \"load_ms\": 12.0, \"recover_ms\": 13.0,\n                   \"load_items_per_sec\": 8.0e7},",
                 ""
             )
         )
         .is_err());
-        assert!(validate_bench_core_v6(&GOOD.replace("\"recover_ms\": 13.0,", "")).is_err());
+        assert!(validate_bench_core_v7(&GOOD.replace("\"recover_ms\": 13.0,", "")).is_err());
         assert!(
-            validate_bench_core_v6(&GOOD.replace("\"bytes\": 25165824", "\"bytes\": 0")).is_err()
+            validate_bench_core_v7(&GOOD.replace("\"bytes\": 25165824", "\"bytes\": 0")).is_err()
         );
         assert!(
-            validate_bench_core_v6(&GOOD.replace("\"bytes\": 25165824", "\"bytes\": 2.5")).is_err()
+            validate_bench_core_v7(&GOOD.replace("\"bytes\": 25165824", "\"bytes\": 2.5")).is_err()
         );
-        assert!(validate_bench_core_v6(
+        assert!(validate_bench_core_v7(
             &GOOD.replace("\"journal_tail\": 4096", "\"journal_tail\": -1")
         )
         .is_err());
-        assert!(validate_bench_core_v6(&GOOD.replace("\"load_ms\": 12.0", "\"load_ms\": -0.5"))
+        assert!(validate_bench_core_v7(&GOOD.replace("\"load_ms\": 12.0", "\"load_ms\": -0.5"))
             .is_err());
         // String where a number belongs.
-        assert!(validate_bench_core_v6(&GOOD.replace("\"insert\": 1.5e6", "\"insert\": \"fast\""))
+        assert!(validate_bench_core_v7(&GOOD.replace("\"insert\": 1.5e6", "\"insert\": \"fast\""))
             .is_err());
         // Empty roster.
         let empty = r#"{"schema": 6, "n_items": 1, "quick": false,
@@ -533,9 +638,9 @@ mod tests {
                                      "recover_ms": 0.0,
                                      "load_items_per_sec": 1.0},
                         "backends": []}"#;
-        assert!(validate_bench_core_v6(empty).is_err());
+        assert!(validate_bench_core_v7(empty).is_err());
         // Not JSON at all.
-        assert!(validate_bench_core_v6("{").is_err());
+        assert!(validate_bench_core_v7("{").is_err());
     }
 
     #[test]
@@ -559,6 +664,6 @@ mod tests {
         // The repository's own BENCH_core.json must always pass schema v6.
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_core.json");
         let text = std::fs::read_to_string(path).expect("committed BENCH_core.json");
-        validate_bench_core_v6(&text).expect("committed snapshot violates schema v6");
+        validate_bench_core_v7(&text).expect("committed snapshot violates schema v6");
     }
 }

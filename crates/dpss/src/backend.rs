@@ -69,6 +69,11 @@ impl PssBackend for DpssSampler {
         DpssSampler::set_weight(self, ItemId::from_raw(handle.raw()), new_weight).map(|_| handle)
     }
 
+    fn prefetch_handle(&self, handle: Handle) {
+        // Advisory: bounds-checked inside the slab, safe on stale handles.
+        self.level1.slab.prefetch_slot(ItemId::from_raw(handle.raw()).idx());
+    }
+
     fn journal(&self) -> Option<&ChangeJournal> {
         Some(DpssSampler::journal(self))
     }

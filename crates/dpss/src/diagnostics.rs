@@ -57,6 +57,12 @@ pub struct StructureStats {
     pub item_arena_words: usize,
     /// Words carved by the shared proxy-bucket arena of the node pool.
     pub proxy_arena_words: usize,
+    /// Residency split of the item arena: live vs parked (free-listed) vs
+    /// reserved-but-uncarved words. `parked + slack` is the fragmentation
+    /// the beyond-L2 bench tier tracks alongside its timing curves.
+    pub item_arena_residency: wordram::ArenaResidency,
+    /// Residency split of the shared proxy-bucket arena.
+    pub proxy_arena_residency: wordram::ArenaResidency,
     /// Lookup-table rows materialized so far.
     pub lookup_rows: u64,
 }
@@ -121,6 +127,8 @@ impl DpssSampler {
             space_words: self.space_words(),
             item_arena_words: self.level1.item_arena.space_words(),
             proxy_arena_words: self.level1.pool.arena.space_words(),
+            item_arena_residency: self.level1.item_arena.residency(),
+            proxy_arena_residency: self.level1.pool.arena.residency(),
             lookup_rows: self.lookup_rows_built(),
         }
     }

@@ -48,7 +48,7 @@ impl fmt::Debug for ItemId {
 
 /// One slab slot, packed to 16 bytes (the slab is the update path's hottest
 /// random-access array; slimmer records mean fewer cache lines touched).
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 struct Rec {
     weight: u64,
     /// Position of this item inside its weight bucket (undefined for weight 0).
@@ -111,9 +111,31 @@ impl Slab {
 
     /// Pre-sizes the record vector for `n` upcoming insertions beyond what
     /// the free list covers (bulk loads pay one reservation instead of a
-    /// doubling chain of record copies).
+    /// doubling chain of record copies). Under the `hugepages` feature the
+    /// reserved capacity is advised huge before the fill faults it — the
+    /// slab is the hottest random-access array, so its dTLB behaviour
+    /// dominates the beyond-L2 regime.
     pub(crate) fn reserve(&mut self, n: usize) {
-        self.recs.reserve(n.saturating_sub(self.free.len()));
+        wordram::pages::reserve_advised(&mut self.recs, n.saturating_sub(self.free.len()));
+    }
+
+    /// Hints that slot `idx` will soon be read (bounds-checked no-op
+    /// otherwise) — issued one stride ahead by the query walk so the slab
+    /// miss overlaps the acceptance arithmetic.
+    #[inline]
+    pub(crate) fn prefetch_slot(&self, idx: usize) {
+        wordram::prefetch::prefetch_read(&self.recs, idx);
+    }
+
+    /// Hints the record that the free list will hand out `ahead` pops from
+    /// now (recycled-slot writes during a warm bulk fill are random-access;
+    /// peeking the free list turns them into overlapped misses). No-op when
+    /// fewer than `ahead + 1` recycled slots remain.
+    #[inline]
+    pub(crate) fn prefetch_recycled(&self, ahead: usize) {
+        if let Some(&idx) = self.free.len().checked_sub(1 + ahead).and_then(|i| self.free.get(i)) {
+            wordram::prefetch::prefetch_read(&self.recs, idx as usize);
+        }
     }
 
     /// Inserts an item with its bucket position in one slot write (the
@@ -131,6 +153,12 @@ impl Slab {
         } else {
             let idx = narrow::u32_of_usize(self.recs.len());
             assert!(idx != u32::MAX, "slab capacity exhausted");
+            if self.recs.len() == self.recs.capacity() {
+                // Doubling growth through a fresh advised mapping: a bare
+                // `push` at capacity would mremap a huge-backed slab and
+                // split its pages (see `pages::reserve_advised`).
+                wordram::pages::reserve_advised(&mut self.recs, 1);
+            }
             // pss-lint: allow(no-alloc-hot-path) — fresh-slot tail push only while the slab grows toward its high-water mark; steady state recycles the free list
             self.recs.push(Rec { weight, bucket_pos, meta: 1 });
             ItemId::new(idx, 0)
@@ -148,6 +176,10 @@ impl Slab {
         self.len += 1;
         let idx = narrow::u32_of_usize(self.recs.len());
         assert!(idx != u32::MAX, "slab capacity exhausted");
+        if self.recs.len() == self.recs.capacity() {
+            // Same mremap-avoiding growth as the generic path above.
+            wordram::pages::reserve_advised(&mut self.recs, 1);
+        }
         // pss-lint: allow(no-alloc-hot-path) — fresh-slot tail push only while the slab grows toward its high-water mark; steady state recycles the free list
         self.recs.push(Rec { weight, bucket_pos, meta: 1 });
         ItemId::new(idx, 0)

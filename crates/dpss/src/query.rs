@@ -265,10 +265,22 @@ pub fn extract_items<V: LevelView, R: RngCore>(
     candidate_buckets: &[u16],
 ) -> Vec<V::Id> {
     let mut out = Vec::new();
+    // Warm every candidate bucket's head before the first coin is drawn:
+    // the hints issue in parallel, so each bucket's first touch overlaps
+    // the preceding buckets' acceptance arithmetic instead of serializing
+    // behind it. Hints only: bounds-checked, no data read, no RNG drawn.
     for &bu in candidate_buckets {
+        view.prefetch_bucket_item(bu as usize, 0);
+    }
+    for (ci, &bu) in candidate_buckets.iter().enumerate() {
         let b = bu as usize;
         let n_b = view.bucket_len(b) as u64;
         debug_assert!(n_b > 0, "candidate bucket {b} is empty");
+        // Re-warm the next bucket — its head line may have been evicted
+        // while this one's strides were walked.
+        if let Some(&nb) = candidate_buckets.get(ci + 1) {
+            view.prefetch_bucket_item(nb as usize, 0);
+        }
         let shift = b as u64 + 1;
         // p = min(1, 2^{b+1}/W); clamped ⟺ 2^{b+1} ≥ W ⟺ b+1 ≥ ⌈log2 W⌉
         // (Claim 4.3 — exact, no multi-word multiply needed).
@@ -281,6 +293,7 @@ pub fn extract_items<V: LevelView, R: RngCore>(
         if clamped {
             // p = 1: all items are potential; accept each with Ber(p_x).
             for pos in 0..n_b {
+                view.prefetch_bucket_item(b, pos as usize + 8);
                 let x = view.bucket_item(b, pos as usize);
                 if accept_plain(view, rng, w, accel, x) {
                     out.push(x);
@@ -300,8 +313,15 @@ pub fn extract_items<V: LevelView, R: RngCore>(
             }
             tgeo(rng, &p, n_b)
         };
-        // Walk the remaining potential items with B-Geo strides.
+        // Walk the remaining potential items with B-Geo strides. While the
+        // current item's acceptance coin is being drawn, hint the line one
+        // *expected* stride ahead (E[stride] = 1/p ≈ W/2^{b+1}, a power of
+        // two by the clamp test above). The hint is speculative and bounds-
+        // checked — it moves no data and draws no randomness, so the sample
+        // stream is bit-identical with or without it.
+        let est_stride = bits::pow2_64((accel.w_ceil_log2 as u64 - shift).min(16));
         while k <= n_b {
+            view.prefetch_bucket_item(b, (k - 1 + est_stride) as usize);
             let x = view.bucket_item(b, (k - 1) as usize);
             if accept_in_bucket(view, rng, accel, x, shift, &pow) {
                 out.push(x);

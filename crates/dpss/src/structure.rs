@@ -530,6 +530,116 @@ impl SpaceUsage for NodePool {
     }
 }
 
+/// Software write-combining buffers for the bulk fill — the IPS²Ra-style
+/// block permute of the classifier's scatter phase. The naive fill streams
+/// every classified id straight to its class cursor, which keeps up to
+/// [`L1_BUCKETS`] destination cache lines (and their TLB entries) open at
+/// once; beyond L2 that turns the fill into a random-write workload. Ids
+/// instead gather in one-cache-line buffers (8 ids) that live in L1, and
+/// each full buffer flushes as one 64-byte burst to its class block — the
+/// arena sees a handful of sequential line-sized writes per class instead
+/// of 64 interleaved streams. Store order within a class is unchanged, so
+/// bucket contents (and therefore sample streams) are bit-identical to the
+/// direct fill — which is exactly what the pass-through variant below
+/// compiles to.
+///
+/// Gated behind the off-by-default `wc-fill` feature: the staging hop costs
+/// an extra store + branch per id, which pays for itself only when the
+/// destination streams overwhelm the core's write-combine/fill buffers.
+/// On the suite's single-core CI host the direct fill keeps up with 64
+/// streams and `wc-fill` measures ~20% *slower*; on wide multi-stream
+/// hardware the buffered path is the intended configuration. The A/B bench
+/// arms keep both measurable in-tree.
+#[cfg(all(feature = "wc-fill", not(feature = "layout-baseline")))]
+struct ClassBufs {
+    buf: [[ItemId; ClassBufs::LINE]; L1_BUCKETS],
+    len: [u8; L1_BUCKETS],
+}
+
+#[cfg(all(feature = "wc-fill", not(feature = "layout-baseline")))]
+impl ClassBufs {
+    /// One cache line of 8-byte ids.
+    const LINE: usize = 8;
+
+    fn new() -> Self {
+        ClassBufs { buf: [[ItemId::from_raw(0); Self::LINE]; L1_BUCKETS], len: [0; L1_BUCKETS] }
+    }
+
+    /// Ids buffered for `class` but not yet stored through its cursor (the
+    /// fill adds this to `FillCursor::pos` to get an item's final position).
+    #[inline]
+    fn pending(&self, class: usize) -> u32 {
+        u32::from(self.len[class])
+    }
+
+    /// Buffers `id` for `class`, flushing the full line through `cur`. One
+    /// line before a flush comes due, the flush target is prefetched for
+    /// write — the "one stride ahead" hint of the bulk fill.
+    #[inline]
+    fn push(
+        &mut self,
+        arena: &mut BucketArena<ItemId>,
+        cur: &mut FillCursor,
+        class: usize,
+        id: ItemId,
+    ) {
+        let l = self.len[class] as usize;
+        self.buf[class][l] = id;
+        if l + 1 == Self::LINE {
+            arena.push_raw_line(cur, &self.buf[class]);
+            self.len[class] = 0;
+        } else {
+            if l + 2 == Self::LINE {
+                arena.prefetch_at(cur);
+            }
+            self.len[class] += 1;
+        }
+    }
+
+    /// Flushes every partial line (end of the fill pass).
+    fn drain(&mut self, arena: &mut BucketArena<ItemId>, cur: &mut [FillCursor; L1_BUCKETS]) {
+        for class in 0..L1_BUCKETS {
+            let l = self.len[class] as usize;
+            if l > 0 {
+                arena.push_raw_line(&mut cur[class], &self.buf[class][..l]);
+                self.len[class] = 0;
+            }
+        }
+    }
+}
+
+/// Direct-fill arm (default, and the `layout-baseline` A/B arm): a
+/// zero-sized pass-through that stores every id straight through its class
+/// cursor. Identical store order to the buffered variant, so the two fills
+/// are bit-identical in bucket contents and sample streams.
+#[cfg(any(not(feature = "wc-fill"), feature = "layout-baseline"))]
+struct ClassBufs;
+
+#[cfg(any(not(feature = "wc-fill"), feature = "layout-baseline"))]
+impl ClassBufs {
+    fn new() -> Self {
+        ClassBufs
+    }
+
+    #[inline]
+    fn pending(&self, _class: usize) -> u32 {
+        0
+    }
+
+    #[inline]
+    fn push(
+        &mut self,
+        arena: &mut BucketArena<ItemId>,
+        cur: &mut FillCursor,
+        _class: usize,
+        id: ItemId,
+    ) {
+        arena.push_raw(cur, id);
+    }
+
+    fn drain(&mut self, _arena: &mut BucketArena<ItemId>, _cur: &mut [FillCursor; L1_BUCKETS]) {}
+}
+
 /// `BG-Str(S)`: the level-1 structure over the real item set. Owns the item
 /// slab, the level-1 bucket arena, and the [`NodePool`] holding every
 /// deeper node.
@@ -669,7 +779,8 @@ impl Level1 {
         // the arena once and carves all blocks by cursor arithmetic; a warm
         // one grows each target bucket straight to its final class, skipping
         // the doubling chain.
-        if self.n_positive == 0 && self.item_arena.carved() == 0 {
+        let fresh = self.n_positive == 0 && self.item_arena.carved() == 0;
+        if fresh {
             self.item_arena.reset_to_plan(add.iter().copied());
             for (i, &c) in add.iter().enumerate() {
                 if c > 0 {
@@ -704,7 +815,12 @@ impl Level1 {
         }
         let recycled = self.slab.free_slots().min(weights.len());
         let (head, tail) = weights.split_at(recycled);
+        let mut bufs = ClassBufs::new();
         for &w in head {
+            // Recycled slots land at free-list positions, i.e. random
+            // access into the slab; peek the list a stride ahead so the
+            // record line is resident when its insert stores to it.
+            self.slab.prefetch_recycled(8);
             if w == 0 {
                 self.n_zero += 1;
                 // pss-lint: allow(no-alloc-hot-path) — bulk build is the amortized O(n) path, not the per-update cascade
@@ -712,8 +828,9 @@ impl Level1 {
                 continue;
             }
             let i = floor_log2_u64(w) as usize;
-            let id = self.slab.insert_bucketed(w, cur[i].pos());
-            self.item_arena.push_raw(&mut cur[i], id);
+            let id = self.slab.insert_bucketed(w, cur[i].pos() + bufs.pending(i));
+            // pss-lint: allow(no-alloc-hot-path) — fill-pass store through a pre-carved cursor; the bulk build is the amortized O(n) path
+            bufs.push(&mut self.item_arena, &mut cur[i], i, id);
             // pss-lint: allow(no-alloc-hot-path) — bulk build is the amortized O(n) path, not the per-update cascade
             ids.push(id);
         }
@@ -725,11 +842,13 @@ impl Level1 {
                 continue;
             }
             let i = floor_log2_u64(w) as usize;
-            let id = self.slab.insert_bucketed_fresh(w, cur[i].pos());
-            self.item_arena.push_raw(&mut cur[i], id);
+            let id = self.slab.insert_bucketed_fresh(w, cur[i].pos() + bufs.pending(i));
+            // pss-lint: allow(no-alloc-hot-path) — fill-pass store through a pre-carved cursor; the bulk build is the amortized O(n) path
+            bufs.push(&mut self.item_arena, &mut cur[i], i, id);
             // pss-lint: allow(no-alloc-hot-path) — bulk build is the amortized O(n) path, not the per-update cascade
             ids.push(id);
         }
+        bufs.drain(&mut self.item_arena, &mut cur);
         for (i, &c) in add.iter().enumerate() {
             if c > 0 {
                 let fc = cur[i];
@@ -740,18 +859,30 @@ impl Level1 {
         // Failpoint between fill and derive: a crash here leaves buckets
         // populated but bitsets/hierarchy stale — the worst-case torn bulk.
         pss_core::fault::fail_point_unwind(pss_core::fault::Site::BulkFill);
-        // Pass 4: derive — one bitset/cascade update per touched class.
-        for (i, &c) in add.iter().enumerate() {
-            if c == 0 {
-                continue;
+        // Pass 4: derive. A fresh load (every prior count zero) builds the
+        // whole proxy hierarchy in one locality-packed pass; a warm batch
+        // keeps one bitset/cascade update per touched class.
+        if fresh {
+            for (i, &c) in add.iter().enumerate() {
+                if c > 0 {
+                    self.nonempty_buckets.insert(i);
+                    self.nonempty_groups.insert(i / self.group_width as usize);
+                }
             }
-            let count = self.buckets[i].len() as u64;
-            let old_count = count - c as u64;
-            if old_count == 0 {
-                self.nonempty_buckets.insert(i);
-                self.nonempty_groups.insert(i / self.group_width as usize);
+            self.derive_hierarchy();
+        } else {
+            for (i, &c) in add.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let count = self.buckets[i].len() as u64;
+                let old_count = count - c as u64;
+                if old_count == 0 {
+                    self.nonempty_buckets.insert(i);
+                    self.nonempty_groups.insert(i / self.group_width as usize);
+                }
+                self.cascade_if_moved(i, old_count, count);
             }
-            self.cascade_if_moved(i, old_count, count);
         }
         ids
     }
@@ -869,6 +1000,213 @@ impl Level1 {
         self.pool.set_member(child, i, count, u32::from(i) + 1);
     }
 
+    /// Derives the whole proxy hierarchy from the final level-1 bucket
+    /// counts (rebuilds, fresh bulk loads, snapshot restores): the packed
+    /// single-pass construction by default, one incremental cascade per
+    /// non-empty bucket under the `layout-baseline` A/B feature. Both land
+    /// on the identical logical structure — the hierarchy is a pure
+    /// function of the bucket counts (canonical ascending-child order) —
+    /// so sample streams cannot tell the arms apart.
+    fn derive_hierarchy(&mut self) {
+        #[cfg(not(feature = "layout-baseline"))]
+        self.derive_packed();
+        #[cfg(feature = "layout-baseline")]
+        for i in 0..L1_BUCKETS {
+            let count = self.buckets[i].len() as u64;
+            if count > 0 {
+                self.cascade_bucket(narrow::u16_of_usize(i), count);
+            }
+        }
+    }
+
+    /// Locality-packed derive: plans the proxy arena so each level-1
+    /// group's working set — its level-2 node's bucket blocks followed by
+    /// that node's level-3 children's blocks — is one contiguous run, then
+    /// carves and fills it in that order. The incremental cascade instead
+    /// allocates blocks in proxy-arrival order and grows them through the
+    /// doubling chain, scattering one group's blocks across the arena; a
+    /// query descends group-locally, so packing by group is what keeps a
+    /// descent on a handful of cache lines at any n.
+    ///
+    /// Logical structure is identical to cascading every bucket (same
+    /// members, same canonical ascending-child bucket contents, same
+    /// bitsets); only arena offsets and pool slot order differ, which no
+    /// query or snapshot observes. Preconditions: bucket lists final;
+    /// callers may leave stale pool contents/child links — both are reset
+    /// here.
+    #[cfg(not(feature = "layout-baseline"))]
+    fn derive_packed(&mut self) {
+        let gw = self.group_width as usize;
+        let g2 = self.l2_group_width;
+        let g2w = g2 as usize;
+        let n_groups = self.children.len();
+        let n2_groups = L2_BUCKETS / g2w + 1;
+        self.pool.reset();
+        self.children.iter_mut().for_each(|c| *c = NO_NODE);
+        // Plan pass: every node's non-empty-bucket capacities, in the exact
+        // order the fill pass carves them. Scratch histograms: `len2[b2]`
+        // counts the group's proxies landing in level-2 bucket `b2`
+        // (`b2 = i+1+⌊log2 count⌋ < 128`), `len3[b3]` likewise per level-2
+        // group (`b3 = b2+1+⌊log2 len2⌋ < 160`); `len2` is zeroed whole per
+        // group and `len3` via its touched range, so no stale class leaks
+        // between groups.
+        // pss-lint: allow(no-alloc-hot-path) — rebuild/bulk-scale derive; one plan vector per derive, amortized against the batch that triggered it
+        let mut caps: Vec<usize> = Vec::new();
+        let mut len2 = [0u32; L2_BUCKETS];
+        let mut len3 = [0u32; L3_BUCKETS];
+        for j in 0..n_groups {
+            let lo = j * gw;
+            if lo >= L1_BUCKETS {
+                break;
+            }
+            let hi = (lo + gw).min(L1_BUCKETS);
+            len2.fill(0);
+            let mut any = false;
+            for i in lo..hi {
+                let c = self.buckets[i].len() as u64;
+                if c > 0 {
+                    len2[i + 1 + floor_log2_u64(c) as usize] += 1;
+                    any = true;
+                }
+            }
+            if !any {
+                continue;
+            }
+            for b2 in (lo + 1)..L2_BUCKETS {
+                if len2[b2] > 0 {
+                    // pss-lint: allow(no-alloc-hot-path) — carve-plan construction, once per bulk build/rebuild
+                    caps.push(len2[b2] as usize);
+                }
+            }
+            for l in 0..n2_groups {
+                let lo2 = l * g2w;
+                if lo2 >= L2_BUCKETS {
+                    break;
+                }
+                let hi2 = (lo2 + g2w).min(L2_BUCKETS);
+                let (mut lo3, mut hi3) = (L3_BUCKETS, 0usize);
+                for b2 in lo2..hi2 {
+                    let c2 = len2[b2] as u64;
+                    if c2 > 0 {
+                        let b3 = b2 + 1 + floor_log2_u64(c2) as usize;
+                        len3[b3] += 1;
+                        lo3 = lo3.min(b3);
+                        hi3 = hi3.max(b3);
+                    }
+                }
+                for b3 in lo3..=hi3.min(L3_BUCKETS - 1) {
+                    if len3[b3] > 0 {
+                        // pss-lint: allow(no-alloc-hot-path) — carve-plan construction, once per bulk build/rebuild
+                        caps.push(len3[b3] as usize);
+                        len3[b3] = 0;
+                    }
+                }
+            }
+        }
+        if caps.is_empty() {
+            return;
+        }
+        self.pool.arena.reset_to_plan(caps.iter().copied());
+        // Fill pass: the same walk, claiming each planned block in order
+        // and placing every proxy at its canonical position (children
+        // ascending within each bucket — `push` into a carved block never
+        // allocates, so the cascade's steady-state guarantee holds here
+        // trivially).
+        let Level1 { buckets, pool, children, .. } = self;
+        let NodePool { nodes, arena } = pool;
+        for j in 0..n_groups {
+            let lo = j * gw;
+            if lo >= L1_BUCKETS {
+                break;
+            }
+            let hi = (lo + gw).min(L1_BUCKETS);
+            len2.fill(0);
+            let mut any = false;
+            for i in lo..hi {
+                let c = buckets[i].len() as u64;
+                if c > 0 {
+                    len2[i + 1 + floor_log2_u64(c) as usize] += 1;
+                    any = true;
+                }
+            }
+            if !any {
+                continue;
+            }
+            let child2 = nodes.alloc(|| Node::new_level2(g2), |n| n.reinit_level2(g2));
+            children[j] = child2;
+            {
+                let node = nodes.get_mut(child2);
+                let mut n2 = 0usize;
+                for b2 in (lo + 1)..L2_BUCKETS {
+                    if len2[b2] > 0 {
+                        arena.carve_exact(&mut node.buckets[b2], len2[b2] as usize);
+                        node.nonempty_buckets.insert(b2);
+                        node.nonempty_groups.insert(b2 / g2w);
+                    }
+                }
+                for i in lo..hi {
+                    let c = buckets[i].len() as u64;
+                    if c == 0 {
+                        continue;
+                    }
+                    let b2 = i + 1 + floor_log2_u64(c) as usize;
+                    let pos = node.buckets[b2].len();
+                    // pss-lint: allow(no-alloc-hot-path) — per-class bulk derive; blocks were carved by the plan, push is cursor arithmetic
+                    arena.push(&mut node.buckets[b2], narrow::u16_of_usize(i));
+                    node.members[i] =
+                        Member { bucket: narrow::u16_of_usize(b2), pos: narrow::u32_of_usize(pos) };
+                    n2 += 1;
+                }
+                node.n_members = n2;
+            }
+            for l in 0..n2_groups {
+                let lo2 = l * g2w;
+                if lo2 >= L2_BUCKETS {
+                    break;
+                }
+                let hi2 = (lo2 + g2w).min(L2_BUCKETS);
+                let (mut lo3, mut hi3) = (L3_BUCKETS, 0usize);
+                for b2 in lo2..hi2 {
+                    let c2 = len2[b2] as u64;
+                    if c2 > 0 {
+                        let b3 = b2 + 1 + floor_log2_u64(c2) as usize;
+                        len3[b3] += 1;
+                        lo3 = lo3.min(b3);
+                        hi3 = hi3.max(b3);
+                    }
+                }
+                if lo3 > hi3 {
+                    continue;
+                }
+                let child3 = nodes.alloc(Node::new_level3, Node::reinit_level3);
+                let node3 = nodes.get_mut(child3);
+                for b3 in lo3..=hi3 {
+                    if len3[b3] > 0 {
+                        arena.carve_exact(&mut node3.buckets[b3], len3[b3] as usize);
+                        node3.nonempty_buckets.insert(b3);
+                        len3[b3] = 0;
+                    }
+                }
+                let mut n3 = 0usize;
+                for b2 in lo2..hi2 {
+                    let c2 = len2[b2] as u64;
+                    if c2 == 0 {
+                        continue;
+                    }
+                    let b3 = b2 + 1 + floor_log2_u64(c2) as usize;
+                    let pos = node3.buckets[b3].len();
+                    // pss-lint: allow(no-alloc-hot-path) — per-class bulk derive; blocks were carved by the plan, push is cursor arithmetic
+                    arena.push(&mut node3.buckets[b3], narrow::u16_of_usize(b2));
+                    node3.members[b2] =
+                        Member { bucket: narrow::u16_of_usize(b3), pos: narrow::u32_of_usize(pos) };
+                    n3 += 1;
+                }
+                node3.n_members = n3;
+                nodes.get_mut(child2).children[l] = child3;
+            }
+        }
+    }
+
     /// Rebuilds the group/hierarchy layers in place with new group widths
     /// (global rebuilding, §4.5). Item handles are preserved, and **storage
     /// is recycled**: the arenas, the node pool, and every bitset keep their
@@ -937,15 +1275,16 @@ impl Level1 {
                 }
             }
         }
-        // Re-derive grouping and the whole proxy hierarchy: one cascade per
-        // non-empty bucket — a bounded number, independent of n.
+        // Re-derive grouping and the whole proxy hierarchy — locality-packed
+        // by default (one contiguous arena run per group), per-bucket
+        // cascades under `layout-baseline`; identical logical structure
+        // either way.
         for i in 0..L1_BUCKETS {
-            let count = self.buckets[i].len() as u64;
-            if count > 0 {
+            if !self.buckets[i].is_empty() {
                 self.nonempty_groups.insert(i / group_width as usize);
-                self.cascade_bucket(narrow::u16_of_usize(i), count);
             }
         }
+        self.derive_hierarchy();
     }
 
     /// Debug-only full-structure validation (all three levels).
@@ -1029,6 +1368,14 @@ pub trait LevelView {
     fn bucket_len(&self, b: usize) -> usize;
     /// The item at position `pos` of bucket `b`.
     fn bucket_item(&self, b: usize, pos: usize) -> Self::Id;
+    /// Hints that [`LevelView::bucket_item`] will soon be asked for
+    /// `(b, pos)` — bounds-checked, out-of-range positions are a no-op, so
+    /// the query walk may speculate one estimated stride ahead freely. A
+    /// prefetch moves no observable data and draws no randomness; sample
+    /// streams are unaffected. Default: no-op (proxy-level buckets are a
+    /// few u16 lines, already resident).
+    #[inline]
+    fn prefetch_bucket_item(&self, _b: usize, _pos: usize) {}
     /// Exact weight of an item as a fixed-width [`U256`] (`Copy`, no heap;
     /// callers convert to `BigUint` only on the exact/sliver paths).
     fn weight_u256(&self, id: Self::Id) -> U256;
@@ -1052,6 +1399,9 @@ impl LevelView for Level1 {
     }
     fn bucket_item(&self, b: usize, pos: usize) -> ItemId {
         self.item_arena.get(&self.buckets[b], pos)
+    }
+    fn prefetch_bucket_item(&self, b: usize, pos: usize) {
+        wordram::prefetch::prefetch_read(self.item_arena.slice(&self.buckets[b]), pos);
     }
     fn weight_u256(&self, id: ItemId) -> U256 {
         // pss-lint: allow(no-panic-paths) — ids handed to weight_u256 come from this level's own bucket lists, which hold only live items

@@ -206,6 +206,16 @@ pub trait PssBackend: SpaceUsage + Send + Sync {
         false
     }
 
+    /// Hints that `handle`'s backing record is about to be touched by an
+    /// update op, so the backend may warm the cache line it lives on.
+    ///
+    /// Purely advisory: moves no data, draws no randomness, and must accept
+    /// stale handles (the default does nothing). Journal replay calls this
+    /// one delta ahead of the op it is applying so the record's cache miss
+    /// overlaps the current op's work — recovery over a big slab walks
+    /// handles in journal order, which is random-access in memory.
+    fn prefetch_handle(&self, _handle: Handle) {}
+
     /// The backend's change journal, if it keeps one.
     ///
     /// Backends whose queries park derived state in a [`QueryCtx`] (HALT's

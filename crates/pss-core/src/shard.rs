@@ -73,6 +73,22 @@ impl ShardedQuery {
         }
         let workers = self.ctxs.len().min(params.len());
         let chunk = params.len().div_ceil(workers);
+        // Spawning buys nothing when only one worker would run (a single
+        // configured context, or a batch that fits one chunk): run the same
+        // per-index stream loop inline. Stream selection is identical, so
+        // this is invisible in the output — it only skips the scope/join.
+        if workers == 1 {
+            // pss-lint: allow(no-bare-index) — ctxs is non-empty by construction (threads >= 1)
+            let ctx = &mut self.ctxs[0];
+            return params
+                .iter()
+                .enumerate()
+                .map(|(j, (a, b))| {
+                    ctx.select_stream(batch, j as u64);
+                    backend.query(ctx, a, b)
+                })
+                .collect();
+        }
         std::thread::scope(|scope| {
             let joins: Vec<_> = params
                 .chunks(chunk)

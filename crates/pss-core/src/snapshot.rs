@@ -592,7 +592,19 @@ pub fn recover<B: Snapshottable + PssBackend>(
             Err(RecoverError::NeedsResync { watermark, journal_epoch: journal.epoch() })
         }
         Replay::Deltas(deltas) => {
-            for (index, delta) in deltas.enumerate() {
+            let mut deltas = deltas.enumerate().peekable();
+            while let Some((index, delta)) = deltas.next() {
+                // Warm the *next* delta's record while applying this one:
+                // replay handles are random-access over the restored slab,
+                // and the hint is advisory (stale handles are fine).
+                if let Some((_, next)) = deltas.peek() {
+                    match **next {
+                        Delta::Deleted { handle } | Delta::Reweighted { handle, .. } => {
+                            backend.prefetch_handle(handle);
+                        }
+                        Delta::Inserted { .. } | Delta::ScaledAll { .. } | Delta::Rebuilt => {}
+                    }
+                }
                 match *delta {
                     Delta::Inserted { handle, weight } => {
                         if backend.insert(weight) != handle {

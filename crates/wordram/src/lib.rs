@@ -15,20 +15,29 @@
 //! - [`crc`]: table-driven CRC-32, the per-section integrity check of the
 //!   snapshot codec in `pss-core`;
 //! - [`SpaceUsage`]: word-granularity space accounting used by the E4
-//!   experiment (space is "measured in words", §2.1).
+//!   experiment (space is "measured in words", §2.1);
+//! - [`prefetch`] / [`pages`]: cache- and TLB-level hints for the beyond-L2
+//!   regime — bounds-checked software prefetch for stride walks and
+//!   `madvise(MADV_HUGEPAGE)` backing for the big flat vectors (feature
+//!   `hugepages`, plain-`Vec` fallback otherwise).
+//!
+//! `unsafe` is denied workspace-wide and allowed only inside [`prefetch`]
+//! and [`pages`], whose entire purpose is the intrinsic/syscall hint; both
+//! confine it to bounds-checked or advisory-only call sites.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bits;
 mod bitset_list;
 pub mod crc;
 pub mod narrow;
+pub mod pages;
 mod pool;
+pub mod prefetch;
 mod u256;
 
 pub use bitset_list::{BitsetIter, BitsetList, BitsetRangeIter};
-pub use pool::{Bucket, BucketArena, FillCursor, Pool};
+pub use pool::{ArenaResidency, Bucket, BucketArena, FillCursor, Pool};
 pub use u256::U256;
 
 /// Word-granularity space accounting, the paper's space measure (§2.1).

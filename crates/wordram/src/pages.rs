@@ -1,0 +1,181 @@
+//! Page-aware backing for the big flat vectors (`hugepages` feature).
+//!
+//! At n ≥ 2^20 the slab and the bucket arenas span hundreds of megabytes and
+//! the dominant cost of an update or a stride walk is the TLB: with 4 KiB
+//! pages a random touch into a 256 MiB vector misses the dTLB almost every
+//! time. Backing those vectors with 2 MiB transparent huge pages cuts the
+//! page-walk count ~512× and measurably flattens the churn and query curves
+//! (see the `scaling` block in `BENCH_core.json`).
+//!
+//! Mechanism — all advisory, with a plain-`Vec` fallback everywhere:
+//!
+//! 1. **Un-disable THP for the process.** Sandboxed runners often inherit
+//!    `prctl(PR_SET_THP_DISABLE)`, which silently defeats `madvise`; the
+//!    first advise clears the flag once (unprivileged, and a no-op where it
+//!    was never set).
+//! 2. **Advise before faulting.** [`advise_capacity`] marks a vector's
+//!    *reserved* capacity `MADV_HUGEPAGE` so the pages are huge from the
+//!    first touch; callers reserve → advise → fill. The kernel materializes
+//!    huge pages at 2 MiB-aligned virtual chunks of the advised VMA, so the
+//!    interior of any large reservation is covered regardless of the
+//!    allocator's base alignment; the range passed to `madvise` is aligned
+//!    inward to page boundaries as the syscall requires.
+//! 3. **No hard dependency.** Everything is `extern "C"` declarations of
+//!    `madvise`/`prctl` (no libc crate in the workspace) compiled only on
+//!    Linux under the feature; on other targets or without the feature every
+//!    entry point is a no-op and the vectors are ordinary heap memory.
+//!
+//! A 2 MiB page holds any level-1 bucket block up to size class 18 (2^18
+//! eight-byte ids), so with hugepage backing no bucket in any measured
+//! configuration straddles a page boundary that matters.
+
+// Confined to the two syscall wrappers below; every pointer comes from a
+// live allocation's capacity range.
+#![allow(unsafe_code)]
+
+/// Transparent huge page size on x86_64 Linux.
+pub const HUGE_PAGE_BYTES: usize = 2 << 20;
+
+/// Whether hugepage advice is compiled in for this build. Recorded in the
+/// bench telemetry so A/B arms are self-describing.
+#[must_use]
+pub fn compiled_in() -> bool {
+    cfg!(all(feature = "hugepages", target_os = "linux"))
+}
+
+/// Advises the kernel to back `v`'s full *capacity* range (not just its
+/// initialized length) with transparent huge pages. Call after reserving and
+/// before filling so the first-touch faults allocate huge pages directly.
+/// No-op without the `hugepages` feature, off Linux, and for capacities
+/// below one huge page.
+pub fn advise_capacity<T>(v: &Vec<T>) {
+    #[cfg(all(feature = "hugepages", target_os = "linux"))]
+    imp::advise(v.as_ptr().cast::<u8>() as usize, v.capacity() * core::mem::size_of::<T>());
+    #[cfg(not(all(feature = "hugepages", target_os = "linux")))]
+    let _ = v;
+}
+
+/// `Vec::reserve` + [`advise_capacity`], with one crucial difference under
+/// the `hugepages` feature: a growth that would *relocate* a huge-backed
+/// chunk is served by a fresh advised reservation plus an explicit copy
+/// instead of `realloc`. glibc grows mmap-backed chunks with `mremap`, and
+/// the kernel splits every huge PMD whose page lands at a non-2 MiB-aligned
+/// virtual address after the move — one innocuous-looking `push` beyond
+/// capacity silently degrades the whole arena to 4 KiB pages for the rest
+/// of its life (madvise cannot re-promote already-faulted pages without
+/// waiting on khugepaged). The fresh mapping keeps the growth amortized
+/// (capacity at least doubles) and is advised before the copy faults it, so
+/// the arena stays huge across rebuilds.
+pub fn reserve_advised<T: Copy>(v: &mut Vec<T>, additional: usize) {
+    #[cfg(all(feature = "hugepages", target_os = "linux"))]
+    {
+        let need = v.len().saturating_add(additional);
+        if need > v.capacity() && need * core::mem::size_of::<T>() >= HUGE_PAGE_BYTES {
+            let mut fresh: Vec<T> = Vec::with_capacity(need.max(v.capacity() * 2));
+            advise_capacity(&fresh);
+            fresh.extend_from_slice(v);
+            *v = fresh;
+            return;
+        }
+    }
+    v.reserve(additional);
+    advise_capacity(v);
+}
+
+#[cfg(all(feature = "hugepages", target_os = "linux"))]
+mod imp {
+    use super::HUGE_PAGE_BYTES;
+    use std::sync::Once;
+
+    const PAGE_BYTES: usize = 4096;
+    const MADV_HUGEPAGE: core::ffi::c_int = 14;
+    const PR_SET_THP_DISABLE: core::ffi::c_int = 41;
+    const M_MMAP_THRESHOLD: core::ffi::c_int = -3;
+
+    extern "C" {
+        fn madvise(
+            addr: *mut core::ffi::c_void,
+            length: usize,
+            advice: core::ffi::c_int,
+        ) -> core::ffi::c_int;
+        fn prctl(
+            option: core::ffi::c_int,
+            arg2: core::ffi::c_ulong,
+            arg3: core::ffi::c_ulong,
+            arg4: core::ffi::c_ulong,
+            arg5: core::ffi::c_ulong,
+        ) -> core::ffi::c_int;
+        fn mallopt(param: core::ffi::c_int, value: core::ffi::c_int) -> core::ffi::c_int;
+    }
+
+    static ENABLE_THP: Once = Once::new();
+
+    pub(super) fn advise(addr: usize, bytes: usize) {
+        if bytes < HUGE_PAGE_BYTES {
+            return;
+        }
+        ENABLE_THP.call_once(|| {
+            // Clear an inherited PR_SET_THP_DISABLE; harmless where unset.
+            // SAFETY: prctl with these arguments only flips a per-process
+            // flag; it touches no memory.
+            unsafe { prctl(PR_SET_THP_DISABLE, 0, 0, 0, 0) };
+            // Pin glibc's mmap threshold at one huge page. Without this the
+            // threshold slides up as arena-sized chunks are freed, and later
+            // arenas are carved from recycled brk heap whose 4 KiB pages are
+            // already faulted — `MADV_HUGEPAGE` materializes huge pages only
+            // at first touch, so advice on recycled heap is a silent no-op.
+            // Pinned, every arena-sized request is a fresh unfaulted mapping
+            // and the advice below takes effect.
+            // SAFETY: mallopt only adjusts an allocator tuning parameter.
+            unsafe { mallopt(M_MMAP_THRESHOLD, HUGE_PAGE_BYTES as core::ffi::c_int) };
+        });
+        // madvise wants a page-aligned start; glibc's large allocations sit
+        // at mmap_base + header, so align the start up and the end down.
+        let start = addr.div_ceil(PAGE_BYTES) * PAGE_BYTES;
+        let end = (addr + bytes) / PAGE_BYTES * PAGE_BYTES;
+        if end <= start {
+            return;
+        }
+        // SAFETY: [start, end) lies within the caller's live capacity range
+        // (alignment only shrinks it), and MADV_HUGEPAGE is purely advisory:
+        // it changes page-size policy, never contents or validity.
+        // Failure is benign (old kernel, THP disabled system-wide): the
+        // allocation simply stays on base pages.
+        let _ = unsafe { madvise(start as *mut core::ffi::c_void, end - start, MADV_HUGEPAGE) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advise_is_safe_on_any_vector() {
+        let empty: Vec<u64> = Vec::new();
+        advise_capacity(&empty);
+        let small = vec![1u8; 64];
+        advise_capacity(&small);
+        let mut big: Vec<u64> = Vec::with_capacity(4 * HUGE_PAGE_BYTES / 8);
+        advise_capacity(&big);
+        big.resize(4 * HUGE_PAGE_BYTES / 8, 7);
+        advise_capacity(&big);
+        assert!(big.iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    fn reserve_advised_preserves_contents_across_growth() {
+        let mut v: Vec<u64> = (0..1024).collect();
+        // Small growth (below the huge-page threshold) and large growth
+        // (fresh-mapping path under the feature) must both keep contents.
+        reserve_advised(&mut v, 1);
+        assert!(v.capacity() >= 1025);
+        reserve_advised(&mut v, HUGE_PAGE_BYTES / 4);
+        assert!(v.capacity() >= 1024 + HUGE_PAGE_BYTES / 4);
+        assert!(v.iter().copied().eq(0..1024));
+    }
+
+    #[test]
+    fn compiled_in_matches_cfg() {
+        assert_eq!(compiled_in(), cfg!(all(feature = "hugepages", target_os = "linux")));
+    }
+}

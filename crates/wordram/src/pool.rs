@@ -36,6 +36,30 @@ const MIN_CLASS: u8 = 2;
 /// Largest representable block: `2^31` slots.
 const MAX_CLASS: u8 = 31;
 
+/// Word-granularity residency breakdown of one [`BucketArena`], for the
+/// fragmentation telemetry in `StructureStats`/`SpaceUsage` diagnostics:
+/// how much of the backing vector is owned by live buckets, how much sits
+/// parked on the per-class free lists, and how much is reserved capacity
+/// beyond the carved region (allocator slack plus any unconsumed plan).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaResidency {
+    /// Words inside carved blocks currently owned by live buckets
+    /// (block-granularity: a live block counts fully even when part-filled).
+    pub live_words: usize,
+    /// Words inside blocks parked on the free lists awaiting reuse.
+    pub parked_words: usize,
+    /// Words of backing capacity not yet carved into any block.
+    pub slack_words: usize,
+}
+
+impl ArenaResidency {
+    /// Total reserved words: live + parked + slack.
+    #[must_use]
+    pub fn reserved_words(&self) -> usize {
+        self.live_words + self.parked_words + self.slack_words
+    }
+}
+
 /// Handle to one dynamic list inside a [`BucketArena`]: a block offset, the
 /// block's size class, and the current length. `Copy`, 12 bytes (1.5 words,
 /// which is what the space accounting charges per handle), meaningless
@@ -171,6 +195,12 @@ impl<T: Copy> BucketArena<T> {
         self.reset();
         let total: usize = caps.filter(|&c| c > 0).map(|c| 1usize << class_for(c)).sum();
         assert!(total <= u32::MAX as usize, "bucket arena exhausted");
+        // Reserve → advise → fill, so that under the `hugepages` feature the
+        // first-touch faults of the planned region land on 2 MiB pages
+        // (advice after faulting would wait on khugepaged instead); a
+        // growing plan takes a fresh mapping rather than an mremap, which
+        // would split the huge pages (see `pages::reserve_advised`).
+        crate::pages::reserve_advised(&mut self.data, total);
         // pss-lint: allow(no-alloc-hot-path) — bulk-plan resize; runs once per rebuild, amortized
         self.data.resize(total, self.fill);
     }
@@ -201,9 +231,13 @@ impl<T: Copy> BucketArena<T> {
             return off;
         }
         let off = self.data.len();
-        assert!(off + (1usize << class) <= u32::MAX as usize, "bucket arena exhausted");
+        let new_len = off + (1usize << class);
+        assert!(new_len <= u32::MAX as usize, "bucket arena exhausted");
+        if new_len > self.data.capacity() {
+            crate::pages::reserve_advised(&mut self.data, 1usize << class);
+        }
         // pss-lint: allow(no-alloc-hot-path) — tail growth toward the arena high-water mark; steady state is satisfied from the free lists
-        self.data.resize(off + (1usize << class), self.fill);
+        self.data.resize(new_len, self.fill);
         narrow::u32_of_usize(off)
     }
 
@@ -335,12 +369,36 @@ impl<T: Copy> BucketArena<T> {
         c.abs += 1;
     }
 
+    /// Appends a whole slice through a raw cursor as one block store — the
+    /// line-flush form of [`BucketArena::push_raw`] for write-combined bulk
+    /// fills: one bounds check and one `memcpy` per cache line instead of a
+    /// checked store per element.
+    #[inline]
+    pub fn push_raw_line(&mut self, c: &mut FillCursor, vs: &[T]) {
+        debug_assert!(
+            c.abs as usize + vs.len() <= c.end as usize,
+            "push_raw_line beyond the reserved block"
+        );
+        let start = c.abs as usize;
+        self.data[start..start + vs.len()].copy_from_slice(vs);
+        c.abs += narrow::u32_of_usize(vs.len());
+    }
+
     /// Publishes a cursor's final length back into the `Bucket` it was
     /// issued from.
     #[inline]
     pub fn commit_cursor(&self, b: &mut Bucket, c: FillCursor) {
         debug_assert_eq!(b.off, c.base, "cursor committed to a different bucket");
         b.len = c.abs - c.base;
+    }
+
+    /// Hints that the slots at `c` will soon be written through
+    /// [`BucketArena::push_raw`] (bounds-checked no-op otherwise) — issued
+    /// one stride ahead by bulk fills so the destination line is resident
+    /// when its burst of stores arrives.
+    #[inline]
+    pub fn prefetch_at(&mut self, c: &FillCursor) {
+        crate::prefetch::prefetch_write(&mut self.data, c.abs as usize);
     }
 
     /// Writes `v` at within-block position `pos` of `b`'s carved block and
@@ -376,6 +434,20 @@ impl<T: Copy> BucketArena<T> {
             self.free[b.class as usize].push(b.off);
         }
         *b = Bucket::EMPTY;
+    }
+
+    /// Residency breakdown in words: carved blocks split live vs parked
+    /// (free-listed), plus uncarved reserved capacity. O(free blocks);
+    /// diagnostics hook, not on the update path.
+    pub fn residency(&self) -> ArenaResidency {
+        let elem_bytes = std::mem::size_of::<T>();
+        let words_of = |elems: usize| (elems * elem_bytes).div_ceil(8);
+        let parked_elems: usize = self.free_blocks().map(|(_, size)| size).sum();
+        ArenaResidency {
+            live_words: words_of(self.data.len() - parked_elems),
+            parked_words: words_of(parked_elems),
+            slack_words: words_of(self.data.capacity() - self.data.len()),
+        }
     }
 
     /// Verifies the arena against the set of live buckets: every block (live
@@ -730,6 +802,33 @@ mod tests {
         assert_eq!(pool.get(b), &vec![2, 2]);
         assert_eq!(pool.slot_count(), 2);
         pool.audit().unwrap();
+    }
+
+    #[test]
+    fn residency_splits_live_parked_slack() {
+        let mut arena = BucketArena::new(0u64);
+        let mut b = Bucket::EMPTY;
+        for i in 0..64u64 {
+            arena.push(&mut b, i);
+        }
+        // Growing to 64 slots left 4+8+16+32 = 60 slots parked; the live
+        // block is 64 slots. u64 elements: one word each.
+        let r = arena.residency();
+        assert_eq!(r.live_words, 64);
+        assert_eq!(r.parked_words, 60);
+        assert_eq!(r.reserved_words(), r.live_words + r.parked_words + r.slack_words);
+        // Releasing the bucket moves its block from live to parked.
+        arena.release(&mut b);
+        let r2 = arena.residency();
+        assert_eq!(r2.live_words, 0);
+        assert_eq!(r2.parked_words, 124);
+        // A fresh plan consumes everything into one live region.
+        arena.reset_to_plan([100usize].into_iter());
+        let mut c = Bucket::EMPTY;
+        arena.carve_exact(&mut c, 100);
+        let r3 = arena.residency();
+        assert_eq!(r3.live_words, 128);
+        assert_eq!(r3.parked_words, 0);
     }
 
     #[test]

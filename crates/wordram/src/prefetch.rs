@@ -1,0 +1,82 @@
+//! Software prefetch hints for stride walks over arena-backed storage.
+//!
+//! The HALT hot paths — the level-1 geometric stride walk and the bulk-fill
+//! scatter — touch arena cells whose *indices* are known one stride before
+//! their *contents* are needed. At n ≥ 2^20 the backing vectors leave L2 and
+//! every such touch is a DRAM miss on the critical path; issuing the address
+//! one stride ahead overlaps the miss with the acceptance arithmetic that
+//! fills the gap. These helpers are the only sanctioned way to do that:
+//!
+//! - they are **bounds-checked** — an out-of-range index is a silent no-op,
+//!   never UB, so callers may speculate past the end of a walk freely;
+//! - they are **semantically invisible** — a prefetch moves no data anyone
+//!   reads and rolls no RNG, so pinned-stream sample equality is unaffected;
+//! - they compile to **nothing** on targets without `_mm_prefetch` and under
+//!   the `layout-baseline` A/B feature, which is how the bench tier measures
+//!   their contribution in-tree.
+//!
+//! The `unsafe` here is confined to the intrinsic calls themselves; the
+//! pointer is always derived from an in-bounds slice element.
+
+// The intrinsics are the whole point of the module; everything around them
+// stays checked.
+#![allow(unsafe_code)]
+
+#[cfg(all(target_arch = "x86_64", not(feature = "layout-baseline")))]
+use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+
+/// Hints that `s[i]` will soon be read. No-op if `i` is out of bounds, on
+/// non-x86_64 targets, and under `layout-baseline`.
+#[inline(always)]
+pub fn prefetch_read<T>(s: &[T], i: usize) {
+    #[cfg(all(target_arch = "x86_64", not(feature = "layout-baseline")))]
+    if let Some(cell) = s.get(i) {
+        // SAFETY: `cell` is a live in-bounds reference; PREFETCHT0 has no
+        // architectural effect beyond cache-line movement.
+        unsafe { _mm_prefetch((cell as *const T).cast::<i8>(), _MM_HINT_T0) };
+    }
+    #[cfg(not(all(target_arch = "x86_64", not(feature = "layout-baseline"))))]
+    let _ = (s, i);
+}
+
+/// Hints that `s[i]` will soon be written. x86_64 has no separate write
+/// hint short of PREFETCHW's feature gate, so this is the same T0 fetch —
+/// pulling the line in exclusive-adjacent state is still the win on the
+/// bulk-fill scatter. Same no-op conditions as [`prefetch_read`].
+#[inline(always)]
+pub fn prefetch_write<T>(s: &mut [T], i: usize) {
+    #[cfg(all(target_arch = "x86_64", not(feature = "layout-baseline")))]
+    if let Some(cell) = s.get(i) {
+        // SAFETY: `cell` is a live in-bounds reference; PREFETCHT0 has no
+        // architectural effect beyond cache-line movement.
+        unsafe { _mm_prefetch((cell as *const T).cast::<i8>(), _MM_HINT_T0) };
+    }
+    #[cfg(not(all(target_arch = "x86_64", not(feature = "layout-baseline"))))]
+    let _ = (s, i);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_of_bounds_is_a_no_op() {
+        let v = [1u64, 2, 3];
+        prefetch_read(&v, 0);
+        prefetch_read(&v, 2);
+        prefetch_read(&v, 3); // one past the end — must not fault
+        prefetch_read(&v, usize::MAX);
+        let mut w = [1u32; 4];
+        prefetch_write(&mut w, 3);
+        prefetch_write(&mut w, 4);
+        prefetch_write(&mut w, usize::MAX);
+    }
+
+    #[test]
+    fn empty_slice_is_fine() {
+        let v: [u8; 0] = [];
+        prefetch_read(&v, 0);
+        let mut w: [u64; 0] = [];
+        prefetch_write(&mut w, 0);
+    }
+}

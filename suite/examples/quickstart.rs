@@ -47,4 +47,14 @@ fn main() {
     );
 
     println!("\nstructure space: {} words for {} items", sampler.space_words(), sampler.len());
+    let stats = sampler.stats();
+    let (ir, pr) = (stats.item_arena_residency, stats.proxy_arena_residency);
+    println!(
+        "item arena residency:  {} live / {} parked / {} slack words",
+        ir.live_words, ir.parked_words, ir.slack_words
+    );
+    println!(
+        "proxy arena residency: {} live / {} parked / {} slack words",
+        pr.live_words, pr.parked_words, pr.slack_words
+    );
 }

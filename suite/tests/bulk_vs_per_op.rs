@@ -88,6 +88,37 @@ fn assert_same_samples(a: &DpssSampler, b: &DpssSampler, seed: u64) {
     }
 }
 
+/// Deterministic packed-layout case: a load wide enough to populate many
+/// weight classes across several level-1 groups, so the locality-packed
+/// derive (class-adjacent carve plan, write-combined fills) runs its full
+/// multi-group walk — then bit-identity against the per-op oracle, and
+/// against a snapshot round-trip (whose load re-derives the hierarchy
+/// through the same packed plan).
+#[test]
+fn packed_layout_matches_per_op_and_snapshot_roundtrip() {
+    // 4096 weights spread over classes 0..=47, plus zeros and exact powers.
+    let weights: Vec<u64> = (0..4096u64)
+        .map(|i| match i % 8 {
+            0 => 0,
+            1 => 1u64 << (i % 48),
+            _ => (i * 2654435761).wrapping_mul(i | 1) % (1u64 << (8 + i % 40)) + 1,
+        })
+        .collect();
+    let (a, ids_a) = DpssSampler::from_weights(&weights, 21);
+    let mut b = DpssSampler::with_capacity_seed(weights.len(), 21);
+    let ids_b = b.insert_many_per_op(&weights);
+    assert_eq!(ids_a, ids_b, "packed bulk load must issue identical handles");
+    assert_same_shape(&a, &b);
+    assert_same_samples(&a, &b, 51);
+
+    // Snapshot load rebuilds the hierarchy via the same packed derive.
+    use pss_core::Snapshottable;
+    let img = a.snapshot();
+    let c = DpssSampler::from_snapshot(&img).expect("snapshot round-trip");
+    assert_same_shape(&a, &c);
+    assert_same_samples(&a, &c, 52);
+}
+
 proptest! {
     #![proptest_config(Config::with_cases(24))]
 

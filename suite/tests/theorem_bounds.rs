@@ -97,6 +97,54 @@ fn space_is_linear_with_small_constant() {
     }
 }
 
+/// Beyond-L2 flatness: per-op insert and μ≈1 query cost at n=2^20 must stay
+/// within a coarse constant of their n=2^14 cost. This is the cache-regime
+/// counterpart of the small-n flatness tests above — at 2^20 the working set
+/// has left L2, so the ratio measures how well the locality-packed layout
+/// and prefetched walks hold the O(1)/O(1+μ) bounds against DRAM latency,
+/// not just against instruction counts.
+///
+/// ~seconds of wall clock at 2^20, so it only runs when
+/// `PSS_SLOW_TESTS=1` is set (the CI scaling smoke covers it nightly).
+#[test]
+fn beyond_l2_insert_and_query_stay_flat() {
+    if std::env::var_os("PSS_SLOW_TESTS").is_none() {
+        eprintln!("skipping beyond_l2_insert_and_query_stay_flat (set PSS_SLOW_TESTS=1)");
+        return;
+    }
+    let measure = |n: usize| {
+        let w = random_weights(n, 6);
+        // Insert: per-item bulk-load cost (best of 3).
+        let ins = (0..3)
+            .map(|_| {
+                let t = Instant::now();
+                std::hint::black_box(DpssSampler::from_weights(&w, 17));
+                t.elapsed().as_secs_f64() / n as f64
+            })
+            .fold(f64::INFINITY, f64::min);
+        // Query: μ≈1 cost on the built structure.
+        let (mut s, _) = DpssSampler::from_weights(&w, 17);
+        let alpha = Ratio::one();
+        let t = Instant::now();
+        for _ in 0..300 {
+            std::hint::black_box(s.query(&alpha, &Ratio::zero()));
+        }
+        (ins, t.elapsed().as_secs_f64() / 300.0)
+    };
+    let (ins_small, q_small) = measure(1 << 14);
+    let (ins_large, q_large) = measure(1 << 20);
+    // Coarse bounds: a Θ(n) regression would show as ≈64×; DRAM-latency
+    // inflation of an O(1) op stays well under these factors.
+    assert!(
+        ins_large < ins_small * 10.0,
+        "per-item insert cost grew {ins_small:.2e} → {ins_large:.2e} from 2^14 to 2^20"
+    );
+    assert!(
+        q_large < q_small * 10.0,
+        "μ=1 query cost grew {q_small:.2e} → {q_large:.2e} from 2^14 to 2^20"
+    );
+}
+
 /// Query cost must scale with μ, not n: at n=2^16, a μ=64 query must cost
 /// less than 40× a μ≈1 query (it would cost ~n/2 times more if it scanned).
 #[test]
